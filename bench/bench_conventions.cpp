@@ -1,0 +1,98 @@
+// E13 — §2.6 / Eq. (15): conventions are a switch, not a language. The
+// identical ARC pattern evaluated under Soufflé conventions (sum ∅ = 0)
+// and SQL conventions (sum ∅ = NULL) on the paper's instance and on
+// sweeps. Shape: results differ exactly on the empty-aggregation-scope
+// rows; timing is convention-independent.
+#include "bench/bench_util.h"
+#include "data/generators.h"
+
+namespace {
+
+using arc::bench::MustEvalArc;
+using arc::bench::MustParse;
+
+constexpr const char* kEq15 =
+    "{Q(ak, sm) | exists r in R, x in {X(sm) | exists s in S, gamma() "
+    "[s.a < r.ak and X.sm = sum(s.b)]} "
+    "[Q.ak = r.ak and Q.sm = x.sm]}";
+
+arc::data::Database MakeDb(int64_t rows, uint64_t seed) {
+  arc::data::Database db;
+  arc::data::Relation r0 = arc::data::RandomBinary(rows, rows, 0.0, 0.0, seed);
+  db.Put("R", arc::data::Relation(arc::data::Schema{"ak", "b"}, r0.rows()));
+  arc::data::Relation s0 =
+      arc::data::RandomBinary(rows, rows, 0.0, 0.0, seed + 3);
+  db.Put("S", arc::data::Relation(arc::data::Schema{"a", "b"}, s0.rows()));
+  return db;
+}
+
+int64_t CountNullSums(const arc::data::Relation& rel) {
+  int64_t n = 0;
+  for (const arc::data::Tuple& t : rel.rows()) {
+    if (t.at(1).is_null()) ++n;
+  }
+  return n;
+}
+
+int64_t CountZeroSums(const arc::data::Relation& rel) {
+  int64_t n = 0;
+  for (const arc::data::Tuple& t : rel.rows()) {
+    if (!t.at(1).is_null() && t.at(1).as_int() == 0) ++n;
+  }
+  return n;
+}
+
+void Shape() {
+  arc::bench::Header(
+      "E13", "§2.6 / Eq. (15): the Soufflé-vs-SQL convention divergence",
+      "paper instance R={(1,2)}, S=∅: Soufflé derives Q(1,0), SQL returns "
+      "(1, NULL) — one pattern, two conventions");
+  arc::Program program = MustParse(kEq15);
+  {
+    arc::data::Database db = arc::data::ConventionInstance();
+    arc::data::Relation souffle =
+        MustEvalArc(db, program, arc::Conventions::Souffle());
+    arc::data::Relation sql =
+        MustEvalArc(db, program, arc::Conventions::Sql());
+    std::printf("paper instance — Soufflé conventions: %s",
+                souffle.ToString().c_str());
+    std::printf("paper instance — SQL conventions:     %s\n",
+                sql.ToString().c_str());
+  }
+  std::printf("%8s %16s %16s\n", "rows", "zero-sums(Souf.)", "null-sums(SQL)");
+  for (int64_t rows : {20, 80, 200}) {
+    arc::data::Database db = MakeDb(rows, 9);
+    arc::data::Relation souffle =
+        MustEvalArc(db, program, arc::Conventions::Souffle());
+    arc::data::Relation sql =
+        MustEvalArc(db, program, arc::Conventions::Sql());
+    std::printf("%8lld %16lld %16lld\n", static_cast<long long>(rows),
+                static_cast<long long>(CountZeroSums(souffle)),
+                static_cast<long long>(CountNullSums(sql)));
+  }
+  std::printf("\n");
+}
+
+void BM_SouffleConventions(benchmark::State& state) {
+  arc::data::Database db = MakeDb(state.range(0), 9);
+  arc::Program program = MustParse(kEq15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MustEvalArc(db, program, arc::Conventions::Souffle()));
+  }
+}
+BENCHMARK(BM_SouffleConventions)->Range(16, 256);
+
+void BM_SqlConventions(benchmark::State& state) {
+  arc::data::Database db = MakeDb(state.range(0), 9);
+  arc::Program program = MustParse(kEq15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MustEvalArc(db, program, arc::Conventions::Sql()));
+  }
+}
+BENCHMARK(BM_SqlConventions)->Range(16, 256);
+
+}  // namespace
+
+ARC_BENCH_MAIN(Shape)

@@ -1,0 +1,76 @@
+// E1 — Fig. 2 / Eq. (1): the running TRC query
+//   {Q(A) | ∃r∈R, s∈S [Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}
+// evaluated by the ARC engine versus the direct SQL evaluator on the same
+// instance. Shape: both agree on every instance; both scale with |R|·|S|
+// modulo the eager filter pushdown.
+#include "bench/bench_util.h"
+#include "data/generators.h"
+#include "sql/eval.h"
+
+namespace {
+
+using arc::bench::MustEvalArc;
+using arc::bench::MustParse;
+
+constexpr const char* kArc =
+    "{Q(A) | exists r in R, s in S [Q.A = r.A and r.B = s.B and s.C = 0]}";
+constexpr const char* kSql =
+    "select distinct R.A from R, S where R.B = S.B and S.C = 0";
+
+void Shape() {
+  arc::bench::Header("E1", "Fig. 2 / Eq. (1): TRC query",
+                     "ARC evaluation ≡ SQL evaluation on every instance");
+  std::printf("%8s %10s %10s %8s\n", "rows", "|ARC out|", "|SQL out|",
+              "agree");
+  arc::Program program = MustParse(kArc);
+  for (int64_t rows : {10, 100, 400}) {
+    arc::data::Database db = arc::data::TrcInstance(rows, rows / 2, 0.3, 42);
+    arc::data::Relation via_arc = MustEvalArc(db, program);
+    arc::sql::SqlEvaluator sql(db);
+    auto via_sql = sql.EvalQuery(kSql);
+    std::printf("%8lld %10lld %10lld %8s\n", static_cast<long long>(rows),
+                static_cast<long long>(via_arc.size()),
+                static_cast<long long>(via_sql.ok() ? via_sql->size() : -1),
+                via_sql.ok() && via_arc.EqualsSet(*via_sql) ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_ArcEval(benchmark::State& state) {
+  arc::data::Database db =
+      arc::data::TrcInstance(state.range(0), state.range(0) / 2, 0.3, 42);
+  arc::Program program = MustParse(kArc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MustEvalArc(db, program));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ArcEval)->Range(16, 1024)->Complexity();
+
+void BM_DirectSqlEval(benchmark::State& state) {
+  arc::data::Database db =
+      arc::data::TrcInstance(state.range(0), state.range(0) / 2, 0.3, 42);
+  arc::sql::SqlEvaluator sql(db);
+  for (auto _ : state) {
+    auto r = sql.EvalQuery(kSql);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DirectSqlEval)->Range(16, 1024)->Complexity();
+
+// Ablation: evaluation with validation included (parse → analyze → eval),
+// the full pipeline an interactive tool would run.
+void BM_FullPipeline(benchmark::State& state) {
+  arc::data::Database db =
+      arc::data::TrcInstance(state.range(0), state.range(0) / 2, 0.3, 42);
+  for (auto _ : state) {
+    arc::Program program = MustParse(kArc);
+    benchmark::DoNotOptimize(MustEvalArc(db, program));
+  }
+}
+BENCHMARK(BM_FullPipeline)->Range(16, 256);
+
+}  // namespace
+
+ARC_BENCH_MAIN(Shape)

@@ -1,0 +1,73 @@
+// E7 — Fig. 8 / Eqs. (11)-(12): the Rel pattern — FIO grouping (grouped
+// attributes are returned), but still one aggregation scope *per
+// aggregate* over the same relation. Shape: same answers as the
+// single-scope pattern; the duplicated join work lies between the
+// single-scope pattern and the fully-correlated Hella pattern.
+#include "bench/bench_util.h"
+#include "data/generators.h"
+
+namespace {
+
+using arc::bench::MustEvalArc;
+using arc::bench::MustParse;
+
+constexpr const char* kSingleScope =
+    "{Q(dept, av) | exists x in {X(dept, av, sm) | "
+    "exists r in R, s in S, gamma(r.dept) "
+    "[X.dept = r.dept and X.av = avg(s.sal) and X.sm = sum(s.sal) and "
+    "r.empl = s.empl]} "
+    "[Q.dept = x.dept and Q.av = x.av and x.sm > 100]}";
+
+// Eq. (12): two uncorrelated per-aggregate collections joined on dept.
+constexpr const char* kRel =
+    "{Q(dept, av) | exists x in {X(dept, av) | "
+    "exists r1 in R, s1 in S, gamma(r1.dept) "
+    "[X.dept = r1.dept and r1.empl = s1.empl and X.av = avg(s1.sal)]}, "
+    "y in {Y(dept, sm) | exists r2 in R, s2 in S, gamma(r2.dept) "
+    "[Y.dept = r2.dept and r2.empl = s2.empl and Y.sm = sum(s2.sal)]} "
+    "[Q.dept = x.dept and Q.av = x.av and x.dept = y.dept and y.sm > 100]}";
+
+void Shape() {
+  arc::bench::Header(
+      "E7", "Fig. 8 / Eqs. (11)-(12): the Rel pattern",
+      "same answers; ~2× join work (one scope per aggregate), but no "
+      "per-outer-tuple correlation");
+  arc::Program single = MustParse(kSingleScope);
+  arc::Program rel = MustParse(kRel);
+  std::printf("%8s %12s %12s %8s\n", "empls", "|1-scope|", "|Rel|", "agree");
+  for (int64_t empls : {20, 100, 300}) {
+    arc::data::Database db =
+        arc::data::EmployeeInstance(empls, empls / 10 + 1, 10, 90, 3);
+    arc::data::Relation a = MustEvalArc(db, single);
+    arc::data::Relation b = MustEvalArc(db, rel);
+    std::printf("%8lld %12lld %12lld %8s\n", static_cast<long long>(empls),
+                static_cast<long long>(a.size()),
+                static_cast<long long>(b.size()),
+                a.EqualsSet(b) ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_SingleScope(benchmark::State& state) {
+  arc::data::Database db = arc::data::EmployeeInstance(
+      state.range(0), state.range(0) / 10 + 1, 10, 90, 3);
+  arc::Program program = MustParse(kSingleScope);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MustEvalArc(db, program));
+  }
+}
+BENCHMARK(BM_SingleScope)->Range(32, 512);
+
+void BM_RelPattern(benchmark::State& state) {
+  arc::data::Database db = arc::data::EmployeeInstance(
+      state.range(0), state.range(0) / 10 + 1, 10, 90, 3);
+  arc::Program program = MustParse(kRel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MustEvalArc(db, program));
+  }
+}
+BENCHMARK(BM_RelPattern)->Range(32, 512);
+
+}  // namespace
+
+ARC_BENCH_MAIN(Shape)

@@ -1,0 +1,74 @@
+// E8 — Fig. 9 / Eqs. (13)-(14): Boolean sentences with aggregate
+// comparison predicates used as integrity constraints. Shape: Eq. (13)
+// (∃ id fully delivered) and Eq. (14) (no id under-delivered) evaluate to
+// the expected truth values on satisfying/violating instances, and
+// constraint checking scales with |R|·|S|.
+#include "bench/bench_util.h"
+#include "data/generators.h"
+
+namespace {
+
+using arc::bench::MustParse;
+
+constexpr const char* kEq13 =
+    "exists r in R [exists s in S, gamma() "
+    "[r.id = s.id and r.q <= count(s.d)]]";
+constexpr const char* kEq14 =
+    "not(exists r in R [exists s in S, gamma() "
+    "[r.id = s.id and r.q > count(s.d)]])";
+
+arc::data::TriBool EvalSentence(const arc::data::Database& db,
+                                const arc::Program& program) {
+  arc::eval::Evaluator ev(db);
+  auto r = ev.EvalSentence(program);
+  if (!r.ok()) {
+    std::fprintf(stderr, "sentence eval failed: %s\n",
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *r;
+}
+
+void Shape() {
+  arc::bench::Header("E8", "Fig. 9 / Eqs. (13)-(14): Boolean constraints",
+                     "(13) true when some id is fully delivered; (14) true "
+                     "iff no id is under-delivered");
+  arc::Program eq13 = MustParse(kEq13);
+  arc::Program eq14 = MustParse(kEq14);
+  std::printf("%14s %10s %10s\n", "instance", "Eq.(13)", "Eq.(14)");
+  arc::data::Database sat = arc::data::InventoryInstance(50, 3, true, 1);
+  arc::data::Database vio = arc::data::InventoryInstance(50, 3, false, 2);
+  std::printf("%14s %10s %10s\n", "satisfying",
+              arc::data::TriBoolName(EvalSentence(sat, eq13)),
+              arc::data::TriBoolName(EvalSentence(sat, eq14)));
+  std::printf("%14s %10s %10s\n", "violating",
+              arc::data::TriBoolName(EvalSentence(vio, eq13)),
+              arc::data::TriBoolName(EvalSentence(vio, eq14)));
+  std::printf("\n");
+}
+
+void BM_ConstraintCheckSatisfying(benchmark::State& state) {
+  arc::data::Database db =
+      arc::data::InventoryInstance(state.range(0), 3, true, 1);
+  arc::Program program = MustParse(kEq14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalSentence(db, program));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConstraintCheckSatisfying)->Range(16, 512)->Complexity();
+
+void BM_ConstraintCheckViolating(benchmark::State& state) {
+  // Violating instances short-circuit at the first bad id.
+  arc::data::Database db =
+      arc::data::InventoryInstance(state.range(0), 3, false, 2);
+  arc::Program program = MustParse(kEq14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalSentence(db, program));
+  }
+}
+BENCHMARK(BM_ConstraintCheckViolating)->Range(16, 512);
+
+}  // namespace
+
+ARC_BENCH_MAIN(Shape)

@@ -1,0 +1,116 @@
+// E9 — Fig. 10 / Eq. (16): recursion in the named perspective. The
+// ancestor query runs as (a) an ARC recursive collection (naive fixpoint
+// over the disjunctive body), (b) the Datalog engine naive, and (c) the
+// Datalog engine semi-naive — the ablation the design calls out. Shape:
+// all agree; semi-naive wins with depth (chains), and the gap shrinks on
+// shallow graphs (trees).
+#include "bench/bench_util.h"
+#include "data/generators.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+
+namespace {
+
+using arc::bench::MustEvalArc;
+using arc::bench::MustParse;
+
+constexpr const char* kArc =
+    "{A(s, t) | exists p in P [A.s = p.s and A.t = p.t] or "
+    "exists p in P, a2 in A [A.s = p.s and p.t = a2.s and a2.t = A.t]}";
+constexpr const char* kDatalog =
+    "A(x, y) :- P(x, y).\n"
+    "A(x, y) :- P(x, z), A(z, y).\n";
+
+arc::data::Relation RunDatalog(const arc::data::Database& db,
+                               bool semi_naive) {
+  auto program = arc::datalog::ParseDatalog(kDatalog);
+  arc::datalog::DlEvalOptions opts;
+  opts.semi_naive = semi_naive;
+  arc::datalog::DlEvaluator ev(db, opts);
+  auto r = ev.Eval(*program, "A");
+  if (!r.ok()) {
+    std::fprintf(stderr, "datalog failed: %s\n",
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+void Shape() {
+  arc::bench::Header(
+      "E9", "Fig. 10 / Eq. (16): ancestor recursion",
+      "ARC fixpoint ≡ Datalog naive ≡ Datalog semi-naive on chains, trees, "
+      "and random DAGs");
+  arc::Program program = MustParse(kArc);
+  struct Case {
+    const char* name;
+    arc::data::Database db;
+  };
+  Case cases[] = {
+      {"chain n=40", arc::data::ParentChain(40)},
+      {"tree n=63", arc::data::ParentTree(63, 2)},
+      {"dag n=40 e=80", arc::data::ParentRandom(40, 80, 5)},
+  };
+  std::printf("%16s %8s %10s %10s %8s\n", "graph", "|TC|", "naive", "semi",
+              "agree");
+  for (Case& c : cases) {
+    arc::data::Relation via_arc = MustEvalArc(c.db, program);
+    arc::data::Relation naive = RunDatalog(c.db, false);
+    arc::data::Relation semi = RunDatalog(c.db, true);
+    std::printf("%16s %8lld %10lld %10lld %8s\n", c.name,
+                static_cast<long long>(via_arc.size()),
+                static_cast<long long>(naive.size()),
+                static_cast<long long>(semi.size()),
+                via_arc.EqualsSet(naive) && naive.EqualsSet(semi) ? "yes"
+                                                                  : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_ArcFixpointChain(benchmark::State& state) {
+  arc::data::Database db = arc::data::ParentChain(state.range(0));
+  arc::Program program = MustParse(kArc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MustEvalArc(db, program));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ArcFixpointChain)->Range(8, 64)->Complexity();
+
+void BM_DatalogNaiveChain(benchmark::State& state) {
+  arc::data::Database db = arc::data::ParentChain(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunDatalog(db, false));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DatalogNaiveChain)->Range(8, 64)->Complexity();
+
+void BM_DatalogSemiNaiveChain(benchmark::State& state) {
+  arc::data::Database db = arc::data::ParentChain(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunDatalog(db, true));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DatalogSemiNaiveChain)->Range(8, 64)->Complexity();
+
+void BM_DatalogSemiNaiveTree(benchmark::State& state) {
+  arc::data::Database db = arc::data::ParentTree(state.range(0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunDatalog(db, true));
+  }
+}
+BENCHMARK(BM_DatalogSemiNaiveTree)->Range(16, 256);
+
+void BM_DatalogNaiveTree(benchmark::State& state) {
+  arc::data::Database db = arc::data::ParentTree(state.range(0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunDatalog(db, false));
+  }
+}
+BENCHMARK(BM_DatalogNaiveTree)->Range(16, 256);
+
+}  // namespace
+
+ARC_BENCH_MAIN(Shape)

@@ -1,0 +1,101 @@
+// E12 — Fig. 13: single-valued head aggregates. The scalar-subquery form
+// and the lateral-join form agree on every instance (both preserve
+// per-outer-tuple semantics); the LEFT JOIN + GROUP BY rewrite diverges
+// exactly when R contains duplicate rows under bag semantics — the paper's
+// counterexample. Row counts: lateral = |R|, left-join = |distinct R|.
+#include "bench/bench_util.h"
+#include "data/generators.h"
+#include "sql/eval.h"
+
+namespace {
+
+constexpr const char* kScalar =
+    "select R.A, (select sum(S.B) from S where S.A < R.A) sm from R";
+constexpr const char* kLateral =
+    "select R.A, X.sm from R join lateral (select sum(S.B) sm from S "
+    "where S.A < R.A) X on true";
+constexpr const char* kLeftJoin =
+    "select R.A, sum(S.B) sm from R left join S on S.A < R.A group by R.A";
+
+arc::data::Database MakeDb(int64_t rows, double duplicate_fraction,
+                           uint64_t seed) {
+  arc::data::Database db;
+  // R starts duplicate-free (sequential values): at dup-rate 0 all three
+  // formulations must agree, per the paper.
+  arc::data::Relation r(arc::data::Schema{"A"});
+  for (int64_t i = 0; i < rows; ++i) r.Add({arc::data::Value::Int(i)});
+  arc::data::Rng rng(seed + 1);
+  const int64_t dups = static_cast<int64_t>(
+      duplicate_fraction * static_cast<double>(rows));
+  for (int64_t i = 0; i < dups; ++i) {
+    r.Add(r.rows()[static_cast<size_t>(rng.Below(rows))]);
+  }
+  db.Put("R", std::move(r));
+  arc::data::Relation s0 = arc::data::RandomBinary(rows, rows, 0.0, 0.0,
+                                                   seed + 2);
+  db.Put("S", arc::data::Relation(arc::data::Schema{"A", "B"}, s0.rows()));
+  return db;
+}
+
+void Shape() {
+  arc::bench::Header(
+      "E12", "Fig. 13: scalar vs lateral vs LEFT JOIN + GROUP BY",
+      "scalar ≡ lateral always; LEFT JOIN+GROUP BY collapses duplicate R "
+      "rows (diverges iff dup-rate > 0)");
+  std::printf("%10s %10s %10s %10s %14s %14s\n", "dup-rate", "|scalar|",
+              "|lateral|", "|leftjoin|", "scalar≡lateral", "≡leftjoin");
+  for (double dup : {0.0, 0.2, 0.5}) {
+    arc::data::Database db = MakeDb(30, dup, 17);
+    arc::sql::SqlEvaluator sql(db);
+    auto scalar = sql.EvalQuery(kScalar);
+    auto lateral = sql.EvalQuery(kLateral);
+    auto left_join = sql.EvalQuery(kLeftJoin);
+    if (!scalar.ok() || !lateral.ok() || !left_join.ok()) {
+      std::fprintf(stderr, "query failed\n");
+      std::exit(1);
+    }
+    const bool lj_equal = scalar->EqualsBag(*left_join);
+    std::printf("%10.1f %10lld %10lld %10lld %14s %14s\n", dup,
+                static_cast<long long>(scalar->size()),
+                static_cast<long long>(lateral->size()),
+                static_cast<long long>(left_join->size()),
+                scalar->EqualsBag(*lateral) ? "yes" : "NO",
+                lj_equal ? (dup == 0.0 ? "yes" : "yes (UNEXPECTED)")
+                         : (dup > 0.0 ? "no (expected)" : "NO"));
+  }
+  std::printf("\n");
+}
+
+void BM_ScalarSubquery(benchmark::State& state) {
+  arc::data::Database db = MakeDb(state.range(0), 0.2, 17);
+  arc::sql::SqlEvaluator sql(db);
+  for (auto _ : state) {
+    auto r = sql.EvalQuery(kScalar);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ScalarSubquery)->Range(16, 256);
+
+void BM_LateralJoin(benchmark::State& state) {
+  arc::data::Database db = MakeDb(state.range(0), 0.2, 17);
+  arc::sql::SqlEvaluator sql(db);
+  for (auto _ : state) {
+    auto r = sql.EvalQuery(kLateral);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_LateralJoin)->Range(16, 256);
+
+void BM_LeftJoinGroupBy(benchmark::State& state) {
+  arc::data::Database db = MakeDb(state.range(0), 0.2, 17);
+  arc::sql::SqlEvaluator sql(db);
+  for (auto _ : state) {
+    auto r = sql.EvalQuery(kLeftJoin);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_LeftJoinGroupBy)->Range(16, 256);
+
+}  // namespace
+
+ARC_BENCH_MAIN(Shape)

@@ -1,0 +1,90 @@
+// E15 — Figs. 14-15 / Eqs. (19)-(21): external relations. The same query
+// with (a) inline arithmetic, (b) the reified Minus relation, (c) fully
+// reified Minus + Bigger. Shape: identical results; reification costs a
+// constant factor per evaluated predicate (access-pattern dispatch), not a
+// change in asymptotics.
+#include "bench/bench_util.h"
+#include "data/generators.h"
+
+namespace {
+
+using arc::bench::MustEvalArc;
+using arc::bench::MustParse;
+
+constexpr const char* kInline =
+    "{Q(A) | exists r in R, s in S, t in T "
+    "[Q.A = r.A and r.B - s.B > t.B]}";
+constexpr const char* kReifiedMinus =
+    "{Q(A) | exists r in R, s in S, t in T, f in Minus "
+    "[Q.A = r.A and f.left = r.B and f.right = s.B and f.out > t.B]}";
+constexpr const char* kFullyReified =
+    "{Q(A) | exists r in R, s in S, t in T, f in Minus, g in Bigger "
+    "[Q.A = r.A and f.left = r.B and f.right = s.B and "
+    "f.out = g.left and g.right = t.B]}";
+
+arc::data::Database MakeDb(int64_t rows, uint64_t seed) {
+  arc::data::Database db;
+  db.Put("R", arc::data::RandomBinary(rows, 100, 0.0, 0.0, seed));
+  arc::data::Relation s0 = arc::data::RandomUnary(rows / 2 + 1, 50, 0.0,
+                                                  seed + 1);
+  db.Put("S", arc::data::Relation(arc::data::Schema{"B"}, s0.rows()));
+  arc::data::Relation t0 = arc::data::RandomUnary(rows / 2 + 1, 50, 0.0,
+                                                  seed + 2);
+  db.Put("T", arc::data::Relation(arc::data::Schema{"B"}, t0.rows()));
+  return db;
+}
+
+void Shape() {
+  arc::bench::Header(
+      "E15", "Figs. 14-15 / Eqs. (19)-(21): external relations",
+      "inline ≡ reified Minus ≡ fully reified Minus+Bigger on every "
+      "instance");
+  arc::Program inline_p = MustParse(kInline);
+  arc::Program minus_p = MustParse(kReifiedMinus);
+  arc::Program full_p = MustParse(kFullyReified);
+  std::printf("%8s %10s %10s %10s %8s\n", "rows", "|inline|", "|Minus|",
+              "|full|", "agree");
+  for (int64_t rows : {10, 30, 60}) {
+    arc::data::Database db = MakeDb(rows, 13);
+    arc::data::Relation a = MustEvalArc(db, inline_p);
+    arc::data::Relation b = MustEvalArc(db, minus_p);
+    arc::data::Relation c = MustEvalArc(db, full_p);
+    std::printf("%8lld %10lld %10lld %10lld %8s\n",
+                static_cast<long long>(rows), static_cast<long long>(a.size()),
+                static_cast<long long>(b.size()),
+                static_cast<long long>(c.size()),
+                a.EqualsSet(b) && b.EqualsSet(c) ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_InlineArithmetic(benchmark::State& state) {
+  arc::data::Database db = MakeDb(state.range(0), 13);
+  arc::Program program = MustParse(kInline);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MustEvalArc(db, program));
+  }
+}
+BENCHMARK(BM_InlineArithmetic)->Range(8, 128);
+
+void BM_ReifiedMinus(benchmark::State& state) {
+  arc::data::Database db = MakeDb(state.range(0), 13);
+  arc::Program program = MustParse(kReifiedMinus);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MustEvalArc(db, program));
+  }
+}
+BENCHMARK(BM_ReifiedMinus)->Range(8, 128);
+
+void BM_FullyReified(benchmark::State& state) {
+  arc::data::Database db = MakeDb(state.range(0), 13);
+  arc::Program program = MustParse(kFullyReified);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MustEvalArc(db, program));
+  }
+}
+BENCHMARK(BM_FullyReified)->Range(8, 128);
+
+}  // namespace
+
+ARC_BENCH_MAIN(Shape)

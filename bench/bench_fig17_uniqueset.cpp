@@ -1,0 +1,83 @@
+// E16 — Figs. 16-19 / Eqs. (22)-(24): the unique-set query with deeply
+// nested negation, monolithic versus modularized with the abstract Subset
+// relation. Shape: identical answers; abstraction is (nearly) free — the
+// module is inlined with bound parameters, so the relational pattern, and
+// hence the work, is preserved.
+#include "bench/bench_util.h"
+#include "data/generators.h"
+
+namespace {
+
+using arc::bench::MustEvalArc;
+using arc::bench::MustParse;
+
+constexpr const char* kMonolithic =
+    "{Q(d) | exists l1 in Likes [Q.d = l1.drinker and "
+    "not(exists l2 in Likes [l2.drinker <> l1.drinker and "
+    "not(exists l3 in Likes [l3.drinker = l2.drinker and "
+    "not(exists l4 in Likes [l4.beer = l3.beer and "
+    "l4.drinker = l1.drinker])])"
+    " and "
+    "not(exists l5 in Likes [l5.drinker = l1.drinker and "
+    "not(exists l6 in Likes [l6.drinker = l2.drinker and "
+    "l6.beer = l5.beer])])])]}";
+
+constexpr const char* kModular =
+    "abstract define {S(left, right) | "
+    "not(exists l3 in Likes [l3.drinker = S.left and "
+    "not(exists l4 in Likes [l4.beer = l3.beer and "
+    "l4.drinker = S.right])])} "
+    "{Q(d) | exists l1 in Likes [Q.d = l1.drinker and "
+    "not(exists l2 in Likes, s1 in S, s2 in S "
+    "[l2.drinker <> l1.drinker and "
+    "s1.left = l2.drinker and s1.right = l1.drinker and "
+    "s2.left = l1.drinker and s2.right = l2.drinker])]}";
+
+void Shape() {
+  arc::bench::Header(
+      "E16", "Figs. 16-19 / Eqs. (22)-(24): unique-set query + modules",
+      "monolithic ≡ modularized (abstract relations preserve the pattern)");
+  arc::Program mono = MustParse(kMonolithic);
+  arc::Program modular = MustParse(kModular);
+  std::printf("%10s %8s %10s %10s %8s\n", "drinkers", "|Likes|", "|mono|",
+              "|modular|", "agree");
+  for (int64_t drinkers : {6, 12, 20}) {
+    arc::data::Database db =
+        arc::data::LikesInstance(drinkers, 8, 0.4, 0.4, 42);
+    arc::data::Relation a = MustEvalArc(db, mono);
+    arc::data::Relation b = MustEvalArc(db, modular);
+    std::printf("%10lld %8lld %10lld %10lld %8s\n",
+                static_cast<long long>(drinkers),
+                static_cast<long long>(db.GetPtr("Likes")->size()),
+                static_cast<long long>(a.size()),
+                static_cast<long long>(b.size()),
+                a.EqualsSet(b) ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_Monolithic(benchmark::State& state) {
+  arc::data::Database db =
+      arc::data::LikesInstance(state.range(0), 8, 0.4, 0.4, 42);
+  arc::Program program = MustParse(kMonolithic);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MustEvalArc(db, program));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Monolithic)->Range(4, 32)->Complexity();
+
+void BM_Modularized(benchmark::State& state) {
+  arc::data::Database db =
+      arc::data::LikesInstance(state.range(0), 8, 0.4, 0.4, 42);
+  arc::Program program = MustParse(kModular);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MustEvalArc(db, program));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Modularized)->Range(4, 32)->Complexity();
+
+}  // namespace
+
+ARC_BENCH_MAIN(Shape)

@@ -1,0 +1,119 @@
+// E17 — §3.1 / Fig. 20, Eqs. (25)-(26): sparse matrix multiplication as a
+// grouped-aggregate pattern, with inline arithmetic and with the reified
+// "*" external relation. Shape: both agree with a dense triple loop; cost
+// grows with n and density; reification adds a constant factor.
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+
+namespace {
+
+using arc::bench::MustEvalArc;
+using arc::bench::MustParse;
+
+constexpr const char* kInline =
+    "{C(row, col, val) | exists a in A, b in B, gamma(a.row, b.col) "
+    "[C.row = a.row and C.col = b.col and a.col = b.row and "
+    "C.val = sum(a.val * b.val)]}";
+constexpr const char* kReified =
+    "{C(row, col, val) | exists a in A, b in B, f in \"*\", "
+    "gamma(a.row, b.col) [C.row = a.row and C.col = b.col and "
+    "a.col = b.row and C.val = sum(f.out) and "
+    "f.$1 = a.val and f.$2 = b.val]}";
+
+arc::data::Database MakeDb(int64_t n, double density) {
+  arc::data::Database db;
+  db.Put("A", arc::data::SparseMatrix(n, density, 1));
+  db.Put("B", arc::data::SparseMatrix(n, density, 2));
+  return db;
+}
+
+bool MatchesDense(const arc::data::Database& db,
+                  const arc::data::Relation& result, int64_t n) {
+  std::vector<std::vector<int64_t>> a(
+      static_cast<size_t>(n), std::vector<int64_t>(static_cast<size_t>(n), 0));
+  std::vector<std::vector<int64_t>> b = a;
+  std::vector<std::vector<int64_t>> c = a;
+  for (const arc::data::Tuple& t : db.GetPtr("A")->rows()) {
+    a[static_cast<size_t>(t.at(0).as_int())]
+     [static_cast<size_t>(t.at(1).as_int())] = t.at(2).as_int();
+  }
+  for (const arc::data::Tuple& t : db.GetPtr("B")->rows()) {
+    b[static_cast<size_t>(t.at(0).as_int())]
+     [static_cast<size_t>(t.at(1).as_int())] = t.at(2).as_int();
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t k = 0; k < n; ++k) {
+      for (int64_t j = 0; j < n; ++j) {
+        c[static_cast<size_t>(i)][static_cast<size_t>(j)] +=
+            a[static_cast<size_t>(i)][static_cast<size_t>(k)] *
+            b[static_cast<size_t>(k)][static_cast<size_t>(j)];
+      }
+    }
+  }
+  for (const arc::data::Tuple& t : result.rows()) {
+    if (c[static_cast<size_t>(t.at(0).as_int())]
+         [static_cast<size_t>(t.at(1).as_int())] != t.at(2).as_int()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Shape() {
+  arc::bench::Header("E17",
+                     "§3.1 / Fig. 20, Eqs. (25)-(26): matrix multiplication",
+                     "relational matmul ≡ dense triple loop; reified \"*\" ≡ "
+                     "inline arithmetic");
+  arc::Program inline_p = MustParse(kInline);
+  arc::Program reified_p = MustParse(kReified);
+  std::printf("%6s %10s %12s %12s %10s %10s\n", "n", "density", "|C inline|",
+              "|C reified|", "≡dense", "≡each");
+  for (const auto& [n, density] : {std::pair<int64_t, double>{8, 0.4},
+                                   {16, 0.25}, {24, 0.15}}) {
+    arc::data::Database db = MakeDb(n, density);
+    arc::data::Relation c1 = MustEvalArc(db, inline_p);
+    arc::data::Relation c2 = MustEvalArc(db, reified_p);
+    std::printf("%6lld %10.2f %12lld %12lld %10s %10s\n",
+                static_cast<long long>(n), density,
+                static_cast<long long>(c1.size()),
+                static_cast<long long>(c2.size()),
+                MatchesDense(db, c1, n) ? "yes" : "NO",
+                c1.EqualsSet(c2) ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_MatmulInline(benchmark::State& state) {
+  arc::data::Database db = MakeDb(state.range(0), 0.2);
+  arc::Program program = MustParse(kInline);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MustEvalArc(db, program));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MatmulInline)->Range(4, 32)->Complexity();
+
+void BM_MatmulReified(benchmark::State& state) {
+  arc::data::Database db = MakeDb(state.range(0), 0.2);
+  arc::Program program = MustParse(kReified);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MustEvalArc(db, program));
+  }
+}
+BENCHMARK(BM_MatmulReified)->Range(4, 32);
+
+void BM_MatmulDensitySweep(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  arc::data::Database db = MakeDb(16, density);
+  arc::Program program = MustParse(kInline);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MustEvalArc(db, program));
+  }
+}
+BENCHMARK(BM_MatmulDensitySweep)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+}  // namespace
+
+ARC_BENCH_MAIN(Shape)

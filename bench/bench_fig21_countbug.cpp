@@ -1,0 +1,116 @@
+// E18 — §3.2 / Fig. 21, Eqs. (27)-(29): the count bug. Shape: on the
+// paper's instance (R(9,0), S=∅) the original returns {9}, the classic
+// decorrelation returns ∅, the left-join decorrelation returns {9}; on
+// randomized instances with key R.id, original ≡ correct everywhere while
+// the incorrect form loses exactly the empty-group ids.
+#include "bench/bench_util.h"
+#include "data/generators.h"
+#include "sql/eval.h"
+
+namespace {
+
+using arc::bench::MustEvalArc;
+using arc::bench::MustParse;
+
+constexpr const char* kOriginal =
+    "{Q(id) | exists r in R [Q.id = r.id and exists s in S, gamma() "
+    "[r.id = s.id and r.q = count(s.d)]]}";
+constexpr const char* kBuggy =
+    "{Q(id) | exists r in R, x in {X(id, ct) | exists s in S, gamma(s.id) "
+    "[X.id = s.id and X.ct = count(s.d)]} "
+    "[Q.id = r.id and r.id = x.id and r.q = x.ct]}";
+constexpr const char* kCorrect =
+    "{Q(id) | exists r in R, x in {X(id, ct) | exists s in S, r2 in R, "
+    "gamma(r2.id), left(r2, s) [X.id = r2.id and X.ct = count(s.d) and "
+    "r2.id = s.id]} [Q.id = r.id and r.id = x.id and r.q = x.ct]}";
+
+arc::data::Database RandomInstance(int64_t ids, uint64_t seed) {
+  arc::data::Rng rng(seed);
+  arc::data::Database db;
+  arc::data::Relation r(arc::data::Schema{"id", "q"});
+  arc::data::Relation s(arc::data::Schema{"id", "d"});
+  for (int64_t id = 0; id < ids; ++id) {
+    // Half the ids get zero deliveries: the count-bug trap.
+    const int64_t deliveries = rng.NextDouble() < 0.5 ? 0 : 1 + rng.Below(4);
+    const int64_t q = rng.NextDouble() < 0.5
+                          ? deliveries           // satisfied count
+                          : rng.Below(5);        // arbitrary demand
+    r.Add({arc::data::Value::Int(id), arc::data::Value::Int(q)});
+    for (int64_t d = 0; d < deliveries; ++d) {
+      s.Add({arc::data::Value::Int(id), arc::data::Value::Int(rng.Below(99))});
+    }
+  }
+  db.Put("R", std::move(r));
+  db.Put("S", std::move(s));
+  return db;
+}
+
+void Shape() {
+  arc::bench::Header("E18", "§3.2 / Fig. 21, Eqs. (27)-(29): the count bug",
+                     "paper instance: original {9}, incorrect ∅, correct "
+                     "{9}; randomized: original ≡ correct, incorrect loses "
+                     "empty-group ids");
+  arc::Program original = MustParse(kOriginal);
+  arc::Program buggy = MustParse(kBuggy);
+  arc::Program correct = MustParse(kCorrect);
+  {
+    arc::data::Database db = arc::data::CountBugInstance();
+    arc::data::Relation a = MustEvalArc(db, original, arc::Conventions::Sql());
+    arc::data::Relation b = MustEvalArc(db, buggy, arc::Conventions::Sql());
+    arc::data::Relation c = MustEvalArc(db, correct, arc::Conventions::Sql());
+    std::printf("paper instance: original=%lld rows, incorrect=%lld rows, "
+                "correct=%lld rows\n",
+                static_cast<long long>(a.size()),
+                static_cast<long long>(b.size()),
+                static_cast<long long>(c.size()));
+  }
+  std::printf("%8s %10s %12s %10s %14s %12s\n", "ids", "|orig|",
+              "|incorrect|", "|correct|", "orig≡correct", "lost ids");
+  for (int64_t ids : {10, 40, 100}) {
+    arc::data::Database db = RandomInstance(ids, ids + 1);
+    arc::data::Relation a = MustEvalArc(db, original, arc::Conventions::Sql());
+    arc::data::Relation b = MustEvalArc(db, buggy, arc::Conventions::Sql());
+    arc::data::Relation c = MustEvalArc(db, correct, arc::Conventions::Sql());
+    std::printf("%8lld %10lld %12lld %10lld %14s %12lld\n",
+                static_cast<long long>(ids), static_cast<long long>(a.size()),
+                static_cast<long long>(b.size()),
+                static_cast<long long>(c.size()),
+                a.EqualsBag(c) ? "yes" : "NO",
+                static_cast<long long>(a.size() - b.size()));
+  }
+  std::printf("\n");
+}
+
+void BM_Original(benchmark::State& state) {
+  arc::data::Database db = RandomInstance(state.range(0), 5);
+  arc::Program program = MustParse(kOriginal);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MustEvalArc(db, program, arc::Conventions::Sql()));
+  }
+}
+BENCHMARK(BM_Original)->Range(16, 256);
+
+void BM_IncorrectDecorrelation(benchmark::State& state) {
+  arc::data::Database db = RandomInstance(state.range(0), 5);
+  arc::Program program = MustParse(kBuggy);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MustEvalArc(db, program, arc::Conventions::Sql()));
+  }
+}
+BENCHMARK(BM_IncorrectDecorrelation)->Range(16, 256);
+
+void BM_CorrectDecorrelation(benchmark::State& state) {
+  arc::data::Database db = RandomInstance(state.range(0), 5);
+  arc::Program program = MustParse(kCorrect);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MustEvalArc(db, program, arc::Conventions::Sql()));
+  }
+}
+BENCHMARK(BM_CorrectDecorrelation)->Range(16, 256);
+
+}  // namespace
+
+ARC_BENCH_MAIN(Shape)

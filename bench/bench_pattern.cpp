@@ -1,0 +1,159 @@
+// E19 — §1/§4: intent vs syntax. Over a corpus of SQL pairs labeled
+// same-intent / different-intent, compare (a) surface string similarity
+// (normalized LCS over SQL text) against (b) ARC pattern equality and
+// pattern similarity. Shape: pattern equality separates the classes
+// perfectly on this corpus, while string similarity misorders them — the
+// motivation for "intent-based benchmarking frameworks" [22].
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "pattern/pattern.h"
+#include "sql/eval.h"
+#include "translate/sql_to_arc.h"
+
+namespace {
+
+struct Pair {
+  const char* name;
+  const char* sql_a;
+  const char* sql_b;
+  bool same_intent;
+};
+
+constexpr const char* kSetup =
+    "create table R (A int, B int);"
+    "create table S (A int, B int);";
+
+const Pair kPairs[] = {
+    {"scalar-vs-lateral (Fig. 5)",
+     "select distinct R.A, (select sum(R2.B) from R R2 where R2.A = R.A) sm "
+     "from R",
+     "select distinct R.A, X.sm from R join lateral "
+     "(select sum(R2.B) sm from R R2 where R2.A = R.A) X on true",
+     true},
+    {"alias renaming",
+     "select R.A from R, S where R.B = S.B",
+     "select t1.A from R t1, S t2 where t1.B = t2.B",
+     true},
+    {"predicate order",
+     "select R.A from R where R.A > 1 and R.B < 5",
+     "select R.A from R where R.B < 5 and R.A > 1",
+     true},
+    {"not-in vs null-safe not-exists (Eq. 17)",
+     "select R.A from R where R.A not in (select S.A from S)",
+     "select R.A from R where not exists (select 1 from S "
+     "where S.A = R.A or S.A is null or R.A is null)",
+     true},
+    {"not-in vs plain not-exists (the NULL trap)",
+     "select R.A from R where R.A not in (select S.A from S)",
+     "select R.A from R where not exists (select 1 from S where S.A = R.A)",
+     false},
+    {"count-bug pair (Fig. 21a vs 21b)",
+     "select R.A from R where R.B = (select count(S.B) from S "
+     "where S.A = R.A)",
+     "select R.A from R, (select S.A, count(S.B) ct from S group by S.A) X "
+     "where R.A = X.A and R.B = X.ct",
+     false},
+    {"exists vs join",
+     "select distinct R.A from R where exists (select 1 from S "
+     "where S.B = R.B)",
+     "select distinct R.A from R, S where S.B = R.B",
+     false},
+};
+
+double StringSimilarity(const std::string& a, const std::string& b) {
+  // Character-level LCS ratio.
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<size_t> prev(m + 1, 0);
+  std::vector<size_t> cur(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      cur[j] = a[i - 1] == b[j - 1] ? prev[j - 1] + 1
+                                    : std::max(prev[j], cur[j - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  return 2.0 * static_cast<double>(prev[m]) / static_cast<double>(n + m);
+}
+
+arc::translate::SqlToArcOptions Topts(const arc::data::Database* db) {
+  arc::translate::SqlToArcOptions opts;
+  opts.database = db;
+  return opts;
+}
+
+void Shape() {
+  arc::bench::Header(
+      "E19", "§1/§4: intent-based vs string-based query comparison",
+      "pattern equality separates same-intent from different-intent pairs; "
+      "string similarity does not");
+  auto db = arc::sql::ExecuteSetupScript(kSetup);
+  if (!db.ok()) std::exit(1);
+  std::printf("%-42s %8s %10s %12s %10s\n", "pair", "intent", "string-sim",
+              "pattern-eq", "pat-sim");
+  int correct = 0;
+  int string_correct = 0;
+  for (const Pair& p : kPairs) {
+    auto a = arc::translate::SqlToArc(p.sql_a, Topts(&*db));
+    auto b = arc::translate::SqlToArc(p.sql_b, Topts(&*db));
+    if (!a.ok() || !b.ok()) {
+      std::fprintf(stderr, "translation failed for %s\n", p.name);
+      std::exit(1);
+    }
+    const bool eq = arc::pattern::PatternEquals(*a, *b);
+    const double psim = arc::pattern::Similarity(*a, *b);
+    const double ssim = StringSimilarity(p.sql_a, p.sql_b);
+    if (eq == p.same_intent) ++correct;
+    if ((ssim > 0.8) == p.same_intent) ++string_correct;
+    std::printf("%-42s %8s %10.3f %12s %10.3f\n", p.name,
+                p.same_intent ? "same" : "diff", ssim, eq ? "EQUAL" : "differ",
+                psim);
+  }
+  std::printf("pattern-equality accuracy: %d/%d;  "
+              "string-similarity(>0.8) accuracy: %d/%d\n\n",
+              correct, static_cast<int>(std::size(kPairs)), string_correct,
+              static_cast<int>(std::size(kPairs)));
+}
+
+void BM_Canonicalize(benchmark::State& state) {
+  auto db = arc::sql::ExecuteSetupScript(kSetup);
+  auto program = arc::translate::SqlToArc(kPairs[0].sql_a, Topts(&*db));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arc::pattern::Canonicalize(*program));
+  }
+}
+BENCHMARK(BM_Canonicalize);
+
+void BM_Fingerprint(benchmark::State& state) {
+  auto db = arc::sql::ExecuteSetupScript(kSetup);
+  auto program = arc::translate::SqlToArc(kPairs[0].sql_a, Topts(&*db));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arc::pattern::Fingerprint(*program));
+  }
+}
+BENCHMARK(BM_Fingerprint);
+
+void BM_Similarity(benchmark::State& state) {
+  auto db = arc::sql::ExecuteSetupScript(kSetup);
+  auto a = arc::translate::SqlToArc(kPairs[5].sql_a, Topts(&*db));
+  auto b = arc::translate::SqlToArc(kPairs[5].sql_b, Topts(&*db));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arc::pattern::Similarity(*a, *b));
+  }
+}
+BENCHMARK(BM_Similarity);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  auto db = arc::sql::ExecuteSetupScript(kSetup);
+  auto program = arc::translate::SqlToArc(kPairs[5].sql_b, Topts(&*db));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arc::pattern::ExtractFeatures(*program));
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+}  // namespace
+
+ARC_BENCH_MAIN(Shape)

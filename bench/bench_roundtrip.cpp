@@ -1,0 +1,156 @@
+// E20 — §5: the SQL↔ARC translator the paper says it is building. Over
+// the paper's SQL corpus: parse → SqlToArc → ArcToSql → re-execute, and
+// print∘parse over the comprehension modality. Shape: every round trip is
+// execution-equivalent; throughput numbers for each pipeline stage.
+#include <string>
+
+#include "bench/bench_util.h"
+#include "sql/eval.h"
+#include "text/parser.h"
+#include "text/printer.h"
+#include "translate/arc_to_sql.h"
+#include "translate/sql_to_arc.h"
+
+namespace {
+
+constexpr const char* kSetup =
+    "create table R (A int, B int);"
+    "insert into R values (1,5),(2,6),(3,7),(1,5);"
+    "create table S (B int, C int);"
+    "insert into S values (5,0),(6,3),(7,0);"
+    "create table P (s int, t int);"
+    "insert into P values (0,1),(1,2),(2,3);";
+
+constexpr const char* kCorpus[] = {
+    "select R.A from R where R.B > 5",
+    "select R.A, sum(R.B) sm from R group by R.A",
+    "select R.A from R, S where R.B = S.B and S.C = 0",
+    "select distinct R.A from R where not exists (select 1 from S "
+    "where S.B = R.B)",
+    "select R.A from R where R.B not in (select S.B from S)",
+    "select R.A, (select count(S.C) from S where S.B = R.B) c from R",
+    "select R.A, S.C from R left join S on R.B = S.B",
+    "select R.A from R union select S.C from S",
+    "with recursive A as (select P.s, P.t from P union "
+    "select P.s, A.t from P, A where P.t = A.s) select A.s, A.t from A",
+    "select R.dept2, avg(R.B) av from (select R.A dept2, R.B from R) R "
+    "group by R.dept2 having sum(R.B) > 5",
+};
+
+void Shape() {
+  arc::bench::Header(
+      "E20", "§5: SQL↔ARC round-tripping",
+      "for every corpus query: SQL ≡ SQL→ARC→SQL (execution equivalence) "
+      "and parse∘print is the identity on the comprehension modality");
+  auto db = arc::sql::ExecuteSetupScript(kSetup);
+  if (!db.ok()) std::exit(1);
+  arc::sql::SqlEvaluator direct(*db);
+  arc::translate::SqlToArcOptions topts;
+  topts.database = &*db;
+  std::printf("%-70.70s %8s %8s\n", "query", "exec≡", "text≡");
+  int ok_count = 0;
+  for (const char* q : kCorpus) {
+    auto expected = direct.EvalQuery(q);
+    auto program = arc::translate::SqlToArc(q, topts);
+    bool exec_equal = false;
+    bool text_stable = false;
+    if (expected.ok() && program.ok()) {
+      auto rendered = arc::translate::ArcToSqlText(*program);
+      if (rendered.ok()) {
+        auto actual = direct.EvalQuery(*rendered);
+        exec_equal = actual.ok() && actual->EqualsBag(*expected);
+      }
+      const std::string printed = arc::text::PrintProgram(*program);
+      auto reparsed = arc::text::ParseProgram(printed);
+      text_stable =
+          reparsed.ok() && arc::text::PrintProgram(*reparsed) == printed;
+    }
+    if (exec_equal && text_stable) ++ok_count;
+    std::printf("%-70.70s %8s %8s\n", q, exec_equal ? "yes" : "NO",
+                text_stable ? "yes" : "NO");
+  }
+  std::printf("round trips intact: %d/%d\n\n", ok_count,
+              static_cast<int>(std::size(kCorpus)));
+}
+
+void BM_SqlParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto s = arc::sql::ParseSelect(kCorpus[2]);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SqlParse);
+
+void BM_SqlToArcTranslate(benchmark::State& state) {
+  auto db = arc::sql::ExecuteSetupScript(kSetup);
+  arc::translate::SqlToArcOptions topts;
+  topts.database = &*db;
+  for (auto _ : state) {
+    auto p = arc::translate::SqlToArc(kCorpus[2], topts);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_SqlToArcTranslate);
+
+void BM_ArcToSqlRender(benchmark::State& state) {
+  auto db = arc::sql::ExecuteSetupScript(kSetup);
+  arc::translate::SqlToArcOptions topts;
+  topts.database = &*db;
+  auto program = arc::translate::SqlToArc(kCorpus[2], topts);
+  for (auto _ : state) {
+    auto s = arc::translate::ArcToSqlText(*program);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_ArcToSqlRender);
+
+void BM_ComprehensionPrint(benchmark::State& state) {
+  auto db = arc::sql::ExecuteSetupScript(kSetup);
+  arc::translate::SqlToArcOptions topts;
+  topts.database = &*db;
+  auto program = arc::translate::SqlToArc(kCorpus[2], topts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arc::text::PrintProgram(*program));
+  }
+}
+BENCHMARK(BM_ComprehensionPrint);
+
+void BM_ComprehensionParse(benchmark::State& state) {
+  auto db = arc::sql::ExecuteSetupScript(kSetup);
+  arc::translate::SqlToArcOptions topts;
+  topts.database = &*db;
+  auto program = arc::translate::SqlToArc(kCorpus[2], topts);
+  const std::string printed = arc::text::PrintProgram(*program);
+  for (auto _ : state) {
+    auto p = arc::text::ParseProgram(printed);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_ComprehensionParse);
+
+void BM_AltPrint(benchmark::State& state) {
+  auto db = arc::sql::ExecuteSetupScript(kSetup);
+  arc::translate::SqlToArcOptions topts;
+  topts.database = &*db;
+  auto program = arc::translate::SqlToArc(kCorpus[2], topts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arc::text::PrintAltProgram(*program));
+  }
+}
+BENCHMARK(BM_AltPrint);
+
+void BM_FullRoundTrip(benchmark::State& state) {
+  auto db = arc::sql::ExecuteSetupScript(kSetup);
+  arc::translate::SqlToArcOptions topts;
+  topts.database = &*db;
+  for (auto _ : state) {
+    auto program = arc::translate::SqlToArc(kCorpus[2], topts);
+    auto rendered = arc::translate::ArcToSqlText(*program);
+    benchmark::DoNotOptimize(rendered);
+  }
+}
+BENCHMARK(BM_FullRoundTrip);
+
+}  // namespace
+
+ARC_BENCH_MAIN(Shape)

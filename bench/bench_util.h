@@ -1,0 +1,69 @@
+// Shared helpers for the per-figure benchmark binaries. Each binary first
+// prints a "shape table" — the qualitative result the paper reports for
+// that figure (who wins / where results diverge), measured on this build —
+// then runs its google-benchmark timing sweeps.
+#ifndef ARC_BENCH_BENCH_UTIL_H_
+#define ARC_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "arc/conventions.h"
+#include "data/database.h"
+#include "eval/evaluator.h"
+#include "text/parser.h"
+
+namespace arc::bench {
+
+inline Program MustParse(const std::string& source) {
+  auto p = text::ParseProgram(source);
+  if (!p.ok()) {
+    std::fprintf(stderr, "parse failed: %s\nsource: %s\n",
+                 p.status().ToString().c_str(), source.c_str());
+    std::exit(1);
+  }
+  return std::move(p).value();
+}
+
+inline data::Relation MustEvalArc(const data::Database& db,
+                                  const Program& program,
+                                  Conventions conventions = Conventions::Arc()) {
+  eval::EvalOptions opts;
+  opts.conventions = conventions;
+  auto r = eval::Eval(db, program, opts);
+  if (!r.ok()) {
+    std::fprintf(stderr, "eval failed: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+inline void Header(const char* experiment, const char* paper_artifact,
+                   const char* expected_shape) {
+  std::printf("================================================================\n");
+  std::printf("%s — reproducing %s\n", experiment, paper_artifact);
+  std::printf("paper shape: %s\n", expected_shape);
+  std::printf("================================================================\n");
+}
+
+/// Runs the registered google-benchmark sweeps after the shape table.
+inline int RunBenchmarks(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace arc::bench
+
+#define ARC_BENCH_MAIN(ShapeFn)              \
+  int main(int argc, char** argv) {          \
+    ShapeFn();                               \
+    return arc::bench::RunBenchmarks(argc, argv); \
+  }
+
+#endif  // ARC_BENCH_BENCH_UTIL_H_

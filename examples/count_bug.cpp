@@ -1,0 +1,124 @@
+// The count bug (§3.2, Fig. 21) end to end: the original nested query, the
+// classic incorrect decorrelation, and the correct left-join decorrelation
+// — each shown in SQL and in ARC's three modalities, executed on the
+// paper's instance R = {(9,0)}, S = ∅, and compared as *patterns*.
+//
+// Writes higraph renderings (DOT + SVG) to the current directory.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "data/generators.h"
+#include "eval/evaluator.h"
+#include "higraph/higraph.h"
+#include "pattern/pattern.h"
+#include "sql/eval.h"
+#include "text/parser.h"
+#include "text/printer.h"
+#include "translate/sql_to_arc.h"
+
+namespace {
+
+struct Variant {
+  const char* name;
+  const char* sql;
+  const char* arc;
+};
+
+constexpr Variant kVariants[] = {
+    {"original (Fig. 21a / Eq. 27)",
+     "select R.id from R where R.q = "
+     "(select count(S.d) from S where S.id = R.id)",
+     "{Q(id) | exists r in R [Q.id = r.id and exists s in S, gamma() "
+     "[r.id = s.id and r.q = count(s.d)]]}"},
+    {"incorrect decorrelation (Fig. 21b / Eq. 28)",
+     "select R.id from R, (select S.id, count(S.d) ct from S group by S.id) X "
+     "where R.id = X.id and R.q = X.ct",
+     "{Q(id) | exists r in R, x in {X(id, ct) | exists s in S, gamma(s.id) "
+     "[X.id = s.id and X.ct = count(s.d)]} "
+     "[Q.id = r.id and r.id = x.id and r.q = x.ct]}"},
+    {"correct decorrelation (Fig. 21c / Eq. 29)",
+     "select R.id from R, (select R2.id, count(S.d) ct from R R2 left join S "
+     "on R2.id = S.id group by R2.id) X where R.id = X.id and R.q = X.ct",
+     "{Q(id) | exists r in R, x in {X(id, ct) | exists s in S, r2 in R, "
+     "gamma(r2.id), left(r2, s) [X.id = r2.id and X.ct = count(s.d) and "
+     "r2.id = s.id]} [Q.id = r.id and r.id = x.id and r.q = x.ct]}"},
+};
+
+}  // namespace
+
+int main() {
+  arc::data::Database db = arc::data::CountBugInstance();
+  std::printf("instance: R(id,q) = {(9,0)},  S(id,d) = {}\n\n");
+
+  arc::sql::SqlEvaluator direct(db);
+  for (const Variant& v : kVariants) {
+    std::printf("=== %s ===\n", v.name);
+    std::printf("SQL: %s\n", v.sql);
+    auto sql_result = direct.EvalQuery(v.sql);
+    if (!sql_result.ok()) {
+      std::printf("SQL evaluation failed: %s\n",
+                  sql_result.status().ToString().c_str());
+      return 1;
+    }
+    auto program = arc::text::ParseProgram(v.arc);
+    if (!program.ok()) {
+      std::printf("parse failed: %s\n", program.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("ARC: %s\n", arc::text::PrintProgram(*program).c_str());
+    arc::eval::EvalOptions eopts;
+    eopts.conventions = arc::Conventions::Sql();
+    auto arc_result = arc::eval::Eval(db, *program, eopts);
+    if (!arc_result.ok()) {
+      std::printf("ARC evaluation failed: %s\n",
+                  arc_result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("SQL result: %lld row(s); ARC result: %lld row(s); agree: %s\n",
+                static_cast<long long>(sql_result->size()),
+                static_cast<long long>(arc_result->size()),
+                sql_result->EqualsBag(*arc_result) ? "yes" : "no");
+    std::printf("%s\n", arc_result->ToString().c_str());
+
+    // Write the higraph artifacts.
+    auto hg = arc::higraph::Build(*program);
+    if (hg.ok()) {
+      const std::string base =
+          v.name[0] == 'o' ? "count_bug_original"
+                           : (v.name[0] == 'i' ? "count_bug_incorrect"
+                                               : "count_bug_correct");
+      std::ofstream(base + ".dot") << arc::higraph::ToDot(*hg);
+      std::ofstream(base + ".svg") << arc::higraph::ToSvg(*hg);
+      std::printf("higraph written to %s.dot / %s.svg\n", base.c_str(),
+                  base.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // The whole point: the paper says the bug becomes *sayable* at the
+  // pattern level. Compare the three as patterns.
+  auto p0 = arc::text::ParseProgram(kVariants[0].arc);
+  auto p1 = arc::text::ParseProgram(kVariants[1].arc);
+  auto p2 = arc::text::ParseProgram(kVariants[2].arc);
+  std::printf("pattern analysis:\n");
+  std::printf("  original:  %s\n",
+              arc::pattern::ExtractFeatures(*p0).ToString().c_str());
+  std::printf("  incorrect: %s\n",
+              arc::pattern::ExtractFeatures(*p1).ToString().c_str());
+  std::printf("  correct:   %s\n",
+              arc::pattern::ExtractFeatures(*p2).ToString().c_str());
+  std::printf("  similarity(original, incorrect) = %.3f\n",
+              arc::pattern::Similarity(*p0, *p1));
+  std::printf("  similarity(original, correct)   = %.3f\n",
+              arc::pattern::Similarity(*p0, *p2));
+  std::printf("  similarity(incorrect, correct)  = %.3f\n",
+              arc::pattern::Similarity(*p1, *p2));
+  std::printf(
+      "\nDiagnosis in ARC vocabulary: the original uses the aggregate as a "
+      "comparison\npredicate inside a correlated γ∅ scope (one group even "
+      "when S is empty);\nthe incorrect rewrite groups by s.id, so empty ids "
+      "produce no group;\nthe correct rewrite restores them with a left join "
+      "annotation.\n");
+  return 0;
+}

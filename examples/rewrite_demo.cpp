@@ -1,0 +1,86 @@
+// Pattern rewriting with convention-aware legality (§2.7, §3.2): the
+// library can transform relational patterns and *knows when it may not*.
+//
+//  1. Existential unnesting: legal under set semantics, refused under bag
+//     semantics — and we show the bag-divergence the refusal prevents.
+//  2. Correlated-aggregation decorrelation: Eq. (27) → Eq. (29), the
+//     count-bug-safe rewrite, verified on the paper's instance.
+#include <cstdio>
+
+#include "data/generators.h"
+#include "eval/evaluator.h"
+#include "rewrite/rewriter.h"
+#include "text/parser.h"
+#include "text/printer.h"
+
+int main() {
+  // ---- 1. set-only unnesting (§2.7) ------------------------------------
+  std::printf("—— existential unnesting is a set-only rewrite (§2.7) ——\n");
+  const char* nested =
+      "{Q(A) | exists r in R [exists s in S [Q.A = r.A and r.B = s.B]]}";
+  auto program = arc::text::ParseProgram(nested);
+  if (!program.ok()) return 1;
+  std::printf("nested:   %s\n", nested);
+
+  auto refused =
+      arc::rewrite::UnnestExistentialScopes(*program, arc::Conventions::Sql());
+  std::printf("under bag conventions: %s\n",
+              refused.ok() ? "(unexpectedly allowed)"
+                           : refused.status().message().c_str());
+
+  auto unnested =
+      arc::rewrite::UnnestExistentialScopes(*program, arc::Conventions::Arc());
+  if (!unnested.ok()) return 1;
+  std::printf("under set conventions: unnested (%d site) → %s\n",
+              unnested->applications,
+              arc::text::PrintProgram(unnested->program).c_str());
+
+  // Demonstrate the divergence the refusal prevents: S has duplicate
+  // B-values.
+  arc::data::Database db;
+  arc::data::Relation r(arc::data::Schema{"A", "B"});
+  r.Add({arc::data::Value::Int(1), arc::data::Value::Int(5)});
+  db.Put("R", std::move(r));
+  arc::data::Relation s(arc::data::Schema{"B"});
+  for (int i = 0; i < 3; ++i) s.Add({arc::data::Value::Int(5)});
+  db.Put("S", std::move(s));
+  arc::eval::EvalOptions bag;
+  bag.conventions = arc::Conventions::Sql();
+  auto nested_bag = arc::eval::Eval(db, *program, bag);
+  auto unnested_bag = arc::eval::Eval(db, unnested->program, bag);
+  if (nested_bag.ok() && unnested_bag.ok()) {
+    std::printf(
+        "bag multiplicities: nested = %lld row(s) (semijoin-like), "
+        "unnested = %lld row(s) (per pair) — hence the refusal\n\n",
+        static_cast<long long>(nested_bag->size()),
+        static_cast<long long>(unnested_bag->size()));
+  }
+
+  // ---- 2. count-bug-safe decorrelation (§3.2) ---------------------------
+  std::printf("—— decorrelation without the count bug (§3.2) ——\n");
+  const char* correlated =
+      "{Q(id) | exists r in R [Q.id = r.id and exists s in S, gamma() "
+      "[r.id = s.id and r.q = count(s.d)]]}";
+  auto original = arc::text::ParseProgram(correlated);
+  if (!original.ok()) return 1;
+  std::printf("correlated (Eq. 27):\n  %s\n", correlated);
+  arc::rewrite::RewriteResult rewritten =
+      arc::rewrite::DecorrelateAggregation(*original);
+  std::printf("decorrelated (Eq. 29 shape, %d site):\n  %s\n",
+              rewritten.applications,
+              arc::text::PrintProgram(rewritten.program).c_str());
+
+  arc::data::Database paper = arc::data::CountBugInstance();
+  auto before = arc::eval::Eval(paper, *original, bag);
+  auto after = arc::eval::Eval(paper, rewritten.program, bag);
+  if (before.ok() && after.ok()) {
+    std::printf(
+        "paper instance R(9,0), S=∅: original %lld row(s), decorrelated "
+        "%lld row(s) — %s\n",
+        static_cast<long long>(before->size()),
+        static_cast<long long>(after->size()),
+        before->EqualsBag(*after) ? "the empty group survives (no count bug)"
+                                  : "DIVERGED");
+  }
+  return 0;
+}

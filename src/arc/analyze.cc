@@ -1,0 +1,712 @@
+#include "arc/analyze.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace arc {
+
+namespace {
+
+using Severity = Diagnostic::Severity;
+
+struct CaseInsensitiveLess {
+  bool operator()(const std::string& a, const std::string& b) const {
+    return ToLower(a) < ToLower(b);
+  }
+};
+using NameSet = std::set<std::string, CaseInsensitiveLess>;
+
+/// If `f` is an assignment-shaped predicate for head `head_name`
+/// (H.attr = term or term = H.attr, term not referencing H), returns the
+/// assigned attribute name.
+std::optional<std::string> AssignmentAttr(const Formula& f,
+                                          const std::string& head_name) {
+  if (f.kind != FormulaKind::kPredicate || f.cmp_op != data::CmpOp::kEq) {
+    return std::nullopt;
+  }
+  auto is_head_ref = [&](const TermPtr& t) {
+    return t && t->kind == TermKind::kAttrRef &&
+           EqualsIgnoreCase(t->var, head_name);
+  };
+  const bool l = is_head_ref(f.lhs);
+  const bool r = is_head_ref(f.rhs);
+  if (l == r) return std::nullopt;  // both or neither
+  const TermPtr& head_side = l ? f.lhs : f.rhs;
+  const TermPtr& value_side = l ? f.rhs : f.lhs;
+  if (value_side && value_side->References(head_name)) return std::nullopt;
+  return head_side->attr;
+}
+
+/// Head attributes guaranteed to be assigned by `f` in every disjunct.
+void GuaranteedAssigned(const Formula& f, const std::string& head_name,
+                        NameSet* out) {
+  switch (f.kind) {
+    case FormulaKind::kPredicate: {
+      auto attr = AssignmentAttr(f, head_name);
+      if (attr.has_value()) out->insert(*attr);
+      return;
+    }
+    case FormulaKind::kAnd:
+      for (const FormulaPtr& c : f.children) {
+        GuaranteedAssigned(*c, head_name, out);
+      }
+      return;
+    case FormulaKind::kOr: {
+      bool first = true;
+      NameSet acc;
+      for (const FormulaPtr& c : f.children) {
+        NameSet child;
+        GuaranteedAssigned(*c, head_name, &child);
+        if (first) {
+          acc = std::move(child);
+          first = false;
+        } else {
+          NameSet merged;
+          for (const std::string& a : acc) {
+            if (child.count(a) > 0) merged.insert(a);
+          }
+          acc = std::move(merged);
+        }
+      }
+      for (const std::string& a : acc) out->insert(a);
+      return;
+    }
+    case FormulaKind::kExists:
+      if (f.quantifier && f.quantifier->body) {
+        GuaranteedAssigned(*f.quantifier->body, head_name, out);
+      }
+      return;
+    case FormulaKind::kNot:
+    case FormulaKind::kNullTest:
+      return;
+  }
+}
+
+class Analyzer {
+ public:
+  Analyzer(const Program& program, const AnalyzeOptions& options)
+      : program_(program), options_(options) {
+    if (options.externals == nullptr) {
+      default_externals_ = ExternalRegistry::Builtins();
+      externals_ = &default_externals_;
+    } else {
+      externals_ = options.externals;
+    }
+    unknown_is_error_ = options.unknown_relation_is_error.value_or(
+        options.database != nullptr);
+  }
+
+  Analysis Run() {
+    for (const Definition& def : program_.definitions) {
+      if (!def.collection) {
+        Error("definition without a collection");
+        continue;
+      }
+      AnalyzeCollection(*def.collection, def.kind == DefKind::kAbstract);
+      defs_.push_back(&def);
+    }
+    if (program_.main.collection) {
+      AnalyzeCollection(*program_.main.collection, /*is_abstract=*/false);
+    } else if (program_.main.sentence) {
+      Ctx ctx;
+      AnalyzeFormula(*program_.main.sentence, ctx);
+    } else {
+      Error("program has no main query");
+    }
+    return std::move(analysis_);
+  }
+
+ private:
+  struct Layer {
+    enum class Kind { kHead, kVars };
+    Kind kind = Kind::kVars;
+    // kHead
+    const Collection* collection = nullptr;
+    bool is_abstract = false;
+    int negation_depth_at_push = 0;
+    // kVars
+    const Quantifier* quantifier = nullptr;
+    bool has_grouping = false;
+    std::vector<std::pair<std::string, const Binding*>> vars;
+  };
+
+  struct Ctx {
+    const Quantifier* innermost_quant = nullptr;
+    bool innermost_has_grouping = false;
+    bool under_or_in_scope = false;
+  };
+
+  void Error(std::string message) {
+    analysis_.diagnostics.push_back({Severity::kError, std::move(message)});
+  }
+  void Warn(std::string message) {
+    analysis_.diagnostics.push_back({Severity::kWarning, std::move(message)});
+  }
+
+  // ---- lookups -----------------------------------------------------------
+
+  const Layer* InnermostHeadLayer() const {
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      if (it->kind == Layer::Kind::kHead) return &*it;
+    }
+    return nullptr;
+  }
+
+  /// Resolves a variable name: bindings shadow heads which shadow outer
+  /// bindings, innermost first. Fills `info` on success.
+  bool LookupVar(const std::string& name, AttrInfo* info) const {
+    int distance = 0;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      if (it->kind == Layer::Kind::kVars) {
+        for (const auto& [var, binding] : it->vars) {
+          if (EqualsIgnoreCase(var, name)) {
+            info->target = AttrTarget::kBinding;
+            info->binding = binding;
+            info->head_of = nullptr;
+            info->scope_distance = distance;
+            return true;
+          }
+        }
+        ++distance;
+      } else if (EqualsIgnoreCase(it->collection->head.relation, name)) {
+        info->target = AttrTarget::kHead;
+        info->binding = nullptr;
+        info->head_of = it->collection;
+        info->scope_distance = distance;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Classifies a named range. Order: enclosing heads (recursion), program
+  /// definitions, database, externals.
+  BindingInfo ClassifyNamedRange(const std::string& name) {
+    BindingInfo info;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      if (it->kind == Layer::Kind::kHead &&
+          EqualsIgnoreCase(it->collection->head.relation, name)) {
+        info.range_class = RangeClass::kSelf;
+        info.attrs = it->collection->head.attrs;
+        analysis_.collections[it->collection].is_recursive = true;
+        // Stratification: the self-reference must be positive and outside
+        // grouping scopes of the recursive collection.
+        if (negation_depth_ > it->negation_depth_at_push) {
+          Error("recursive reference to '" + name + "' under negation");
+        }
+        for (auto jt = layers_.rbegin(); jt != it; ++jt) {
+          if (jt->kind == Layer::Kind::kVars && jt->has_grouping) {
+            Error("recursive reference to '" + name +
+                  "' inside a grouping scope");
+            break;
+          }
+        }
+        return info;
+      }
+    }
+    for (const Definition* def : defs_) {
+      if (EqualsIgnoreCase(def->collection->head.relation, name)) {
+        info.range_class = def->kind == DefKind::kAbstract
+                               ? RangeClass::kAbstract
+                               : RangeClass::kIntensional;
+        info.attrs = def->collection->head.attrs;
+        return info;
+      }
+    }
+    if (options_.database != nullptr && options_.database->Has(name)) {
+      info.range_class = RangeClass::kBase;
+      auto rel = options_.database->Get(name);
+      if (rel.ok()) info.attrs = rel->schema().names();
+      return info;
+    }
+    if (const ExternalRelation* ext = externals_->Find(name)) {
+      info.range_class = RangeClass::kExternal;
+      info.attrs = ext->schema().names();
+      return info;
+    }
+    info.range_class = RangeClass::kUnknown;
+    if (unknown_is_error_) {
+      Error("unknown relation '" + name + "'");
+    } else {
+      Warn("relation '" + name + "' not resolvable against the given context");
+    }
+    return info;
+  }
+
+  // ---- term resolution -----------------------------------------------
+
+  /// Resolves all attribute references in `t`. `in_agg_arg` marks subterms
+  /// inside an aggregate argument.
+  void ResolveTerm(const Term& t, const Ctx& ctx, bool in_agg_arg) {
+    switch (t.kind) {
+      case TermKind::kAttrRef: {
+        AttrInfo info;
+        if (!LookupVar(t.var, &info)) {
+          Error("unbound variable '" + t.var + "' in reference " + t.var +
+                "." + t.attr);
+          return;
+        }
+        if (info.target == AttrTarget::kBinding) {
+          const auto& battrs = analysis_.bindings[info.binding].attrs;
+          if (!battrs.empty()) {
+            bool found = false;
+            for (const std::string& a : battrs) {
+              if (EqualsIgnoreCase(a, t.attr)) found = true;
+            }
+            if (!found) {
+              Error("relation bound to '" + t.var + "' has no attribute '" +
+                    t.attr + "'");
+            }
+          }
+        } else {
+          bool found = false;
+          for (const std::string& a : info.head_of->head.attrs) {
+            if (EqualsIgnoreCase(a, t.attr)) found = true;
+          }
+          if (!found) {
+            Error("head '" + info.head_of->head.relation +
+                  "' has no attribute '" + t.attr + "'");
+          }
+          if (in_agg_arg) {
+            Error("head attribute " + t.var + "." + t.attr +
+                  " cannot appear inside an aggregate argument");
+          }
+        }
+        analysis_.attrs[&t] = info;
+        return;
+      }
+      case TermKind::kLiteral:
+        return;
+      case TermKind::kArith:
+        if (t.lhs) ResolveTerm(*t.lhs, ctx, in_agg_arg);
+        if (t.rhs) ResolveTerm(*t.rhs, ctx, in_agg_arg);
+        return;
+      case TermKind::kAggregate:
+        if (in_agg_arg) {
+          Error("nested aggregates are not allowed");
+        }
+        if (ctx.innermost_quant == nullptr || !ctx.innermost_has_grouping) {
+          Error(std::string("aggregation predicate requires a grouping "
+                            "operator in its scope (saw ") +
+                AggFuncName(t.agg_func) + " outside a grouping scope)");
+        }
+        if (t.agg_arg) {
+          ResolveTerm(*t.agg_arg, ctx, /*in_agg_arg=*/true);
+          // The aggregate should consume this scope's bindings.
+          bool touches_scope = false;
+          if (ctx.innermost_quant != nullptr) {
+            for (const Binding& b : ctx.innermost_quant->bindings) {
+              if (t.agg_arg->References(b.var)) touches_scope = true;
+            }
+          }
+          if (!touches_scope) {
+            Warn(std::string(AggFuncName(t.agg_func)) +
+                 " argument references no binding of its grouping scope");
+          }
+        } else if (t.agg_func != AggFunc::kCountStar) {
+          Error(std::string(AggFuncName(t.agg_func)) +
+                " requires an argument");
+        }
+        return;
+    }
+  }
+
+  // ---- formulas ---------------------------------------------------------
+
+  void AnalyzeFormula(const Formula& f, Ctx ctx) {
+    switch (f.kind) {
+      case FormulaKind::kAnd:
+        for (const FormulaPtr& c : f.children) AnalyzeFormula(*c, ctx);
+        return;
+      case FormulaKind::kOr: {
+        Ctx child_ctx = ctx;
+        child_ctx.under_or_in_scope = true;
+        for (const FormulaPtr& c : f.children) AnalyzeFormula(*c, child_ctx);
+        return;
+      }
+      case FormulaKind::kNot:
+        ++negation_depth_;
+        if (f.child) AnalyzeFormula(*f.child, ctx);
+        --negation_depth_;
+        return;
+      case FormulaKind::kExists:
+        AnalyzeQuantifier(*f.quantifier, ctx);
+        return;
+      case FormulaKind::kPredicate:
+        AnalyzePredicate(f, ctx);
+        return;
+      case FormulaKind::kNullTest:
+        if (f.null_arg) {
+          ResolveTerm(*f.null_arg, ctx, /*in_agg_arg=*/false);
+          if (ReferencesInnermostHead(*f.null_arg)) {
+            ClassifyHeadUse(f, ctx, /*is_assignment_shape=*/false);
+            return;
+          }
+        }
+        analysis_.predicates[&f] = PredClass::kNullFilter;
+        return;
+    }
+  }
+
+  bool ReferencesInnermostHead(const Term& t) const {
+    const Layer* head = InnermostHeadLayer();
+    return head != nullptr && t.References(head->collection->head.relation);
+  }
+
+  /// Handles predicates that touch the enclosing head in a non-assignment
+  /// way: legal as module parameters of abstract relations, errors
+  /// otherwise.
+  void ClassifyHeadUse(const Formula& f, const Ctx& ctx,
+                       bool is_assignment_shape) {
+    (void)ctx;
+    (void)is_assignment_shape;
+    const Layer* head = InnermostHeadLayer();
+    if (head != nullptr && head->is_abstract) {
+      analysis_.predicates[&f] = PredClass::kHeadParameter;
+      return;
+    }
+    analysis_.predicates[&f] = PredClass::kFilter;
+    Error("head attribute of '" +
+          (head != nullptr ? head->collection->head.relation
+                           : std::string("?")) +
+          "' used outside an assignment predicate");
+  }
+
+  void AnalyzePredicate(const Formula& f, const Ctx& ctx) {
+    if (f.lhs) ResolveTerm(*f.lhs, ctx, /*in_agg_arg=*/false);
+    if (f.rhs) ResolveTerm(*f.rhs, ctx, /*in_agg_arg=*/false);
+
+    const Layer* head = InnermostHeadLayer();
+    const bool contains_agg = f.ContainsAggregate();
+    if (head != nullptr) {
+      const std::string& head_name = head->collection->head.relation;
+      auto attr = AssignmentAttr(f, head_name);
+      if (attr.has_value()) {
+        const bool positive = negation_depth_ == head->negation_depth_at_push;
+        if (!positive) {
+          if (head->is_abstract) {
+            analysis_.predicates[&f] = PredClass::kHeadParameter;
+            return;
+          }
+          analysis_.predicates[&f] = PredClass::kAssignment;
+          Error("assignment to head attribute '" + *attr +
+                "' under negation");
+          return;
+        }
+        if (ctx.under_or_in_scope) {
+          // Legal: disjunctive definitions assign per disjunct (§2.9).
+        }
+        analysis_.predicates[&f] =
+            contains_agg ? PredClass::kAggAssignment : PredClass::kAssignment;
+        // In a grouping scope, every assignment's non-aggregate inputs must
+        // be grouping keys or outer references (§2.5).
+        if (ctx.innermost_has_grouping) {
+          CheckAggAssignmentInputs(f, ctx, head_name);
+        }
+        return;
+      }
+      const bool touches_head =
+          (f.lhs && f.lhs->References(head_name)) ||
+          (f.rhs && f.rhs->References(head_name));
+      if (touches_head) {
+        ClassifyHeadUse(f, ctx, /*is_assignment_shape=*/false);
+        return;
+      }
+    }
+    analysis_.predicates[&f] =
+        contains_agg ? PredClass::kAggFilter : PredClass::kFilter;
+  }
+
+  /// For Q.x = <term with aggregates>: non-aggregate attribute references
+  /// in the value term must be grouping keys or outer references.
+  void CheckAggAssignmentInputs(const Formula& f, const Ctx& ctx,
+                                const std::string& head_name) {
+    if (ctx.innermost_quant == nullptr ||
+        !ctx.innermost_quant->grouping.has_value()) {
+      return;  // already reported by ResolveTerm
+    }
+    const Grouping& grouping = *ctx.innermost_quant->grouping;
+    // Only check when every key is a plain attribute reference.
+    for (const TermPtr& k : grouping.keys) {
+      if (k->kind != TermKind::kAttrRef) return;
+    }
+    auto is_key = [&](const Term& t) {
+      for (const TermPtr& k : grouping.keys) {
+        if (EqualsIgnoreCase(k->var, t.var) &&
+            EqualsIgnoreCase(k->attr, t.attr)) {
+          return true;
+        }
+      }
+      return false;
+    };
+    auto is_scope_var = [&](const std::string& var) {
+      for (const Binding& b : ctx.innermost_quant->bindings) {
+        if (EqualsIgnoreCase(b.var, var)) return true;
+      }
+      return false;
+    };
+    // Walk the value side, skipping aggregate arguments and head refs.
+    std::vector<const Term*> stack;
+    auto push = [&](const TermPtr& t) {
+      if (t) stack.push_back(t.get());
+    };
+    push(f.lhs);
+    push(f.rhs);
+    while (!stack.empty()) {
+      const Term* t = stack.back();
+      stack.pop_back();
+      switch (t->kind) {
+        case TermKind::kAttrRef:
+          if (EqualsIgnoreCase(t->var, head_name)) break;
+          if (!is_key(*t) && is_scope_var(t->var)) {
+            Error("attribute " + t->var + "." + t->attr +
+                  " used in an aggregation scope but is not a grouping key");
+          }
+          break;
+        case TermKind::kArith:
+          push(t->lhs);
+          push(t->rhs);
+          break;
+        case TermKind::kAggregate:
+        case TermKind::kLiteral:
+          break;
+      }
+    }
+  }
+
+  // ---- quantifiers --------------------------------------------------------
+
+  void AnalyzeQuantifier(const Quantifier& q, Ctx outer_ctx) {
+    Layer layer;
+    layer.kind = Layer::Kind::kVars;
+    layer.quantifier = &q;
+    layer.has_grouping = q.grouping.has_value();
+    layers_.push_back(std::move(layer));
+    const size_t layer_index = layers_.size() - 1;
+
+    if (q.bindings.empty()) Error("quantifier scope with no bindings");
+
+    for (const Binding& b : q.bindings) {
+      // Duplicate variables within the scope.
+      for (const auto& [var, other] : layers_[layer_index].vars) {
+        (void)other;
+        if (EqualsIgnoreCase(var, b.var)) {
+          Error("duplicate range variable '" + b.var + "' in one quantifier");
+        }
+      }
+      // Shadowing checks.
+      AttrInfo shadow;
+      if (LookupVar(b.var, &shadow)) {
+        if (shadow.target == AttrTarget::kHead) {
+          Error("range variable '" + b.var +
+                "' shadows the head of its collection");
+        } else {
+          Warn("range variable '" + b.var + "' shadows an outer binding");
+        }
+      }
+      BindingInfo info;
+      if (b.range_kind == RangeKind::kNamed) {
+        info = ClassifyNamedRange(b.relation);
+      } else {
+        info.range_class = RangeClass::kNestedCollection;
+        if (b.collection) {
+          info.attrs = b.collection->head.attrs;
+          // Analyzed with already-introduced siblings visible (lateral).
+          AnalyzeCollection(*b.collection, /*is_abstract=*/false);
+        } else {
+          Error("collection binding '" + b.var + "' without a collection");
+        }
+      }
+      analysis_.bindings[&b] = std::move(info);
+      layers_[layer_index].vars.emplace_back(b.var, &b);
+    }
+
+    Ctx ctx;
+    ctx.innermost_quant = &q;
+    ctx.innermost_has_grouping = q.grouping.has_value();
+    ctx.under_or_in_scope = false;
+    (void)outer_ctx;
+
+    if (q.grouping.has_value()) {
+      for (const TermPtr& k : q.grouping->keys) {
+        ResolveTerm(*k, ctx, /*in_agg_arg=*/false);
+        if (k->ContainsAggregate()) {
+          Error("grouping key contains an aggregate");
+        }
+      }
+    }
+
+    if (q.join_tree) CheckJoinTree(*q.join_tree, q);
+
+    if (q.body) {
+      AnalyzeFormula(*q.body, ctx);
+    } else {
+      Error("quantifier scope with no body");
+    }
+
+    layers_.pop_back();
+  }
+
+  void CheckJoinTree(const JoinNode& tree, const Quantifier& q) {
+    NameSet seen;
+    CheckJoinNode(tree, q, &seen);
+  }
+
+  void CheckJoinNode(const JoinNode& n, const Quantifier& q, NameSet* seen) {
+    switch (n.kind) {
+      case JoinKind::kVarLeaf: {
+        bool found = false;
+        for (const Binding& b : q.bindings) {
+          if (EqualsIgnoreCase(b.var, n.var)) found = true;
+        }
+        if (!found) {
+          Error("join annotation references '" + n.var +
+                "', which is not bound in its scope");
+        }
+        if (!seen->insert(n.var).second) {
+          Error("join annotation mentions '" + n.var + "' twice");
+        }
+        return;
+      }
+      case JoinKind::kLiteralLeaf:
+        return;
+      case JoinKind::kInner:
+        if (n.children.empty()) Error("inner join annotation with no children");
+        break;
+      case JoinKind::kLeft:
+      case JoinKind::kFull:
+        if (n.children.size() != 2) {
+          Error("left/full join annotations are binary");
+        }
+        break;
+    }
+    for (const JoinNodePtr& c : n.children) CheckJoinNode(*c, q, seen);
+  }
+
+  // ---- collections ---------------------------------------------------------
+
+  void AnalyzeCollection(const Collection& c, bool is_abstract) {
+    CollectionInfo& cinfo = analysis_.collections[&c];
+    cinfo.is_abstract = is_abstract;
+
+    if (c.head.relation.empty()) Error("collection head has no relation name");
+    if (c.head.attrs.empty()) {
+      Error("collection head '" + c.head.relation + "' has no attributes");
+    }
+    NameSet attr_names;
+    for (const std::string& a : c.head.attrs) {
+      if (!attr_names.insert(a).second) {
+        Error("duplicate head attribute '" + a + "' in '" + c.head.relation +
+              "'");
+      }
+    }
+
+    Layer layer;
+    layer.kind = Layer::Kind::kHead;
+    layer.collection = &c;
+    layer.is_abstract = is_abstract;
+    layer.negation_depth_at_push = negation_depth_;
+    layers_.push_back(std::move(layer));
+
+    if (c.body) {
+      Ctx ctx;
+      AnalyzeFormula(*c.body, ctx);
+      if (!is_abstract) {
+        NameSet assigned;
+        GuaranteedAssigned(*c.body, c.head.relation, &assigned);
+        for (const std::string& a : c.head.attrs) {
+          if (assigned.count(a) == 0) {
+            Error("head attribute '" + c.head.relation + "." + a +
+                  "' is not assigned in every disjunct (unsafe head)");
+          }
+        }
+      }
+    } else {
+      Error("collection '" + c.head.relation + "' has no body");
+    }
+
+    layers_.pop_back();
+  }
+
+  const Program& program_;
+  const AnalyzeOptions& options_;
+  ExternalRegistry default_externals_;
+  const ExternalRegistry* externals_ = nullptr;
+  bool unknown_is_error_ = false;
+
+  Analysis analysis_;
+  std::vector<Layer> layers_;
+  std::vector<const Definition*> defs_;
+  int negation_depth_ = 0;
+};
+
+}  // namespace
+
+const char* RangeClassName(RangeClass c) {
+  switch (c) {
+    case RangeClass::kBase:
+      return "base";
+    case RangeClass::kIntensional:
+      return "intensional";
+    case RangeClass::kAbstract:
+      return "abstract";
+    case RangeClass::kExternal:
+      return "external";
+    case RangeClass::kSelf:
+      return "self";
+    case RangeClass::kNestedCollection:
+      return "nested";
+    case RangeClass::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+const char* PredClassName(PredClass c) {
+  switch (c) {
+    case PredClass::kFilter:
+      return "filter";
+    case PredClass::kAssignment:
+      return "assignment";
+    case PredClass::kAggAssignment:
+      return "agg-assignment";
+    case PredClass::kAggFilter:
+      return "agg-filter";
+    case PredClass::kNullFilter:
+      return "null-filter";
+    case PredClass::kHeadParameter:
+      return "head-parameter";
+  }
+  return "?";
+}
+
+std::vector<std::string> Analysis::ErrorMessages() const {
+  std::vector<std::string> out;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) out.push_back(d.message);
+  }
+  return out;
+}
+
+std::string Analysis::DiagnosticsToString() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.severity == Severity::kError ? "error: " : "warning: ";
+    out += d.message;
+    out += "\n";
+  }
+  return out;
+}
+
+Analysis Analyze(const Program& program, const AnalyzeOptions& options) {
+  return Analyzer(program, options).Run();
+}
+
+Status Validate(const Program& program, const AnalyzeOptions& options) {
+  Analysis analysis = Analyze(program, options);
+  if (analysis.ok()) return Status::Ok();
+  return ValidationError(Join(analysis.ErrorMessages(), "; "));
+}
+
+}  // namespace arc

@@ -1,0 +1,132 @@
+// Resolution ("linking", §2.2) and validation of an ARC program.
+//
+// The resolver performs the step that turns the ALT into the hierarchical
+// graph the paper calls an Abstract Language Higraph: every attribute
+// reference is linked to the binding (or enclosing collection head) that
+// declares it, every named range is classified (base / intensional /
+// abstract / external / recursive self-reference / nested collection), and
+// every predicate is classified (filter, assignment predicate, aggregation
+// predicate, §2.1/§2.5).
+//
+// The validator enforces ARC's structural rules — the checks the paper
+// proposes for validating machine-generated queries (§4 "well-scoped
+// variables, grouping legality, correlation shape"):
+//   * every referenced variable is bound in an enclosing scope,
+//   * heads are clean: every head attribute is assigned in every disjunct,
+//     and never under negation (except for abstract-relation parameters),
+//   * an aggregation predicate requires a grouping operator in its scope,
+//     and its non-aggregate inputs are grouping keys or outer references,
+//   * join-annotation trees mention each bound variable at most once,
+//   * recursive self-references are positive (stratified) and not inside
+//     grouping scopes.
+#ifndef ARC_ARC_ANALYZE_H_
+#define ARC_ARC_ANALYZE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arc/ast.h"
+#include "arc/external.h"
+#include "common/status.h"
+#include "data/database.h"
+
+namespace arc {
+
+/// Classification of what a named (or nested) range refers to (Fig. 14).
+enum class RangeClass {
+  kBase,              // extensional relation in the database
+  kIntensional,       // program definition, safe (view/CTE/IDB)
+  kAbstract,          // program definition, abstract module (§2.13.2)
+  kExternal,          // built-in with access patterns (§2.13.1)
+  kSelf,              // recursion: the collection's own head (§2.9)
+  kNestedCollection,  // inline comprehension binding
+  kUnknown,           // not resolvable against the provided context
+};
+const char* RangeClassName(RangeClass c);
+
+/// Predicate classification (derived, never part of the surface syntax).
+enum class PredClass {
+  kFilter,         // ordinary comparison predicate
+  kAssignment,     // Q.attr = term (assignment predicate, §2.1)
+  kAggAssignment,  // Q.attr = agg(...) (aggregation-as-value, §2.5)
+  kAggFilter,      // aggregate used as a test, e.g. r.q <= count(s.d)
+  kNullFilter,     // IS [NOT] NULL test
+  kHeadParameter,  // head attr used as module parameter (abstract relations)
+};
+const char* PredClassName(PredClass c);
+
+/// Where an attribute reference points after linking.
+enum class AttrTarget { kBinding, kHead };
+
+struct AttrInfo {
+  AttrTarget target = AttrTarget::kBinding;
+  const Binding* binding = nullptr;      // kBinding
+  const Collection* head_of = nullptr;   // kHead
+  /// Number of quantifier scopes between the use and the declaration
+  /// (0 = same scope). Nonzero distances are correlations.
+  int scope_distance = 0;
+};
+
+struct BindingInfo {
+  RangeClass range_class = RangeClass::kUnknown;
+  /// Attribute names of the bound relation when known (schema of the base
+  /// relation, head attrs of a definition / nested collection, schema of an
+  /// external relation). Empty when unknown.
+  std::vector<std::string> attrs;
+};
+
+struct CollectionInfo {
+  bool is_recursive = false;
+  bool is_abstract = false;
+};
+
+struct Diagnostic {
+  enum class Severity { kError, kWarning };
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+/// The side tables produced by analysis, keyed by node address (valid while
+/// the analyzed Program is alive and unmodified).
+struct Analysis {
+  std::unordered_map<const Term*, AttrInfo> attrs;
+  std::unordered_map<const Binding*, BindingInfo> bindings;
+  std::unordered_map<const Formula*, PredClass> predicates;
+  std::unordered_map<const Collection*, CollectionInfo> collections;
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const {
+    for (const Diagnostic& d : diagnostics) {
+      if (d.severity == Diagnostic::Severity::kError) return false;
+    }
+    return true;
+  }
+  std::vector<std::string> ErrorMessages() const;
+  std::string DiagnosticsToString() const;
+};
+
+struct AnalyzeOptions {
+  /// Optional: resolve base relations (and their attributes) against this
+  /// database. Without it, unknown names produce warnings, not errors.
+  const data::Database* database = nullptr;
+  /// Optional: resolve external relations. Defaults to the builtins when
+  /// null.
+  const ExternalRegistry* externals = nullptr;
+  /// Treat unresolvable relation names as errors (on by default when a
+  /// database is provided).
+  std::optional<bool> unknown_relation_is_error;
+};
+
+/// Runs resolution + validation. The returned Analysis always carries the
+/// (partial) resolution and all diagnostics; check `ok()`.
+Analysis Analyze(const Program& program, const AnalyzeOptions& options = {});
+
+/// Convenience: OK iff Analyze reports no error diagnostics; the Status
+/// message concatenates the errors otherwise.
+Status Validate(const Program& program, const AnalyzeOptions& options = {});
+
+}  // namespace arc
+
+#endif  // ARC_ARC_ANALYZE_H_

@@ -1,0 +1,365 @@
+#include "arc/ast.h"
+
+#include "common/strings.h"
+
+namespace arc {
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kCountStar:
+      return "count*";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kCountDistinct:
+      return "countdistinct";
+    case AggFunc::kSumDistinct:
+      return "sumdistinct";
+    case AggFunc::kAvgDistinct:
+      return "avgdistinct";
+  }
+  return "?";
+}
+
+std::optional<AggFunc> AggFuncFromName(std::string_view name) {
+  static constexpr std::pair<const char*, AggFunc> kTable[] = {
+      {"count", AggFunc::kCount},
+      {"count*", AggFunc::kCountStar},
+      {"sum", AggFunc::kSum},
+      {"avg", AggFunc::kAvg},
+      {"average", AggFunc::kAvg},
+      {"min", AggFunc::kMin},
+      {"max", AggFunc::kMax},
+      {"countdistinct", AggFunc::kCountDistinct},
+      {"sumdistinct", AggFunc::kSumDistinct},
+      {"avgdistinct", AggFunc::kAvgDistinct},
+  };
+  for (const auto& [n, f] : kTable) {
+    if (EqualsIgnoreCase(name, n)) return f;
+  }
+  return std::nullopt;
+}
+
+bool IsDistinctAgg(AggFunc f) {
+  return f == AggFunc::kCountDistinct || f == AggFunc::kSumDistinct ||
+         f == AggFunc::kAvgDistinct;
+}
+
+// ---------------------------------------------------------------------------
+// Terms
+// ---------------------------------------------------------------------------
+
+TermPtr Term::Clone() const {
+  auto out = std::make_unique<Term>();
+  out->kind = kind;
+  out->var = var;
+  out->attr = attr;
+  out->literal = literal;
+  out->arith_op = arith_op;
+  if (lhs) out->lhs = lhs->Clone();
+  if (rhs) out->rhs = rhs->Clone();
+  out->agg_func = agg_func;
+  if (agg_arg) out->agg_arg = agg_arg->Clone();
+  return out;
+}
+
+bool Term::ContainsAggregate() const {
+  switch (kind) {
+    case TermKind::kAggregate:
+      return true;
+    case TermKind::kArith:
+      return (lhs && lhs->ContainsAggregate()) ||
+             (rhs && rhs->ContainsAggregate());
+    default:
+      return false;
+  }
+}
+
+bool Term::References(std::string_view var_name) const {
+  switch (kind) {
+    case TermKind::kAttrRef:
+      return EqualsIgnoreCase(var, var_name);
+    case TermKind::kLiteral:
+      return false;
+    case TermKind::kArith:
+      return (lhs && lhs->References(var_name)) ||
+             (rhs && rhs->References(var_name));
+    case TermKind::kAggregate:
+      return agg_arg && agg_arg->References(var_name);
+  }
+  return false;
+}
+
+TermPtr MakeAttrRef(std::string var, std::string attr) {
+  auto t = std::make_unique<Term>();
+  t->kind = TermKind::kAttrRef;
+  t->var = std::move(var);
+  t->attr = std::move(attr);
+  return t;
+}
+
+TermPtr MakeLiteral(data::Value v) {
+  auto t = std::make_unique<Term>();
+  t->kind = TermKind::kLiteral;
+  t->literal = std::move(v);
+  return t;
+}
+
+TermPtr MakeArith(data::ArithOp op, TermPtr lhs, TermPtr rhs) {
+  auto t = std::make_unique<Term>();
+  t->kind = TermKind::kArith;
+  t->arith_op = op;
+  t->lhs = std::move(lhs);
+  t->rhs = std::move(rhs);
+  return t;
+}
+
+TermPtr MakeAggregate(AggFunc f, TermPtr arg) {
+  auto t = std::make_unique<Term>();
+  t->kind = TermKind::kAggregate;
+  t->agg_func = f;
+  t->agg_arg = std::move(arg);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Join trees
+// ---------------------------------------------------------------------------
+
+JoinNodePtr JoinNode::Clone() const {
+  auto out = std::make_unique<JoinNode>();
+  out->kind = kind;
+  out->var = var;
+  out->literal = literal;
+  out->children.reserve(children.size());
+  for (const JoinNodePtr& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+void JoinNode::CollectVars(std::vector<std::string>* out) const {
+  if (kind == JoinKind::kVarLeaf) {
+    out->push_back(var);
+    return;
+  }
+  for (const JoinNodePtr& c : children) c->CollectVars(out);
+}
+
+JoinNodePtr MakeJoinVar(std::string var) {
+  auto n = std::make_unique<JoinNode>();
+  n->kind = JoinKind::kVarLeaf;
+  n->var = std::move(var);
+  return n;
+}
+
+JoinNodePtr MakeJoinLiteral(data::Value v) {
+  auto n = std::make_unique<JoinNode>();
+  n->kind = JoinKind::kLiteralLeaf;
+  n->literal = std::move(v);
+  return n;
+}
+
+JoinNodePtr MakeJoinInner(std::vector<JoinNodePtr> children) {
+  auto n = std::make_unique<JoinNode>();
+  n->kind = JoinKind::kInner;
+  n->children = std::move(children);
+  return n;
+}
+
+JoinNodePtr MakeJoinLeft(JoinNodePtr preserved, JoinNodePtr optional) {
+  auto n = std::make_unique<JoinNode>();
+  n->kind = JoinKind::kLeft;
+  n->children.push_back(std::move(preserved));
+  n->children.push_back(std::move(optional));
+  return n;
+}
+
+JoinNodePtr MakeJoinFull(JoinNodePtr a, JoinNodePtr b) {
+  auto n = std::make_unique<JoinNode>();
+  n->kind = JoinKind::kFull;
+  n->children.push_back(std::move(a));
+  n->children.push_back(std::move(b));
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Formulas
+// ---------------------------------------------------------------------------
+
+Binding Binding::Clone() const {
+  Binding out;
+  out.var = var;
+  out.range_kind = range_kind;
+  out.relation = relation;
+  if (collection) out.collection = collection->Clone();
+  return out;
+}
+
+Grouping Grouping::Clone() const {
+  Grouping out;
+  out.keys.reserve(keys.size());
+  for (const TermPtr& k : keys) out.keys.push_back(k->Clone());
+  return out;
+}
+
+std::unique_ptr<Quantifier> Quantifier::Clone() const {
+  auto out = std::make_unique<Quantifier>();
+  out->bindings.reserve(bindings.size());
+  for (const Binding& b : bindings) out->bindings.push_back(b.Clone());
+  if (grouping.has_value()) out->grouping = grouping->Clone();
+  if (join_tree) out->join_tree = join_tree->Clone();
+  if (body) out->body = body->Clone();
+  return out;
+}
+
+FormulaPtr Formula::Clone() const {
+  auto out = std::make_unique<Formula>();
+  out->kind = kind;
+  out->children.reserve(children.size());
+  for (const FormulaPtr& c : children) out->children.push_back(c->Clone());
+  if (child) out->child = child->Clone();
+  if (quantifier) out->quantifier = quantifier->Clone();
+  out->cmp_op = cmp_op;
+  if (lhs) out->lhs = lhs->Clone();
+  if (rhs) out->rhs = rhs->Clone();
+  if (null_arg) out->null_arg = null_arg->Clone();
+  out->null_negated = null_negated;
+  return out;
+}
+
+bool Formula::ContainsAggregate() const {
+  switch (kind) {
+    case FormulaKind::kPredicate:
+      return (lhs && lhs->ContainsAggregate()) ||
+             (rhs && rhs->ContainsAggregate());
+    case FormulaKind::kNullTest:
+      return null_arg && null_arg->ContainsAggregate();
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : children) {
+        if (c->ContainsAggregate()) return true;
+      }
+      return false;
+    case FormulaKind::kNot:
+      return child && child->ContainsAggregate();
+    case FormulaKind::kExists:
+      // Aggregates belong to the scope they appear in; a nested scope's
+      // aggregates are not *this* formula's aggregates.
+      return false;
+  }
+  return false;
+}
+
+FormulaPtr MakeAnd(std::vector<FormulaPtr> children) {
+  auto f = std::make_unique<Formula>();
+  f->kind = FormulaKind::kAnd;
+  f->children = std::move(children);
+  return f;
+}
+
+FormulaPtr MakeOr(std::vector<FormulaPtr> children) {
+  auto f = std::make_unique<Formula>();
+  f->kind = FormulaKind::kOr;
+  f->children = std::move(children);
+  return f;
+}
+
+FormulaPtr MakeNot(FormulaPtr child) {
+  auto f = std::make_unique<Formula>();
+  f->kind = FormulaKind::kNot;
+  f->child = std::move(child);
+  return f;
+}
+
+FormulaPtr MakeExists(std::unique_ptr<Quantifier> q) {
+  auto f = std::make_unique<Formula>();
+  f->kind = FormulaKind::kExists;
+  f->quantifier = std::move(q);
+  return f;
+}
+
+FormulaPtr MakePredicate(data::CmpOp op, TermPtr lhs, TermPtr rhs) {
+  auto f = std::make_unique<Formula>();
+  f->kind = FormulaKind::kPredicate;
+  f->cmp_op = op;
+  f->lhs = std::move(lhs);
+  f->rhs = std::move(rhs);
+  return f;
+}
+
+FormulaPtr MakeNullTest(TermPtr arg, bool negated) {
+  auto f = std::make_unique<Formula>();
+  f->kind = FormulaKind::kNullTest;
+  f->null_arg = std::move(arg);
+  f->null_negated = negated;
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Collections, definitions, programs
+// ---------------------------------------------------------------------------
+
+CollectionPtr Collection::Clone() const {
+  auto out = std::make_unique<Collection>();
+  out->head = head;
+  if (body) out->body = body->Clone();
+  return out;
+}
+
+CollectionPtr MakeCollection(Head head, FormulaPtr body) {
+  auto c = std::make_unique<Collection>();
+  c->head = std::move(head);
+  c->body = std::move(body);
+  return c;
+}
+
+Definition Definition::Clone() const {
+  Definition out;
+  out.kind = kind;
+  if (collection) out.collection = collection->Clone();
+  return out;
+}
+
+Query Query::Clone() const {
+  Query out;
+  if (collection) out.collection = collection->Clone();
+  if (sentence) out.sentence = sentence->Clone();
+  return out;
+}
+
+Program Program::Clone() const {
+  Program out;
+  out.definitions.reserve(definitions.size());
+  for (const Definition& d : definitions) out.definitions.push_back(d.Clone());
+  out.main = main.Clone();
+  return out;
+}
+
+const Definition* Program::FindDefinition(std::string_view name) const {
+  for (const Definition& d : definitions) {
+    if (d.collection && EqualsIgnoreCase(d.collection->head.relation, name)) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+Program MakeProgram(CollectionPtr collection) {
+  Program p;
+  p.main.collection = std::move(collection);
+  return p;
+}
+
+Program MakeSentenceProgram(FormulaPtr sentence) {
+  Program p;
+  p.main.sentence = std::move(sentence);
+  return p;
+}
+
+}  // namespace arc

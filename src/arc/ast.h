@@ -1,0 +1,270 @@
+// The Abstract Language Tree (ALT): ARC's machine-facing representation of
+// a relational query (§2.2 of the paper). The ALT is deliberately close to
+// the comprehension syntax: a COLLECTION has a HEAD and a body formula; a
+// QUANTIFIER introduces bindings (range variables over base relations,
+// defined relations, or nested collections), an optional GROUPING operator
+// γ, and an optional outer-join annotation tree; predicates are equality /
+// comparison / null-test atoms whose classification (assignment vs.
+// comparison vs. aggregation predicate) is *derived* by the resolver, not
+// stated in the surface syntax.
+//
+// Ownership: all child nodes are owned via std::unique_ptr; `Clone()`
+// performs a deep copy. Nodes are plain data (struct-style) because every
+// module in the library (printer, parser, evaluator, validator, higraph
+// builder, pattern canonicalizer, translators) needs to traverse and build
+// them freely.
+#ifndef ARC_ARC_AST_H_
+#define ARC_ARC_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+
+namespace arc {
+
+// ---------------------------------------------------------------------------
+// Aggregates
+// ---------------------------------------------------------------------------
+
+enum class AggFunc {
+  kCount,          // count(t): number of tuples where t is non-null
+  kCountStar,      // count(*): number of tuples (SQL interop)
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kCountDistinct,  // deduplicating variants (§2.5 "countdistinct")
+  kSumDistinct,
+  kAvgDistinct,
+};
+
+/// Canonical lower-case name, e.g. "sum", "countdistinct", "count*".
+const char* AggFuncName(AggFunc f);
+/// Inverse of AggFuncName (case-insensitive); nullopt if unknown.
+std::optional<AggFunc> AggFuncFromName(std::string_view name);
+/// True for the *Distinct variants.
+bool IsDistinctAgg(AggFunc f);
+
+// ---------------------------------------------------------------------------
+// Terms
+// ---------------------------------------------------------------------------
+
+struct Term;
+using TermPtr = std::unique_ptr<Term>;
+
+enum class TermKind {
+  kAttrRef,    // var.attr — range variable (or head relation) attribute
+  kLiteral,    // constant value
+  kArith,      // lhs ⊗ rhs
+  kAggregate,  // f(arg) — aggregation term; only legal in grouping scopes
+};
+
+struct Term {
+  TermKind kind = TermKind::kLiteral;
+
+  // kAttrRef
+  std::string var;   // range variable name, or the head relation name
+  std::string attr;  // attribute name
+
+  // kLiteral
+  data::Value literal;
+
+  // kArith
+  data::ArithOp arith_op = data::ArithOp::kAdd;
+  TermPtr lhs;
+  TermPtr rhs;
+
+  // kAggregate
+  AggFunc agg_func = AggFunc::kCount;
+  TermPtr agg_arg;  // null only for kCountStar
+
+  TermPtr Clone() const;
+  /// True if this term or any subterm is an aggregate.
+  bool ContainsAggregate() const;
+  /// True if this term or any subterm references `var`.
+  bool References(std::string_view var_name) const;
+};
+
+TermPtr MakeAttrRef(std::string var, std::string attr);
+TermPtr MakeLiteral(data::Value v);
+TermPtr MakeArith(data::ArithOp op, TermPtr lhs, TermPtr rhs);
+TermPtr MakeAggregate(AggFunc f, TermPtr arg);  // arg may be null for count*
+
+// ---------------------------------------------------------------------------
+// Join annotation tree (§2.11)
+// ---------------------------------------------------------------------------
+
+struct JoinNode;
+using JoinNodePtr = std::unique_ptr<JoinNode>;
+
+enum class JoinKind {
+  kVarLeaf,      // a binding's range variable
+  kLiteralLeaf,  // a literal anchor, e.g. the 11 in left(r, inner(11, s))
+  kInner,        // k-ary
+  kLeft,         // binary; children[0] preserved, children[1] optional
+  kFull,         // binary; both sides preserved
+};
+
+struct JoinNode {
+  JoinKind kind = JoinKind::kInner;
+  std::string var;              // kVarLeaf
+  data::Value literal;          // kLiteralLeaf
+  std::vector<JoinNodePtr> children;
+
+  JoinNodePtr Clone() const;
+  /// Collects the variable names of all kVarLeaf descendants, in order.
+  void CollectVars(std::vector<std::string>* out) const;
+};
+
+JoinNodePtr MakeJoinVar(std::string var);
+JoinNodePtr MakeJoinLiteral(data::Value v);
+JoinNodePtr MakeJoinInner(std::vector<JoinNodePtr> children);
+JoinNodePtr MakeJoinLeft(JoinNodePtr preserved, JoinNodePtr optional);
+JoinNodePtr MakeJoinFull(JoinNodePtr a, JoinNodePtr b);
+
+// ---------------------------------------------------------------------------
+// Formulas
+// ---------------------------------------------------------------------------
+
+struct Formula;
+using FormulaPtr = std::unique_ptr<Formula>;
+struct Collection;
+using CollectionPtr = std::unique_ptr<Collection>;
+
+enum class RangeKind {
+  kNamed,       // r ∈ R where R is a base / defined / external relation
+  kCollection,  // z ∈ { Z(..) | ... } — nested comprehension (lateral)
+};
+
+/// One range-variable binding introduced by a quantifier.
+struct Binding {
+  std::string var;
+  RangeKind range_kind = RangeKind::kNamed;
+  std::string relation;      // kNamed
+  CollectionPtr collection;  // kCollection
+
+  Binding Clone() const;
+};
+
+/// The grouping operator γ (§2.5). `keys` lists grouping-key attribute
+/// references; an empty list is γ∅ ("group by true": exactly one group,
+/// even over an empty input — the semantics the count bug hinges on).
+struct Grouping {
+  std::vector<TermPtr> keys;
+
+  Grouping Clone() const;
+};
+
+/// A quantifier scope: ∃ bindings [, γ keys] [, join annotations] [ body ].
+struct Quantifier {
+  std::vector<Binding> bindings;
+  std::optional<Grouping> grouping;
+  JoinNodePtr join_tree;  // nullptr ⇒ default k-ary inner join
+  FormulaPtr body;
+
+  std::unique_ptr<Quantifier> Clone() const;
+};
+
+enum class FormulaKind {
+  kAnd,
+  kOr,
+  kNot,
+  kExists,     // quantifier scope
+  kPredicate,  // comparison / assignment / aggregation predicate
+  kNullTest,   // t IS [NOT] NULL (§2.10)
+};
+
+struct Formula {
+  FormulaKind kind = FormulaKind::kAnd;
+
+  // kAnd / kOr
+  std::vector<FormulaPtr> children;
+  // kNot
+  FormulaPtr child;
+  // kExists
+  std::unique_ptr<Quantifier> quantifier;
+  // kPredicate
+  data::CmpOp cmp_op = data::CmpOp::kEq;
+  TermPtr lhs;
+  TermPtr rhs;
+  // kNullTest
+  TermPtr null_arg;
+  bool null_negated = false;  // true ⇒ IS NOT NULL
+
+  FormulaPtr Clone() const;
+  bool ContainsAggregate() const;
+};
+
+FormulaPtr MakeAnd(std::vector<FormulaPtr> children);
+FormulaPtr MakeOr(std::vector<FormulaPtr> children);
+FormulaPtr MakeNot(FormulaPtr child);
+FormulaPtr MakeExists(std::unique_ptr<Quantifier> q);
+FormulaPtr MakePredicate(data::CmpOp op, TermPtr lhs, TermPtr rhs);
+FormulaPtr MakeNullTest(TermPtr arg, bool negated);
+
+// ---------------------------------------------------------------------------
+// Collections, definitions, programs
+// ---------------------------------------------------------------------------
+
+/// The head of a collection: output relation name and attribute list.
+struct Head {
+  std::string relation;
+  std::vector<std::string> attrs;
+};
+
+/// A comprehension { Head | body }. The body is typically a quantifier
+/// scope or a disjunction of quantifier scopes (the latter encodes
+/// Datalog-style multiple rules, §2.9).
+struct Collection {
+  Head head;
+  FormulaPtr body;
+
+  CollectionPtr Clone() const;
+};
+
+CollectionPtr MakeCollection(Head head, FormulaPtr body);
+
+/// Defined-relation kinds (§2.13, Fig. 14).
+enum class DefKind {
+  kIntensional,  // view/CTE/IDB: safe, materializable
+  kAbstract,     // module: possibly unsafe standalone; inlined at use sites
+};
+
+struct Definition {
+  DefKind kind = DefKind::kIntensional;
+  CollectionPtr collection;
+
+  Definition Clone() const;
+};
+
+/// The main query: either a collection or a Boolean sentence (Fig. 9).
+struct Query {
+  CollectionPtr collection;  // exactly one of collection…
+  FormulaPtr sentence;       // …or sentence is set
+
+  bool is_sentence() const { return sentence != nullptr; }
+  Query Clone() const;
+};
+
+/// A full ARC program: named definitions followed by the main query.
+struct Program {
+  std::vector<Definition> definitions;
+  Query main;
+
+  Program Clone() const;
+  /// Finds the definition whose head relation is `name` (case-insensitive);
+  /// nullptr if absent.
+  const Definition* FindDefinition(std::string_view name) const;
+};
+
+/// Convenience: wraps a single collection into a Program.
+Program MakeProgram(CollectionPtr collection);
+/// Convenience: wraps a Boolean sentence into a Program.
+Program MakeSentenceProgram(FormulaPtr sentence);
+
+}  // namespace arc
+
+#endif  // ARC_ARC_AST_H_

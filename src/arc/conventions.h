@@ -1,0 +1,65 @@
+// Conventions (§2.6, §2.7): orthogonal, environment-level semantic
+// parameters under which a relational core is interpreted. They change the
+// observable result but never the relational pattern, so they are passed to
+// the evaluator rather than stored in the ALT.
+#ifndef ARC_ARC_CONVENTIONS_H_
+#define ARC_ARC_CONVENTIONS_H_
+
+#include <string>
+
+#include "data/value.h"
+
+namespace arc {
+
+struct Conventions {
+  /// Set vs. bag interpretation (§2.7). Under kSet every collection's
+  /// result is deduplicated; under kBag multiplicities are kept ("once per
+  /// generating combination").
+  enum class Multiplicity { kSet, kBag };
+
+  /// What sum/avg/min/max return over zero qualifying input rows (§2.6).
+  /// kNull is SQL's choice; kNeutral is Soufflé's (sum → 0, avg → 0;
+  /// min/max stay null — they have no neutral element in our domain).
+  enum class EmptyAggregate { kNull, kNeutral };
+
+  Multiplicity multiplicity = Multiplicity::kSet;
+  data::NullLogic null_logic = data::NullLogic::kThreeValued;
+  EmptyAggregate empty_aggregate = EmptyAggregate::kNull;
+
+  /// ARC reference conventions: set semantics, three-valued logic, SQL-style
+  /// null-on-empty aggregates.
+  static Conventions Arc() { return Conventions{}; }
+
+  /// SQL conventions: bag semantics, 3VL, null-on-empty aggregates.
+  static Conventions Sql() {
+    Conventions c;
+    c.multiplicity = Multiplicity::kBag;
+    return c;
+  }
+
+  /// Soufflé conventions: set semantics, two-valued logic (Soufflé has no
+  /// NULL), neutral-element aggregates (sum over ∅ = 0, Eq. (15)).
+  static Conventions Souffle() {
+    Conventions c;
+    c.null_logic = data::NullLogic::kTwoValued;
+    c.empty_aggregate = EmptyAggregate::kNeutral;
+    return c;
+  }
+
+  std::string ToString() const {
+    std::string out = multiplicity == Multiplicity::kSet ? "set" : "bag";
+    out += null_logic == data::NullLogic::kThreeValued ? ",3VL" : ",2VL";
+    out += empty_aggregate == EmptyAggregate::kNull ? ",empty-agg=null"
+                                                    : ",empty-agg=neutral";
+    return out;
+  }
+
+  bool operator==(const Conventions& o) const {
+    return multiplicity == o.multiplicity && null_logic == o.null_logic &&
+           empty_aggregate == o.empty_aggregate;
+  }
+};
+
+}  // namespace arc
+
+#endif  // ARC_ARC_CONVENTIONS_H_

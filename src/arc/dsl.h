@@ -1,0 +1,249 @@
+// A small embedded DSL for constructing ALTs programmatically. The
+// examples, tests, and benchmarks build the paper's queries with it; the
+// comprehension-text parser (text/parser.h) is the other entry point.
+//
+//   using namespace arc::dsl;
+//   // Eq. (3):  {Q(A,sm) | ∃r∈R, γ_{r.A} [Q.A = r.A ∧ Q.sm = sum(r.B)]}
+//   CollectionPtr q = Coll("Q", {"A", "sm"},
+//       Scope()
+//           .Bind("r", "R")
+//           .GroupBy(Keys(Attr("r", "A")))
+//           .Where(Eq(Attr("Q", "A"), Attr("r", "A")))
+//           .Where(Eq(Attr("Q", "sm"), Sum(Attr("r", "B"))))
+//           .Exists());
+#ifndef ARC_ARC_DSL_H_
+#define ARC_ARC_DSL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arc/ast.h"
+
+namespace arc::dsl {
+
+// ---- Terms ------------------------------------------------------------
+
+inline TermPtr Attr(std::string var, std::string attr) {
+  return MakeAttrRef(std::move(var), std::move(attr));
+}
+inline TermPtr Lit(data::Value v) { return MakeLiteral(std::move(v)); }
+inline TermPtr Int(int64_t v) { return MakeLiteral(data::Value::Int(v)); }
+inline TermPtr Dbl(double v) { return MakeLiteral(data::Value::Double(v)); }
+inline TermPtr Str(std::string v) {
+  return MakeLiteral(data::Value::String(std::move(v)));
+}
+inline TermPtr Null() { return MakeLiteral(data::Value::Null()); }
+
+inline TermPtr Add(TermPtr a, TermPtr b) {
+  return MakeArith(data::ArithOp::kAdd, std::move(a), std::move(b));
+}
+inline TermPtr Sub(TermPtr a, TermPtr b) {
+  return MakeArith(data::ArithOp::kSub, std::move(a), std::move(b));
+}
+inline TermPtr Mul(TermPtr a, TermPtr b) {
+  return MakeArith(data::ArithOp::kMul, std::move(a), std::move(b));
+}
+inline TermPtr Div(TermPtr a, TermPtr b) {
+  return MakeArith(data::ArithOp::kDiv, std::move(a), std::move(b));
+}
+
+inline TermPtr Sum(TermPtr arg) {
+  return MakeAggregate(AggFunc::kSum, std::move(arg));
+}
+inline TermPtr Count(TermPtr arg) {
+  return MakeAggregate(AggFunc::kCount, std::move(arg));
+}
+inline TermPtr CountStar() {
+  return MakeAggregate(AggFunc::kCountStar, nullptr);
+}
+inline TermPtr Avg(TermPtr arg) {
+  return MakeAggregate(AggFunc::kAvg, std::move(arg));
+}
+inline TermPtr Min(TermPtr arg) {
+  return MakeAggregate(AggFunc::kMin, std::move(arg));
+}
+inline TermPtr Max(TermPtr arg) {
+  return MakeAggregate(AggFunc::kMax, std::move(arg));
+}
+inline TermPtr CountDistinct(TermPtr arg) {
+  return MakeAggregate(AggFunc::kCountDistinct, std::move(arg));
+}
+
+// ---- Predicates and connectives ----------------------------------------
+
+inline FormulaPtr Eq(TermPtr a, TermPtr b) {
+  return MakePredicate(data::CmpOp::kEq, std::move(a), std::move(b));
+}
+inline FormulaPtr Ne(TermPtr a, TermPtr b) {
+  return MakePredicate(data::CmpOp::kNe, std::move(a), std::move(b));
+}
+inline FormulaPtr Lt(TermPtr a, TermPtr b) {
+  return MakePredicate(data::CmpOp::kLt, std::move(a), std::move(b));
+}
+inline FormulaPtr Le(TermPtr a, TermPtr b) {
+  return MakePredicate(data::CmpOp::kLe, std::move(a), std::move(b));
+}
+inline FormulaPtr Gt(TermPtr a, TermPtr b) {
+  return MakePredicate(data::CmpOp::kGt, std::move(a), std::move(b));
+}
+inline FormulaPtr Ge(TermPtr a, TermPtr b) {
+  return MakePredicate(data::CmpOp::kGe, std::move(a), std::move(b));
+}
+inline FormulaPtr IsNull(TermPtr t) {
+  return MakeNullTest(std::move(t), /*negated=*/false);
+}
+inline FormulaPtr IsNotNull(TermPtr t) {
+  return MakeNullTest(std::move(t), /*negated=*/true);
+}
+inline FormulaPtr Not(FormulaPtr f) { return MakeNot(std::move(f)); }
+
+namespace internal {
+inline void AppendAll(std::vector<FormulaPtr>*) {}
+template <typename... Rest>
+void AppendAll(std::vector<FormulaPtr>* out, FormulaPtr first, Rest... rest) {
+  out->push_back(std::move(first));
+  AppendAll(out, std::move(rest)...);
+}
+}  // namespace internal
+
+template <typename... Fs>
+FormulaPtr And(Fs... fs) {
+  std::vector<FormulaPtr> children;
+  internal::AppendAll(&children, std::move(fs)...);
+  return MakeAnd(std::move(children));
+}
+
+template <typename... Fs>
+FormulaPtr Or(Fs... fs) {
+  std::vector<FormulaPtr> children;
+  internal::AppendAll(&children, std::move(fs)...);
+  return MakeOr(std::move(children));
+}
+
+// ---- Grouping keys and join annotations ---------------------------------
+
+namespace internal {
+inline void AppendTerms(std::vector<TermPtr>*) {}
+template <typename... Rest>
+void AppendTerms(std::vector<TermPtr>* out, TermPtr first, Rest... rest) {
+  out->push_back(std::move(first));
+  AppendTerms(out, std::move(rest)...);
+}
+}  // namespace internal
+
+/// Grouping key list; Keys() with no arguments is γ∅.
+template <typename... Ts>
+std::vector<TermPtr> Keys(Ts... ts) {
+  std::vector<TermPtr> keys;
+  internal::AppendTerms(&keys, std::move(ts)...);
+  return keys;
+}
+
+inline JoinNodePtr JVar(std::string var) { return MakeJoinVar(std::move(var)); }
+inline JoinNodePtr JLit(data::Value v) { return MakeJoinLiteral(std::move(v)); }
+inline JoinNodePtr JLit(int64_t v) {
+  return MakeJoinLiteral(data::Value::Int(v));
+}
+
+namespace internal {
+inline void AppendJoins(std::vector<JoinNodePtr>*) {}
+template <typename... Rest>
+void AppendJoins(std::vector<JoinNodePtr>* out, JoinNodePtr first,
+                 Rest... rest) {
+  out->push_back(std::move(first));
+  AppendJoins(out, std::move(rest)...);
+}
+}  // namespace internal
+
+template <typename... Js>
+JoinNodePtr Inner(Js... js) {
+  std::vector<JoinNodePtr> children;
+  internal::AppendJoins(&children, std::move(js)...);
+  return MakeJoinInner(std::move(children));
+}
+inline JoinNodePtr Left(JoinNodePtr preserved, JoinNodePtr optional) {
+  return MakeJoinLeft(std::move(preserved), std::move(optional));
+}
+inline JoinNodePtr Full(JoinNodePtr a, JoinNodePtr b) {
+  return MakeJoinFull(std::move(a), std::move(b));
+}
+
+// ---- Scopes and collections ---------------------------------------------
+
+/// Builds a quantifier scope (∃ formula). `Where` calls accumulate into a
+/// single conjunction.
+class Scope {
+ public:
+  Scope() = default;
+  Scope(Scope&&) = default;
+  Scope& operator=(Scope&&) = default;
+
+  Scope&& Bind(std::string var, std::string relation) && {
+    Binding b;
+    b.var = std::move(var);
+    b.range_kind = RangeKind::kNamed;
+    b.relation = std::move(relation);
+    bindings_.push_back(std::move(b));
+    return std::move(*this);
+  }
+
+  Scope&& Bind(std::string var, CollectionPtr collection) && {
+    Binding b;
+    b.var = std::move(var);
+    b.range_kind = RangeKind::kCollection;
+    b.collection = std::move(collection);
+    bindings_.push_back(std::move(b));
+    return std::move(*this);
+  }
+
+  Scope&& GroupBy(std::vector<TermPtr> keys) && {
+    Grouping g;
+    g.keys = std::move(keys);
+    grouping_ = std::move(g);
+    return std::move(*this);
+  }
+
+  Scope&& Join(JoinNodePtr tree) && {
+    join_tree_ = std::move(tree);
+    return std::move(*this);
+  }
+
+  Scope&& Where(FormulaPtr f) && {
+    conjuncts_.push_back(std::move(f));
+    return std::move(*this);
+  }
+
+  /// Finalizes into an ∃ formula. A single conjunct becomes the body
+  /// directly; several become an AND.
+  FormulaPtr Exists() && {
+    auto q = std::make_unique<Quantifier>();
+    q->bindings = std::move(bindings_);
+    q->grouping = std::move(grouping_);
+    q->join_tree = std::move(join_tree_);
+    if (conjuncts_.size() == 1) {
+      q->body = std::move(conjuncts_[0]);
+    } else {
+      q->body = MakeAnd(std::move(conjuncts_));
+    }
+    return MakeExists(std::move(q));
+  }
+
+ private:
+  std::vector<Binding> bindings_;
+  std::optional<Grouping> grouping_;
+  JoinNodePtr join_tree_;
+  std::vector<FormulaPtr> conjuncts_;
+};
+
+inline CollectionPtr Coll(std::string relation, std::vector<std::string> attrs,
+                          FormulaPtr body) {
+  Head h;
+  h.relation = std::move(relation);
+  h.attrs = std::move(attrs);
+  return MakeCollection(std::move(h), std::move(body));
+}
+
+}  // namespace arc::dsl
+
+#endif  // ARC_ARC_DSL_H_

@@ -1,0 +1,176 @@
+#include "arc/external.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace arc {
+
+namespace {
+
+using data::Tuple;
+using data::Value;
+using data::ValueKind;
+
+bool IsOperatorName(std::string_view name) {
+  return !name.empty() && !std::isalpha(static_cast<unsigned char>(name[0])) &&
+         name[0] != '_';
+}
+
+// Solves one slot of a ternary arithmetic relation out = a ⊗ b given the
+// other two. Returns nullopt when no (unique) solution exists.
+std::optional<Value> SolveTernary(data::ArithOp op, int free_slot,
+                                  const Value& x, const Value& y) {
+  // Slots: 0 = a, 1 = b, 2 = out. For free_slot 2: out = x ⊗ y with
+  // (x, y) = (a, b). For free_slot 0: a from (b, out) = (x, y). For
+  // free_slot 1: b from (a, out) = (x, y).
+  auto arith = [](data::ArithOp o, const Value& p,
+                  const Value& q) -> std::optional<Value> {
+    auto r = data::Arith(o, p, q);
+    if (!r.ok()) return std::nullopt;
+    return std::move(r).value();
+  };
+  if (x.is_null() || y.is_null()) return std::nullopt;
+  if (!x.is_numeric() || !y.is_numeric()) return std::nullopt;
+  switch (op) {
+    case data::ArithOp::kAdd:
+      // a + b = out.
+      if (free_slot == 2) return arith(data::ArithOp::kAdd, x, y);
+      // free a: a = out - b, with (x, y) = (b, out); free b symmetric.
+      return arith(data::ArithOp::kSub, y, x);
+    case data::ArithOp::kSub:
+      // a - b = out.
+      if (free_slot == 2) return arith(data::ArithOp::kSub, x, y);
+      if (free_slot == 0) return arith(data::ArithOp::kAdd, y, x);  // a = b+out
+      return arith(data::ArithOp::kSub, x, y);                      // b = a-out
+    case data::ArithOp::kMul: {
+      // a * b = out.
+      if (free_slot == 2) return arith(data::ArithOp::kMul, x, y);
+      // free a: a = out / b with (x, y) = (b, out); free b symmetric.
+      const Value& divisor = x;
+      const Value& dividend = y;
+      if (divisor.ToDouble() == 0) return std::nullopt;  // 0 * a = out
+      if (divisor.kind() == ValueKind::kInt &&
+          dividend.kind() == ValueKind::kInt) {
+        if (dividend.as_int() % divisor.as_int() != 0) return std::nullopt;
+        return Value::Int(dividend.as_int() / divisor.as_int());
+      }
+      return Value::Double(dividend.ToDouble() / divisor.ToDouble());
+    }
+    case data::ArithOp::kDiv: {
+      // a / b = out.
+      if (free_slot == 2) return arith(data::ArithOp::kDiv, x, y);
+      if (free_slot == 0) {
+        // a = b * out — exact only for real division; accept it (ints may
+        // round-trip incorrectly under truncation, so verify).
+        auto a = arith(data::ArithOp::kMul, x, y);
+        if (!a.has_value()) return std::nullopt;
+        auto check = arith(data::ArithOp::kDiv, *a, x);
+        if (!check.has_value() || !(check->Equals(y))) return std::nullopt;
+        return a;
+      }
+      // free b: b = a / out (verified).
+      if (y.ToDouble() == 0) return std::nullopt;
+      auto b = arith(data::ArithOp::kDiv, x, y);
+      if (!b.has_value()) return std::nullopt;
+      auto check = arith(data::ArithOp::kDiv, x, *b);
+      if (!check.has_value() || !(check->Equals(y))) return std::nullopt;
+      return b;
+    }
+    case data::ArithOp::kMod:
+      if (free_slot == 2) return arith(data::ArithOp::kMod, x, y);
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+ExternalRelation MakeTernaryArith(std::string name, data::Schema schema,
+                                  data::ArithOp op) {
+  auto fn = [op, name](const BoundPattern& bound)
+      -> Result<std::vector<Tuple>> {
+    int free_slot = -1;
+    int n_free = 0;
+    for (int i = 0; i < 3; ++i) {
+      if (!bound[static_cast<size_t>(i)].has_value()) {
+        free_slot = i;
+        ++n_free;
+      }
+    }
+    if (n_free > 1) {
+      return Unsupported("external relation '" + name +
+                         "' requires at least two bound attributes");
+    }
+    if (n_free == 0) {
+      // Fully bound: membership test.
+      auto out = SolveTernary(op, 2, *bound[0], *bound[1]);
+      if (out.has_value() && out->Equals(*bound[2])) {
+        return std::vector<Tuple>{Tuple({*bound[0], *bound[1], *bound[2]})};
+      }
+      return std::vector<Tuple>{};
+    }
+    const Value& x = free_slot == 0 ? *bound[1] : *bound[0];
+    const Value& y = free_slot == 2 ? *bound[1] : *bound[2];
+    auto solved = SolveTernary(op, free_slot, x, y);
+    if (!solved.has_value()) return std::vector<Tuple>{};
+    std::vector<Value> vals(3);
+    for (int i = 0; i < 3; ++i) {
+      vals[static_cast<size_t>(i)] =
+          i == free_slot ? *solved : *bound[static_cast<size_t>(i)];
+    }
+    return std::vector<Tuple>{Tuple(std::move(vals))};
+  };
+  return ExternalRelation(std::move(name), std::move(schema), std::move(fn));
+}
+
+ExternalRelation MakeComparison(std::string name, data::CmpOp op) {
+  auto fn = [op, name](const BoundPattern& bound)
+      -> Result<std::vector<Tuple>> {
+    if (!bound[0].has_value() || !bound[1].has_value()) {
+      return Unsupported("external relation '" + name +
+                         "' requires both attributes bound");
+    }
+    auto cmp = data::Compare(op, *bound[0], *bound[1],
+                             data::NullLogic::kThreeValued);
+    if (!cmp.ok()) return cmp.status();
+    if (data::IsTrue(*cmp)) {
+      return std::vector<Tuple>{Tuple({*bound[0], *bound[1]})};
+    }
+    return std::vector<Tuple>{};
+  };
+  return ExternalRelation(std::move(name), data::Schema{"left", "right"},
+                          std::move(fn));
+}
+
+}  // namespace
+
+void ExternalRegistry::Register(ExternalRelation relation) {
+  relations_.push_back(std::move(relation));
+}
+
+const ExternalRelation* ExternalRegistry::Find(std::string_view name) const {
+  for (const ExternalRelation& r : relations_) {
+    const bool match = IsOperatorName(r.name())
+                           ? r.name() == name
+                           : EqualsIgnoreCase(r.name(), name);
+    if (match) return &r;
+  }
+  return nullptr;
+}
+
+ExternalRegistry ExternalRegistry::Builtins() {
+  ExternalRegistry reg;
+  const data::Schema named{"left", "right", "out"};
+  const data::Schema positional{"$1", "$2", "out"};
+  reg.Register(MakeTernaryArith("Minus", named, data::ArithOp::kSub));
+  reg.Register(MakeTernaryArith("Add", named, data::ArithOp::kAdd));
+  reg.Register(MakeTernaryArith("+", positional, data::ArithOp::kAdd));
+  reg.Register(MakeTernaryArith("-", positional, data::ArithOp::kSub));
+  reg.Register(MakeTernaryArith("*", positional, data::ArithOp::kMul));
+  reg.Register(MakeTernaryArith("/", positional, data::ArithOp::kDiv));
+  reg.Register(MakeComparison("Bigger", data::CmpOp::kGt));
+  reg.Register(MakeComparison(">", data::CmpOp::kGt));
+  reg.Register(MakeComparison("<", data::CmpOp::kLt));
+  return reg;
+}
+
+}  // namespace arc

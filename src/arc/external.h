@@ -1,0 +1,72 @@
+// External relations (§2.13.1): relations whose semantics come from
+// outside the relational core — arithmetic ("+", "-", "*", "Minus"),
+// comparisons ("Bigger") — possibly with infinite extension. They are
+// accessed through *access patterns*: given a subset of bound attributes,
+// an external relation enumerates the (finitely many) completions, or
+// reports that the pattern is unsupported.
+#ifndef ARC_ARC_EXTERNAL_H_
+#define ARC_ARC_EXTERNAL_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/relation.h"
+
+namespace arc {
+
+/// The bound-attribute vector handed to an access-pattern function: one
+/// slot per schema attribute; nullopt means "free".
+using BoundPattern = std::vector<std::optional<data::Value>>;
+
+class ExternalRelation {
+ public:
+  /// `enumerate` receives a BoundPattern of schema width and returns all
+  /// full tuples consistent with the bound slots. It must return
+  /// Unsupported(...) for patterns it cannot enumerate finitely.
+  using EnumerateFn =
+      std::function<Result<std::vector<data::Tuple>>(const BoundPattern&)>;
+
+  ExternalRelation(std::string name, data::Schema schema, EnumerateFn enumerate)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        enumerate_(std::move(enumerate)) {}
+
+  const std::string& name() const { return name_; }
+  const data::Schema& schema() const { return schema_; }
+
+  Result<std::vector<data::Tuple>> Enumerate(const BoundPattern& bound) const {
+    return enumerate_(bound);
+  }
+
+ private:
+  std::string name_;
+  data::Schema schema_;
+  EnumerateFn enumerate_;
+};
+
+class ExternalRegistry {
+ public:
+  ExternalRegistry() = default;
+
+  void Register(ExternalRelation relation);
+  /// Case-sensitive for operator names ("+", "*"), case-insensitive for
+  /// identifier names ("Minus"). nullptr if absent.
+  const ExternalRelation* Find(std::string_view name) const;
+
+  /// The built-in externals the paper uses:
+  ///   Minus(left, right, out), Add(left, right, out), Bigger(left, right),
+  ///   "+"($1, $2, out), "-"($1, $2, out), "*"($1, $2, out), "/"($1, $2, out).
+  /// The ternary arithmetic relations support every access pattern with at
+  /// least two bound slots (e.g. Minus(5, x, 2) solves x = 3, §2.13.1 ③).
+  static ExternalRegistry Builtins();
+
+ private:
+  std::vector<ExternalRelation> relations_;
+};
+
+}  // namespace arc
+
+#endif  // ARC_ARC_EXTERNAL_H_

@@ -1,0 +1,254 @@
+#include "arc/random_query.h"
+
+#include <string>
+#include <vector>
+
+#include "arc/dsl.h"
+#include "data/generators.h"
+
+namespace arc {
+
+namespace {
+
+using data::Value;
+
+struct BoundVar {
+  std::string var;
+  std::vector<std::string> attrs;
+};
+
+class Generator {
+ public:
+  Generator(const data::Database& db, const RandomQueryOptions& opts)
+      : db_(db), opts_(opts), rng_(opts.seed) {}
+
+  Result<CollectionPtr> Run() {
+    names_ = db_.Names();
+    if (names_.empty()) {
+      return InvalidArgument("random query generation needs base relations");
+    }
+    return GenCollection("Q", opts_.max_depth, /*outer=*/{});
+  }
+
+ private:
+  bool Coin(double p) { return rng_.NextDouble() < p; }
+
+  const std::string& RandomRelation() {
+    return names_[static_cast<size_t>(rng_.Below(
+        static_cast<int64_t>(names_.size())))];
+  }
+
+  std::vector<std::string> AttrsOf(const std::string& relation) {
+    return db_.GetPtr(relation)->schema().names();
+  }
+
+  std::string FreshVar() { return "g" + std::to_string(++var_counter_); }
+  std::string FreshHead() { return "G" + std::to_string(++head_counter_); }
+
+  const std::string& RandomAttr(const BoundVar& v) {
+    return v.attrs[static_cast<size_t>(
+        rng_.Below(static_cast<int64_t>(v.attrs.size())))];
+  }
+
+  const BoundVar& RandomVar(const std::vector<BoundVar>& vars) {
+    return vars[static_cast<size_t>(
+        rng_.Below(static_cast<int64_t>(vars.size())))];
+  }
+
+  TermPtr RandomLiteral() { return dsl::Int(rng_.Below(16)); }
+
+  data::CmpOp RandomCmp() {
+    constexpr data::CmpOp kOps[] = {data::CmpOp::kEq, data::CmpOp::kNe,
+                                    data::CmpOp::kLt, data::CmpOp::kLe,
+                                    data::CmpOp::kGt, data::CmpOp::kGe};
+    return kOps[rng_.Below(6)];
+  }
+
+  AggFunc RandomAgg() {
+    constexpr AggFunc kAggs[] = {AggFunc::kSum, AggFunc::kCount,
+                                 AggFunc::kMin, AggFunc::kMax,
+                                 AggFunc::kCountStar};
+    return kAggs[rng_.Below(5)];
+  }
+
+  /// A simple filter conjunct over the given vars (attribute/literal or
+  /// attribute/attribute comparison, optionally wrapped in a disjunction).
+  FormulaPtr RandomFilter(const std::vector<BoundVar>& vars) {
+    auto one = [&]() -> FormulaPtr {
+      const BoundVar& v = RandomVar(vars);
+      TermPtr lhs = dsl::Attr(v.var, RandomAttr(v));
+      if (Coin(opts_.arithmetic_probability)) {
+        lhs = MakeArith(Coin(0.5) ? data::ArithOp::kAdd : data::ArithOp::kSub,
+                        std::move(lhs), dsl::Int(1 + rng_.Below(3)));
+      }
+      TermPtr rhs;
+      if (Coin(0.5)) {
+        const BoundVar& w = RandomVar(vars);
+        rhs = dsl::Attr(w.var, RandomAttr(w));
+      } else {
+        rhs = RandomLiteral();
+      }
+      return MakePredicate(RandomCmp(), std::move(lhs), std::move(rhs));
+    };
+    if (Coin(opts_.disjunction_probability)) {
+      std::vector<FormulaPtr> disjuncts;
+      disjuncts.push_back(one());
+      disjuncts.push_back(one());
+      return MakeOr(std::move(disjuncts));
+    }
+    return one();
+  }
+
+  /// NOT EXISTS scope correlated with the outer vars.
+  FormulaPtr RandomNegation(const std::vector<BoundVar>& vars, int depth) {
+    const std::string relation = RandomRelation();
+    BoundVar inner{FreshVar(), AttrsOf(relation)};
+    auto q = std::make_unique<Quantifier>();
+    Binding b;
+    b.var = inner.var;
+    b.range_kind = RangeKind::kNamed;
+    b.relation = relation;
+    q->bindings.push_back(std::move(b));
+    std::vector<FormulaPtr> conjuncts;
+    // Correlate with an outer variable.
+    const BoundVar& outer = RandomVar(vars);
+    conjuncts.push_back(MakePredicate(data::CmpOp::kEq,
+                                      dsl::Attr(inner.var, RandomAttr(inner)),
+                                      dsl::Attr(outer.var, RandomAttr(outer))));
+    std::vector<BoundVar> inner_vars = vars;
+    inner_vars.push_back(inner);
+    if (Coin(0.5)) conjuncts.push_back(RandomFilter(inner_vars));
+    if (depth > 1 && Coin(opts_.negation_probability)) {
+      conjuncts.push_back(RandomNegation(inner_vars, depth - 1));
+    }
+    q->body = conjuncts.size() == 1 ? std::move(conjuncts[0])
+                                    : MakeAnd(std::move(conjuncts));
+    return MakeNot(MakeExists(std::move(q)));
+  }
+
+  Result<CollectionPtr> GenCollection(const std::string& head_name, int depth,
+                                      const std::vector<BoundVar>& outer) {
+    auto q = std::make_unique<Quantifier>();
+    std::vector<BoundVar> vars;
+    const int n_bindings =
+        1 + static_cast<int>(rng_.Below(opts_.max_bindings));
+    for (int i = 0; i < n_bindings; ++i) {
+      Binding b;
+      b.var = FreshVar();
+      if (depth > 0 && Coin(opts_.nested_collection_probability)) {
+        // Uncorrelated nested collection.
+        ARC_ASSIGN_OR_RETURN(CollectionPtr nested,
+                             GenCollection(FreshHead(), depth - 1, {}));
+        BoundVar v{b.var, nested->head.attrs};
+        b.range_kind = RangeKind::kCollection;
+        b.collection = std::move(nested);
+        vars.push_back(std::move(v));
+      } else {
+        const std::string relation = RandomRelation();
+        b.range_kind = RangeKind::kNamed;
+        b.relation = relation;
+        vars.push_back({b.var, AttrsOf(relation)});
+      }
+      q->bindings.push_back(std::move(b));
+    }
+
+    std::vector<FormulaPtr> conjuncts;
+    // Join equalities between consecutive bindings keep selectivity sane.
+    for (size_t i = 1; i < vars.size(); ++i) {
+      if (Coin(0.8)) {
+        conjuncts.push_back(MakePredicate(
+            data::CmpOp::kEq, dsl::Attr(vars[i - 1].var, RandomAttr(vars[i - 1])),
+            dsl::Attr(vars[i].var, RandomAttr(vars[i]))));
+      }
+    }
+    if (Coin(0.7)) {
+      std::vector<BoundVar> all = vars;
+      for (const BoundVar& o : outer) all.push_back(o);
+      conjuncts.push_back(RandomFilter(all));
+    }
+    if (depth > 0 && Coin(opts_.negation_probability)) {
+      conjuncts.push_back(RandomNegation(vars, depth));
+    }
+
+    Head head;
+    head.relation = head_name;
+    const bool grouped = Coin(opts_.grouped_probability);
+    if (grouped) {
+      Grouping grouping;
+      // 1-2 grouping keys.
+      std::vector<std::pair<std::string, std::string>> keys;
+      const int n_keys = 1 + static_cast<int>(rng_.Below(2));
+      for (int i = 0; i < n_keys; ++i) {
+        const BoundVar& v = RandomVar(vars);
+        keys.emplace_back(v.var, RandomAttr(v));
+        grouping.keys.push_back(dsl::Attr(keys.back().first,
+                                          keys.back().second));
+      }
+      q->grouping = std::move(grouping);
+      int attr_index = 0;
+      for (const auto& [var, attr] : keys) {
+        const std::string out = "a" + std::to_string(++attr_index);
+        head.attrs.push_back(out);
+        conjuncts.push_back(MakePredicate(data::CmpOp::kEq,
+                                          MakeAttrRef(head_name, out),
+                                          dsl::Attr(var, attr)));
+      }
+      // 1-2 aggregates.
+      const int n_aggs = 1 + static_cast<int>(rng_.Below(2));
+      for (int i = 0; i < n_aggs; ++i) {
+        const std::string out = "a" + std::to_string(++attr_index);
+        head.attrs.push_back(out);
+        const AggFunc f = RandomAgg();
+        const BoundVar& source = RandomVar(vars);
+        TermPtr agg =
+            f == AggFunc::kCountStar
+                ? MakeAggregate(AggFunc::kCountStar, nullptr)
+                : MakeAggregate(f, dsl::Attr(source.var, RandomAttr(source)));
+        conjuncts.push_back(MakePredicate(
+            data::CmpOp::kEq, MakeAttrRef(head_name, out), std::move(agg)));
+      }
+      // Optional aggregate group filter.
+      if (Coin(0.3)) {
+        const BoundVar& v = RandomVar(vars);
+        conjuncts.push_back(MakePredicate(
+            data::CmpOp::kGe, MakeAggregate(AggFunc::kCountStar, nullptr),
+            dsl::Int(rng_.Below(3))));
+        (void)v;
+      }
+    } else {
+      const int n_out = 1 + static_cast<int>(rng_.Below(2));
+      for (int i = 0; i < n_out; ++i) {
+        const std::string out = "a" + std::to_string(i + 1);
+        head.attrs.push_back(out);
+        const BoundVar& v = RandomVar(vars);
+        TermPtr value = dsl::Attr(v.var, RandomAttr(v));
+        if (Coin(opts_.arithmetic_probability)) {
+          value = MakeArith(data::ArithOp::kAdd, std::move(value),
+                            dsl::Int(rng_.Below(4)));
+        }
+        conjuncts.push_back(MakePredicate(
+            data::CmpOp::kEq, MakeAttrRef(head_name, out), std::move(value)));
+      }
+    }
+
+    q->body = conjuncts.size() == 1 ? std::move(conjuncts[0])
+                                    : MakeAnd(std::move(conjuncts));
+    return MakeCollection(std::move(head), MakeExists(std::move(q)));
+  }
+
+  const data::Database& db_;
+  const RandomQueryOptions& opts_;
+  data::Rng rng_;
+  std::vector<std::string> names_;
+  int var_counter_ = 0;
+  int head_counter_ = 0;
+};
+
+}  // namespace
+
+Result<CollectionPtr> GenerateRandomCollection(const data::Database& db,
+                                               const RandomQueryOptions& opts) {
+  return Generator(db, opts).Run();
+}
+
+}  // namespace arc

@@ -1,0 +1,38 @@
+// Random well-formed ARC query generation. Used for property-based and
+// fuzz-differential testing: every generated collection passes the
+// validator by construction, can be rendered to SQL, and can be evaluated
+// under any conventions. Generation is deterministic in the seed.
+#ifndef ARC_ARC_RANDOM_QUERY_H_
+#define ARC_ARC_RANDOM_QUERY_H_
+
+#include <cstdint>
+
+#include "arc/ast.h"
+#include "common/status.h"
+#include "data/database.h"
+
+namespace arc {
+
+struct RandomQueryOptions {
+  uint64_t seed = 1;
+  /// Maximum nesting depth of condition scopes (NOT EXISTS / EXISTS).
+  int max_depth = 2;
+  /// Maximum bindings in the top scope.
+  int max_bindings = 3;
+  /// Probability knobs in [0,1].
+  double grouped_probability = 0.4;
+  double negation_probability = 0.5;
+  double disjunction_probability = 0.3;
+  double nested_collection_probability = 0.3;
+  double arithmetic_probability = 0.3;
+};
+
+/// Generates a random collection named "Q" ranging over the base relations
+/// of `db` (which must contain at least one relation whose attributes hold
+/// numeric values). The result is guaranteed to validate against `db`.
+Result<CollectionPtr> GenerateRandomCollection(const data::Database& db,
+                                               const RandomQueryOptions& opts);
+
+}  // namespace arc
+
+#endif  // ARC_ARC_RANDOM_QUERY_H_

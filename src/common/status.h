@@ -1,0 +1,117 @@
+// Lightweight Status / Result<T> error handling (the library does not use
+// exceptions). A Status is either OK or carries an error code plus a
+// human-readable message; Result<T> is a Status or a value.
+#ifndef ARC_COMMON_STATUS_H_
+#define ARC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace arc {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input handed to an API
+  kParseError,        // lexer/parser rejection (message carries location)
+  kValidationError,   // ALT failed scoping/grouping/safety validation
+  kNotFound,          // unknown relation, attribute, or variable
+  kUnsupported,       // construct outside the implemented fragment
+  kEvalError,         // runtime evaluation failure (type error, etc.)
+  kInternal,          // invariant breakage; indicates a library bug
+};
+
+/// Returns the canonical spelling of a status code, e.g. "ParseError".
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgument(std::string message);
+Status ParseError(std::string message);
+Status ValidationError(std::string message);
+Status NotFound(std::string message);
+Status Unsupported(std::string message);
+Status EvalError(std::string message);
+Status Internal(std::string message);
+
+/// A value of type T or an error Status. Accessing the value of an errored
+/// Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: lets functions `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates an error Status from an expression that yields a Status.
+#define ARC_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::arc::Status _arc_status = (expr);          \
+    if (!_arc_status.ok()) return _arc_status;   \
+  } while (0)
+
+// Evaluates a Result<T> expression and either binds its value or propagates
+// the error. Usage: ARC_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define ARC_ASSIGN_OR_RETURN(decl, expr)            \
+  ARC_ASSIGN_OR_RETURN_IMPL_(                       \
+      ARC_STATUS_CONCAT_(_arc_result_, __LINE__), decl, expr)
+
+#define ARC_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  decl = std::move(tmp).value()
+
+#define ARC_STATUS_CONCAT_(a, b) ARC_STATUS_CONCAT_IMPL_(a, b)
+#define ARC_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace arc
+
+#endif  // ARC_COMMON_STATUS_H_

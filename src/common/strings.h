@@ -1,0 +1,52 @@
+// Small string helpers shared across modules (join, case folding, numeric
+// formatting). Kept dependency-free.
+#ifndef ARC_COMMON_STRINGS_H_
+#define ARC_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arc {
+
+/// Joins the elements of `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Joins `items` after mapping each through `fn` (which must return
+/// something streamable into std::ostringstream).
+template <typename Container, typename Fn>
+std::string JoinMapped(const Container& items, std::string_view sep, Fn fn) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out << sep;
+    first = false;
+    out << fn(item);
+  }
+  return out.str();
+}
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// ASCII uppercase copy.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Repeats `unit` `n` times.
+std::string Repeat(std::string_view unit, int n);
+
+/// Formats a double the way the library prints values: integral doubles
+/// without a trailing ".0" are still printed with one decimal ("2.0") so
+/// they remain distinguishable from integers; otherwise shortest form.
+std::string FormatDouble(double v);
+
+}  // namespace arc
+
+#endif  // ARC_COMMON_STRINGS_H_

@@ -1,0 +1,159 @@
+#include "data/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace arc::data {
+
+namespace {
+
+/// Splits one CSV record, honoring quotes. Returns false on unterminated
+/// quotes.
+bool SplitRecord(std::string_view line, std::vector<std::string>* out) {
+  out->clear();
+  std::string cell;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      out->push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell += c;
+    }
+  }
+  out->push_back(std::move(cell));
+  return !in_quotes;
+}
+
+Value ParseCell(const std::string& cell) {
+  if (cell.empty()) return Value::Null();
+  if (cell == "true" || cell == "TRUE") return Value::Bool(true);
+  if (cell == "false" || cell == "FALSE") return Value::Bool(false);
+  // Integer?
+  char* end = nullptr;
+  const long long as_int = std::strtoll(cell.c_str(), &end, 10);
+  if (end != cell.c_str() && *end == '\0') return Value::Int(as_int);
+  const double as_double = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() && *end == '\0') return Value::Double(as_double);
+  return Value::String(cell);
+}
+
+std::string EscapeCell(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      return "";
+    case ValueKind::kBool:
+      return v.as_bool() ? "true" : "false";
+    case ValueKind::kInt:
+    case ValueKind::kDouble:
+      return v.kind() == ValueKind::kInt ? std::to_string(v.as_int())
+                                         : v.ToString();
+    case ValueKind::kString: {
+      const std::string& s = v.as_string();
+      bool needs_quotes = s.empty();
+      for (char c : s) {
+        if (c == ',' || c == '"' || c == '\n') needs_quotes = true;
+      }
+      if (!needs_quotes) return s;
+      std::string out = "\"";
+      for (char c : s) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += '"';
+      return out;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<Relation> RelationFromCsv(std::string_view csv) {
+  std::vector<std::string> cells;
+  size_t pos = 0;
+  int line_no = 0;
+  Relation relation;
+  while (pos < csv.size()) {
+    size_t end = csv.find('\n', pos);
+    std::string_view line = csv.substr(
+        pos, end == std::string_view::npos ? std::string_view::npos
+                                           : end - pos);
+    pos = end == std::string_view::npos ? csv.size() : end + 1;
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    if (!SplitRecord(line, &cells)) {
+      return ParseError("unterminated quote in CSV line " +
+                        std::to_string(line_no));
+    }
+    if (line_no == 1) {
+      relation = Relation(Schema(cells));
+      continue;
+    }
+    if (static_cast<int>(cells.size()) != relation.schema().size()) {
+      return ParseError("CSV line " + std::to_string(line_no) + " has " +
+                        std::to_string(cells.size()) + " cells, expected " +
+                        std::to_string(relation.schema().size()));
+    }
+    Tuple t;
+    for (const std::string& cell : cells) t.Append(ParseCell(cell));
+    relation.Add(std::move(t));
+  }
+  if (line_no == 0) return ParseError("empty CSV input (no header)");
+  return relation;
+}
+
+std::string RelationToCsv(const Relation& relation) {
+  std::ostringstream out;
+  const Schema& schema = relation.schema();
+  for (int i = 0; i < schema.size(); ++i) {
+    if (i > 0) out << ',';
+    out << schema.name(i);
+  }
+  out << '\n';
+  for (const Tuple& t : relation.rows()) {
+    for (int i = 0; i < t.size(); ++i) {
+      if (i > 0) out << ',';
+      out << EscapeCell(t.at(i));
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status LoadCsvFile(const std::string& path, const std::string& name,
+                   Database* db) {
+  std::ifstream in(path);
+  if (!in) return NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ARC_ASSIGN_OR_RETURN(Relation relation, RelationFromCsv(buffer.str()));
+  db->Put(name, std::move(relation));
+  return Status::Ok();
+}
+
+Status SaveCsvFile(const Relation& relation, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return InvalidArgument("cannot write '" + path + "'");
+  out << RelationToCsv(relation);
+  return Status::Ok();
+}
+
+}  // namespace arc::data

@@ -1,0 +1,31 @@
+// Minimal CSV import/export for relations: header row = attribute names;
+// cells are parsed as integers, doubles, booleans, empty = NULL, anything
+// else = string. Quoting with double quotes, "" escapes a quote.
+#ifndef ARC_DATA_CSV_H_
+#define ARC_DATA_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "data/database.h"
+
+namespace arc::data {
+
+/// Parses CSV text (first line is the header) into a relation.
+Result<Relation> RelationFromCsv(std::string_view csv);
+
+/// Serializes a relation to CSV (header + rows). Nulls become empty cells;
+/// strings are quoted when they contain separators or quotes.
+std::string RelationToCsv(const Relation& relation);
+
+/// Reads `path` and registers its relation under `name`.
+Status LoadCsvFile(const std::string& path, const std::string& name,
+                   Database* db);
+
+/// Writes a relation to `path`.
+Status SaveCsvFile(const Relation& relation, const std::string& path);
+
+}  // namespace arc::data
+
+#endif  // ARC_DATA_CSV_H_

@@ -1,0 +1,50 @@
+#include "data/database.h"
+
+#include "common/strings.h"
+
+namespace arc::data {
+
+int Database::Find(std::string_view name) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (EqualsIgnoreCase(entries_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Database::Put(const std::string& name, Relation relation) {
+  const int i = Find(name);
+  if (i >= 0) {
+    entries_[static_cast<size_t>(i)].relation = std::move(relation);
+    return;
+  }
+  entries_.push_back({name, std::move(relation)});
+}
+
+bool Database::Has(std::string_view name) const { return Find(name) >= 0; }
+
+Result<Relation> Database::Get(std::string_view name) const {
+  const int i = Find(name);
+  if (i < 0) return NotFound("relation '" + std::string(name) + "' not found");
+  return entries_[static_cast<size_t>(i)].relation;
+}
+
+const Relation* Database::GetPtr(std::string_view name) const {
+  const int i = Find(name);
+  if (i < 0) return nullptr;
+  return &entries_[static_cast<size_t>(i)].relation;
+}
+
+Relation* Database::GetMutable(std::string_view name) {
+  const int i = Find(name);
+  if (i < 0) return nullptr;
+  return &entries_[static_cast<size_t>(i)].relation;
+}
+
+std::vector<std::string> Database::Names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+}  // namespace arc::data

@@ -1,0 +1,55 @@
+// Database: a catalog of named base relations (the extensional database).
+// Relation-name lookup is case-insensitive; the display name preserves the
+// case used at creation.
+#ifndef ARC_DATA_DATABASE_H_
+#define ARC_DATA_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/relation.h"
+
+namespace arc::data {
+
+class Database {
+ public:
+  Database() = default;
+
+  /// Registers (or replaces) a base relation under `name`.
+  void Put(const std::string& name, Relation relation);
+
+  /// Creates an empty relation with `schema` under `name`.
+  void Create(const std::string& name, Schema schema) {
+    Put(name, Relation(std::move(schema)));
+  }
+
+  bool Has(std::string_view name) const;
+
+  /// Looks up a relation; NotFound if absent.
+  Result<Relation> Get(std::string_view name) const;
+
+  /// Pointer access without copying; nullptr if absent. Stable until the
+  /// database is mutated.
+  const Relation* GetPtr(std::string_view name) const;
+
+  /// Mutable access for incremental loading; nullptr if absent.
+  Relation* GetMutable(std::string_view name);
+
+  /// Registered names in insertion order (display case).
+  std::vector<std::string> Names() const;
+
+  int64_t relation_count() const { return static_cast<int64_t>(entries_.size()); }
+
+ private:
+  struct Entry {
+    std::string name;
+    Relation relation;
+  };
+  int Find(std::string_view name) const;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace arc::data
+
+#endif  // ARC_DATA_DATABASE_H_

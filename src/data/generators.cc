@@ -1,0 +1,201 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace arc::data {
+
+uint64_t Rng::Next() {
+  // splitmix64
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int64_t Rng::Below(int64_t bound) {
+  if (bound <= 0) return 0;
+  return static_cast<int64_t>(Next() % static_cast<uint64_t>(bound));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+Database CountBugInstance() {
+  Database db;
+  Relation r(Schema{"id", "q"});
+  r.Add({Value::Int(9), Value::Int(0)});
+  db.Put("R", std::move(r));
+  db.Put("S", Relation(Schema{"id", "d"}));
+  return db;
+}
+
+Database ConventionInstance() {
+  Database db;
+  Relation r(Schema{"ak", "b"});
+  r.Add({Value::Int(1), Value::Int(2)});
+  db.Put("R", std::move(r));
+  db.Put("S", Relation(Schema{"a", "b"}));
+  return db;
+}
+
+Database TrcInstance(int64_t rows, int64_t domain, double c_zero_fraction,
+                     uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  Relation r(Schema{"A", "B"});
+  for (int64_t i = 0; i < rows; ++i) {
+    r.Add({Value::Int(rng.Below(domain)), Value::Int(rng.Below(domain))});
+  }
+  Relation s(Schema{"B", "C"});
+  for (int64_t i = 0; i < rows; ++i) {
+    const int64_t c = rng.NextDouble() < c_zero_fraction ? 0 : 1 + rng.Below(9);
+    s.Add({Value::Int(rng.Below(domain)), Value::Int(c)});
+  }
+  db.Put("R", std::move(r));
+  db.Put("S", std::move(s));
+  return db;
+}
+
+Database EmployeeInstance(int64_t n_empl, int64_t n_depts, int64_t sal_lo,
+                          int64_t sal_hi, uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  Relation r(Schema{"empl", "dept"});
+  Relation s(Schema{"empl", "sal"});
+  for (int64_t e = 0; e < n_empl; ++e) {
+    r.Add({Value::Int(e), Value::Int(rng.Below(n_depts))});
+    const int64_t span = sal_hi > sal_lo ? sal_hi - sal_lo + 1 : 1;
+    s.Add({Value::Int(e), Value::Int(sal_lo + rng.Below(span))});
+  }
+  db.Put("R", std::move(r));
+  db.Put("S", std::move(s));
+  return db;
+}
+
+Database LikesInstance(int64_t n_drinkers, int64_t n_beers, double p,
+                       double clone_fraction, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int64_t>> sets(static_cast<size_t>(n_drinkers));
+  for (int64_t d = 0; d < n_drinkers; ++d) {
+    const bool clone = d > 0 && rng.NextDouble() < clone_fraction;
+    if (clone) {
+      sets[static_cast<size_t>(d)] = sets[static_cast<size_t>(rng.Below(d))];
+      continue;
+    }
+    for (int64_t b = 0; b < n_beers; ++b) {
+      if (rng.NextDouble() < p) sets[static_cast<size_t>(d)].push_back(b);
+    }
+    // Guarantee non-empty sets so every drinker appears in Likes.
+    if (sets[static_cast<size_t>(d)].empty()) {
+      sets[static_cast<size_t>(d)].push_back(rng.Below(n_beers));
+    }
+  }
+  Relation likes(Schema{"drinker", "beer"});
+  for (int64_t d = 0; d < n_drinkers; ++d) {
+    for (int64_t b : sets[static_cast<size_t>(d)]) {
+      likes.Add({Value::Int(d), Value::Int(b)});
+    }
+  }
+  Database db;
+  db.Put("Likes", std::move(likes));
+  return db;
+}
+
+Database ParentChain(int64_t n) {
+  Relation p(Schema{"s", "t"});
+  for (int64_t i = 0; i + 1 < n; ++i) {
+    p.Add({Value::Int(i), Value::Int(i + 1)});
+  }
+  Database db;
+  db.Put("P", std::move(p));
+  return db;
+}
+
+Database ParentTree(int64_t n, int64_t fanout) {
+  Relation p(Schema{"s", "t"});
+  for (int64_t child = 1; child < n; ++child) {
+    p.Add({Value::Int((child - 1) / fanout), Value::Int(child)});
+  }
+  Database db;
+  db.Put("P", std::move(p));
+  return db;
+}
+
+Database ParentRandom(int64_t n, int64_t edges, uint64_t seed) {
+  Rng rng(seed);
+  Relation p(Schema{"s", "t"});
+  for (int64_t i = 0; i < edges; ++i) {
+    // Edges only go from smaller to larger ids: acyclic by construction.
+    const int64_t a = rng.Below(n - 1);
+    const int64_t b = a + 1 + rng.Below(n - a - 1);
+    p.Add({Value::Int(a), Value::Int(b)});
+  }
+  Database db;
+  db.Put("P", p.Distinct());
+  return db;
+}
+
+Relation SparseMatrix(int64_t n, double density, uint64_t seed) {
+  Rng rng(seed);
+  Relation m(Schema{"row", "col", "val"});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (rng.NextDouble() < density) {
+        m.Add({Value::Int(i), Value::Int(j), Value::Int(1 + rng.Below(9))});
+      }
+    }
+  }
+  return m;
+}
+
+Relation RandomBinary(int64_t rows, int64_t domain, double duplicate_fraction,
+                      double null_fraction, uint64_t seed) {
+  Rng rng(seed);
+  Relation r(Schema{"A", "B"});
+  for (int64_t i = 0; i < rows; ++i) {
+    if (i > 0 && rng.NextDouble() < duplicate_fraction) {
+      r.Add(r.rows()[static_cast<size_t>(rng.Below(i))]);
+      continue;
+    }
+    Value b = rng.NextDouble() < null_fraction ? Value::Null()
+                                               : Value::Int(rng.Below(domain));
+    r.Add({Value::Int(rng.Below(domain)), std::move(b)});
+  }
+  return r;
+}
+
+Relation RandomUnary(int64_t rows, int64_t domain, double null_fraction,
+                     uint64_t seed) {
+  Rng rng(seed);
+  Relation r(Schema{"A"});
+  for (int64_t i = 0; i < rows; ++i) {
+    Value a = rng.NextDouble() < null_fraction ? Value::Null()
+                                               : Value::Int(rng.Below(domain));
+    r.Add({std::move(a)});
+  }
+  return r;
+}
+
+Database InventoryInstance(int64_t n, int64_t per_id, bool satisfy_all,
+                           uint64_t seed) {
+  Rng rng(seed);
+  Relation r(Schema{"id", "q"});
+  Relation s(Schema{"id", "d"});
+  for (int64_t id = 0; id < n; ++id) {
+    int64_t deliveries = per_id > 0 ? 1 + rng.Below(2 * per_id) : 0;
+    int64_t q = deliveries;
+    if (!satisfy_all && rng.NextDouble() < 0.5) q = deliveries + 1 + rng.Below(3);
+    r.Add({Value::Int(id), Value::Int(q)});
+    for (int64_t d = 0; d < deliveries; ++d) {
+      s.Add({Value::Int(id), Value::Int(rng.Below(1000))});
+    }
+  }
+  Database db;
+  db.Put("R", std::move(r));
+  db.Put("S", std::move(s));
+  return db;
+}
+
+}  // namespace arc::data

@@ -1,0 +1,82 @@
+// Deterministic workload generators for tests, benchmarks, and examples.
+// All generators are pure functions of their parameters (fixed internal
+// PRNG), so every experiment is reproducible bit-for-bit.
+#ifndef ARC_DATA_GENERATORS_H_
+#define ARC_DATA_GENERATORS_H_
+
+#include <cstdint>
+
+#include "data/database.h"
+
+namespace arc::data {
+
+/// Deterministic 64-bit PRNG (splitmix64).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t Next();
+  /// Uniform integer in [0, bound).
+  int64_t Below(int64_t bound);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t state_;
+};
+
+/// The count-bug instance from §3.2: R(id,q) = {(9,0)}, S(id,d) = {}.
+Database CountBugInstance();
+
+/// The conventions instance from §2.6 / Eq. (15): R(ak,b) = {(1,2)},
+/// S(a,b) = {}.
+Database ConventionInstance();
+
+/// Fig. 2 substrate: R(A,B) and S(B,C) with `rows` tuples each; join keys
+/// drawn from [0, domain) and C is 0 with probability `c_zero_fraction`
+/// (the query selects s.C = 0).
+Database TrcInstance(int64_t rows, int64_t domain, double c_zero_fraction,
+                     uint64_t seed);
+
+/// §2.5 running example: R(empl, dept), S(empl, sal). `n_empl` employees
+/// spread over `n_depts` departments; salaries in [lo, hi].
+Database EmployeeInstance(int64_t n_empl, int64_t n_depts, int64_t sal_lo,
+                          int64_t sal_hi, uint64_t seed);
+
+/// Example 2 substrate: Likes(drinker, beer). Each of `n_drinkers` likes a
+/// random subset of `n_beers` with inclusion probability `p`. A fraction of
+/// drinkers is given cloned beer-sets so the unique-set query has both
+/// positive and negative answers.
+Database LikesInstance(int64_t n_drinkers, int64_t n_beers, double p,
+                       double clone_fraction, uint64_t seed);
+
+/// Recursion substrates for Fig. 10: P(s, t).
+Database ParentChain(int64_t n);
+Database ParentTree(int64_t n, int64_t fanout);
+Database ParentRandom(int64_t n, int64_t edges, uint64_t seed);
+
+/// Sparse matrix in (row, col, val) form for Fig. 20, n x n with the given
+/// nonzero density and integer values in [1, 9].
+Relation SparseMatrix(int64_t n, double density, uint64_t seed);
+
+/// Generic binary relation R(A, B) with `rows` tuples, both columns drawn
+/// from [0, domain). `duplicate_fraction` of the rows are copies of earlier
+/// rows (exercises bag semantics); `null_fraction` of B values are null
+/// (exercises 3VL).
+Relation RandomBinary(int64_t rows, int64_t domain, double duplicate_fraction,
+                      double null_fraction, uint64_t seed);
+
+/// Unary relation R(A) with `rows` values from [0, domain), with optional
+/// nulls.
+Relation RandomUnary(int64_t rows, int64_t domain, double null_fraction,
+                     uint64_t seed);
+
+/// Fig. 9 substrate: R(id, q) with `n` ids and a demanded quantity q;
+/// S(id, d) with `per_id` deliveries per id on average. With
+/// `satisfy_all`, every id receives at least q deliveries (so constraint
+/// (14) holds); otherwise roughly half violate it.
+Database InventoryInstance(int64_t n, int64_t per_id, bool satisfy_all,
+                           uint64_t seed);
+
+}  // namespace arc::data
+
+#endif  // ARC_DATA_GENERATORS_H_

@@ -1,0 +1,163 @@
+#include "data/relation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace arc::data {
+
+Schema::Schema(std::initializer_list<const char*> names) {
+  for (const char* n : names) names_.emplace_back(n);
+}
+
+int Schema::IndexOf(std::string_view attr) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (EqualsIgnoreCase(names_[i], attr)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (names_.size() != other.names_.size()) return false;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (!EqualsIgnoreCase(names_[i], other.names_[i])) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  return "(" + Join(names_, ", ") + ")";
+}
+
+bool Tuple::operator==(const Tuple& other) const {
+  if (values_.size() != other.values_.size()) return false;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] != other.values_[i]) return false;
+  }
+  return true;
+}
+
+int Tuple::CompareTotal(const Tuple& other) const {
+  const size_t n = std::min(values_.size(), other.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = values_[i].CompareTotal(other.values_[i]);
+    if (c != 0) return c;
+  }
+  if (values_.size() == other.values_.size()) return 0;
+  return values_.size() < other.values_.size() ? -1 : 1;
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0x51ed270b;
+  for (const Value& v : values_) {
+    h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  return "(" +
+         JoinMapped(values_, ", ", [](const Value& v) { return v.ToString(); }) +
+         ")";
+}
+
+void Relation::Add(Tuple row) {
+  assert(schema_.size() == 0 || row.size() == schema_.size());
+  rows_.push_back(std::move(row));
+}
+
+Status Relation::Append(const Relation& other) {
+  if (other.schema().size() != schema_.size()) {
+    return InvalidArgument("union-incompatible widths: " +
+                           schema_.ToString() + " vs " +
+                           other.schema().ToString());
+  }
+  rows_.insert(rows_.end(), other.rows_.begin(), other.rows_.end());
+  return Status::Ok();
+}
+
+bool Relation::Contains(const Tuple& row) const {
+  for (const Tuple& t : rows_) {
+    if (t == row) return true;
+  }
+  return false;
+}
+
+Relation Relation::Distinct() const {
+  Relation out(schema_);
+  std::unordered_map<Tuple, bool, TupleHash> seen;
+  for (const Tuple& t : rows_) {
+    auto [it, inserted] = seen.emplace(t, true);
+    if (inserted) out.Add(t);
+  }
+  return out;
+}
+
+Relation Relation::Sorted() const {
+  Relation out = *this;
+  std::sort(out.rows_.begin(), out.rows_.end(),
+            [](const Tuple& a, const Tuple& b) { return a.CompareTotal(b) < 0; });
+  return out;
+}
+
+bool Relation::EqualsBag(const Relation& other) const {
+  if (rows_.size() != other.rows_.size()) return false;
+  if (schema_.size() != other.schema_.size()) return false;
+  const Relation a = Sorted();
+  const Relation b = other.Sorted();
+  for (size_t i = 0; i < a.rows_.size(); ++i) {
+    if (!(a.rows_[i] == b.rows_[i])) return false;
+  }
+  return true;
+}
+
+bool Relation::EqualsSet(const Relation& other) const {
+  if (schema_.size() != other.schema_.size()) return false;
+  return Distinct().EqualsBag(other.Distinct());
+}
+
+std::string Relation::ToString() const {
+  // Compute column widths from header and cells.
+  const int ncols = schema_.size();
+  std::vector<size_t> width(static_cast<size_t>(ncols), 0);
+  for (int i = 0; i < ncols; ++i) {
+    width[static_cast<size_t>(i)] = schema_.name(i).size();
+  }
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const Tuple& t : rows_) {
+    std::vector<std::string> row;
+    row.reserve(static_cast<size_t>(ncols));
+    for (int i = 0; i < ncols && i < t.size(); ++i) {
+      row.push_back(t.at(i).ToString());
+      width[static_cast<size_t>(i)] =
+          std::max(width[static_cast<size_t>(i)], row.back().size());
+    }
+    cells.push_back(std::move(row));
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out += "|";
+    for (int i = 0; i < ncols; ++i) {
+      const std::string& cell =
+          i < static_cast<int>(row.size()) ? row[static_cast<size_t>(i)] : "";
+      out += " " + cell +
+             std::string(width[static_cast<size_t>(i)] - cell.size(), ' ') +
+             " |";
+    }
+    out += "\n";
+  };
+  emit_row(schema_.names());
+  out += "|";
+  for (int i = 0; i < ncols; ++i) {
+    out += std::string(width[static_cast<size_t>(i)] + 2, '-') + "|";
+  }
+  out += "\n";
+  for (const auto& row : cells) emit_row(row);
+  if (rows_.empty()) out += "(empty)\n";
+  return out;
+}
+
+}  // namespace arc::data

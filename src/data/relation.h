@@ -1,0 +1,118 @@
+// Schema, Tuple, Relation: the flat relational substrate (1NF). A Relation
+// is physically a bag (ordered vector of rows); whether it denotes a set or
+// a bag is decided by the interpretation convention (§2.7), so set-oriented
+// operations (Distinct, set-equality) are provided alongside bag ones.
+#ifndef ARC_DATA_RELATION_H_
+#define ARC_DATA_RELATION_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/value.h"
+
+namespace arc::data {
+
+/// Named attributes in declaration order (the named perspective, §2.1).
+/// Attribute lookup is case-insensitive; display preserves original case.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> names) : names_(std::move(names)) {}
+  Schema(std::initializer_list<const char*> names);
+
+  int size() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int i) const { return names_[static_cast<size_t>(i)]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of `attr` (case-insensitive) or -1.
+  int IndexOf(std::string_view attr) const;
+  bool Has(std::string_view attr) const { return IndexOf(attr) >= 0; }
+
+  bool operator==(const Schema& other) const;
+
+  /// "(A, B, C)"
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// A row of values. Width must match the owning relation's schema.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  int size() const { return static_cast<int>(values_.size()); }
+  const Value& at(int i) const { return values_[static_cast<size_t>(i)]; }
+  Value& at(int i) { return values_[static_cast<size_t>(i)]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  bool operator==(const Tuple& other) const;
+  /// Lexicographic total order (uses Value::CompareTotal).
+  int CompareTotal(const Tuple& other) const;
+  size_t Hash() const;
+
+  /// "(1, 'a', null)"
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  Relation(Schema schema, std::vector<Tuple> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  int64_t size() const { return static_cast<int64_t>(rows_.size()); }
+  bool empty() const { return rows_.empty(); }
+
+  void Add(Tuple row);
+  /// Convenience for tests/generators; widths are checked in debug builds.
+  void Add(std::initializer_list<Value> row) { Add(Tuple(row)); }
+
+  /// Appends all rows of `other` (schemas must be union-compatible in
+  /// width; attribute names of *this win).
+  Status Append(const Relation& other);
+
+  /// True if `row` occurs at least once (structural equality).
+  bool Contains(const Tuple& row) const;
+
+  /// Deduplicated copy (first occurrence order preserved).
+  Relation Distinct() const;
+
+  /// Copy with rows in canonical total order (for stable printing/diffing).
+  Relation Sorted() const;
+
+  /// Bag equality: same multiset of rows (schema widths must match; names
+  /// are ignored, as positional output comparison is what query results
+  /// need).
+  bool EqualsBag(const Relation& other) const;
+  /// Set equality: same set of rows ignoring multiplicity.
+  bool EqualsSet(const Relation& other) const;
+
+  /// ASCII table: header, separator, rows (canonical order not applied).
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace arc::data
+
+#endif  // ARC_DATA_RELATION_H_

@@ -1,0 +1,326 @@
+#include "data/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/strings.h"
+
+namespace arc::data {
+
+TriBool TriAnd(TriBool a, TriBool b) {
+  // Kleene conjunction = minimum under false < unknown < true.
+  return a < b ? a : b;
+}
+
+TriBool TriOr(TriBool a, TriBool b) {
+  // Kleene disjunction = maximum.
+  return a > b ? a : b;
+}
+
+TriBool TriNot(TriBool a) {
+  switch (a) {
+    case TriBool::kFalse:
+      return TriBool::kTrue;
+    case TriBool::kTrue:
+      return TriBool::kFalse;
+    case TriBool::kUnknown:
+      return TriBool::kUnknown;
+  }
+  return TriBool::kUnknown;
+}
+
+const char* TriBoolName(TriBool t) {
+  switch (t) {
+    case TriBool::kFalse:
+      return "false";
+    case TriBool::kUnknown:
+      return "unknown";
+    case TriBool::kTrue:
+      return "true";
+  }
+  return "?";
+}
+
+const char* CmpOpSymbol(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+CmpOp FlipCmpOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpOp::kEq;
+    case CmpOp::kNe:
+      return CmpOp::kNe;
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+  }
+  return op;
+}
+
+CmpOp NegateCmpOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpOp::kNe;
+    case CmpOp::kNe:
+      return CmpOp::kEq;
+    case CmpOp::kLt:
+      return CmpOp::kGe;
+    case CmpOp::kLe:
+      return CmpOp::kGt;
+    case CmpOp::kGt:
+      return CmpOp::kLe;
+    case CmpOp::kGe:
+      return CmpOp::kLt;
+  }
+  return op;
+}
+
+const char* ArithOpSymbol(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+    case ArithOp::kMod:
+      return "%";
+  }
+  return "?";
+}
+
+ValueKind Value::kind() const {
+  switch (rep_.index()) {
+    case 0:
+      return ValueKind::kNull;
+    case 1:
+      return ValueKind::kBool;
+    case 2:
+      return ValueKind::kInt;
+    case 3:
+      return ValueKind::kDouble;
+    default:
+      return ValueKind::kString;
+  }
+}
+
+double Value::ToDouble() const {
+  if (kind() == ValueKind::kInt) return static_cast<double>(as_int());
+  return as_double();
+}
+
+bool Value::Equals(const Value& other) const {
+  const ValueKind k1 = kind();
+  const ValueKind k2 = other.kind();
+  if (k1 == ValueKind::kNull || k2 == ValueKind::kNull) return k1 == k2;
+  if (is_numeric() && other.is_numeric()) {
+    if (k1 == ValueKind::kInt && k2 == ValueKind::kInt)
+      return as_int() == other.as_int();
+    return ToDouble() == other.ToDouble();
+  }
+  if (k1 != k2) return false;
+  if (k1 == ValueKind::kBool) return as_bool() == other.as_bool();
+  return as_string() == other.as_string();
+}
+
+int Value::CompareTotal(const Value& other) const {
+  auto rank = [](const Value& v) {
+    switch (v.kind()) {
+      case ValueKind::kNull:
+        return 0;
+      case ValueKind::kBool:
+        return 1;
+      case ValueKind::kInt:
+      case ValueKind::kDouble:
+        return 2;
+      case ValueKind::kString:
+        return 3;
+    }
+    return 4;
+  };
+  const int r1 = rank(*this);
+  const int r2 = rank(other);
+  if (r1 != r2) return r1 < r2 ? -1 : 1;
+  switch (kind()) {
+    case ValueKind::kNull:
+      return 0;
+    case ValueKind::kBool: {
+      const int a = as_bool() ? 1 : 0;
+      const int b = other.as_bool() ? 1 : 0;
+      return a - b;
+    }
+    case ValueKind::kInt:
+    case ValueKind::kDouble: {
+      if (kind() == ValueKind::kInt && other.kind() == ValueKind::kInt) {
+        const int64_t a = as_int();
+        const int64_t b = other.as_int();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      const double a = ToDouble();
+      const double b = other.ToDouble();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueKind::kString:
+      return as_string().compare(other.as_string());
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueKind::kBool:
+      return as_bool() ? 0x7f4a7c15 : 0x15c47f4a;
+    case ValueKind::kInt:
+      // Hash ints through double when losslessly representable so that
+      // 2 and 2.0 (which are Equals) share a hash.
+      if (static_cast<int64_t>(static_cast<double>(as_int())) == as_int()) {
+        return std::hash<double>()(static_cast<double>(as_int()));
+      }
+      return std::hash<int64_t>()(as_int());
+    case ValueKind::kDouble:
+      return std::hash<double>()(as_double());
+    case ValueKind::kString:
+      return std::hash<std::string>()(as_string());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return as_bool() ? "true" : "false";
+    case ValueKind::kInt:
+      return std::to_string(as_int());
+    case ValueKind::kDouble:
+      return FormatDouble(as_double());
+    case ValueKind::kString:
+      return "'" + as_string() + "'";
+  }
+  return "?";
+}
+
+namespace {
+
+// Comparison of two non-null values of compatible kinds; <0 / 0 / >0.
+Result<int> CompareNonNull(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.kind() == ValueKind::kInt && b.kind() == ValueKind::kInt) {
+      const int64_t x = a.as_int();
+      const int64_t y = b.as_int();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    const double x = a.ToDouble();
+    const double y = b.ToDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.kind() == ValueKind::kString && b.kind() == ValueKind::kString) {
+    const int c = a.as_string().compare(b.as_string());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (a.kind() == ValueKind::kBool && b.kind() == ValueKind::kBool) {
+    const int x = a.as_bool() ? 1 : 0;
+    const int y = b.as_bool() ? 1 : 0;
+    return x - y;
+  }
+  return EvalError("cannot compare " + a.ToString() + " with " + b.ToString());
+}
+
+}  // namespace
+
+Result<TriBool> Compare(CmpOp op, const Value& a, const Value& b,
+                        NullLogic logic) {
+  if (a.is_null() || b.is_null()) {
+    return logic == NullLogic::kThreeValued ? TriBool::kUnknown
+                                            : TriBool::kFalse;
+  }
+  ARC_ASSIGN_OR_RETURN(int c, CompareNonNull(a, b));
+  switch (op) {
+    case CmpOp::kEq:
+      return FromBool(c == 0);
+    case CmpOp::kNe:
+      return FromBool(c != 0);
+    case CmpOp::kLt:
+      return FromBool(c < 0);
+    case CmpOp::kLe:
+      return FromBool(c <= 0);
+    case CmpOp::kGt:
+      return FromBool(c > 0);
+    case CmpOp::kGe:
+      return FromBool(c >= 0);
+  }
+  return EvalError("bad comparison operator");
+}
+
+Result<Value> Arith(ArithOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return EvalError("arithmetic requires numeric operands, got " +
+                     a.ToString() + " " + std::string(ArithOpSymbol(op)) +
+                     " " + b.ToString());
+  }
+  const bool both_int =
+      a.kind() == ValueKind::kInt && b.kind() == ValueKind::kInt;
+  if (both_int) {
+    const int64_t x = a.as_int();
+    const int64_t y = b.as_int();
+    switch (op) {
+      case ArithOp::kAdd:
+        return Value::Int(x + y);
+      case ArithOp::kSub:
+        return Value::Int(x - y);
+      case ArithOp::kMul:
+        return Value::Int(x * y);
+      case ArithOp::kDiv:
+        if (y == 0) return EvalError("integer division by zero");
+        return Value::Int(x / y);
+      case ArithOp::kMod:
+        if (y == 0) return EvalError("modulo by zero");
+        return Value::Int(x % y);
+    }
+  }
+  const double x = a.ToDouble();
+  const double y = b.ToDouble();
+  switch (op) {
+    case ArithOp::kAdd:
+      return Value::Double(x + y);
+    case ArithOp::kSub:
+      return Value::Double(x - y);
+    case ArithOp::kMul:
+      return Value::Double(x * y);
+    case ArithOp::kDiv:
+      if (y == 0) return EvalError("division by zero");
+      return Value::Double(x / y);
+    case ArithOp::kMod:
+      if (y == 0) return EvalError("modulo by zero");
+      return Value::Double(std::fmod(x, y));
+  }
+  return EvalError("bad arithmetic operator");
+}
+
+}  // namespace arc::data

@@ -1,0 +1,114 @@
+// Value: the scalar domain of the library (null, bool, int64, double,
+// string), together with three-valued-logic booleans (TriBool) and the
+// comparison/arithmetic semantics that the evaluators share.
+//
+// Equality vs. SQL-equality. `operator==` / `Equals` is *structural*
+// equality in which null == null holds; this is the notion used for
+// grouping, deduplication, and result comparison (matching SQL's GROUP BY /
+// DISTINCT treatment of nulls). Query *predicates* instead go through
+// `Compare`, which is parameterized by the null-logic convention and
+// returns a TriBool (§2.6, §2.10 of the paper).
+#ifndef ARC_DATA_VALUE_H_
+#define ARC_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace arc::data {
+
+enum class ValueKind { kNull, kBool, kInt, kDouble, kString };
+
+/// Three-valued logic truth value (SQL's true/false/unknown).
+enum class TriBool { kFalse = 0, kUnknown = 1, kTrue = 2 };
+
+TriBool TriAnd(TriBool a, TriBool b);
+TriBool TriOr(TriBool a, TriBool b);
+TriBool TriNot(TriBool a);
+inline TriBool FromBool(bool b) { return b ? TriBool::kTrue : TriBool::kFalse; }
+/// Collapses unknown to false (the final WHERE-clause filter rule).
+inline bool IsTrue(TriBool t) { return t == TriBool::kTrue; }
+const char* TriBoolName(TriBool t);
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+const char* CmpOpSymbol(CmpOp op);
+CmpOp FlipCmpOp(CmpOp op);    // argument order swap: a < b  ==  b > a
+CmpOp NegateCmpOp(CmpOp op);  // logical negation: !(a < b)  ==  a >= b
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod };
+const char* ArithOpSymbol(ArithOp op);
+
+/// How comparisons involving null behave (a *convention*, §2.6).
+enum class NullLogic {
+  kThreeValued,  // SQL: any comparison with null yields unknown
+  kTwoValued,    // collapse: any comparison with null yields false
+};
+
+class Value {
+ public:
+  /// Default-constructs the null value.
+  Value() : rep_(NullRep{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Rep(b)); }
+  static Value Int(int64_t i) { return Value(Rep(i)); }
+  static Value Double(double d) { return Value(Rep(d)); }
+  static Value String(std::string s) { return Value(Rep(std::move(s))); }
+
+  ValueKind kind() const;
+  bool is_null() const { return kind() == ValueKind::kNull; }
+  bool is_numeric() const {
+    return kind() == ValueKind::kInt || kind() == ValueKind::kDouble;
+  }
+
+  // Accessors assert the kind in debug builds.
+  bool as_bool() const { return std::get<bool>(rep_); }
+  int64_t as_int() const { return std::get<int64_t>(rep_); }
+  double as_double() const { return std::get<double>(rep_); }
+  const std::string& as_string() const { return std::get<std::string>(rep_); }
+
+  /// Numeric value widened to double (int or double kinds only).
+  double ToDouble() const;
+
+  /// Structural equality; null equals null. Ints and doubles representing
+  /// the same number are equal (2 == 2.0).
+  bool Equals(const Value& other) const;
+  bool operator==(const Value& other) const { return Equals(other); }
+  bool operator!=(const Value& other) const { return !Equals(other); }
+
+  /// Total order for canonical sorting (null < bool < numeric < string).
+  /// Returns <0, 0, >0. Not a query-level comparison.
+  int CompareTotal(const Value& other) const;
+
+  /// Structural hash consistent with Equals.
+  size_t Hash() const;
+
+  /// Display form: null, true/false, 42, 2.5, 'text'.
+  std::string ToString() const;
+
+ private:
+  struct NullRep {};
+  using Rep = std::variant<NullRep, bool, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  Rep rep_;
+};
+
+/// Query-level comparison under the given null-logic convention. Comparing
+/// a string with a number is an error; numeric kinds inter-compare.
+Result<TriBool> Compare(CmpOp op, const Value& a, const Value& b,
+                        NullLogic logic);
+
+/// Arithmetic. Any null operand yields null (both conventions). int⊗int
+/// stays int (kDiv truncates, as in SQL integer division); any double
+/// operand widens to double. Division or modulo by zero is an error.
+Result<Value> Arith(ArithOp op, const Value& a, const Value& b);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace arc::data
+
+#endif  // ARC_DATA_VALUE_H_

@@ -1,0 +1,186 @@
+#include "datalog/ast.h"
+
+#include "common/strings.h"
+
+namespace arc::datalog {
+
+DlTermPtr DlTerm::Clone() const {
+  auto out = std::make_unique<DlTerm>();
+  out->kind = kind;
+  out->var = var;
+  out->value = value;
+  out->op = op;
+  if (lhs) out->lhs = lhs->Clone();
+  if (rhs) out->rhs = rhs->Clone();
+  return out;
+}
+
+void DlTerm::CollectVars(std::vector<std::string>* out) const {
+  switch (kind) {
+    case DlTermKind::kVar:
+      out->push_back(var);
+      return;
+    case DlTermKind::kArith:
+      if (lhs) lhs->CollectVars(out);
+      if (rhs) rhs->CollectVars(out);
+      return;
+    default:
+      return;
+  }
+}
+
+DlTermPtr DlVar(std::string name) {
+  auto t = std::make_unique<DlTerm>();
+  t->kind = DlTermKind::kVar;
+  t->var = std::move(name);
+  return t;
+}
+
+DlTermPtr DlConst(data::Value v) {
+  auto t = std::make_unique<DlTerm>();
+  t->kind = DlTermKind::kConst;
+  t->value = std::move(v);
+  return t;
+}
+
+DlTermPtr DlWildcard() {
+  auto t = std::make_unique<DlTerm>();
+  t->kind = DlTermKind::kUnderscore;
+  return t;
+}
+
+DlTermPtr DlArith(data::ArithOp op, DlTermPtr lhs, DlTermPtr rhs) {
+  auto t = std::make_unique<DlTerm>();
+  t->kind = DlTermKind::kArith;
+  t->op = op;
+  t->lhs = std::move(lhs);
+  t->rhs = std::move(rhs);
+  return t;
+}
+
+Atom Atom::Clone() const {
+  Atom out;
+  out.predicate = predicate;
+  out.args.reserve(args.size());
+  for (const DlTermPtr& a : args) out.args.push_back(a->Clone());
+  return out;
+}
+
+Aggregate Aggregate::Clone() const {
+  Aggregate out;
+  out.func = func;
+  out.result_var = result_var;
+  if (target) out.target = target->Clone();
+  for (const Atom& a : body_atoms) out.body_atoms.push_back(a.Clone());
+  for (const Comparison& c : body_comparisons) {
+    out.body_comparisons.push_back({c.op, c.lhs->Clone(), c.rhs->Clone()});
+  }
+  return out;
+}
+
+Literal Literal::Clone() const {
+  Literal out;
+  out.kind = kind;
+  out.atom = atom.Clone();
+  out.cmp = cmp;
+  if (lhs) out.lhs = lhs->Clone();
+  if (rhs) out.rhs = rhs->Clone();
+  out.aggregate = aggregate.Clone();
+  return out;
+}
+
+Rule Rule::Clone() const {
+  Rule out;
+  out.head = head.Clone();
+  for (const Literal& l : body) out.body.push_back(l.Clone());
+  return out;
+}
+
+const Declaration* DlProgram::FindDecl(std::string_view predicate) const {
+  for (const Declaration& d : decls) {
+    if (EqualsIgnoreCase(d.predicate, predicate)) return &d;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string TermText(const DlTerm& t) {
+  switch (t.kind) {
+    case DlTermKind::kVar:
+      return t.var;
+    case DlTermKind::kConst:
+      return t.value.ToString();
+    case DlTermKind::kUnderscore:
+      return "_";
+    case DlTermKind::kArith:
+      return "(" + TermText(*t.lhs) + " " + data::ArithOpSymbol(t.op) + " " +
+             TermText(*t.rhs) + ")";
+  }
+  return "?";
+}
+
+std::string AtomText(const Atom& a) {
+  return a.predicate + "(" +
+         JoinMapped(a.args, ", ",
+                    [](const DlTermPtr& t) { return TermText(*t); }) +
+         ")";
+}
+
+std::string LiteralText(const Literal& l) {
+  switch (l.kind) {
+    case LiteralKind::kAtom:
+      return AtomText(l.atom);
+    case LiteralKind::kNegatedAtom:
+      return "!" + AtomText(l.atom);
+    case LiteralKind::kComparison:
+      return TermText(*l.lhs) + " " + data::CmpOpSymbol(l.cmp) + " " +
+             TermText(*l.rhs);
+    case LiteralKind::kAggregate: {
+      const Aggregate& agg = l.aggregate;
+      std::string out = agg.result_var + " = ";
+      out += agg.func == AggFunc::kAvg ? "mean" : AggFuncName(agg.func);
+      if (agg.target) out += " " + TermText(*agg.target);
+      out += " : { ";
+      std::vector<std::string> parts;
+      for (const Atom& a : agg.body_atoms) parts.push_back(AtomText(a));
+      for (const Aggregate::Comparison& c : agg.body_comparisons) {
+        parts.push_back(TermText(*c.lhs) + " " +
+                        data::CmpOpSymbol(c.op) + " " + TermText(*c.rhs));
+      }
+      out += Join(parts, ", ");
+      out += " }";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ToDatalog(const Rule& rule) {
+  std::string out = AtomText(rule.head);
+  if (!rule.body.empty()) {
+    out += " :- ";
+    out += JoinMapped(rule.body, ", ",
+                      [](const Literal& l) { return LiteralText(l); });
+  }
+  out += ".";
+  return out;
+}
+
+std::string ToDatalog(const DlProgram& program) {
+  std::string out;
+  for (const Declaration& d : program.decls) {
+    out += ".decl " + d.predicate + "(" + Join(d.attrs, ", ") + ")\n";
+  }
+  for (const Atom& f : program.facts) {
+    out += AtomText(f) + ".\n";
+  }
+  for (const Rule& r : program.rules) {
+    out += ToDatalog(r) + "\n";
+  }
+  return out;
+}
+
+}  // namespace arc::datalog

@@ -1,0 +1,110 @@
+// AST for the Datalog dialect used in the paper's Soufflé examples
+// (§2.5/§2.6): rules with positive/negated atoms, comparisons, arithmetic
+// terms, and Soufflé-style aggregates `v = sum t : { body }` whose scope
+// cannot export variables (the FOI pattern, Eq. 6/15).
+//
+//   .decl P(s, t)
+//   A(x, y) :- P(x, y).
+//   A(x, y) :- P(x, z), A(z, y).
+//   Q(ak, sm) :- R(ak, _), sm = sum b : { S(a, b), a < ak }.
+//   V(x) :- R(x, _), !S(x, _).
+//   P(1, 2).                         -- fact
+#ifndef ARC_DATALOG_AST_H_
+#define ARC_DATALOG_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arc/ast.h"  // AggFunc
+#include "data/value.h"
+
+namespace arc::datalog {
+
+struct DlTerm;
+using DlTermPtr = std::unique_ptr<DlTerm>;
+
+enum class DlTermKind { kVar, kConst, kUnderscore, kArith };
+
+struct DlTerm {
+  DlTermKind kind = DlTermKind::kVar;
+  std::string var;      // kVar
+  data::Value value;    // kConst
+  data::ArithOp op = data::ArithOp::kAdd;  // kArith
+  DlTermPtr lhs;
+  DlTermPtr rhs;
+
+  DlTermPtr Clone() const;
+  void CollectVars(std::vector<std::string>* out) const;
+};
+
+DlTermPtr DlVar(std::string name);
+DlTermPtr DlConst(data::Value v);
+DlTermPtr DlWildcard();
+DlTermPtr DlArith(data::ArithOp op, DlTermPtr lhs, DlTermPtr rhs);
+
+struct Atom {
+  std::string predicate;
+  std::vector<DlTermPtr> args;
+
+  Atom Clone() const;
+};
+
+/// Soufflé-style aggregate: `result_var = func target : { body_atoms,
+/// comparisons }`. Variables inside the braces that are not bound outside
+/// are existential and cannot escape (§2.5, FOI).
+struct Aggregate {
+  AggFunc func = AggFunc::kSum;
+  std::string result_var;
+  DlTermPtr target;  // null for count
+  std::vector<Atom> body_atoms;
+  struct Comparison {
+    data::CmpOp op;
+    DlTermPtr lhs;
+    DlTermPtr rhs;
+  };
+  std::vector<Comparison> body_comparisons;
+
+  Aggregate Clone() const;
+};
+
+enum class LiteralKind { kAtom, kNegatedAtom, kComparison, kAggregate };
+
+struct Literal {
+  LiteralKind kind = LiteralKind::kAtom;
+  Atom atom;            // kAtom / kNegatedAtom
+  data::CmpOp cmp = data::CmpOp::kEq;  // kComparison
+  DlTermPtr lhs;
+  DlTermPtr rhs;
+  Aggregate aggregate;  // kAggregate
+
+  Literal Clone() const;
+};
+
+struct Rule {
+  Atom head;
+  std::vector<Literal> body;
+
+  Rule Clone() const;
+};
+
+struct Declaration {
+  std::string predicate;
+  std::vector<std::string> attrs;
+};
+
+struct DlProgram {
+  std::vector<Declaration> decls;
+  std::vector<Rule> rules;
+  std::vector<Atom> facts;  // ground atoms
+
+  const Declaration* FindDecl(std::string_view predicate) const;
+};
+
+/// Renders the program back to Soufflé-like text.
+std::string ToDatalog(const DlProgram& program);
+std::string ToDatalog(const Rule& rule);
+
+}  // namespace arc::datalog
+
+#endif  // ARC_DATALOG_AST_H_

@@ -1,0 +1,651 @@
+#include "datalog/eval.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace arc::datalog {
+
+namespace {
+
+using data::Relation;
+using data::Schema;
+using data::Tuple;
+using data::Value;
+
+/// A relation plus a membership index for O(1) dedup.
+struct IndexedRel {
+  Relation rel;
+  std::unordered_set<Tuple, data::TupleHash> index;
+
+  explicit IndexedRel(Schema schema) : rel(std::move(schema)) {}
+  IndexedRel() = default;
+
+  bool Add(Tuple t) {
+    auto [it, inserted] = index.insert(t);
+    (void)it;
+    if (inserted) rel.Add(std::move(t));
+    return inserted;
+  }
+  bool Contains(const Tuple& t) const { return index.count(t) > 0; }
+};
+
+/// Variable bindings during rule evaluation.
+class Bindings {
+ public:
+  const Value* Find(const std::string& var) const {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->first == var) return &it->second;
+    }
+    return nullptr;
+  }
+  void Push(const std::string& var, Value v) {
+    entries_.emplace_back(var, std::move(v));
+  }
+  size_t Mark() const { return entries_.size(); }
+  void Rewind(size_t mark) { entries_.resize(mark); }
+
+ private:
+  std::vector<std::pair<std::string, Value>> entries_;
+};
+
+class DlEvalImpl {
+ public:
+  DlEvalImpl(const data::Database& edb, const DlEvalOptions& options)
+      : edb_(edb), options_(options) {}
+
+  Result<Relation> Run(const DlProgram& program,
+                       std::string_view query_predicate) {
+    program_ = &program;
+    ARC_RETURN_IF_ERROR(CollectPredicates());
+    ARC_RETURN_IF_ERROR(Stratify());
+    ARC_RETURN_IF_ERROR(EvaluateStrata());
+    const std::string key = ToLower(std::string(query_predicate));
+    auto it = relations_.find(key);
+    if (it == relations_.end()) {
+      return NotFound("predicate '" + std::string(query_predicate) +
+                      "' is not defined");
+    }
+    return it->second.rel;
+  }
+
+ private:
+  // ---- schema & predicate discovery --------------------------------------
+
+  Status CollectPredicates() {
+    auto ensure = [&](const std::string& name, int arity) -> Status {
+      const std::string key = ToLower(name);
+      auto it = arity_.find(key);
+      if (it != arity_.end()) {
+        if (it->second != arity) {
+          return InvalidArgument("predicate '" + name +
+                                 "' used with inconsistent arities");
+        }
+        return Status::Ok();
+      }
+      arity_[key] = arity;
+      display_[key] = name;
+      return Status::Ok();
+    };
+    for (const Declaration& d : program_->decls) {
+      ARC_RETURN_IF_ERROR(ensure(d.predicate, static_cast<int>(d.attrs.size())));
+    }
+    for (const Atom& f : program_->facts) {
+      ARC_RETURN_IF_ERROR(ensure(f.predicate, static_cast<int>(f.args.size())));
+      idb_.insert(ToLower(f.predicate));
+    }
+    for (const Rule& r : program_->rules) {
+      ARC_RETURN_IF_ERROR(
+          ensure(r.head.predicate, static_cast<int>(r.head.args.size())));
+      idb_.insert(ToLower(r.head.predicate));
+      for (const Literal& l : r.body) {
+        if (l.kind == LiteralKind::kAtom || l.kind == LiteralKind::kNegatedAtom) {
+          ARC_RETURN_IF_ERROR(
+              ensure(l.atom.predicate, static_cast<int>(l.atom.args.size())));
+        }
+        if (l.kind == LiteralKind::kAggregate) {
+          for (const Atom& a : l.aggregate.body_atoms) {
+            ARC_RETURN_IF_ERROR(
+                ensure(a.predicate, static_cast<int>(a.args.size())));
+          }
+        }
+      }
+    }
+    // Materialize relations: EDB from the database (deduplicated), IDB
+    // empty with declared or positional schemas.
+    for (const auto& [key, arity] : arity_) {
+      Schema schema;
+      if (const Declaration* d = program_->FindDecl(display_[key])) {
+        schema = Schema(d->attrs);
+      } else if (const Relation* rel = edb_.GetPtr(display_[key])) {
+        schema = rel->schema();
+      } else {
+        std::vector<std::string> names;
+        for (int i = 0; i < arity; ++i) {
+          names.push_back("$" + std::to_string(i + 1));
+        }
+        schema = Schema(std::move(names));
+      }
+      IndexedRel indexed(schema);
+      if (const Relation* rel = edb_.GetPtr(display_[key])) {
+        if (rel->schema().size() != arity) {
+          return InvalidArgument("database relation '" + display_[key] +
+                                 "' has arity " +
+                                 std::to_string(rel->schema().size()) +
+                                 " but the program uses " +
+                                 std::to_string(arity));
+        }
+        for (const Tuple& t : rel->rows()) indexed.Add(t);
+      }
+      relations_.emplace(key, std::move(indexed));
+    }
+    for (const Atom& f : program_->facts) {
+      Tuple t;
+      for (const DlTermPtr& a : f.args) t.Append(a->value);
+      relations_.at(ToLower(f.predicate)).Add(std::move(t));
+    }
+    return Status::Ok();
+  }
+
+  // ---- stratification ----------------------------------------------------
+
+  Status Stratify() {
+    // stratum[p] via fixpoint: positive deps p ≥ q; negated/aggregate deps
+    // p > q.
+    for (const auto& [key, arity] : arity_) {
+      (void)arity;
+      stratum_[key] = 0;
+    }
+    const int n = static_cast<int>(arity_.size());
+    bool changed = true;
+    int guard = 0;
+    while (changed) {
+      changed = false;
+      if (++guard > n + 2) {
+        return InvalidArgument(
+            "program is not stratifiable (negation or aggregation through "
+            "recursion)");
+      }
+      for (const Rule& r : program_->rules) {
+        const std::string head = ToLower(r.head.predicate);
+        for (const Literal& l : r.body) {
+          auto bump = [&](const std::string& dep, bool strict) {
+            const int need = stratum_[dep] + (strict ? 1 : 0);
+            if (stratum_[head] < need) {
+              stratum_[head] = need;
+              changed = true;
+            }
+          };
+          switch (l.kind) {
+            case LiteralKind::kAtom:
+              bump(ToLower(l.atom.predicate), false);
+              break;
+            case LiteralKind::kNegatedAtom:
+              bump(ToLower(l.atom.predicate), true);
+              break;
+            case LiteralKind::kAggregate:
+              for (const Atom& a : l.aggregate.body_atoms) {
+                bump(ToLower(a.predicate), true);
+              }
+              break;
+            case LiteralKind::kComparison:
+              break;
+          }
+        }
+      }
+    }
+    max_stratum_ = 0;
+    for (const auto& [key, s] : stratum_) {
+      (void)key;
+      max_stratum_ = std::max(max_stratum_, s);
+    }
+    return Status::Ok();
+  }
+
+  // ---- evaluation --------------------------------------------------------
+
+  Status EvaluateStrata() {
+    for (int s = 0; s <= max_stratum_; ++s) {
+      std::vector<const Rule*> rules;
+      std::unordered_set<std::string> recursive;
+      for (const Rule& r : program_->rules) {
+        if (stratum_.at(ToLower(r.head.predicate)) == s) {
+          rules.push_back(&r);
+          recursive.insert(ToLower(r.head.predicate));
+        }
+      }
+      if (rules.empty()) continue;
+      if (options_.semi_naive) {
+        ARC_RETURN_IF_ERROR(SemiNaive(rules, recursive));
+      } else {
+        ARC_RETURN_IF_ERROR(Naive(rules));
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status Naive(const std::vector<const Rule*>& rules) {
+    for (int64_t iter = 0;; ++iter) {
+      if (iter >= options_.max_iterations) {
+        return EvalError("Datalog fixpoint did not converge");
+      }
+      bool any_new = false;
+      for (const Rule* r : rules) {
+        ARC_RETURN_IF_ERROR(EvalRule(*r, nullptr, "", &any_new));
+      }
+      if (!any_new) return Status::Ok();
+    }
+  }
+
+  Status SemiNaive(const std::vector<const Rule*>& rules,
+                   const std::unordered_set<std::string>& recursive) {
+    // Deltas: start as everything currently known for the stratum's heads
+    // (facts + lower strata contributions).
+    std::unordered_map<std::string, IndexedRel> delta;
+    auto fresh_delta = [&](const std::string& key) {
+      IndexedRel d(relations_.at(key).rel.schema());
+      return d;
+    };
+    // Initial round: evaluate all rules against full relations.
+    std::unordered_map<std::string, IndexedRel> new_delta;
+    for (const std::string& key : recursive) {
+      new_delta.emplace(key, fresh_delta(key));
+    }
+    for (const Rule* r : rules) {
+      bool any = false;
+      ARC_RETURN_IF_ERROR(EvalRuleInto(*r, nullptr, "", &new_delta, &any));
+    }
+    delta = std::move(new_delta);
+
+    for (int64_t iter = 0;; ++iter) {
+      if (iter >= options_.max_iterations) {
+        return EvalError("Datalog fixpoint did not converge");
+      }
+      bool delta_nonempty = false;
+      for (const auto& [key, d] : delta) {
+        if (!d.rel.empty()) delta_nonempty = true;
+      }
+      if (!delta_nonempty) return Status::Ok();
+      new_delta.clear();
+      for (const std::string& key : recursive) {
+        new_delta.emplace(key, fresh_delta(key));
+      }
+      for (const Rule* r : rules) {
+        // One variant per positive occurrence of a recursive predicate:
+        // that occurrence ranges over the delta, the others over the full
+        // relation.
+        int occurrence = 0;
+        for (size_t i = 0; i < r->body.size(); ++i) {
+          const Literal& l = r->body[i];
+          if (l.kind != LiteralKind::kAtom) continue;
+          const std::string key = ToLower(l.atom.predicate);
+          if (recursive.count(key) == 0) continue;
+          bool any = false;
+          ARC_RETURN_IF_ERROR(EvalRuleInto(
+              *r, &delta, key + "#" + std::to_string(i), &new_delta, &any));
+          ++occurrence;
+        }
+        (void)occurrence;
+      }
+      delta = std::move(new_delta);
+    }
+  }
+
+  /// Evaluates one rule. When `delta` is provided, the positive body atom
+  /// tagged `delta_tag` ("pred#index") ranges over the delta relation.
+  Status EvalRule(const Rule& r,
+                  const std::unordered_map<std::string, IndexedRel>* delta,
+                  const std::string& delta_tag, bool* any_new) {
+    std::unordered_map<std::string, IndexedRel>* no_sink = nullptr;
+    return EvalRuleImpl(r, delta, delta_tag, no_sink, any_new);
+  }
+
+  Status EvalRuleInto(const Rule& r,
+                      const std::unordered_map<std::string, IndexedRel>* delta,
+                      const std::string& delta_tag,
+                      std::unordered_map<std::string, IndexedRel>* sink,
+                      bool* any_new) {
+    return EvalRuleImpl(r, delta, delta_tag, sink, any_new);
+  }
+
+  Status EvalRuleImpl(const Rule& r,
+                      const std::unordered_map<std::string, IndexedRel>* delta,
+                      const std::string& delta_tag,
+                      std::unordered_map<std::string, IndexedRel>* sink,
+                      bool* any_new) {
+    Bindings bindings;
+    return EvalLiterals(r, 0, &bindings, delta, delta_tag, sink, any_new);
+  }
+
+  Status EvalLiterals(const Rule& r, size_t idx, Bindings* bindings,
+                      const std::unordered_map<std::string, IndexedRel>* delta,
+                      const std::string& delta_tag,
+                      std::unordered_map<std::string, IndexedRel>* sink,
+                      bool* any_new) {
+    if (idx == r.body.size()) return DeriveHead(r, *bindings, sink, any_new);
+    const Literal& l = r.body[idx];
+    switch (l.kind) {
+      case LiteralKind::kAtom: {
+        const std::string key = ToLower(l.atom.predicate);
+        const IndexedRel* source = &relations_.at(key);
+        if (delta != nullptr &&
+            delta_tag == key + "#" + std::to_string(idx)) {
+          auto it = delta->find(key);
+          if (it != delta->end()) source = &it->second;
+        }
+        // Snapshot the size: deriving into the head may grow this very
+        // relation (recursive rules); new tuples are picked up next round.
+        const size_t n_rows = source->rel.rows().size();
+        for (size_t row = 0; row < n_rows; ++row) {
+          const Tuple& t = source->rel.rows()[row];
+          const size_t mark = bindings->Mark();
+          bool ok = true;
+          for (size_t i = 0; i < l.atom.args.size() && ok; ++i) {
+            ok = UnifyArg(*l.atom.args[i], t.at(static_cast<int>(i)), bindings);
+          }
+          if (ok) {
+            ARC_RETURN_IF_ERROR(EvalLiterals(r, idx + 1, bindings, delta,
+                                             delta_tag, sink, any_new));
+          }
+          bindings->Rewind(mark);
+        }
+        return Status::Ok();
+      }
+      case LiteralKind::kNegatedAtom: {
+        const std::string key = ToLower(l.atom.predicate);
+        const IndexedRel& source = relations_.at(key);
+        // All variables must be bound (safety).
+        Tuple probe;
+        bool simple = true;
+        for (const DlTermPtr& a : l.atom.args) {
+          ARC_ASSIGN_OR_RETURN(std::optional<Value> v,
+                               TryEvalTerm(*a, *bindings));
+          if (a->kind == DlTermKind::kUnderscore) {
+            simple = false;
+            break;
+          }
+          if (!v.has_value()) {
+            return EvalError("unbound variable in negated atom " +
+                             l.atom.predicate);
+          }
+          probe.Append(*v);
+        }
+        bool matched;
+        if (simple) {
+          matched = source.Contains(probe);
+        } else {
+          // Wildcards present: scan.
+          matched = false;
+          for (const Tuple& t : source.rel.rows()) {
+            bool all = true;
+            for (size_t i = 0; i < l.atom.args.size() && all; ++i) {
+              const DlTerm& a = *l.atom.args[i];
+              if (a.kind == DlTermKind::kUnderscore) continue;
+              ARC_ASSIGN_OR_RETURN(std::optional<Value> v,
+                                   TryEvalTerm(a, *bindings));
+              if (!v.has_value() || !(*v == t.at(static_cast<int>(i)))) {
+                all = false;
+              }
+            }
+            if (all) {
+              matched = true;
+              break;
+            }
+          }
+        }
+        if (!matched) {
+          return EvalLiterals(r, idx + 1, bindings, delta, delta_tag, sink,
+                              any_new);
+        }
+        return Status::Ok();
+      }
+      case LiteralKind::kComparison: {
+        // `x = expr` with unbound x grounds x (Soufflé-style assignment).
+        if (l.cmp == data::CmpOp::kEq && l.lhs->kind == DlTermKind::kVar &&
+            bindings->Find(l.lhs->var) == nullptr) {
+          ARC_ASSIGN_OR_RETURN(std::optional<Value> v,
+                               TryEvalTerm(*l.rhs, *bindings));
+          if (!v.has_value()) {
+            return EvalError("cannot ground variable '" + l.lhs->var + "'");
+          }
+          const size_t mark = bindings->Mark();
+          bindings->Push(l.lhs->var, *v);
+          Status s = EvalLiterals(r, idx + 1, bindings, delta, delta_tag,
+                                  sink, any_new);
+          bindings->Rewind(mark);
+          return s;
+        }
+        ARC_ASSIGN_OR_RETURN(std::optional<Value> lv,
+                             TryEvalTerm(*l.lhs, *bindings));
+        ARC_ASSIGN_OR_RETURN(std::optional<Value> rv,
+                             TryEvalTerm(*l.rhs, *bindings));
+        if (!lv.has_value() || !rv.has_value()) {
+          return EvalError("unbound variable in comparison");
+        }
+        ARC_ASSIGN_OR_RETURN(
+            data::TriBool v,
+            data::Compare(l.cmp, *lv, *rv, data::NullLogic::kTwoValued));
+        if (data::IsTrue(v)) {
+          return EvalLiterals(r, idx + 1, bindings, delta, delta_tag, sink,
+                              any_new);
+        }
+        return Status::Ok();
+      }
+      case LiteralKind::kAggregate:
+        return EvalAggregate(r, idx, bindings, delta, delta_tag, sink,
+                             any_new);
+    }
+    return Internal("bad literal");
+  }
+
+  Status EvalAggregate(const Rule& r, size_t idx, Bindings* bindings,
+                       const std::unordered_map<std::string, IndexedRel>* delta,
+                       const std::string& delta_tag,
+                       std::unordered_map<std::string, IndexedRel>* sink,
+                       bool* any_new) {
+    const Aggregate& agg = r.body[idx].aggregate;
+    // Enumerate the aggregate scope: variables bound outside stay bound;
+    // inner variables are existential and do not escape (§2.5 FOI).
+    std::vector<Value> values;
+    int64_t count = 0;
+    ARC_RETURN_IF_ERROR(
+        EnumerateAggBody(agg, 0, bindings, &values, &count));
+    Value result;
+    const bool empty = count == 0;
+    switch (agg.func) {
+      case AggFunc::kCount:
+        result = Value::Int(count);
+        break;
+      case AggFunc::kSum: {
+        if (empty) {
+          result = Value::Int(0);  // Soufflé: sum over ∅ = 0 (Eq. 15)
+          break;
+        }
+        Value acc = values[0];
+        for (size_t i = 1; i < values.size(); ++i) {
+          ARC_ASSIGN_OR_RETURN(acc,
+                               data::Arith(data::ArithOp::kAdd, acc, values[i]));
+        }
+        result = acc;
+        break;
+      }
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        if (empty) return Status::Ok();  // rule does not fire
+        Value best = values[0];
+        for (size_t i = 1; i < values.size(); ++i) {
+          const int c = values[i].CompareTotal(best);
+          if ((agg.func == AggFunc::kMin && c < 0) ||
+              (agg.func == AggFunc::kMax && c > 0)) {
+            best = values[i];
+          }
+        }
+        result = best;
+        break;
+      }
+      case AggFunc::kAvg: {
+        if (empty) return Status::Ok();  // rule does not fire
+        double sum = 0;
+        for (const Value& v : values) sum += v.ToDouble();
+        result = Value::Double(sum / static_cast<double>(values.size()));
+        break;
+      }
+      default:
+        return Unsupported("aggregate not supported in Datalog");
+    }
+    // Bind or test the result variable.
+    const Value* existing = bindings->Find(agg.result_var);
+    if (existing != nullptr) {
+      if (!(*existing == result)) return Status::Ok();
+      return EvalLiterals(r, idx + 1, bindings, delta, delta_tag, sink,
+                          any_new);
+    }
+    const size_t mark = bindings->Mark();
+    bindings->Push(agg.result_var, std::move(result));
+    Status s =
+        EvalLiterals(r, idx + 1, bindings, delta, delta_tag, sink, any_new);
+    bindings->Rewind(mark);
+    return s;
+  }
+
+  Status EnumerateAggBody(const Aggregate& agg, size_t atom_idx,
+                          Bindings* bindings, std::vector<Value>* values,
+                          int64_t* count) {
+    if (atom_idx == agg.body_atoms.size()) {
+      // Apply comparisons.
+      for (const Aggregate::Comparison& c : agg.body_comparisons) {
+        ARC_ASSIGN_OR_RETURN(std::optional<Value> lv,
+                             TryEvalTerm(*c.lhs, *bindings));
+        ARC_ASSIGN_OR_RETURN(std::optional<Value> rv,
+                             TryEvalTerm(*c.rhs, *bindings));
+        if (!lv.has_value() || !rv.has_value()) {
+          return EvalError("unbound variable in aggregate comparison");
+        }
+        ARC_ASSIGN_OR_RETURN(
+            data::TriBool v,
+            data::Compare(c.op, *lv, *rv, data::NullLogic::kTwoValued));
+        if (!data::IsTrue(v)) return Status::Ok();
+      }
+      ++*count;
+      if (agg.target) {
+        ARC_ASSIGN_OR_RETURN(std::optional<Value> v,
+                             TryEvalTerm(*agg.target, *bindings));
+        if (!v.has_value()) {
+          return EvalError("unbound aggregate target");
+        }
+        values->push_back(std::move(*v));
+      }
+      return Status::Ok();
+    }
+    const Atom& atom = agg.body_atoms[atom_idx];
+    const IndexedRel& source = relations_.at(ToLower(atom.predicate));
+    for (const Tuple& t : source.rel.rows()) {
+      const size_t mark = bindings->Mark();
+      bool ok = true;
+      for (size_t i = 0; i < atom.args.size() && ok; ++i) {
+        ok = UnifyArg(*atom.args[i], t.at(static_cast<int>(i)), bindings);
+      }
+      if (ok) {
+        ARC_RETURN_IF_ERROR(
+            EnumerateAggBody(agg, atom_idx + 1, bindings, values, count));
+      }
+      bindings->Rewind(mark);
+    }
+    return Status::Ok();
+  }
+
+  bool UnifyArg(const DlTerm& arg, const Value& v, Bindings* bindings) {
+    switch (arg.kind) {
+      case DlTermKind::kUnderscore:
+        return true;
+      case DlTermKind::kConst:
+        return arg.value == v;
+      case DlTermKind::kVar: {
+        const Value* bound = bindings->Find(arg.var);
+        if (bound != nullptr) return *bound == v;
+        bindings->Push(arg.var, v);
+        return true;
+      }
+      case DlTermKind::kArith: {
+        auto r = TryEvalTerm(arg, *bindings);
+        if (!r.ok() || !r->has_value()) return false;
+        return **r == v;
+      }
+    }
+    return false;
+  }
+
+  /// Evaluates a term; nullopt if it contains unbound variables.
+  Result<std::optional<Value>> TryEvalTerm(const DlTerm& t,
+                                           const Bindings& bindings) {
+    switch (t.kind) {
+      case DlTermKind::kConst:
+        return std::optional<Value>(t.value);
+      case DlTermKind::kVar: {
+        const Value* v = bindings.Find(t.var);
+        if (v == nullptr) return std::optional<Value>();
+        return std::optional<Value>(*v);
+      }
+      case DlTermKind::kUnderscore:
+        return std::optional<Value>();
+      case DlTermKind::kArith: {
+        ARC_ASSIGN_OR_RETURN(std::optional<Value> l,
+                             TryEvalTerm(*t.lhs, bindings));
+        ARC_ASSIGN_OR_RETURN(std::optional<Value> r,
+                             TryEvalTerm(*t.rhs, bindings));
+        if (!l.has_value() || !r.has_value()) return std::optional<Value>();
+        ARC_ASSIGN_OR_RETURN(Value v, data::Arith(t.op, *l, *r));
+        return std::optional<Value>(std::move(v));
+      }
+    }
+    return std::optional<Value>();
+  }
+
+  Status DeriveHead(const Rule& r, const Bindings& bindings,
+                    std::unordered_map<std::string, IndexedRel>* sink,
+                    bool* any_new) {
+    Tuple t;
+    for (const DlTermPtr& a : r.head.args) {
+      ARC_ASSIGN_OR_RETURN(std::optional<Value> v, TryEvalTerm(*a, bindings));
+      if (!v.has_value()) {
+        return EvalError("unbound variable in rule head: " +
+                         ToDatalog(r));
+      }
+      t.Append(std::move(*v));
+    }
+    IndexedRel& target = relations_.at(ToLower(r.head.predicate));
+    if (target.Add(t)) {
+      *any_new = true;
+      if (sink != nullptr) {
+        auto it = sink->find(ToLower(r.head.predicate));
+        if (it != sink->end()) it->second.Add(std::move(t));
+      }
+    }
+    return Status::Ok();
+  }
+
+  const data::Database& edb_;
+  const DlEvalOptions& options_;
+  const DlProgram* program_ = nullptr;
+
+  std::unordered_map<std::string, int> arity_;
+  std::unordered_map<std::string, std::string> display_;
+  std::unordered_set<std::string> idb_;
+  std::unordered_map<std::string, IndexedRel> relations_;
+  std::unordered_map<std::string, int> stratum_;
+  int max_stratum_ = 0;
+};
+
+}  // namespace
+
+DlEvaluator::DlEvaluator(const data::Database& edb, DlEvalOptions options)
+    : edb_(edb), options_(options) {}
+
+Result<data::Relation> DlEvaluator::Eval(const DlProgram& program,
+                                         std::string_view query_predicate) {
+  DlEvalImpl impl(edb_, options_);
+  return impl.Run(program, query_predicate);
+}
+
+}  // namespace arc::datalog

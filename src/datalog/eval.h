@@ -1,0 +1,39 @@
+// Datalog evaluation with Soufflé's conventions: set semantics, no nulls,
+// stratified negation and aggregation, `sum`/`count` over an empty scope
+// derive 0 (Eq. 15), while `min`/`max`/`mean` over an empty scope simply do
+// not fire the rule. Evaluation is semi-naive by default; the naive mode
+// exists as the ablation baseline for the recursion benchmarks (E9).
+#ifndef ARC_DATALOG_EVAL_H_
+#define ARC_DATALOG_EVAL_H_
+
+#include "common/status.h"
+#include "data/database.h"
+#include "datalog/ast.h"
+
+namespace arc::datalog {
+
+struct DlEvalOptions {
+  /// Semi-naive (delta-driven) fixpoints; false = naive re-derivation.
+  bool semi_naive = true;
+  int64_t max_iterations = 1000000;
+};
+
+class DlEvaluator {
+ public:
+  /// `edb` supplies the extensional relations (deduplicated on load —
+  /// Datalog is set-semantics).
+  explicit DlEvaluator(const data::Database& edb, DlEvalOptions options = {});
+
+  /// Runs the program to fixpoint and returns the extension of
+  /// `query_predicate`.
+  Result<data::Relation> Eval(const DlProgram& program,
+                              std::string_view query_predicate);
+
+ private:
+  const data::Database& edb_;
+  DlEvalOptions options_;
+};
+
+}  // namespace arc::datalog
+
+#endif  // ARC_DATALOG_EVAL_H_

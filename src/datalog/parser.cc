@@ -1,0 +1,490 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace arc::datalog {
+
+namespace {
+
+enum class Tok {
+  kEnd,
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kDot,
+  kColonDash,
+  kColon,
+  kBang,
+  kUnderscore,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+};
+
+struct Token {
+  Tok tok = Tok::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0;
+  int line = 1;
+  int column = 1;
+};
+
+Result<std::vector<Token>> LexDatalog(std::string_view input) {
+  std::vector<Token> out;
+  size_t pos = 0;
+  int line = 1;
+  int column = 1;
+  auto advance = [&]() {
+    const char c = input[pos++];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    return c;
+  };
+  auto peek = [&](size_t ahead = 0) {
+    return pos + ahead < input.size() ? input[pos + ahead] : '\0';
+  };
+  while (true) {
+    while (pos < input.size()) {
+      if (std::isspace(static_cast<unsigned char>(peek()))) {
+        advance();
+      } else if (peek() == '/' && peek(1) == '/') {
+        while (pos < input.size() && peek() != '\n') advance();
+      } else if (peek() == '%') {
+        while (pos < input.size() && peek() != '\n') advance();
+      } else {
+        break;
+      }
+    }
+    Token t;
+    t.line = line;
+    t.column = column;
+    if (pos >= input.size()) {
+      out.push_back(std::move(t));
+      return out;
+    }
+    const char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      while (pos < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_')) {
+        t.text += advance();
+      }
+      t.tok = Tok::kIdent;
+    } else if (c == '_' &&
+               !std::isalnum(static_cast<unsigned char>(peek(1)))) {
+      advance();
+      t.tok = Tok::kUnderscore;
+    } else if (c == '_') {
+      while (pos < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_')) {
+        t.text += advance();
+      }
+      t.tok = Tok::kIdent;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      bool is_float = false;
+      while (pos < input.size() &&
+             std::isdigit(static_cast<unsigned char>(peek()))) {
+        num += advance();
+      }
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        num += advance();
+        while (pos < input.size() &&
+               std::isdigit(static_cast<unsigned char>(peek()))) {
+          num += advance();
+        }
+      }
+      if (is_float) {
+        t.tok = Tok::kFloat;
+        t.float_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        t.tok = Tok::kInt;
+        t.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+    } else if (c == '"') {
+      advance();
+      while (pos < input.size() && peek() != '"') t.text += advance();
+      if (pos >= input.size()) {
+        return ParseError("unterminated string at " + std::to_string(line) +
+                          ":" + std::to_string(column));
+      }
+      advance();
+      t.tok = Tok::kString;
+    } else {
+      advance();
+      switch (c) {
+        case '(':
+          t.tok = Tok::kLParen;
+          break;
+        case ')':
+          t.tok = Tok::kRParen;
+          break;
+        case '{':
+          t.tok = Tok::kLBrace;
+          break;
+        case '}':
+          t.tok = Tok::kRBrace;
+          break;
+        case ',':
+          t.tok = Tok::kComma;
+          break;
+        case '.':
+          t.tok = Tok::kDot;
+          break;
+        case ':':
+          if (peek() == '-') {
+            advance();
+            t.tok = Tok::kColonDash;
+          } else {
+            t.tok = Tok::kColon;
+          }
+          break;
+        case '!':
+          if (peek() == '=') {
+            advance();
+            t.tok = Tok::kNe;
+          } else {
+            t.tok = Tok::kBang;
+          }
+          break;
+        case '=':
+          t.tok = Tok::kEq;
+          break;
+        case '<':
+          if (peek() == '=') {
+            advance();
+            t.tok = Tok::kLe;
+          } else {
+            t.tok = Tok::kLt;
+          }
+          break;
+        case '>':
+          if (peek() == '=') {
+            advance();
+            t.tok = Tok::kGe;
+          } else {
+            t.tok = Tok::kGt;
+          }
+          break;
+        case '+':
+          t.tok = Tok::kPlus;
+          break;
+        case '-':
+          t.tok = Tok::kMinus;
+          break;
+        case '*':
+          t.tok = Tok::kStar;
+          break;
+        case '/':
+          t.tok = Tok::kSlash;
+          break;
+        case '%':
+          t.tok = Tok::kPercent;
+          break;
+        default:
+          return ParseError(std::string("unexpected character '") + c +
+                            "' at " + std::to_string(line) + ":" +
+                            std::to_string(column));
+      }
+    }
+    out.push_back(std::move(t));
+  }
+}
+
+class DlParser {
+ public:
+  explicit DlParser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<DlProgram> Program() {
+    DlProgram program;
+    while (!Check(Tok::kEnd)) {
+      if (Check(Tok::kDot) && CheckIdent("decl", 1)) {
+        ARC_RETURN_IF_ERROR(ParseDecl(&program));
+        continue;
+      }
+      ARC_RETURN_IF_ERROR(ParseClause(&program));
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool Check(Tok t, size_t ahead = 0) const { return Peek(ahead).tok == t; }
+  bool CheckIdent(std::string_view text, size_t ahead = 0) const {
+    return Check(Tok::kIdent, ahead) &&
+           EqualsIgnoreCase(Peek(ahead).text, text);
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(Tok t) {
+    if (Check(t)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ErrorHere(const std::string& message) const {
+    const Token& t = Peek();
+    return ParseError(message + " at " + std::to_string(t.line) + ":" +
+                      std::to_string(t.column));
+  }
+  Status Expect(Tok t, const std::string& what) {
+    if (Match(t)) return Status::Ok();
+    return ErrorHere("expected " + what);
+  }
+
+  Status ParseDecl(DlProgram* program) {
+    Advance();  // '.'
+    Advance();  // 'decl'
+    Declaration decl;
+    if (!Check(Tok::kIdent)) return ErrorHere("expected predicate name");
+    decl.predicate = Advance().text;
+    ARC_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+    while (true) {
+      if (!Check(Tok::kIdent)) return ErrorHere("expected attribute name");
+      decl.attrs.push_back(Advance().text);
+      if (Match(Tok::kColon)) {
+        if (!Check(Tok::kIdent)) return ErrorHere("expected a type name");
+        Advance();  // type annotation, ignored
+      }
+      if (!Match(Tok::kComma)) break;
+    }
+    ARC_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+    program->decls.push_back(std::move(decl));
+    return Status::Ok();
+  }
+
+  Status ParseClause(DlProgram* program) {
+    ARC_ASSIGN_OR_RETURN(Atom head, ParseAtom());
+    if (Match(Tok::kDot)) {
+      // Fact: arguments must be ground.
+      for (const DlTermPtr& a : head.args) {
+        if (a->kind != DlTermKind::kConst) {
+          return ErrorHere("facts must be ground");
+        }
+      }
+      program->facts.push_back(std::move(head));
+      return Status::Ok();
+    }
+    ARC_RETURN_IF_ERROR(Expect(Tok::kColonDash, "':-' or '.'"));
+    Rule rule;
+    rule.head = std::move(head);
+    while (true) {
+      ARC_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+      rule.body.push_back(std::move(lit));
+      if (!Match(Tok::kComma)) break;
+    }
+    ARC_RETURN_IF_ERROR(Expect(Tok::kDot, "'.'"));
+    program->rules.push_back(std::move(rule));
+    return Status::Ok();
+  }
+
+  Result<Atom> ParseAtom() {
+    if (!Check(Tok::kIdent)) return ErrorHere("expected predicate name");
+    Atom atom;
+    atom.predicate = Advance().text;
+    ARC_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+    if (!Check(Tok::kRParen)) {
+      while (true) {
+        ARC_ASSIGN_OR_RETURN(DlTermPtr term, ParseTerm());
+        atom.args.push_back(std::move(term));
+        if (!Match(Tok::kComma)) break;
+      }
+    }
+    ARC_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+    return atom;
+  }
+
+  static std::optional<AggFunc> AggName(const std::string& text) {
+    if (EqualsIgnoreCase(text, "sum")) return AggFunc::kSum;
+    if (EqualsIgnoreCase(text, "count")) return AggFunc::kCount;
+    if (EqualsIgnoreCase(text, "min")) return AggFunc::kMin;
+    if (EqualsIgnoreCase(text, "max")) return AggFunc::kMax;
+    if (EqualsIgnoreCase(text, "mean")) return AggFunc::kAvg;
+    return std::nullopt;
+  }
+
+  Result<Literal> ParseLiteral() {
+    Literal lit;
+    if (Match(Tok::kBang)) {
+      lit.kind = LiteralKind::kNegatedAtom;
+      ARC_ASSIGN_OR_RETURN(lit.atom, ParseAtom());
+      return lit;
+    }
+    // Aggregate: var '=' aggname [target] ':' '{' ... '}'.
+    if (Check(Tok::kIdent) && Check(Tok::kEq, 1) && Check(Tok::kIdent, 2) &&
+        AggName(Peek(2).text).has_value()) {
+      lit.kind = LiteralKind::kAggregate;
+      Aggregate& agg = lit.aggregate;
+      agg.result_var = Advance().text;
+      Advance();  // '='
+      agg.func = *AggName(Advance().text);
+      if (!Check(Tok::kColon)) {
+        ARC_ASSIGN_OR_RETURN(agg.target, ParseTerm());
+      } else if (agg.func != AggFunc::kCount) {
+        return ErrorHere("aggregate requires a target term");
+      }
+      ARC_RETURN_IF_ERROR(Expect(Tok::kColon, "':'"));
+      ARC_RETURN_IF_ERROR(Expect(Tok::kLBrace, "'{'"));
+      while (true) {
+        // Atom or comparison.
+        if (Check(Tok::kIdent) && Check(Tok::kLParen, 1)) {
+          ARC_ASSIGN_OR_RETURN(Atom a, ParseAtom());
+          agg.body_atoms.push_back(std::move(a));
+        } else {
+          ARC_ASSIGN_OR_RETURN(DlTermPtr lhs, ParseTerm());
+          ARC_ASSIGN_OR_RETURN(data::CmpOp op, ParseCmpOp());
+          ARC_ASSIGN_OR_RETURN(DlTermPtr rhs, ParseTerm());
+          agg.body_comparisons.push_back({op, std::move(lhs), std::move(rhs)});
+        }
+        if (!Match(Tok::kComma)) break;
+      }
+      ARC_RETURN_IF_ERROR(Expect(Tok::kRBrace, "'}'"));
+      return lit;
+    }
+    // Plain atom.
+    if (Check(Tok::kIdent) && Check(Tok::kLParen, 1)) {
+      lit.kind = LiteralKind::kAtom;
+      ARC_ASSIGN_OR_RETURN(lit.atom, ParseAtom());
+      return lit;
+    }
+    // Comparison.
+    lit.kind = LiteralKind::kComparison;
+    ARC_ASSIGN_OR_RETURN(lit.lhs, ParseTerm());
+    ARC_ASSIGN_OR_RETURN(lit.cmp, ParseCmpOp());
+    ARC_ASSIGN_OR_RETURN(lit.rhs, ParseTerm());
+    return lit;
+  }
+
+  Result<data::CmpOp> ParseCmpOp() {
+    switch (Peek().tok) {
+      case Tok::kEq:
+        Advance();
+        return data::CmpOp::kEq;
+      case Tok::kNe:
+        Advance();
+        return data::CmpOp::kNe;
+      case Tok::kLt:
+        Advance();
+        return data::CmpOp::kLt;
+      case Tok::kLe:
+        Advance();
+        return data::CmpOp::kLe;
+      case Tok::kGt:
+        Advance();
+        return data::CmpOp::kGt;
+      case Tok::kGe:
+        Advance();
+        return data::CmpOp::kGe;
+      default:
+        return ErrorHere("expected a comparison operator");
+    }
+  }
+
+  Result<DlTermPtr> ParseTerm() { return ParseAdditive(); }
+
+  Result<DlTermPtr> ParseAdditive() {
+    ARC_ASSIGN_OR_RETURN(DlTermPtr lhs, ParseMultiplicative());
+    while (Check(Tok::kPlus) || Check(Tok::kMinus)) {
+      const data::ArithOp op =
+          Check(Tok::kPlus) ? data::ArithOp::kAdd : data::ArithOp::kSub;
+      Advance();
+      ARC_ASSIGN_OR_RETURN(DlTermPtr rhs, ParseMultiplicative());
+      lhs = DlArith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<DlTermPtr> ParseMultiplicative() {
+    ARC_ASSIGN_OR_RETURN(DlTermPtr lhs, ParsePrimary());
+    while (Check(Tok::kStar) || Check(Tok::kSlash) || Check(Tok::kPercent)) {
+      data::ArithOp op = data::ArithOp::kMul;
+      if (Check(Tok::kSlash)) op = data::ArithOp::kDiv;
+      if (Check(Tok::kPercent)) op = data::ArithOp::kMod;
+      Advance();
+      ARC_ASSIGN_OR_RETURN(DlTermPtr rhs, ParsePrimary());
+      lhs = DlArith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<DlTermPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.tok) {
+      case Tok::kInt:
+        Advance();
+        return DlConst(data::Value::Int(t.int_value));
+      case Tok::kFloat:
+        Advance();
+        return DlConst(data::Value::Double(t.float_value));
+      case Tok::kString:
+        Advance();
+        return DlConst(data::Value::String(t.text));
+      case Tok::kUnderscore:
+        Advance();
+        return DlWildcard();
+      case Tok::kIdent:
+        Advance();
+        return DlVar(t.text);
+      case Tok::kMinus: {
+        Advance();
+        ARC_ASSIGN_OR_RETURN(DlTermPtr inner, ParsePrimary());
+        if (inner->kind == DlTermKind::kConst && inner->value.is_numeric()) {
+          if (inner->value.kind() == data::ValueKind::kInt) {
+            return DlConst(data::Value::Int(-inner->value.as_int()));
+          }
+          return DlConst(data::Value::Double(-inner->value.as_double()));
+        }
+        return DlArith(data::ArithOp::kSub, DlConst(data::Value::Int(0)),
+                       std::move(inner));
+      }
+      case Tok::kLParen: {
+        Advance();
+        ARC_ASSIGN_OR_RETURN(DlTermPtr inner, ParseTerm());
+        ARC_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+        return inner;
+      }
+      default:
+        return ErrorHere("expected a term");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<DlProgram> ParseDatalog(std::string_view input) {
+  ARC_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexDatalog(input));
+  return DlParser(std::move(tokens)).Program();
+}
+
+}  // namespace arc::datalog

@@ -1,0 +1,18 @@
+// Parser for the Datalog dialect (see datalog/ast.h). Accepts Soufflé-like
+// programs: `.decl` declarations (type annotations are accepted and
+// ignored), rules, facts, `//`-comments, and Soufflé aggregate syntax.
+#ifndef ARC_DATALOG_PARSER_H_
+#define ARC_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace arc::datalog {
+
+Result<DlProgram> ParseDatalog(std::string_view input);
+
+}  // namespace arc::datalog
+
+#endif  // ARC_DATALOG_PARSER_H_

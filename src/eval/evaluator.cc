@@ -1,0 +1,1645 @@
+#include "eval/evaluator.h"
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace arc::eval {
+
+namespace {
+
+using data::Relation;
+using data::Schema;
+using data::TriBool;
+using data::Tuple;
+using data::Value;
+
+/// A (partial) head valuation: attribute name (lower-cased) → value.
+using HeadVals = std::vector<std::pair<std::string, Value>>;
+
+/// Aggregate values computed for the current group, keyed by the aggregate
+/// Term node.
+using AggCtx = std::unordered_map<const Term*, Value>;
+
+bool HeadValsEqual(const HeadVals& a, const HeadVals& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [attr, val] : a) {
+    bool found = false;
+    for (const auto& [attr2, val2] : b) {
+      if (attr == attr2) {
+        if (!(val == val2)) return false;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+const Value* FindHeadVal(const HeadVals& vals, const std::string& attr) {
+  for (const auto& [a, v] : vals) {
+    if (a == attr) return &v;
+  }
+  return nullptr;
+}
+
+/// Flattens nested ANDs into a conjunct list (any formula flattens to >= 1
+/// conjunct).
+void FlattenAnd(const Formula& f, std::vector<const Formula*>* out) {
+  if (f.kind == FormulaKind::kAnd) {
+    for (const FormulaPtr& c : f.children) FlattenAnd(*c, out);
+    return;
+  }
+  out->push_back(&f);
+}
+
+bool TermReferencesVar(const Term& t, std::string_view var) {
+  return t.References(var);
+}
+
+/// Deep reference check, descending into nested collections (correlation)
+/// but stopping where a nested collection's head shadows `var`.
+bool FormulaReferencesVar(const Formula& f, std::string_view var);
+
+bool CollectionReferencesVar(const Collection& c, std::string_view var) {
+  if (EqualsIgnoreCase(c.head.relation, var)) return false;  // shadowed
+  return c.body && FormulaReferencesVar(*c.body, var);
+}
+
+bool QuantifierReferencesVar(const Quantifier& q, std::string_view var) {
+  for (const Binding& b : q.bindings) {
+    if (EqualsIgnoreCase(b.var, var)) {
+      // Re-bound: references below are to the new binding — but the range
+      // itself is evaluated first.
+      if (b.range_kind == RangeKind::kCollection && b.collection &&
+          CollectionReferencesVar(*b.collection, var)) {
+        return true;
+      }
+      return false;
+    }
+    if (b.range_kind == RangeKind::kCollection && b.collection &&
+        CollectionReferencesVar(*b.collection, var)) {
+      return true;
+    }
+  }
+  if (q.grouping.has_value()) {
+    for (const TermPtr& k : q.grouping->keys) {
+      if (TermReferencesVar(*k, var)) return true;
+    }
+  }
+  return q.body && FormulaReferencesVar(*q.body, var);
+}
+
+bool FormulaReferencesVar(const Formula& f, std::string_view var) {
+  switch (f.kind) {
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f.children) {
+        if (FormulaReferencesVar(*c, var)) return true;
+      }
+      return false;
+    case FormulaKind::kNot:
+      return f.child && FormulaReferencesVar(*f.child, var);
+    case FormulaKind::kExists:
+      return f.quantifier && QuantifierReferencesVar(*f.quantifier, var);
+    case FormulaKind::kPredicate:
+      return (f.lhs && TermReferencesVar(*f.lhs, var)) ||
+             (f.rhs && TermReferencesVar(*f.rhs, var));
+    case FormulaKind::kNullTest:
+      return f.null_arg && TermReferencesVar(*f.null_arg, var);
+  }
+  return false;
+}
+
+/// Detects a recursive self-reference to `name` (used as a named range).
+bool FormulaHasRangeRef(const Formula& f, std::string_view name);
+
+bool CollectionHasRangeRef(const Collection& c, std::string_view name) {
+  if (EqualsIgnoreCase(c.head.relation, name)) return false;  // shadowed
+  return c.body && FormulaHasRangeRef(*c.body, name);
+}
+
+bool FormulaHasRangeRef(const Formula& f, std::string_view name) {
+  switch (f.kind) {
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f.children) {
+        if (FormulaHasRangeRef(*c, name)) return true;
+      }
+      return false;
+    case FormulaKind::kNot:
+      return f.child && FormulaHasRangeRef(*f.child, name);
+    case FormulaKind::kExists:
+      if (!f.quantifier) return false;
+      for (const Binding& b : f.quantifier->bindings) {
+        if (b.range_kind == RangeKind::kNamed &&
+            EqualsIgnoreCase(b.relation, name)) {
+          return true;
+        }
+        if (b.range_kind == RangeKind::kCollection && b.collection &&
+            CollectionHasRangeRef(*b.collection, name)) {
+          return true;
+        }
+      }
+      return f.quantifier->body &&
+             FormulaHasRangeRef(*f.quantifier->body, name);
+    default:
+      return false;
+  }
+}
+
+/// Collects all aggregate terms syntactically inside `f` (not descending
+/// into nested quantifier scopes — their aggregates belong to them).
+void CollectAggTerms(const Term& t, std::vector<const Term*>* out) {
+  switch (t.kind) {
+    case TermKind::kAggregate:
+      out->push_back(&t);
+      return;
+    case TermKind::kArith:
+      if (t.lhs) CollectAggTerms(*t.lhs, out);
+      if (t.rhs) CollectAggTerms(*t.rhs, out);
+      return;
+    default:
+      return;
+  }
+}
+
+void CollectAggTerms(const Formula& f, std::vector<const Term*>* out) {
+  switch (f.kind) {
+    case FormulaKind::kPredicate:
+      if (f.lhs) CollectAggTerms(*f.lhs, out);
+      if (f.rhs) CollectAggTerms(*f.rhs, out);
+      return;
+    case FormulaKind::kNullTest:
+      if (f.null_arg) CollectAggTerms(*f.null_arg, out);
+      return;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f.children) CollectAggTerms(*c, out);
+      return;
+    case FormulaKind::kNot:
+      if (f.child) CollectAggTerms(*f.child, out);
+      return;
+    case FormulaKind::kExists:
+      return;
+  }
+}
+
+/// If `f` is `H.attr = term` (or flipped) for head `head`, returns the
+/// (attr, value-term) pair.
+struct AssignmentShape {
+  std::string attr;
+  const Term* value = nullptr;
+};
+
+std::optional<AssignmentShape> MatchAssignment(const Formula& f,
+                                               const std::string& head) {
+  if (head.empty()) return std::nullopt;
+  if (f.kind != FormulaKind::kPredicate || f.cmp_op != data::CmpOp::kEq) {
+    return std::nullopt;
+  }
+  auto head_ref = [&](const TermPtr& t) {
+    return t && t->kind == TermKind::kAttrRef && EqualsIgnoreCase(t->var, head);
+  };
+  const bool l = head_ref(f.lhs);
+  const bool r = head_ref(f.rhs);
+  if (l == r) return std::nullopt;
+  const Term* value = l ? f.rhs.get() : f.lhs.get();
+  if (value == nullptr || value->References(head)) return std::nullopt;
+  AssignmentShape shape;
+  shape.attr = ToLower(l ? f.lhs->attr : f.rhs->attr);
+  shape.value = value;
+  return shape;
+}
+
+// ---------------------------------------------------------------------------
+// EvalImpl
+// ---------------------------------------------------------------------------
+
+struct EnvEntry {
+  std::string var;
+  const Schema* schema = nullptr;
+  const Tuple* tuple = nullptr;
+};
+
+/// A self-owning environment fragment (for grouped scopes and join trees,
+/// whose member rows must outlive streaming enumeration).
+struct OwnedEntry {
+  std::string var;
+  const Schema* schema = nullptr;
+  Tuple tuple;
+};
+using Fragment = std::vector<OwnedEntry>;
+
+enum class ScopeMode { kBoolean, kCollect };
+
+class EvalImpl {
+ public:
+  EvalImpl(const data::Database& db, const EvalOptions& options,
+           const ExternalRegistry& externals)
+      : db_(db), options_(options), externals_(externals) {}
+
+  Result<Relation> RunProgram(const Program& program) {
+    ARC_RETURN_IF_ERROR(RegisterDefinitions(program));
+    if (!program.main.collection) {
+      return InvalidArgument(
+          "program's main query is a sentence; use EvalSentence");
+    }
+    return EvalCollection(*program.main.collection);
+  }
+
+  Result<TriBool> RunSentence(const Program& program) {
+    ARC_RETURN_IF_ERROR(RegisterDefinitions(program));
+    if (!program.main.sentence) {
+      return InvalidArgument("program's main query is not a sentence");
+    }
+    return EvalBool(*program.main.sentence, nullptr);
+  }
+
+  Result<Relation> EvalCollection(const Collection& c) {
+    // Recursive iff the body ranges over the collection's own head (§2.9).
+    if (c.body && FormulaHasRangeRef(*c.body, c.head.relation)) {
+      return EvalRecursive(c);
+    }
+    return EvalOnce(c);
+  }
+
+ private:
+
+  Status RegisterDefinitions(const Program& program) {
+    for (const Definition& def : program.definitions) {
+      if (!def.collection) return InvalidArgument("empty definition");
+      const std::string key = ToLower(def.collection->head.relation);
+      if (def.kind == DefKind::kAbstract) {
+        abstract_defs_[key] = def.collection.get();
+      } else {
+        ARC_ASSIGN_OR_RETURN(Relation rel, EvalCollection(*def.collection));
+        defs_.emplace(key, std::move(rel));
+      }
+    }
+    return Status::Ok();
+  }
+
+  // ---- collections ---------------------------------------------------------
+
+  Result<Relation> EvalOnce(const Collection& c) {
+    Relation out(Schema{c.head.attrs});
+    heads_.push_back(c.head.relation);
+    Status status = SpineWalk(*c.body, c, &out);
+    heads_.pop_back();
+    ARC_RETURN_IF_ERROR(status);
+    if (options_.conventions.multiplicity == Conventions::Multiplicity::kSet) {
+      return out.Distinct();
+    }
+    return out;
+  }
+
+  Result<Relation> EvalRecursive(const Collection& c) {
+    const std::string key = ToLower(c.head.relation);
+    Relation current((Schema{c.head.attrs}));
+    overlay_.emplace_back(key, &current);
+    Status status = Status::Ok();
+    for (int64_t iter = 0;; ++iter) {
+      if (iter >= options_.max_fixpoint_iterations) {
+        status = EvalError("recursive collection '" + c.head.relation +
+                           "' did not reach a fixpoint after " +
+                           std::to_string(iter) + " iterations");
+        break;
+      }
+      auto next = EvalOnce(c);
+      if (!next.ok()) {
+        status = next.status();
+        break;
+      }
+      // Least fixpoint: accumulate and deduplicate (recursion is evaluated
+      // under set semantics; the paper's §2.9 semantics).
+      Relation merged = current;
+      Status append = merged.Append(*next);
+      if (!append.ok()) {
+        status = append;
+        break;
+      }
+      merged = merged.Distinct();
+      if (merged.size() == current.size()) break;
+      current = std::move(merged);
+    }
+    overlay_.pop_back();
+    ARC_RETURN_IF_ERROR(status);
+    return current;
+  }
+
+  /// Walks the generating spine: top-level ORs and the top quantifier
+  /// scope(s) drive multiplicity; everything else contributes set-style.
+  Status SpineWalk(const Formula& f, const Collection& c, Relation* out) {
+    switch (f.kind) {
+      case FormulaKind::kOr:
+        for (const FormulaPtr& child : f.children) {
+          ARC_RETURN_IF_ERROR(SpineWalk(*child, c, out));
+        }
+        return Status::Ok();
+      case FormulaKind::kExists: {
+        auto rows = ScopeCollect(*f.quantifier);
+        if (!rows.ok()) return rows.status();
+        for (const HeadVals& vals : *rows) {
+          ARC_RETURN_IF_ERROR(EmitRow(vals, c, out));
+        }
+        return Status::Ok();
+      }
+      default: {
+        auto sols = Solutions(f, nullptr);
+        if (!sols.ok()) return sols.status();
+        for (const HeadVals& vals : *sols) {
+          ARC_RETURN_IF_ERROR(EmitRow(vals, c, out));
+        }
+        return Status::Ok();
+      }
+    }
+  }
+
+  Status EmitRow(const HeadVals& vals, const Collection& c, Relation* out) {
+    Tuple row;
+    for (const std::string& attr : c.head.attrs) {
+      const Value* v = FindHeadVal(vals, ToLower(attr));
+      if (v == nullptr) {
+        return EvalError("head attribute '" + c.head.relation + "." + attr +
+                         "' was not assigned (unsafe head)");
+      }
+      row.Append(*v);
+    }
+    out->Add(std::move(row));
+    return Status::Ok();
+  }
+
+  // ---- environment ---------------------------------------------------------
+
+  const EnvEntry* LookupVar(std::string_view var) const {
+    for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+      if (EqualsIgnoreCase(it->var, var)) return &*it;
+    }
+    return nullptr;
+  }
+
+  void PushFragment(const Fragment& frag) {
+    for (const OwnedEntry& e : frag) {
+      env_.push_back({e.var, e.schema, &e.tuple});
+    }
+  }
+  void PopFragment(const Fragment& frag) {
+    env_.resize(env_.size() - frag.size());
+  }
+
+  // ---- terms ------------------------------------------------------------
+
+  Result<Value> EvalTerm(const Term& t, const AggCtx* agg) {
+    switch (t.kind) {
+      case TermKind::kAttrRef: {
+        const EnvEntry* e = LookupVar(t.var);
+        if (e == nullptr) {
+          return NotFound("unbound variable '" + t.var + "'");
+        }
+        const int idx = e->schema->IndexOf(t.attr);
+        if (idx < 0) {
+          return EvalError("relation bound to '" + t.var +
+                           "' has no attribute '" + t.attr + "'");
+        }
+        if (idx >= e->tuple->size()) {
+          return EvalError("tuple width mismatch for '" + t.var + "'");
+        }
+        return e->tuple->at(idx);
+      }
+      case TermKind::kLiteral:
+        return t.literal;
+      case TermKind::kArith: {
+        ARC_ASSIGN_OR_RETURN(Value l, EvalTerm(*t.lhs, agg));
+        ARC_ASSIGN_OR_RETURN(Value r, EvalTerm(*t.rhs, agg));
+        return data::Arith(t.arith_op, l, r);
+      }
+      case TermKind::kAggregate: {
+        if (agg != nullptr) {
+          auto it = agg->find(&t);
+          if (it != agg->end()) return it->second;
+        }
+        return EvalError(std::string("aggregate ") + AggFuncName(t.agg_func) +
+                         " evaluated outside a grouping scope");
+      }
+    }
+    return EvalError("bad term");
+  }
+
+  // ---- boolean evaluation ---------------------------------------------------
+
+  Result<TriBool> EvalBool(const Formula& f, const AggCtx* agg) {
+    switch (f.kind) {
+      case FormulaKind::kAnd: {
+        TriBool acc = TriBool::kTrue;
+        for (const FormulaPtr& c : f.children) {
+          ARC_ASSIGN_OR_RETURN(TriBool v, EvalBool(*c, agg));
+          acc = data::TriAnd(acc, v);
+          if (acc == TriBool::kFalse) return acc;
+        }
+        return acc;
+      }
+      case FormulaKind::kOr: {
+        TriBool acc = TriBool::kFalse;
+        for (const FormulaPtr& c : f.children) {
+          ARC_ASSIGN_OR_RETURN(TriBool v, EvalBool(*c, agg));
+          acc = data::TriOr(acc, v);
+          if (acc == TriBool::kTrue) return acc;
+        }
+        return acc;
+      }
+      case FormulaKind::kNot: {
+        ARC_ASSIGN_OR_RETURN(TriBool v, EvalBool(*f.child, agg));
+        return data::TriNot(v);
+      }
+      case FormulaKind::kExists: {
+        // Quantifiers collapse unknown: the conceptual strategy yields a
+        // combination only when the body is true (matches SQL EXISTS).
+        bool found = false;
+        ARC_RETURN_IF_ERROR(
+            ScopeRun(*f.quantifier, ScopeMode::kBoolean, nullptr, &found));
+        return data::FromBool(found);
+      }
+      case FormulaKind::kPredicate: {
+        ARC_ASSIGN_OR_RETURN(Value l, EvalTerm(*f.lhs, agg));
+        ARC_ASSIGN_OR_RETURN(Value r, EvalTerm(*f.rhs, agg));
+        return data::Compare(f.cmp_op, l, r,
+                             options_.conventions.null_logic);
+      }
+      case FormulaKind::kNullTest: {
+        ARC_ASSIGN_OR_RETURN(Value v, EvalTerm(*f.null_arg, agg));
+        return data::FromBool(v.is_null() != f.null_negated);
+      }
+    }
+    return EvalError("bad formula");
+  }
+
+  // ---- solutions (head valuations) ----------------------------------------
+
+  Result<std::vector<HeadVals>> Solutions(const Formula& f, const AggCtx* agg) {
+    const std::string& head = heads_.empty() ? kNoHead : heads_.back();
+    switch (f.kind) {
+      case FormulaKind::kPredicate: {
+        auto assign = MatchAssignment(f, head);
+        if (assign.has_value()) {
+          ARC_ASSIGN_OR_RETURN(Value v, EvalTerm(*assign->value, agg));
+          std::vector<HeadVals> out;
+          out.push_back({{assign->attr, std::move(v)}});
+          return out;
+        }
+        break;  // ordinary predicate: boolean below
+      }
+      case FormulaKind::kAnd: {
+        std::vector<HeadVals> acc;
+        acc.emplace_back();  // one empty valuation
+        for (const FormulaPtr& c : f.children) {
+          ARC_ASSIGN_OR_RETURN(std::vector<HeadVals> next, Solutions(*c, agg));
+          acc = MergeProduct(acc, next);
+          if (acc.empty()) return acc;
+        }
+        return acc;
+      }
+      case FormulaKind::kOr: {
+        std::vector<HeadVals> acc;
+        for (const FormulaPtr& c : f.children) {
+          ARC_ASSIGN_OR_RETURN(std::vector<HeadVals> next, Solutions(*c, agg));
+          for (HeadVals& hv : next) AddUnique(&acc, std::move(hv));
+        }
+        return acc;
+      }
+      case FormulaKind::kExists: {
+        // Fast path: no head involvement → pure existence test.
+        if (head == kNoHead ||
+            !QuantifierReferencesVar(*f.quantifier, head)) {
+          break;  // boolean below
+        }
+        std::vector<HeadVals> acc;
+        ARC_RETURN_IF_ERROR(
+            ScopeRun(*f.quantifier, ScopeMode::kCollect, &acc, nullptr));
+        // Solutions are sets: deduplicate.
+        std::vector<HeadVals> dedup;
+        for (HeadVals& hv : acc) AddUnique(&dedup, std::move(hv));
+        return dedup;
+      }
+      default:
+        break;
+    }
+    ARC_ASSIGN_OR_RETURN(TriBool v, EvalBool(f, agg));
+    std::vector<HeadVals> out;
+    if (data::IsTrue(v)) out.emplace_back();
+    return out;
+  }
+
+  static void AddUnique(std::vector<HeadVals>* acc, HeadVals hv) {
+    for (const HeadVals& existing : *acc) {
+      if (HeadValsEqual(existing, hv)) return;
+    }
+    acc->push_back(std::move(hv));
+  }
+
+  /// Cross product of partial valuations; conflicting re-assignments act as
+  /// equality constraints (combinations with differing values drop out).
+  static std::vector<HeadVals> MergeProduct(const std::vector<HeadVals>& a,
+                                            const std::vector<HeadVals>& b) {
+    std::vector<HeadVals> out;
+    for (const HeadVals& x : a) {
+      for (const HeadVals& y : b) {
+        HeadVals merged = x;
+        bool consistent = true;
+        for (const auto& [attr, val] : y) {
+          const Value* existing = FindHeadVal(merged, attr);
+          if (existing != nullptr) {
+            if (!(*existing == val)) {
+              consistent = false;
+              break;
+            }
+          } else {
+            merged.push_back({attr, val});
+          }
+        }
+        if (consistent) out.push_back(std::move(merged));
+      }
+    }
+    return out;
+  }
+
+  /// Collect-mode scope evaluation used by the generating spine: one
+  /// emission per combination (or per group); within a combination,
+  /// solutions form a set.
+  Result<std::vector<HeadVals>> ScopeCollect(const Quantifier& q) {
+    std::vector<HeadVals> out;
+    ARC_RETURN_IF_ERROR(ScopeRun(q, ScopeMode::kCollect, &out, nullptr));
+    return out;
+  }
+
+  // ---- scope evaluation -----------------------------------------------------
+
+  Status ScopeRun(const Quantifier& q, ScopeMode mode,
+                  std::vector<HeadVals>* collect_out, bool* bool_out) {
+    std::vector<const Formula*> conjuncts;
+    if (q.body) FlattenAnd(*q.body, &conjuncts);
+    if (q.grouping.has_value()) {
+      return ScopeRunGrouped(q, conjuncts, mode, collect_out, bool_out);
+    }
+    if (q.join_tree) {
+      // Join conditions are consumed by the join plan; re-evaluating them on
+      // null-padded rows would wrongly reject outer-join padding, so only the
+      // remaining (head/aggregate) conjuncts run per fragment.
+      const std::string& head = heads_.empty() ? kNoHead : heads_.back();
+      std::vector<const Formula*> remaining;
+      for (const Formula* c : conjuncts) {
+        if (c->ContainsAggregate() ||
+            (head != kNoHead && FormulaReferencesVar(*c, head))) {
+          remaining.push_back(c);
+        }
+      }
+      ARC_ASSIGN_OR_RETURN(std::vector<Fragment> frags,
+                           EvalJoinScope(q, conjuncts));
+      for (const Fragment& frag : frags) {
+        PushFragment(frag);
+        Status s = EmitConjuncts(remaining, mode, collect_out, bool_out);
+        PopFragment(frag);
+        ARC_RETURN_IF_ERROR(s);
+        if (mode == ScopeMode::kBoolean && *bool_out) return Status::Ok();
+      }
+      return Status::Ok();
+    }
+    // Plain nested loops with eager filter pushdown.
+    std::vector<std::vector<const Formula*>> filters_at(q.bindings.size() + 1);
+    AssignEagerFilters(q, conjuncts, &filters_at);
+    bool stop = false;
+    return EnumerateBindings(q, conjuncts, filters_at, 0, mode, collect_out,
+                             bool_out, &stop);
+  }
+
+  /// Evaluates only the given conjuncts in the current combination (used
+  /// for join-annotation scopes, where filters were consumed by the plan).
+  Status EmitConjuncts(const std::vector<const Formula*>& conjuncts,
+                       ScopeMode mode, std::vector<HeadVals>* collect_out,
+                       bool* bool_out) {
+    if (mode == ScopeMode::kBoolean) {
+      for (const Formula* c : conjuncts) {
+        ARC_ASSIGN_OR_RETURN(TriBool v, EvalBool(*c, nullptr));
+        if (!data::IsTrue(v)) return Status::Ok();
+      }
+      *bool_out = true;
+      return Status::Ok();
+    }
+    std::vector<HeadVals> sols;
+    sols.emplace_back();
+    for (const Formula* c : conjuncts) {
+      ARC_ASSIGN_OR_RETURN(std::vector<HeadVals> next, Solutions(*c, nullptr));
+      sols = MergeProduct(sols, next);
+      if (sols.empty()) return Status::Ok();
+    }
+    std::vector<HeadVals> dedup;
+    for (HeadVals& hv : sols) AddUnique(&dedup, std::move(hv));
+    for (HeadVals& hv : dedup) collect_out->push_back(std::move(hv));
+    return Status::Ok();
+  }
+
+  /// Evaluates the body in the current (fully bound) combination.
+  Status ScopeEmit(const Quantifier& q, ScopeMode mode,
+                   std::vector<HeadVals>* collect_out, bool* bool_out) {
+    if (mode == ScopeMode::kBoolean) {
+      ARC_ASSIGN_OR_RETURN(TriBool v, EvalBool(*q.body, nullptr));
+      if (data::IsTrue(v)) *bool_out = true;
+      return Status::Ok();
+    }
+    ARC_ASSIGN_OR_RETURN(std::vector<HeadVals> sols, Solutions(*q.body, nullptr));
+    // Within one combination, solutions form a set.
+    std::vector<HeadVals> dedup;
+    for (HeadVals& hv : sols) AddUnique(&dedup, std::move(hv));
+    for (HeadVals& hv : dedup) collect_out->push_back(std::move(hv));
+    return Status::Ok();
+  }
+
+  /// For a named binding, finds an equality conjunct `b.var.attr = term`
+  /// whose other side references neither b.var nor any later binding of the
+  /// scope — usable as a hash-index probe.
+  struct Probe {
+    int attr_index = -1;
+    const Term* term = nullptr;
+  };
+
+  std::optional<Probe> FindProbe(const Quantifier& q, size_t idx,
+                                 const std::vector<const Formula*>& conjuncts,
+                                 const Schema& schema) {
+    const Binding& b = q.bindings[idx];
+    const std::string& head = heads_.empty() ? kNoHead : heads_.back();
+    for (const Formula* c : conjuncts) {
+      if (c->kind != FormulaKind::kPredicate ||
+          c->cmp_op != data::CmpOp::kEq) {
+        continue;
+      }
+      auto try_side = [&](const TermPtr& ref,
+                          const TermPtr& val) -> std::optional<Probe> {
+        if (!ref || ref->kind != TermKind::kAttrRef) return std::nullopt;
+        if (!EqualsIgnoreCase(ref->var, b.var)) return std::nullopt;
+        const int attr = schema.IndexOf(ref->attr);
+        if (attr < 0) return std::nullopt;
+        if (!val || val->References(b.var)) return std::nullopt;
+        if (head != kNoHead && val->References(head)) return std::nullopt;
+        for (size_t j = idx; j < q.bindings.size(); ++j) {
+          if (val->References(q.bindings[j].var)) return std::nullopt;
+        }
+        Probe probe;
+        probe.attr_index = attr;
+        probe.term = val.get();
+        return probe;
+      };
+      if (auto probe = try_side(c->lhs, c->rhs)) return probe;
+      if (auto probe = try_side(c->rhs, c->lhs)) return probe;
+    }
+    return std::nullopt;
+  }
+
+  using AttrIndex = std::unordered_map<Value, std::vector<int>, data::ValueHash>;
+
+  /// Hash index over one attribute of a stable relation. Built lazily and
+  /// keyed by relation address (stable for db/defs/cached relations).
+  const AttrIndex* GetIndex(const Relation* rel, int attr) {
+    const auto key = std::make_pair(static_cast<const void*>(rel), attr);
+    auto it = attr_indexes_.find(key);
+    if (it != attr_indexes_.end()) return &it->second;
+    AttrIndex index;
+    const auto& rows = rel->rows();
+    for (int i = 0; i < static_cast<int>(rows.size()); ++i) {
+      const Value& v = rows[static_cast<size_t>(i)].at(attr);
+      if (v.is_null()) continue;  // equality with null never holds
+      index[v].push_back(i);
+    }
+    return &attr_indexes_.emplace(key, std::move(index)).first->second;
+  }
+
+  /// Rows of `rel` to visit given an optional probe; nullptr = all rows.
+  /// Returns false when the probe proves the binding empty.
+  bool ProbeRows(const Relation* rel, const std::optional<Probe>& probe,
+                 const std::vector<int>** out) {
+    *out = nullptr;
+    if (!probe.has_value() || rel->size() < 16) return true;
+    auto value = EvalTerm(*probe->term, nullptr);
+    if (!value.ok()) return true;  // not evaluable here: fall back to scan
+    if (value->is_null()) return false;  // eq with null filters everything
+    const AttrIndex* index = GetIndex(rel, probe->attr_index);
+    auto hit = index->find(*value);
+    if (hit == index->end()) return false;
+    *out = &hit->second;
+    return true;
+  }
+
+  /// Decides at which binding index each pure-filter conjunct can run.
+  void AssignEagerFilters(
+      const Quantifier& q, const std::vector<const Formula*>& conjuncts,
+      std::vector<std::vector<const Formula*>>* filters_at) {
+    const std::string& head = heads_.empty() ? kNoHead : heads_.back();
+    for (const Formula* c : conjuncts) {
+      if (c->ContainsAggregate()) continue;
+      if (head != kNoHead && FormulaReferencesVar(*c, head)) continue;
+      int latest = 0;
+      for (size_t i = 0; i < q.bindings.size(); ++i) {
+        if (FormulaReferencesVar(*c, q.bindings[i].var)) {
+          latest = static_cast<int>(i) + 1;
+        }
+      }
+      (*filters_at)[static_cast<size_t>(latest)].push_back(c);
+    }
+  }
+
+  Status EnumerateBindings(
+      const Quantifier& q, const std::vector<const Formula*>& conjuncts,
+      const std::vector<std::vector<const Formula*>>& filters_at, size_t idx,
+      ScopeMode mode, std::vector<HeadVals>* collect_out, bool* bool_out,
+      bool* stop) {
+    // Filters runnable once `idx` bindings are bound.
+    for (const Formula* f : filters_at[idx]) {
+      ARC_ASSIGN_OR_RETURN(TriBool v, EvalBool(*f, nullptr));
+      if (!data::IsTrue(v)) return Status::Ok();
+    }
+    if (idx == q.bindings.size()) {
+      ARC_RETURN_IF_ERROR(ScopeEmit(q, mode, collect_out, bool_out));
+      if (mode == ScopeMode::kBoolean && *bool_out) *stop = true;
+      return Status::Ok();
+    }
+    const Binding& b = q.bindings[idx];
+    auto recurse = [&]() -> Status {
+      return EnumerateBindings(q, conjuncts, filters_at, idx + 1, mode,
+                               collect_out, bool_out, stop);
+    };
+    if (b.range_kind == RangeKind::kNamed) {
+      const std::string key = ToLower(b.relation);
+      if (abstract_defs_.count(key) > 0) {
+        return EnumerateAbstract(b, conjuncts, recurse);
+      }
+      if (!IsKnownRelation(b.relation) &&
+          externals_.Find(b.relation) != nullptr) {
+        return EnumerateExternal(b, conjuncts, recurse);
+      }
+    }
+    ARC_ASSIGN_OR_RETURN(RangeRel range, ResolveRange(b));
+    std::optional<Probe> probe =
+        b.range_kind == RangeKind::kNamed || b.range_kind == RangeKind::kCollection
+            ? FindProbe(q, idx, conjuncts, range.rel->schema())
+            : std::nullopt;
+    const std::vector<int>* matching = nullptr;
+    if (!range.indexable) probe.reset();
+    if (!ProbeRows(range.rel, probe, &matching)) return Status::Ok();
+    const auto& rows = range.rel->rows();
+    const size_t n = matching != nullptr ? matching->size() : rows.size();
+    for (size_t k = 0; k < n; ++k) {
+      const Tuple& row =
+          matching != nullptr
+              ? rows[static_cast<size_t>((*matching)[k])]
+              : rows[k];
+      env_.push_back({b.var, &range.rel->schema(), &row});
+      Status s = recurse();
+      env_.pop_back();
+      ARC_RETURN_IF_ERROR(s);
+      if (*stop) return Status::Ok();
+    }
+    return Status::Ok();
+  }
+
+  bool IsKnownRelation(const std::string& name) const {
+    const std::string key = ToLower(name);
+    for (const auto& [n, rel] : overlay_) {
+      (void)rel;
+      if (n == key) return true;
+    }
+    return defs_.count(key) > 0 || db_.Has(name);
+  }
+
+  struct RangeRel {
+    const Relation* rel = nullptr;
+    std::shared_ptr<Relation> owned;  // for materialized nested collections
+    /// True when `rel` has a stable address AND immutable content for the
+    /// whole evaluation (db relations, materialized definitions, caches) —
+    /// required for address-keyed hash indexes. Recursion overlays mutate
+    /// between fixpoint iterations; fresh materializations may reuse heap
+    /// addresses. Both must not be indexed.
+    bool indexable = false;
+  };
+
+  /// True if the nested collection has no free variables (no correlation):
+  /// its extension is environment-independent and can be cached.
+  bool IsClosedCollection(const Binding& b) {
+    auto it = closed_.find(&b);
+    if (it != closed_.end()) return it->second;
+    bool closed = true;
+    for (const EnvEntry& e : env_) {
+      if (CollectionReferencesVar(*b.collection, e.var)) {
+        closed = false;
+        break;
+      }
+    }
+    // Heads of enclosing collections act like free variables too.
+    for (const std::string& head : heads_) {
+      if (CollectionReferencesVar(*b.collection, head)) closed = false;
+    }
+    closed_.emplace(&b, closed);
+    return closed;
+  }
+
+  Result<RangeRel> ResolveRange(const Binding& b) {
+    RangeRel out;
+    if (b.range_kind == RangeKind::kCollection) {
+      // Cache closed (uncorrelated) nested collections: they evaluate to
+      // the same extension for every outer combination. Disabled inside
+      // recursion fixpoints, where named extensions change per iteration.
+      const bool cacheable = overlay_.empty() && IsClosedCollection(b);
+      if (cacheable) {
+        auto cached = closed_cache_.find(&b);
+        if (cached != closed_cache_.end()) {
+          out.owned = cached->second;
+          out.rel = out.owned.get();
+          out.indexable = true;
+          return out;
+        }
+      }
+      ARC_ASSIGN_OR_RETURN(Relation rel, EvalCollection(*b.collection));
+      out.owned = std::make_shared<Relation>(std::move(rel));
+      out.rel = out.owned.get();
+      if (cacheable) {
+        closed_cache_.emplace(&b, out.owned);
+        out.indexable = true;
+      }
+      return out;
+    }
+    const std::string key = ToLower(b.relation);
+    for (auto it = overlay_.rbegin(); it != overlay_.rend(); ++it) {
+      if (it->first == key) {
+        out.rel = it->second;
+        return out;  // mutable across fixpoint iterations: not indexable
+      }
+    }
+    auto def = defs_.find(key);
+    if (def != defs_.end()) {
+      out.rel = &def->second;
+      out.indexable = true;
+      return out;
+    }
+    if (const Relation* rel = db_.GetPtr(b.relation)) {
+      // Under the set convention, inputs are interpreted as sets (§2.7):
+      // deduplicate base relations (cached).
+      if (options_.conventions.multiplicity ==
+              Conventions::Multiplicity::kSet &&
+          rel->size() > 1) {
+        auto it = dedup_cache_.find(key);
+        if (it == dedup_cache_.end()) {
+          it = dedup_cache_.emplace(key, rel->Distinct()).first;
+        }
+        out.rel = &it->second;
+        out.indexable = true;
+        return out;
+      }
+      out.rel = rel;
+      out.indexable = true;
+      return out;
+    }
+    return NotFound("unknown relation '" + b.relation + "' for variable '" +
+                    b.var + "'");
+  }
+
+  // ---- external relations ---------------------------------------------------
+
+  /// Collects equality-bound inputs for `var`'s attributes from the scope's
+  /// conjuncts and the current environment.
+  Result<BoundPattern> ExtractBoundPattern(
+      const std::string& var, const Schema& schema,
+      const std::vector<const Formula*>& conjuncts) {
+    BoundPattern pattern(static_cast<size_t>(schema.size()));
+    for (const Formula* c : conjuncts) {
+      if (c->kind != FormulaKind::kPredicate ||
+          c->cmp_op != data::CmpOp::kEq) {
+        continue;
+      }
+      auto try_side = [&](const TermPtr& ref_side, const TermPtr& val_side) {
+        if (!ref_side || ref_side->kind != TermKind::kAttrRef) return;
+        if (!EqualsIgnoreCase(ref_side->var, var)) return;
+        if (val_side && val_side->References(var)) return;
+        const int idx = schema.IndexOf(ref_side->attr);
+        if (idx < 0) return;
+        if (pattern[static_cast<size_t>(idx)].has_value()) return;
+        auto v = EvalTerm(*val_side, nullptr);
+        if (v.ok()) pattern[static_cast<size_t>(idx)] = std::move(v).value();
+      };
+      try_side(c->lhs, c->rhs);
+      try_side(c->rhs, c->lhs);
+    }
+    return pattern;
+  }
+
+  Status EnumerateExternal(const Binding& b,
+                           const std::vector<const Formula*>& conjuncts,
+                           const std::function<Status()>& recurse) {
+    const ExternalRelation* ext = externals_.Find(b.relation);
+    ARC_ASSIGN_OR_RETURN(BoundPattern pattern,
+                         ExtractBoundPattern(b.var, ext->schema(), conjuncts));
+    auto tuples = ext->Enumerate(pattern);
+    if (!tuples.ok()) {
+      if (tuples.status().code() == StatusCode::kUnsupported) {
+        return Unsupported(tuples.status().message() +
+                           " (bind its inputs earlier in the scope)");
+      }
+      return tuples.status();
+    }
+    for (const Tuple& row : *tuples) {
+      env_.push_back({b.var, &ext->schema(), &row});
+      Status s = recurse();
+      env_.pop_back();
+      ARC_RETURN_IF_ERROR(s);
+    }
+    return Status::Ok();
+  }
+
+  // ---- abstract relations ---------------------------------------------------
+
+  Status EnumerateAbstract(const Binding& b,
+                           const std::vector<const Formula*>& conjuncts,
+                           const std::function<Status()>& recurse) {
+    const Collection* def = abstract_defs_.at(ToLower(b.relation));
+    // Stable schema storage: fragments built by grouped scopes may outlive
+    // this call.
+    auto [schema_it, schema_inserted] =
+        nested_schemas_.try_emplace(&b, Schema(def->head.attrs));
+    (void)schema_inserted;
+    const Schema& param_schema = schema_it->second;
+    ARC_ASSIGN_OR_RETURN(BoundPattern pattern,
+                         ExtractBoundPattern(b.var, param_schema, conjuncts));
+    Tuple params;
+    for (int i = 0; i < param_schema.size(); ++i) {
+      if (!pattern[static_cast<size_t>(i)].has_value()) {
+        return EvalError("abstract relation '" + def->head.relation +
+                         "': attribute '" + param_schema.name(i) +
+                         "' is not bound by an equality in its scope");
+      }
+      params.Append(*pattern[static_cast<size_t>(i)]);
+    }
+    // Evaluate the module body hygienically: only the parameters are
+    // visible (plus base/defined relations, which resolve by name).
+    std::vector<EnvEntry> saved_env;
+    saved_env.swap(env_);
+    std::vector<std::string> saved_heads;
+    saved_heads.swap(heads_);
+    env_.push_back({def->head.relation, &param_schema, &params});
+    auto holds = EvalBool(*def->body, nullptr);
+    env_.clear();
+    saved_env.swap(env_);
+    saved_heads.swap(heads_);
+    ARC_RETURN_IF_ERROR(holds.status());
+    if (!data::IsTrue(*holds)) return Status::Ok();
+    env_.push_back({b.var, &param_schema, &params});
+    Status s = recurse();
+    env_.pop_back();
+    return s;
+  }
+
+  // ---- grouping --------------------------------------------------------
+
+  Status ScopeRunGrouped(const Quantifier& q,
+                         const std::vector<const Formula*>& conjuncts,
+                         ScopeMode mode, std::vector<HeadVals>* collect_out,
+                         bool* bool_out) {
+    const std::string& head = heads_.empty() ? kNoHead : heads_.back();
+    std::vector<const Formula*> pre;
+    std::vector<const Formula*> group_level;
+    for (const Formula* c : conjuncts) {
+      const bool has_agg = c->ContainsAggregate();
+      const bool touches_head =
+          head != kNoHead && FormulaReferencesVar(*c, head);
+      if (has_agg || touches_head) {
+        group_level.push_back(c);
+      } else {
+        pre.push_back(c);
+      }
+    }
+    std::vector<const Term*> agg_terms;
+    for (const Formula* c : group_level) CollectAggTerms(*c, &agg_terms);
+
+    // Materialize qualifying combinations as owned fragments.
+    std::vector<Fragment> fragments;
+    if (q.join_tree) {
+      ARC_ASSIGN_OR_RETURN(fragments, EvalJoinScope(q, pre));
+    } else {
+      ARC_RETURN_IF_ERROR(MaterializeCombos(q, pre, &fragments));
+    }
+
+    // Partition into groups.
+    struct Group {
+      Tuple key;
+      std::vector<size_t> members;
+    };
+    std::vector<Group> groups;
+    const bool group_all = q.grouping->keys.empty();
+    if (group_all) {
+      groups.push_back(Group{});  // γ∅: exactly one group, even when empty
+      for (size_t i = 0; i < fragments.size(); ++i) {
+        groups[0].members.push_back(i);
+      }
+    } else {
+      std::unordered_map<Tuple, size_t, data::TupleHash> index;
+      for (size_t i = 0; i < fragments.size(); ++i) {
+        PushFragment(fragments[i]);
+        Tuple key;
+        Status key_status = Status::Ok();
+        for (const TermPtr& k : q.grouping->keys) {
+          auto v = EvalTerm(*k, nullptr);
+          if (!v.ok()) {
+            key_status = v.status();
+            break;
+          }
+          key.Append(std::move(v).value());
+        }
+        PopFragment(fragments[i]);
+        ARC_RETURN_IF_ERROR(key_status);
+        auto [it, inserted] = index.emplace(key, groups.size());
+        if (inserted) {
+          groups.push_back(Group{std::move(key), {}});
+        }
+        groups[it->second].members.push_back(i);
+      }
+    }
+
+    // Evaluate each group.
+    for (const Group& group : groups) {
+      AggCtx agg;
+      for (const Term* t : agg_terms) {
+        ARC_ASSIGN_OR_RETURN(Value v,
+                             ComputeAggregate(*t, fragments, group.members));
+        agg.emplace(t, std::move(v));
+      }
+      const Fragment* rep =
+          group.members.empty() ? nullptr : &fragments[group.members[0]];
+      if (rep != nullptr) PushFragment(*rep);
+      Status status = Status::Ok();
+      if (mode == ScopeMode::kBoolean) {
+        bool all_true = true;
+        for (const Formula* c : group_level) {
+          auto v = EvalBool(*c, &agg);
+          if (!v.ok()) {
+            status = v.status();
+            break;
+          }
+          if (!data::IsTrue(*v)) {
+            all_true = false;
+            break;
+          }
+        }
+        if (status.ok() && all_true) *bool_out = true;
+      } else {
+        std::vector<HeadVals> sols;
+        sols.emplace_back();
+        for (const Formula* c : group_level) {
+          auto next = Solutions(*c, &agg);
+          if (!next.ok()) {
+            status = next.status();
+            break;
+          }
+          sols = MergeProduct(sols, *next);
+          if (sols.empty()) break;
+        }
+        if (status.ok()) {
+          std::vector<HeadVals> dedup;
+          for (HeadVals& hv : sols) AddUnique(&dedup, std::move(hv));
+          for (HeadVals& hv : dedup) collect_out->push_back(std::move(hv));
+        }
+      }
+      if (rep != nullptr) PopFragment(*rep);
+      ARC_RETURN_IF_ERROR(status);
+      if (mode == ScopeMode::kBoolean && *bool_out) return Status::Ok();
+    }
+    return Status::Ok();
+  }
+
+  Status MaterializeCombos(const Quantifier& q,
+                           const std::vector<const Formula*>& pre,
+                           std::vector<Fragment>* fragments) {
+    std::vector<std::vector<const Formula*>> filters_at(q.bindings.size() + 1);
+    AssignEagerFilters(q, pre, &filters_at);
+    return MaterializeRec(q, filters_at, 0, fragments);
+  }
+
+  Status MaterializeRec(
+      const Quantifier& q,
+      const std::vector<std::vector<const Formula*>>& filters_at, size_t idx,
+      std::vector<Fragment>* fragments) {
+    for (const Formula* f : filters_at[idx]) {
+      ARC_ASSIGN_OR_RETURN(TriBool v, EvalBool(*f, nullptr));
+      if (!data::IsTrue(v)) return Status::Ok();
+    }
+    if (idx == q.bindings.size()) {
+      Fragment frag;
+      const size_t base = env_.size() - q.bindings.size();
+      for (size_t i = 0; i < q.bindings.size(); ++i) {
+        const EnvEntry& e = env_[base + i];
+        frag.push_back({e.var, e.schema, *e.tuple});
+      }
+      fragments->push_back(std::move(frag));
+      return Status::Ok();
+    }
+    const Binding& b = q.bindings[idx];
+    if (b.range_kind == RangeKind::kNamed) {
+      const std::string key = ToLower(b.relation);
+      if (abstract_defs_.count(key) > 0 || (!IsKnownRelation(b.relation) &&
+                                            externals_.Find(b.relation))) {
+        // Externals/abstract modules inside grouping scopes reuse the
+        // streaming enumerator; route through it.
+        std::vector<const Formula*> all_pre;
+        for (const auto& fs : filters_at) {
+          for (const Formula* f : fs) all_pre.push_back(f);
+        }
+        auto recurse = [&]() -> Status {
+          return MaterializeRec(q, filters_at, idx + 1, fragments);
+        };
+        if (abstract_defs_.count(key) > 0) {
+          return EnumerateAbstract(b, all_pre, recurse);
+        }
+        return EnumerateExternal(b, all_pre, recurse);
+      }
+    }
+    ARC_ASSIGN_OR_RETURN(RangeRel range, ResolveRange(b));
+    // Fragments outlive this enumeration, so they must reference a schema
+    // with stable storage, not the (possibly temporary) range relation's.
+    ARC_ASSIGN_OR_RETURN(const Schema* schema, BindingSchema(b));
+    for (const Tuple& row : range.rel->rows()) {
+      env_.push_back({b.var, schema, &row});
+      Status s = MaterializeRec(q, filters_at, idx + 1, fragments);
+      env_.pop_back();
+      ARC_RETURN_IF_ERROR(s);
+    }
+    return Status::Ok();
+  }
+
+  Result<Value> ComputeAggregate(const Term& t,
+                                 const std::vector<Fragment>& fragments,
+                                 const std::vector<size_t>& members) {
+    if (t.agg_func == AggFunc::kCountStar) {
+      return Value::Int(static_cast<int64_t>(members.size()));
+    }
+    std::vector<Value> values;
+    values.reserve(members.size());
+    for (size_t m : members) {
+      PushFragment(fragments[m]);
+      auto v = EvalTerm(*t.agg_arg, nullptr);
+      PopFragment(fragments[m]);
+      ARC_RETURN_IF_ERROR(v.status());
+      if (!v->is_null()) values.push_back(std::move(v).value());
+    }
+    if (IsDistinctAgg(t.agg_func)) {
+      std::vector<Value> dedup;
+      for (const Value& v : values) {
+        bool seen = false;
+        for (const Value& d : dedup) {
+          if (d == v) seen = true;
+        }
+        if (!seen) dedup.push_back(v);
+      }
+      values = std::move(dedup);
+    }
+    const bool neutral = options_.conventions.empty_aggregate ==
+                         Conventions::EmptyAggregate::kNeutral;
+    switch (t.agg_func) {
+      case AggFunc::kCount:
+      case AggFunc::kCountDistinct:
+        return Value::Int(static_cast<int64_t>(values.size()));
+      case AggFunc::kSum:
+      case AggFunc::kSumDistinct: {
+        if (values.empty()) {
+          return neutral ? Value::Int(0) : Value::Null();
+        }
+        for (const Value& v : values) {
+          if (!v.is_numeric()) {
+            return EvalError("sum over non-numeric value " + v.ToString());
+          }
+        }
+        Value acc = values[0];
+        for (size_t i = 1; i < values.size(); ++i) {
+          ARC_ASSIGN_OR_RETURN(acc,
+                               data::Arith(data::ArithOp::kAdd, acc, values[i]));
+        }
+        return acc;
+      }
+      case AggFunc::kAvg:
+      case AggFunc::kAvgDistinct: {
+        if (values.empty()) {
+          return neutral ? Value::Int(0) : Value::Null();
+        }
+        double sum = 0;
+        for (const Value& v : values) {
+          if (!v.is_numeric()) {
+            return EvalError("avg over non-numeric value " + v.ToString());
+          }
+          sum += v.ToDouble();
+        }
+        return Value::Double(sum / static_cast<double>(values.size()));
+      }
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        if (values.empty()) return Value::Null();
+        Value best = values[0];
+        for (size_t i = 1; i < values.size(); ++i) {
+          const int c = values[i].CompareTotal(best);
+          if ((t.agg_func == AggFunc::kMin && c < 0) ||
+              (t.agg_func == AggFunc::kMax && c > 0)) {
+            best = values[i];
+          }
+        }
+        return best;
+      }
+      case AggFunc::kCountStar:
+        break;
+    }
+    return EvalError("bad aggregate");
+  }
+
+  // ---- join annotation trees ------------------------------------------------
+
+  struct JoinPlan {
+    // Conjuncts attached to each join node (by node address).
+    std::unordered_map<const JoinNode*, std::vector<const Formula*>> conds;
+    std::vector<const Formula*> global;  // no local leaves referenced
+  };
+
+  Result<std::vector<Fragment>> EvalJoinScope(
+      const Quantifier& q, const std::vector<const Formula*>& conjuncts) {
+    // Bindings not mentioned in the annotation join the root as inner.
+    JoinNodePtr extended;
+    const JoinNode* root = q.join_tree.get();
+    std::vector<std::string> tree_vars;
+    root->CollectVars(&tree_vars);
+    std::vector<const Binding*> missing;
+    for (const Binding& b : q.bindings) {
+      bool present = false;
+      for (const std::string& v : tree_vars) {
+        if (EqualsIgnoreCase(v, b.var)) present = true;
+      }
+      if (!present) missing.push_back(&b);
+    }
+    if (!missing.empty()) {
+      std::vector<JoinNodePtr> children;
+      children.push_back(root->Clone());
+      for (const Binding* b : missing) children.push_back(MakeJoinVar(b->var));
+      extended = MakeJoinInner(std::move(children));
+      root = extended.get();
+    }
+
+    const std::string& head = heads_.empty() ? kNoHead : heads_.back();
+    JoinPlan plan;
+    for (const Formula* c : conjuncts) {
+      if (c->ContainsAggregate()) continue;  // group-level, handled elsewhere
+      if (head != kNoHead && FormulaReferencesVar(*c, head)) continue;
+      AttachConjunct(*root, c, &plan);
+    }
+    // Global filters run once.
+    for (const Formula* f : plan.global) {
+      ARC_ASSIGN_OR_RETURN(TriBool v, EvalBool(*f, nullptr));
+      if (!data::IsTrue(v)) return std::vector<Fragment>{};
+    }
+    return EvalJoinNode(*root, q, plan);
+  }
+
+  /// Leaves of a join node: variable names (lower) and literal-leaf ptrs.
+  static void NodeLeaves(const JoinNode& n,
+                         std::unordered_set<std::string>* vars,
+                         std::unordered_set<const JoinNode*>* lits) {
+    if (n.kind == JoinKind::kVarLeaf) {
+      vars->insert(ToLower(n.var));
+      return;
+    }
+    if (n.kind == JoinKind::kLiteralLeaf) {
+      lits->insert(&n);
+      return;
+    }
+    for (const JoinNodePtr& c : n.children) NodeLeaves(*c, vars, lits);
+  }
+
+  void AttachConjunct(const JoinNode& root, const Formula* c, JoinPlan* plan) {
+    // Referenced local variables.
+    std::unordered_set<std::string> all_vars;
+    std::unordered_set<const JoinNode*> all_lits;
+    NodeLeaves(root, &all_vars, &all_lits);
+    std::unordered_set<std::string> used_vars;
+    for (const std::string& v : all_vars) {
+      if (FormulaReferencesVar(*c, v)) used_vars.insert(v);
+    }
+    // Literal anchors: an equality side that is a literal matching a
+    // literal leaf anchors the conjunct at that leaf (§2.11, Fig. 12).
+    std::unordered_set<const JoinNode*> used_lits;
+    if (c->kind == FormulaKind::kPredicate) {
+      auto match_literal = [&](const TermPtr& t) {
+        if (!t || t->kind != TermKind::kLiteral) return;
+        for (const JoinNode* lit : all_lits) {
+          if (lit->literal.Equals(t->literal)) {
+            used_lits.insert(lit);
+            return;
+          }
+        }
+      };
+      match_literal(c->lhs);
+      match_literal(c->rhs);
+    }
+    if (used_vars.empty() && used_lits.empty()) {
+      plan->global.push_back(c);
+      return;
+    }
+    const JoinNode* best = FindLowestCovering(root, used_vars, used_lits);
+    plan->conds[best].push_back(c);
+  }
+
+  static const JoinNode* FindLowestCovering(
+      const JoinNode& n, const std::unordered_set<std::string>& vars,
+      const std::unordered_set<const JoinNode*>& lits) {
+    std::unordered_set<std::string> here_vars;
+    std::unordered_set<const JoinNode*> here_lits;
+    NodeLeaves(n, &here_vars, &here_lits);
+    auto covers = [&]() {
+      for (const std::string& v : vars) {
+        if (here_vars.count(v) == 0) return false;
+      }
+      for (const JoinNode* l : lits) {
+        if (here_lits.count(l) == 0) return false;
+      }
+      return true;
+    };
+    if (!covers()) return nullptr;
+    for (const JoinNodePtr& c : n.children) {
+      const JoinNode* deeper = FindLowestCovering(*c, vars, lits);
+      if (deeper != nullptr) return deeper;
+    }
+    return &n;
+  }
+
+  Result<bool> FragmentSatisfies(const Fragment& frag,
+                                 const std::vector<const Formula*>& conds) {
+    PushFragment(frag);
+    bool ok_all = true;
+    Status status = Status::Ok();
+    for (const Formula* c : conds) {
+      auto v = EvalBool(*c, nullptr);
+      if (!v.ok()) {
+        status = v.status();
+        break;
+      }
+      if (!data::IsTrue(*v)) {
+        ok_all = false;
+        break;
+      }
+    }
+    PopFragment(frag);
+    ARC_RETURN_IF_ERROR(status);
+    return ok_all;
+  }
+
+  static Fragment ConcatFragments(const Fragment& a, const Fragment& b) {
+    Fragment out = a;
+    out.insert(out.end(), b.begin(), b.end());
+    return out;
+  }
+
+  /// All variable leaves under `n`, null-padded (for outer-join padding).
+  Result<Fragment> NullFragment(const JoinNode& n, const Quantifier& q) {
+    Fragment out;
+    std::vector<std::string> vars;
+    n.CollectVars(&vars);
+    for (const std::string& v : vars) {
+      const Binding* binding = nullptr;
+      for (const Binding& b : q.bindings) {
+        if (EqualsIgnoreCase(b.var, v)) binding = &b;
+      }
+      if (binding == nullptr) {
+        return EvalError("join annotation references unbound '" + v + "'");
+      }
+      ARC_ASSIGN_OR_RETURN(const Schema* schema, BindingSchema(*binding));
+      Tuple nulls;
+      for (int i = 0; i < schema->size(); ++i) nulls.Append(Value::Null());
+      out.push_back({binding->var, schema, std::move(nulls)});
+    }
+    return out;
+  }
+
+  /// Schema for a binding, stable for the lifetime of the evaluation.
+  Result<const Schema*> BindingSchema(const Binding& b) {
+    if (b.range_kind == RangeKind::kCollection) {
+      auto [it, inserted] = nested_schemas_.try_emplace(
+          &b, Schema(b.collection->head.attrs));
+      (void)inserted;
+      return &it->second;
+    }
+    const std::string key = ToLower(b.relation);
+    auto cached = named_schemas_.find(key);
+    if (cached != named_schemas_.end()) return &cached->second;
+    ARC_ASSIGN_OR_RETURN(RangeRel range, ResolveRange(b));
+    auto [it, inserted] = named_schemas_.emplace(key, range.rel->schema());
+    (void)inserted;
+    return &it->second;
+  }
+
+  Result<std::vector<Fragment>> EvalJoinNode(const JoinNode& n,
+                                             const Quantifier& q,
+                                             const JoinPlan& plan) {
+    const std::vector<const Formula*>* conds = nullptr;
+    auto it = plan.conds.find(&n);
+    static const std::vector<const Formula*> kEmpty;
+    conds = it == plan.conds.end() ? &kEmpty : &it->second;
+    switch (n.kind) {
+      case JoinKind::kVarLeaf: {
+        const Binding* binding = nullptr;
+        for (const Binding& b : q.bindings) {
+          if (EqualsIgnoreCase(b.var, n.var)) binding = &b;
+        }
+        if (binding == nullptr) {
+          return EvalError("join annotation references unbound '" + n.var +
+                           "'");
+        }
+        if (binding->range_kind == RangeKind::kNamed) {
+          const std::string key = ToLower(binding->relation);
+          if (abstract_defs_.count(key) > 0 ||
+              (!IsKnownRelation(binding->relation) &&
+               externals_.Find(binding->relation) != nullptr)) {
+            return Unsupported(
+                "external/abstract relations are not supported inside join "
+                "annotations");
+          }
+        }
+        ARC_ASSIGN_OR_RETURN(RangeRel range, ResolveRange(*binding));
+        // Cache the schema so padded fragments share it.
+        ARC_ASSIGN_OR_RETURN(const Schema* schema, BindingSchema(*binding));
+        std::vector<Fragment> out;
+        for (const Tuple& row : range.rel->rows()) {
+          Fragment frag;
+          frag.push_back({binding->var, schema, row});
+          ARC_ASSIGN_OR_RETURN(bool pass, FragmentSatisfies(frag, *conds));
+          if (pass) out.push_back(std::move(frag));
+        }
+        return out;
+      }
+      case JoinKind::kLiteralLeaf: {
+        // Contributes no bindings; anchored conditions are evaluated by the
+        // parent join node (they mention only other leaves' variables).
+        std::vector<Fragment> out;
+        out.emplace_back();
+        return out;
+      }
+      case JoinKind::kInner: {
+        std::vector<Fragment> acc;
+        acc.emplace_back();
+        for (const JoinNodePtr& c : n.children) {
+          ARC_ASSIGN_OR_RETURN(std::vector<Fragment> child,
+                               EvalJoinNode(*c, q, plan));
+          std::vector<Fragment> next;
+          for (const Fragment& a : acc) {
+            for (const Fragment& b : child) {
+              next.push_back(ConcatFragments(a, b));
+            }
+          }
+          acc = std::move(next);
+          if (acc.empty()) break;
+        }
+        std::vector<Fragment> out;
+        for (Fragment& frag : acc) {
+          ARC_ASSIGN_OR_RETURN(bool pass, FragmentSatisfies(frag, *conds));
+          if (pass) out.push_back(std::move(frag));
+        }
+        return out;
+      }
+      case JoinKind::kLeft: {
+        ARC_ASSIGN_OR_RETURN(std::vector<Fragment> left,
+                             EvalJoinNode(*n.children[0], q, plan));
+        ARC_ASSIGN_OR_RETURN(std::vector<Fragment> right,
+                             EvalJoinNode(*n.children[1], q, plan));
+        ARC_ASSIGN_OR_RETURN(Fragment null_right,
+                             NullFragment(*n.children[1], q));
+        std::vector<Fragment> out;
+        for (const Fragment& l : left) {
+          bool matched = false;
+          for (const Fragment& r : right) {
+            Fragment joined = ConcatFragments(l, r);
+            ARC_ASSIGN_OR_RETURN(bool pass, FragmentSatisfies(joined, *conds));
+            if (pass) {
+              matched = true;
+              out.push_back(std::move(joined));
+            }
+          }
+          if (!matched) out.push_back(ConcatFragments(l, null_right));
+        }
+        return out;
+      }
+      case JoinKind::kFull: {
+        ARC_ASSIGN_OR_RETURN(std::vector<Fragment> left,
+                             EvalJoinNode(*n.children[0], q, plan));
+        ARC_ASSIGN_OR_RETURN(std::vector<Fragment> right,
+                             EvalJoinNode(*n.children[1], q, plan));
+        ARC_ASSIGN_OR_RETURN(Fragment null_left,
+                             NullFragment(*n.children[0], q));
+        ARC_ASSIGN_OR_RETURN(Fragment null_right,
+                             NullFragment(*n.children[1], q));
+        std::vector<Fragment> out;
+        std::vector<bool> right_matched(right.size(), false);
+        for (const Fragment& l : left) {
+          bool matched = false;
+          for (size_t ri = 0; ri < right.size(); ++ri) {
+            Fragment joined = ConcatFragments(l, right[ri]);
+            ARC_ASSIGN_OR_RETURN(bool pass, FragmentSatisfies(joined, *conds));
+            if (pass) {
+              matched = true;
+              right_matched[ri] = true;
+              out.push_back(std::move(joined));
+            }
+          }
+          if (!matched) out.push_back(ConcatFragments(l, null_right));
+        }
+        for (size_t ri = 0; ri < right.size(); ++ri) {
+          if (!right_matched[ri]) {
+            out.push_back(ConcatFragments(null_left, right[ri]));
+          }
+        }
+        return out;
+      }
+    }
+    return EvalError("bad join node");
+  }
+
+  // ---- state ------------------------------------------------------------
+
+  static const std::string kNoHead;
+
+  const data::Database& db_;
+  const EvalOptions& options_;
+  const ExternalRegistry& externals_;
+
+  std::vector<EnvEntry> env_;
+  std::vector<std::string> heads_;
+  std::vector<std::pair<std::string, const Relation*>> overlay_;
+  std::unordered_map<std::string, Relation> defs_;
+  std::unordered_map<std::string, const Collection*> abstract_defs_;
+  std::unordered_map<const Binding*, Schema> nested_schemas_;
+  std::unordered_map<std::string, Schema> named_schemas_;
+  std::unordered_map<std::string, Relation> dedup_cache_;
+  std::unordered_map<const Binding*, bool> closed_;
+  std::unordered_map<const Binding*, std::shared_ptr<Relation>> closed_cache_;
+  std::map<std::pair<const void*, int>, AttrIndex> attr_indexes_;
+};
+
+const std::string EvalImpl::kNoHead = "";
+
+}  // namespace
+
+Evaluator::Evaluator(const data::Database& database, EvalOptions options)
+    : database_(database), options_(std::move(options)) {
+  if (options_.externals == nullptr) {
+    default_externals_ = ExternalRegistry::Builtins();
+    options_.externals = &default_externals_;
+  }
+}
+
+Result<data::Relation> Evaluator::EvalProgram(const Program& program) {
+  if (options_.validate) {
+    AnalyzeOptions aopts;
+    aopts.database = &database_;
+    aopts.externals = options_.externals;
+    Analysis analysis = Analyze(program, aopts);
+    if (!analysis.ok()) {
+      return ValidationError(Join(analysis.ErrorMessages(), "; "));
+    }
+  }
+  EvalImpl impl(database_, options_, *options_.externals);
+  return impl.RunProgram(program);
+}
+
+Result<data::Relation> Evaluator::EvalCollection(const Collection& collection) {
+  Program program;
+  program.main.collection = collection.Clone();
+  return EvalProgram(program);
+}
+
+Result<data::TriBool> Evaluator::EvalSentence(const Program& program) {
+  if (options_.validate) {
+    AnalyzeOptions aopts;
+    aopts.database = &database_;
+    aopts.externals = options_.externals;
+    Analysis analysis = Analyze(program, aopts);
+    if (!analysis.ok()) {
+      return ValidationError(Join(analysis.ErrorMessages(), "; "));
+    }
+  }
+  EvalImpl impl(database_, options_, *options_.externals);
+  return impl.RunSentence(program);
+}
+
+Result<data::Relation> Eval(const data::Database& database,
+                            const Program& program, EvalOptions options) {
+  Evaluator evaluator(database, std::move(options));
+  return evaluator.EvalProgram(program);
+}
+
+Result<data::Relation> Eval(const data::Database& database,
+                            const Collection& collection, EvalOptions options) {
+  Evaluator evaluator(database, std::move(options));
+  return evaluator.EvalCollection(collection);
+}
+
+}  // namespace arc::eval

@@ -1,0 +1,81 @@
+// The ARC evaluator: a direct implementation of the paper's *conceptual
+// evaluation strategy* (§2.3) — nested loops over quantifier bindings,
+// lateral re-evaluation of correlated nested collections, grouping scopes
+// with parallel multi-aggregates (§2.5), outer-join annotation trees
+// (§2.11), least-fixed-point recursion (§2.9), external relations accessed
+// through access patterns (§2.13.1), and abstract-relation modules bound
+// via parameters (§2.13.2).
+//
+// Multiplicity semantics. A collection emits rows per *generating
+// combination*: the top-level quantifier spine of its body (an ∃ scope, or
+// each disjunct of a top-level ∨) drives multiplicity; quantifiers nested
+// as conditions are existence tests. This makes the nested and unnested
+// forms of §2.7 coincide under set semantics and diverge under bag
+// semantics exactly as the paper describes (semijoin-like vs. per-pair).
+// Under the set convention every collection result is deduplicated; under
+// the bag convention multiplicities are kept.
+//
+// All convention choices (§2.6/§2.7) are evaluation parameters, never AST
+// state: the same ALT can be run under Conventions::Arc(), ::Sql(), or
+// ::Souffle().
+#ifndef ARC_EVAL_EVALUATOR_H_
+#define ARC_EVAL_EVALUATOR_H_
+
+#include <string>
+
+#include "arc/analyze.h"
+#include "arc/ast.h"
+#include "arc/conventions.h"
+#include "arc/external.h"
+#include "common/status.h"
+#include "data/database.h"
+
+namespace arc::eval {
+
+struct EvalOptions {
+  Conventions conventions = Conventions::Arc();
+  /// External relations; the builtins when null.
+  const ExternalRegistry* externals = nullptr;
+  /// Run Analyze() and refuse evaluation on validation errors. Disable
+  /// only for experiments that deliberately evaluate unusual shapes.
+  bool validate = true;
+  /// Fixpoint iteration guard for recursive collections.
+  int64_t max_fixpoint_iterations = 100000;
+};
+
+class Evaluator {
+ public:
+  Evaluator(const data::Database& database, EvalOptions options = {});
+
+  /// Evaluates a full program: materializes intensional definitions in
+  /// order, registers abstract definitions for inlining, then evaluates the
+  /// main collection. Fails if the main query is a sentence (use
+  /// EvalSentence).
+  Result<data::Relation> EvalProgram(const Program& program);
+
+  /// Evaluates a single collection with no definitions in scope.
+  Result<data::Relation> EvalCollection(const Collection& collection);
+
+  /// Evaluates a Boolean sentence (Fig. 9). If `program` carries
+  /// definitions they are honored.
+  Result<data::TriBool> EvalSentence(const Program& program);
+
+  const Conventions& conventions() const { return options_.conventions; }
+
+ private:
+  friend class EvalImpl;
+  const data::Database& database_;
+  EvalOptions options_;
+  ExternalRegistry default_externals_;
+};
+
+/// One-shot helpers.
+Result<data::Relation> Eval(const data::Database& database,
+                            const Program& program, EvalOptions options = {});
+Result<data::Relation> Eval(const data::Database& database,
+                            const Collection& collection,
+                            EvalOptions options = {});
+
+}  // namespace arc::eval
+
+#endif  // ARC_EVAL_EVALUATOR_H_

@@ -1,0 +1,344 @@
+#include "higraph/higraph.h"
+
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "text/printer.h"
+
+namespace arc::higraph {
+
+namespace {
+
+std::string TermText(const Term& t) { return text::PrintTerm(t); }
+
+class Builder {
+ public:
+  explicit Builder(const BuildOptions& options) : options_(options) {}
+
+  Result<Higraph> Run(const Program& program) {
+    Region canvas;
+    canvas.id = 0;
+    canvas.kind = RegionKind::kCanvas;
+    h_.regions.push_back(canvas);
+    for (const Definition& def : program.definitions) {
+      if (def.kind == DefKind::kAbstract) {
+        abstract_defs_[ToLower(def.collection->head.relation)] =
+            def.collection.get();
+      } else {
+        // Intensional definitions are drawn as their own top-level
+        // sub-diagrams on the canvas.
+        ARC_RETURN_IF_ERROR(BuildCollection(*def.collection, 0));
+      }
+    }
+    if (program.main.collection) {
+      ARC_RETURN_IF_ERROR(BuildCollection(*program.main.collection, 0));
+    } else if (program.main.sentence) {
+      ARC_RETURN_IF_ERROR(BuildFormula(*program.main.sentence, 0));
+    } else {
+      return InvalidArgument("program has no main query");
+    }
+    return std::move(h_);
+  }
+
+ private:
+  int NewRegion(RegionKind kind, int parent, std::string label = "") {
+    Region r;
+    r.id = static_cast<int>(h_.regions.size());
+    r.kind = kind;
+    r.label = std::move(label);
+    h_.regions.push_back(std::move(r));
+    h_.regions[static_cast<size_t>(parent)].children.push_back(
+        h_.regions.back().id);
+    return h_.regions.back().id;
+  }
+
+  int NewBox(int region, std::string relation, std::string var,
+             bool is_head = false) {
+    Box b;
+    b.id = static_cast<int>(h_.boxes.size());
+    b.relation = std::move(relation);
+    b.var = std::move(var);
+    b.is_head = is_head;
+    h_.boxes.push_back(std::move(b));
+    h_.regions[static_cast<size_t>(region)].boxes.push_back(h_.boxes.back().id);
+    return h_.boxes.back().id;
+  }
+
+  // ---- variable environment -----------------------------------------------
+
+  struct VarEntry {
+    std::string name;
+    int box = -1;
+  };
+  std::vector<VarEntry> env_;
+  std::vector<std::pair<std::string, int>> heads_;  // head name → head box
+
+  int LookupBox(const std::string& var) const {
+    for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+      if (EqualsIgnoreCase(it->name, var)) return it->box;
+    }
+    for (auto it = heads_.rbegin(); it != heads_.rend(); ++it) {
+      if (EqualsIgnoreCase(it->first, var)) return it->second;
+    }
+    return -1;
+  }
+
+  bool IsHeadName(const std::string& var) const {
+    return !heads_.empty() && EqualsIgnoreCase(heads_.back().first, var);
+  }
+
+  // ---- construction --------------------------------------------------------
+
+  Status BuildCollection(const Collection& c, int parent) {
+    const int region = NewRegion(RegionKind::kCollection, parent,
+                                 c.head.relation);
+    const int head_box = NewBox(region, c.head.relation, "", /*is_head=*/true);
+    for (const std::string& attr : c.head.attrs) {
+      h_.boxes[static_cast<size_t>(head_box)].EnsureRow(attr);
+    }
+    heads_.emplace_back(c.head.relation, head_box);
+    Status s = BuildFormula(*c.body, region);
+    heads_.pop_back();
+    return s;
+  }
+
+  Status BuildFormula(const Formula& f, int region) {
+    switch (f.kind) {
+      case FormulaKind::kAnd:
+        for (const FormulaPtr& c : f.children) {
+          ARC_RETURN_IF_ERROR(BuildFormula(*c, region));
+        }
+        return Status::Ok();
+      case FormulaKind::kOr: {
+        for (size_t i = 0; i < f.children.size(); ++i) {
+          const int branch = NewRegion(RegionKind::kDisjunct, region,
+                                       "or-" + std::to_string(i + 1));
+          ARC_RETURN_IF_ERROR(BuildFormula(*f.children[i], branch));
+        }
+        return Status::Ok();
+      }
+      case FormulaKind::kNot: {
+        const int neg = NewRegion(RegionKind::kNegation, region, "not");
+        return BuildFormula(*f.child, neg);
+      }
+      case FormulaKind::kExists:
+        return BuildScope(*f.quantifier, region);
+      case FormulaKind::kPredicate:
+      case FormulaKind::kNullTest:
+        return AddPredicate(f, region);
+    }
+    return Internal("bad formula");
+  }
+
+  Status BuildScope(const Quantifier& q, int parent) {
+    const int region = NewRegion(RegionKind::kScope, parent);
+    h_.regions[static_cast<size_t>(region)].grouping = q.grouping.has_value();
+    const size_t env_mark = env_.size();
+    for (const Binding& b : q.bindings) {
+      if (b.range_kind == RangeKind::kCollection) {
+        // The nested collection is its own sub-diagram; references to the
+        // binding variable link to the nested head's rows (§2.5: defined
+        // relations "exist on the Canvas as independent topological
+        // entities").
+        ARC_RETURN_IF_ERROR(BuildCollection(*b.collection, region));
+        // The head box is the most recently created head.
+        int head_box = -1;
+        for (auto it = h_.boxes.rbegin(); it != h_.boxes.rend(); ++it) {
+          if (it->is_head &&
+              EqualsIgnoreCase(it->relation, b.collection->head.relation)) {
+            head_box = it->id;
+            break;
+          }
+        }
+        env_.push_back({b.var, head_box});
+        continue;
+      }
+      auto mod = abstract_defs_.find(ToLower(b.relation));
+      if (mod != abstract_defs_.end()) {
+        if (options_.expand_modules) {
+          const int mregion =
+              NewRegion(RegionKind::kModule, region, b.relation);
+          ARC_RETURN_IF_ERROR(BuildCollection(*mod->second, mregion));
+          int head_box = -1;
+          for (auto it = h_.boxes.rbegin(); it != h_.boxes.rend(); ++it) {
+            if (it->is_head && EqualsIgnoreCase(it->relation, b.relation)) {
+              head_box = it->id;
+              break;
+            }
+          }
+          env_.push_back({b.var, head_box});
+        } else {
+          const int mregion =
+              NewRegion(RegionKind::kModule, region, b.relation);
+          const int box = NewBox(mregion, "«" + b.relation + "»", b.var);
+          env_.push_back({b.var, box});
+        }
+        continue;
+      }
+      const int box = NewBox(region, b.relation, b.var);
+      env_.push_back({b.var, box});
+    }
+    if (q.grouping.has_value()) {
+      for (const TermPtr& k : q.grouping->keys) {
+        if (k->kind == TermKind::kAttrRef) {
+          const int box = LookupBox(k->var);
+          if (box >= 0) {
+            Box& b = h_.boxes[static_cast<size_t>(box)];
+            b.rows[static_cast<size_t>(b.EnsureRow(k->attr))].grouped = true;
+          }
+        }
+      }
+    }
+    Status s = BuildFormula(*q.body, region);
+    env_.resize(env_mark);
+    return s;
+  }
+
+  /// Anchor of a term: (box, row) it should connect from.
+  struct Anchor {
+    int box = -1;
+    int row = -1;
+  };
+
+  std::optional<Anchor> TermAnchor(const Term& t) {
+    switch (t.kind) {
+      case TermKind::kAttrRef: {
+        const int box = LookupBox(t.var);
+        if (box < 0) return std::nullopt;
+        Anchor a;
+        a.box = box;
+        a.row = h_.boxes[static_cast<size_t>(box)].EnsureRow(t.attr);
+        return a;
+      }
+      case TermKind::kAggregate:
+      case TermKind::kArith: {
+        // Pseudo-row in the box of the first referenced variable.
+        std::string first_var;
+        FindFirstVar(t, &first_var);
+        if (first_var.empty()) return std::nullopt;
+        const int box = LookupBox(first_var);
+        if (box < 0) return std::nullopt;
+        Anchor a;
+        a.box = box;
+        a.row = h_.boxes[static_cast<size_t>(box)].EnsureRow(TermText(t),
+                                                             /*pseudo=*/true);
+        return a;
+      }
+      case TermKind::kLiteral:
+        return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  static void FindFirstVar(const Term& t, std::string* out) {
+    if (!out->empty()) return;
+    switch (t.kind) {
+      case TermKind::kAttrRef:
+        *out = t.var;
+        return;
+      case TermKind::kArith:
+        if (t.lhs) FindFirstVar(*t.lhs, out);
+        if (t.rhs) FindFirstVar(*t.rhs, out);
+        return;
+      case TermKind::kAggregate:
+        if (t.agg_arg) FindFirstVar(*t.agg_arg, out);
+        return;
+      case TermKind::kLiteral:
+        return;
+    }
+  }
+
+  Status AddPredicate(const Formula& f, int region) {
+    (void)region;
+    if (f.kind == FormulaKind::kNullTest) {
+      auto anchor = TermAnchor(*f.null_arg);
+      if (anchor.has_value() && f.null_arg->kind == TermKind::kAttrRef) {
+        Box& b = h_.boxes[static_cast<size_t>(anchor->box)];
+        b.EnsureRow(f.null_arg->attr +
+                        (f.null_negated ? " is not null" : " is null"),
+                    /*pseudo=*/true);
+      }
+      return Status::Ok();
+    }
+    // Assignment predicate? (H.attr = term for the innermost head.)
+    auto head_side = [&](const TermPtr& t) {
+      return t && t->kind == TermKind::kAttrRef && IsHeadName(t->var);
+    };
+    const bool l = head_side(f.lhs);
+    const bool r = head_side(f.rhs);
+    if (f.cmp_op == data::CmpOp::kEq && l != r) {
+      const Term& head_term = l ? *f.lhs : *f.rhs;
+      const Term& value_term = l ? *f.rhs : *f.lhs;
+      const int head_box = heads_.back().second;
+      const int head_row =
+          h_.boxes[static_cast<size_t>(head_box)].EnsureRow(head_term.attr);
+      auto value = TermAnchor(value_term);
+      if (!value.has_value()) {
+        // Constant assignment: text row inside the head box.
+        Box& b = h_.boxes[static_cast<size_t>(head_box)];
+        b.EnsureRow(head_term.attr + " = " + TermText(value_term),
+                    /*pseudo=*/true);
+        return Status::Ok();
+      }
+      Edge e;
+      e.from_box = value->box;
+      e.from_row = value->row;
+      e.to_box = head_box;
+      e.to_row = head_row;
+      e.style = EdgeStyle::kAssignment;
+      h_.edges.push_back(e);
+      return Status::Ok();
+    }
+    auto lhs = f.lhs ? TermAnchor(*f.lhs) : std::nullopt;
+    auto rhs = f.rhs ? TermAnchor(*f.rhs) : std::nullopt;
+    if (lhs.has_value() && rhs.has_value()) {
+      Edge e;
+      e.from_box = lhs->box;
+      e.from_row = lhs->row;
+      e.to_box = rhs->box;
+      e.to_row = rhs->row;
+      if (f.cmp_op != data::CmpOp::kEq) e.label = data::CmpOpSymbol(f.cmp_op);
+      h_.edges.push_back(e);
+      return Status::Ok();
+    }
+    // Attribute vs. constant: selection text inside the row.
+    if (lhs.has_value() != rhs.has_value()) {
+      const Anchor& a = lhs.has_value() ? *lhs : *rhs;
+      const Term& other = lhs.has_value() ? *f.rhs : *f.lhs;
+      const Term& anchored = lhs.has_value() ? *f.lhs : *f.rhs;
+      if (other.kind == TermKind::kLiteral &&
+          anchored.kind == TermKind::kAttrRef) {
+        data::CmpOp op = lhs.has_value() ? f.cmp_op : data::FlipCmpOp(f.cmp_op);
+        Box& b = h_.boxes[static_cast<size_t>(a.box)];
+        b.EnsureRow(anchored.attr + " " + data::CmpOpSymbol(op) + " " +
+                        TermText(other),
+                    /*pseudo=*/true);
+      }
+      return Status::Ok();
+    }
+    return Status::Ok();
+  }
+
+  const BuildOptions& options_;
+  Higraph h_;
+  std::unordered_map<std::string, const Collection*> abstract_defs_;
+};
+
+}  // namespace
+
+int Box::EnsureRow(const std::string& text, bool pseudo) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].text == text) return static_cast<int>(i);
+  }
+  Row row;
+  row.text = text;
+  row.is_pseudo = pseudo;
+  rows.push_back(std::move(row));
+  return static_cast<int>(rows.size() - 1);
+}
+
+Result<Higraph> Build(const Program& program, const BuildOptions& options) {
+  return Builder(options).Run(program);
+}
+
+}  // namespace arc::higraph

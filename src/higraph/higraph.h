@@ -1,0 +1,105 @@
+// The higraph modality (§2.2): the resolved ALT rendered as a hierarchical
+// graph — nested regions for scopes (collection, quantifier, grouping,
+// negation, disjunction), relation boxes with attribute rows, and cross
+// edges for predicates. This is the data structure behind the paper's
+// Relational-Diagram figures:
+//   * grouping scopes have double borders, grouped attributes are shaded,
+//   * assignment predicates are directed, decorated edges (§2.2 (ii)),
+//   * aggregation terms appear as pseudo-rows ("sum(B)") in their scope,
+//   * constant selections render inside the attribute row ("C = 0"),
+//   * negation scopes are dashed regions,
+//   * abstract-relation modules can stay collapsed or be expanded (§2.13.2).
+//
+// Renderers: ASCII (terminal), Graphviz DOT, and standalone SVG.
+#ifndef ARC_HIGRAPH_HIGRAPH_H_
+#define ARC_HIGRAPH_HIGRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "arc/ast.h"
+#include "common/status.h"
+
+namespace arc::higraph {
+
+enum class RegionKind {
+  kCanvas,
+  kCollection,  // a comprehension; contains the head box and body regions
+  kScope,       // quantifier scope (double border when grouping)
+  kNegation,    // ¬ region (dashed)
+  kDisjunct,    // one branch of an OR
+  kModule,      // collapsed abstract-relation module
+};
+
+struct Row {
+  std::string text;     // "A", "C = 0", "sum(B)", "A is null"
+  bool grouped = false; // grouping key: shaded
+  bool is_pseudo = false;  // aggregate/selection pseudo-row
+};
+
+/// A relation box: a named range with its visible attribute rows.
+struct Box {
+  int id = -1;
+  std::string relation;  // display label (relation name)
+  std::string var;       // range variable (shown when it differs)
+  bool is_head = false;
+  std::vector<Row> rows;
+
+  /// Finds (or appends) the row with exactly `text`; returns its index.
+  int EnsureRow(const std::string& text, bool pseudo = false);
+};
+
+struct Region {
+  int id = -1;
+  RegionKind kind = RegionKind::kCanvas;
+  std::string label;       // head name for collections, module name, "or"
+  bool grouping = false;   // double border
+  std::vector<int> boxes;  // Box ids
+  std::vector<int> children;  // sub-Region ids
+};
+
+enum class EdgeStyle {
+  kJoin,        // comparison between attributes (label carries the op)
+  kAssignment,  // assignment predicate: directed, decorated
+};
+
+struct Edge {
+  int from_box = -1;
+  int from_row = -1;
+  int to_box = -1;
+  int to_row = -1;
+  std::string label;  // "", "<", "<=", … ("=" joins stay unlabeled)
+  EdgeStyle style = EdgeStyle::kJoin;
+};
+
+struct Higraph {
+  std::vector<Region> regions;  // regions[0] is the canvas
+  std::vector<Box> boxes;
+  std::vector<Edge> edges;
+
+  int64_t region_count() const { return static_cast<int64_t>(regions.size()); }
+  int64_t box_count() const { return static_cast<int64_t>(boxes.size()); }
+  int64_t edge_count() const { return static_cast<int64_t>(edges.size()); }
+};
+
+struct BuildOptions {
+  /// Expand abstract-relation modules into sub-diagrams instead of showing
+  /// a collapsed module node.
+  bool expand_modules = false;
+};
+
+/// Builds the higraph for a program's main query (collection or sentence).
+Result<Higraph> Build(const Program& program, const BuildOptions& options = {});
+
+/// Terminal rendering: nested boxes indented per region, edge list below.
+std::string ToAscii(const Higraph& h);
+
+/// Graphviz rendering: regions as clusters, boxes as record nodes.
+std::string ToDot(const Higraph& h);
+
+/// Standalone SVG (simple recursive layout; no external dependencies).
+std::string ToSvg(const Higraph& h);
+
+}  // namespace arc::higraph
+
+#endif  // ARC_HIGRAPH_HIGRAPH_H_

@@ -1,0 +1,363 @@
+// Renderers for the higraph modality: ASCII (terminal), Graphviz DOT, and
+// a dependency-free SVG writer with a simple recursive layout.
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "higraph/higraph.h"
+
+namespace arc::higraph {
+
+namespace {
+
+const char* RegionName(RegionKind k) {
+  switch (k) {
+    case RegionKind::kCanvas:
+      return "canvas";
+    case RegionKind::kCollection:
+      return "collection";
+    case RegionKind::kScope:
+      return "scope";
+    case RegionKind::kNegation:
+      return "not";
+    case RegionKind::kDisjunct:
+      return "or";
+    case RegionKind::kModule:
+      return "module";
+  }
+  return "?";
+}
+
+std::string BoxTitle(const Box& b) {
+  std::string title = b.relation;
+  if (!b.var.empty() && !EqualsIgnoreCase(b.var, b.relation)) {
+    title += " " + b.var;
+  }
+  if (b.is_head) title = "HEAD " + title;
+  return title;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ASCII
+// ---------------------------------------------------------------------------
+
+std::string ToAscii(const Higraph& h) {
+  std::string out;
+  std::function<void(int, int)> walk = [&](int region_id, int depth) {
+    const Region& r = h.regions[static_cast<size_t>(region_id)];
+    if (r.kind != RegionKind::kCanvas) {
+      out += Repeat("  ", depth);
+      out += "[";
+      out += RegionName(r.kind);
+      if (r.grouping) out += " γ";
+      if (!r.label.empty()) out += " " + r.label;
+      out += "]\n";
+    }
+    for (int box_id : r.boxes) {
+      const Box& b = h.boxes[static_cast<size_t>(box_id)];
+      out += Repeat("  ", depth + 1);
+      out += BoxTitle(b);
+      out += ": |";
+      for (const Row& row : b.rows) {
+        out += " " + row.text + (row.grouped ? "*" : "") + " |";
+      }
+      out += "\n";
+    }
+    for (int child : r.children) walk(child, depth + 1);
+  };
+  walk(0, -1);
+  if (!h.edges.empty()) {
+    out += "edges:\n";
+    for (const Edge& e : h.edges) {
+      const Box& from = h.boxes[static_cast<size_t>(e.from_box)];
+      const Box& to = h.boxes[static_cast<size_t>(e.to_box)];
+      out += "  " + BoxTitle(from) + "." +
+             from.rows[static_cast<size_t>(e.from_row)].text;
+      if (e.style == EdgeStyle::kAssignment) {
+        out += " ==> ";
+      } else {
+        out += " --" + (e.label.empty() ? std::string("=") : e.label) + "-- ";
+      }
+      out += BoxTitle(to) + "." + to.rows[static_cast<size_t>(e.to_row)].text;
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DOT
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\' || c == '{' || c == '}' || c == '|' ||
+        c == '<' || c == '>') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToDot(const Higraph& h) {
+  std::ostringstream out;
+  out << "digraph higraph {\n"
+      << "  rankdir=TB;\n"
+      << "  node [shape=record, fontname=\"Helvetica\"];\n"
+      << "  compound=true;\n";
+  std::function<void(int, int)> walk = [&](int region_id, int depth) {
+    const Region& r = h.regions[static_cast<size_t>(region_id)];
+    const std::string indent = Repeat("  ", depth + 1);
+    const bool cluster = r.kind != RegionKind::kCanvas;
+    if (cluster) {
+      out << indent << "subgraph cluster_" << r.id << " {\n";
+      out << indent << "  label=\"" << DotEscape(r.label) << "\";\n";
+      switch (r.kind) {
+        case RegionKind::kNegation:
+          out << indent << "  style=dashed; color=red;\n";
+          break;
+        case RegionKind::kCollection:
+          out << indent << "  style=solid; color=black;\n";
+          break;
+        case RegionKind::kScope:
+          out << indent
+              << (r.grouping ? "  style=bold; peripheries=2;\n"
+                             : "  style=solid; color=gray50;\n");
+          break;
+        case RegionKind::kModule:
+          out << indent << "  style=rounded; color=blue;\n";
+          break;
+        case RegionKind::kDisjunct:
+          out << indent << "  style=dotted;\n";
+          break;
+        case RegionKind::kCanvas:
+          break;
+      }
+    }
+    for (int box_id : r.boxes) {
+      const Box& b = h.boxes[static_cast<size_t>(box_id)];
+      out << indent << "  box" << b.id << " [label=\"{"
+          << DotEscape(BoxTitle(b));
+      for (size_t i = 0; i < b.rows.size(); ++i) {
+        out << "|<r" << i << "> " << DotEscape(b.rows[i].text)
+            << (b.rows[i].grouped ? " ▦" : "");
+      }
+      out << "}\"";
+      if (b.is_head) out << ", penwidth=2";
+      out << "];\n";
+    }
+    for (int child : r.children) walk(child, depth + 1);
+    if (cluster) out << indent << "}\n";
+  };
+  walk(0, 0);
+  for (const Edge& e : h.edges) {
+    out << "  box" << e.from_box << ":r" << e.from_row << " -> box"
+        << e.to_box << ":r" << e.to_row;
+    out << " [";
+    if (e.style == EdgeStyle::kAssignment) {
+      out << "arrowhead=normal, color=blue";
+    } else {
+      out << "arrowhead=none";
+      if (!e.label.empty()) out << ", label=\"" << DotEscape(e.label) << "\"";
+    }
+    out << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// SVG
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kRowHeight = 18;
+constexpr int kBoxHeaderHeight = 20;
+constexpr int kPad = 10;
+constexpr int kCharWidth = 7;
+
+struct Placed {
+  int x = 0, y = 0, w = 0, h = 0;
+};
+
+struct SvgLayout {
+  std::unordered_map<int, Placed> regions;
+  std::unordered_map<int, Placed> boxes;
+};
+
+int BoxWidth(const Box& b) {
+  size_t longest = BoxTitle(b).size();
+  for (const Row& r : b.rows) longest = std::max(longest, r.text.size() + 2);
+  return static_cast<int>(longest) * kCharWidth + 2 * kPad;
+}
+
+int BoxHeight(const Box& b) {
+  return kBoxHeaderHeight + static_cast<int>(b.rows.size()) * kRowHeight;
+}
+
+/// Recursive layout: boxes laid out left-to-right, child regions stacked
+/// below them.
+void LayoutRegion(const Higraph& h, int region_id, int x, int y,
+                  SvgLayout* layout) {
+  const Region& r = h.regions[static_cast<size_t>(region_id)];
+  int cursor_x = x + kPad;
+  int row_bottom = y + kPad + (r.kind == RegionKind::kCanvas ? 0 : 14);
+  int max_h = 0;
+  for (int box_id : r.boxes) {
+    const Box& b = h.boxes[static_cast<size_t>(box_id)];
+    Placed p;
+    p.x = cursor_x;
+    p.y = row_bottom;
+    p.w = BoxWidth(b);
+    p.h = BoxHeight(b);
+    layout->boxes[box_id] = p;
+    cursor_x += p.w + kPad;
+    max_h = std::max(max_h, p.h);
+  }
+  int child_y = row_bottom + (r.boxes.empty() ? 0 : max_h + kPad);
+  int max_w = cursor_x - x;
+  for (int child : r.children) {
+    LayoutRegion(h, child, x + kPad, child_y, layout);
+    const Placed& cp = layout->regions[child];
+    child_y = cp.y + cp.h + kPad;
+    max_w = std::max(max_w, cp.w + 2 * kPad);
+  }
+  Placed p;
+  p.x = x;
+  p.y = y;
+  p.w = std::max(max_w, 60);
+  p.h = child_y - y + kPad;
+  layout->regions[region_id] = p;
+}
+
+std::string SvgEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToSvg(const Higraph& h) {
+  SvgLayout layout;
+  LayoutRegion(h, 0, 0, 0, &layout);
+  const Placed& canvas = layout.regions[0];
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << canvas.w + 20 << "\" height=\"" << canvas.h + 20
+      << "\" font-family=\"Helvetica\" font-size=\"12\">\n";
+
+  std::function<void(int)> draw_region = [&](int region_id) {
+    const Region& r = h.regions[static_cast<size_t>(region_id)];
+    const Placed& p = layout.regions[region_id];
+    if (r.kind != RegionKind::kCanvas) {
+      std::string stroke = "#555";
+      std::string dash;
+      if (r.kind == RegionKind::kNegation) {
+        stroke = "#c00";
+        dash = " stroke-dasharray=\"6,3\"";
+      }
+      if (r.kind == RegionKind::kModule) stroke = "#00c";
+      out << "<rect x=\"" << p.x << "\" y=\"" << p.y << "\" width=\"" << p.w
+          << "\" height=\"" << p.h << "\" fill=\"none\" stroke=\"" << stroke
+          << "\"" << dash << " rx=\"6\"/>\n";
+      if (r.grouping) {
+        out << "<rect x=\"" << p.x + 3 << "\" y=\"" << p.y + 3
+            << "\" width=\"" << p.w - 6 << "\" height=\"" << p.h - 6
+            << "\" fill=\"none\" stroke=\"" << stroke << "\" rx=\"5\"/>\n";
+      }
+      std::string label = RegionName(r.kind);
+      if (!r.label.empty()) label += " " + r.label;
+      if (r.grouping) label += " γ";
+      out << "<text x=\"" << p.x + 6 << "\" y=\"" << p.y + 13
+          << "\" fill=\"" << stroke << "\" font-size=\"10\">"
+          << SvgEscape(label) << "</text>\n";
+    }
+    for (int box_id : r.boxes) {
+      const Box& b = h.boxes[static_cast<size_t>(box_id)];
+      const Placed& bp = layout.boxes[box_id];
+      out << "<rect x=\"" << bp.x << "\" y=\"" << bp.y << "\" width=\""
+          << bp.w << "\" height=\"" << bp.h
+          << "\" fill=\"#fff\" stroke=\"#000\""
+          << (b.is_head ? " stroke-width=\"2\"" : "") << "/>\n";
+      out << "<text x=\"" << bp.x + kPad << "\" y=\"" << bp.y + 14
+          << "\" font-weight=\"bold\">" << SvgEscape(BoxTitle(b))
+          << "</text>\n";
+      for (size_t i = 0; i < b.rows.size(); ++i) {
+        const int ry = bp.y + kBoxHeaderHeight + static_cast<int>(i) * kRowHeight;
+        if (b.rows[i].grouped) {
+          out << "<rect x=\"" << bp.x + 1 << "\" y=\"" << ry << "\" width=\""
+              << bp.w - 2 << "\" height=\"" << kRowHeight
+              << "\" fill=\"#ddd\"/>\n";
+        }
+        out << "<line x1=\"" << bp.x << "\" y1=\"" << ry << "\" x2=\""
+            << bp.x + bp.w << "\" y2=\"" << ry
+            << "\" stroke=\"#999\"/>\n";
+        out << "<text x=\"" << bp.x + kPad << "\" y=\"" << ry + 13 << "\""
+            << (b.rows[i].is_pseudo ? " font-style=\"italic\"" : "") << ">"
+            << SvgEscape(b.rows[i].text) << "</text>\n";
+      }
+    }
+    for (int child : r.children) draw_region(child);
+  };
+  draw_region(0);
+
+  // Edges: straight lines between row midpoints.
+  for (const Edge& e : h.edges) {
+    const Placed& from = layout.boxes[e.from_box];
+    const Placed& to = layout.boxes[e.to_box];
+    const int y1 =
+        from.y + kBoxHeaderHeight + e.from_row * kRowHeight + kRowHeight / 2;
+    const int y2 =
+        to.y + kBoxHeaderHeight + e.to_row * kRowHeight + kRowHeight / 2;
+    // Leave from the nearer side.
+    const int x1 = from.x + from.w / 2 < to.x + to.w / 2 ? from.x + from.w
+                                                         : from.x;
+    const int x2 = from.x + from.w / 2 < to.x + to.w / 2 ? to.x : to.x + to.w;
+    const char* color = e.style == EdgeStyle::kAssignment ? "#00c" : "#333";
+    out << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2
+        << "\" y2=\"" << y2 << "\" stroke=\"" << color << "\""
+        << (e.style == EdgeStyle::kAssignment
+                ? " marker-end=\"url(#arrow)\""
+                : "")
+        << "/>\n";
+    if (!e.label.empty()) {
+      out << "<text x=\"" << (x1 + x2) / 2 << "\" y=\"" << (y1 + y2) / 2 - 3
+          << "\" fill=\"#333\" font-size=\"10\">" << SvgEscape(e.label)
+          << "</text>\n";
+    }
+  }
+  // Arrow marker definition.
+  out << "<defs><marker id=\"arrow\" markerWidth=\"8\" markerHeight=\"8\" "
+         "refX=\"6\" refY=\"3\" orient=\"auto\"><path d=\"M0,0 L6,3 L0,6 z\" "
+         "fill=\"#00c\"/></marker></defs>\n";
+  out << "</svg>\n";
+  return out.str();
+}
+
+}  // namespace arc::higraph

@@ -1,0 +1,589 @@
+#include "pattern/pattern.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+#include "text/printer.h"
+
+namespace arc::pattern {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Canonical renaming
+// ---------------------------------------------------------------------------
+
+/// Scoped rename maps: range variables and, for variables bound to nested
+/// collections, their attribute rename maps.
+struct RenameScope {
+  struct Entry {
+    std::string from;                   // original var (lower)
+    std::string to;                     // canonical var
+    std::vector<std::pair<std::string, std::string>> attrs;  // old→new (lower)
+  };
+  std::vector<Entry> entries;
+};
+
+class Canonicalizer {
+ public:
+  Program Run(const Program& program) {
+    Program out = program.Clone();
+    for (Definition& def : out.definitions) {
+      RenameCollection(def.collection.get(), /*rename_head=*/false);
+    }
+    if (out.main.collection) {
+      RenameCollection(out.main.collection.get(), /*rename_head=*/false);
+    }
+    if (out.main.sentence) RenameFormula(out.main.sentence.get());
+    // Second pass: sort conjuncts/disjuncts by printed form.
+    for (Definition& def : out.definitions) {
+      SortCollection(def.collection.get());
+    }
+    if (out.main.collection) SortCollection(out.main.collection.get());
+    if (out.main.sentence) SortFormula(out.main.sentence.get());
+    return out;
+  }
+
+ private:
+  // ---- renaming ---------------------------------------------------------
+
+  std::vector<RenameScope> scopes_;
+  std::vector<std::pair<std::string, std::string>> head_stack_;  // orig→canon
+  int var_counter_ = 0;
+  int head_counter_ = 0;
+
+  const RenameScope::Entry* FindVar(const std::string& var) const {
+    const std::string key = ToLower(var);
+    for (auto s = scopes_.rbegin(); s != scopes_.rend(); ++s) {
+      for (const auto& e : s->entries) {
+        if (e.from == key) return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  void RenameCollection(Collection* c, bool rename_head) {
+    std::vector<std::pair<std::string, std::string>> attr_map;
+    std::string canon_head = c->head.relation;
+    if (rename_head) {
+      canon_head = "H" + std::to_string(++head_counter_);
+      for (size_t i = 0; i < c->head.attrs.size(); ++i) {
+        const std::string canon_attr = "a" + std::to_string(i + 1);
+        attr_map.emplace_back(ToLower(c->head.attrs[i]), canon_attr);
+        c->head.attrs[i] = canon_attr;
+      }
+    }
+    head_stack_.emplace_back(ToLower(c->head.relation), canon_head);
+    // Head references inside the body follow the head rename; model the
+    // head as a pseudo variable in scope.
+    RenameScope scope;
+    RenameScope::Entry head_entry;
+    head_entry.from = ToLower(c->head.relation);
+    head_entry.to = canon_head;
+    head_entry.attrs = attr_map;
+    scope.entries.push_back(std::move(head_entry));
+    scopes_.push_back(std::move(scope));
+    c->head.relation = canon_head;
+    if (c->body) RenameFormula(c->body.get());
+    scopes_.pop_back();
+    head_stack_.pop_back();
+    last_head_attr_map_ = std::move(attr_map);
+    last_head_name_ = canon_head;
+  }
+
+  // Attribute map of the most recently renamed nested collection, consumed
+  // by the binding that owns it.
+  std::vector<std::pair<std::string, std::string>> last_head_attr_map_;
+  std::string last_head_name_;
+
+  void RenameFormula(Formula* f) {
+    switch (f->kind) {
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        for (FormulaPtr& c : f->children) RenameFormula(c.get());
+        return;
+      case FormulaKind::kNot:
+        RenameFormula(f->child.get());
+        return;
+      case FormulaKind::kExists:
+        RenameQuantifier(f->quantifier.get());
+        return;
+      case FormulaKind::kPredicate:
+        if (f->lhs) RenameTerm(f->lhs.get());
+        if (f->rhs) RenameTerm(f->rhs.get());
+        return;
+      case FormulaKind::kNullTest:
+        if (f->null_arg) RenameTerm(f->null_arg.get());
+        return;
+    }
+  }
+
+  void RenameQuantifier(Quantifier* q) {
+    // Entries become visible incrementally: a nested collection range may
+    // reference earlier bindings of the same scope (lateral, §2.4).
+    scopes_.emplace_back();
+    const size_t scope_idx = scopes_.size() - 1;
+    for (Binding& b : q->bindings) {
+      RenameScope::Entry entry;
+      entry.from = ToLower(b.var);
+      entry.to = "v" + std::to_string(++var_counter_);
+      if (b.range_kind == RangeKind::kCollection) {
+        RenameCollection(b.collection.get(), /*rename_head=*/true);
+        entry.attrs = last_head_attr_map_;
+      }
+      // Join-annotation leaves use the variable too.
+      const std::string old_var = b.var;
+      b.var = entry.to;
+      if (q->join_tree) RenameJoinVar(q->join_tree.get(), old_var, entry.to);
+      scopes_[scope_idx].entries.push_back(std::move(entry));
+    }
+    if (q->grouping.has_value()) {
+      for (TermPtr& k : q->grouping->keys) RenameTerm(k.get());
+    }
+    if (q->body) RenameFormula(q->body.get());
+    scopes_.pop_back();
+  }
+
+  static void RenameJoinVar(JoinNode* n, const std::string& from,
+                            const std::string& to) {
+    if (n->kind == JoinKind::kVarLeaf && EqualsIgnoreCase(n->var, from)) {
+      n->var = to;
+      return;
+    }
+    for (JoinNodePtr& c : n->children) RenameJoinVar(c.get(), from, to);
+  }
+
+  void RenameTerm(Term* t) {
+    switch (t->kind) {
+      case TermKind::kAttrRef: {
+        const RenameScope::Entry* e = FindVar(t->var);
+        if (e != nullptr) {
+          t->var = e->to;
+          for (const auto& [old_attr, new_attr] : e->attrs) {
+            if (ToLower(t->attr) == old_attr) {
+              t->attr = new_attr;
+              break;
+            }
+          }
+        }
+        return;
+      }
+      case TermKind::kArith:
+        if (t->lhs) RenameTerm(t->lhs.get());
+        if (t->rhs) RenameTerm(t->rhs.get());
+        return;
+      case TermKind::kAggregate:
+        if (t->agg_arg) RenameTerm(t->agg_arg.get());
+        return;
+      case TermKind::kLiteral:
+        return;
+    }
+  }
+
+  // ---- sorting ------------------------------------------------------------
+
+  void SortCollection(Collection* c) {
+    if (c->body) SortFormula(c->body.get());
+  }
+
+  void SortFormula(Formula* f) {
+    switch (f->kind) {
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr: {
+        for (FormulaPtr& c : f->children) SortFormula(c.get());
+        // Flatten same-kind children and drop neutral elements (an empty
+        // AND is `true`, an empty OR is `false`).
+        std::vector<FormulaPtr> flat;
+        for (FormulaPtr& c : f->children) {
+          if (c->kind == f->kind) {
+            for (FormulaPtr& gc : c->children) flat.push_back(std::move(gc));
+          } else if (f->kind == FormulaKind::kAnd &&
+                     c->kind == FormulaKind::kOr && c->children.empty()) {
+            flat.push_back(std::move(c));  // false inside AND is significant
+          } else if (c->kind == FormulaKind::kAnd && c->children.empty() &&
+                     f->kind == FormulaKind::kAnd) {
+            // `true` conjunct: drop.
+          } else {
+            flat.push_back(std::move(c));
+          }
+        }
+        f->children = std::move(flat);
+        std::stable_sort(f->children.begin(), f->children.end(),
+                         [](const FormulaPtr& a, const FormulaPtr& b) {
+                           return text::PrintFormula(*a) <
+                                  text::PrintFormula(*b);
+                         });
+        return;
+      }
+      case FormulaKind::kNot:
+        SortFormula(f->child.get());
+        return;
+      case FormulaKind::kExists: {
+        Quantifier* q = f->quantifier.get();
+        for (Binding& b : q->bindings) {
+          if (b.range_kind == RangeKind::kCollection) {
+            SortCollection(b.collection.get());
+          }
+        }
+        if (q->body) SortFormula(q->body.get());
+        return;
+      }
+      default:
+        return;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Features
+// ---------------------------------------------------------------------------
+
+class FeatureExtractor {
+ public:
+  Features Run(const Program& program) {
+    for (const Definition& def : program.definitions) {
+      WalkCollection(*def.collection, 0);
+    }
+    if (program.main.collection) WalkCollection(*program.main.collection, 0);
+    if (program.main.sentence) WalkFormula(*program.main.sentence, 0, 0);
+    if (saw_fio_ && saw_foi_) {
+      features_.agg_style = AggStyle::kBoth;
+    } else if (saw_fio_) {
+      features_.agg_style = AggStyle::kFio;
+    } else if (saw_foi_) {
+      features_.agg_style = AggStyle::kFoi;
+    }
+    return features_;
+  }
+
+ private:
+  /// Variables visible at the current point, tagged with the collection
+  /// nesting level at which they were bound.
+  struct VarDepth {
+    std::string var;
+    int collection_level;
+  };
+  std::vector<VarDepth> vars_;
+  std::vector<std::string> head_names_;
+  int collection_level_ = 0;
+  bool saw_fio_ = false;
+  bool saw_foi_ = false;
+  Features features_;
+
+  void WalkCollection(const Collection& c, int depth) {
+    ++features_.num_collections;
+    ++collection_level_;
+    head_names_.push_back(ToLower(c.head.relation));
+    if (c.body) {
+      if (FormulaRangesOver(*c.body, c.head.relation)) {
+        features_.is_recursive = true;
+      }
+      WalkFormula(*c.body, depth, 0);
+    }
+    head_names_.pop_back();
+    --collection_level_;
+  }
+
+  static bool FormulaRangesOver(const Formula& f, const std::string& name) {
+    switch (f.kind) {
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        for (const FormulaPtr& c : f.children) {
+          if (FormulaRangesOver(*c, name)) return true;
+        }
+        return false;
+      case FormulaKind::kNot:
+        return f.child && FormulaRangesOver(*f.child, name);
+      case FormulaKind::kExists:
+        for (const Binding& b : f.quantifier->bindings) {
+          if (b.range_kind == RangeKind::kNamed &&
+              EqualsIgnoreCase(b.relation, name)) {
+            return true;
+          }
+          if (b.range_kind == RangeKind::kCollection && b.collection &&
+              !EqualsIgnoreCase(b.collection->head.relation, name) &&
+              b.collection->body &&
+              FormulaRangesOver(*b.collection->body, name)) {
+            return true;
+          }
+        }
+        return f.quantifier->body &&
+               FormulaRangesOver(*f.quantifier->body, name);
+      default:
+        return false;
+    }
+  }
+
+  void WalkFormula(const Formula& f, int depth, int neg_depth) {
+    features_.negation_depth = std::max(features_.negation_depth, neg_depth);
+    switch (f.kind) {
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        for (const FormulaPtr& c : f.children) {
+          WalkFormula(*c, depth, neg_depth);
+        }
+        return;
+      case FormulaKind::kNot:
+        WalkFormula(*f.child, depth, neg_depth + 1);
+        return;
+      case FormulaKind::kExists:
+        WalkQuantifier(*f.quantifier, depth, neg_depth);
+        return;
+      case FormulaKind::kPredicate:
+        ++features_.num_predicates;
+        if (f.lhs) WalkTerm(*f.lhs);
+        if (f.rhs) WalkTerm(*f.rhs);
+        return;
+      case FormulaKind::kNullTest:
+        ++features_.num_predicates;
+        if (f.null_arg) WalkTerm(*f.null_arg);
+        return;
+    }
+  }
+
+  void WalkQuantifier(const Quantifier& q, int depth, int neg_depth) {
+    ++features_.num_scopes;
+    features_.max_nesting_depth =
+        std::max(features_.max_nesting_depth, depth + 1);
+    if (q.grouping.has_value()) {
+      ++features_.num_grouping_scopes;
+      // FIO vs FOI (§2.5): a grouping scope inside a *correlated* nested
+      // collection is the per-outer-tuple FOI shape; otherwise FIO.
+      if (collection_level_ >= 2 && CorrelatedAtCurrentLevel(q)) {
+        saw_foi_ = true;
+      } else {
+        saw_fio_ = true;
+      }
+    }
+    if (q.join_tree && HasOuter(*q.join_tree)) features_.has_outer_join = true;
+    const size_t mark = vars_.size();
+    for (const Binding& b : q.bindings) {
+      ++features_.num_bindings;
+      if (b.range_kind == RangeKind::kCollection && b.collection) {
+        WalkCollection(*b.collection, depth + 1);
+      }
+      vars_.push_back({ToLower(b.var), collection_level_});
+    }
+    if (q.grouping.has_value()) {
+      for (const TermPtr& k : q.grouping->keys) WalkTerm(*k);
+    }
+    if (q.body) WalkFormula(*q.body, depth + 1, neg_depth);
+    vars_.resize(mark);
+  }
+
+  bool CorrelatedAtCurrentLevel(const Quantifier& q) const {
+    // Does the scope's body reference a variable bound at a shallower
+    // collection level?
+    for (const VarDepth& v : vars_) {
+      if (v.collection_level < collection_level_ && q.body &&
+          FormulaRefsVar(*q.body, v.var)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static bool FormulaRefsVar(const Formula& f, const std::string& var) {
+    switch (f.kind) {
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        for (const FormulaPtr& c : f.children) {
+          if (FormulaRefsVar(*c, var)) return true;
+        }
+        return false;
+      case FormulaKind::kNot:
+        return f.child && FormulaRefsVar(*f.child, var);
+      case FormulaKind::kExists:
+        return f.quantifier->body && FormulaRefsVar(*f.quantifier->body, var);
+      case FormulaKind::kPredicate:
+        return (f.lhs && f.lhs->References(var)) ||
+               (f.rhs && f.rhs->References(var));
+      case FormulaKind::kNullTest:
+        return f.null_arg && f.null_arg->References(var);
+    }
+    return false;
+  }
+
+  static bool HasOuter(const JoinNode& n) {
+    if (n.kind == JoinKind::kLeft || n.kind == JoinKind::kFull) return true;
+    for (const JoinNodePtr& c : n.children) {
+      if (HasOuter(*c)) return true;
+    }
+    return false;
+  }
+
+  void WalkTerm(const Term& t) {
+    switch (t.kind) {
+      case TermKind::kAggregate:
+        ++features_.num_aggregates;
+        if (t.agg_arg) WalkTerm(*t.agg_arg);
+        return;
+      case TermKind::kArith:
+        if (t.lhs) WalkTerm(*t.lhs);
+        if (t.rhs) WalkTerm(*t.rhs);
+        return;
+      case TermKind::kAttrRef: {
+        // Correlation: reference to a variable bound at an outer collection
+        // level.
+        for (const VarDepth& v : vars_) {
+          if (v.var == ToLower(t.var) &&
+              v.collection_level < collection_level_) {
+            ++features_.correlation_count;
+            return;
+          }
+        }
+        return;
+      }
+      case TermKind::kLiteral:
+        return;
+    }
+  }
+};
+
+/// Longest common subsequence length of two line vectors.
+size_t LcsLength(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<size_t> prev(m + 1, 0);
+  std::vector<size_t> cur(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip indentation: structure is captured by the line content order.
+    size_t start = line.find_first_not_of(' ');
+    if (start == std::string::npos) continue;
+    out.push_back(line.substr(start));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* AggStyleName(AggStyle s) {
+  switch (s) {
+    case AggStyle::kNone:
+      return "none";
+    case AggStyle::kFio:
+      return "FIO";
+    case AggStyle::kFoi:
+      return "FOI";
+    case AggStyle::kBoth:
+      return "FIO+FOI";
+  }
+  return "?";
+}
+
+Program Canonicalize(const Program& program) {
+  return Canonicalizer().Run(program);
+}
+
+std::string CanonicalText(const Program& program) {
+  return text::PrintProgram(Canonicalize(program));
+}
+
+uint64_t Fingerprint(const Program& program) {
+  const std::string canon = CanonicalText(program);
+  // FNV-1a.
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : canon) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool PatternEquals(const Program& a, const Program& b) {
+  return CanonicalText(a) == CanonicalText(b);
+}
+
+std::string Features::ToString() const {
+  std::ostringstream out;
+  out << "scopes=" << num_scopes << " depth=" << max_nesting_depth
+      << " neg-depth=" << negation_depth
+      << " grouping-scopes=" << num_grouping_scopes
+      << " aggregates=" << num_aggregates << " bindings=" << num_bindings
+      << " predicates=" << num_predicates
+      << " collections=" << num_collections
+      << " correlations=" << correlation_count
+      << " outer-join=" << (has_outer_join ? "yes" : "no")
+      << " recursive=" << (is_recursive ? "yes" : "no")
+      << " agg-style=" << AggStyleName(agg_style);
+  return out.str();
+}
+
+Features ExtractFeatures(const Program& program) {
+  return FeatureExtractor().Run(program);
+}
+
+std::string PatternDiff(const Program& a, const Program& b) {
+  Program ca = Canonicalize(a);
+  Program cb = Canonicalize(b);
+  const std::vector<std::string> la = SplitLines(text::PrintAltProgram(ca));
+  const std::vector<std::string> lb = SplitLines(text::PrintAltProgram(cb));
+  if (la == lb) return "";
+  // LCS table with backtracking.
+  const size_t n = la.size();
+  const size_t m = lb.size();
+  std::vector<std::vector<size_t>> dp(n + 1, std::vector<size_t>(m + 1, 0));
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      dp[i][j] = la[i - 1] == lb[j - 1]
+                     ? dp[i - 1][j - 1] + 1
+                     : std::max(dp[i - 1][j], dp[i][j - 1]);
+    }
+  }
+  std::vector<std::string> out_lines;
+  size_t i = n;
+  size_t j = m;
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0 && la[i - 1] == lb[j - 1]) {
+      out_lines.push_back("  " + la[i - 1]);
+      --i;
+      --j;
+    } else if (j > 0 && (i == 0 || dp[i][j - 1] >= dp[i - 1][j])) {
+      out_lines.push_back("+ " + lb[j - 1]);
+      --j;
+    } else {
+      out_lines.push_back("- " + la[i - 1]);
+      --i;
+    }
+  }
+  std::string out;
+  for (auto it = out_lines.rbegin(); it != out_lines.rend(); ++it) {
+    out += *it;
+    out += "\n";
+  }
+  return out;
+}
+
+double Similarity(const Program& a, const Program& b) {
+  Program ca = Canonicalize(a);
+  Program cb = Canonicalize(b);
+  const std::vector<std::string> la = SplitLines(text::PrintAltProgram(ca));
+  const std::vector<std::string> lb = SplitLines(text::PrintAltProgram(cb));
+  if (la.empty() && lb.empty()) return 1.0;
+  const size_t lcs = LcsLength(la, lb);
+  return 2.0 * static_cast<double>(lcs) /
+         static_cast<double>(la.size() + lb.size());
+}
+
+}  // namespace arc::pattern

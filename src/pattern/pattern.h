@@ -1,0 +1,77 @@
+// Relational-pattern analysis (§1, §4): the machinery behind comparing
+// queries by *intent* instead of surface syntax.
+//
+//  * Canonicalize: variable-renaming-invariant normal form of an ALT —
+//    range variables and nested-collection heads/attributes are renamed by
+//    structural traversal order, conjunctions and disjunctions are sorted.
+//    Two queries with the same relational pattern (e.g. a scalar subquery
+//    and its lateral-join form, Fig. 5a/5b) canonicalize identically.
+//  * Fingerprint / PatternEquals: pattern identity via the canonical form.
+//  * Features: structural descriptors (scope count, nesting depth, negation
+//    depth, grouping scopes, aggregation style FIO vs FOI (§2.5),
+//    correlation, recursion).
+//  * Similarity: [0,1] score from the LCS ratio over canonical ALT lines —
+//    a semantic-structure proxy for NL2SQL-style intent comparison (§5).
+#ifndef ARC_PATTERN_PATTERN_H_
+#define ARC_PATTERN_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "arc/ast.h"
+#include "common/status.h"
+
+namespace arc::pattern {
+
+/// Canonical normal form (deep copy; the input is untouched).
+Program Canonicalize(const Program& program);
+
+/// Canonical text of the pattern (canonicalize + print).
+std::string CanonicalText(const Program& program);
+
+/// 64-bit fingerprint of the canonical pattern.
+uint64_t Fingerprint(const Program& program);
+
+/// True iff both programs have the same relational pattern.
+bool PatternEquals(const Program& a, const Program& b);
+
+/// Aggregation pattern styles (§2.5).
+enum class AggStyle {
+  kNone,
+  kFio,   // "from the inside out": grouping at the consuming scope
+  kFoi,   // "from the outside in": correlated per-outer-tuple aggregation
+  kBoth,  // query mixes both styles
+};
+const char* AggStyleName(AggStyle s);
+
+struct Features {
+  int num_scopes = 0;           // quantifier scopes
+  int max_nesting_depth = 0;    // deepest scope nesting
+  int negation_depth = 0;       // deepest ¬ nesting
+  int num_grouping_scopes = 0;
+  int num_aggregates = 0;
+  int num_bindings = 0;
+  int num_predicates = 0;
+  int num_collections = 0;      // incl. nested
+  int correlation_count = 0;    // references crossing a collection boundary
+  bool has_outer_join = false;
+  bool is_recursive = false;
+  AggStyle agg_style = AggStyle::kNone;
+
+  std::string ToString() const;
+};
+
+Features ExtractFeatures(const Program& program);
+
+/// Pattern similarity in [0,1]: LCS ratio over the canonical ALT lines.
+/// 1.0 iff PatternEquals.
+double Similarity(const Program& a, const Program& b);
+
+/// Human-readable structural diff of the two canonical ALTs: an LCS
+/// alignment over ALT lines, "- " marking structure only in `a`, "+ " only
+/// in `b`, "  " shared. Empty string when the patterns are equal.
+std::string PatternDiff(const Program& a, const Program& b);
+
+}  // namespace arc::pattern
+
+#endif  // ARC_PATTERN_PATTERN_H_

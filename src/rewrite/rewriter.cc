@@ -1,0 +1,559 @@
+#include "rewrite/rewriter.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace arc::rewrite {
+
+namespace {
+
+void FlattenAndInto(FormulaPtr f, std::vector<FormulaPtr>* out) {
+  if (f->kind == FormulaKind::kAnd) {
+    for (FormulaPtr& c : f->children) FlattenAndInto(std::move(c), out);
+    return;
+  }
+  out->push_back(std::move(f));
+}
+
+FormulaPtr MakeBody(std::vector<FormulaPtr> conjuncts) {
+  if (conjuncts.size() == 1) return std::move(conjuncts[0]);
+  return MakeAnd(std::move(conjuncts));
+}
+
+bool TermRefs(const Term& t, std::string_view var) { return t.References(var); }
+
+bool FormulaRefs(const Formula& f, std::string_view var);
+
+bool CollectionRefs(const Collection& c, std::string_view var) {
+  if (EqualsIgnoreCase(c.head.relation, var)) return false;
+  return c.body && FormulaRefs(*c.body, var);
+}
+
+bool FormulaRefs(const Formula& f, std::string_view var) {
+  switch (f.kind) {
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f.children) {
+        if (FormulaRefs(*c, var)) return true;
+      }
+      return false;
+    case FormulaKind::kNot:
+      return f.child && FormulaRefs(*f.child, var);
+    case FormulaKind::kExists: {
+      for (const Binding& b : f.quantifier->bindings) {
+        if (b.range_kind == RangeKind::kCollection && b.collection &&
+            CollectionRefs(*b.collection, var)) {
+          return true;
+        }
+        if (EqualsIgnoreCase(b.var, var)) return false;  // shadowed
+      }
+      if (f.quantifier->grouping.has_value()) {
+        for (const TermPtr& k : f.quantifier->grouping->keys) {
+          if (TermRefs(*k, var)) return true;
+        }
+      }
+      return f.quantifier->body && FormulaRefs(*f.quantifier->body, var);
+    }
+    case FormulaKind::kPredicate:
+      return (f.lhs && TermRefs(*f.lhs, var)) ||
+             (f.rhs && TermRefs(*f.rhs, var));
+    case FormulaKind::kNullTest:
+      return f.null_arg && TermRefs(*f.null_arg, var);
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// NormalizeConjunctions
+// ---------------------------------------------------------------------------
+
+class Normalizer {
+ public:
+  int applications = 0;
+
+  void Program_(Program* p) {
+    for (Definition& d : p->definitions) Collection_(d.collection.get());
+    if (p->main.collection) Collection_(p->main.collection.get());
+    if (p->main.sentence) Formula_(p->main.sentence.get());
+  }
+
+ private:
+  void Collection_(Collection* c) {
+    if (c->body) Formula_(c->body.get());
+  }
+
+  void Formula_(Formula* f) {
+    switch (f->kind) {
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr: {
+        for (FormulaPtr& c : f->children) Formula_(c.get());
+        std::vector<FormulaPtr> flat;
+        bool changed = false;
+        for (FormulaPtr& c : f->children) {
+          if (c->kind == f->kind) {
+            for (FormulaPtr& gc : c->children) flat.push_back(std::move(gc));
+            changed = true;
+          } else if (f->kind == FormulaKind::kAnd &&
+                     c->kind == FormulaKind::kAnd && c->children.empty()) {
+            changed = true;  // drop `true` conjunct (empty AND)
+          } else {
+            flat.push_back(std::move(c));
+          }
+        }
+        if (changed) ++applications;
+        f->children = std::move(flat);
+        return;
+      }
+      case FormulaKind::kNot:
+        Formula_(f->child.get());
+        return;
+      case FormulaKind::kExists: {
+        for (Binding& b : f->quantifier->bindings) {
+          if (b.range_kind == RangeKind::kCollection) {
+            Collection_(b.collection.get());
+          }
+        }
+        if (f->quantifier->body) Formula_(f->quantifier->body.get());
+        return;
+      }
+      default:
+        return;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// UnnestExistentialScopes
+// ---------------------------------------------------------------------------
+
+class Unnester {
+ public:
+  int applications = 0;
+
+  void Program_(Program* p) {
+    for (Definition& d : p->definitions) Collection_(d.collection.get());
+    if (p->main.collection) Collection_(p->main.collection.get());
+    if (p->main.sentence) Formula_(p->main.sentence.get());
+  }
+
+ private:
+  void Collection_(Collection* c) {
+    if (c->body) Formula_(c->body.get());
+  }
+
+  void Formula_(Formula* f) {
+    switch (f->kind) {
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        for (FormulaPtr& c : f->children) Formula_(c.get());
+        return;
+      case FormulaKind::kNot:
+        Formula_(f->child.get());
+        return;
+      case FormulaKind::kExists:
+        Quantifier_(f->quantifier.get());
+        return;
+      default:
+        return;
+    }
+  }
+
+  static bool Hoistable(const Formula& f, const Quantifier& parent) {
+    if (f.kind != FormulaKind::kExists) return false;
+    const Quantifier& q = *f.quantifier;
+    if (q.grouping.has_value() || q.join_tree) return false;
+    // No variable capture: the inner bindings must not collide with the
+    // parent's.
+    for (const Binding& inner : q.bindings) {
+      for (const Binding& outer : parent.bindings) {
+        if (EqualsIgnoreCase(inner.var, outer.var)) return false;
+      }
+    }
+    return true;
+  }
+
+  void Quantifier_(Quantifier* q) {
+    // Recurse first (bottom-up) so deep nests hoist in one pass per level.
+    for (Binding& b : q->bindings) {
+      if (b.range_kind == RangeKind::kCollection) {
+        Collection_(b.collection.get());
+      }
+    }
+    if (q->body) Formula_(q->body.get());
+    if (q->grouping.has_value() || q->join_tree) return;
+
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<FormulaPtr> conjuncts;
+      FlattenAndInto(std::move(q->body), &conjuncts);
+      std::vector<FormulaPtr> next;
+      for (FormulaPtr& c : conjuncts) {
+        if (Hoistable(*c, *q)) {
+          Quantifier* inner = c->quantifier.get();
+          for (Binding& b : inner->bindings) {
+            q->bindings.push_back(std::move(b));
+          }
+          FlattenAndInto(std::move(inner->body), &next);
+          ++applications;
+          changed = true;
+        } else {
+          next.push_back(std::move(c));
+        }
+      }
+      q->body = MakeBody(std::move(next));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// DecorrelateAggregation (Eq. 27 → Eq. 29)
+// ---------------------------------------------------------------------------
+
+class Decorrelator {
+ public:
+  int applications = 0;
+
+  void Program_(Program* p) {
+    for (Definition& d : p->definitions) Collection_(d.collection.get());
+    if (p->main.collection) Collection_(p->main.collection.get());
+    if (p->main.sentence) Formula_(p->main.sentence.get());
+  }
+
+ private:
+  int fresh_ = 0;
+
+  void Collection_(Collection* c) {
+    if (c->body) Formula_(c->body.get());
+  }
+
+  void Formula_(Formula* f) {
+    switch (f->kind) {
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        for (FormulaPtr& c : f->children) Formula_(c.get());
+        return;
+      case FormulaKind::kNot:
+        Formula_(f->child.get());
+        return;
+      case FormulaKind::kExists:
+        Quantifier_(f->quantifier.get());
+        return;
+      default:
+        return;
+    }
+  }
+
+  /// The correlated-aggregation site (Eq. 27 shape), decomposed.
+  struct Site {
+    const Binding* outer;                 // r ∈ R (named) in the parent
+    std::vector<std::pair<std::string, std::string>>
+        correlations;                     // (inner attr of s, outer attr of r)
+    std::vector<FormulaPtr> local;        // filters over s only
+    FormulaPtr agg_conjunct;              // <outer-term> OP agg(s.*)
+    std::string inner_var;                // s
+    std::string inner_relation;           // S
+  };
+
+  /// Tries to decompose conjunct `c` (inside quantifier `parent`) as a
+  /// correlated γ∅ aggregation scope. Non-destructive analysis first; the
+  /// inner body is only consumed when the pattern fully matches.
+  bool MatchSite(Formula* c, Quantifier* parent, Site* site) {
+    if (c->kind != FormulaKind::kExists) return false;
+    Quantifier& q = *c->quantifier;
+    if (!q.grouping.has_value() || !q.grouping->keys.empty()) return false;
+    if (q.join_tree) return false;
+    if (q.bindings.size() != 1 ||
+        q.bindings[0].range_kind != RangeKind::kNamed) {
+      return false;
+    }
+    const std::string& s = q.bindings[0].var;
+
+    // Flattened read-only view of the inner conjunction.
+    std::vector<const Formula*> view;
+    CollectConjuncts(*q.body, &view);
+
+    enum class Tag { kAgg, kCorrelation, kLocal };
+    std::vector<Tag> tags(view.size());
+    const Binding* outer = nullptr;
+    int agg_count = 0;
+    int correlation_count = 0;
+    for (size_t i = 0; i < view.size(); ++i) {
+      const Formula& f = *view[i];
+      if (f.ContainsAggregate()) {
+        if (++agg_count > 1) return false;
+        if (f.kind != FormulaKind::kPredicate) return false;
+        const Term* agg_side =
+            f.lhs->ContainsAggregate() ? f.lhs.get() : f.rhs.get();
+        const Term* other_side =
+            f.lhs->ContainsAggregate() ? f.rhs.get() : f.lhs.get();
+        if (other_side->References(s) ||
+            agg_side->kind != TermKind::kAggregate || !agg_side->agg_arg ||
+            !agg_side->agg_arg->References(s)) {
+          return false;
+        }
+        tags[i] = Tag::kAgg;
+        continue;
+      }
+      // Correlation equality s.b = outer.a?
+      const Term* inner_ref = nullptr;
+      const Term* outer_ref = nullptr;
+      if (f.kind == FormulaKind::kPredicate && f.cmp_op == data::CmpOp::kEq &&
+          f.lhs->kind == TermKind::kAttrRef &&
+          f.rhs->kind == TermKind::kAttrRef) {
+        if (EqualsIgnoreCase(f.lhs->var, s) &&
+            !EqualsIgnoreCase(f.rhs->var, s)) {
+          inner_ref = f.lhs.get();
+          outer_ref = f.rhs.get();
+        } else if (EqualsIgnoreCase(f.rhs->var, s) &&
+                   !EqualsIgnoreCase(f.lhs->var, s)) {
+          inner_ref = f.rhs.get();
+          outer_ref = f.lhs.get();
+        }
+      }
+      if (outer_ref != nullptr) {
+        const Binding* candidate = nullptr;
+        for (const Binding& b : parent->bindings) {
+          if (EqualsIgnoreCase(b.var, outer_ref->var) &&
+              b.range_kind == RangeKind::kNamed) {
+            candidate = &b;
+          }
+        }
+        if (candidate == nullptr) return false;
+        if (outer != nullptr && outer != candidate) return false;
+        outer = candidate;
+        (void)inner_ref;
+        ++correlation_count;
+        tags[i] = Tag::kCorrelation;
+        continue;
+      }
+      // Local filter: may reference only s.
+      if (FormulaRefsAnyOther(f, s)) return false;
+      tags[i] = Tag::kLocal;
+    }
+    if (outer == nullptr || agg_count != 1 || correlation_count == 0) {
+      return false;
+    }
+
+    // Extraction (the flatten order matches the view order).
+    std::vector<FormulaPtr> conjuncts;
+    FlattenAndInto(std::move(q.body), &conjuncts);
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      switch (tags[i]) {
+        case Tag::kAgg:
+          site->agg_conjunct = std::move(conjuncts[i]);
+          break;
+        case Tag::kCorrelation: {
+          const Formula& f = *conjuncts[i];
+          const bool lhs_inner = EqualsIgnoreCase(f.lhs->var, s);
+          site->correlations.emplace_back(
+              lhs_inner ? f.lhs->attr : f.rhs->attr,
+              lhs_inner ? f.rhs->attr : f.lhs->attr);
+          break;
+        }
+        case Tag::kLocal:
+          site->local.push_back(std::move(conjuncts[i]));
+          break;
+      }
+    }
+    site->outer = outer;
+    site->inner_var = s;
+    site->inner_relation = q.bindings[0].relation;
+    return true;
+  }
+
+  static void CollectConjuncts(const Formula& f,
+                               std::vector<const Formula*>* out) {
+    if (f.kind == FormulaKind::kAnd) {
+      for (const FormulaPtr& c : f.children) CollectConjuncts(*c, out);
+      return;
+    }
+    out->push_back(&f);
+  }
+
+  static bool FormulaRefsAnyOther(const Formula& f, const std::string& only) {
+    // True if the formula references any attribute variable other than
+    // `only` (literals are fine).
+    switch (f.kind) {
+      case FormulaKind::kPredicate:
+        return TermRefsOther(f.lhs.get(), only) ||
+               TermRefsOther(f.rhs.get(), only);
+      case FormulaKind::kNullTest:
+        return TermRefsOther(f.null_arg.get(), only);
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        for (const FormulaPtr& c : f.children) {
+          if (FormulaRefsAnyOther(*c, only)) return true;
+        }
+        return false;
+      case FormulaKind::kNot:
+        return f.child && FormulaRefsAnyOther(*f.child, only);
+      case FormulaKind::kExists:
+        return true;  // conservative
+    }
+    return true;
+  }
+
+  static bool TermRefsOther(const Term* t, const std::string& only) {
+    if (t == nullptr) return false;
+    switch (t->kind) {
+      case TermKind::kAttrRef:
+        return !EqualsIgnoreCase(t->var, only);
+      case TermKind::kLiteral:
+        return false;
+      case TermKind::kArith:
+        return TermRefsOther(t->lhs.get(), only) ||
+               TermRefsOther(t->rhs.get(), only);
+      case TermKind::kAggregate:
+        return TermRefsOther(t->agg_arg.get(), only);
+    }
+    return false;
+  }
+
+  /// Replaces a term's aggregate node by a reference to x.ct.
+  static TermPtr SubstituteAggregate(const Term& t, const std::string& x) {
+    if (t.kind == TermKind::kAggregate) return MakeAttrRef(x, "ct");
+    TermPtr out = t.Clone();
+    if (out->lhs) out->lhs = SubstituteAggregate(*t.lhs, x);
+    if (out->rhs) out->rhs = SubstituteAggregate(*t.rhs, x);
+    return out;
+  }
+
+  void Quantifier_(Quantifier* q) {
+    for (Binding& b : q->bindings) {
+      if (b.range_kind == RangeKind::kCollection) {
+        Collection_(b.collection.get());
+      }
+    }
+    if (q->body) Formula_(q->body.get());
+
+    std::vector<FormulaPtr> conjuncts;
+    FlattenAndInto(std::move(q->body), &conjuncts);
+    std::vector<FormulaPtr> out_conjuncts;
+    std::vector<Binding> new_bindings;
+    for (FormulaPtr& c : conjuncts) {
+      Site site;
+      if (!MatchSite(c.get(), q, &site)) {
+        out_conjuncts.push_back(std::move(c));
+        continue;
+      }
+      ++applications;
+      // Build the Eq. 29 inner collection:
+      //   {X(k1..km, ct) | ∃ s∈S, r2∈R, γ_{r2.a*}, left(r2, s)
+      //       [X.k_i = r2.a_i ∧ X.ct = agg ∧ s.b_i = r2.a_i ∧ locals]}
+      const std::string x = "_dx" + std::to_string(++fresh_);
+      const std::string r2 = "_dr" + std::to_string(fresh_);
+      const std::string head = "_DX" + std::to_string(fresh_);
+      auto inner_q = std::make_unique<Quantifier>();
+      Binding sb;
+      sb.var = site.inner_var;
+      sb.range_kind = RangeKind::kNamed;
+      sb.relation = site.inner_relation;
+      Binding rb;
+      rb.var = r2;
+      rb.range_kind = RangeKind::kNamed;
+      rb.relation = site.outer->relation;
+      inner_q->bindings.push_back(std::move(sb));
+      inner_q->bindings.push_back(std::move(rb));
+      Grouping grouping;
+      Head inner_head;
+      inner_head.relation = head;
+      std::vector<FormulaPtr> inner_conjuncts;
+      std::unordered_set<std::string> seen_keys;
+      int key_index = 0;
+      for (const auto& [inner_attr, outer_attr] : site.correlations) {
+        if (seen_keys.insert(ToLower(outer_attr)).second) {
+          grouping.keys.push_back(MakeAttrRef(r2, outer_attr));
+          const std::string k = "k" + std::to_string(++key_index);
+          inner_head.attrs.push_back(k);
+          inner_conjuncts.push_back(MakePredicate(data::CmpOp::kEq,
+                                                  MakeAttrRef(head, k),
+                                                  MakeAttrRef(r2, outer_attr)));
+        }
+        inner_conjuncts.push_back(MakePredicate(
+            data::CmpOp::kEq, MakeAttrRef(site.inner_var, inner_attr),
+            MakeAttrRef(r2, outer_attr)));
+      }
+      inner_head.attrs.push_back("ct");
+      // X.ct = agg(...): reuse the aggregate term from the matched conjunct.
+      const Term* agg_side = site.agg_conjunct->lhs->ContainsAggregate()
+                                 ? site.agg_conjunct->lhs.get()
+                                 : site.agg_conjunct->rhs.get();
+      inner_conjuncts.push_back(MakePredicate(
+          data::CmpOp::kEq, MakeAttrRef(head, "ct"), agg_side->Clone()));
+      for (FormulaPtr& l : site.local) {
+        inner_conjuncts.push_back(std::move(l));
+      }
+      inner_q->grouping = std::move(grouping);
+      inner_q->join_tree =
+          MakeJoinLeft(MakeJoinVar(r2), MakeJoinVar(site.inner_var));
+      inner_q->body = MakeBody(std::move(inner_conjuncts));
+      CollectionPtr inner = MakeCollection(
+          std::move(inner_head), MakeExists(std::move(inner_q)));
+
+      Binding xb;
+      xb.var = x;
+      xb.range_kind = RangeKind::kCollection;
+      xb.collection = std::move(inner);
+      new_bindings.push_back(std::move(xb));
+
+      // Outer conjuncts: r.a_i = x.k_i and the comparison on x.ct.
+      key_index = 0;
+      seen_keys.clear();
+      for (const auto& [inner_attr, outer_attr] : site.correlations) {
+        (void)inner_attr;
+        if (seen_keys.insert(ToLower(outer_attr)).second) {
+          const std::string k = "k" + std::to_string(++key_index);
+          out_conjuncts.push_back(MakePredicate(
+              data::CmpOp::kEq, MakeAttrRef(site.outer->var, outer_attr),
+              MakeAttrRef(x, k)));
+        }
+      }
+      const Formula& agg_f = *site.agg_conjunct;
+      out_conjuncts.push_back(MakePredicate(
+          agg_f.cmp_op, SubstituteAggregate(*agg_f.lhs, x),
+          SubstituteAggregate(*agg_f.rhs, x)));
+    }
+    for (Binding& b : new_bindings) q->bindings.push_back(std::move(b));
+    q->body = MakeBody(std::move(out_conjuncts));
+  }
+};
+
+}  // namespace
+
+RewriteResult NormalizeConjunctions(const Program& program) {
+  RewriteResult result;
+  result.program = program.Clone();
+  Normalizer normalizer;
+  normalizer.Program_(&result.program);
+  result.applications = normalizer.applications;
+  return result;
+}
+
+Result<RewriteResult> UnnestExistentialScopes(const Program& program,
+                                              const Conventions& conventions) {
+  if (conventions.multiplicity != Conventions::Multiplicity::kSet) {
+    return InvalidArgument(
+        "existential unnesting is only meaning-preserving under set "
+        "semantics (§2.7): the nested form is semijoin-like, the unnested "
+        "form multiplies multiplicities");
+  }
+  RewriteResult result;
+  result.program = program.Clone();
+  Unnester unnester;
+  unnester.Program_(&result.program);
+  result.applications = unnester.applications;
+  return result;
+}
+
+RewriteResult DecorrelateAggregation(const Program& program) {
+  RewriteResult result;
+  result.program = program.Clone();
+  Decorrelator decorrelator;
+  decorrelator.Program_(&result.program);
+  result.applications = decorrelator.applications;
+  return result;
+}
+
+}  // namespace arc::rewrite

@@ -1,0 +1,57 @@
+// Pattern-level rewrites with convention-aware legality — the rewrites the
+// paper uses to discuss when surface transformations are and are not
+// meaning-preserving:
+//
+//  * NormalizeConjunctions — flattens nested ANDs/ORs and drops neutral
+//    elements; always legal (pure pattern normal form).
+//
+//  * UnnestExistentialScopes (§2.7) — hoists a purely existential nested
+//    scope into its parent: {…∃r∈R[∃s∈S[φ]]…} → {…∃r∈R, s∈S[φ]…}.
+//    Legal under the SET convention; under bags it changes multiplicities
+//    (semijoin vs per-pair), so the rewriter refuses unless the caller
+//    passes set conventions. The legality switch is exactly the paper's
+//    point: set-vs-bag is an interpretation, and rewrite validity depends
+//    on it.
+//
+//  * DecorrelateAggregation (§3.2) — rewrites the correlated per-outer-
+//    tuple aggregation scope (the FOI / count-bug-prone shape, Eq. 27 /
+//    Fig. 5c) into the *correct* decorrelated form with a LEFT JOIN
+//    annotation and grouping on the outer key (Eq. 29 / Fig. 21c),
+//    avoiding the classic count bug. Like the paper (footnote 12), the
+//    rewrite assumes the correlated outer attributes form a key of the
+//    outer relation; with duplicates the grouped form double-counts.
+//
+// Each rewrite reports how many sites it transformed; differential tests
+// check execution equivalence under the conventions that make each rewrite
+// legal.
+#ifndef ARC_REWRITE_REWRITER_H_
+#define ARC_REWRITE_REWRITER_H_
+
+#include "arc/ast.h"
+#include "arc/conventions.h"
+#include "common/status.h"
+
+namespace arc::rewrite {
+
+struct RewriteResult {
+  Program program;
+  int applications = 0;
+};
+
+/// Flattens nested same-kind connectives and removes neutral elements.
+RewriteResult NormalizeConjunctions(const Program& program);
+
+/// Hoists purely existential nested condition scopes into their parent
+/// scope. Returns InvalidArgument unless `conventions` uses set
+/// multiplicity (the rewrite is unsound under bags, §2.7).
+Result<RewriteResult> UnnestExistentialScopes(const Program& program,
+                                              const Conventions& conventions);
+
+/// Rewrites correlated γ∅ aggregation scopes (boolean form, Eq. 27) into
+/// the decorrelated left-join form (Eq. 29). Only sites whose correlation
+/// equalities reference exactly one outer *named* binding are transformed.
+RewriteResult DecorrelateAggregation(const Program& program);
+
+}  // namespace arc::rewrite
+
+#endif  // ARC_REWRITE_REWRITER_H_

@@ -1,0 +1,404 @@
+#include "sql/ast.h"
+
+#include "common/strings.h"
+
+namespace arc::sql {
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->table = table;
+  out->column = column;
+  out->literal = literal;
+  out->arith_op = arith_op;
+  out->cmp_op = cmp_op;
+  if (lhs) out->lhs = lhs->Clone();
+  if (rhs) out->rhs = rhs->Clone();
+  out->children.reserve(children.size());
+  for (const ExprPtr& c : children) out->children.push_back(c->Clone());
+  out->negated = negated;
+  out->agg_func = agg_func;
+  if (agg_arg) out->agg_arg = agg_arg->Clone();
+  if (subquery) out->subquery = subquery->Clone();
+  return out;
+}
+
+bool Expr::ContainsAggregate() const {
+  switch (kind) {
+    case ExprKind::kAggCall:
+      return true;
+    case ExprKind::kArith:
+    case ExprKind::kCmp:
+      return (lhs && lhs->ContainsAggregate()) ||
+             (rhs && rhs->ContainsAggregate());
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+      for (const ExprPtr& c : children) {
+        if (c->ContainsAggregate()) return true;
+      }
+      return false;
+    case ExprKind::kNot:
+    case ExprKind::kIsNull:
+      return lhs && lhs->ContainsAggregate();
+    case ExprKind::kInSubquery:
+      return lhs && lhs->ContainsAggregate();
+    default:
+      return false;
+  }
+}
+
+ExprPtr MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeSqlLiteral(data::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeSqlArith(data::ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kArith;
+  e->arith_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr MakeSqlCmp(data::CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCmp;
+  e->cmp_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr MakeSqlAnd(std::vector<ExprPtr> children) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAnd;
+  e->children = std::move(children);
+  return e;
+}
+
+ExprPtr MakeSqlOr(std::vector<ExprPtr> children) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kOr;
+  e->children = std::move(children);
+  return e;
+}
+
+ExprPtr MakeSqlNot(ExprPtr child) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kNot;
+  e->lhs = std::move(child);
+  return e;
+}
+
+ExprPtr MakeSqlIsNull(ExprPtr arg, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIsNull;
+  e->lhs = std::move(arg);
+  e->negated = negated;
+  return e;
+}
+
+ExprPtr MakeSqlAgg(AggFunc f, ExprPtr arg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAggCall;
+  e->agg_func = f;
+  e->agg_arg = std::move(arg);
+  return e;
+}
+
+ExprPtr MakeSqlExists(SelectPtr subquery, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kExists;
+  e->subquery = std::move(subquery);
+  e->negated = negated;
+  return e;
+}
+
+ExprPtr MakeSqlIn(ExprPtr tested, SelectPtr subquery, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kInSubquery;
+  e->lhs = std::move(tested);
+  e->subquery = std::move(subquery);
+  e->negated = negated;
+  return e;
+}
+
+ExprPtr MakeSqlScalarSubquery(SelectPtr subquery) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kScalarSubquery;
+  e->subquery = std::move(subquery);
+  return e;
+}
+
+FromItemPtr FromItem::Clone() const {
+  auto out = std::make_unique<FromItem>();
+  out->kind = kind;
+  out->table = table;
+  if (subquery) out->subquery = subquery->Clone();
+  out->lateral = lateral;
+  out->alias = alias;
+  out->join_type = join_type;
+  if (left) out->left = left->Clone();
+  if (right) out->right = right->Clone();
+  if (on) out->on = on->Clone();
+  return out;
+}
+
+FromItemPtr MakeFromTable(std::string table, std::string alias) {
+  auto f = std::make_unique<FromItem>();
+  f->kind = FromKind::kTable;
+  f->table = std::move(table);
+  f->alias = std::move(alias);
+  return f;
+}
+
+FromItemPtr MakeFromSubquery(SelectPtr subquery, std::string alias,
+                             bool lateral) {
+  auto f = std::make_unique<FromItem>();
+  f->kind = FromKind::kSubquery;
+  f->subquery = std::move(subquery);
+  f->alias = std::move(alias);
+  f->lateral = lateral;
+  return f;
+}
+
+FromItemPtr MakeFromJoin(JoinType type, FromItemPtr left, FromItemPtr right,
+                         ExprPtr on) {
+  auto f = std::make_unique<FromItem>();
+  f->kind = FromKind::kJoin;
+  f->join_type = type;
+  f->left = std::move(left);
+  f->right = std::move(right);
+  f->on = std::move(on);
+  return f;
+}
+
+SelectPtr SelectStmt::Clone() const {
+  auto out = std::make_unique<SelectStmt>();
+  out->with_recursive = with_recursive;
+  for (const CommonTableExpr& cte : ctes) {
+    out->ctes.push_back({cte.name, cte.query->Clone()});
+  }
+  out->distinct = distinct;
+  for (const SelectItem& item : items) {
+    SelectItem copy;
+    copy.star = item.star;
+    copy.alias = item.alias;
+    if (item.expr) copy.expr = item.expr->Clone();
+    out->items.push_back(std::move(copy));
+  }
+  for (const FromItemPtr& f : from) out->from.push_back(f->Clone());
+  if (where) out->where = where->Clone();
+  for (const ExprPtr& g : group_by) out->group_by.push_back(g->Clone());
+  if (having) out->having = having->Clone();
+  if (union_next) out->union_next = union_next->Clone();
+  out->union_all = union_all;
+  for (const OrderItem& item : order_by) {
+    OrderItem copy;
+    copy.expr = item.expr->Clone();
+    copy.descending = item.descending;
+    out->order_by.push_back(std::move(copy));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int SqlExprPrecedence(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kOr:
+      return 1;
+    case ExprKind::kAnd:
+      return 2;
+    case ExprKind::kNot:
+      return 3;
+    case ExprKind::kCmp:
+    case ExprKind::kIsNull:
+    case ExprKind::kInSubquery:
+      return 4;
+    case ExprKind::kArith:
+      switch (e.arith_op) {
+        case data::ArithOp::kMul:
+        case data::ArithOp::kDiv:
+        case data::ArithOp::kMod:
+          return 6;
+        default:
+          return 5;
+      }
+    default:
+      return 7;
+  }
+}
+
+std::string ExprToSql(const Expr& e);
+
+std::string Child(const Expr& parent, const Expr& child, bool right_side) {
+  std::string s = ExprToSql(child);
+  const int pp = SqlExprPrecedence(parent);
+  const int cp = SqlExprPrecedence(child);
+  if (cp < pp || (right_side && cp == pp &&
+                  (child.kind == ExprKind::kArith ||
+                   child.kind == ExprKind::kCmp))) {
+    return "(" + s + ")";
+  }
+  return s;
+}
+
+std::string ExprToSql(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+      return e.table.empty() ? e.column : e.table + "." + e.column;
+    case ExprKind::kLiteral:
+      if (e.literal.kind() == data::ValueKind::kNull) return "NULL";
+      if (e.literal.kind() == data::ValueKind::kBool) {
+        return e.literal.as_bool() ? "TRUE" : "FALSE";
+      }
+      return e.literal.ToString();
+    case ExprKind::kArith:
+      return Child(e, *e.lhs, false) + " " + data::ArithOpSymbol(e.arith_op) +
+             " " + Child(e, *e.rhs, true);
+    case ExprKind::kCmp:
+      return Child(e, *e.lhs, false) + " " + data::CmpOpSymbol(e.cmp_op) +
+             " " + Child(e, *e.rhs, true);
+    case ExprKind::kAnd:
+      return JoinMapped(e.children, " AND ", [&](const ExprPtr& c) {
+        return Child(e, *c, false);
+      });
+    case ExprKind::kOr:
+      return JoinMapped(e.children, " OR ", [&](const ExprPtr& c) {
+        return Child(e, *c, false);
+      });
+    case ExprKind::kNot:
+      return "NOT (" + ExprToSql(*e.lhs) + ")";
+    case ExprKind::kIsNull:
+      return Child(e, *e.lhs, false) +
+             (e.negated ? " IS NOT NULL" : " IS NULL");
+    case ExprKind::kAggCall: {
+      switch (e.agg_func) {
+        case AggFunc::kCountStar:
+          return "count(*)";
+        case AggFunc::kCountDistinct:
+          return "count(DISTINCT " + ExprToSql(*e.agg_arg) + ")";
+        case AggFunc::kSumDistinct:
+          return "sum(DISTINCT " + ExprToSql(*e.agg_arg) + ")";
+        case AggFunc::kAvgDistinct:
+          return "avg(DISTINCT " + ExprToSql(*e.agg_arg) + ")";
+        default:
+          return std::string(AggFuncName(e.agg_func)) + "(" +
+                 ExprToSql(*e.agg_arg) + ")";
+      }
+    }
+    case ExprKind::kExists:
+      return std::string(e.negated ? "NOT " : "") + "EXISTS (" +
+             ToSql(*e.subquery) + ")";
+    case ExprKind::kInSubquery:
+      return Child(e, *e.lhs, false) + (e.negated ? " NOT IN (" : " IN (") +
+             ToSql(*e.subquery) + ")";
+    case ExprKind::kScalarSubquery:
+      return "(" + ToSql(*e.subquery) + ")";
+  }
+  return "?";
+}
+
+std::string FromToSql(const FromItem& f) {
+  switch (f.kind) {
+    case FromKind::kTable:
+      return f.alias.empty() || EqualsIgnoreCase(f.alias, f.table)
+                 ? f.table
+                 : f.table + " AS " + f.alias;
+    case FromKind::kSubquery:
+      return std::string(f.lateral ? "LATERAL " : "") + "(" +
+             ToSql(*f.subquery) + ") AS " + f.alias;
+    case FromKind::kJoin: {
+      const char* kw = "JOIN";
+      switch (f.join_type) {
+        case JoinType::kInner:
+          kw = "JOIN";
+          break;
+        case JoinType::kLeft:
+          kw = "LEFT JOIN";
+          break;
+        case JoinType::kFull:
+          kw = "FULL JOIN";
+          break;
+        case JoinType::kCross:
+          kw = "CROSS JOIN";
+          break;
+      }
+      std::string out = FromToSql(*f.left);
+      // Parenthesize a join on the right side (nesting precedence).
+      std::string rhs = FromToSql(*f.right);
+      if (f.right->kind == FromKind::kJoin) rhs = "(" + rhs + ")";
+      out += " ";
+      out += kw;
+      out += " ";
+      out += rhs;
+      if (f.on) out += " ON " + ExprToSql(*f.on);
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ToSql(const Expr& expr) { return ExprToSql(expr); }
+
+std::string ToSql(const SelectStmt& stmt) {
+  std::string out;
+  if (!stmt.ctes.empty()) {
+    out += stmt.with_recursive ? "WITH RECURSIVE " : "WITH ";
+    out += JoinMapped(stmt.ctes, ", ", [](const CommonTableExpr& cte) {
+      return cte.name + " AS (" + ToSql(*cte.query) + ")";
+    });
+    out += " ";
+  }
+  out += "SELECT ";
+  if (stmt.distinct) out += "DISTINCT ";
+  out += JoinMapped(stmt.items, ", ", [](const SelectItem& item) {
+    if (item.star) return std::string("*");
+    std::string s = ExprToSql(*item.expr);
+    if (!item.alias.empty()) s += " AS " + item.alias;
+    return s;
+  });
+  if (!stmt.from.empty()) {
+    out += " FROM ";
+    out += JoinMapped(stmt.from, ", ",
+                      [](const FromItemPtr& f) { return FromToSql(*f); });
+  }
+  if (stmt.where) out += " WHERE " + ExprToSql(*stmt.where);
+  if (!stmt.group_by.empty()) {
+    out += " GROUP BY ";
+    out += JoinMapped(stmt.group_by, ", ",
+                      [](const ExprPtr& e) { return ExprToSql(*e); });
+  }
+  if (stmt.having) out += " HAVING " + ExprToSql(*stmt.having);
+  if (stmt.union_next) {
+    out += stmt.union_all ? " UNION ALL " : " UNION ";
+    out += ToSql(*stmt.union_next);
+  }
+  if (!stmt.order_by.empty()) {
+    out += " ORDER BY ";
+    out += JoinMapped(stmt.order_by, ", ", [](const SelectStmt::OrderItem& o) {
+      return ExprToSql(*o.expr) + (o.descending ? " DESC" : "");
+    });
+  }
+  return out;
+}
+
+}  // namespace arc::sql

@@ -1,0 +1,185 @@
+// AST for the SQL subset the paper's figures use: SELECT [DISTINCT] …
+// FROM (tables, subqueries, INNER/LEFT/FULL/CROSS joins, LATERAL) …
+// WHERE … GROUP BY … HAVING …, UNION [ALL], scalar subqueries,
+// [NOT] EXISTS, [NOT] IN, IS [NOT] NULL, WITH [RECURSIVE] CTEs.
+//
+// This is deliberately a *surface* syntax tree (what the paper contrasts
+// with an ALT): joins live under the select's FROM list, name resolution is
+// implicit, and aggregation is attached to the projection — exactly the
+// shape the SQL→ARC translator must abstract away from.
+#ifndef ARC_SQL_AST_H_
+#define ARC_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arc/ast.h"  // AggFunc
+#include "data/value.h"
+
+namespace arc::sql {
+
+struct SelectStmt;
+using SelectPtr = std::unique_ptr<SelectStmt>;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kColumnRef,       // [table.]column
+  kLiteral,
+  kArith,           // lhs ⊗ rhs
+  kCmp,             // lhs op rhs
+  kAnd,
+  kOr,
+  kNot,
+  kIsNull,          // arg IS [NOT] NULL
+  kAggCall,         // sum(expr), count(*), count(DISTINCT expr)
+  kExists,          // [NOT] EXISTS (subquery)
+  kInSubquery,      // expr [NOT] IN (subquery)
+  kScalarSubquery,  // (subquery) used as a value
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kColumnRef
+  std::string table;  // may be empty (unqualified)
+  std::string column;
+
+  // kLiteral
+  data::Value literal;
+
+  // kArith / kCmp / binary connectives
+  data::ArithOp arith_op = data::ArithOp::kAdd;
+  data::CmpOp cmp_op = data::CmpOp::kEq;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  // kAnd / kOr
+  std::vector<ExprPtr> children;
+
+  // kNot / kIsNull (arg in lhs)
+  bool negated = false;  // IS NOT NULL / NOT EXISTS / NOT IN
+
+  // kAggCall
+  AggFunc agg_func = AggFunc::kCount;
+  ExprPtr agg_arg;  // null for count(*)
+
+  // kExists / kInSubquery / kScalarSubquery (tested expr in lhs for IN)
+  SelectPtr subquery;
+
+  ExprPtr Clone() const;
+  bool ContainsAggregate() const;  // not descending into subqueries
+};
+
+ExprPtr MakeColumnRef(std::string table, std::string column);
+ExprPtr MakeSqlLiteral(data::Value v);
+ExprPtr MakeSqlArith(data::ArithOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeSqlCmp(data::CmpOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeSqlAnd(std::vector<ExprPtr> children);
+ExprPtr MakeSqlOr(std::vector<ExprPtr> children);
+ExprPtr MakeSqlNot(ExprPtr child);
+ExprPtr MakeSqlIsNull(ExprPtr arg, bool negated);
+ExprPtr MakeSqlAgg(AggFunc f, ExprPtr arg);
+ExprPtr MakeSqlExists(SelectPtr subquery, bool negated);
+ExprPtr MakeSqlIn(ExprPtr tested, SelectPtr subquery, bool negated);
+ExprPtr MakeSqlScalarSubquery(SelectPtr subquery);
+
+// ---------------------------------------------------------------------------
+// FROM items
+// ---------------------------------------------------------------------------
+
+struct FromItem;
+using FromItemPtr = std::unique_ptr<FromItem>;
+
+enum class FromKind { kTable, kSubquery, kJoin };
+enum class JoinType { kInner, kLeft, kFull, kCross };
+
+struct FromItem {
+  FromKind kind = FromKind::kTable;
+
+  // kTable
+  std::string table;
+
+  // kSubquery
+  SelectPtr subquery;
+  bool lateral = false;
+
+  // kTable / kSubquery
+  std::string alias;  // empty ⇒ table name is the alias
+
+  // kJoin
+  JoinType join_type = JoinType::kInner;
+  FromItemPtr left;
+  FromItemPtr right;
+  ExprPtr on;  // null for CROSS
+
+  FromItemPtr Clone() const;
+  /// The name this item is referenced by (alias or table name); empty for
+  /// joins.
+  const std::string& BindingName() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+FromItemPtr MakeFromTable(std::string table, std::string alias);
+FromItemPtr MakeFromSubquery(SelectPtr subquery, std::string alias,
+                             bool lateral);
+FromItemPtr MakeFromJoin(JoinType type, FromItemPtr left, FromItemPtr right,
+                         ExprPtr on);
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+struct SelectItem {
+  ExprPtr expr;       // null when star
+  std::string alias;  // output column name; may be empty
+  bool star = false;  // SELECT *
+};
+
+struct CommonTableExpr {
+  std::string name;
+  SelectPtr query;
+};
+
+struct SelectStmt {
+  // WITH [RECURSIVE] name AS (…) — attached to the outermost select.
+  bool with_recursive = false;
+  std::vector<CommonTableExpr> ctes;
+
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<FromItemPtr> from;  // comma list (cross product)
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+
+  // UNION [ALL] chained select.
+  SelectPtr union_next;
+  bool union_all = false;
+
+  // ORDER BY (presentation-level, §5: ordering is outside the relational
+  // core; the SQL substrate supports it, the ARC translator rejects it).
+  struct OrderItem {
+    ExprPtr expr;
+    bool descending = false;
+  };
+  std::vector<OrderItem> order_by;
+
+  SelectPtr Clone() const;
+};
+
+/// Renders the statement back to SQL text (parseable by the parser).
+std::string ToSql(const SelectStmt& stmt);
+std::string ToSql(const Expr& expr);
+
+}  // namespace arc::sql
+
+#endif  // ARC_SQL_AST_H_

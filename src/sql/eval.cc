@@ -1,0 +1,843 @@
+#include "sql/eval.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace arc::sql {
+
+namespace {
+
+using data::Relation;
+using data::Schema;
+using data::TriBool;
+using data::Tuple;
+using data::Value;
+
+/// One bound table: alias → current row. Owns the tuple copy so rows can be
+/// materialized for grouping and outer-join padding.
+struct Bound {
+  std::string alias;
+  const Schema* schema = nullptr;
+  Tuple tuple;
+};
+using Row = std::vector<Bound>;
+
+Row ConcatRows(const Row& a, const Row& b) {
+  Row out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+class SqlEvalImpl {
+ public:
+  SqlEvalImpl(const data::Database& db, const SqlEvalOptions& options)
+      : db_(db), options_(options) {}
+
+  Result<Relation> Eval(const SelectStmt& stmt) {
+    return EvalSelect(stmt);
+  }
+
+ private:
+  // ---- name resolution / expression evaluation ---------------------------
+
+  /// Scopes, innermost last. Each scope is the current row of one SELECT.
+  std::vector<const Row*> scopes_;
+
+  Result<Value> LookupColumn(const std::string& table,
+                             const std::string& column) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const Row& row = **it;
+      if (!table.empty()) {
+        for (const Bound& b : row) {
+          if (EqualsIgnoreCase(b.alias, table)) {
+            const int idx = b.schema->IndexOf(column);
+            if (idx < 0) {
+              return EvalError("column " + table + "." + column +
+                               " does not exist");
+            }
+            return b.tuple.at(idx);
+          }
+        }
+        continue;  // alias not in this scope; look outward
+      }
+      // Unqualified: search all bindings of this scope.
+      const Bound* found = nullptr;
+      int found_idx = -1;
+      for (const Bound& b : row) {
+        const int idx = b.schema->IndexOf(column);
+        if (idx >= 0) {
+          if (found != nullptr) {
+            return EvalError("ambiguous column '" + column + "'");
+          }
+          found = &b;
+          found_idx = idx;
+        }
+      }
+      if (found != nullptr) return found->tuple.at(found_idx);
+    }
+    return EvalError("unknown column " +
+                     (table.empty() ? column : table + "." + column));
+  }
+
+  /// Aggregate context: group rows to aggregate over (null when not in a
+  /// grouped projection).
+  const std::vector<Row>* agg_rows_ = nullptr;
+
+  Result<Value> EvalExpr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kColumnRef:
+        return LookupColumn(e.table, e.column);
+      case ExprKind::kLiteral:
+        return e.literal;
+      case ExprKind::kArith: {
+        ARC_ASSIGN_OR_RETURN(Value l, EvalExpr(*e.lhs));
+        ARC_ASSIGN_OR_RETURN(Value r, EvalExpr(*e.rhs));
+        return data::Arith(e.arith_op, l, r);
+      }
+      case ExprKind::kAggCall:
+        return EvalAggregate(e);
+      case ExprKind::kScalarSubquery: {
+        ARC_ASSIGN_OR_RETURN(Relation rel, EvalSelect(*e.subquery));
+        if (rel.schema().size() != 1) {
+          return EvalError("scalar subquery must return one column");
+        }
+        if (rel.size() > 1) {
+          return EvalError("scalar subquery returned more than one row");
+        }
+        if (rel.empty()) return Value::Null();
+        return rel.rows()[0].at(0);
+      }
+      // Boolean-valued expressions used as values.
+      default: {
+        ARC_ASSIGN_OR_RETURN(TriBool t, EvalPredicate(e));
+        if (t == TriBool::kUnknown) return Value::Null();
+        return Value::Bool(t == TriBool::kTrue);
+      }
+    }
+  }
+
+  Result<TriBool> EvalPredicate(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kCmp: {
+        ARC_ASSIGN_OR_RETURN(Value l, EvalExpr(*e.lhs));
+        ARC_ASSIGN_OR_RETURN(Value r, EvalExpr(*e.rhs));
+        return data::Compare(e.cmp_op, l, r, data::NullLogic::kThreeValued);
+      }
+      case ExprKind::kAnd: {
+        TriBool acc = TriBool::kTrue;
+        for (const ExprPtr& c : e.children) {
+          ARC_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*c));
+          acc = data::TriAnd(acc, v);
+          if (acc == TriBool::kFalse) return acc;
+        }
+        return acc;
+      }
+      case ExprKind::kOr: {
+        TriBool acc = TriBool::kFalse;
+        for (const ExprPtr& c : e.children) {
+          ARC_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*c));
+          acc = data::TriOr(acc, v);
+          if (acc == TriBool::kTrue) return acc;
+        }
+        return acc;
+      }
+      case ExprKind::kNot: {
+        ARC_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*e.lhs));
+        return data::TriNot(v);
+      }
+      case ExprKind::kIsNull: {
+        ARC_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.lhs));
+        return data::FromBool(v.is_null() != e.negated);
+      }
+      case ExprKind::kExists: {
+        ARC_ASSIGN_OR_RETURN(Relation rel, EvalSelect(*e.subquery));
+        const bool exists = !rel.empty();
+        return data::FromBool(exists != e.negated);
+      }
+      case ExprKind::kInSubquery: {
+        ARC_ASSIGN_OR_RETURN(Value tested, EvalExpr(*e.lhs));
+        ARC_ASSIGN_OR_RETURN(Relation rel, EvalSelect(*e.subquery));
+        if (rel.schema().size() != 1) {
+          return EvalError("IN subquery must return one column");
+        }
+        // SQL 3VL membership: true on a match; unknown if no match but the
+        // tested value or any member is null; false otherwise.
+        bool saw_null = tested.is_null();
+        bool matched = false;
+        for (const Tuple& row : rel.rows()) {
+          const Value& member = row.at(0);
+          if (member.is_null()) {
+            saw_null = true;
+            continue;
+          }
+          if (tested.is_null()) continue;
+          auto eq = data::Compare(data::CmpOp::kEq, tested, member,
+                                  data::NullLogic::kThreeValued);
+          if (!eq.ok()) return eq.status();
+          if (data::IsTrue(*eq)) matched = true;
+        }
+        TriBool result = matched ? TriBool::kTrue
+                                 : (saw_null ? TriBool::kUnknown
+                                             : TriBool::kFalse);
+        return e.negated ? data::TriNot(result) : result;
+      }
+      default: {
+        // Value expression in boolean position: nonzero/true semantics.
+        ARC_ASSIGN_OR_RETURN(Value v, EvalExpr(e));
+        if (v.is_null()) return TriBool::kUnknown;
+        if (v.kind() == data::ValueKind::kBool) {
+          return data::FromBool(v.as_bool());
+        }
+        return EvalError("expression is not a predicate");
+      }
+    }
+  }
+
+  Result<Value> EvalAggregate(const Expr& e) {
+    if (agg_rows_ == nullptr) {
+      return EvalError("aggregate used outside of a grouped projection");
+    }
+    const std::vector<Row>& rows = *agg_rows_;
+    if (e.agg_func == AggFunc::kCountStar) {
+      return Value::Int(static_cast<int64_t>(rows.size()));
+    }
+    // Evaluate the argument per group row; inner aggregates are illegal.
+    const std::vector<Row>* saved = agg_rows_;
+    agg_rows_ = nullptr;
+    std::vector<Value> values;
+    Status status = Status::Ok();
+    for (const Row& row : rows) {
+      scopes_.push_back(&row);
+      auto v = EvalExpr(*e.agg_arg);
+      scopes_.pop_back();
+      if (!v.ok()) {
+        status = v.status();
+        break;
+      }
+      if (!v->is_null()) values.push_back(std::move(v).value());
+    }
+    agg_rows_ = saved;
+    ARC_RETURN_IF_ERROR(status);
+    if (IsDistinctAgg(e.agg_func)) {
+      std::vector<Value> dedup;
+      for (const Value& v : values) {
+        bool seen = false;
+        for (const Value& d : dedup) {
+          if (d == v) seen = true;
+        }
+        if (!seen) dedup.push_back(v);
+      }
+      values = std::move(dedup);
+    }
+    switch (e.agg_func) {
+      case AggFunc::kCount:
+      case AggFunc::kCountDistinct:
+        return Value::Int(static_cast<int64_t>(values.size()));
+      case AggFunc::kSum:
+      case AggFunc::kSumDistinct: {
+        if (values.empty()) return Value::Null();
+        for (const Value& v : values) {
+          if (!v.is_numeric()) {
+            return EvalError("sum over non-numeric value " + v.ToString());
+          }
+        }
+        Value acc = values[0];
+        for (size_t i = 1; i < values.size(); ++i) {
+          ARC_ASSIGN_OR_RETURN(
+              acc, data::Arith(data::ArithOp::kAdd, acc, values[i]));
+        }
+        return acc;
+      }
+      case AggFunc::kAvg:
+      case AggFunc::kAvgDistinct: {
+        if (values.empty()) return Value::Null();
+        double sum = 0;
+        for (const Value& v : values) {
+          if (!v.is_numeric()) {
+            return EvalError("avg over non-numeric value");
+          }
+          sum += v.ToDouble();
+        }
+        return Value::Double(sum / static_cast<double>(values.size()));
+      }
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        if (values.empty()) return Value::Null();
+        Value best = values[0];
+        for (size_t i = 1; i < values.size(); ++i) {
+          const int c = values[i].CompareTotal(best);
+          if ((e.agg_func == AggFunc::kMin && c < 0) ||
+              (e.agg_func == AggFunc::kMax && c > 0)) {
+            best = values[i];
+          }
+        }
+        return best;
+      }
+      case AggFunc::kCountStar:
+        break;
+    }
+    return EvalError("bad aggregate");
+  }
+
+  // ---- FROM --------------------------------------------------------------
+
+  /// CTE relations, visible by name (innermost last).
+  std::vector<std::pair<std::string, const Relation*>> ctes_;
+
+  const Relation* LookupRelation(const std::string& name) {
+    for (auto it = ctes_.rbegin(); it != ctes_.rend(); ++it) {
+      if (EqualsIgnoreCase(it->first, name)) return it->second;
+    }
+    return db_.GetPtr(name);
+  }
+
+  /// Schemas materialized for subqueries / padded rows; stable addresses.
+  std::vector<std::unique_ptr<Schema>> owned_schemas_;
+  std::vector<std::unique_ptr<Relation>> owned_relations_;
+
+  const Schema* OwnSchema(Schema s) {
+    owned_schemas_.push_back(std::make_unique<Schema>(std::move(s)));
+    return owned_schemas_.back().get();
+  }
+
+  /// Evaluates one FROM item into rows. `current` is the partial row of
+  /// already-evaluated siblings (for LATERAL).
+  Result<std::vector<Row>> EvalFromItem(const FromItem& f, const Row& current) {
+    switch (f.kind) {
+      case FromKind::kTable: {
+        const Relation* rel = LookupRelation(f.table);
+        if (rel == nullptr) {
+          return NotFound("unknown table '" + f.table + "'");
+        }
+        std::vector<Row> out;
+        out.reserve(static_cast<size_t>(rel->size()));
+        for (const Tuple& t : rel->rows()) {
+          Row row;
+          row.push_back({f.BindingName(), &rel->schema(), t});
+          out.push_back(std::move(row));
+        }
+        return out;
+      }
+      case FromKind::kSubquery: {
+        if (f.lateral) scopes_.push_back(&current);
+        auto rel = EvalSelect(*f.subquery);
+        if (f.lateral) scopes_.pop_back();
+        ARC_RETURN_IF_ERROR(rel.status());
+        owned_relations_.push_back(
+            std::make_unique<Relation>(std::move(rel).value()));
+        const Relation* stored = owned_relations_.back().get();
+        std::vector<Row> out;
+        for (const Tuple& t : stored->rows()) {
+          Row row;
+          row.push_back({f.alias, &stored->schema(), t});
+          out.push_back(std::move(row));
+        }
+        return out;
+      }
+      case FromKind::kJoin:
+        return EvalJoin(f, current);
+    }
+    return EvalError("bad FROM item");
+  }
+
+  /// Null-padded row for all leaves of a FROM subtree.
+  Result<Row> NullRow(const FromItem& f) {
+    switch (f.kind) {
+      case FromKind::kTable: {
+        const Relation* rel = LookupRelation(f.table);
+        if (rel == nullptr) {
+          return NotFound("unknown table '" + f.table + "'");
+        }
+        Tuple nulls;
+        for (int i = 0; i < rel->schema().size(); ++i) {
+          nulls.Append(Value::Null());
+        }
+        Row row;
+        row.push_back({f.BindingName(), &rel->schema(), std::move(nulls)});
+        return row;
+      }
+      case FromKind::kSubquery: {
+        ARC_ASSIGN_OR_RETURN(Schema schema, OutputSchema(*f.subquery));
+        const Schema* stored = OwnSchema(std::move(schema));
+        Tuple nulls;
+        for (int i = 0; i < stored->size(); ++i) nulls.Append(Value::Null());
+        Row row;
+        row.push_back({f.alias, stored, std::move(nulls)});
+        return row;
+      }
+      case FromKind::kJoin: {
+        ARC_ASSIGN_OR_RETURN(Row l, NullRow(*f.left));
+        ARC_ASSIGN_OR_RETURN(Row r, NullRow(*f.right));
+        return ConcatRows(l, r);
+      }
+    }
+    return EvalError("bad FROM item");
+  }
+
+  Result<std::vector<Row>> EvalJoin(const FromItem& f, const Row& current) {
+    ARC_ASSIGN_OR_RETURN(std::vector<Row> left, EvalFromItem(*f.left, current));
+    // A lateral right side re-evaluates per left row.
+    const bool lateral_right =
+        f.right->kind == FromKind::kSubquery && f.right->lateral;
+    std::vector<Row> right;
+    if (!lateral_right) {
+      ARC_ASSIGN_OR_RETURN(right, EvalFromItem(*f.right, current));
+    }
+    auto on_true = [&](const Row& joined) -> Result<bool> {
+      if (!f.on) return true;
+      scopes_.push_back(&joined);
+      auto v = EvalPredicate(*f.on);
+      scopes_.pop_back();
+      ARC_RETURN_IF_ERROR(v.status());
+      return data::IsTrue(*v);
+    };
+    std::vector<Row> out;
+    std::vector<bool> right_matched(right.size(), false);
+    for (const Row& l : left) {
+      std::vector<Row>* right_rows = &right;
+      std::vector<Row> lateral_rows;
+      if (lateral_right) {
+        Row ctx = ConcatRows(current, l);
+        ARC_ASSIGN_OR_RETURN(lateral_rows, EvalFromItem(*f.right, ctx));
+        right_rows = &lateral_rows;
+      }
+      bool matched = false;
+      for (size_t ri = 0; ri < right_rows->size(); ++ri) {
+        Row joined = ConcatRows(l, (*right_rows)[ri]);
+        ARC_ASSIGN_OR_RETURN(bool pass, on_true(joined));
+        if (pass) {
+          matched = true;
+          if (!lateral_right) right_matched[ri] = true;
+          out.push_back(std::move(joined));
+        }
+      }
+      if (!matched && (f.join_type == JoinType::kLeft ||
+                       f.join_type == JoinType::kFull)) {
+        ARC_ASSIGN_OR_RETURN(Row nulls, NullRow(*f.right));
+        out.push_back(ConcatRows(l, nulls));
+      }
+    }
+    if (f.join_type == JoinType::kFull && !lateral_right) {
+      for (size_t ri = 0; ri < right.size(); ++ri) {
+        if (!right_matched[ri]) {
+          ARC_ASSIGN_OR_RETURN(Row nulls, NullRow(*f.left));
+          out.push_back(ConcatRows(nulls, right[ri]));
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Cross product of the comma-separated FROM list, honoring LATERAL
+  /// visibility of earlier items.
+  Result<std::vector<Row>> EvalFromList(const SelectStmt& stmt) {
+    std::vector<Row> acc;
+    acc.emplace_back();
+    for (const FromItemPtr& f : stmt.from) {
+      std::vector<Row> next;
+      const bool needs_lateral = ContainsLateral(*f);
+      if (!needs_lateral) {
+        ARC_ASSIGN_OR_RETURN(std::vector<Row> rows, EvalFromItem(*f, Row{}));
+        for (const Row& a : acc) {
+          for (const Row& b : rows) next.push_back(ConcatRows(a, b));
+        }
+      } else {
+        for (const Row& a : acc) {
+          ARC_ASSIGN_OR_RETURN(std::vector<Row> rows, EvalFromItem(*f, a));
+          for (const Row& b : rows) next.push_back(ConcatRows(a, b));
+        }
+      }
+      acc = std::move(next);
+      if (acc.empty()) break;
+    }
+    return acc;
+  }
+
+  static bool ContainsLateral(const FromItem& f) {
+    switch (f.kind) {
+      case FromKind::kTable:
+        return false;
+      case FromKind::kSubquery:
+        return f.lateral;
+      case FromKind::kJoin:
+        return ContainsLateral(*f.left) || ContainsLateral(*f.right);
+    }
+    return false;
+  }
+
+  // ---- SELECT ---------------------------------------------------------
+
+  /// Output schema (column names) of a select, without evaluating it.
+  Result<Schema> OutputSchema(const SelectStmt& stmt) {
+    std::vector<std::string> names;
+    int anon = 0;
+    for (const SelectItem& item : stmt.items) {
+      if (item.star) {
+        ARC_RETURN_IF_ERROR(ExpandStarNames(stmt, &names));
+        continue;
+      }
+      if (!item.alias.empty()) {
+        names.push_back(item.alias);
+      } else if (item.expr->kind == ExprKind::kColumnRef) {
+        names.push_back(item.expr->column);
+      } else {
+        names.push_back("col" + std::to_string(++anon));
+      }
+    }
+    return Schema(std::move(names));
+  }
+
+  Status ExpandStarNames(const SelectStmt& stmt,
+                         std::vector<std::string>* names) {
+    for (const FromItemPtr& f : stmt.from) {
+      ARC_RETURN_IF_ERROR(ExpandStarNamesItem(*f, names));
+    }
+    return Status::Ok();
+  }
+
+  Status ExpandStarNamesItem(const FromItem& f,
+                             std::vector<std::string>* names) {
+    switch (f.kind) {
+      case FromKind::kTable: {
+        const Relation* rel = LookupRelation(f.table);
+        if (rel == nullptr) return NotFound("unknown table '" + f.table + "'");
+        for (const std::string& n : rel->schema().names()) {
+          names->push_back(n);
+        }
+        return Status::Ok();
+      }
+      case FromKind::kSubquery: {
+        ARC_ASSIGN_OR_RETURN(Schema s, OutputSchema(*f.subquery));
+        for (const std::string& n : s.names()) names->push_back(n);
+        return Status::Ok();
+      }
+      case FromKind::kJoin:
+        ARC_RETURN_IF_ERROR(ExpandStarNamesItem(*f.left, names));
+        return ExpandStarNamesItem(*f.right, names);
+    }
+    return Status::Ok();
+  }
+
+  Result<Relation> EvalSelect(const SelectStmt& stmt) {
+    // CTEs.
+    std::vector<std::unique_ptr<Relation>> cte_storage;
+    const size_t cte_base = ctes_.size();
+    for (const CommonTableExpr& cte : stmt.ctes) {
+      Result<Relation> rel = stmt.with_recursive && IsSelfReferential(cte)
+                                 ? EvalRecursiveCte(cte)
+                                 : EvalSelect(*cte.query);
+      ARC_RETURN_IF_ERROR(rel.status());
+      cte_storage.push_back(std::make_unique<Relation>(std::move(rel).value()));
+      ctes_.emplace_back(cte.name, cte_storage.back().get());
+    }
+    auto result = EvalSelectCore(stmt);
+    ctes_.resize(cte_base);
+    // Keep CTE storage alive past core evaluation only; results are copies.
+    ARC_RETURN_IF_ERROR(result.status());
+    Relation out = std::move(result).value();
+    // UNION chain.
+    if (stmt.union_next) {
+      ARC_ASSIGN_OR_RETURN(Relation next, EvalSelect(*stmt.union_next));
+      ARC_RETURN_IF_ERROR(out.Append(next));
+      if (!stmt.union_all) out = out.Distinct();
+    }
+    if (!stmt.order_by.empty()) {
+      ARC_ASSIGN_OR_RETURN(out, ApplyOrderBy(stmt, std::move(out)));
+    }
+    return out;
+  }
+
+  /// ORDER BY over the result: a column reference resolves against the
+  /// output schema by column name (qualified or not); other expressions
+  /// are evaluated against the output row. NULLs sort first ascending
+  /// (CompareTotal's total order).
+  Result<Relation> ApplyOrderBy(const SelectStmt& stmt, Relation out) {
+    // Pre-resolve keys that are direct output columns.
+    std::vector<int> direct(stmt.order_by.size(), -1);
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      const Expr& e = *stmt.order_by[i].expr;
+      if (e.kind == ExprKind::kColumnRef) {
+        direct[i] = out.schema().IndexOf(e.column);
+        if (direct[i] < 0) {
+          return EvalError("ORDER BY column '" + e.column +
+                           "' is not in the output");
+        }
+      }
+    }
+    struct Keyed {
+      Tuple keys;
+      Tuple row;
+    };
+    std::vector<Keyed> keyed;
+    keyed.reserve(static_cast<size_t>(out.size()));
+    for (const Tuple& row : out.rows()) {
+      Row scope_row;
+      scope_row.push_back(Bound{"", &out.schema(), row});
+      scopes_.push_back(&scope_row);
+      Tuple keys;
+      Status status = Status::Ok();
+      for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+        if (direct[i] >= 0) {
+          keys.Append(row.at(direct[i]));
+          continue;
+        }
+        auto v = EvalExpr(*stmt.order_by[i].expr);
+        if (!v.ok()) {
+          status = v.status();
+          break;
+        }
+        keys.Append(std::move(v).value());
+      }
+      scopes_.pop_back();
+      ARC_RETURN_IF_ERROR(status);
+      keyed.push_back({std::move(keys), row});
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [&](const Keyed& a, const Keyed& b) {
+                       for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+                         int c = a.keys.at(static_cast<int>(i))
+                                     .CompareTotal(b.keys.at(static_cast<int>(i)));
+                         if (stmt.order_by[i].descending) c = -c;
+                         if (c != 0) return c < 0;
+                       }
+                       return false;
+                     });
+    Relation sorted(out.schema());
+    for (Keyed& k : keyed) sorted.Add(std::move(k.row));
+    return sorted;
+  }
+
+  bool IsSelfReferential(const CommonTableExpr& cte) {
+    return SelectMentionsTable(*cte.query, cte.name);
+  }
+
+  static bool ExprMentionsTable(const Expr& e, const std::string& name) {
+    if (e.subquery && SelectMentionsTable(*e.subquery, name)) return true;
+    if (e.lhs && ExprMentionsTable(*e.lhs, name)) return true;
+    if (e.rhs && ExprMentionsTable(*e.rhs, name)) return true;
+    if (e.agg_arg && ExprMentionsTable(*e.agg_arg, name)) return true;
+    for (const ExprPtr& c : e.children) {
+      if (ExprMentionsTable(*c, name)) return true;
+    }
+    return false;
+  }
+
+  static bool FromMentionsTable(const FromItem& f, const std::string& name) {
+    switch (f.kind) {
+      case FromKind::kTable:
+        return EqualsIgnoreCase(f.table, name);
+      case FromKind::kSubquery:
+        return SelectMentionsTable(*f.subquery, name);
+      case FromKind::kJoin:
+        return FromMentionsTable(*f.left, name) ||
+               FromMentionsTable(*f.right, name) ||
+               (f.on && ExprMentionsTable(*f.on, name));
+    }
+    return false;
+  }
+
+  static bool SelectMentionsTable(const SelectStmt& s,
+                                  const std::string& name) {
+    for (const FromItemPtr& f : s.from) {
+      if (FromMentionsTable(*f, name)) return true;
+    }
+    for (const SelectItem& item : s.items) {
+      if (item.expr && ExprMentionsTable(*item.expr, name)) return true;
+    }
+    if (s.where && ExprMentionsTable(*s.where, name)) return true;
+    if (s.having && ExprMentionsTable(*s.having, name)) return true;
+    for (const ExprPtr& g : s.group_by) {
+      if (ExprMentionsTable(*g, name)) return true;
+    }
+    if (s.union_next && SelectMentionsTable(*s.union_next, name)) return true;
+    return false;
+  }
+
+  Result<Relation> EvalRecursiveCte(const CommonTableExpr& cte) {
+    ARC_ASSIGN_OR_RETURN(Schema schema, OutputSchema(*cte.query));
+    Relation current(std::move(schema));
+    for (int64_t iter = 0;; ++iter) {
+      if (iter >= options_.max_recursion_iterations) {
+        return EvalError("recursive CTE '" + cte.name +
+                         "' did not converge");
+      }
+      ctes_.emplace_back(cte.name, &current);
+      auto next = EvalSelect(*cte.query);
+      ctes_.pop_back();
+      ARC_RETURN_IF_ERROR(next.status());
+      Relation merged = current;
+      ARC_RETURN_IF_ERROR(merged.Append(*next));
+      merged = merged.Distinct();
+      if (merged.size() == current.size()) break;
+      current = std::move(merged);
+    }
+    return current;
+  }
+
+  Result<Relation> EvalSelectCore(const SelectStmt& stmt) {
+    ARC_ASSIGN_OR_RETURN(std::vector<Row> rows, EvalFromList(stmt));
+    // WHERE.
+    if (stmt.where) {
+      std::vector<Row> kept;
+      for (Row& row : rows) {
+        scopes_.push_back(&row);
+        auto v = EvalPredicate(*stmt.where);
+        scopes_.pop_back();
+        ARC_RETURN_IF_ERROR(v.status());
+        if (data::IsTrue(*v)) kept.push_back(std::move(row));
+      }
+      rows = std::move(kept);
+    }
+    ARC_ASSIGN_OR_RETURN(Schema out_schema, OutputSchema(stmt));
+    Relation out(out_schema);
+
+    const bool grouped =
+        !stmt.group_by.empty() || stmt.having != nullptr || HasAggregate(stmt);
+    if (!grouped) {
+      for (const Row& row : rows) {
+        scopes_.push_back(&row);
+        auto tuple = ProjectRow(stmt);
+        scopes_.pop_back();
+        ARC_RETURN_IF_ERROR(tuple.status());
+        out.Add(std::move(tuple).value());
+      }
+    } else {
+      // Group rows.
+      std::vector<std::pair<Tuple, std::vector<Row>>> groups;
+      if (stmt.group_by.empty()) {
+        groups.emplace_back(Tuple{}, std::move(rows));
+      } else {
+        std::unordered_map<Tuple, size_t, data::TupleHash> index;
+        for (Row& row : rows) {
+          scopes_.push_back(&row);
+          Tuple key;
+          Status status = Status::Ok();
+          for (const ExprPtr& g : stmt.group_by) {
+            auto v = EvalExpr(*g);
+            if (!v.ok()) {
+              status = v.status();
+              break;
+            }
+            key.Append(std::move(v).value());
+          }
+          scopes_.pop_back();
+          ARC_RETURN_IF_ERROR(status);
+          auto [it, inserted] = index.emplace(key, groups.size());
+          if (inserted) groups.emplace_back(key, std::vector<Row>{});
+          groups[it->second].second.push_back(std::move(row));
+        }
+      }
+      for (auto& [key, group_rows] : groups) {
+        (void)key;
+        const Row* rep = group_rows.empty() ? nullptr : &group_rows[0];
+        static const Row kEmptyRow;
+        scopes_.push_back(rep != nullptr ? rep : &kEmptyRow);
+        agg_rows_ = &group_rows;
+        Status status = Status::Ok();
+        bool keep = true;
+        if (stmt.having) {
+          auto h = EvalPredicate(*stmt.having);
+          if (!h.ok()) {
+            status = h.status();
+          } else {
+            keep = data::IsTrue(*h);
+          }
+        }
+        Tuple tuple;
+        if (status.ok() && keep) {
+          auto t = ProjectRow(stmt);
+          if (!t.ok()) {
+            status = t.status();
+          } else {
+            tuple = std::move(t).value();
+          }
+        }
+        agg_rows_ = nullptr;
+        scopes_.pop_back();
+        ARC_RETURN_IF_ERROR(status);
+        if (keep) out.Add(std::move(tuple));
+      }
+    }
+    if (stmt.distinct) out = out.Distinct();
+    return out;
+  }
+
+  static bool HasAggregate(const SelectStmt& stmt) {
+    for (const SelectItem& item : stmt.items) {
+      if (item.expr && item.expr->ContainsAggregate()) return true;
+    }
+    return false;
+  }
+
+  Result<Tuple> ProjectRow(const SelectStmt& stmt) {
+    Tuple tuple;
+    for (const SelectItem& item : stmt.items) {
+      if (item.star) {
+        // Append every column of the current scope's bindings.
+        const Row& row = *scopes_.back();
+        for (const Bound& b : row) {
+          for (int i = 0; i < b.schema->size(); ++i) {
+            tuple.Append(b.tuple.at(i));
+          }
+        }
+        continue;
+      }
+      ARC_ASSIGN_OR_RETURN(Value v, EvalExpr(*item.expr));
+      tuple.Append(std::move(v));
+    }
+    return tuple;
+  }
+
+  const data::Database& db_;
+  const SqlEvalOptions& options_;
+};
+
+}  // namespace
+
+SqlEvaluator::SqlEvaluator(const data::Database& database,
+                           SqlEvalOptions options)
+    : database_(database), options_(options) {}
+
+Result<data::Relation> SqlEvaluator::Eval(const SelectStmt& stmt) {
+  SqlEvalImpl impl(database_, options_);
+  return impl.Eval(stmt);
+}
+
+Result<data::Relation> SqlEvaluator::EvalQuery(std::string_view sql) {
+  ARC_ASSIGN_OR_RETURN(SelectPtr stmt, ParseSelect(sql));
+  return Eval(*stmt);
+}
+
+Result<data::Database> ExecuteSetupScript(std::string_view script) {
+  ARC_ASSIGN_OR_RETURN(std::vector<Statement> statements, ParseScript(script));
+  data::Database db;
+  for (const Statement& stmt : statements) {
+    if (const auto* create = std::get_if<CreateTableStmt>(&stmt)) {
+      db.Create(create->name, Schema(create->columns));
+      continue;
+    }
+    if (const auto* insert = std::get_if<InsertStmt>(&stmt)) {
+      Relation* rel = db.GetMutable(insert->table);
+      if (rel == nullptr) {
+        return NotFound("INSERT into unknown table '" + insert->table + "'");
+      }
+      for (const std::vector<Value>& row : insert->rows) {
+        if (static_cast<int>(row.size()) != rel->schema().size()) {
+          return InvalidArgument("INSERT width mismatch for '" +
+                                 insert->table + "'");
+        }
+        rel->Add(Tuple(row));
+      }
+      continue;
+    }
+    // SELECTs in setup scripts are evaluated and discarded.
+    const SelectPtr& select = std::get<SelectPtr>(stmt);
+    SqlEvaluator ev(db);
+    ARC_RETURN_IF_ERROR(ev.Eval(*select).status());
+  }
+  return db;
+}
+
+}  // namespace arc::sql

@@ -1,0 +1,43 @@
+// A direct, independent evaluator for the SQL subset — deliberately *not*
+// built on the ARC evaluator, so SQL→ARC translation can be validated by
+// differential testing. Implements SQL semantics: bag multiplicity,
+// three-valued logic, NULL-on-empty aggregates, EXISTS/IN/scalar
+// subqueries with correlation, LATERAL, LEFT/FULL/CROSS joins, GROUP
+// BY/HAVING, DISTINCT, UNION [ALL], WITH [RECURSIVE].
+#ifndef ARC_SQL_EVAL_H_
+#define ARC_SQL_EVAL_H_
+
+#include "common/status.h"
+#include "data/database.h"
+#include "sql/parser.h"
+
+namespace arc::sql {
+
+struct SqlEvalOptions {
+  /// Guard for WITH RECURSIVE fixpoints.
+  int64_t max_recursion_iterations = 100000;
+};
+
+class SqlEvaluator {
+ public:
+  explicit SqlEvaluator(const data::Database& database,
+                        SqlEvalOptions options = {});
+
+  Result<data::Relation> Eval(const SelectStmt& stmt);
+
+  /// Parses and evaluates one SELECT.
+  Result<data::Relation> EvalQuery(std::string_view sql);
+
+ private:
+  const data::Database& database_;
+  SqlEvalOptions options_;
+};
+
+/// Runs a setup script (CREATE TABLE / INSERT) into a fresh database;
+/// SELECT statements in the script are evaluated and their results
+/// discarded. Useful for examples and tests.
+Result<data::Database> ExecuteSetupScript(std::string_view script);
+
+}  // namespace arc::sql
+
+#endif  // ARC_SQL_EVAL_H_

@@ -1,0 +1,798 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace arc::sql {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class Tok {
+  kEnd,
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemicolon,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  Tok tok = Tok::kEnd;
+  std::string text;  // identifier (original case) or string payload
+  int64_t int_value = 0;
+  double float_value = 0;
+  int line = 1;
+  int column = 1;
+
+  bool IsKeyword(std::string_view kw) const {
+    return tok == Tok::kIdent && EqualsIgnoreCase(text, kw);
+  }
+};
+
+Result<std::vector<Token>> LexSql(std::string_view input) {
+  std::vector<Token> out;
+  size_t pos = 0;
+  int line = 1;
+  int column = 1;
+  auto advance = [&]() {
+    const char c = input[pos++];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    return c;
+  };
+  auto peek = [&](size_t ahead = 0) {
+    return pos + ahead < input.size() ? input[pos + ahead] : '\0';
+  };
+  while (true) {
+    // Skip whitespace and -- comments.
+    while (pos < input.size()) {
+      if (std::isspace(static_cast<unsigned char>(peek()))) {
+        advance();
+      } else if (peek() == '-' && peek(1) == '-') {
+        while (pos < input.size() && peek() != '\n') advance();
+      } else {
+        break;
+      }
+    }
+    Token t;
+    t.line = line;
+    t.column = column;
+    if (pos >= input.size()) {
+      out.push_back(std::move(t));
+      return out;
+    }
+    const char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (pos < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_' || peek() == '$')) {
+        ident += advance();
+      }
+      t.tok = Tok::kIdent;
+      t.text = std::move(ident);
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      bool is_float = false;
+      while (pos < input.size() &&
+             std::isdigit(static_cast<unsigned char>(peek()))) {
+        num += advance();
+      }
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        num += advance();
+        while (pos < input.size() &&
+               std::isdigit(static_cast<unsigned char>(peek()))) {
+          num += advance();
+        }
+      }
+      if (is_float) {
+        t.tok = Tok::kFloat;
+        t.float_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        t.tok = Tok::kInt;
+        t.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+    } else if (c == '\'') {
+      advance();
+      std::string payload;
+      while (pos < input.size() && peek() != '\'') payload += advance();
+      if (pos >= input.size()) {
+        return ParseError("unterminated string at " + std::to_string(line) +
+                          ":" + std::to_string(column));
+      }
+      advance();
+      t.tok = Tok::kString;
+      t.text = std::move(payload);
+    } else if (c == '"') {
+      advance();
+      std::string payload;
+      while (pos < input.size() && peek() != '"') payload += advance();
+      if (pos >= input.size()) {
+        return ParseError("unterminated identifier at " +
+                          std::to_string(line) + ":" + std::to_string(column));
+      }
+      advance();
+      t.tok = Tok::kIdent;
+      t.text = std::move(payload);
+    } else {
+      advance();
+      switch (c) {
+        case '(':
+          t.tok = Tok::kLParen;
+          break;
+        case ')':
+          t.tok = Tok::kRParen;
+          break;
+        case ',':
+          t.tok = Tok::kComma;
+          break;
+        case '.':
+          t.tok = Tok::kDot;
+          break;
+        case ';':
+          t.tok = Tok::kSemicolon;
+          break;
+        case '*':
+          t.tok = Tok::kStar;
+          break;
+        case '+':
+          t.tok = Tok::kPlus;
+          break;
+        case '-':
+          t.tok = Tok::kMinus;
+          break;
+        case '/':
+          t.tok = Tok::kSlash;
+          break;
+        case '%':
+          t.tok = Tok::kPercent;
+          break;
+        case '=':
+          t.tok = Tok::kEq;
+          break;
+        case '<':
+          if (peek() == '=') {
+            advance();
+            t.tok = Tok::kLe;
+          } else if (peek() == '>') {
+            advance();
+            t.tok = Tok::kNe;
+          } else {
+            t.tok = Tok::kLt;
+          }
+          break;
+        case '>':
+          if (peek() == '=') {
+            advance();
+            t.tok = Tok::kGe;
+          } else {
+            t.tok = Tok::kGt;
+          }
+          break;
+        case '!':
+          if (peek() == '=') {
+            advance();
+            t.tok = Tok::kNe;
+            break;
+          }
+          return ParseError("unexpected '!' at " + std::to_string(line) + ":" +
+                            std::to_string(column));
+        default:
+          return ParseError(std::string("unexpected character '") + c +
+                            "' at " + std::to_string(line) + ":" +
+                            std::to_string(column));
+      }
+    }
+    out.push_back(std::move(t));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class SqlParser {
+ public:
+  explicit SqlParser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectPtr> SelectOnly() {
+    ARC_ASSIGN_OR_RETURN(SelectPtr s, SelectWithCtes());
+    (void)Match(Tok::kSemicolon);
+    ARC_RETURN_IF_ERROR(Expect(Tok::kEnd, "end of input"));
+    return s;
+  }
+
+  Result<ExprPtr> ExprOnly() {
+    ARC_ASSIGN_OR_RETURN(ExprPtr e, Expr_());
+    ARC_RETURN_IF_ERROR(Expect(Tok::kEnd, "end of input"));
+    return e;
+  }
+
+  Result<std::vector<Statement>> Script() {
+    std::vector<Statement> out;
+    while (!Check(Tok::kEnd)) {
+      if (CheckKeyword("create")) {
+        ARC_ASSIGN_OR_RETURN(CreateTableStmt s, CreateTable_());
+        out.emplace_back(std::move(s));
+      } else if (CheckKeyword("insert")) {
+        ARC_ASSIGN_OR_RETURN(InsertStmt s, Insert_());
+        out.emplace_back(std::move(s));
+      } else if (CheckKeyword("select") || CheckKeyword("with")) {
+        ARC_ASSIGN_OR_RETURN(SelectPtr s, SelectWithCtes());
+        out.emplace_back(std::move(s));
+      } else {
+        return ErrorHere("expected CREATE, INSERT, SELECT, or WITH");
+      }
+      while (Match(Tok::kSemicolon)) {
+      }
+    }
+    return out;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool Check(Tok t, size_t ahead = 0) const { return Peek(ahead).tok == t; }
+  bool CheckKeyword(std::string_view kw, size_t ahead = 0) const {
+    return Peek(ahead).IsKeyword(kw);
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(Tok t) {
+    if (Check(t)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (CheckKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ErrorHere(const std::string& message) const {
+    const Token& t = Peek();
+    return ParseError(message + " at " + std::to_string(t.line) + ":" +
+                      std::to_string(t.column));
+  }
+
+  Status Expect(Tok t, const std::string& what) {
+    if (Match(t)) return Status::Ok();
+    return ErrorHere("expected " + what);
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (MatchKeyword(kw)) return Status::Ok();
+    return ErrorHere("expected '" + std::string(kw) + "'");
+  }
+
+  Result<std::string> Identifier(const std::string& what) {
+    if (!Check(Tok::kIdent) || IsReserved(Peek().text)) {
+      return ErrorHere("expected " + what);
+    }
+    return Advance().text;
+  }
+
+  static bool IsReserved(const std::string& word) {
+    static constexpr const char* kReserved[] = {
+        "select", "distinct", "from",  "where",   "group",     "by",
+        "having", "as",       "on",    "join",    "inner",     "left",
+        "right",  "full",     "outer", "cross",   "lateral",   "exists",
+        "in",     "not",      "null",  "is",      "and",       "or",
+        "union",  "all",      "with",  "recursive", "true",    "false",
+        "create", "table",    "insert", "into",   "values",  "order",
+        "asc",    "desc",
+    };
+    for (const char* r : kReserved) {
+      if (EqualsIgnoreCase(word, r)) return true;
+    }
+    return false;
+  }
+
+  /// An identifier usable as a table/column alias (not a reserved word).
+  bool CheckNonReservedIdent(size_t ahead = 0) const {
+    return Check(Tok::kIdent, ahead) && !IsReserved(Peek(ahead).text);
+  }
+
+  // ---- statements -----------------------------------------------------
+
+  Result<CreateTableStmt> CreateTable_() {
+    ARC_RETURN_IF_ERROR(ExpectKeyword("create"));
+    ARC_RETURN_IF_ERROR(ExpectKeyword("table"));
+    CreateTableStmt stmt;
+    ARC_ASSIGN_OR_RETURN(stmt.name, Identifier("table name"));
+    ARC_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+    while (true) {
+      ARC_ASSIGN_OR_RETURN(std::string col, Identifier("column name"));
+      // Optional type name, ignored (untyped storage).
+      if (CheckNonReservedIdent()) Advance();
+      stmt.columns.push_back(std::move(col));
+      if (!Match(Tok::kComma)) break;
+    }
+    ARC_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+    return stmt;
+  }
+
+  Result<InsertStmt> Insert_() {
+    ARC_RETURN_IF_ERROR(ExpectKeyword("insert"));
+    ARC_RETURN_IF_ERROR(ExpectKeyword("into"));
+    InsertStmt stmt;
+    ARC_ASSIGN_OR_RETURN(stmt.table, Identifier("table name"));
+    ARC_RETURN_IF_ERROR(ExpectKeyword("values"));
+    while (true) {
+      ARC_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+      std::vector<data::Value> row;
+      while (true) {
+        ARC_ASSIGN_OR_RETURN(data::Value v, LiteralValue());
+        row.push_back(std::move(v));
+        if (!Match(Tok::kComma)) break;
+      }
+      ARC_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+      stmt.rows.push_back(std::move(row));
+      if (!Match(Tok::kComma)) break;
+    }
+    return stmt;
+  }
+
+  Result<data::Value> LiteralValue() {
+    bool negate = Match(Tok::kMinus);
+    const Token& t = Peek();
+    switch (t.tok) {
+      case Tok::kInt:
+        Advance();
+        return data::Value::Int(negate ? -t.int_value : t.int_value);
+      case Tok::kFloat:
+        Advance();
+        return data::Value::Double(negate ? -t.float_value : t.float_value);
+      case Tok::kString:
+        Advance();
+        return data::Value::String(t.text);
+      case Tok::kIdent:
+        if (t.IsKeyword("null")) {
+          Advance();
+          return data::Value::Null();
+        }
+        if (t.IsKeyword("true")) {
+          Advance();
+          return data::Value::Bool(true);
+        }
+        if (t.IsKeyword("false")) {
+          Advance();
+          return data::Value::Bool(false);
+        }
+        [[fallthrough]];
+      default:
+        return ErrorHere("expected a literal");
+    }
+  }
+
+  // ---- SELECT ------------------------------------------------------------
+
+  Result<SelectPtr> SelectWithCtes() {
+    auto stmt = std::make_unique<SelectStmt>();
+    if (MatchKeyword("with")) {
+      stmt->with_recursive = MatchKeyword("recursive");
+      while (true) {
+        CommonTableExpr cte;
+        ARC_ASSIGN_OR_RETURN(cte.name, Identifier("CTE name"));
+        ARC_RETURN_IF_ERROR(ExpectKeyword("as"));
+        ARC_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+        ARC_ASSIGN_OR_RETURN(cte.query, SelectWithCtes());
+        ARC_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+        stmt->ctes.push_back(std::move(cte));
+        if (!Match(Tok::kComma)) break;
+      }
+    }
+    ARC_ASSIGN_OR_RETURN(SelectPtr core, SelectCore());
+    core->with_recursive = stmt->with_recursive;
+    core->ctes = std::move(stmt->ctes);
+    return core;
+  }
+
+  Result<SelectPtr> SelectCore() {
+    ARC_RETURN_IF_ERROR(ExpectKeyword("select"));
+    auto stmt = std::make_unique<SelectStmt>();
+    stmt->distinct = MatchKeyword("distinct");
+    while (true) {
+      SelectItem item;
+      if (Match(Tok::kStar)) {
+        item.star = true;
+      } else {
+        ARC_ASSIGN_OR_RETURN(item.expr, Expr_());
+        if (MatchKeyword("as")) {
+          ARC_ASSIGN_OR_RETURN(item.alias, Identifier("column alias"));
+        } else if (CheckNonReservedIdent()) {
+          item.alias = Advance().text;
+        }
+      }
+      stmt->items.push_back(std::move(item));
+      if (!Match(Tok::kComma)) break;
+    }
+    if (MatchKeyword("from")) {
+      while (true) {
+        ARC_ASSIGN_OR_RETURN(FromItemPtr item, FromItem_());
+        stmt->from.push_back(std::move(item));
+        if (!Match(Tok::kComma)) break;
+      }
+    }
+    if (MatchKeyword("where")) {
+      ARC_ASSIGN_OR_RETURN(stmt->where, Expr_());
+    }
+    if (CheckKeyword("group")) {
+      Advance();
+      ARC_RETURN_IF_ERROR(ExpectKeyword("by"));
+      while (true) {
+        ARC_ASSIGN_OR_RETURN(ExprPtr key, Expr_());
+        stmt->group_by.push_back(std::move(key));
+        if (!Match(Tok::kComma)) break;
+      }
+    }
+    if (MatchKeyword("having")) {
+      ARC_ASSIGN_OR_RETURN(stmt->having, Expr_());
+    }
+    if (MatchKeyword("union")) {
+      stmt->union_all = MatchKeyword("all");
+      ARC_ASSIGN_OR_RETURN(stmt->union_next, SelectCore());
+    }
+    if (CheckKeyword("order")) {
+      Advance();
+      ARC_RETURN_IF_ERROR(ExpectKeyword("by"));
+      while (true) {
+        SelectStmt::OrderItem item;
+        ARC_ASSIGN_OR_RETURN(item.expr, Expr_());
+        if (MatchKeyword("desc")) {
+          item.descending = true;
+        } else {
+          (void)MatchKeyword("asc");
+        }
+        stmt->order_by.push_back(std::move(item));
+        if (!Match(Tok::kComma)) break;
+      }
+    }
+    return stmt;
+  }
+
+  // ---- FROM ----------------------------------------------------------------
+
+  Result<FromItemPtr> FromItem_() {
+    ARC_ASSIGN_OR_RETURN(FromItemPtr item, FromPrimary());
+    while (true) {
+      JoinType type;
+      bool has_on = true;
+      if (MatchKeyword("join")) {
+        type = JoinType::kInner;
+      } else if (CheckKeyword("inner") && CheckKeyword("join", 1)) {
+        Advance();
+        Advance();
+        type = JoinType::kInner;
+      } else if (CheckKeyword("left")) {
+        Advance();
+        (void)MatchKeyword("outer");
+        ARC_RETURN_IF_ERROR(ExpectKeyword("join"));
+        type = JoinType::kLeft;
+      } else if (CheckKeyword("full")) {
+        Advance();
+        (void)MatchKeyword("outer");
+        ARC_RETURN_IF_ERROR(ExpectKeyword("join"));
+        type = JoinType::kFull;
+      } else if (CheckKeyword("cross")) {
+        Advance();
+        ARC_RETURN_IF_ERROR(ExpectKeyword("join"));
+        type = JoinType::kCross;
+        has_on = false;
+      } else {
+        break;
+      }
+      ARC_ASSIGN_OR_RETURN(FromItemPtr right, FromPrimary());
+      ExprPtr on;
+      if (has_on) {
+        ARC_RETURN_IF_ERROR(ExpectKeyword("on"));
+        ARC_ASSIGN_OR_RETURN(on, Expr_());
+      }
+      item = MakeFromJoin(type, std::move(item), std::move(right),
+                          std::move(on));
+    }
+    return item;
+  }
+
+  Result<FromItemPtr> FromPrimary() {
+    const bool lateral = MatchKeyword("lateral");
+    if (Match(Tok::kLParen)) {
+      if (CheckKeyword("select") || CheckKeyword("with")) {
+        ARC_ASSIGN_OR_RETURN(SelectPtr sub, SelectWithCtes());
+        ARC_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+        std::string alias;
+        (void)MatchKeyword("as");
+        if (CheckNonReservedIdent()) {
+          alias = Advance().text;
+        } else {
+          return ErrorHere("subquery in FROM requires an alias");
+        }
+        return MakeFromSubquery(std::move(sub), std::move(alias), lateral);
+      }
+      // Parenthesized join tree.
+      ARC_ASSIGN_OR_RETURN(FromItemPtr inner, FromItem_());
+      ARC_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+      return inner;
+    }
+    if (lateral) return ErrorHere("LATERAL requires a subquery");
+    ARC_ASSIGN_OR_RETURN(std::string table, Identifier("table name"));
+    std::string alias;
+    if (MatchKeyword("as")) {
+      ARC_ASSIGN_OR_RETURN(alias, Identifier("table alias"));
+    } else if (CheckNonReservedIdent()) {
+      alias = Advance().text;
+    }
+    return MakeFromTable(std::move(table), std::move(alias));
+  }
+
+  // ---- expressions -----------------------------------------------------
+
+  Result<ExprPtr> Expr_() { return OrExpr(); }
+
+  Result<ExprPtr> OrExpr() {
+    ARC_ASSIGN_OR_RETURN(ExprPtr first, AndExpr());
+    if (!CheckKeyword("or")) return first;
+    std::vector<ExprPtr> children;
+    children.push_back(std::move(first));
+    while (MatchKeyword("or")) {
+      ARC_ASSIGN_OR_RETURN(ExprPtr next, AndExpr());
+      children.push_back(std::move(next));
+    }
+    return MakeSqlOr(std::move(children));
+  }
+
+  Result<ExprPtr> AndExpr() {
+    ARC_ASSIGN_OR_RETURN(ExprPtr first, NotExpr());
+    if (!CheckKeyword("and")) return first;
+    std::vector<ExprPtr> children;
+    children.push_back(std::move(first));
+    while (MatchKeyword("and")) {
+      ARC_ASSIGN_OR_RETURN(ExprPtr next, NotExpr());
+      children.push_back(std::move(next));
+    }
+    return MakeSqlAnd(std::move(children));
+  }
+
+  Result<ExprPtr> NotExpr() {
+    if (CheckKeyword("not") && !CheckKeyword("exists", 1)) {
+      Advance();
+      ARC_ASSIGN_OR_RETURN(ExprPtr inner, NotExpr());
+      return MakeSqlNot(std::move(inner));
+    }
+    return Comparison();
+  }
+
+  Result<ExprPtr> Comparison() {
+    if (CheckKeyword("exists") || (CheckKeyword("not") &&
+                                   CheckKeyword("exists", 1))) {
+      const bool negated = MatchKeyword("not");
+      ARC_RETURN_IF_ERROR(ExpectKeyword("exists"));
+      ARC_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+      ARC_ASSIGN_OR_RETURN(SelectPtr sub, SelectWithCtes());
+      ARC_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+      return MakeSqlExists(std::move(sub), negated);
+    }
+    ARC_ASSIGN_OR_RETURN(ExprPtr lhs, Additive());
+    // IS [NOT] NULL.
+    if (MatchKeyword("is")) {
+      const bool negated = MatchKeyword("not");
+      ARC_RETURN_IF_ERROR(ExpectKeyword("null"));
+      return MakeSqlIsNull(std::move(lhs), negated);
+    }
+    // [NOT] IN (subquery).
+    if (CheckKeyword("in") ||
+        (CheckKeyword("not") && CheckKeyword("in", 1))) {
+      const bool negated = MatchKeyword("not");
+      ARC_RETURN_IF_ERROR(ExpectKeyword("in"));
+      ARC_RETURN_IF_ERROR(Expect(Tok::kLParen, "'('"));
+      ARC_ASSIGN_OR_RETURN(SelectPtr sub, SelectWithCtes());
+      ARC_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+      return MakeSqlIn(std::move(lhs), std::move(sub), negated);
+    }
+    data::CmpOp op;
+    switch (Peek().tok) {
+      case Tok::kEq:
+        op = data::CmpOp::kEq;
+        break;
+      case Tok::kNe:
+        op = data::CmpOp::kNe;
+        break;
+      case Tok::kLt:
+        op = data::CmpOp::kLt;
+        break;
+      case Tok::kLe:
+        op = data::CmpOp::kLe;
+        break;
+      case Tok::kGt:
+        op = data::CmpOp::kGt;
+        break;
+      case Tok::kGe:
+        op = data::CmpOp::kGe;
+        break;
+      default:
+        return lhs;
+    }
+    Advance();
+    ARC_ASSIGN_OR_RETURN(ExprPtr rhs, Additive());
+    return MakeSqlCmp(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<ExprPtr> Additive() {
+    ARC_ASSIGN_OR_RETURN(ExprPtr lhs, Multiplicative());
+    while (Check(Tok::kPlus) || Check(Tok::kMinus)) {
+      const data::ArithOp op =
+          Check(Tok::kPlus) ? data::ArithOp::kAdd : data::ArithOp::kSub;
+      Advance();
+      ARC_ASSIGN_OR_RETURN(ExprPtr rhs, Multiplicative());
+      lhs = MakeSqlArith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> Multiplicative() {
+    ARC_ASSIGN_OR_RETURN(ExprPtr lhs, Primary());
+    while (Check(Tok::kStar) || Check(Tok::kSlash) || Check(Tok::kPercent)) {
+      data::ArithOp op = data::ArithOp::kMul;
+      if (Check(Tok::kSlash)) op = data::ArithOp::kDiv;
+      if (Check(Tok::kPercent)) op = data::ArithOp::kMod;
+      Advance();
+      ARC_ASSIGN_OR_RETURN(ExprPtr rhs, Primary());
+      lhs = MakeSqlArith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> Primary() {
+    const Token& t = Peek();
+    switch (t.tok) {
+      case Tok::kInt:
+        Advance();
+        return MakeSqlLiteral(data::Value::Int(t.int_value));
+      case Tok::kFloat:
+        Advance();
+        return MakeSqlLiteral(data::Value::Double(t.float_value));
+      case Tok::kString:
+        Advance();
+        return MakeSqlLiteral(data::Value::String(t.text));
+      case Tok::kMinus: {
+        Advance();
+        ARC_ASSIGN_OR_RETURN(ExprPtr inner, Primary());
+        if (inner->kind == ExprKind::kLiteral && inner->literal.is_numeric()) {
+          if (inner->literal.kind() == data::ValueKind::kInt) {
+            return MakeSqlLiteral(data::Value::Int(-inner->literal.as_int()));
+          }
+          return MakeSqlLiteral(
+              data::Value::Double(-inner->literal.as_double()));
+        }
+        return MakeSqlArith(data::ArithOp::kSub,
+                            MakeSqlLiteral(data::Value::Int(0)),
+                            std::move(inner));
+      }
+      case Tok::kLParen: {
+        Advance();
+        if (CheckKeyword("select") || CheckKeyword("with")) {
+          ARC_ASSIGN_OR_RETURN(SelectPtr sub, SelectWithCtes());
+          ARC_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+          return MakeSqlScalarSubquery(std::move(sub));
+        }
+        ARC_ASSIGN_OR_RETURN(ExprPtr inner, Expr_());
+        ARC_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+        return inner;
+      }
+      case Tok::kIdent: {
+        if (t.IsKeyword("null")) {
+          Advance();
+          return MakeSqlLiteral(data::Value::Null());
+        }
+        if (t.IsKeyword("true")) {
+          Advance();
+          return MakeSqlLiteral(data::Value::Bool(true));
+        }
+        if (t.IsKeyword("false")) {
+          Advance();
+          return MakeSqlLiteral(data::Value::Bool(false));
+        }
+        // Aggregate call?
+        auto agg = AggFuncFromName(t.text);
+        if (agg.has_value() && Check(Tok::kLParen, 1)) {
+          Advance();
+          Advance();
+          if (Match(Tok::kStar)) {
+            ARC_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+            if (*agg != AggFunc::kCount && *agg != AggFunc::kCountStar) {
+              return ErrorHere("only count accepts '*'");
+            }
+            return MakeSqlAgg(AggFunc::kCountStar, nullptr);
+          }
+          const bool distinct = MatchKeyword("distinct");
+          ARC_ASSIGN_OR_RETURN(ExprPtr arg, Expr_());
+          ARC_RETURN_IF_ERROR(Expect(Tok::kRParen, "')'"));
+          AggFunc f = *agg;
+          if (distinct) {
+            switch (f) {
+              case AggFunc::kCount:
+                f = AggFunc::kCountDistinct;
+                break;
+              case AggFunc::kSum:
+                f = AggFunc::kSumDistinct;
+                break;
+              case AggFunc::kAvg:
+                f = AggFunc::kAvgDistinct;
+                break;
+              case AggFunc::kMin:
+              case AggFunc::kMax:
+                break;  // DISTINCT is a no-op for min/max
+              default:
+                return ErrorHere("DISTINCT not supported for this aggregate");
+            }
+          }
+          return MakeSqlAgg(f, std::move(arg));
+        }
+        if (IsReserved(t.text)) return ErrorHere("expected an expression");
+        // Column reference.
+        Advance();
+        if (Match(Tok::kDot)) {
+          if (!Check(Tok::kIdent)) return ErrorHere("expected a column name");
+          const std::string column = Advance().text;
+          return MakeColumnRef(t.text, column);
+        }
+        return MakeColumnRef("", t.text);
+      }
+      default:
+        return ErrorHere("expected an expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectPtr> ParseSelect(std::string_view input) {
+  ARC_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexSql(input));
+  return SqlParser(std::move(tokens)).SelectOnly();
+}
+
+Result<ExprPtr> ParseExpr(std::string_view input) {
+  ARC_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexSql(input));
+  return SqlParser(std::move(tokens)).ExprOnly();
+}
+
+Result<std::vector<Statement>> ParseScript(std::string_view input) {
+  ARC_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexSql(input));
+  return SqlParser(std::move(tokens)).Script();
+}
+
+}  // namespace arc::sql

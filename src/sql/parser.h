@@ -1,0 +1,36 @@
+// Recursive-descent parser for the SQL subset (see sql/ast.h). Also parses
+// small scripts (CREATE TABLE / INSERT INTO … VALUES / SELECT) so examples
+// can load data through SQL.
+#ifndef ARC_SQL_PARSER_H_
+#define ARC_SQL_PARSER_H_
+
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace arc::sql {
+
+Result<SelectPtr> ParseSelect(std::string_view input);
+Result<ExprPtr> ParseExpr(std::string_view input);
+
+struct CreateTableStmt {
+  std::string name;
+  std::vector<std::string> columns;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<data::Value>> rows;
+};
+
+using Statement = std::variant<SelectPtr, CreateTableStmt, InsertStmt>;
+
+/// Parses a ';'-separated script of CREATE TABLE / INSERT / SELECT.
+Result<std::vector<Statement>> ParseScript(std::string_view input);
+
+}  // namespace arc::sql
+
+#endif  // ARC_SQL_PARSER_H_

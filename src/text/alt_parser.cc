@@ -1,0 +1,254 @@
+#include "text/alt_parser.h"
+
+#include <vector>
+
+#include "common/strings.h"
+#include "text/parser.h"
+
+namespace arc::text {
+
+namespace {
+
+struct Line {
+  int indent = 0;       // nesting depth in 2-space units
+  std::string content;  // trimmed text
+  int number = 0;       // 1-based source line (diagnostics)
+};
+
+Result<std::vector<Line>> SplitIndented(std::string_view input) {
+  std::vector<Line> lines;
+  int number = 0;
+  size_t pos = 0;
+  while (pos <= input.size()) {
+    const size_t end = input.find('\n', pos);
+    std::string_view raw = input.substr(
+        pos, end == std::string_view::npos ? std::string_view::npos
+                                           : end - pos);
+    ++number;
+    pos = end == std::string_view::npos ? input.size() + 1 : end + 1;
+    size_t spaces = 0;
+    while (spaces < raw.size() && raw[spaces] == ' ') ++spaces;
+    std::string_view content = raw.substr(spaces);
+    while (!content.empty() && (content.back() == '\r' || content.back() == ' ')) {
+      content.remove_suffix(1);
+    }
+    if (content.empty()) continue;
+    if (spaces % 2 != 0) {
+      return ParseError("odd indentation at line " + std::to_string(number));
+    }
+    lines.push_back({static_cast<int>(spaces / 2), std::string(content),
+                     number});
+  }
+  return lines;
+}
+
+class AltParser {
+ public:
+  explicit AltParser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+  Result<Program> Program_() {
+    Program program;
+    while (!AtEnd()) {
+      const Line& line = Peek();
+      if (line.content == "DEFINE" || line.content == "ABSTRACT DEFINE") {
+        const bool is_abstract = line.content[0] == 'A';
+        Advance();
+        ARC_ASSIGN_OR_RETURN(CollectionPtr coll, Collection_(line.indent));
+        Definition def;
+        def.kind = is_abstract ? DefKind::kAbstract : DefKind::kIntensional;
+        def.collection = std::move(coll);
+        program.definitions.push_back(std::move(def));
+        continue;
+      }
+      if (line.content == "COLLECTION") {
+        ARC_ASSIGN_OR_RETURN(program.main.collection, Collection_(line.indent));
+        break;
+      }
+      // Sentence: a bare formula tree.
+      ARC_ASSIGN_OR_RETURN(program.main.sentence, Formula_(line.indent));
+      break;
+    }
+    if (!AtEnd()) return ErrorHere("unexpected trailing content");
+    if (!program.main.collection && !program.main.sentence) {
+      return ParseError("empty ALT input");
+    }
+    return program;
+  }
+
+  Result<CollectionPtr> CollectionOnly() {
+    if (AtEnd()) return ParseError("empty ALT input");
+    ARC_ASSIGN_OR_RETURN(CollectionPtr coll, Collection_(Peek().indent));
+    if (!AtEnd()) return ErrorHere("unexpected trailing content");
+    return coll;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= lines_.size(); }
+  const Line& Peek() const { return lines_[pos_]; }
+  const Line& Advance() { return lines_[pos_++]; }
+
+  Status ErrorHere(const std::string& message) const {
+    if (AtEnd()) return ParseError(message + " at end of input");
+    return ParseError(message + " at line " + std::to_string(Peek().number) +
+                      ": '" + Peek().content + "'");
+  }
+
+  bool CheckAt(int indent, std::string_view prefix) const {
+    return !AtEnd() && Peek().indent == indent &&
+           StartsWith(Peek().content, prefix);
+  }
+
+  /// COLLECTION at `indent`, with HEAD and body at indent+1.
+  Result<CollectionPtr> Collection_(int indent) {
+    if (!CheckAt(indent, "COLLECTION")) return ErrorHere("expected COLLECTION");
+    Advance();
+    if (!CheckAt(indent + 1, "HEAD: ")) return ErrorHere("expected HEAD:");
+    const std::string head_text = Advance().content.substr(6);
+    Head head;
+    ARC_RETURN_IF_ERROR(ParseHead(head_text, &head));
+    ARC_ASSIGN_OR_RETURN(FormulaPtr body, Formula_(indent + 1));
+    return MakeCollection(std::move(head), std::move(body));
+  }
+
+  static Status ParseHead(const std::string& text, Head* head) {
+    const size_t open = text.find('(');
+    const size_t close = text.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      return ParseError("malformed HEAD '" + text + "'");
+    }
+    std::string name = text.substr(0, open);
+    // Strip quotes from operator-named relations.
+    if (name.size() >= 2 && name.front() == '"' && name.back() == '"') {
+      name = name.substr(1, name.size() - 2);
+    }
+    head->relation = name;
+    std::string attrs = text.substr(open + 1, close - open - 1);
+    size_t start = 0;
+    while (start <= attrs.size()) {
+      size_t comma = attrs.find(',', start);
+      std::string attr = attrs.substr(
+          start, comma == std::string::npos ? std::string::npos
+                                            : comma - start);
+      while (!attr.empty() && attr.front() == ' ') attr.erase(attr.begin());
+      while (!attr.empty() && attr.back() == ' ') attr.pop_back();
+      if (attr.empty()) return ParseError("empty attribute in HEAD");
+      head->attrs.push_back(std::move(attr));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    return Status::Ok();
+  }
+
+  Result<FormulaPtr> Formula_(int indent) {
+    if (AtEnd() || Peek().indent != indent) {
+      return ErrorHere("expected a formula node at depth " +
+                       std::to_string(indent));
+    }
+    const Line& line = Advance();
+    if (line.content == "AND" || line.content == "OR") {
+      std::vector<FormulaPtr> children;
+      while (!AtEnd() && Peek().indent == indent + 1) {
+        ARC_ASSIGN_OR_RETURN(FormulaPtr c, Formula_(indent + 1));
+        children.push_back(std::move(c));
+      }
+      return line.content == "AND" ? MakeAnd(std::move(children))
+                                   : MakeOr(std::move(children));
+    }
+    if (line.content == "NOT") {
+      ARC_ASSIGN_OR_RETURN(FormulaPtr child, Formula_(indent + 1));
+      return MakeNot(std::move(child));
+    }
+    if (StartsWith(line.content, "QUANTIFIER")) {
+      return Quantifier_(indent);
+    }
+    if (StartsWith(line.content, "PREDICATE: ")) {
+      return ParseFormula(line.content.substr(11));
+    }
+    return ParseError("unknown ALT node at line " +
+                      std::to_string(line.number) + ": '" + line.content +
+                      "'");
+  }
+
+  /// The QUANTIFIER line has been consumed; children are at indent+1.
+  Result<FormulaPtr> Quantifier_(int indent) {
+    auto q = std::make_unique<Quantifier>();
+    while (!AtEnd() && Peek().indent == indent + 1) {
+      const Line& line = Peek();
+      if (StartsWith(line.content, "BINDING: ")) {
+        Advance();
+        std::string spec = line.content.substr(9);
+        Binding b;
+        const size_t in_pos = spec.find(" in");
+        if (in_pos == std::string::npos) {
+          return ParseError("malformed BINDING at line " +
+                            std::to_string(line.number));
+        }
+        b.var = spec.substr(0, in_pos);
+        std::string range = spec.substr(in_pos + 3);
+        while (!range.empty() && range.front() == ' ') range.erase(range.begin());
+        if (range.empty()) {
+          // Nested collection follows at indent+2.
+          b.range_kind = RangeKind::kCollection;
+          ARC_ASSIGN_OR_RETURN(b.collection, Collection_(indent + 2));
+        } else {
+          b.range_kind = RangeKind::kNamed;
+          if (range.size() >= 2 && range.front() == '"' &&
+              range.back() == '"') {
+            range = range.substr(1, range.size() - 2);
+          }
+          b.relation = range;
+        }
+        q->bindings.push_back(std::move(b));
+        continue;
+      }
+      if (StartsWith(line.content, "GROUPING: ")) {
+        Advance();
+        Grouping grouping;
+        const std::string keys = line.content.substr(10);
+        if (keys != "()") {
+          size_t start = 0;
+          while (start <= keys.size()) {
+            size_t comma = keys.find(',', start);
+            std::string key = keys.substr(
+                start, comma == std::string::npos ? std::string::npos
+                                                  : comma - start);
+            ARC_ASSIGN_OR_RETURN(TermPtr term, ParseTerm(key));
+            grouping.keys.push_back(std::move(term));
+            if (comma == std::string::npos) break;
+            start = comma + 1;
+          }
+        }
+        q->grouping = std::move(grouping);
+        continue;
+      }
+      if (StartsWith(line.content, "JOIN: ")) {
+        Advance();
+        ARC_ASSIGN_OR_RETURN(q->join_tree,
+                             ParseJoinTree(line.content.substr(6)));
+        continue;
+      }
+      // Anything else is the body formula.
+      break;
+    }
+    ARC_ASSIGN_OR_RETURN(q->body, Formula_(indent + 1));
+    return MakeExists(std::move(q));
+  }
+
+  std::vector<Line> lines_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseAltProgram(std::string_view input) {
+  ARC_ASSIGN_OR_RETURN(std::vector<Line> lines, SplitIndented(input));
+  return AltParser(std::move(lines)).Program_();
+}
+
+Result<CollectionPtr> ParseAltCollection(std::string_view input) {
+  ARC_ASSIGN_OR_RETURN(std::vector<Line> lines, SplitIndented(input));
+  return AltParser(std::move(lines)).CollectionOnly();
+}
+
+}  // namespace arc::text

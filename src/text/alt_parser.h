@@ -1,0 +1,30 @@
+// Parser for the ALT tree modality — the indentation-structured machine
+// format produced by PrintAltProgram/PrintAltCollection:
+//
+//   COLLECTION
+//     HEAD: Q(A,sm)
+//     QUANTIFIER exists
+//       BINDING: r in R
+//       GROUPING: r.A
+//       AND
+//         PREDICATE: Q.A = r.A
+//         PREDICATE: Q.sm = sum(r.B)
+//
+// Together with the printer this makes the ALT a lossless, parseable
+// exchange format (the natural NL2SQL intermediate target of §4/§5).
+#ifndef ARC_TEXT_ALT_PARSER_H_
+#define ARC_TEXT_ALT_PARSER_H_
+
+#include <string_view>
+
+#include "arc/ast.h"
+#include "common/status.h"
+
+namespace arc::text {
+
+Result<Program> ParseAltProgram(std::string_view input);
+Result<CollectionPtr> ParseAltCollection(std::string_view input);
+
+}  // namespace arc::text
+
+#endif  // ARC_TEXT_ALT_PARSER_H_

@@ -1,0 +1,360 @@
+#include "text/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace arc::text {
+
+const char* TokenKindName(TokenKind k) {
+  switch (k) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kQuotedIdent:
+      return "quoted identifier";
+    case TokenKind::kInt:
+      return "integer";
+    case TokenKind::kFloat:
+      return "float";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'<>'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPercent:
+      return "'%'";
+    case TokenKind::kExists:
+      return "'exists'";
+    case TokenKind::kIn:
+      return "'in'";
+    case TokenKind::kAnd:
+      return "'and'";
+    case TokenKind::kOr:
+      return "'or'";
+    case TokenKind::kNot:
+      return "'not'";
+    case TokenKind::kGamma:
+      return "'gamma'";
+    case TokenKind::kIs:
+      return "'is'";
+    case TokenKind::kNull:
+      return "'null'";
+    case TokenKind::kTrue:
+      return "'true'";
+    case TokenKind::kFalse:
+      return "'false'";
+    case TokenKind::kInner:
+      return "'inner'";
+    case TokenKind::kLeftKw:
+      return "'left'";
+    case TokenKind::kFullKw:
+      return "'full'";
+    case TokenKind::kDefine:
+      return "'define'";
+    case TokenKind::kAbstract:
+      return "'abstract'";
+  }
+  return "?";
+}
+
+namespace {
+
+struct KeywordEntry {
+  const char* text;
+  TokenKind kind;
+};
+
+constexpr KeywordEntry kKeywords[] = {
+    {"exists", TokenKind::kExists}, {"in", TokenKind::kIn},
+    {"and", TokenKind::kAnd},       {"or", TokenKind::kOr},
+    {"not", TokenKind::kNot},       {"gamma", TokenKind::kGamma},
+    {"is", TokenKind::kIs},         {"null", TokenKind::kNull},
+    {"true", TokenKind::kTrue},     {"false", TokenKind::kFalse},
+    {"inner", TokenKind::kInner},   {"left", TokenKind::kLeftKw},
+    {"full", TokenKind::kFullKw},   {"define", TokenKind::kDefine},
+    {"abstract", TokenKind::kAbstract},
+};
+
+// UTF-8 sequences the lexer normalizes to keywords/operators.
+struct UnicodeEntry {
+  const char* utf8;
+  TokenKind kind;
+};
+
+constexpr UnicodeEntry kUnicode[] = {
+    {"∃", TokenKind::kExists},  // ∃
+    {"∈", TokenKind::kIn},      // ∈
+    {"∧", TokenKind::kAnd},     // ∧
+    {"∨", TokenKind::kOr},      // ∨
+    {"¬", TokenKind::kNot},     // ¬
+    {"γ", TokenKind::kGamma},   // γ
+    {"≤", TokenKind::kLe},      // ≤
+    {"≥", TokenKind::kGe},      // ≥
+    {"≠", TokenKind::kNe},      // ≠
+    {"∅", TokenKind::kIdent},   // ∅ → treated as empty key list marker
+};
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      Token t;
+      t.line = line_;
+      t.column = column_;
+      if (AtEnd()) {
+        t.kind = TokenKind::kEnd;
+        tokens.push_back(std::move(t));
+        return tokens;
+      }
+      ARC_RETURN_IF_ERROR(LexOne(&t));
+      tokens.push_back(std::move(t));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    const char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '#' || (c == '-' && Peek(1) == '-')) {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status ErrorHere(const std::string& message) const {
+    return ParseError(message + " at " + std::to_string(line_) + ":" +
+                      std::to_string(column_));
+  }
+
+  bool TryUnicode(Token* t) {
+    for (const UnicodeEntry& e : kUnicode) {
+      const std::string_view u(e.utf8);
+      if (input_.substr(pos_).substr(0, u.size()) == u) {
+        for (size_t i = 0; i < u.size(); ++i) Advance();
+        t->kind = e.kind;
+        if (e.kind == TokenKind::kIdent) t->text = e.utf8;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Status LexOne(Token* t) {
+    if (TryUnicode(t)) return Status::Ok();
+    const char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      std::string ident;
+      while (!AtEnd()) {
+        const char p = Peek();
+        if (std::isalnum(static_cast<unsigned char>(p)) || p == '_' ||
+            p == '$') {
+          ident += Advance();
+        } else {
+          break;
+        }
+      }
+      for (const KeywordEntry& k : kKeywords) {
+        if (EqualsIgnoreCase(ident, k.text)) {
+          t->kind = k.kind;
+          t->text = ident;
+          return Status::Ok();
+        }
+      }
+      t->kind = TokenKind::kIdent;
+      t->text = std::move(ident);
+      return Status::Ok();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      bool is_float = false;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        num += Advance();
+      }
+      if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+        is_float = true;
+        num += Advance();
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          num += Advance();
+        }
+      }
+      if (Peek() == 'e' || Peek() == 'E') {
+        is_float = true;
+        num += Advance();
+        if (Peek() == '+' || Peek() == '-') num += Advance();
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          num += Advance();
+        }
+      }
+      if (is_float) {
+        t->kind = TokenKind::kFloat;
+        t->float_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        t->kind = TokenKind::kInt;
+        t->int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      return Status::Ok();
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = Advance();
+      std::string payload;
+      while (!AtEnd() && Peek() != quote) {
+        payload += Advance();
+      }
+      if (AtEnd()) return ErrorHere("unterminated string");
+      Advance();  // closing quote
+      t->kind = quote == '\'' ? TokenKind::kString : TokenKind::kQuotedIdent;
+      t->text = std::move(payload);
+      return Status::Ok();
+    }
+    Advance();
+    switch (c) {
+      case '{':
+        t->kind = TokenKind::kLBrace;
+        return Status::Ok();
+      case '}':
+        t->kind = TokenKind::kRBrace;
+        return Status::Ok();
+      case '(':
+        t->kind = TokenKind::kLParen;
+        return Status::Ok();
+      case ')':
+        t->kind = TokenKind::kRParen;
+        return Status::Ok();
+      case '[':
+        t->kind = TokenKind::kLBracket;
+        return Status::Ok();
+      case ']':
+        t->kind = TokenKind::kRBracket;
+        return Status::Ok();
+      case ',':
+        t->kind = TokenKind::kComma;
+        return Status::Ok();
+      case '.':
+        t->kind = TokenKind::kDot;
+        return Status::Ok();
+      case '|':
+        t->kind = TokenKind::kPipe;
+        return Status::Ok();
+      case '=':
+        t->kind = TokenKind::kEq;
+        return Status::Ok();
+      case '<':
+        if (Peek() == '=') {
+          Advance();
+          t->kind = TokenKind::kLe;
+        } else if (Peek() == '>') {
+          Advance();
+          t->kind = TokenKind::kNe;
+        } else {
+          t->kind = TokenKind::kLt;
+        }
+        return Status::Ok();
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          t->kind = TokenKind::kGe;
+        } else {
+          t->kind = TokenKind::kGt;
+        }
+        return Status::Ok();
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          t->kind = TokenKind::kNe;
+          return Status::Ok();
+        }
+        return ErrorHere("unexpected '!'");
+      case '+':
+        t->kind = TokenKind::kPlus;
+        return Status::Ok();
+      case '-':
+        t->kind = TokenKind::kMinus;
+        return Status::Ok();
+      case '*':
+        t->kind = TokenKind::kStar;
+        return Status::Ok();
+      case '/':
+        t->kind = TokenKind::kSlash;
+        return Status::Ok();
+      case '%':
+        t->kind = TokenKind::kPercent;
+        return Status::Ok();
+      default:
+        return ErrorHere(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view input) {
+  return LexerImpl(input).Run();
+}
+
+}  // namespace arc::text

@@ -1,0 +1,79 @@
+// Lexer for the ARC comprehension syntax. Accepts both the ASCII spelling
+// (exists/in/and/or/not/gamma) and the paper's Unicode notation
+// (∃, ∈, ∧, ∨, ¬, γ, ≤, ≥, ≠), which normalize to the same tokens.
+#ifndef ARC_TEXT_LEXER_H_
+#define ARC_TEXT_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace arc::text {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,        // foo, _x, $1
+  kQuotedIdent,  // "..." — relation names like "*"
+  kInt,
+  kFloat,
+  kString,  // '...'
+  // Punctuation.
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kDot,
+  kPipe,
+  // Operators.
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  // Keywords (case-insensitive).
+  kExists,
+  kIn,
+  kAnd,
+  kOr,
+  kNot,
+  kGamma,
+  kIs,
+  kNull,
+  kTrue,
+  kFalse,
+  kInner,
+  kLeftKw,
+  kFullKw,
+  kDefine,
+  kAbstract,
+};
+
+const char* TokenKindName(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier / quoted-identifier / string payload
+  int64_t int_value = 0;  // kInt
+  double float_value = 0; // kFloat
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes `input`; the final token is always kEnd.
+Result<std::vector<Token>> Lex(std::string_view input);
+
+}  // namespace arc::text
+
+#endif  // ARC_TEXT_LEXER_H_

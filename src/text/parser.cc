@@ -1,0 +1,476 @@
+#include "text/parser.h"
+
+#include <vector>
+
+#include "text/lexer.h"
+
+namespace arc::text {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> Program_() {
+    Program program;
+    while (true) {
+      if (Check(TokenKind::kAbstract)) {
+        Advance();
+        ARC_RETURN_IF_ERROR(Expect(TokenKind::kDefine));
+        ARC_ASSIGN_OR_RETURN(CollectionPtr c, Collection_());
+        Definition def;
+        def.kind = DefKind::kAbstract;
+        def.collection = std::move(c);
+        program.definitions.push_back(std::move(def));
+      } else if (Check(TokenKind::kDefine)) {
+        Advance();
+        ARC_ASSIGN_OR_RETURN(CollectionPtr c, Collection_());
+        Definition def;
+        def.kind = DefKind::kIntensional;
+        def.collection = std::move(c);
+        program.definitions.push_back(std::move(def));
+      } else {
+        break;
+      }
+    }
+    if (Check(TokenKind::kLBrace)) {
+      ARC_ASSIGN_OR_RETURN(program.main.collection, Collection_());
+    } else {
+      ARC_ASSIGN_OR_RETURN(program.main.sentence, Formula_());
+    }
+    ARC_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+    return program;
+  }
+
+  Result<CollectionPtr> CollectionOnly() {
+    ARC_ASSIGN_OR_RETURN(CollectionPtr c, Collection_());
+    ARC_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+    return c;
+  }
+
+  Result<FormulaPtr> FormulaOnly() {
+    ARC_ASSIGN_OR_RETURN(FormulaPtr f, Formula_());
+    ARC_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+    return f;
+  }
+
+  Result<TermPtr> TermOnly() {
+    ARC_ASSIGN_OR_RETURN(TermPtr t, Term_());
+    ARC_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+    return t;
+  }
+
+  Result<JoinNodePtr> JoinTreeOnly() {
+    ARC_ASSIGN_OR_RETURN(JoinNodePtr t, JoinTree_());
+    ARC_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+    return t;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool Check(TokenKind k, size_t ahead = 0) const {
+    return Peek(ahead).kind == k;
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(TokenKind k) {
+    if (Check(k)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ErrorAt(const Token& t, const std::string& message) const {
+    return ParseError(message + " at " + std::to_string(t.line) + ":" +
+                      std::to_string(t.column));
+  }
+
+  Status Expect(TokenKind k) {
+    if (Match(k)) return Status::Ok();
+    return ErrorAt(Peek(), std::string("expected ") + TokenKindName(k) +
+                               ", found " + TokenKindName(Peek().kind));
+  }
+
+  /// Identifier-like token usable as a name; keywords are allowed where a
+  /// name is expected after a dot (e.g. Minus.left).
+  Result<std::string> NameToken(bool allow_keywords) {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIdent:
+      case TokenKind::kQuotedIdent:
+        Advance();
+        return t.text;
+      default:
+        if (allow_keywords && !t.text.empty()) {
+          Advance();
+          return t.text;
+        }
+        return ErrorAt(t, std::string("expected a name, found ") +
+                              TokenKindName(t.kind));
+    }
+  }
+
+  // ---- collections ---------------------------------------------------------
+
+  Result<CollectionPtr> Collection_() {
+    ARC_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    Head head;
+    ARC_ASSIGN_OR_RETURN(head.relation, NameToken(/*allow_keywords=*/false));
+    ARC_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    while (true) {
+      ARC_ASSIGN_OR_RETURN(std::string attr, NameToken(/*allow_keywords=*/true));
+      head.attrs.push_back(std::move(attr));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    ARC_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    ARC_RETURN_IF_ERROR(Expect(TokenKind::kPipe));
+    ARC_ASSIGN_OR_RETURN(FormulaPtr body, Formula_());
+    ARC_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    return MakeCollection(std::move(head), std::move(body));
+  }
+
+  // ---- formulas -------------------------------------------------------------
+
+  Result<FormulaPtr> Formula_() {
+    ARC_ASSIGN_OR_RETURN(FormulaPtr first, Conj_());
+    if (!Check(TokenKind::kOr)) return first;
+    std::vector<FormulaPtr> children;
+    children.push_back(std::move(first));
+    while (Match(TokenKind::kOr)) {
+      ARC_ASSIGN_OR_RETURN(FormulaPtr next, Conj_());
+      children.push_back(std::move(next));
+    }
+    return MakeOr(std::move(children));
+  }
+
+  Result<FormulaPtr> Conj_() {
+    ARC_ASSIGN_OR_RETURN(FormulaPtr first, Unary_());
+    if (!Check(TokenKind::kAnd)) return first;
+    std::vector<FormulaPtr> children;
+    children.push_back(std::move(first));
+    while (Match(TokenKind::kAnd)) {
+      ARC_ASSIGN_OR_RETURN(FormulaPtr next, Unary_());
+      children.push_back(std::move(next));
+    }
+    return MakeAnd(std::move(children));
+  }
+
+  Result<FormulaPtr> Unary_() {
+    if (Match(TokenKind::kNot)) {
+      ARC_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      ARC_ASSIGN_OR_RETURN(FormulaPtr inner, Formula_());
+      ARC_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return MakeNot(std::move(inner));
+    }
+    if (Check(TokenKind::kExists)) return Exists_();
+    if (Check(TokenKind::kLParen)) {
+      // Could be a parenthesized formula or a parenthesized term starting a
+      // predicate; try the formula reading first and backtrack on failure.
+      const size_t saved = pos_;
+      Advance();
+      auto inner = Formula_();
+      if (inner.ok() && Match(TokenKind::kRParen)) {
+        // Ensure this is not actually a term: a formula followed by a
+        // comparison operator means we mis-parsed.
+        if (!CheckCmpStart()) return std::move(inner).value();
+      }
+      pos_ = saved;
+    }
+    return Predicate_();
+  }
+
+  bool CheckCmpStart() const {
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+      case TokenKind::kNe:
+      case TokenKind::kLt:
+      case TokenKind::kLe:
+      case TokenKind::kGt:
+      case TokenKind::kGe:
+      case TokenKind::kIs:
+      case TokenKind::kPlus:
+      case TokenKind::kMinus:
+      case TokenKind::kStar:
+      case TokenKind::kSlash:
+      case TokenKind::kPercent:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Result<FormulaPtr> Exists_() {
+    ARC_RETURN_IF_ERROR(Expect(TokenKind::kExists));
+    auto quantifier = std::make_unique<Quantifier>();
+    while (true) {
+      if (Check(TokenKind::kGamma)) {
+        Advance();
+        if (quantifier->grouping.has_value()) {
+          return ErrorAt(Peek(), "multiple grouping operators in one scope");
+        }
+        Grouping grouping;
+        if (Match(TokenKind::kLParen)) {
+          if (!Check(TokenKind::kRParen)) {
+            while (true) {
+              ARC_ASSIGN_OR_RETURN(TermPtr key, Term_());
+              grouping.keys.push_back(std::move(key));
+              if (!Match(TokenKind::kComma)) break;
+            }
+          }
+          ARC_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        } else if (Check(TokenKind::kIdent) && Peek().text == "∅") {
+          Advance();  // γ∅ — bare empty-set subscript
+        }
+        quantifier->grouping = std::move(grouping);
+      } else if ((Check(TokenKind::kInner) || Check(TokenKind::kLeftKw) ||
+                  Check(TokenKind::kFullKw)) &&
+                 Check(TokenKind::kLParen, 1)) {
+        if (quantifier->join_tree) {
+          return ErrorAt(Peek(), "multiple join annotations in one scope");
+        }
+        ARC_ASSIGN_OR_RETURN(quantifier->join_tree, JoinTree_());
+      } else {
+        Binding binding;
+        ARC_ASSIGN_OR_RETURN(binding.var, NameToken(/*allow_keywords=*/false));
+        ARC_RETURN_IF_ERROR(Expect(TokenKind::kIn));
+        if (Check(TokenKind::kLBrace)) {
+          binding.range_kind = RangeKind::kCollection;
+          ARC_ASSIGN_OR_RETURN(binding.collection, Collection_());
+        } else {
+          binding.range_kind = RangeKind::kNamed;
+          ARC_ASSIGN_OR_RETURN(binding.relation,
+                               NameToken(/*allow_keywords=*/false));
+        }
+        quantifier->bindings.push_back(std::move(binding));
+      }
+      if (!Match(TokenKind::kComma)) break;
+    }
+    ARC_RETURN_IF_ERROR(Expect(TokenKind::kLBracket));
+    ARC_ASSIGN_OR_RETURN(quantifier->body, Formula_());
+    ARC_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+    return MakeExists(std::move(quantifier));
+  }
+
+  Result<JoinNodePtr> JoinTree_() {
+    JoinKind kind;
+    if (Match(TokenKind::kInner)) {
+      kind = JoinKind::kInner;
+    } else if (Match(TokenKind::kLeftKw)) {
+      kind = JoinKind::kLeft;
+    } else if (Match(TokenKind::kFullKw)) {
+      kind = JoinKind::kFull;
+    } else {
+      return ErrorAt(Peek(), "expected a join annotation");
+    }
+    ARC_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    std::vector<JoinNodePtr> children;
+    while (true) {
+      ARC_ASSIGN_OR_RETURN(JoinNodePtr leaf, JoinLeaf_());
+      children.push_back(std::move(leaf));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    ARC_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    if (kind != JoinKind::kInner && children.size() != 2) {
+      return ErrorAt(Peek(), "left/full join annotations take two operands");
+    }
+    auto node = std::make_unique<JoinNode>();
+    node->kind = kind;
+    node->children = std::move(children);
+    return node;
+  }
+
+  Result<JoinNodePtr> JoinLeaf_() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInner:
+      case TokenKind::kLeftKw:
+      case TokenKind::kFullKw:
+        return JoinTree_();
+      case TokenKind::kIdent:
+        Advance();
+        return MakeJoinVar(t.text);
+      case TokenKind::kInt:
+        Advance();
+        return MakeJoinLiteral(data::Value::Int(t.int_value));
+      case TokenKind::kFloat:
+        Advance();
+        return MakeJoinLiteral(data::Value::Double(t.float_value));
+      case TokenKind::kString:
+        Advance();
+        return MakeJoinLiteral(data::Value::String(t.text));
+      default:
+        return ErrorAt(t, "expected a join operand");
+    }
+  }
+
+  Result<FormulaPtr> Predicate_() {
+    ARC_ASSIGN_OR_RETURN(TermPtr lhs, Term_());
+    if (Match(TokenKind::kIs)) {
+      const bool negated = Match(TokenKind::kNot);
+      ARC_RETURN_IF_ERROR(Expect(TokenKind::kNull));
+      return MakeNullTest(std::move(lhs), negated);
+    }
+    data::CmpOp op;
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kEq:
+        op = data::CmpOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = data::CmpOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = data::CmpOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = data::CmpOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = data::CmpOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = data::CmpOp::kGe;
+        break;
+      default:
+        return ErrorAt(t, std::string("expected a comparison operator, found ") +
+                              TokenKindName(t.kind));
+    }
+    Advance();
+    ARC_ASSIGN_OR_RETURN(TermPtr rhs, Term_());
+    return MakePredicate(op, std::move(lhs), std::move(rhs));
+  }
+
+  // ---- terms ------------------------------------------------------------
+
+  Result<TermPtr> Term_() { return Additive_(); }
+
+  Result<TermPtr> Additive_() {
+    ARC_ASSIGN_OR_RETURN(TermPtr lhs, Multiplicative_());
+    while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+      const data::ArithOp op = Check(TokenKind::kPlus) ? data::ArithOp::kAdd
+                                                       : data::ArithOp::kSub;
+      Advance();
+      ARC_ASSIGN_OR_RETURN(TermPtr rhs, Multiplicative_());
+      lhs = MakeArith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<TermPtr> Multiplicative_() {
+    ARC_ASSIGN_OR_RETURN(TermPtr lhs, Primary_());
+    while (Check(TokenKind::kStar) || Check(TokenKind::kSlash) ||
+           Check(TokenKind::kPercent)) {
+      data::ArithOp op = data::ArithOp::kMul;
+      if (Check(TokenKind::kSlash)) op = data::ArithOp::kDiv;
+      if (Check(TokenKind::kPercent)) op = data::ArithOp::kMod;
+      Advance();
+      ARC_ASSIGN_OR_RETURN(TermPtr rhs, Primary_());
+      lhs = MakeArith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<TermPtr> Primary_() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInt:
+        Advance();
+        return MakeLiteral(data::Value::Int(t.int_value));
+      case TokenKind::kFloat:
+        Advance();
+        return MakeLiteral(data::Value::Double(t.float_value));
+      case TokenKind::kString:
+        Advance();
+        return MakeLiteral(data::Value::String(t.text));
+      case TokenKind::kNull:
+        Advance();
+        return MakeLiteral(data::Value::Null());
+      case TokenKind::kTrue:
+        Advance();
+        return MakeLiteral(data::Value::Bool(true));
+      case TokenKind::kFalse:
+        Advance();
+        return MakeLiteral(data::Value::Bool(false));
+      case TokenKind::kMinus: {
+        Advance();
+        ARC_ASSIGN_OR_RETURN(TermPtr inner, Primary_());
+        if (inner->kind == TermKind::kLiteral && inner->literal.is_numeric()) {
+          if (inner->literal.kind() == data::ValueKind::kInt) {
+            return MakeLiteral(data::Value::Int(-inner->literal.as_int()));
+          }
+          return MakeLiteral(data::Value::Double(-inner->literal.as_double()));
+        }
+        return MakeArith(data::ArithOp::kSub,
+                         MakeLiteral(data::Value::Int(0)), std::move(inner));
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        ARC_ASSIGN_OR_RETURN(TermPtr inner, Term_());
+        ARC_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return inner;
+      }
+      case TokenKind::kIdent: {
+        // Aggregate call?
+        auto agg = AggFuncFromName(t.text);
+        if (agg.has_value() && Check(TokenKind::kLParen, 1)) {
+          Advance();
+          Advance();
+          if (Match(TokenKind::kStar)) {
+            ARC_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+            if (*agg != AggFunc::kCount && *agg != AggFunc::kCountStar) {
+              return ErrorAt(t, "only count accepts '*'");
+            }
+            return MakeAggregate(AggFunc::kCountStar, nullptr);
+          }
+          ARC_ASSIGN_OR_RETURN(TermPtr arg, Term_());
+          ARC_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+          return MakeAggregate(*agg, std::move(arg));
+        }
+        // Attribute reference var.attr.
+        Advance();
+        ARC_RETURN_IF_ERROR(Expect(TokenKind::kDot));
+        ARC_ASSIGN_OR_RETURN(std::string attr, NameToken(/*allow_keywords=*/true));
+        return MakeAttrRef(t.text, std::move(attr));
+      }
+      default:
+        return ErrorAt(t, std::string("expected a term, found ") +
+                              TokenKindName(t.kind));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view input) {
+  ARC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  return Parser(std::move(tokens)).Program_();
+}
+
+Result<CollectionPtr> ParseCollection(std::string_view input) {
+  ARC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  return Parser(std::move(tokens)).CollectionOnly();
+}
+
+Result<FormulaPtr> ParseFormula(std::string_view input) {
+  ARC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  return Parser(std::move(tokens)).FormulaOnly();
+}
+
+Result<TermPtr> ParseTerm(std::string_view input) {
+  ARC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  return Parser(std::move(tokens)).TermOnly();
+}
+
+Result<JoinNodePtr> ParseJoinTree(std::string_view input) {
+  ARC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  return Parser(std::move(tokens)).JoinTreeOnly();
+}
+
+}  // namespace arc::text

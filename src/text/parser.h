@@ -1,0 +1,43 @@
+// Recursive-descent parser for the ARC comprehension syntax (the textual
+// modality). Grammar (ASCII spellings; Unicode equivalents accepted):
+//
+//   program    := definition* query
+//   definition := ["abstract"] "define" collection
+//   query      := collection | formula            -- formula = Boolean sentence
+//   collection := "{" head "|" formula "}"
+//   head       := relname "(" ident ("," ident)* ")"
+//   formula    := conj ("or" conj)*
+//   conj       := unary ("and" unary)*
+//   unary      := "not" "(" formula ")" | exists | "(" formula ")" | predicate
+//   exists     := "exists" spec ("," spec)* "[" formula "]"
+//   spec       := ident "in" (relname | collection)     -- binding
+//               | "gamma" ["(" [term ("," term)*] ")"]  -- grouping (γ∅ = gamma())
+//               | jointree                              -- join annotation
+//   jointree   := ("inner"|"left"|"full") "(" joinleaf ("," joinleaf)* ")"
+//   joinleaf   := ident | literal | jointree
+//   predicate  := term cmp term | term "is" ["not"] "null"
+//   relname    := ident | quoted-ident               -- "\"*\"" for operators
+//
+// Terms support attribute references (var.attr), literals, arithmetic with
+// the usual precedence, unary minus, and aggregate calls
+// (sum/count/avg/min/max/countdistinct/..., count(*)).
+#ifndef ARC_TEXT_PARSER_H_
+#define ARC_TEXT_PARSER_H_
+
+#include <string_view>
+
+#include "arc/ast.h"
+#include "common/status.h"
+
+namespace arc::text {
+
+Result<Program> ParseProgram(std::string_view input);
+Result<CollectionPtr> ParseCollection(std::string_view input);
+Result<FormulaPtr> ParseFormula(std::string_view input);
+Result<TermPtr> ParseTerm(std::string_view input);
+/// Parses a standalone join annotation, e.g. "left(r, inner(11, s))".
+Result<JoinNodePtr> ParseJoinTree(std::string_view input);
+
+}  // namespace arc::text
+
+#endif  // ARC_TEXT_PARSER_H_

@@ -1,0 +1,350 @@
+#include "text/printer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace arc::text {
+
+namespace {
+
+struct Keywords {
+  const char* exists;
+  const char* in;
+  const char* and_;
+  const char* or_;
+  const char* not_;
+  const char* gamma;
+};
+
+Keywords KeywordsFor(const PrintOptions& options) {
+  if (options.unicode) {
+    return {"∃", "∈", "∧", "∨", "¬", "γ"};
+  }
+  return {"exists", "in", "and", "or", "not", "gamma"};
+}
+
+// Operator-named relations ("*", "-") are printed quoted so the parser can
+// read them back as relation names.
+std::string RelationName(const std::string& name) {
+  const bool identifier_like =
+      !name.empty() &&
+      (std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_');
+  if (identifier_like) return name;
+  return "\"" + name + "\"";
+}
+
+// Attribute names like "$1" need no quoting (the lexer accepts $-idents).
+
+int TermPrecedence(const Term& t) {
+  if (t.kind != TermKind::kArith) return 3;
+  switch (t.arith_op) {
+    case data::ArithOp::kMul:
+    case data::ArithOp::kDiv:
+    case data::ArithOp::kMod:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+std::string TermToString(const Term& t, const PrintOptions& options);
+
+std::string TermChild(const Term& parent, const Term& child,
+                      const PrintOptions& options, bool right_side) {
+  std::string s = TermToString(child, options);
+  const int pp = TermPrecedence(parent);
+  const int cp = TermPrecedence(child);
+  // Parenthesize lower-precedence children, and right children of equal
+  // precedence (a - (b - c)).
+  if (cp < pp || (right_side && cp == pp && child.kind == TermKind::kArith)) {
+    return "(" + s + ")";
+  }
+  return s;
+}
+
+std::string TermToString(const Term& t, const PrintOptions& options) {
+  switch (t.kind) {
+    case TermKind::kAttrRef:
+      return t.var + "." + t.attr;
+    case TermKind::kLiteral:
+      return t.literal.ToString();
+    case TermKind::kArith:
+      return TermChild(t, *t.lhs, options, false) + " " +
+             data::ArithOpSymbol(t.arith_op) + " " +
+             TermChild(t, *t.rhs, options, true);
+    case TermKind::kAggregate: {
+      if (t.agg_func == AggFunc::kCountStar) return "count(*)";
+      return std::string(AggFuncName(t.agg_func)) + "(" +
+             TermToString(*t.agg_arg, options) + ")";
+    }
+  }
+  return "?";
+}
+
+std::string JoinTreeToString(const JoinNode& n, const PrintOptions& options) {
+  switch (n.kind) {
+    case JoinKind::kVarLeaf:
+      return n.var;
+    case JoinKind::kLiteralLeaf:
+      return n.literal.ToString();
+    case JoinKind::kInner:
+    case JoinKind::kLeft:
+    case JoinKind::kFull: {
+      const char* name = n.kind == JoinKind::kInner
+                             ? "inner"
+                             : (n.kind == JoinKind::kLeft ? "left" : "full");
+      return std::string(name) + "(" +
+             JoinMapped(n.children, ", ",
+                        [&](const JoinNodePtr& c) {
+                          return JoinTreeToString(*c, options);
+                        }) +
+             ")";
+    }
+  }
+  return "?";
+}
+
+// Formula precedence: or(1) < and(2) < unary(3).
+int FormulaPrecedence(const Formula& f) {
+  switch (f.kind) {
+    case FormulaKind::kOr:
+      return 1;
+    case FormulaKind::kAnd:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+std::string FormulaToString(const Formula& f, const PrintOptions& options);
+std::string CollectionToString(const Collection& c, const PrintOptions& options);
+
+std::string FormulaChild(const Formula& f, const PrintOptions& options,
+                         int parent_precedence) {
+  std::string s = FormulaToString(f, options);
+  if (FormulaPrecedence(f) < parent_precedence) return "(" + s + ")";
+  return s;
+}
+
+std::string QuantifierToString(const Quantifier& q,
+                               const PrintOptions& options) {
+  const Keywords kw = KeywordsFor(options);
+  std::string out = kw.exists;
+  out += " ";
+  bool first = true;
+  for (const Binding& b : q.bindings) {
+    if (!first) out += ", ";
+    first = false;
+    out += b.var;
+    out += " ";
+    out += kw.in;
+    out += " ";
+    if (b.range_kind == RangeKind::kNamed) {
+      out += RelationName(b.relation);
+    } else {
+      out += CollectionToString(*b.collection, options);
+    }
+  }
+  if (q.grouping.has_value()) {
+    out += ", ";
+    out += kw.gamma;
+    out += "(";
+    out += JoinMapped(q.grouping->keys, ", ", [&](const TermPtr& k) {
+      return TermToString(*k, options);
+    });
+    out += ")";
+  }
+  if (q.join_tree) {
+    out += ", ";
+    out += JoinTreeToString(*q.join_tree, options);
+  }
+  out += " [";
+  out += FormulaToString(*q.body, options);
+  out += "]";
+  return out;
+}
+
+std::string FormulaToString(const Formula& f, const PrintOptions& options) {
+  const Keywords kw = KeywordsFor(options);
+  switch (f.kind) {
+    case FormulaKind::kAnd:
+      if (f.children.empty()) return "true";
+      return JoinMapped(f.children, std::string(" ") + kw.and_ + " ",
+                        [&](const FormulaPtr& c) {
+                          return FormulaChild(*c, options, 2);
+                        });
+    case FormulaKind::kOr:
+      if (f.children.empty()) return "false";
+      return JoinMapped(f.children, std::string(" ") + kw.or_ + " ",
+                        [&](const FormulaPtr& c) {
+                          return FormulaChild(*c, options, 1);
+                        });
+    case FormulaKind::kNot:
+      return std::string(kw.not_) + "(" + FormulaToString(*f.child, options) +
+             ")";
+    case FormulaKind::kExists:
+      return QuantifierToString(*f.quantifier, options);
+    case FormulaKind::kPredicate:
+      return TermToString(*f.lhs, options) + " " +
+             data::CmpOpSymbol(f.cmp_op) + " " +
+             TermToString(*f.rhs, options);
+    case FormulaKind::kNullTest:
+      return TermToString(*f.null_arg, options) +
+             (f.null_negated ? " is not null" : " is null");
+  }
+  return "?";
+}
+
+std::string CollectionToString(const Collection& c,
+                               const PrintOptions& options) {
+  std::string out = "{";
+  out += RelationName(c.head.relation);
+  out += "(";
+  out += Join(c.head.attrs, ", ");
+  out += ") | ";
+  out += FormulaToString(*c.body, options);
+  out += "}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ALT modality
+// ---------------------------------------------------------------------------
+
+class AltPrinter {
+ public:
+  std::string Print(const Collection& c) {
+    Collection_(c, 0);
+    return std::move(out_);
+  }
+
+  std::string Print(const Formula& f) {
+    Formula_(f, 0);
+    return std::move(out_);
+  }
+
+ private:
+  void Line(int depth, const std::string& text) {
+    out_ += Repeat("  ", depth);
+    out_ += text;
+    out_ += "\n";
+  }
+
+  void Collection_(const Collection& c, int depth) {
+    Line(depth, "COLLECTION");
+    Line(depth + 1, "HEAD: " + RelationName(c.head.relation) + "(" +
+                        Join(c.head.attrs, ",") + ")");
+    Formula_(*c.body, depth + 1);
+  }
+
+  void Formula_(const Formula& f, int depth) {
+    const PrintOptions opts;
+    switch (f.kind) {
+      case FormulaKind::kAnd:
+        Line(depth, "AND");
+        for (const FormulaPtr& c : f.children) Formula_(*c, depth + 1);
+        return;
+      case FormulaKind::kOr:
+        Line(depth, "OR");
+        for (const FormulaPtr& c : f.children) Formula_(*c, depth + 1);
+        return;
+      case FormulaKind::kNot:
+        Line(depth, "NOT");
+        Formula_(*f.child, depth + 1);
+        return;
+      case FormulaKind::kExists: {
+        const Quantifier& q = *f.quantifier;
+        Line(depth, "QUANTIFIER exists");
+        for (const Binding& b : q.bindings) {
+          if (b.range_kind == RangeKind::kNamed) {
+            Line(depth + 1, "BINDING: " + b.var + " in " +
+                                RelationName(b.relation));
+          } else {
+            Line(depth + 1, "BINDING: " + b.var + " in");
+            Collection_(*b.collection, depth + 2);
+          }
+        }
+        if (q.grouping.has_value()) {
+          Line(depth + 1,
+               "GROUPING: " +
+                   (q.grouping->keys.empty()
+                        ? std::string("()")
+                        : JoinMapped(q.grouping->keys, ", ",
+                                     [&](const TermPtr& k) {
+                                       return TermToString(*k, opts);
+                                     })));
+        }
+        if (q.join_tree) {
+          Line(depth + 1, "JOIN: " + JoinTreeToString(*q.join_tree, opts));
+        }
+        Formula_(*q.body, depth + 1);
+        return;
+      }
+      case FormulaKind::kPredicate:
+      case FormulaKind::kNullTest:
+        Line(depth, "PREDICATE: " + FormulaToString(f, opts));
+        return;
+    }
+  }
+
+  std::string out_;
+};
+
+}  // namespace
+
+std::string PrintTerm(const Term& term, const PrintOptions& options) {
+  return TermToString(term, options);
+}
+
+std::string PrintFormula(const Formula& formula, const PrintOptions& options) {
+  return FormulaToString(formula, options);
+}
+
+std::string PrintCollection(const Collection& collection,
+                            const PrintOptions& options) {
+  return CollectionToString(collection, options);
+}
+
+std::string PrintJoinTree(const JoinNode& node, const PrintOptions& options) {
+  return JoinTreeToString(node, options);
+}
+
+std::string PrintProgram(const Program& program, const PrintOptions& options) {
+  std::string out;
+  for (const Definition& d : program.definitions) {
+    out += d.kind == DefKind::kAbstract ? "abstract define " : "define ";
+    out += CollectionToString(*d.collection, options);
+    out += "\n";
+  }
+  if (program.main.collection) {
+    out += CollectionToString(*program.main.collection, options);
+  } else if (program.main.sentence) {
+    out += FormulaToString(*program.main.sentence, options);
+  }
+  return out;
+}
+
+std::string PrintAltCollection(const Collection& collection) {
+  return AltPrinter().Print(collection);
+}
+
+std::string PrintAltFormula(const Formula& formula) {
+  return AltPrinter().Print(formula);
+}
+
+std::string PrintAltProgram(const Program& program) {
+  std::string out;
+  for (const Definition& d : program.definitions) {
+    out += d.kind == DefKind::kAbstract ? "ABSTRACT DEFINE\n" : "DEFINE\n";
+    out += AltPrinter().Print(*d.collection);
+  }
+  if (program.main.collection) {
+    out += AltPrinter().Print(*program.main.collection);
+  } else if (program.main.sentence) {
+    out += AltPrinter().Print(*program.main.sentence);
+  }
+  return out;
+}
+
+}  // namespace arc::text

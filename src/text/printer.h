@@ -1,0 +1,48 @@
+// Text modalities of ARC (§2.2):
+//  * the comprehension syntax, e.g.
+//      {Q(A,sm) | exists r in R, gamma(r.A) [Q.A = r.A and Q.sm = sum(r.B)]}
+//    with an optional Unicode rendering (∃, ∈, ∧, ∨, ¬, γ) matching the
+//    paper's notation, and
+//  * the ALT tree rendering used in the paper's figures:
+//      COLLECTION
+//        HEAD: Q(A,sm)
+//        QUANTIFIER exists
+//          BINDING: r in R
+//          GROUPING: r.A
+//          AND
+//            PREDICATE: Q.A = r.A
+//            PREDICATE: Q.sm = sum(r.B)
+// Both renderings are lossless: text/parser.h parses them back.
+#ifndef ARC_TEXT_PRINTER_H_
+#define ARC_TEXT_PRINTER_H_
+
+#include <string>
+
+#include "arc/ast.h"
+
+namespace arc::text {
+
+struct PrintOptions {
+  /// Render ∃/∈/∧/∨/¬/γ instead of exists/in/and/or/not/gamma.
+  bool unicode = false;
+};
+
+std::string PrintTerm(const Term& term, const PrintOptions& options = {});
+std::string PrintFormula(const Formula& formula,
+                         const PrintOptions& options = {});
+std::string PrintCollection(const Collection& collection,
+                            const PrintOptions& options = {});
+std::string PrintJoinTree(const JoinNode& node,
+                          const PrintOptions& options = {});
+/// Definitions first (one per line), then the main query.
+std::string PrintProgram(const Program& program,
+                         const PrintOptions& options = {});
+
+/// ALT (machine-facing) modality.
+std::string PrintAltCollection(const Collection& collection);
+std::string PrintAltFormula(const Formula& formula);
+std::string PrintAltProgram(const Program& program);
+
+}  // namespace arc::text
+
+#endif  // ARC_TEXT_PRINTER_H_

@@ -1,0 +1,891 @@
+#include "translate/arc_to_sql.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "arc/external.h"
+#include "common/strings.h"
+
+namespace arc::translate {
+
+namespace {
+
+using sql::ExprPtr;
+using sql::FromItemPtr;
+using sql::SelectItem;
+using sql::SelectPtr;
+using sql::SelectStmt;
+
+void FlattenAnd(const Formula& f, std::vector<const Formula*>* out) {
+  if (f.kind == FormulaKind::kAnd) {
+    for (const FormulaPtr& c : f.children) FlattenAnd(*c, out);
+    return;
+  }
+  out->push_back(&f);
+}
+
+/// Does the formula reference `var` (descending into nested collections,
+/// respecting head shadowing)? Mirrors the evaluator's rule.
+bool FormulaRefs(const Formula& f, std::string_view var);
+
+bool TermRefs(const Term& t, std::string_view var) { return t.References(var); }
+
+bool CollectionRefs(const Collection& c, std::string_view var) {
+  if (EqualsIgnoreCase(c.head.relation, var)) return false;
+  return c.body && FormulaRefs(*c.body, var);
+}
+
+bool FormulaRefs(const Formula& f, std::string_view var) {
+  switch (f.kind) {
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f.children) {
+        if (FormulaRefs(*c, var)) return true;
+      }
+      return false;
+    case FormulaKind::kNot:
+      return f.child && FormulaRefs(*f.child, var);
+    case FormulaKind::kExists: {
+      const Quantifier& q = *f.quantifier;
+      for (const Binding& b : q.bindings) {
+        if (b.range_kind == RangeKind::kCollection && b.collection &&
+            CollectionRefs(*b.collection, var)) {
+          return true;
+        }
+        if (EqualsIgnoreCase(b.var, var)) return false;  // shadowed below
+      }
+      if (q.grouping.has_value()) {
+        for (const TermPtr& k : q.grouping->keys) {
+          if (TermRefs(*k, var)) return true;
+        }
+      }
+      return q.body && FormulaRefs(*q.body, var);
+    }
+    case FormulaKind::kPredicate:
+      return (f.lhs && TermRefs(*f.lhs, var)) || (f.rhs && TermRefs(*f.rhs, var));
+    case FormulaKind::kNullTest:
+      return f.null_arg && TermRefs(*f.null_arg, var);
+  }
+  return false;
+}
+
+bool FormulaHasRangeRef(const Formula& f, std::string_view name);
+
+bool CollectionHasRangeRef(const Collection& c, std::string_view name) {
+  if (EqualsIgnoreCase(c.head.relation, name)) return false;
+  return c.body && FormulaHasRangeRef(*c.body, name);
+}
+
+bool FormulaHasRangeRef(const Formula& f, std::string_view name) {
+  switch (f.kind) {
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f.children) {
+        if (FormulaHasRangeRef(*c, name)) return true;
+      }
+      return false;
+    case FormulaKind::kNot:
+      return f.child && FormulaHasRangeRef(*f.child, name);
+    case FormulaKind::kExists:
+      for (const Binding& b : f.quantifier->bindings) {
+        if (b.range_kind == RangeKind::kNamed &&
+            EqualsIgnoreCase(b.relation, name)) {
+          return true;
+        }
+        if (b.range_kind == RangeKind::kCollection && b.collection &&
+            CollectionHasRangeRef(*b.collection, name)) {
+          return true;
+        }
+      }
+      return f.quantifier->body &&
+             FormulaHasRangeRef(*f.quantifier->body, name);
+    default:
+      return false;
+  }
+}
+
+/// Substitutes head-/variable-attribute references by terms (used when
+/// inlining abstract-relation modules).
+class TermSubstitution {
+ public:
+  void Add(const std::string& var, const std::string& attr, const Term& value) {
+    entries_.push_back({ToLower(var), ToLower(attr), &value});
+  }
+
+  const Term* Find(const Term& t) const {
+    if (t.kind != TermKind::kAttrRef) return nullptr;
+    for (const Entry& e : entries_) {
+      if (ToLower(t.var) == e.var && ToLower(t.attr) == e.attr) {
+        return e.value;
+      }
+    }
+    return nullptr;
+  }
+
+  bool HasVar(const std::string& var) const {
+    for (const Entry& e : entries_) {
+      if (e.var == ToLower(var)) return true;
+    }
+    return false;
+  }
+
+  bool HasAny() const { return !entries_.empty(); }
+
+ private:
+  struct Entry {
+    std::string var;
+    std::string attr;
+    const Term* value;
+  };
+  std::vector<Entry> entries_;
+};
+
+class Renderer {
+ public:
+  explicit Renderer(const ArcToSqlOptions& options) : options_(options) {}
+
+  Result<SelectPtr> Run(const Program& program) {
+    ARC_RETURN_IF_ERROR(CollectDefinitions(program));
+    if (!program.main.collection) {
+      return InvalidArgument("program has no main collection");
+    }
+    ARC_ASSIGN_OR_RETURN(SelectPtr stmt,
+                         RenderCollection(*program.main.collection));
+    AttachCtes(stmt.get());
+    return stmt;
+  }
+
+  Result<SelectPtr> RunSentence(const Program& program) {
+    ARC_RETURN_IF_ERROR(CollectDefinitions(program));
+    if (!program.main.sentence) {
+      return InvalidArgument("program has no sentence");
+    }
+    auto stmt = std::make_unique<SelectStmt>();
+    SelectItem item;
+    item.expr = sql::MakeSqlLiteral(data::Value::Bool(true));
+    item.alias = "v";
+    stmt->items.push_back(std::move(item));
+    ARC_ASSIGN_OR_RETURN(ExprPtr cond,
+                         RenderBool(*program.main.sentence, nullptr));
+    stmt->where = std::move(cond);
+    AttachCtes(stmt.get());
+    return stmt;
+  }
+
+ private:
+  Status CollectDefinitions(const Program& program) {
+    for (const Definition& def : program.definitions) {
+      if (!def.collection) return InvalidArgument("empty definition");
+      if (def.kind == DefKind::kAbstract) {
+        abstract_defs_[ToLower(def.collection->head.relation)] =
+            def.collection.get();
+        continue;
+      }
+      ARC_ASSIGN_OR_RETURN(SelectPtr rendered,
+                           RenderCollection(*def.collection));
+      sql::CommonTableExpr cte;
+      cte.name = def.collection->head.relation;
+      if (CollectionHasRangeRef(*def.collection,
+                                def.collection->head.relation) ||
+          (def.collection->body &&
+           FormulaHasRangeRef(*def.collection->body,
+                              def.collection->head.relation))) {
+        any_recursive_ = true;
+      }
+      // Rendering a recursive collection yields a WITH RECURSIVE wrapper
+      // whose main select is a trivial pass-through; hoist the inner CTE
+      // directly rather than adding a same-named shadowing wrapper.
+      if (rendered->ctes.size() == 1 &&
+          EqualsIgnoreCase(rendered->ctes[0].name, cte.name)) {
+        if (rendered->with_recursive) any_recursive_ = true;
+        ctes_.push_back(std::move(rendered->ctes[0]));
+        continue;
+      }
+      if (!rendered->ctes.empty()) {
+        for (sql::CommonTableExpr& inner : rendered->ctes) {
+          ctes_.push_back(std::move(inner));
+        }
+        rendered->ctes.clear();
+        if (rendered->with_recursive) any_recursive_ = true;
+        rendered->with_recursive = false;
+      }
+      cte.query = std::move(rendered);
+      ctes_.push_back(std::move(cte));
+    }
+    return Status::Ok();
+  }
+
+  void AttachCtes(SelectStmt* stmt) {
+    if (ctes_.empty()) return;
+    // Merge: the main statement may itself carry CTEs (recursion).
+    std::vector<sql::CommonTableExpr> merged = std::move(ctes_);
+    for (sql::CommonTableExpr& own : stmt->ctes) {
+      merged.push_back(std::move(own));
+    }
+    stmt->ctes = std::move(merged);
+    stmt->with_recursive = stmt->with_recursive || any_recursive_;
+  }
+
+  // ---- collections ---------------------------------------------------------
+
+  Result<SelectPtr> RenderCollection(const Collection& c) {
+    if (c.body && FormulaHasRangeRef(*c.body, c.head.relation)) {
+      return RenderRecursive(c);
+    }
+    return RenderBody(*c.body, c.head);
+  }
+
+  Result<SelectPtr> RenderRecursive(const Collection& c) {
+    // WITH RECURSIVE name AS (<branches UNION>) SELECT attrs FROM name.
+    ARC_ASSIGN_OR_RETURN(SelectPtr inner, RenderBody(*c.body, c.head));
+    auto outer = std::make_unique<SelectStmt>();
+    outer->with_recursive = true;
+    sql::CommonTableExpr cte;
+    cte.name = c.head.relation;
+    // Recursive CTE semantics are UNION (set): force non-ALL links.
+    for (SelectStmt* s = inner.get(); s != nullptr; s = s->union_next.get()) {
+      if (s->union_next) s->union_all = false;
+    }
+    cte.query = std::move(inner);
+    outer->ctes.push_back(std::move(cte));
+    for (const std::string& attr : c.head.attrs) {
+      SelectItem item;
+      item.expr = sql::MakeColumnRef(c.head.relation, attr);
+      item.alias = attr;
+      outer->items.push_back(std::move(item));
+    }
+    outer->from.push_back(sql::MakeFromTable(c.head.relation, ""));
+    return outer;
+  }
+
+  Result<SelectPtr> RenderBody(const Formula& body, const Head& head) {
+    if (body.kind == FormulaKind::kOr) {
+      // UNION chain.
+      SelectPtr first;
+      SelectStmt* tail = nullptr;
+      for (const FormulaPtr& branch : body.children) {
+        ARC_ASSIGN_OR_RETURN(SelectPtr stmt, RenderBody(*branch, head));
+        if (!first) {
+          first = std::move(stmt);
+          tail = first.get();
+        } else {
+          tail->union_all = !options_.emulate_set_semantics;
+          tail->union_next = std::move(stmt);
+          tail = tail->union_next.get();
+        }
+      }
+      return first;
+    }
+    if (body.kind == FormulaKind::kExists) {
+      return RenderScope(*body.quantifier, &head);
+    }
+    // Degenerate FROM-less collection: conjunctive body of assignments and
+    // conditions.
+    std::vector<const Formula*> conjuncts;
+    FlattenAnd(body, &conjuncts);
+    auto stmt = std::make_unique<SelectStmt>();
+    stmt->distinct = options_.emulate_set_semantics;
+    TermSubstitution no_subst;
+    ARC_RETURN_IF_ERROR(
+        EmitSelectAndConditions(conjuncts, head, no_subst, stmt.get()));
+    return stmt;
+  }
+
+  /// Emits SELECT items from assignments and WHERE/HAVING conditions from
+  /// the remaining conjuncts.
+  Status EmitSelectAndConditions(const std::vector<const Formula*>& conjuncts,
+                                 const Head& head,
+                                 const TermSubstitution& subst,
+                                 SelectStmt* stmt,
+                                 const std::unordered_set<const Formula*>*
+                                     consumed = nullptr) {
+    std::vector<ExprPtr> where;
+    std::vector<ExprPtr> having;
+    std::vector<std::pair<std::string, SelectItem>> pending_items;
+    for (const Formula* c : conjuncts) {
+      if (consumed != nullptr && consumed->count(c) > 0) continue;
+      auto assign = MatchAssignment(*c, head.relation);
+      if (assign.has_value()) {
+        SelectItem item;
+        ARC_ASSIGN_OR_RETURN(item.expr, RenderTerm(*assign->second, subst));
+        item.alias = assign->first;
+        // Keep head order: collect then reorder below.
+        pending_items.emplace_back(ToLower(assign->first), std::move(item));
+        continue;
+      }
+      ARC_ASSIGN_OR_RETURN(ExprPtr cond, RenderBool(*c, &subst));
+      if (c->ContainsAggregate()) {
+        having.push_back(std::move(cond));
+      } else {
+        where.push_back(std::move(cond));
+      }
+    }
+    for (const std::string& attr : head.attrs) {
+      bool found = false;
+      for (auto& [name, item] : pending_items) {
+        if (name == ToLower(attr)) {
+          stmt->items.push_back(std::move(item));
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Unsupported("no assignment for head attribute '" + attr +
+                           "' at this scope (disjunctive assignments inside "
+                           "a scope are not renderable)");
+      }
+    }
+    if (!where.empty()) {
+      stmt->where = where.size() == 1 ? std::move(where[0])
+                                      : sql::MakeSqlAnd(std::move(where));
+    }
+    if (!having.empty()) {
+      stmt->having = having.size() == 1 ? std::move(having[0])
+                                        : sql::MakeSqlAnd(std::move(having));
+    }
+    return Status::Ok();
+  }
+
+  static std::optional<std::pair<std::string, const Term*>> MatchAssignment(
+      const Formula& f, const std::string& head_name) {
+    if (f.kind != FormulaKind::kPredicate || f.cmp_op != data::CmpOp::kEq) {
+      return std::nullopt;
+    }
+    auto head_ref = [&](const TermPtr& t) {
+      return t && t->kind == TermKind::kAttrRef &&
+             EqualsIgnoreCase(t->var, head_name);
+    };
+    const bool l = head_ref(f.lhs);
+    const bool r = head_ref(f.rhs);
+    if (l == r) return std::nullopt;
+    const Term* value = l ? f.rhs.get() : f.lhs.get();
+    if (value == nullptr || value->References(head_name)) return std::nullopt;
+    return std::make_pair(l ? f.lhs->attr : f.rhs->attr, value);
+  }
+
+  // ---- scopes -----------------------------------------------------------
+
+  /// Renders a quantifier scope. With a head: a full SELECT; without
+  /// (boolean mode): SELECT 1 … for EXISTS.
+  Result<SelectPtr> RenderScope(const Quantifier& q, const Head* head) {
+    auto stmt = std::make_unique<SelectStmt>();
+    std::vector<const Formula*> conjuncts;
+    if (q.body) FlattenAnd(*q.body, &conjuncts);
+
+    // Inline abstract-relation bindings first: they turn into conditions.
+    TermSubstitution subst;
+    std::vector<const Binding*> regular;
+    std::vector<ExprPtr> inlined_conditions;
+    std::unordered_set<const Formula*> consumed;
+    for (const Binding& b : q.bindings) {
+      const Collection* module = nullptr;
+      if (b.range_kind == RangeKind::kNamed) {
+        auto it = abstract_defs_.find(ToLower(b.relation));
+        if (it != abstract_defs_.end()) module = it->second;
+      }
+      if (module == nullptr) {
+        regular.push_back(&b);
+        continue;
+      }
+      ARC_RETURN_IF_ERROR(InlineAbstract(b, *module, conjuncts, &subst,
+                                         &inlined_conditions, &consumed));
+    }
+
+    // FROM.
+    if (q.join_tree) {
+      ARC_RETURN_IF_ERROR(
+          RenderJoinTree(q, *q.join_tree, regular, conjuncts, &consumed,
+                         subst, stmt.get()));
+    } else {
+      for (const Binding* b : regular) {
+        ARC_ASSIGN_OR_RETURN(FromItemPtr item, RenderBinding(*b));
+        stmt->from.push_back(std::move(item));
+      }
+    }
+
+    // GROUP BY.
+    if (q.grouping.has_value()) {
+      for (const TermPtr& k : q.grouping->keys) {
+        ARC_ASSIGN_OR_RETURN(ExprPtr key, RenderTerm(*k, subst));
+        stmt->group_by.push_back(std::move(key));
+      }
+    }
+
+    if (head != nullptr) {
+      stmt->distinct = options_.emulate_set_semantics;
+      ARC_RETURN_IF_ERROR(
+          EmitSelectAndConditions(conjuncts, *head, subst, stmt.get(),
+                                  &consumed));
+    } else {
+      // Boolean mode: SELECT 1.
+      SelectItem item;
+      item.expr = sql::MakeSqlLiteral(data::Value::Int(1));
+      stmt->items.push_back(std::move(item));
+      std::vector<ExprPtr> where;
+      std::vector<ExprPtr> having;
+      for (const Formula* c : conjuncts) {
+        if (consumed.count(c) > 0) continue;
+        ARC_ASSIGN_OR_RETURN(ExprPtr cond, RenderBool(*c, &subst));
+        if (c->ContainsAggregate()) {
+          having.push_back(std::move(cond));
+        } else {
+          where.push_back(std::move(cond));
+        }
+      }
+      if (!where.empty()) {
+        stmt->where = where.size() == 1 ? std::move(where[0])
+                                        : sql::MakeSqlAnd(std::move(where));
+      }
+      if (!having.empty()) {
+        stmt->having = having.size() == 1
+                           ? std::move(having[0])
+                           : sql::MakeSqlAnd(std::move(having));
+      }
+    }
+
+    // Conditions produced by abstract-module inlining.
+    for (ExprPtr& cond : inlined_conditions) {
+      if (stmt->where) {
+        std::vector<ExprPtr> both;
+        both.push_back(std::move(stmt->where));
+        both.push_back(std::move(cond));
+        stmt->where = sql::MakeSqlAnd(std::move(both));
+      } else {
+        stmt->where = std::move(cond);
+      }
+    }
+    return stmt;
+  }
+
+  Result<FromItemPtr> RenderBinding(const Binding& b) {
+    if (b.range_kind == RangeKind::kCollection) {
+      ARC_ASSIGN_OR_RETURN(SelectPtr sub, RenderCollection(*b.collection));
+      if (!sub->ctes.empty()) {
+        return Unsupported("recursive collection nested in a binding");
+      }
+      return sql::MakeFromSubquery(std::move(sub), b.var, /*lateral=*/true);
+    }
+    if (externals_.Find(b.relation) != nullptr && !IsDefined(b.relation)) {
+      return Unsupported("external relation '" + b.relation +
+                         "' cannot be rendered to SQL; use inline arithmetic");
+    }
+    return sql::MakeFromTable(b.relation, b.var);
+  }
+
+  bool IsDefined(const std::string& name) const {
+    for (const sql::CommonTableExpr& cte : ctes_) {
+      if (EqualsIgnoreCase(cte.name, name)) return true;
+    }
+    return false;
+  }
+
+  // ---- abstract-module inlining -------------------------------------------
+
+  Status InlineAbstract(const Binding& b, const Collection& module,
+                        const std::vector<const Formula*>& conjuncts,
+                        TermSubstitution* subst,
+                        std::vector<ExprPtr>* conditions,
+                        std::unordered_set<const Formula*>* consumed) {
+    // Find parameter equalities var.attr = term.
+    for (const std::string& attr : module.head.attrs) {
+      const Term* param = nullptr;
+      for (const Formula* c : conjuncts) {
+        if (c->kind != FormulaKind::kPredicate ||
+            c->cmp_op != data::CmpOp::kEq) {
+          continue;
+        }
+        auto side = [&](const TermPtr& ref, const TermPtr& val) -> const Term* {
+          if (!ref || ref->kind != TermKind::kAttrRef) return nullptr;
+          if (!EqualsIgnoreCase(ref->var, b.var)) return nullptr;
+          if (!EqualsIgnoreCase(ref->attr, attr)) return nullptr;
+          if (val && val->References(b.var)) return nullptr;
+          return val.get();
+        };
+        const Term* v = side(c->lhs, c->rhs);
+        if (v == nullptr) v = side(c->rhs, c->lhs);
+        if (v != nullptr) {
+          param = v;
+          consumed->insert(c);
+          break;
+        }
+      }
+      if (param == nullptr) {
+        return Unsupported("abstract relation '" + module.head.relation +
+                           "': attribute '" + attr +
+                           "' is not bound by an equality");
+      }
+      subst->Add(b.var, attr, *param);
+      subst->Add(module.head.relation, attr, *param);
+    }
+    // Render the module body as a condition under the substitution.
+    ARC_ASSIGN_OR_RETURN(ExprPtr cond, RenderBool(*module.body, subst));
+    conditions->push_back(std::move(cond));
+    return Status::Ok();
+  }
+
+  // ---- join annotation rendering -------------------------------------------
+
+  struct LeafSets {
+    std::unordered_set<std::string> vars;
+    std::unordered_set<const JoinNode*> lits;
+  };
+
+  static void NodeLeaves(const JoinNode& n, LeafSets* out) {
+    if (n.kind == JoinKind::kVarLeaf) {
+      out->vars.insert(ToLower(n.var));
+      return;
+    }
+    if (n.kind == JoinKind::kLiteralLeaf) {
+      out->lits.insert(&n);
+      return;
+    }
+    for (const JoinNodePtr& c : n.children) NodeLeaves(*c, out);
+  }
+
+  static const JoinNode* FindLowestCovering(const JoinNode& n,
+                                            const LeafSets& needed) {
+    LeafSets here;
+    NodeLeaves(n, &here);
+    for (const std::string& v : needed.vars) {
+      if (here.vars.count(v) == 0) return nullptr;
+    }
+    for (const JoinNode* l : needed.lits) {
+      if (here.lits.count(l) == 0) return nullptr;
+    }
+    for (const JoinNodePtr& c : n.children) {
+      const JoinNode* deeper = FindLowestCovering(*c, needed);
+      if (deeper != nullptr) return deeper;
+    }
+    return &n;
+  }
+
+  Status RenderJoinTree(const Quantifier& q, const JoinNode& root,
+                        const std::vector<const Binding*>& regular,
+                        const std::vector<const Formula*>& conjuncts,
+                        std::unordered_set<const Formula*>* consumed,
+                        const TermSubstitution& subst, SelectStmt* stmt) {
+    // Attach join-condition conjuncts to nodes by the lowest-covering rule.
+    LeafSets all;
+    NodeLeaves(root, &all);
+    std::unordered_map<const JoinNode*, std::vector<const Formula*>> conds;
+    const std::string head_guess = "";  // assignments excluded below anyway
+    (void)head_guess;
+    for (const Formula* c : conjuncts) {
+      if (c->ContainsAggregate()) continue;
+      // Skip assignments for any plausible head: conservatively, conjuncts
+      // referencing variables not bound in this scope stay in WHERE.
+      LeafSets needed;
+      for (const std::string& v : all.vars) {
+        if (FormulaRefs(*c, v)) needed.vars.insert(v);
+      }
+      if (c->kind == FormulaKind::kPredicate) {
+        auto match_literal = [&](const TermPtr& t) {
+          if (!t || t->kind != TermKind::kLiteral) return;
+          for (const JoinNode* lit : all.lits) {
+            if (lit->literal.Equals(t->literal)) {
+              needed.lits.insert(lit);
+              return;
+            }
+          }
+        };
+        match_literal(c->lhs);
+        match_literal(c->rhs);
+      }
+      if (needed.vars.empty() && needed.lits.empty()) continue;  // WHERE
+      // Conjuncts that also reference a head (assignments) stay out.
+      bool refs_only_scope = true;
+      // (Assignments are filtered by EmitSelectAndConditions; here we only
+      // consume pure join conditions.)
+      if (IsAssignmentShaped(*c, q)) refs_only_scope = false;
+      if (!refs_only_scope) continue;
+      const JoinNode* node = FindLowestCovering(root, needed);
+      if (node == nullptr || node->kind == JoinKind::kVarLeaf ||
+          node->kind == JoinKind::kLiteralLeaf) {
+        continue;  // plain single-table filter → WHERE
+      }
+      conds[node].push_back(c);
+      consumed->insert(c);
+    }
+    ARC_ASSIGN_OR_RETURN(FromItemPtr item,
+                         RenderJoinNode(q, root, conds, subst));
+    stmt->from.push_back(std::move(item));
+    // Bindings not mentioned in the tree join as comma items.
+    LeafSets tree_leaves;
+    NodeLeaves(root, &tree_leaves);
+    for (const Binding* b : regular) {
+      if (tree_leaves.vars.count(ToLower(b->var)) == 0) {
+        ARC_ASSIGN_OR_RETURN(FromItemPtr extra, RenderBinding(*b));
+        stmt->from.push_back(std::move(extra));
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Heuristic: an equality with a bare attr-ref side whose variable is not
+  /// bound in this scope looks like an assignment (head or outer ref) and
+  /// must not be consumed as a join condition.
+  static bool IsAssignmentShaped(const Formula& f, const Quantifier& q) {
+    if (f.kind != FormulaKind::kPredicate || f.cmp_op != data::CmpOp::kEq) {
+      return false;
+    }
+    auto unbound_bare_ref = [&](const TermPtr& t) {
+      if (!t || t->kind != TermKind::kAttrRef) return false;
+      for (const Binding& b : q.bindings) {
+        if (EqualsIgnoreCase(b.var, t->var)) return false;
+      }
+      return true;
+    };
+    return unbound_bare_ref(f.lhs) || unbound_bare_ref(f.rhs);
+  }
+
+  Result<FromItemPtr> RenderJoinNode(
+      const Quantifier& q, const JoinNode& n,
+      const std::unordered_map<const JoinNode*, std::vector<const Formula*>>&
+          conds,
+      const TermSubstitution& subst) {
+    auto node_cond = [&](const JoinNode& node) -> Result<ExprPtr> {
+      auto it = conds.find(&node);
+      if (it == conds.end()) {
+        return sql::MakeSqlLiteral(data::Value::Bool(true));
+      }
+      std::vector<ExprPtr> parts;
+      for (const Formula* c : it->second) {
+        ARC_ASSIGN_OR_RETURN(ExprPtr e, RenderBool(*c, &subst));
+        parts.push_back(std::move(e));
+      }
+      if (parts.size() == 1) return std::move(parts[0]);
+      return sql::MakeSqlAnd(std::move(parts));
+    };
+    switch (n.kind) {
+      case JoinKind::kVarLeaf: {
+        for (const Binding& b : q.bindings) {
+          if (EqualsIgnoreCase(b.var, n.var)) return RenderBinding(b);
+        }
+        return Unsupported("join annotation references unbound '" + n.var +
+                           "'");
+      }
+      case JoinKind::kLiteralLeaf: {
+        // One-row FROM-less subquery carrying the literal.
+        auto sub = std::make_unique<SelectStmt>();
+        SelectItem item;
+        item.expr = sql::MakeSqlLiteral(n.literal);
+        item.alias = "v";
+        sub->items.push_back(std::move(item));
+        return sql::MakeFromSubquery(std::move(sub),
+                                     "_lit" + std::to_string(++lit_counter_),
+                                     /*lateral=*/false);
+      }
+      case JoinKind::kInner: {
+        ARC_ASSIGN_OR_RETURN(FromItemPtr acc,
+                             RenderJoinNode(q, *n.children[0], conds, subst));
+        for (size_t i = 1; i < n.children.size(); ++i) {
+          ARC_ASSIGN_OR_RETURN(
+              FromItemPtr next, RenderJoinNode(q, *n.children[i], conds, subst));
+          ExprPtr on = sql::MakeSqlLiteral(data::Value::Bool(true));
+          if (i + 1 == n.children.size()) {
+            ARC_ASSIGN_OR_RETURN(on, node_cond(n));
+          }
+          acc = sql::MakeFromJoin(sql::JoinType::kInner, std::move(acc),
+                                  std::move(next), std::move(on));
+        }
+        if (n.children.size() == 1) {
+          // Unary inner: apply conditions via a JOIN with a dummy? Fold the
+          // condition into WHERE by leaving it unconsumed is cleaner, but we
+          // already consumed it; attach with a cross self-join is wrong. Use
+          // the condition as an ON against a one-row subquery.
+          auto it = conds.find(&n);
+          if (it != conds.end()) {
+            auto one = std::make_unique<SelectStmt>();
+            SelectItem item;
+            item.expr = sql::MakeSqlLiteral(data::Value::Int(1));
+            item.alias = "v";
+            one->items.push_back(std::move(item));
+            ARC_ASSIGN_OR_RETURN(ExprPtr on, node_cond(n));
+            acc = sql::MakeFromJoin(
+                sql::JoinType::kInner, std::move(acc),
+                sql::MakeFromSubquery(std::move(one),
+                                      "_one" + std::to_string(++lit_counter_),
+                                      false),
+                std::move(on));
+          }
+        }
+        return acc;
+      }
+      case JoinKind::kLeft:
+      case JoinKind::kFull: {
+        ARC_ASSIGN_OR_RETURN(FromItemPtr left,
+                             RenderJoinNode(q, *n.children[0], conds, subst));
+        ARC_ASSIGN_OR_RETURN(FromItemPtr right,
+                             RenderJoinNode(q, *n.children[1], conds, subst));
+        ARC_ASSIGN_OR_RETURN(ExprPtr on, node_cond(n));
+        return sql::MakeFromJoin(n.kind == JoinKind::kLeft
+                                     ? sql::JoinType::kLeft
+                                     : sql::JoinType::kFull,
+                                 std::move(left), std::move(right),
+                                 std::move(on));
+      }
+    }
+    return Internal("bad join node");
+  }
+
+  // ---- terms and formulas ----------------------------------------------
+
+  Result<ExprPtr> RenderTerm(const Term& t, const TermSubstitution& subst) {
+    if (const Term* replacement = subst.Find(t)) {
+      // Substituted parameters were rendered in the outer context; rendering
+      // them again here is safe because they only contain outer references.
+      return RenderTerm(*replacement, TermSubstitution());
+    }
+    switch (t.kind) {
+      case TermKind::kAttrRef:
+        return sql::MakeColumnRef(t.var, t.attr);
+      case TermKind::kLiteral:
+        return sql::MakeSqlLiteral(t.literal);
+      case TermKind::kArith: {
+        ARC_ASSIGN_OR_RETURN(ExprPtr l, RenderTerm(*t.lhs, subst));
+        ARC_ASSIGN_OR_RETURN(ExprPtr r, RenderTerm(*t.rhs, subst));
+        return sql::MakeSqlArith(t.arith_op, std::move(l), std::move(r));
+      }
+      case TermKind::kAggregate: {
+        if (t.agg_func == AggFunc::kCountStar) {
+          return sql::MakeSqlAgg(AggFunc::kCountStar, nullptr);
+        }
+        ARC_ASSIGN_OR_RETURN(ExprPtr arg, RenderTerm(*t.agg_arg, subst));
+        return sql::MakeSqlAgg(t.agg_func, std::move(arg));
+      }
+    }
+    return Internal("bad term");
+  }
+
+  Result<ExprPtr> RenderBool(const Formula& f, const TermSubstitution* subst) {
+    static const TermSubstitution kEmpty;
+    const TermSubstitution& s = subst != nullptr ? *subst : kEmpty;
+    switch (f.kind) {
+      case FormulaKind::kPredicate: {
+        ARC_ASSIGN_OR_RETURN(ExprPtr l, RenderTerm(*f.lhs, s));
+        ARC_ASSIGN_OR_RETURN(ExprPtr r, RenderTerm(*f.rhs, s));
+        return sql::MakeSqlCmp(f.cmp_op, std::move(l), std::move(r));
+      }
+      case FormulaKind::kNullTest: {
+        ARC_ASSIGN_OR_RETURN(ExprPtr arg, RenderTerm(*f.null_arg, s));
+        return sql::MakeSqlIsNull(std::move(arg), f.null_negated);
+      }
+      case FormulaKind::kAnd: {
+        if (f.children.empty()) {
+          return sql::MakeSqlLiteral(data::Value::Bool(true));
+        }
+        std::vector<ExprPtr> children;
+        for (const FormulaPtr& c : f.children) {
+          ARC_ASSIGN_OR_RETURN(ExprPtr e, RenderBool(*c, subst));
+          children.push_back(std::move(e));
+        }
+        if (children.size() == 1) return std::move(children[0]);
+        return sql::MakeSqlAnd(std::move(children));
+      }
+      case FormulaKind::kOr: {
+        if (f.children.empty()) {
+          return sql::MakeSqlLiteral(data::Value::Bool(false));
+        }
+        std::vector<ExprPtr> children;
+        for (const FormulaPtr& c : f.children) {
+          ARC_ASSIGN_OR_RETURN(ExprPtr e, RenderBool(*c, subst));
+          children.push_back(std::move(e));
+        }
+        if (children.size() == 1) return std::move(children[0]);
+        return sql::MakeSqlOr(std::move(children));
+      }
+      case FormulaKind::kNot: {
+        if (f.child->kind == FormulaKind::kExists) {
+          ARC_ASSIGN_OR_RETURN(ExprPtr exists, RenderBool(*f.child, subst));
+          exists->negated = true;
+          return exists;
+        }
+        ARC_ASSIGN_OR_RETURN(ExprPtr inner, RenderBool(*f.child, subst));
+        return sql::MakeSqlNot(std::move(inner));
+      }
+      case FormulaKind::kExists: {
+        ARC_ASSIGN_OR_RETURN(SelectPtr sub,
+                             RenderScopeWithSubst(*f.quantifier, s));
+        return sql::MakeSqlExists(std::move(sub), /*negated=*/false);
+      }
+    }
+    return Internal("bad formula");
+  }
+
+  /// Boolean-mode scope rendering under an active substitution (abstract
+  /// module bodies).
+  Result<SelectPtr> RenderScopeWithSubst(const Quantifier& q,
+                                         const TermSubstitution& subst) {
+    if (!subst.HasAny()) return RenderScope(q, nullptr);
+    // Rebuild the scope manually, applying the substitution to predicates.
+    auto stmt = std::make_unique<SelectStmt>();
+    SelectItem item;
+    item.expr = sql::MakeSqlLiteral(data::Value::Int(1));
+    stmt->items.push_back(std::move(item));
+    for (const Binding& b : q.bindings) {
+      ARC_ASSIGN_OR_RETURN(FromItemPtr f, RenderBinding(b));
+      stmt->from.push_back(std::move(f));
+    }
+    if (q.grouping.has_value()) {
+      for (const TermPtr& k : q.grouping->keys) {
+        ARC_ASSIGN_OR_RETURN(ExprPtr key, RenderTerm(*k, subst));
+        stmt->group_by.push_back(std::move(key));
+      }
+    }
+    if (q.join_tree) {
+      return Unsupported("join annotations inside abstract modules");
+    }
+    std::vector<const Formula*> conjuncts;
+    if (q.body) FlattenAnd(*q.body, &conjuncts);
+    std::vector<ExprPtr> where;
+    std::vector<ExprPtr> having;
+    for (const Formula* c : conjuncts) {
+      ARC_ASSIGN_OR_RETURN(ExprPtr cond, RenderBool(*c, &subst));
+      if (c->ContainsAggregate()) {
+        having.push_back(std::move(cond));
+      } else {
+        where.push_back(std::move(cond));
+      }
+    }
+    if (!where.empty()) {
+      stmt->where = where.size() == 1 ? std::move(where[0])
+                                      : sql::MakeSqlAnd(std::move(where));
+    }
+    if (!having.empty()) {
+      stmt->having = having.size() == 1 ? std::move(having[0])
+                                        : sql::MakeSqlAnd(std::move(having));
+    }
+    return stmt;
+  }
+
+  const ArcToSqlOptions& options_;
+  ExternalRegistry externals_ = ExternalRegistry::Builtins();
+  std::unordered_map<std::string, const Collection*> abstract_defs_;
+  std::vector<sql::CommonTableExpr> ctes_;
+  bool any_recursive_ = false;
+  int lit_counter_ = 0;
+};
+
+}  // namespace
+
+Result<SelectPtr> ArcToSql(const Program& program,
+                           const ArcToSqlOptions& options) {
+  return Renderer(options).Run(program);
+}
+
+Result<SelectPtr> ArcSentenceToSql(const Program& program,
+                                   const ArcToSqlOptions& options) {
+  return Renderer(options).RunSentence(program);
+}
+
+Result<std::string> ArcToSqlText(const Program& program,
+                                 const ArcToSqlOptions& options) {
+  if (program.main.sentence) {
+    ARC_ASSIGN_OR_RETURN(SelectPtr stmt, ArcSentenceToSql(program, options));
+    return sql::ToSql(*stmt);
+  }
+  ARC_ASSIGN_OR_RETURN(SelectPtr stmt, ArcToSql(program, options));
+  return sql::ToSql(*stmt);
+}
+
+}  // namespace arc::translate

@@ -1,0 +1,47 @@
+// ARC → SQL rendering: turns an ALT back into executable SQL.
+//   * assignment predicates → SELECT items,
+//   * bindings → FROM (nested collections as LATERAL subqueries),
+//   * grouping γ → GROUP BY (γ∅ → implicit single group),
+//   * aggregate comparison predicates → HAVING,
+//   * join annotations → JOIN trees with ON conditions (literal anchors
+//     become one-row FROM-less subqueries),
+//   * ∃ / ¬∃ scopes in predicate position → EXISTS / NOT EXISTS,
+//   * disjunctive bodies → UNION [ALL],
+//   * recursive collections → WITH RECURSIVE,
+//   * intensional definitions → CTEs,
+//   * abstract-relation bindings → inlined, parameter-substituted
+//     conditions (modules are spliced back into the surface syntax).
+//
+// With `emulate_set_semantics`, every rendered SELECT gets DISTINCT and
+// UNION is used instead of UNION ALL so that the SQL result (bag world)
+// matches the ARC result under set conventions.
+#ifndef ARC_TRANSLATE_ARC_TO_SQL_H_
+#define ARC_TRANSLATE_ARC_TO_SQL_H_
+
+#include "arc/ast.h"
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace arc::translate {
+
+struct ArcToSqlOptions {
+  /// Add DISTINCT / use UNION so SQL (bag) matches ARC set conventions.
+  bool emulate_set_semantics = false;
+};
+
+Result<sql::SelectPtr> ArcToSql(const Program& program,
+                                const ArcToSqlOptions& options = {});
+
+/// Renders a Boolean sentence (Fig. 9) as `SELECT TRUE AS v WHERE <cond>`
+/// — a unary relation encoding the truth value, as the paper notes SQL
+/// must do.
+Result<sql::SelectPtr> ArcSentenceToSql(const Program& program,
+                                        const ArcToSqlOptions& options = {});
+
+/// Convenience: render to SQL text.
+Result<std::string> ArcToSqlText(const Program& program,
+                                 const ArcToSqlOptions& options = {});
+
+}  // namespace arc::translate
+
+#endif  // ARC_TRANSLATE_ARC_TO_SQL_H_

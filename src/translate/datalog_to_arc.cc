@@ -1,0 +1,473 @@
+#include "translate/datalog_to_arc.h"
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace arc::translate {
+
+namespace {
+
+using datalog::Aggregate;
+using datalog::Atom;
+using datalog::Declaration;
+using datalog::DlProgram;
+using datalog::DlTerm;
+using datalog::DlTermKind;
+using datalog::Literal;
+using datalog::LiteralKind;
+using datalog::Rule;
+
+class DlTranslator {
+ public:
+  explicit DlTranslator(const DlProgram& program) : program_(program) {}
+
+  Result<Program> Run(std::string_view query_predicate) {
+    ARC_RETURN_IF_ERROR(CollectPredicates());
+    ARC_ASSIGN_OR_RETURN(std::vector<std::string> order,
+                         TopologicalOrder());
+    Program out;
+    const std::string query_key = ToLower(std::string(query_predicate));
+    CollectionPtr main;
+    for (const std::string& key : order) {
+      ARC_ASSIGN_OR_RETURN(CollectionPtr coll, TranslatePredicate(key));
+      if (key == query_key) {
+        main = std::move(coll);
+      } else {
+        Definition def;
+        def.kind = DefKind::kIntensional;
+        def.collection = std::move(coll);
+        out.definitions.push_back(std::move(def));
+      }
+    }
+    if (!main) {
+      return NotFound("predicate '" + std::string(query_predicate) +
+                      "' has no rules or facts");
+    }
+    out.main.collection = std::move(main);
+    return out;
+  }
+
+ private:
+  struct PredInfo {
+    std::string display;
+    std::vector<std::string> attrs;
+    std::vector<const Rule*> rules;
+    std::vector<const Atom*> facts;
+  };
+
+  Status CollectPredicates() {
+    auto ensure = [&](const std::string& name, size_t arity) -> PredInfo& {
+      const std::string key = ToLower(name);
+      auto [it, inserted] = preds_.try_emplace(key);
+      if (inserted) {
+        it->second.display = name;
+        if (const Declaration* d = program_.FindDecl(name)) {
+          it->second.attrs = d->attrs;
+        } else {
+          for (size_t i = 0; i < arity; ++i) {
+            it->second.attrs.push_back("$" + std::to_string(i + 1));
+          }
+        }
+      }
+      return it->second;
+    };
+    for (const Rule& r : program_.rules) {
+      ensure(r.head.predicate, r.head.args.size()).rules.push_back(&r);
+    }
+    for (const Atom& f : program_.facts) {
+      ensure(f.predicate, f.args.size()).facts.push_back(&f);
+    }
+    return Status::Ok();
+  }
+
+  bool IsIdb(const std::string& key) const { return preds_.count(key) > 0; }
+
+  /// Dependency-ordered IDB predicates; mutual recursion is rejected,
+  /// self-recursion allowed.
+  Result<std::vector<std::string>> TopologicalOrder() {
+    std::vector<std::string> order;
+    std::unordered_set<std::string> done;
+    std::unordered_set<std::string> visiting;
+    std::function<Status(const std::string&)> visit =
+        [&](const std::string& key) -> Status {
+      if (done.count(key) > 0) return Status::Ok();
+      if (visiting.count(key) > 0) {
+        return Unsupported(
+            "mutually recursive predicates are not supported by the "
+            "Datalog→ARC translator (predicate '" +
+            preds_.at(key).display + "')");
+      }
+      visiting.insert(key);
+      for (const Rule* r : preds_.at(key).rules) {
+        for (const Literal& l : r->body) {
+          auto dep = [&](const Atom& a) -> Status {
+            const std::string dep_key = ToLower(a.predicate);
+            if (dep_key == key) return Status::Ok();  // self-recursion OK
+            if (IsIdb(dep_key)) return visit(dep_key);
+            return Status::Ok();
+          };
+          if (l.kind == LiteralKind::kAtom ||
+              l.kind == LiteralKind::kNegatedAtom) {
+            ARC_RETURN_IF_ERROR(dep(l.atom));
+          }
+          if (l.kind == LiteralKind::kAggregate) {
+            for (const Atom& a : l.aggregate.body_atoms) {
+              ARC_RETURN_IF_ERROR(dep(a));
+            }
+          }
+        }
+      }
+      visiting.erase(key);
+      done.insert(key);
+      order.push_back(key);
+      return Status::Ok();
+    };
+    for (const auto& [key, info] : preds_) {
+      (void)info;
+      ARC_RETURN_IF_ERROR(visit(key));
+    }
+    return order;
+  }
+
+  /// Attribute names of a predicate (IDB info, or EDB positional names
+  /// matching the evaluator's scheme).
+  Result<std::vector<std::string>> AttrsOf(const Atom& atom) {
+    const std::string key = ToLower(atom.predicate);
+    auto it = preds_.find(key);
+    if (it != preds_.end()) {
+      if (it->second.attrs.size() != atom.args.size()) {
+        return InvalidArgument("arity mismatch for '" + atom.predicate + "'");
+      }
+      return it->second.attrs;
+    }
+    if (const Declaration* d = program_.FindDecl(atom.predicate)) {
+      return d->attrs;
+    }
+    // EDB without declaration: positional attribute names are unknowable
+    // here; require a declaration.
+    return InvalidArgument("EDB predicate '" + atom.predicate +
+                           "' needs a .decl to translate (attribute names)");
+  }
+
+  Result<CollectionPtr> TranslatePredicate(const std::string& key) {
+    const PredInfo& info = preds_.at(key);
+    std::vector<FormulaPtr> branches;
+    for (const Rule* r : info.rules) {
+      ARC_ASSIGN_OR_RETURN(FormulaPtr branch, TranslateRule(*r, info));
+      branches.push_back(std::move(branch));
+    }
+    for (const Atom* f : info.facts) {
+      std::vector<FormulaPtr> assigns;
+      for (size_t i = 0; i < f->args.size(); ++i) {
+        assigns.push_back(MakePredicate(
+            data::CmpOp::kEq, MakeAttrRef(info.display, info.attrs[i]),
+            MakeLiteral(f->args[i]->value)));
+      }
+      branches.push_back(MakeAnd(std::move(assigns)));
+    }
+    Head head;
+    head.relation = info.display;
+    head.attrs = info.attrs;
+    FormulaPtr body = branches.size() == 1 ? std::move(branches[0])
+                                           : MakeOr(std::move(branches));
+    return MakeCollection(std::move(head), std::move(body));
+  }
+
+  // ---- rule translation -------------------------------------------------
+
+  struct RuleCtx {
+    /// Datalog variable → representative ARC term.
+    std::vector<std::pair<std::string, TermPtr>> reprs;
+    std::vector<FormulaPtr> conjuncts;
+    int var_counter = 0;
+
+    const Term* FindRepr(const std::string& var) const {
+      for (const auto& [name, term] : reprs) {
+        if (name == var) return term.get();
+      }
+      return nullptr;
+    }
+    void AddRepr(const std::string& var, TermPtr term) {
+      reprs.emplace_back(var, std::move(term));
+    }
+    std::string FreshVar(const std::string& base) {
+      return base + std::to_string(++var_counter);
+    }
+  };
+
+  Result<FormulaPtr> TranslateRule(const Rule& r, const PredInfo& head_info) {
+    RuleCtx ctx;
+    auto q = std::make_unique<Quantifier>();
+
+    // Pass 1: positive atoms establish bindings and variable reprs.
+    for (const Literal& l : r.body) {
+      if (l.kind != LiteralKind::kAtom) continue;
+      ARC_RETURN_IF_ERROR(AddAtomBinding(l.atom, &ctx, q.get()));
+    }
+    // Pass 2: grounding equalities (x = expr) establish reprs for the rest.
+    bool progress = true;
+    std::unordered_set<const Literal*> grounded;
+    while (progress) {
+      progress = false;
+      for (const Literal& l : r.body) {
+        if (l.kind != LiteralKind::kComparison || grounded.count(&l) > 0) {
+          continue;
+        }
+        if (l.cmp != data::CmpOp::kEq) continue;
+        if (l.lhs->kind != DlTermKind::kVar) continue;
+        if (ctx.FindRepr(l.lhs->var) != nullptr) continue;
+        auto value = TranslateDlTerm(*l.rhs, ctx);
+        if (!value.ok()) continue;  // not yet groundable
+        ctx.AddRepr(l.lhs->var, std::move(value).value());
+        grounded.insert(&l);
+        progress = true;
+      }
+    }
+    // Pass 3: aggregates (FOI nested collections).
+    for (const Literal& l : r.body) {
+      if (l.kind != LiteralKind::kAggregate) continue;
+      ARC_RETURN_IF_ERROR(TranslateAggregate(l.aggregate, &ctx, q.get()));
+    }
+    // Pass 4: remaining comparisons and negated atoms.
+    for (const Literal& l : r.body) {
+      switch (l.kind) {
+        case LiteralKind::kComparison: {
+          if (grounded.count(&l) > 0) break;
+          ARC_ASSIGN_OR_RETURN(TermPtr lhs, TranslateDlTerm(*l.lhs, ctx));
+          ARC_ASSIGN_OR_RETURN(TermPtr rhs, TranslateDlTerm(*l.rhs, ctx));
+          ctx.conjuncts.push_back(
+              MakePredicate(l.cmp, std::move(lhs), std::move(rhs)));
+          break;
+        }
+        case LiteralKind::kNegatedAtom: {
+          ARC_ASSIGN_OR_RETURN(FormulaPtr neg,
+                               TranslateNegatedAtom(l.atom, &ctx));
+          ctx.conjuncts.push_back(std::move(neg));
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    // Head assignments.
+    for (size_t i = 0; i < r.head.args.size(); ++i) {
+      ARC_ASSIGN_OR_RETURN(TermPtr value,
+                           TranslateDlTerm(*r.head.args[i], ctx));
+      ctx.conjuncts.push_back(MakePredicate(
+          data::CmpOp::kEq,
+          MakeAttrRef(head_info.display, head_info.attrs[i]),
+          std::move(value)));
+    }
+
+    if (q->bindings.empty()) {
+      // Body with no positive atoms: a pure condition branch.
+      return MakeAnd(std::move(ctx.conjuncts));
+    }
+    q->body = ctx.conjuncts.size() == 1 ? std::move(ctx.conjuncts[0])
+                                        : MakeAnd(std::move(ctx.conjuncts));
+    return MakeExists(std::move(q));
+  }
+
+  Status AddAtomBinding(const Atom& atom, RuleCtx* ctx, Quantifier* q) {
+    ARC_ASSIGN_OR_RETURN(std::vector<std::string> attrs, AttrsOf(atom));
+    Binding b;
+    b.var = ctx->FreshVar("t");
+    b.range_kind = RangeKind::kNamed;
+    b.relation = atom.predicate;
+    const std::string var = b.var;
+    q->bindings.push_back(std::move(b));
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const DlTerm& arg = *atom.args[i];
+      switch (arg.kind) {
+        case DlTermKind::kUnderscore:
+          break;
+        case DlTermKind::kVar: {
+          const Term* repr = ctx->FindRepr(arg.var);
+          if (repr == nullptr) {
+            ctx->AddRepr(arg.var, MakeAttrRef(var, attrs[i]));
+          } else {
+            ctx->conjuncts.push_back(MakePredicate(
+                data::CmpOp::kEq, MakeAttrRef(var, attrs[i]), repr->Clone()));
+          }
+          break;
+        }
+        case DlTermKind::kConst:
+          ctx->conjuncts.push_back(MakePredicate(data::CmpOp::kEq,
+                                                 MakeAttrRef(var, attrs[i]),
+                                                 MakeLiteral(arg.value)));
+          break;
+        case DlTermKind::kArith: {
+          ARC_ASSIGN_OR_RETURN(TermPtr value, TranslateDlTerm(arg, *ctx));
+          ctx->conjuncts.push_back(MakePredicate(
+              data::CmpOp::kEq, MakeAttrRef(var, attrs[i]), std::move(value)));
+          break;
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  Result<FormulaPtr> TranslateNegatedAtom(const Atom& atom, RuleCtx* ctx) {
+    ARC_ASSIGN_OR_RETURN(std::vector<std::string> attrs, AttrsOf(atom));
+    auto q = std::make_unique<Quantifier>();
+    Binding b;
+    b.var = ctx->FreshVar("n");
+    b.range_kind = RangeKind::kNamed;
+    b.relation = atom.predicate;
+    const std::string var = b.var;
+    q->bindings.push_back(std::move(b));
+    std::vector<FormulaPtr> conjuncts;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const DlTerm& arg = *atom.args[i];
+      if (arg.kind == DlTermKind::kUnderscore) continue;
+      ARC_ASSIGN_OR_RETURN(TermPtr value, TranslateDlTerm(arg, *ctx));
+      conjuncts.push_back(MakePredicate(
+          data::CmpOp::kEq, MakeAttrRef(var, attrs[i]), std::move(value)));
+    }
+    if (conjuncts.empty()) {
+      conjuncts.push_back(MakeAnd({}));
+    }
+    q->body = conjuncts.size() == 1 ? std::move(conjuncts[0])
+                                    : MakeAnd(std::move(conjuncts));
+    return MakeNot(MakeExists(std::move(q)));
+  }
+
+  /// Soufflé aggregate → FOI: x ∈ {X(v) | ∃ locals…, γ∅ [joins ∧
+  /// X.v = agg(target)]}, result repr = x.v (Eq. 7).
+  Status TranslateAggregate(const Aggregate& agg, RuleCtx* ctx,
+                            Quantifier* q) {
+    auto inner_q = std::make_unique<Quantifier>();
+    inner_q->grouping = Grouping{};  // γ∅
+    const std::string inner_head = ctx->FreshVar("Agg");
+    // Local reprs extend the outer ones: outer-bound variables correlate.
+    RuleCtx inner_ctx;
+    inner_ctx.var_counter = ctx->var_counter + 100;
+    auto find_repr = [&](const std::string& var) -> const Term* {
+      if (const Term* t = inner_ctx.FindRepr(var)) return t;
+      return ctx->FindRepr(var);
+    };
+    for (const Atom& atom : agg.body_atoms) {
+      ARC_ASSIGN_OR_RETURN(std::vector<std::string> attrs, AttrsOf(atom));
+      Binding b;
+      b.var = inner_ctx.FreshVar("s");
+      b.range_kind = RangeKind::kNamed;
+      b.relation = atom.predicate;
+      const std::string var = b.var;
+      inner_q->bindings.push_back(std::move(b));
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        const DlTerm& arg = *atom.args[i];
+        switch (arg.kind) {
+          case DlTermKind::kUnderscore:
+            break;
+          case DlTermKind::kVar: {
+            const Term* repr = find_repr(arg.var);
+            if (repr == nullptr) {
+              inner_ctx.AddRepr(arg.var, MakeAttrRef(var, attrs[i]));
+            } else {
+              inner_ctx.conjuncts.push_back(
+                  MakePredicate(data::CmpOp::kEq, MakeAttrRef(var, attrs[i]),
+                                repr->Clone()));
+            }
+            break;
+          }
+          case DlTermKind::kConst:
+            inner_ctx.conjuncts.push_back(
+                MakePredicate(data::CmpOp::kEq, MakeAttrRef(var, attrs[i]),
+                              MakeLiteral(arg.value)));
+            break;
+          case DlTermKind::kArith:
+            return Unsupported("arithmetic inside aggregate atom arguments");
+        }
+      }
+    }
+    auto translate_local = [&](const DlTerm& t) -> Result<TermPtr> {
+      return TranslateDlTermWith(t, [&](const std::string& var) {
+        return find_repr(var);
+      });
+    };
+    for (const Aggregate::Comparison& c : agg.body_comparisons) {
+      ARC_ASSIGN_OR_RETURN(TermPtr lhs, translate_local(*c.lhs));
+      ARC_ASSIGN_OR_RETURN(TermPtr rhs, translate_local(*c.rhs));
+      inner_ctx.conjuncts.push_back(
+          MakePredicate(c.op, std::move(lhs), std::move(rhs)));
+    }
+    TermPtr agg_term;
+    if (agg.func == AggFunc::kCount && !agg.target) {
+      agg_term = MakeAggregate(AggFunc::kCountStar, nullptr);
+    } else {
+      ARC_ASSIGN_OR_RETURN(TermPtr target, translate_local(*agg.target));
+      agg_term = MakeAggregate(agg.func, std::move(target));
+    }
+    inner_ctx.conjuncts.push_back(MakePredicate(
+        data::CmpOp::kEq, MakeAttrRef(inner_head, "v"), std::move(agg_term)));
+    inner_q->body = inner_ctx.conjuncts.size() == 1
+                        ? std::move(inner_ctx.conjuncts[0])
+                        : MakeAnd(std::move(inner_ctx.conjuncts));
+    Head head;
+    head.relation = inner_head;
+    head.attrs = {"v"};
+    CollectionPtr inner =
+        MakeCollection(std::move(head), MakeExists(std::move(inner_q)));
+
+    Binding outer;
+    outer.var = ctx->FreshVar("x");
+    outer.range_kind = RangeKind::kCollection;
+    outer.collection = std::move(inner);
+    const std::string outer_var = outer.var;
+    q->bindings.push_back(std::move(outer));
+    // The result variable's representative is x.v.
+    const Term* existing = ctx->FindRepr(agg.result_var);
+    if (existing != nullptr) {
+      ctx->conjuncts.push_back(MakePredicate(data::CmpOp::kEq,
+                                             MakeAttrRef(outer_var, "v"),
+                                             existing->Clone()));
+    } else {
+      ctx->AddRepr(agg.result_var, MakeAttrRef(outer_var, "v"));
+    }
+    return Status::Ok();
+  }
+
+  Result<TermPtr> TranslateDlTerm(const DlTerm& t, const RuleCtx& ctx) {
+    return TranslateDlTermWith(
+        t, [&](const std::string& var) { return ctx.FindRepr(var); });
+  }
+
+  template <typename Lookup>
+  Result<TermPtr> TranslateDlTermWith(const DlTerm& t, Lookup lookup) {
+    switch (t.kind) {
+      case DlTermKind::kConst:
+        return MakeLiteral(t.value);
+      case DlTermKind::kVar: {
+        const Term* repr = lookup(t.var);
+        if (repr == nullptr) {
+          return InvalidArgument("Datalog variable '" + t.var +
+                                 "' is not bound by a positive atom");
+        }
+        return repr->Clone();
+      }
+      case DlTermKind::kUnderscore:
+        return InvalidArgument("'_' cannot be used as a value");
+      case DlTermKind::kArith: {
+        ARC_ASSIGN_OR_RETURN(TermPtr lhs, TranslateDlTermWith(*t.lhs, lookup));
+        ARC_ASSIGN_OR_RETURN(TermPtr rhs, TranslateDlTermWith(*t.rhs, lookup));
+        return MakeArith(t.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return Internal("bad Datalog term");
+  }
+
+  const DlProgram& program_;
+  std::unordered_map<std::string, PredInfo> preds_;
+};
+
+}  // namespace
+
+Result<Program> DatalogToArc(const datalog::DlProgram& program,
+                             std::string_view query_predicate) {
+  return DlTranslator(program).Run(query_predicate);
+}
+
+}  // namespace arc::translate

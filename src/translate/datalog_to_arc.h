@@ -1,0 +1,32 @@
+// Datalog → ARC translation (§2.9, §2.5):
+//   * multiple rules with one head become a single collection whose body is
+//     the disjunction of the rules (Eq. 16),
+//   * positional atoms become named bindings with explicit equality
+//     predicates (the named perspective, §2.1),
+//   * negated atoms become ¬∃ scopes,
+//   * Soufflé aggregates become the FOI pattern: a correlated nested
+//     collection with γ∅ (Eq. 6 ↦ Eq. 7),
+//   * facts become FROM-less disjuncts of assignment predicates,
+//   * recursion becomes a recursive collection (least fixpoint).
+//
+// The translated program evaluated under Conventions::Souffle() is
+// execution-equivalent to the semi-naive Datalog engine (differential
+// tests).
+#ifndef ARC_TRANSLATE_DATALOG_TO_ARC_H_
+#define ARC_TRANSLATE_DATALOG_TO_ARC_H_
+
+#include "arc/ast.h"
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace arc::translate {
+
+/// Translates the program; the collection for `query_predicate` becomes the
+/// main query, all other IDB predicates become intensional definitions.
+/// Mutual recursion across predicates is not supported (self-recursion is).
+Result<Program> DatalogToArc(const datalog::DlProgram& program,
+                             std::string_view query_predicate);
+
+}  // namespace arc::translate
+
+#endif  // ARC_TRANSLATE_DATALOG_TO_ARC_H_

@@ -1,0 +1,943 @@
+#include "translate/sql_to_arc.h"
+
+#include <functional>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace arc::translate {
+
+namespace {
+
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+using sql::FromItem;
+using sql::FromKind;
+using sql::JoinType;
+using sql::SelectItem;
+using sql::SelectStmt;
+
+/// Column environment frame: maps each SQL alias of a scope to the ARC
+/// range variable it became (renamed when it would shadow a collection
+/// head) and its column list.
+struct ScopeFrame {
+  struct Entry {
+    std::string sql_alias;
+    std::string arc_var;
+    std::vector<std::string> columns;
+  };
+  std::vector<Entry> aliases;
+};
+
+/// Accumulates one quantifier scope while a SELECT core is translated.
+struct ScopeState {
+  std::vector<Binding> bindings;
+  std::vector<FormulaPtr> conjuncts;
+  JoinNodePtr join_tree;
+  /// Variables of general (non-single-valued) scalar subqueries; they are
+  /// attached with LEFT join annotations so empty results yield NULL.
+  std::vector<std::string> left_joined_vars;
+};
+
+/// What a core translation should produce.
+struct CoreSpec {
+  /// Collecting mode: assignments `head.name = expr` are emitted for the
+  /// SELECT items. Boolean mode (existence test) when empty.
+  std::string head_name;
+  std::vector<std::string> out_names;  // collecting mode only
+  /// IN-membership: conjoin `output = *membership_tested`; when
+  /// null-checked, `(output = t ∨ output IS NULL ∨ t IS NULL)` (Eq. 17).
+  const Term* membership_tested = nullptr;
+  bool membership_null_checked = false;
+};
+
+class Translator {
+ public:
+  explicit Translator(const SqlToArcOptions& options) : options_(options) {}
+
+  Result<Program> Run(const SelectStmt& stmt) {
+    Program program;
+    root_ = &stmt;
+    ARC_RETURN_IF_ERROR(TranslateCtes(stmt, &program));
+    ARC_ASSIGN_OR_RETURN(
+        CollectionPtr main,
+        TranslateSelect(stmt, options_.head_name, /*is_recursive_cte=*/false));
+    program.main.collection = std::move(main);
+    return program;
+  }
+
+ private:
+  // ---- fresh names ------------------------------------------------------
+
+  std::string FreshVar() { return "_v" + std::to_string(++var_counter_); }
+  std::string FreshHead() { return "_S" + std::to_string(++head_counter_); }
+  std::string FreshAttr() { return "_h" + std::to_string(++attr_counter_); }
+
+  // ---- CTEs ----------------------------------------------------------------
+
+  Status TranslateCtes(const SelectStmt& stmt, Program* program) {
+    for (const sql::CommonTableExpr& cte : stmt.ctes) {
+      const bool self_recursive =
+          stmt.with_recursive && SelectMentions(*cte.query, cte.name);
+      ARC_ASSIGN_OR_RETURN(std::vector<std::string> columns,
+                           OutputNames(*cte.query));
+      cte_schemas_.emplace_back(cte.name, columns);
+      ARC_ASSIGN_OR_RETURN(
+          CollectionPtr coll,
+          TranslateSelect(*cte.query, cte.name, self_recursive));
+      Definition def;
+      def.kind = DefKind::kIntensional;
+      def.collection = std::move(coll);
+      program->definitions.push_back(std::move(def));
+    }
+    return Status::Ok();
+  }
+
+  static bool ExprMentions(const Expr& e, const std::string& name) {
+    if (e.subquery && SelectMentions(*e.subquery, name)) return true;
+    if (e.lhs && ExprMentions(*e.lhs, name)) return true;
+    if (e.rhs && ExprMentions(*e.rhs, name)) return true;
+    if (e.agg_arg && ExprMentions(*e.agg_arg, name)) return true;
+    for (const ExprPtr& c : e.children) {
+      if (ExprMentions(*c, name)) return true;
+    }
+    return false;
+  }
+
+  static bool FromMentions(const FromItem& f, const std::string& name) {
+    switch (f.kind) {
+      case FromKind::kTable:
+        return EqualsIgnoreCase(f.table, name);
+      case FromKind::kSubquery:
+        return SelectMentions(*f.subquery, name);
+      case FromKind::kJoin:
+        return FromMentions(*f.left, name) || FromMentions(*f.right, name) ||
+               (f.on && ExprMentions(*f.on, name));
+    }
+    return false;
+  }
+
+  static bool SelectMentions(const SelectStmt& s, const std::string& name) {
+    for (const sql::FromItemPtr& f : s.from) {
+      if (FromMentions(*f, name)) return true;
+    }
+    for (const SelectItem& item : s.items) {
+      if (item.expr && ExprMentions(*item.expr, name)) return true;
+    }
+    if (s.where && ExprMentions(*s.where, name)) return true;
+    if (s.having && ExprMentions(*s.having, name)) return true;
+    if (s.union_next && SelectMentions(*s.union_next, name)) return true;
+    return false;
+  }
+
+  // ---- output naming ---------------------------------------------------
+
+  Result<std::vector<std::string>> OutputNames(const SelectStmt& stmt) {
+    std::vector<std::string> names;
+    int anon = 0;
+    for (const SelectItem& item : stmt.items) {
+      if (item.star) {
+        return Unsupported(
+            "SELECT * is not supported by the translator; list columns");
+      }
+      std::string name;
+      if (!item.alias.empty()) {
+        name = item.alias;
+      } else if (item.expr->kind == ExprKind::kColumnRef) {
+        name = item.expr->column;
+      } else {
+        name = "col" + std::to_string(++anon);
+      }
+      std::string candidate = name;
+      int suffix = 1;
+      auto taken = [&](const std::string& n) {
+        for (const std::string& existing : names) {
+          if (EqualsIgnoreCase(existing, n)) return true;
+        }
+        return false;
+      };
+      while (taken(candidate)) {
+        candidate = name + "_" + std::to_string(++suffix);
+      }
+      names.push_back(std::move(candidate));
+    }
+    return names;
+  }
+
+  // ---- column resolution ------------------------------------------------
+
+  Result<TermPtr> ResolveColumn(const std::string& table,
+                                const std::string& column) {
+    if (!table.empty()) {
+      // Map the SQL alias to its (possibly renamed) ARC variable.
+      for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope) {
+        for (const ScopeFrame::Entry& e : scope->aliases) {
+          if (EqualsIgnoreCase(e.sql_alias, table)) {
+            return MakeAttrRef(e.arc_var, column);
+          }
+        }
+      }
+      return MakeAttrRef(table, column);
+    }
+    for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope) {
+      const std::string* found_var = nullptr;
+      for (const ScopeFrame::Entry& e : scope->aliases) {
+        for (const std::string& c : e.columns) {
+          if (EqualsIgnoreCase(c, column)) {
+            if (found_var != nullptr) {
+              return InvalidArgument("ambiguous column '" + column + "'");
+            }
+            found_var = &e.arc_var;
+            break;
+          }
+        }
+      }
+      if (found_var != nullptr) return MakeAttrRef(*found_var, column);
+    }
+    return InvalidArgument(
+        "cannot resolve unqualified column '" + column +
+        "' (provide a database to SqlToArcOptions or qualify it)");
+  }
+
+  /// ARC variable for a FROM alias: renamed when it would shadow the head
+  /// of any enclosing collection, or any visible range variable — outer
+  /// references already translated into this scope (IN membership,
+  /// scalar-subquery correlation) must not be captured.
+  std::string ArcVarFor(const std::string& sql_alias) {
+    bool shadowed = false;
+    for (const std::string& head : head_stack_) {
+      if (EqualsIgnoreCase(head, sql_alias)) shadowed = true;
+    }
+    for (const ScopeFrame& frame : scopes_) {
+      for (const ScopeFrame::Entry& e : frame.aliases) {
+        if (EqualsIgnoreCase(e.arc_var, sql_alias)) shadowed = true;
+      }
+    }
+    if (shadowed) return sql_alias + "_" + std::to_string(++var_counter_);
+    return sql_alias;
+  }
+
+  Result<std::vector<std::string>> TableColumns(const std::string& table) {
+    for (const auto& [name, columns] : cte_schemas_) {
+      if (EqualsIgnoreCase(name, table)) return columns;
+    }
+    if (options_.database != nullptr) {
+      const data::Relation* rel = options_.database->GetPtr(table);
+      if (rel != nullptr) return rel->schema().names();
+    }
+    return std::vector<std::string>{};
+  }
+
+  ScopeState& CurrentScope() { return *scope_states_.back(); }
+
+  void RegisterAlias(const std::string& sql_alias, const std::string& arc_var,
+                     std::vector<std::string> columns) {
+    scopes_.back().aliases.push_back({sql_alias, arc_var, std::move(columns)});
+  }
+
+  // ---- FROM ---------------------------------------------------------------
+
+  Status TranslateFromItem(const FromItem& f, JoinNodePtr* annotation) {
+    switch (f.kind) {
+      case FromKind::kTable: {
+        Binding b;
+        b.var = ArcVarFor(f.BindingName());
+        b.range_kind = RangeKind::kNamed;
+        b.relation = f.table;
+        ARC_ASSIGN_OR_RETURN(std::vector<std::string> cols,
+                             TableColumns(f.table));
+        RegisterAlias(f.BindingName(), b.var, std::move(cols));
+        if (annotation != nullptr) *annotation = MakeJoinVar(b.var);
+        CurrentScope().bindings.push_back(std::move(b));
+        return Status::Ok();
+      }
+      case FromKind::kSubquery: {
+        ARC_ASSIGN_OR_RETURN(CollectionPtr coll,
+                             TranslateSelect(*f.subquery, FreshHead(), false));
+        Binding b;
+        b.var = ArcVarFor(f.alias);
+        b.range_kind = RangeKind::kCollection;
+        RegisterAlias(f.alias, b.var, coll->head.attrs);
+        b.collection = std::move(coll);
+        if (annotation != nullptr) *annotation = MakeJoinVar(b.var);
+        CurrentScope().bindings.push_back(std::move(b));
+        return Status::Ok();
+      }
+      case FromKind::kJoin:
+        return TranslateJoin(f, annotation);
+    }
+    return Internal("bad FROM item");
+  }
+
+  static void CollectLocalAliases(const Expr& e,
+                                  const std::vector<std::string>& aliases,
+                                  std::unordered_set<std::string>* out) {
+    if (e.kind == ExprKind::kColumnRef && !e.table.empty()) {
+      for (const std::string& a : aliases) {
+        if (EqualsIgnoreCase(a, e.table)) {
+          out->insert(ToLower(a));
+          break;
+        }
+      }
+    }
+    if (e.lhs) CollectLocalAliases(*e.lhs, aliases, out);
+    if (e.rhs) CollectLocalAliases(*e.rhs, aliases, out);
+    if (e.agg_arg) CollectLocalAliases(*e.agg_arg, aliases, out);
+    for (const ExprPtr& c : e.children) {
+      CollectLocalAliases(*c, aliases, out);
+    }
+    if (e.subquery) CollectSubqueryAliases(*e.subquery, aliases, out);
+  }
+
+  static void CollectSubqueryAliases(const SelectStmt& s,
+                                     const std::vector<std::string>& aliases,
+                                     std::unordered_set<std::string>* out) {
+    for (const SelectItem& item : s.items) {
+      if (item.expr) CollectLocalAliases(*item.expr, aliases, out);
+    }
+    if (s.where) CollectLocalAliases(*s.where, aliases, out);
+    if (s.having) CollectLocalAliases(*s.having, aliases, out);
+    for (const ExprPtr& g : s.group_by) {
+      CollectLocalAliases(*g, aliases, out);
+    }
+    if (s.union_next) CollectSubqueryAliases(*s.union_next, aliases, out);
+  }
+
+  static void JoinLeafAliases(const FromItem& f,
+                              std::vector<std::string>* out) {
+    switch (f.kind) {
+      case FromKind::kTable:
+      case FromKind::kSubquery:
+        out->push_back(f.BindingName());
+        return;
+      case FromKind::kJoin:
+        JoinLeafAliases(*f.left, out);
+        JoinLeafAliases(*f.right, out);
+        return;
+    }
+  }
+
+  static void FlattenSqlAnd(ExprPtr e, std::vector<ExprPtr>* out) {
+    if (e->kind == ExprKind::kAnd) {
+      for (ExprPtr& c : e->children) FlattenSqlAnd(std::move(c), out);
+      return;
+    }
+    out->push_back(std::move(e));
+  }
+
+  Status TranslateJoin(const FromItem& f, JoinNodePtr* annotation) {
+    JoinNodePtr left_tree;
+    JoinNodePtr right_tree;
+    ARC_RETURN_IF_ERROR(TranslateFromItem(*f.left, &left_tree));
+    ARC_RETURN_IF_ERROR(TranslateFromItem(*f.right, &right_tree));
+
+    std::vector<ExprPtr> on_conjuncts;
+    if (f.on) FlattenSqlAnd(f.on->Clone(), &on_conjuncts);
+
+    const bool outer =
+        f.join_type == JoinType::kLeft || f.join_type == JoinType::kFull;
+    if (outer) {
+      std::vector<std::string> optional_side;
+      JoinLeafAliases(*f.right, &optional_side);
+      std::vector<std::string> all;
+      JoinLeafAliases(*f.left, &all);
+      all.insert(all.end(), optional_side.begin(), optional_side.end());
+      for (const ExprPtr& c : on_conjuncts) {
+        std::unordered_set<std::string> used;
+        CollectLocalAliases(*c, all, &used);
+        bool touches_optional = false;
+        for (const std::string& a : optional_side) {
+          if (used.count(ToLower(a)) > 0) touches_optional = true;
+        }
+        if (touches_optional || used.empty()) continue;
+        // Preserved-side-only condition: add a literal anchor on the
+        // optional side, as in left(r, inner(11, s)) (§2.11).
+        const Expr* literal_side = nullptr;
+        if (c->kind == ExprKind::kCmp) {
+          if (c->lhs->kind == ExprKind::kLiteral) literal_side = c->lhs.get();
+          if (c->rhs->kind == ExprKind::kLiteral) literal_side = c->rhs.get();
+        }
+        if (literal_side == nullptr) {
+          return Unsupported(
+              "outer-join ON condition references only the preserved side "
+              "and has no literal to anchor: " +
+              sql::ToSql(*c));
+        }
+        std::vector<JoinNodePtr> kids;
+        kids.push_back(MakeJoinLiteral(literal_side->literal));
+        kids.push_back(std::move(right_tree));
+        right_tree = MakeJoinInner(std::move(kids));
+      }
+    }
+
+    for (const ExprPtr& c : on_conjuncts) {
+      ARC_ASSIGN_OR_RETURN(FormulaPtr cond, TranslateBool(*c));
+      CurrentScope().conjuncts.push_back(std::move(cond));
+    }
+
+    switch (f.join_type) {
+      case JoinType::kInner:
+      case JoinType::kCross: {
+        std::vector<JoinNodePtr> kids;
+        kids.push_back(std::move(left_tree));
+        kids.push_back(std::move(right_tree));
+        *annotation = MakeJoinInner(std::move(kids));
+        return Status::Ok();
+      }
+      case JoinType::kLeft:
+        *annotation = MakeJoinLeft(std::move(left_tree), std::move(right_tree));
+        return Status::Ok();
+      case JoinType::kFull:
+        *annotation = MakeJoinFull(std::move(left_tree), std::move(right_tree));
+        return Status::Ok();
+    }
+    return Internal("bad join type");
+  }
+
+  static bool AnnotationNeeded(const JoinNode& n) {
+    switch (n.kind) {
+      case JoinKind::kLeft:
+      case JoinKind::kFull:
+        return true;
+      case JoinKind::kVarLeaf:
+      case JoinKind::kLiteralLeaf:
+        return false;
+      case JoinKind::kInner:
+        for (const JoinNodePtr& c : n.children) {
+          if (AnnotationNeeded(*c)) return true;
+        }
+        return false;
+    }
+    return false;
+  }
+
+  // ---- expressions -------------------------------------------------------
+
+  Result<TermPtr> TranslateTerm(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kColumnRef:
+        return ResolveColumn(e.table, e.column);
+      case ExprKind::kLiteral:
+        return MakeLiteral(e.literal);
+      case ExprKind::kArith: {
+        ARC_ASSIGN_OR_RETURN(TermPtr l, TranslateTerm(*e.lhs));
+        ARC_ASSIGN_OR_RETURN(TermPtr r, TranslateTerm(*e.rhs));
+        return MakeArith(e.arith_op, std::move(l), std::move(r));
+      }
+      case ExprKind::kAggCall: {
+        if (e.agg_func == AggFunc::kCountStar) {
+          return MakeAggregate(AggFunc::kCountStar, nullptr);
+        }
+        ARC_ASSIGN_OR_RETURN(TermPtr arg, TranslateTerm(*e.agg_arg));
+        return MakeAggregate(e.agg_func, std::move(arg));
+      }
+      case ExprKind::kScalarSubquery:
+        return TranslateScalarSubquery(*e.subquery);
+      default:
+        return Unsupported("boolean expression used as a value: " +
+                           sql::ToSql(e));
+    }
+  }
+
+  Result<TermPtr> TranslateScalarSubquery(const SelectStmt& sub) {
+    if (sub.items.size() != 1 || sub.items[0].star) {
+      return Unsupported("scalar subquery must select exactly one column");
+    }
+    const bool single_valued = sub.group_by.empty() && !sub.having &&
+                               sub.items[0].expr->ContainsAggregate() &&
+                               !sub.union_next;
+    ARC_ASSIGN_OR_RETURN(CollectionPtr coll,
+                         TranslateSelect(sub, FreshHead(), false));
+    const std::string attr = coll->head.attrs[0];
+    Binding b;
+    b.var = FreshVar();
+    b.range_kind = RangeKind::kCollection;
+    b.collection = std::move(coll);
+    const std::string var = b.var;
+    CurrentScope().bindings.push_back(std::move(b));
+    if (!single_valued) CurrentScope().left_joined_vars.push_back(var);
+    return MakeAttrRef(var, attr);
+  }
+
+  Result<FormulaPtr> TranslateBool(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kCmp: {
+        ARC_ASSIGN_OR_RETURN(TermPtr l, TranslateTerm(*e.lhs));
+        ARC_ASSIGN_OR_RETURN(TermPtr r, TranslateTerm(*e.rhs));
+        return MakePredicate(e.cmp_op, std::move(l), std::move(r));
+      }
+      case ExprKind::kAnd: {
+        std::vector<FormulaPtr> children;
+        for (const ExprPtr& c : e.children) {
+          ARC_ASSIGN_OR_RETURN(FormulaPtr f, TranslateBool(*c));
+          children.push_back(std::move(f));
+        }
+        return MakeAnd(std::move(children));
+      }
+      case ExprKind::kOr: {
+        std::vector<FormulaPtr> children;
+        for (const ExprPtr& c : e.children) {
+          ARC_ASSIGN_OR_RETURN(FormulaPtr f, TranslateBool(*c));
+          children.push_back(std::move(f));
+        }
+        return MakeOr(std::move(children));
+      }
+      case ExprKind::kNot: {
+        if (e.lhs->kind == ExprKind::kInSubquery) {
+          return TranslateIn(*e.lhs, !e.lhs->negated);
+        }
+        ARC_ASSIGN_OR_RETURN(FormulaPtr inner, TranslateBool(*e.lhs));
+        return MakeNot(std::move(inner));
+      }
+      case ExprKind::kIsNull: {
+        ARC_ASSIGN_OR_RETURN(TermPtr arg, TranslateTerm(*e.lhs));
+        return MakeNullTest(std::move(arg), e.negated);
+      }
+      case ExprKind::kExists: {
+        CoreSpec spec;  // boolean mode
+        ARC_ASSIGN_OR_RETURN(FormulaPtr exists,
+                             TranslateUnionChain(*e.subquery, spec));
+        if (e.negated) return MakeNot(std::move(exists));
+        return exists;
+      }
+      case ExprKind::kInSubquery:
+        return TranslateIn(e, e.negated);
+      case ExprKind::kLiteral:
+        if (e.literal.kind() == data::ValueKind::kBool) {
+          if (e.literal.as_bool()) return MakeAnd({});
+          return MakeOr({});
+        }
+        return Unsupported("literal in boolean position");
+      default:
+        return Unsupported("expression in boolean position: " + sql::ToSql(e));
+    }
+  }
+
+  /// Eq. (17): x IN → ∃[… ∧ o = x]; x NOT IN → ¬∃[… ∧ (o = x ∨ o IS NULL ∨
+  /// x IS NULL)].
+  Result<FormulaPtr> TranslateIn(const Expr& e, bool negated) {
+    if (e.subquery->items.size() != 1 || e.subquery->items[0].star) {
+      return Unsupported("IN subquery must select exactly one column");
+    }
+    ARC_ASSIGN_OR_RETURN(TermPtr tested, TranslateTerm(*e.lhs));
+    CoreSpec spec;  // boolean mode with membership
+    spec.membership_tested = tested.get();
+    spec.membership_null_checked = negated;
+    ARC_ASSIGN_OR_RETURN(FormulaPtr exists,
+                         TranslateUnionChain(*e.subquery, spec));
+    if (negated) return MakeNot(std::move(exists));
+    return exists;
+  }
+
+  // ---- SELECT core ----------------------------------------------------------
+
+  /// Translates a (possibly UNION-chained) select under `spec`; returns an
+  /// Exists formula or an Or of Exists formulas.
+  Result<FormulaPtr> TranslateUnionChain(const SelectStmt& stmt,
+                                         const CoreSpec& spec) {
+    std::vector<FormulaPtr> branches;
+    const SelectStmt* current = &stmt;
+    while (current != nullptr) {
+      if (!current->ctes.empty() && current != root_) {
+        return Unsupported("CTEs are only supported on the outermost query");
+      }
+      ARC_ASSIGN_OR_RETURN(FormulaPtr branch, BuildCore(*current, spec));
+      branches.push_back(std::move(branch));
+      current = current->union_next.get();
+    }
+    if (branches.size() == 1) return std::move(branches[0]);
+    return MakeOr(std::move(branches));
+  }
+
+  /// Translates one SELECT core into a quantifier scope.
+  Result<FormulaPtr> BuildCore(const SelectStmt& stmt, const CoreSpec& spec) {
+    const bool collecting = !spec.head_name.empty();
+    scopes_.emplace_back();
+    ScopeState state;
+    scope_states_.push_back(&state);
+    if (collecting) head_stack_.push_back(spec.head_name);
+
+    auto result = BuildCoreInner(stmt, spec, collecting);
+
+    if (collecting) head_stack_.pop_back();
+    scope_states_.pop_back();
+    scopes_.pop_back();
+    return result;
+  }
+
+  Result<FormulaPtr> BuildCoreInner(const SelectStmt& stmt,
+                                    const CoreSpec& spec, bool collecting) {
+    if (!stmt.order_by.empty()) {
+      return Unsupported(
+          "ORDER BY is presentation-level and outside the relational core "
+          "(sorted lists are the paper's §5 open extension); strip it "
+          "before translating");
+    }
+    ScopeState& state = CurrentScope();
+
+    // FROM.
+    std::vector<JoinNodePtr> trees;
+    for (const sql::FromItemPtr& f : stmt.from) {
+      JoinNodePtr tree;
+      ARC_RETURN_IF_ERROR(TranslateFromItem(*f, &tree));
+      trees.push_back(std::move(tree));
+    }
+    bool need_annotation = false;
+    for (const JoinNodePtr& t : trees) {
+      if (t && AnnotationNeeded(*t)) need_annotation = true;
+    }
+    if (need_annotation) {
+      state.join_tree = trees.size() == 1 ? std::move(trees[0])
+                                          : MakeJoinInner(std::move(trees));
+    }
+
+    // WHERE.
+    if (stmt.where) {
+      ARC_ASSIGN_OR_RETURN(FormulaPtr where, TranslateBool(*stmt.where));
+      state.conjuncts.push_back(std::move(where));
+    }
+
+    // Grouping decision.
+    bool has_select_agg = false;
+    for (const SelectItem& item : stmt.items) {
+      if (item.expr && item.expr->ContainsAggregate()) has_select_agg = true;
+    }
+    const bool grouped =
+        !stmt.group_by.empty() || has_select_agg || stmt.having != nullptr;
+
+    std::optional<Grouping> grouping;
+    if (grouped) {
+      Grouping g;
+      for (const ExprPtr& key : stmt.group_by) {
+        ARC_ASSIGN_OR_RETURN(TermPtr k, TranslateTerm(*key));
+        g.keys.push_back(std::move(k));
+      }
+      grouping = std::move(g);
+    }
+
+    // HAVING (collecting mode uses the nested pattern of Fig. 6; boolean
+    // mode inlines the aggregates as group filters).
+    if (stmt.having != nullptr && collecting) {
+      return BuildHavingNested(stmt, spec, std::move(grouping));
+    }
+    if (stmt.having != nullptr) {
+      ARC_ASSIGN_OR_RETURN(FormulaPtr having, TranslateBool(*stmt.having));
+      state.conjuncts.push_back(std::move(having));
+    }
+
+    // Membership conjunct (IN).
+    if (spec.membership_tested != nullptr) {
+      if (stmt.items.size() != 1 || stmt.items[0].star || !stmt.items[0].expr) {
+        return Unsupported("IN subquery must select exactly one column");
+      }
+      ARC_ASSIGN_OR_RETURN(TermPtr output, TranslateTerm(*stmt.items[0].expr));
+      if (spec.membership_null_checked) {
+        std::vector<FormulaPtr> disjuncts;
+        disjuncts.push_back(MakePredicate(data::CmpOp::kEq, output->Clone(),
+                                          spec.membership_tested->Clone()));
+        disjuncts.push_back(MakeNullTest(std::move(output), false));
+        disjuncts.push_back(
+            MakeNullTest(spec.membership_tested->Clone(), false));
+        state.conjuncts.push_back(MakeOr(std::move(disjuncts)));
+      } else {
+        state.conjuncts.push_back(MakePredicate(
+            data::CmpOp::kEq, std::move(output),
+            spec.membership_tested->Clone()));
+      }
+    }
+
+    // SELECT assignments (collecting mode).
+    if (collecting) {
+      if (stmt.items.size() != spec.out_names.size()) {
+        return Internal("output-name arity mismatch");
+      }
+      for (size_t i = 0; i < stmt.items.size(); ++i) {
+        ARC_ASSIGN_OR_RETURN(TermPtr value,
+                             TranslateTerm(*stmt.items[i].expr));
+        state.conjuncts.push_back(MakePredicate(
+            data::CmpOp::kEq,
+            MakeAttrRef(spec.head_name, spec.out_names[i]), std::move(value)));
+      }
+    }
+
+    return AssembleScope(std::move(grouping));
+  }
+
+  /// Builds the Exists formula from the accumulated scope state.
+  Result<FormulaPtr> AssembleScope(std::optional<Grouping> grouping) {
+    ScopeState& state = CurrentScope();
+    if (state.bindings.empty()) {
+      // FROM-less select (e.g. SELECT 1 WHERE …): model as a singleton via
+      // an empty conjunction body — ARC has no zero-binding scopes, so wrap
+      // the conjuncts directly (the caller's spine handles them).
+      if (state.conjuncts.empty()) return MakeAnd({});
+      return MakeAnd(std::move(state.conjuncts));
+    }
+    // Attach LEFT joins for general scalar subqueries.
+    if (!state.left_joined_vars.empty()) {
+      auto is_left_var = [&](const std::string& var) {
+        for (const std::string& v : state.left_joined_vars) {
+          if (EqualsIgnoreCase(v, var)) return true;
+        }
+        return false;
+      };
+      JoinNodePtr base = std::move(state.join_tree);
+      // Regular leaves not yet covered by the tree.
+      std::vector<std::string> covered;
+      if (base) base->CollectVars(&covered);
+      std::vector<JoinNodePtr> extra;
+      for (const Binding& b : state.bindings) {
+        if (is_left_var(b.var)) continue;
+        bool in_tree = false;
+        for (const std::string& v : covered) {
+          if (EqualsIgnoreCase(v, b.var)) in_tree = true;
+        }
+        if (!in_tree) extra.push_back(MakeJoinVar(b.var));
+      }
+      if (base && !extra.empty()) {
+        std::vector<JoinNodePtr> kids;
+        kids.push_back(std::move(base));
+        for (JoinNodePtr& e : extra) kids.push_back(std::move(e));
+        base = MakeJoinInner(std::move(kids));
+      } else if (!base) {
+        if (extra.size() == 1) {
+          base = std::move(extra[0]);
+        } else {
+          base = MakeJoinInner(std::move(extra));
+        }
+      }
+      for (const std::string& v : state.left_joined_vars) {
+        base = MakeJoinLeft(std::move(base), MakeJoinVar(v));
+      }
+      state.join_tree = std::move(base);
+    }
+
+    auto q = std::make_unique<Quantifier>();
+    q->bindings = std::move(state.bindings);
+    q->grouping = std::move(grouping);
+    q->join_tree = std::move(state.join_tree);
+    if (state.conjuncts.size() == 1) {
+      q->body = std::move(state.conjuncts[0]);
+    } else {
+      q->body = MakeAnd(std::move(state.conjuncts));
+    }
+    return MakeExists(std::move(q));
+  }
+
+  // ---- HAVING (nested pattern, Fig. 6) ------------------------------------
+
+  Result<FormulaPtr> BuildHavingNested(const SelectStmt& stmt,
+                                       const CoreSpec& spec,
+                                       std::optional<Grouping> grouping) {
+    ScopeState& state = CurrentScope();
+    const std::string inner_head = FreshHead();
+    std::vector<std::string> inner_attrs = spec.out_names;
+    std::vector<FormulaPtr> inner_assignments;
+
+    // SELECT outputs become inner head attrs.
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      ARC_ASSIGN_OR_RETURN(TermPtr value, TranslateTerm(*stmt.items[i].expr));
+      inner_assignments.push_back(
+          MakePredicate(data::CmpOp::kEq,
+                        MakeAttrRef(inner_head, spec.out_names[i]),
+                        std::move(value)));
+    }
+
+    // Hoist HAVING aggregates / column refs into extra inner attrs.
+    const std::string outer_var = FreshVar();
+    std::vector<std::pair<std::string, std::string>> hoisted;  // sql → attr
+    auto hoist = [&](const Expr& e) -> Result<TermPtr> {
+      const std::string key = sql::ToSql(e);
+      // Reuse a select item when the expression coincides.
+      for (size_t i = 0; i < stmt.items.size(); ++i) {
+        if (sql::ToSql(*stmt.items[i].expr) == key) {
+          return MakeAttrRef(outer_var, spec.out_names[i]);
+        }
+      }
+      for (const auto& [k, attr] : hoisted) {
+        if (k == key) return MakeAttrRef(outer_var, attr);
+      }
+      const std::string attr = FreshAttr();
+      ARC_ASSIGN_OR_RETURN(TermPtr value, TranslateTerm(e));
+      inner_attrs.push_back(attr);
+      inner_assignments.push_back(MakePredicate(
+          data::CmpOp::kEq, MakeAttrRef(inner_head, attr), std::move(value)));
+      hoisted.emplace_back(key, attr);
+      return MakeAttrRef(outer_var, attr);
+    };
+    std::function<Result<TermPtr>(const Expr&)> having_term =
+        [&](const Expr& e) -> Result<TermPtr> {
+      switch (e.kind) {
+        case ExprKind::kAggCall:
+        case ExprKind::kColumnRef:
+          return hoist(e);
+        case ExprKind::kLiteral:
+          return MakeLiteral(e.literal);
+        case ExprKind::kArith: {
+          ARC_ASSIGN_OR_RETURN(TermPtr l, having_term(*e.lhs));
+          ARC_ASSIGN_OR_RETURN(TermPtr r, having_term(*e.rhs));
+          return MakeArith(e.arith_op, std::move(l), std::move(r));
+        }
+        default:
+          return Unsupported("unsupported term in HAVING: " + sql::ToSql(e));
+      }
+    };
+    std::function<Result<FormulaPtr>(const Expr&)> having_bool =
+        [&](const Expr& e) -> Result<FormulaPtr> {
+      switch (e.kind) {
+        case ExprKind::kCmp: {
+          ARC_ASSIGN_OR_RETURN(TermPtr l, having_term(*e.lhs));
+          ARC_ASSIGN_OR_RETURN(TermPtr r, having_term(*e.rhs));
+          return MakePredicate(e.cmp_op, std::move(l), std::move(r));
+        }
+        case ExprKind::kAnd: {
+          std::vector<FormulaPtr> children;
+          for (const ExprPtr& c : e.children) {
+            ARC_ASSIGN_OR_RETURN(FormulaPtr f, having_bool(*c));
+            children.push_back(std::move(f));
+          }
+          return MakeAnd(std::move(children));
+        }
+        case ExprKind::kOr: {
+          std::vector<FormulaPtr> children;
+          for (const ExprPtr& c : e.children) {
+            ARC_ASSIGN_OR_RETURN(FormulaPtr f, having_bool(*c));
+            children.push_back(std::move(f));
+          }
+          return MakeOr(std::move(children));
+        }
+        case ExprKind::kNot: {
+          ARC_ASSIGN_OR_RETURN(FormulaPtr inner, having_bool(*e.lhs));
+          return MakeNot(std::move(inner));
+        }
+        case ExprKind::kIsNull: {
+          ARC_ASSIGN_OR_RETURN(TermPtr arg, having_term(*e.lhs));
+          return MakeNullTest(std::move(arg), e.negated);
+        }
+        default:
+          return Unsupported("unsupported HAVING condition: " + sql::ToSql(e));
+      }
+    };
+    ARC_ASSIGN_OR_RETURN(FormulaPtr having_cond, having_bool(*stmt.having));
+
+    // Assemble the inner grouped collection.
+    for (FormulaPtr& a : inner_assignments) {
+      state.conjuncts.push_back(std::move(a));
+    }
+    ARC_ASSIGN_OR_RETURN(FormulaPtr inner_exists,
+                         AssembleScope(std::move(grouping)));
+    Head head;
+    head.relation = inner_head;
+    head.attrs = inner_attrs;
+    CollectionPtr inner =
+        MakeCollection(std::move(head), std::move(inner_exists));
+
+    // Outer scope: bind x over the inner collection, re-emit outputs, and
+    // apply the HAVING condition.
+    auto q = std::make_unique<Quantifier>();
+    Binding b;
+    b.var = outer_var;
+    b.range_kind = RangeKind::kCollection;
+    b.collection = std::move(inner);
+    q->bindings.push_back(std::move(b));
+    std::vector<FormulaPtr> outer_conjuncts;
+    for (size_t i = 0; i < spec.out_names.size(); ++i) {
+      outer_conjuncts.push_back(MakePredicate(
+          data::CmpOp::kEq, MakeAttrRef(spec.head_name, spec.out_names[i]),
+          MakeAttrRef(outer_var, spec.out_names[i])));
+    }
+    outer_conjuncts.push_back(std::move(having_cond));
+    q->body = MakeAnd(std::move(outer_conjuncts));
+    return MakeExists(std::move(q));
+  }
+
+  // ---- top-level select → collection ---------------------------------------
+
+  Result<CollectionPtr> TranslateSelect(const SelectStmt& stmt,
+                                        const std::string& head_name,
+                                        bool is_recursive_cte) {
+    ARC_ASSIGN_OR_RETURN(std::vector<std::string> out_names,
+                         OutputNames(stmt));
+    // Arity check across UNION branches.
+    for (const SelectStmt* cur = stmt.union_next.get(); cur != nullptr;
+         cur = cur->union_next.get()) {
+      if (cur->items.size() != out_names.size()) {
+        return InvalidArgument("UNION branches have different arities");
+      }
+    }
+    bool any_union_distinct = false;
+    for (const SelectStmt* cur = &stmt; cur->union_next != nullptr;
+         cur = cur->union_next.get()) {
+      if (!cur->union_all) any_union_distinct = true;
+    }
+
+    // DISTINCT / UNION-distinct: deduplicate via grouping over all outputs
+    // (§2.7). Recursion deduplicates inherently (least fixpoint), so skip.
+    const bool need_dedup =
+        (stmt.distinct || any_union_distinct) && !is_recursive_cte;
+    const std::string inner_name = need_dedup ? FreshHead() : head_name;
+
+    CoreSpec spec;
+    spec.head_name = inner_name;
+    spec.out_names = out_names;
+    ARC_ASSIGN_OR_RETURN(FormulaPtr body, TranslateUnionChain(stmt, spec));
+    Head head;
+    head.relation = inner_name;
+    head.attrs = out_names;
+    CollectionPtr coll = MakeCollection(std::move(head), std::move(body));
+
+    if (need_dedup) {
+      const std::string var = FreshVar();
+      auto q = std::make_unique<Quantifier>();
+      Binding b;
+      b.var = var;
+      b.range_kind = RangeKind::kCollection;
+      b.collection = std::move(coll);
+      q->bindings.push_back(std::move(b));
+      Grouping g;
+      for (const std::string& attr : out_names) {
+        g.keys.push_back(MakeAttrRef(var, attr));
+      }
+      q->grouping = std::move(g);
+      std::vector<FormulaPtr> conjuncts;
+      for (const std::string& attr : out_names) {
+        conjuncts.push_back(MakePredicate(data::CmpOp::kEq,
+                                          MakeAttrRef(head_name, attr),
+                                          MakeAttrRef(var, attr)));
+      }
+      Head outer_head;
+      outer_head.relation = head_name;
+      outer_head.attrs = out_names;
+      q->body = MakeAnd(std::move(conjuncts));
+      return MakeCollection(std::move(outer_head), MakeExists(std::move(q)));
+    }
+    return coll;
+  }
+
+  const SqlToArcOptions& options_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> cte_schemas_;
+  std::vector<ScopeFrame> scopes_;
+  std::vector<ScopeState*> scope_states_;
+  const SelectStmt* root_ = nullptr;
+  std::vector<std::string> head_stack_;
+  int var_counter_ = 0;
+  int head_counter_ = 0;
+  int attr_counter_ = 0;
+};
+
+}  // namespace
+
+Result<Program> SqlToArc(const sql::SelectStmt& stmt,
+                         const SqlToArcOptions& options) {
+  return Translator(options).Run(stmt);
+}
+
+Result<Program> SqlToArc(std::string_view sql_text,
+                         const SqlToArcOptions& options) {
+  ARC_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSelect(sql_text));
+  return SqlToArc(*stmt, options);
+}
+
+}  // namespace arc::translate

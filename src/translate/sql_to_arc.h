@@ -1,0 +1,50 @@
+// SQL → ARC translation: turns the surface syntax tree of a SQL query into
+// the pattern-preserving ALT the paper prescribes:
+//   * SELECT items     → assignment predicates (§2.1),
+//   * FROM             → quantifier bindings (tables, nested collections for
+//                        subqueries — always lateral in ARC),
+//   * JOIN … ON        → join-annotation trees (§2.11), with literal
+//                        anchors for preserved-side constant conditions,
+//   * WHERE            → body conjuncts,
+//   * GROUP BY/HAVING  → grouping operator γ; HAVING becomes a selection on
+//                        a nested collection (Fig. 6),
+//   * aggregates w/o GROUP BY → γ∅,
+//   * DISTINCT         → grouping over the projected attributes (§2.7),
+//   * [NOT] EXISTS     → (negated) quantifier scopes,
+//   * IN / NOT IN      → ∃ / ¬∃ with explicit null checks (Eq. 17),
+//   * scalar subqueries → lateral-join form (Fig. 13d); single-valued
+//                        aggregates bind directly, general scalars via a
+//                        left join annotation to preserve NULL-on-empty,
+//   * WITH [RECURSIVE] → intensional definitions (recursive collections).
+//
+// The translated program evaluated under Conventions::Sql() is
+// execution-equivalent to the SQL query under the direct SQL evaluator
+// (validated by differential tests).
+#ifndef ARC_TRANSLATE_SQL_TO_ARC_H_
+#define ARC_TRANSLATE_SQL_TO_ARC_H_
+
+#include "arc/ast.h"
+#include "common/status.h"
+#include "data/database.h"
+#include "sql/ast.h"
+
+namespace arc::translate {
+
+struct SqlToArcOptions {
+  /// Used to resolve unqualified column references and SELECT * against
+  /// base-table schemas. Required for queries that use either.
+  const data::Database* database = nullptr;
+  /// Head relation name of the produced main collection.
+  std::string head_name = "Q";
+};
+
+Result<Program> SqlToArc(const sql::SelectStmt& stmt,
+                         const SqlToArcOptions& options = {});
+
+/// Convenience: parse then translate.
+Result<Program> SqlToArc(std::string_view sql,
+                         const SqlToArcOptions& options = {});
+
+}  // namespace arc::translate
+
+#endif  // ARC_TRANSLATE_SQL_TO_ARC_H_

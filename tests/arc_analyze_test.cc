@@ -1,0 +1,245 @@
+// Tests for resolution ("linking") and validation — the checks the paper
+// proposes for validating machine-generated ALTs (§4): well-scoped
+// variables, grouping legality, clean heads, correlation shape.
+#include <gtest/gtest.h>
+
+#include "arc/analyze.h"
+#include "arc/dsl.h"
+#include "data/generators.h"
+#include "text/parser.h"
+
+namespace arc {
+namespace {
+
+using namespace arc::dsl;  // NOLINT
+
+data::Database TestDb() {
+  data::Database db;
+  db.Create("R", data::Schema{"A", "B"});
+  db.Create("S", data::Schema{"B", "C"});
+  return db;
+}
+
+Analysis AnalyzeText(const std::string& text, const data::Database* db) {
+  auto program = text::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  AnalyzeOptions opts;
+  opts.database = db;
+  return Analyze(*program, opts);
+}
+
+bool HasError(const Analysis& a, const std::string& needle) {
+  for (const std::string& e : a.ErrorMessages()) {
+    if (e.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(Analyze, AcceptsEq1FromPaper) {
+  data::Database db = TestDb();
+  Analysis a = AnalyzeText(
+      "{Q(A) | exists r in R, s in S [Q.A = r.A and r.B = s.B and s.C = 0]}",
+      &db);
+  EXPECT_TRUE(a.ok()) << a.DiagnosticsToString();
+}
+
+TEST(Analyze, RejectsUnboundVariable) {
+  data::Database db = TestDb();
+  Analysis a =
+      AnalyzeText("{Q(A) | exists r in R [Q.A = r.A and z.B = 1]}", &db);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(HasError(a, "unbound variable 'z'"));
+}
+
+TEST(Analyze, RejectsUnknownAttribute) {
+  data::Database db = TestDb();
+  Analysis a =
+      AnalyzeText("{Q(A) | exists r in R [Q.A = r.nope]}", &db);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(HasError(a, "no attribute 'nope'"));
+}
+
+TEST(Analyze, RejectsUnknownRelationWithDatabase) {
+  data::Database db = TestDb();
+  Analysis a = AnalyzeText("{Q(A) | exists r in Missing [Q.A = r.A]}", &db);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(HasError(a, "unknown relation 'Missing'"));
+}
+
+TEST(Analyze, UnknownRelationIsWarningWithoutDatabase) {
+  Analysis a = AnalyzeText("{Q(A) | exists r in Missing [Q.A = r.A]}", nullptr);
+  EXPECT_TRUE(a.ok()) << a.DiagnosticsToString();
+  EXPECT_FALSE(a.diagnostics.empty());
+}
+
+TEST(Analyze, RejectsUnassignedHeadAttribute) {
+  data::Database db = TestDb();
+  Analysis a = AnalyzeText("{Q(A, B) | exists r in R [Q.A = r.A]}", &db);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(HasError(a, "'Q.B' is not assigned"));
+}
+
+TEST(Analyze, OrBranchesMustEachAssign) {
+  data::Database db = TestDb();
+  // Second disjunct forgets Q.A.
+  Analysis a = AnalyzeText(
+      "{Q(A) | exists r in R [Q.A = r.A] or exists s in S [s.C = 0]}", &db);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(HasError(a, "not assigned in every disjunct"));
+}
+
+TEST(Analyze, RejectsAssignmentUnderNegation) {
+  data::Database db = TestDb();
+  Analysis a = AnalyzeText(
+      "{Q(A) | exists r in R [Q.A = r.A and not(exists s in S [Q.A = s.B])]}",
+      &db);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(HasError(a, "under negation"));
+}
+
+TEST(Analyze, AggregateRequiresGroupingScope) {
+  data::Database db = TestDb();
+  Analysis a = AnalyzeText(
+      "{Q(sm) | exists r in R [Q.sm = sum(r.B)]}", &db);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(HasError(a, "grouping"));
+}
+
+TEST(Analyze, AcceptsGroupedAggregateEq3) {
+  data::Database db = TestDb();
+  Analysis a = AnalyzeText(
+      "{Q(A, sm) | exists r in R, gamma(r.A) "
+      "[Q.A = r.A and Q.sm = sum(r.B)]}",
+      &db);
+  EXPECT_TRUE(a.ok()) << a.DiagnosticsToString();
+}
+
+TEST(Analyze, NonKeyAttributeInAggregationScopeRejected) {
+  data::Database db = TestDb();
+  // Q.B = r.B where r.B is not a grouping key.
+  Analysis a = AnalyzeText(
+      "{Q(A, B) | exists r in R, gamma(r.A) [Q.A = r.A and Q.B = r.B]}", &db);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(HasError(a, "not a grouping key"));
+}
+
+TEST(Analyze, DuplicateRangeVariableRejected) {
+  data::Database db = TestDb();
+  Analysis a = AnalyzeText(
+      "{Q(A) | exists r in R, r in S [Q.A = r.A]}", &db);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(HasError(a, "duplicate range variable"));
+}
+
+TEST(Analyze, DuplicateHeadAttributeRejected) {
+  data::Database db = TestDb();
+  Analysis a = AnalyzeText("{Q(A, A) | exists r in R [Q.A = r.A]}", &db);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(HasError(a, "duplicate head attribute"));
+}
+
+TEST(Analyze, JoinAnnotationMustReferenceScopeVars) {
+  data::Database db = TestDb();
+  Analysis a = AnalyzeText(
+      "{Q(A) | exists r in R, s in S, left(r, z) [Q.A = r.A and r.B = s.B]}",
+      &db);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(HasError(a, "join annotation references 'z'"));
+}
+
+TEST(Analyze, RecursionDetectedAndPositive) {
+  data::Database db = data::ParentChain(4);
+  Analysis a = AnalyzeText(
+      "{A(s, t) | exists p in P [A.s = p.s and A.t = p.t] or "
+      "exists p in P, a2 in A [A.s = p.s and p.t = a2.s and a2.t = A.t]}",
+      &db);
+  EXPECT_TRUE(a.ok()) << a.DiagnosticsToString();
+  bool found_recursive = false;
+  for (const auto& [coll, info] : a.collections) {
+    (void)coll;
+    if (info.is_recursive) found_recursive = true;
+  }
+  EXPECT_TRUE(found_recursive);
+}
+
+TEST(Analyze, RecursionUnderNegationRejected) {
+  data::Database db = data::ParentChain(4);
+  Analysis a = AnalyzeText(
+      "{A(s, t) | exists p in P [A.s = p.s and A.t = p.t and "
+      "not(exists a2 in A [a2.s = p.s])]}",
+      &db);
+  EXPECT_FALSE(a.ok());
+  EXPECT_TRUE(HasError(a, "under negation"));
+}
+
+TEST(Analyze, AbstractHeadParametersAllowed) {
+  data::Database db = data::LikesInstance(5, 5, 0.5, 0.0, 1);
+  // The Subset module (Eq. 23): head attrs used as parameters, not assigned.
+  Analysis a = AnalyzeText(
+      "abstract define {S(left, right) | "
+      "not(exists l3 in Likes [l3.drinker = S.left and "
+      "not(exists l4 in Likes [l4.beer = l3.beer and "
+      "l4.drinker = S.right])])} "
+      "{Q(d) | exists l1 in Likes [Q.d = l1.drinker]}",
+      &db);
+  EXPECT_TRUE(a.ok()) << a.DiagnosticsToString();
+}
+
+TEST(Analyze, ExternalRelationSchemaResolves) {
+  data::Database db = TestDb();
+  Analysis a = AnalyzeText(
+      "{Q(A) | exists r in R, s in S, t in S, f in Minus "
+      "[Q.A = r.A and f.left = r.B and f.right = s.B and f.out > t.B]}",
+      &db);
+  EXPECT_TRUE(a.ok()) << a.DiagnosticsToString();
+}
+
+TEST(Analyze, SentenceWithAggregateComparison) {
+  data::Database db = data::InventoryInstance(3, 2, true, 1);
+  // Eq. (14): ¬∃r∈R[∃s∈S, γ∅ [r.id = s.id ∧ r.q > count(s.d)]]
+  Analysis a = AnalyzeText(
+      "not(exists r in R [exists s in S, gamma() "
+      "[r.id = s.id and r.q > count(s.d)]])",
+      &db);
+  EXPECT_TRUE(a.ok()) << a.DiagnosticsToString();
+}
+
+TEST(Analyze, PredicateClassification) {
+  data::Database db = TestDb();
+  auto program = text::ParseProgram(
+      "{Q(A, sm) | exists r in R, gamma(r.A) "
+      "[Q.A = r.A and Q.sm = sum(r.B) and r.A > 0]}");
+  ASSERT_TRUE(program.ok());
+  AnalyzeOptions opts;
+  opts.database = &db;
+  Analysis a = Analyze(*program, opts);
+  ASSERT_TRUE(a.ok()) << a.DiagnosticsToString();
+  int assignments = 0;
+  int agg_assignments = 0;
+  int filters = 0;
+  for (const auto& [f, cls] : a.predicates) {
+    (void)f;
+    if (cls == PredClass::kAssignment) ++assignments;
+    if (cls == PredClass::kAggAssignment) ++agg_assignments;
+    if (cls == PredClass::kFilter) ++filters;
+  }
+  EXPECT_EQ(assignments, 1);
+  EXPECT_EQ(agg_assignments, 1);
+  EXPECT_EQ(filters, 1);
+}
+
+TEST(Analyze, ValidateWrapper) {
+  data::Database db = TestDb();
+  auto good =
+      text::ParseProgram("{Q(A) | exists r in R [Q.A = r.A]}");
+  ASSERT_TRUE(good.ok());
+  AnalyzeOptions opts;
+  opts.database = &db;
+  EXPECT_TRUE(Validate(*good, opts).ok());
+  auto bad = text::ParseProgram("{Q(A) | exists r in R [Q.B = r.A]}");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(Validate(*bad, opts).ok());
+}
+
+}  // namespace
+}  // namespace arc

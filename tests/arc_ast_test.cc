@@ -1,0 +1,137 @@
+// Unit tests for the ALT node model and the construction DSL.
+#include <gtest/gtest.h>
+
+#include "arc/ast.h"
+#include "arc/dsl.h"
+#include "text/printer.h"
+
+namespace arc {
+namespace {
+
+using namespace arc::dsl;  // NOLINT
+
+TEST(AggFunc, NamesRoundTrip) {
+  EXPECT_EQ(AggFuncFromName("sum"), AggFunc::kSum);
+  EXPECT_EQ(AggFuncFromName("SUM"), AggFunc::kSum);
+  EXPECT_EQ(AggFuncFromName("average"), AggFunc::kAvg);
+  EXPECT_EQ(AggFuncFromName("countdistinct"), AggFunc::kCountDistinct);
+  EXPECT_FALSE(AggFuncFromName("median").has_value());
+  EXPECT_STREQ(AggFuncName(AggFunc::kCountStar), "count*");
+  EXPECT_TRUE(IsDistinctAgg(AggFunc::kSumDistinct));
+  EXPECT_FALSE(IsDistinctAgg(AggFunc::kSum));
+}
+
+TEST(Term, ContainsAggregate) {
+  TermPtr plain = Attr("r", "A");
+  EXPECT_FALSE(plain->ContainsAggregate());
+  TermPtr agg = Sum(Attr("r", "B"));
+  EXPECT_TRUE(agg->ContainsAggregate());
+  TermPtr arith = Add(Int(1), Sum(Attr("r", "B")));
+  EXPECT_TRUE(arith->ContainsAggregate());
+}
+
+TEST(Term, References) {
+  TermPtr t = Add(Attr("r", "A"), Mul(Attr("s", "B"), Int(3)));
+  EXPECT_TRUE(t->References("r"));
+  EXPECT_TRUE(t->References("S"));  // case-insensitive
+  EXPECT_FALSE(t->References("q"));
+}
+
+TEST(Term, CloneIsDeep) {
+  TermPtr t = Add(Attr("r", "A"), Int(1));
+  TermPtr c = t->Clone();
+  t->lhs->var = "changed";
+  EXPECT_EQ(c->lhs->var, "r");
+}
+
+TEST(Formula, ContainsAggregateStopsAtNestedScopes) {
+  // An aggregate inside a *nested* quantifier is not this formula's.
+  FormulaPtr inner = Scope()
+                         .Bind("s", "S")
+                         .GroupBy(Keys())
+                         .Where(Eq(Attr("X", "c"), Count(Attr("s", "d"))))
+                         .Exists();
+  EXPECT_FALSE(inner->ContainsAggregate());  // kExists boundary
+  FormulaPtr pred = Eq(Attr("Q", "c"), Count(Attr("s", "d")));
+  EXPECT_TRUE(pred->ContainsAggregate());
+}
+
+TEST(Collection, CloneIsDeep) {
+  CollectionPtr c = Coll("Q", {"A"},
+                         Scope()
+                             .Bind("r", "R")
+                             .Where(Eq(Attr("Q", "A"), Attr("r", "A")))
+                             .Exists());
+  CollectionPtr clone = c->Clone();
+  c->head.attrs[0] = "Z";
+  EXPECT_EQ(clone->head.attrs[0], "A");
+  EXPECT_EQ(clone->body->kind, FormulaKind::kExists);
+}
+
+TEST(JoinTree, CollectVars) {
+  JoinNodePtr t = Left(JVar("r"), Inner(JLit(int64_t{11}), JVar("s")));
+  std::vector<std::string> vars;
+  t->CollectVars(&vars);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], "r");
+  EXPECT_EQ(vars[1], "s");
+}
+
+TEST(Program, FindDefinition) {
+  Program p;
+  Definition def;
+  def.kind = DefKind::kAbstract;
+  def.collection = Coll("Subset", {"left", "right"},
+                        Scope()
+                            .Bind("l", "Likes")
+                            .Where(Eq(Attr("Subset", "left"), Attr("l", "d")))
+                            .Exists());
+  p.definitions.push_back(std::move(def));
+  EXPECT_NE(p.FindDefinition("subset"), nullptr);
+  EXPECT_EQ(p.FindDefinition("nope"), nullptr);
+}
+
+TEST(Dsl, BuildsEq3FromThePaper) {
+  // Eq. (3): {Q(A,sm) | ∃r∈R, γ_{r.A} [Q.A = r.A ∧ Q.sm = sum(r.B)]}
+  CollectionPtr q = Coll("Q", {"A", "sm"},
+                         Scope()
+                             .Bind("r", "R")
+                             .GroupBy(Keys(Attr("r", "A")))
+                             .Where(Eq(Attr("Q", "A"), Attr("r", "A")))
+                             .Where(Eq(Attr("Q", "sm"), Sum(Attr("r", "B"))))
+                             .Exists());
+  EXPECT_EQ(text::PrintCollection(*q),
+            "{Q(A, sm) | exists r in R, gamma(r.A) "
+            "[Q.A = r.A and Q.sm = sum(r.B)]}");
+}
+
+TEST(Dsl, UnicodePrinting) {
+  CollectionPtr q = Coll("Q", {"A"},
+                         Scope()
+                             .Bind("r", "R")
+                             .Where(Eq(Attr("Q", "A"), Attr("r", "A")))
+                             .Exists());
+  text::PrintOptions opts;
+  opts.unicode = true;
+  EXPECT_EQ(text::PrintCollection(*q, opts), "{Q(A) | ∃ r ∈ R [Q.A = r.A]}");
+}
+
+TEST(AltPrinter, MatchesPaperFigureShape) {
+  CollectionPtr q = Coll("Q", {"A", "sm"},
+                         Scope()
+                             .Bind("r", "R")
+                             .GroupBy(Keys(Attr("r", "A")))
+                             .Where(Eq(Attr("Q", "A"), Attr("r", "A")))
+                             .Where(Eq(Attr("Q", "sm"), Sum(Attr("r", "B"))))
+                             .Exists());
+  const std::string alt = text::PrintAltCollection(*q);
+  EXPECT_NE(alt.find("COLLECTION"), std::string::npos);
+  EXPECT_NE(alt.find("HEAD: Q(A,sm)"), std::string::npos);
+  EXPECT_NE(alt.find("QUANTIFIER exists"), std::string::npos);
+  EXPECT_NE(alt.find("BINDING: r in R"), std::string::npos);
+  EXPECT_NE(alt.find("GROUPING: r.A"), std::string::npos);
+  EXPECT_NE(alt.find("PREDICATE: Q.sm = sum(r.B)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arc

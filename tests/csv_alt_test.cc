@@ -1,0 +1,142 @@
+// Tests for the CSV loader/saver, the ALT-format parser, and the random
+// query generator.
+#include <gtest/gtest.h>
+
+#include "arc/random_query.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "text/alt_parser.h"
+#include "text/parser.h"
+#include "text/printer.h"
+
+namespace arc {
+namespace {
+
+using data::Relation;
+using data::Value;
+
+TEST(Csv, ParsesTypesAndNulls) {
+  auto rel = data::RelationFromCsv(
+      "A,B,C,D\n"
+      "1,2.5,hello,\n"
+      "-3,true,\"with,comma\",x\n");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  ASSERT_EQ(rel->size(), 2);
+  EXPECT_EQ(rel->rows()[0].at(0).as_int(), 1);
+  EXPECT_DOUBLE_EQ(rel->rows()[0].at(1).as_double(), 2.5);
+  EXPECT_EQ(rel->rows()[0].at(2).as_string(), "hello");
+  EXPECT_TRUE(rel->rows()[0].at(3).is_null());
+  EXPECT_EQ(rel->rows()[1].at(0).as_int(), -3);
+  EXPECT_EQ(rel->rows()[1].at(1).as_bool(), true);
+  EXPECT_EQ(rel->rows()[1].at(2).as_string(), "with,comma");
+}
+
+TEST(Csv, RoundTrip) {
+  Relation r(data::Schema{"A", "B"});
+  r.Add({Value::Int(1), Value::String("a,b")});
+  r.Add({Value::Null(), Value::Double(1.5)});
+  r.Add({Value::Bool(true), Value::String("quote\"d")});
+  auto again = data::RelationFromCsv(data::RelationToCsv(r));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(r.EqualsBag(*again))
+      << data::RelationToCsv(r) << "\nvs\n" << data::RelationToCsv(*again);
+}
+
+TEST(Csv, Errors) {
+  EXPECT_FALSE(data::RelationFromCsv("").ok());
+  EXPECT_FALSE(data::RelationFromCsv("A,B\n1\n").ok());       // width
+  EXPECT_FALSE(data::RelationFromCsv("A\n\"unterminated\n").ok());
+}
+
+TEST(Csv, FileRoundTrip) {
+  Relation r(data::Schema{"x"});
+  r.Add({Value::Int(7)});
+  const std::string path = ::testing::TempDir() + "/arc_csv_test.csv";
+  ASSERT_TRUE(data::SaveCsvFile(r, path).ok());
+  data::Database db;
+  ASSERT_TRUE(data::LoadCsvFile(path, "T", &db).ok());
+  EXPECT_TRUE(db.GetPtr("T")->EqualsBag(r));
+  EXPECT_FALSE(data::LoadCsvFile("/nonexistent/file.csv", "X", &db).ok());
+}
+
+// ---------------------------------------------------------------------------
+// ALT parser
+// ---------------------------------------------------------------------------
+
+TEST(AltParser, RoundTripsPaperCorpus) {
+  const char* corpus[] = {
+      "{Q(A) | exists r in R, s in S [Q.A = r.A and r.B = s.B and s.C = 0]}",
+      "{Q(A, sm) | exists r in R, gamma(r.A) "
+      "[Q.A = r.A and Q.sm = sum(r.B)]}",
+      "{Q(A, sm) | exists r in R, x in {X(sm) | exists r2 in R, gamma() "
+      "[r2.A = r.A and X.sm = sum(r2.B)]} [Q.A = r.A and Q.sm = x.sm]}",
+      "{A(s, t) | exists p in P [A.s = p.s and A.t = p.t] or "
+      "exists p in P, a2 in A [A.s = p.s and p.t = a2.s and a2.t = A.t]}",
+      "{Q(m, n) | exists r in R, s in S, left(r, inner(11, s)) "
+      "[Q.m = r.m and Q.n = s.n and r.y = s.y and r.h = 11]}",
+      "{Q(A) | exists r in R [Q.A = r.A and not(exists s in S "
+      "[s.A = r.A or s.A is null or r.A is null])]}",
+      "exists r in R [exists s in S, gamma() "
+      "[r.id = s.id and r.q <= count(s.d)]]",
+      "abstract define {S(left, right) | not(exists l3 in L "
+      "[l3.d = S.left])} {Q(d) | exists l1 in L [Q.d = l1.d]}",
+  };
+  for (const char* source : corpus) {
+    auto program = text::ParseProgram(source);
+    ASSERT_TRUE(program.ok()) << source;
+    const std::string alt = text::PrintAltProgram(*program);
+    auto reparsed = text::ParseAltProgram(alt);
+    ASSERT_TRUE(reparsed.ok()) << alt << "\n" << reparsed.status().ToString();
+    EXPECT_EQ(text::PrintProgram(*program), text::PrintProgram(*reparsed))
+        << alt;
+  }
+}
+
+TEST(AltParser, Errors) {
+  EXPECT_FALSE(text::ParseAltProgram("").ok());
+  EXPECT_FALSE(text::ParseAltProgram("COLLECTION\n").ok());  // no HEAD
+  EXPECT_FALSE(text::ParseAltProgram("COLLECTION\n  HEAD: Q(A)\n").ok());
+  EXPECT_FALSE(
+      text::ParseAltProgram("COLLECTION\n HEAD: Q(A)\n").ok());  // odd indent
+  EXPECT_FALSE(text::ParseAltProgram(
+                   "COLLECTION\n  HEAD: Q(A)\n  WHAT: nope\n")
+                   .ok());
+}
+
+TEST(AltParser, OperatorRelationNames) {
+  auto program = text::ParseProgram(
+      "{C(v) | exists f in \"*\", gamma() [C.v = sum(f.out)]}");
+  ASSERT_TRUE(program.ok());
+  const std::string alt = text::PrintAltProgram(*program);
+  auto reparsed = text::ParseAltProgram(alt);
+  ASSERT_TRUE(reparsed.ok()) << alt << reparsed.status().ToString();
+  EXPECT_EQ(text::PrintProgram(*program), text::PrintProgram(*reparsed));
+}
+
+// ---------------------------------------------------------------------------
+// Random query generator
+// ---------------------------------------------------------------------------
+
+TEST(RandomQuery, DeterministicInSeed) {
+  data::Database db;
+  db.Put("R", data::RandomBinary(5, 5, 0.0, 0.0, 1));
+  RandomQueryOptions opts;
+  opts.seed = 12;
+  auto a = GenerateRandomCollection(db, opts);
+  auto b = GenerateRandomCollection(db, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(text::PrintCollection(**a), text::PrintCollection(**b));
+  opts.seed = 13;
+  auto c = GenerateRandomCollection(db, opts);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(text::PrintCollection(**a), text::PrintCollection(**c));
+}
+
+TEST(RandomQuery, EmptyDatabaseRejected) {
+  data::Database db;
+  RandomQueryOptions opts;
+  EXPECT_FALSE(GenerateRandomCollection(db, opts).ok());
+}
+
+}  // namespace
+}  // namespace arc

@@ -1,0 +1,209 @@
+// Unit tests for the data substrate: values, three-valued logic,
+// comparisons, arithmetic, tuples, relations, database catalog, generators.
+#include <gtest/gtest.h>
+
+#include "data/database.h"
+#include "data/generators.h"
+#include "data/relation.h"
+#include "data/value.h"
+
+namespace arc::data {
+namespace {
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_EQ(Value::Null().kind(), ValueKind::kNull);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value::Bool(true).as_bool(), true);
+  EXPECT_EQ(Value::Int(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::String("hi").as_string(), "hi");
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Double(1).is_numeric());
+  EXPECT_FALSE(Value::String("x").is_numeric());
+}
+
+TEST(Value, StructuralEqualityTreatsNullAsEqual) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value::Int(0));
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));  // cross-numeric
+  EXPECT_NE(Value::Int(2), Value::Double(2.5));
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+  EXPECT_NE(Value::String("a"), Value::String("b"));
+}
+
+TEST(Value, HashConsistentWithEquals) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Double(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::String("x").ToString(), "'x'");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+}
+
+TEST(TriBool, KleeneTables) {
+  using enum TriBool;
+  EXPECT_EQ(TriAnd(kTrue, kUnknown), kUnknown);
+  EXPECT_EQ(TriAnd(kFalse, kUnknown), kFalse);
+  EXPECT_EQ(TriOr(kTrue, kUnknown), kTrue);
+  EXPECT_EQ(TriOr(kFalse, kUnknown), kUnknown);
+  EXPECT_EQ(TriNot(kUnknown), kUnknown);
+  EXPECT_EQ(TriNot(kTrue), kFalse);
+}
+
+TEST(Compare, ThreeValuedNulls) {
+  auto r = Compare(CmpOp::kEq, Value::Null(), Value::Int(1),
+                   NullLogic::kThreeValued);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, TriBool::kUnknown);
+  // Even null = null is unknown in 3VL.
+  r = Compare(CmpOp::kEq, Value::Null(), Value::Null(),
+              NullLogic::kThreeValued);
+  EXPECT_EQ(*r, TriBool::kUnknown);
+}
+
+TEST(Compare, TwoValuedNullsCollapseToFalse) {
+  auto r = Compare(CmpOp::kEq, Value::Null(), Value::Null(),
+                   NullLogic::kTwoValued);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, TriBool::kFalse);
+}
+
+TEST(Compare, Orderings) {
+  auto t = [](CmpOp op, Value a, Value b) {
+    auto r = Compare(op, a, b, NullLogic::kThreeValued);
+    EXPECT_TRUE(r.ok());
+    return *r == TriBool::kTrue;
+  };
+  EXPECT_TRUE(t(CmpOp::kLt, Value::Int(1), Value::Int(2)));
+  EXPECT_TRUE(t(CmpOp::kLe, Value::Int(2), Value::Double(2.0)));
+  EXPECT_TRUE(t(CmpOp::kGt, Value::Double(2.5), Value::Int(2)));
+  EXPECT_TRUE(t(CmpOp::kNe, Value::Int(1), Value::Int(2)));
+  EXPECT_TRUE(t(CmpOp::kLt, Value::String("a"), Value::String("b")));
+}
+
+TEST(Compare, IncompatibleKindsError) {
+  auto r = Compare(CmpOp::kLt, Value::Int(1), Value::String("x"),
+                   NullLogic::kThreeValued);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Arith, IntegerAndDouble) {
+  EXPECT_EQ(Arith(ArithOp::kAdd, Value::Int(2), Value::Int(3))->as_int(), 5);
+  EXPECT_EQ(Arith(ArithOp::kDiv, Value::Int(7), Value::Int(2))->as_int(), 3);
+  EXPECT_DOUBLE_EQ(
+      Arith(ArithOp::kDiv, Value::Double(7), Value::Int(2))->as_double(), 3.5);
+  EXPECT_EQ(Arith(ArithOp::kMod, Value::Int(7), Value::Int(4))->as_int(), 3);
+}
+
+TEST(Arith, NullPropagates) {
+  EXPECT_TRUE(Arith(ArithOp::kAdd, Value::Null(), Value::Int(3))->is_null());
+}
+
+TEST(Arith, DivisionByZeroErrors) {
+  EXPECT_FALSE(Arith(ArithOp::kDiv, Value::Int(1), Value::Int(0)).ok());
+}
+
+TEST(Schema, CaseInsensitiveLookup) {
+  Schema s{"A", "B"};
+  EXPECT_EQ(s.IndexOf("a"), 0);
+  EXPECT_EQ(s.IndexOf("B"), 1);
+  EXPECT_EQ(s.IndexOf("c"), -1);
+  EXPECT_EQ(s.ToString(), "(A, B)");
+}
+
+TEST(Tuple, EqualityAndOrder) {
+  Tuple a{Value::Int(1), Value::String("x")};
+  Tuple b{Value::Int(1), Value::String("x")};
+  Tuple c{Value::Int(2), Value::String("x")};
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a.CompareTotal(c), 0);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(Relation, DistinctPreservesFirstOccurrence) {
+  Relation r(Schema{"A"});
+  r.Add({Value::Int(1)});
+  r.Add({Value::Int(2)});
+  r.Add({Value::Int(1)});
+  Relation d = r.Distinct();
+  ASSERT_EQ(d.size(), 2);
+  EXPECT_EQ(d.rows()[0].at(0).as_int(), 1);
+  EXPECT_EQ(d.rows()[1].at(0).as_int(), 2);
+}
+
+TEST(Relation, BagAndSetEquality) {
+  Relation a(Schema{"A"});
+  a.Add({Value::Int(1)});
+  a.Add({Value::Int(1)});
+  Relation b(Schema{"A"});
+  b.Add({Value::Int(1)});
+  EXPECT_FALSE(a.EqualsBag(b));
+  EXPECT_TRUE(a.EqualsSet(b));
+  Relation c(Schema{"A"});
+  c.Add({Value::Int(1)});
+  c.Add({Value::Int(1)});
+  EXPECT_TRUE(a.EqualsBag(c));
+}
+
+TEST(Relation, AppendChecksWidth) {
+  Relation a(Schema{"A"});
+  Relation b(Schema{"A", "B"});
+  EXPECT_FALSE(a.Append(b).ok());
+}
+
+TEST(Database, CaseInsensitiveCatalog) {
+  Database db;
+  Relation r(Schema{"A"});
+  r.Add({Value::Int(1)});
+  db.Put("Likes", std::move(r));
+  EXPECT_TRUE(db.Has("likes"));
+  EXPECT_TRUE(db.Has("LIKES"));
+  ASSERT_NE(db.GetPtr("likes"), nullptr);
+  EXPECT_EQ(db.GetPtr("likes")->size(), 1);
+  EXPECT_FALSE(db.Get("nope").ok());
+}
+
+TEST(Generators, CountBugInstanceMatchesPaper) {
+  Database db = data::CountBugInstance();
+  const Relation* r = db.GetPtr("R");
+  const Relation* s = db.GetPtr("S");
+  ASSERT_NE(r, nullptr);
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(r->size(), 1);
+  EXPECT_EQ(r->rows()[0].at(0).as_int(), 9);
+  EXPECT_EQ(r->rows()[0].at(1).as_int(), 0);
+  EXPECT_TRUE(s->empty());
+}
+
+TEST(Generators, Deterministic) {
+  Relation a = RandomBinary(100, 50, 0.2, 0.1, 7);
+  Relation b = RandomBinary(100, 50, 0.2, 0.1, 7);
+  EXPECT_TRUE(a.EqualsBag(b));
+  Relation c = RandomBinary(100, 50, 0.2, 0.1, 8);
+  EXPECT_FALSE(a.EqualsBag(c));
+}
+
+TEST(Generators, ParentChainHasExpectedEdges) {
+  Database db = ParentChain(5);
+  EXPECT_EQ(db.GetPtr("P")->size(), 4);
+}
+
+TEST(Generators, SparseMatrixDensity) {
+  Relation m = SparseMatrix(40, 0.25, 3);
+  // 1600 cells at density .25 → about 400 entries; loose bounds.
+  EXPECT_GT(m.size(), 250);
+  EXPECT_LT(m.size(), 550);
+}
+
+TEST(Generators, LikesCloneFractionProducesDuplicates) {
+  Database db = LikesInstance(30, 10, 0.4, 0.5, 11);
+  EXPECT_GT(db.GetPtr("Likes")->size(), 0);
+}
+
+}  // namespace
+}  // namespace arc::data

@@ -1,0 +1,290 @@
+// Datalog substrate tests: parser, stratified semi-naive evaluation with
+// Soufflé conventions, naive-vs-semi-naive agreement, and differential
+// equivalence of Datalog→ARC translation under Conventions::Souffle().
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "eval/evaluator.h"
+#include "text/printer.h"
+#include "translate/datalog_to_arc.h"
+
+namespace arc::datalog {
+namespace {
+
+using data::Relation;
+using data::Schema;
+using data::Value;
+
+Relation Rel(Schema schema, std::vector<std::vector<int64_t>> rows) {
+  Relation r(std::move(schema));
+  for (const auto& row : rows) {
+    data::Tuple t;
+    for (int64_t v : row) t.Append(Value::Int(v));
+    r.Add(std::move(t));
+  }
+  return r;
+}
+
+Relation MustEval(const data::Database& db, const std::string& source,
+                  const std::string& query, DlEvalOptions opts = {}) {
+  auto program = ParseDatalog(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  DlEvaluator ev(db, opts);
+  auto out = ev.Eval(*program, query);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out.ok() ? std::move(out).value() : Relation();
+}
+
+TEST(DatalogParser, ParsesDeclsRulesFactsAggregates) {
+  auto p = ParseDatalog(
+      ".decl P(s:number, t:number)\n"
+      ".decl A(s, t)\n"
+      "P(1, 2).\n"
+      "A(x, y) :- P(x, y).\n"
+      "A(x, y) :- P(x, z), A(z, y).\n"
+      "Q(ak, sm) :- R(ak, _), sm = sum b : { S(a, b), a < ak }.\n"
+      "V(x) :- R(x, _), !T(x).\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->decls.size(), 2u);
+  EXPECT_EQ(p->facts.size(), 1u);
+  EXPECT_EQ(p->rules.size(), 4u);
+  EXPECT_EQ(p->rules[2].body[1].kind, LiteralKind::kAggregate);
+  EXPECT_EQ(p->rules[3].body[1].kind, LiteralKind::kNegatedAtom);
+  // Round-trip through the printer.
+  auto again = ParseDatalog(ToDatalog(*p));
+  ASSERT_TRUE(again.ok()) << ToDatalog(*p) << again.status().ToString();
+  EXPECT_EQ(ToDatalog(*p), ToDatalog(*again));
+}
+
+TEST(DatalogParser, Errors) {
+  EXPECT_FALSE(ParseDatalog("A(x, y)").ok());       // missing '.'
+  EXPECT_FALSE(ParseDatalog("A(x) :- .").ok());     // empty body
+  EXPECT_FALSE(ParseDatalog("A(x) :- P(x),.").ok());
+  EXPECT_FALSE(ParseDatalog("A(x).").ok());          // non-ground fact
+}
+
+TEST(DatalogEval, TransitiveClosure) {
+  data::Database db = data::ParentChain(5);
+  Relation out = MustEval(
+      db,
+      "A(x, y) :- P(x, y).\n"
+      "A(x, y) :- P(x, z), A(z, y).\n",
+      "A");
+  EXPECT_EQ(out.size(), 10);
+}
+
+TEST(DatalogEval, NaiveAgreesWithSemiNaive) {
+  data::Database db = data::ParentRandom(30, 60, 7);
+  const std::string src =
+      "A(x, y) :- P(x, y).\n"
+      "A(x, y) :- P(x, z), A(z, y).\n";
+  DlEvalOptions naive;
+  naive.semi_naive = false;
+  Relation a = MustEval(db, src, "A");
+  Relation b = MustEval(db, src, "A", naive);
+  EXPECT_TRUE(a.EqualsSet(b));
+}
+
+TEST(DatalogEval, StratifiedNegation) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"x"}, {{1}, {2}, {3}}));
+  db.Put("S", Rel(Schema{"x"}, {{2}}));
+  Relation out = MustEval(db, "V(x) :- R(x), !S(x).", "V");
+  EXPECT_TRUE(out.EqualsSet(Rel(Schema{"x"}, {{1}, {3}})));
+}
+
+TEST(DatalogEval, NonStratifiableRejected) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"x"}, {{1}}));
+  auto program = ParseDatalog("P(x) :- R(x), !P(x).");
+  ASSERT_TRUE(program.ok());
+  DlEvaluator ev(db);
+  auto out = ev.Eval(*program, "P");
+  EXPECT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("stratifiable"), std::string::npos);
+}
+
+TEST(DatalogEval, Eq15SumOverEmptyIsZero) {
+  // The paper's §2.6 example: R = {(1,2)}, S = ∅ ⇒ Q(1, 0).
+  data::Database db = data::ConventionInstance();
+  Relation out = MustEval(
+      db, "Q(ak, sm) :- R(ak, _), sm = sum b : { S(a, b), a < ak }.", "Q");
+  EXPECT_TRUE(out.EqualsSet(Rel(Schema{"$1", "$2"}, {{1, 0}})))
+      << out.ToString();
+}
+
+TEST(DatalogEval, MinOverEmptyDoesNotFire) {
+  data::Database db = data::ConventionInstance();
+  Relation out = MustEval(
+      db, "Q(ak, mn) :- R(ak, _), mn = min b : { S(a, b) }.", "Q");
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DatalogEval, CountAggregate) {
+  data::Database db;
+  db.Put("S", Rel(Schema{"a", "b"}, {{1, 10}, {1, 20}, {2, 30}}));
+  db.Put("K", Rel(Schema{"a"}, {{1}, {2}, {3}}));
+  Relation out = MustEval(
+      db, "Q(k, c) :- K(k), c = count : { S(k2, _), k2 = k }.", "Q");
+  EXPECT_TRUE(out.EqualsSet(Rel(Schema{"$1", "$2"}, {{1, 2}, {2, 1}, {3, 0}})))
+      << out.ToString();
+}
+
+TEST(DatalogEval, GroundingEquality) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"x"}, {{1}, {2}}));
+  Relation out = MustEval(db, "Q(x, y) :- R(x), y = x * 10 + 1.", "Q");
+  EXPECT_TRUE(out.EqualsSet(Rel(Schema{"$1", "$2"}, {{1, 11}, {2, 21}})));
+}
+
+TEST(DatalogEval, FactsAndRulesCombine) {
+  data::Database db;
+  Relation out = MustEval(
+      db,
+      "P(0, 1).\nP(1, 2).\n"
+      "A(x, y) :- P(x, y).\n"
+      "A(x, y) :- P(x, z), A(z, y).\n",
+      "A");
+  EXPECT_EQ(out.size(), 3);
+}
+
+TEST(DatalogEval, WildcardProjection) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"a", "b"}, {{1, 10}, {1, 20}, {2, 30}}));
+  Relation out = MustEval(db, "Q(x) :- R(x, _).", "Q");
+  EXPECT_EQ(out.size(), 2);  // set semantics
+}
+
+// ---------------------------------------------------------------------------
+// Datalog → ARC differential tests
+// ---------------------------------------------------------------------------
+
+struct DlCase {
+  const char* name;
+  const char* source;
+  const char* query;
+};
+
+const DlCase kDlCases[] = {
+    {"Projection", ".decl R(a, b)\nQ(x) :- R(x, _).", "Q"},
+    {"JoinConst", ".decl R(a, b)\n.decl S(b, c)\n"
+                  "Q(x) :- R(x, y), S(y, 0).", "Q"},
+    {"TransitiveClosure",
+     ".decl P(s, t)\nA(x, y) :- P(x, y).\nA(x, y) :- P(x, z), A(z, y).",
+     "A"},
+    {"Negation", ".decl R(a, b)\n.decl S(b, c)\n"
+                 "Q(x) :- R(x, y), !S(y, 0).", "Q"},
+    {"Comparison", ".decl R(a, b)\nQ(x) :- R(x, y), x < y.", "Q"},
+    {"Arith", ".decl R(a, b)\nQ(x, z) :- R(x, y), z = x + y.", "Q"},
+    {"SouffleAggregate",
+     ".decl R(a, b)\n.decl S(b, c)\n"
+     "Q(a, sm) :- R(a, _), sm = sum c : { S(b, c), b < a }.",
+     "Q"},
+    {"CountAggregate",
+     ".decl R(a, b)\n.decl K(a)\n"
+     "Q(k, c) :- K(k), c = count : { R(k2, _), k2 = k }.",
+     "Q"},
+    {"TwoRules",
+     ".decl R(a, b)\n.decl S(b, c)\n"
+     "Q(x) :- R(x, _).\nQ(x) :- S(_, x).",
+     "Q"},
+    {"DerivedChain",
+     ".decl R(a, b)\n"
+     "T(x, y) :- R(x, y), x < y.\n"
+     "Q(x) :- T(x, _).",
+     "Q"},
+};
+
+class DlDifferential : public ::testing::TestWithParam<DlCase> {};
+
+TEST_P(DlDifferential, TranslationMatchesEngine) {
+  const DlCase& c = GetParam();
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    data::Database db;
+    data::Relation r = data::RandomBinary(20, 6, 0.0, 0.0, seed);
+    db.Put("R", data::Relation(data::Schema{"a", "b"}, r.rows()));
+    data::Relation s = data::RandomBinary(15, 6, 0.0, 0.0, seed + 10);
+    db.Put("S", data::Relation(data::Schema{"b", "c"}, s.rows()));
+    data::Relation k = data::RandomUnary(6, 6, 0.0, seed + 20);
+    db.Put("K", data::Relation(data::Schema{"a"}, k.Distinct().rows()));
+    data::Database parents = data::ParentRandom(12, 18, seed);
+    db.Put("P", *parents.GetPtr("P"));
+
+    auto program = ParseDatalog(c.source);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    DlEvaluator engine(db);
+    auto expected = engine.Eval(*program, c.query);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+    auto arc_program = translate::DatalogToArc(*program, c.query);
+    ASSERT_TRUE(arc_program.ok()) << arc_program.status().ToString();
+    eval::EvalOptions eopts;
+    eopts.conventions = Conventions::Souffle();
+    auto actual = eval::Eval(db, *arc_program, eopts);
+    ASSERT_TRUE(actual.ok())
+        << actual.status().ToString() << "\nARC:\n"
+        << text::PrintProgram(*arc_program);
+    EXPECT_TRUE(actual->EqualsSet(*expected))
+        << "seed " << seed << "\nARC:\n"
+        << text::PrintProgram(*arc_program) << "expected:\n"
+        << expected->Sorted().ToString() << "actual:\n"
+        << actual->Sorted().ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DlCorpus, DlDifferential, ::testing::ValuesIn(kDlCases),
+                         [](const ::testing::TestParamInfo<DlCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(DatalogToArc, SouffleAggregateBecomesFoiPattern) {
+  auto program = ParseDatalog(
+      ".decl R(ak, b)\n.decl S(a, b)\n"
+      "Q(ak, sm) :- R(ak, _), sm = sum b : { S(a, b), a < ak }.");
+  ASSERT_TRUE(program.ok());
+  auto arc_program = translate::DatalogToArc(*program, "Q");
+  ASSERT_TRUE(arc_program.ok()) << arc_program.status().ToString();
+  const std::string printed = text::PrintProgram(*arc_program);
+  // FOI: correlated nested collection with γ∅ (Eq. 7).
+  EXPECT_NE(printed.find("gamma()"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("sum("), std::string::npos) << printed;
+}
+
+TEST(DatalogToArc, MutualRecursionRejected) {
+  auto program = ParseDatalog(
+      ".decl R(a)\n"
+      "P(x) :- R(x).\nP(x) :- T(x).\nT(x) :- P(x), R(x).");
+  ASSERT_TRUE(program.ok());
+  auto arc_program = translate::DatalogToArc(*program, "P");
+  EXPECT_FALSE(arc_program.ok());
+  EXPECT_EQ(arc_program.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(DatalogToArc, ConventionDivergenceEq15) {
+  // Same relational pattern, two conventions: the ARC translation under
+  // Souffle() gives 0; under Sql() gives NULL (§2.6).
+  data::Database db = data::ConventionInstance();
+  auto program = ParseDatalog(
+      ".decl R(ak, b)\n.decl S(a, b)\n"
+      "Q(ak, sm) :- R(ak, _), sm = sum b : { S(a, b), a < ak }.");
+  ASSERT_TRUE(program.ok());
+  auto arc_program = translate::DatalogToArc(*program, "Q");
+  ASSERT_TRUE(arc_program.ok()) << arc_program.status().ToString();
+  eval::EvalOptions souffle;
+  souffle.conventions = Conventions::Souffle();
+  auto as_souffle = eval::Eval(db, *arc_program, souffle);
+  ASSERT_TRUE(as_souffle.ok()) << as_souffle.status().ToString();
+  ASSERT_EQ(as_souffle->size(), 1);
+  EXPECT_EQ(as_souffle->rows()[0].at(1).as_int(), 0);
+  eval::EvalOptions sql;
+  sql.conventions = Conventions::Sql();
+  auto as_sql = eval::Eval(db, *arc_program, sql);
+  ASSERT_TRUE(as_sql.ok());
+  ASSERT_EQ(as_sql->size(), 1);
+  EXPECT_TRUE(as_sql->rows()[0].at(1).is_null());
+}
+
+}  // namespace
+}  // namespace arc::datalog

@@ -1,0 +1,429 @@
+// Core evaluator semantics: selection/join/projection, nesting, negation,
+// disjunction, conventions (set/bag, null logic, empty aggregates), outer
+// joins, recursion, externals, abstract modules.
+#include <gtest/gtest.h>
+
+#include "arc/conventions.h"
+#include "data/generators.h"
+#include "eval/evaluator.h"
+#include "text/parser.h"
+
+namespace arc::eval {
+namespace {
+
+using data::Relation;
+using data::Schema;
+using data::Value;
+
+Relation MustEval(const data::Database& db, const std::string& text,
+                  Conventions conv = Conventions::Arc()) {
+  auto program = text::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  EvalOptions opts;
+  opts.conventions = conv;
+  auto result = Eval(db, *program, opts);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : Relation();
+}
+
+data::TriBool MustEvalSentence(const data::Database& db,
+                               const std::string& text,
+                               Conventions conv = Conventions::Arc()) {
+  auto program = text::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  EvalOptions opts;
+  opts.conventions = conv;
+  Evaluator ev(db, opts);
+  auto result = ev.EvalSentence(*program);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : data::TriBool::kUnknown;
+}
+
+Relation Rel(Schema schema, std::vector<std::vector<int64_t>> rows) {
+  Relation r(std::move(schema));
+  for (const auto& row : rows) {
+    data::Tuple t;
+    for (int64_t v : row) t.Append(Value::Int(v));
+    r.Add(std::move(t));
+  }
+  return r;
+}
+
+TEST(Eval, SimpleSelectionProjection) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 10}, {2, 20}, {3, 30}}));
+  Relation out = MustEval(db, "{Q(A) | exists r in R [Q.A = r.A and r.B > 15]}");
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"A"}, {{2}, {3}})));
+}
+
+TEST(Eval, JoinAcrossTwoRelations) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 5}, {2, 6}}));
+  db.Put("S", Rel(Schema{"B", "C"}, {{5, 0}, {6, 1}, {5, 0}}));
+  Relation out = MustEval(
+      db, "{Q(A) | exists r in R, s in S [Q.A = r.A and r.B = s.B and "
+          "s.C = 0]}");
+  // Set semantics: {1}.
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"A"}, {{1}})));
+}
+
+TEST(Eval, BagSemanticsKeepsMultiplicity) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 5}, {2, 6}}));
+  db.Put("S", Rel(Schema{"B", "C"}, {{5, 0}, {6, 1}, {5, 0}}));
+  Relation out = MustEval(
+      db,
+      "{Q(A) | exists r in R, s in S [Q.A = r.A and r.B = s.B and s.C = 0]}",
+      Conventions::Sql());
+  // (1,5) matches two copies of (5,0): multiplicity 2.
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"A"}, {{1}, {1}})));
+}
+
+TEST(Eval, NestedVsUnnestedDivergeUnderBags) {
+  // §2.7: the nested form is semijoin-like (once per r), the unnested form
+  // multiplies multiplicities.
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 5}}));
+  db.Put("S", Rel(Schema{"B"}, {{5}, {5}, {5}}));
+  const std::string nested =
+      "{Q(A) | exists r in R [exists s in S [Q.A = r.A and r.B = s.B]]}";
+  const std::string unnested =
+      "{Q(A) | exists r in R, s in S [Q.A = r.A and r.B = s.B]}";
+  EXPECT_EQ(MustEval(db, nested, Conventions::Sql()).size(), 1);
+  EXPECT_EQ(MustEval(db, unnested, Conventions::Sql()).size(), 3);
+  // Under set semantics they coincide.
+  EXPECT_TRUE(MustEval(db, nested).EqualsBag(MustEval(db, unnested)));
+}
+
+TEST(Eval, NegationNotExists) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}, {2}, {3}}));
+  db.Put("S", Rel(Schema{"A"}, {{2}}));
+  Relation out = MustEval(
+      db, "{Q(A) | exists r in R [Q.A = r.A and "
+          "not(exists s in S [s.A = r.A])]}");
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"A"}, {{1}, {3}})));
+}
+
+TEST(Eval, DisjunctionUnionsDisjuncts) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}}));
+  db.Put("S", Rel(Schema{"A"}, {{2}}));
+  Relation out = MustEval(
+      db, "{Q(A) | exists r in R [Q.A = r.A] or exists s in S [Q.A = s.A]}");
+  EXPECT_TRUE(out.EqualsSet(Rel(Schema{"A"}, {{1}, {2}})));
+}
+
+TEST(Eval, DisjunctionInsidePredicates) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 1}, {2, 5}, {3, 9}}));
+  Relation out = MustEval(
+      db, "{Q(A) | exists r in R [Q.A = r.A and (r.B = 1 or r.B = 9)]}");
+  EXPECT_TRUE(out.EqualsSet(Rel(Schema{"A"}, {{1}, {3}})));
+}
+
+TEST(Eval, CorrelatedNestedCollectionIsLateral) {
+  // Eq. (2) shape: inner collection references outer x.
+  data::Database db;
+  db.Put("X", Rel(Schema{"A"}, {{1}, {5}}));
+  db.Put("Y", Rel(Schema{"A"}, {{2}, {6}}));
+  Relation out = MustEval(
+      db,
+      "{Q(A, B) | exists x in X, z in {Z(B) | exists y in Y "
+      "[Z.B = y.A and x.A < y.A]} [Q.A = x.A and Q.B = z.B]}");
+  EXPECT_TRUE(out.EqualsSet(
+      Rel(Schema{"A", "B"}, {{1, 2}, {1, 6}, {5, 6}})));
+}
+
+TEST(Eval, GroupedAggregateFio) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 10}, {1, 20}, {2, 5}}));
+  Relation out = MustEval(
+      db, "{Q(A, sm) | exists r in R, gamma(r.A) "
+          "[Q.A = r.A and Q.sm = sum(r.B)]}");
+  EXPECT_TRUE(out.EqualsSet(Rel(Schema{"A", "sm"}, {{1, 30}, {2, 5}})));
+}
+
+TEST(Eval, MultipleAggregatesShareOneScope) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 10}, {1, 20}, {2, 6}}));
+  Relation out = MustEval(
+      db,
+      "{Q(A, sm, mx, ct) | exists r in R, gamma(r.A) [Q.A = r.A and "
+      "Q.sm = sum(r.B) and Q.mx = max(r.B) and Q.ct = count(r.B)]}");
+  EXPECT_TRUE(out.EqualsSet(
+      Rel(Schema{"A", "sm", "mx", "ct"}, {{1, 30, 20, 2}, {2, 6, 6, 1}})));
+}
+
+TEST(Eval, GroupAllProducesOneGroupEvenWhenEmpty) {
+  data::Database db;
+  db.Put("S", Relation(Schema{"d"}));
+  Relation out =
+      MustEval(db, "{Q(ct) | exists s in S, gamma() [Q.ct = count(s.d)]}");
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"ct"}, {{0}})));
+}
+
+TEST(Eval, GroupByKeysOverEmptyInputYieldsNoGroups) {
+  data::Database db;
+  db.Put("S", Relation(Schema{"id", "d"}));
+  Relation out = MustEval(
+      db, "{Q(id, ct) | exists s in S, gamma(s.id) "
+          "[Q.id = s.id and Q.ct = count(s.d)]}");
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Eval, SumOverEmptyGroupRespectsConvention) {
+  data::Database db;
+  db.Put("S", Relation(Schema{"b"}));
+  const std::string q =
+      "{Q(sm) | exists s in S, gamma() [Q.sm = sum(s.b)]}";
+  Relation sql_style = MustEval(db, q, Conventions::Arc());
+  ASSERT_EQ(sql_style.size(), 1);
+  EXPECT_TRUE(sql_style.rows()[0].at(0).is_null());
+  Relation souffle_style = MustEval(db, q, Conventions::Souffle());
+  ASSERT_EQ(souffle_style.size(), 1);
+  EXPECT_EQ(souffle_style.rows()[0].at(0).as_int(), 0);
+}
+
+TEST(Eval, CountSkipsNulls) {
+  data::Database db;
+  Relation s(Schema{"d"});
+  s.Add({Value::Int(1)});
+  s.Add({Value::Null()});
+  s.Add({Value::Int(2)});
+  db.Put("S", std::move(s));
+  Relation out =
+      MustEval(db, "{Q(ct) | exists s in S, gamma() [Q.ct = count(s.d)]}");
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"ct"}, {{2}})));
+}
+
+TEST(Eval, CountDistinct) {
+  data::Database db;
+  db.Put("S", Rel(Schema{"d"}, {{1}, {1}, {2}}));
+  Relation out = MustEval(
+      db, "{Q(ct) | exists s in S, gamma() [Q.ct = countdistinct(s.d)]}",
+      Conventions::Sql());
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"ct"}, {{2}})));
+}
+
+TEST(Eval, DeduplicationViaGrouping) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 2}, {1, 2}, {3, 4}}));
+  Relation out = MustEval(
+      db,
+      "{Q(A, B) | exists r in R, gamma(r.A, r.B) [Q.A = r.A and Q.B = r.B]}",
+      Conventions::Sql());  // even under bags, grouping dedups
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"A", "B"}, {{1, 2}, {3, 4}})));
+}
+
+TEST(Eval, AggregateComparisonAsGroupFilter) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 10}, {1, 20}, {2, 5}}));
+  // Groups with sum > 25 only.
+  Relation out = MustEval(
+      db, "{Q(A) | exists r in R, gamma(r.A) "
+          "[Q.A = r.A and sum(r.B) > 25]}");
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"A"}, {{1}})));
+}
+
+TEST(Eval, ThreeValuedNullComparisons) {
+  data::Database db;
+  Relation r(Schema{"A"});
+  r.Add({Value::Int(1)});
+  r.Add({Value::Null()});
+  db.Put("R", std::move(r));
+  // Under 3VL, null = null is unknown → filtered.
+  Relation out = MustEval(db, "{Q(A) | exists r in R [Q.A = r.A and "
+                              "r.A = r.A]}");
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"A"}, {{1}})));
+  // Under 2VL the comparison is false, same visible result here.
+  Relation out2 =
+      MustEval(db, "{Q(A) | exists r in R [Q.A = r.A and r.A = r.A]}",
+               Conventions::Souffle());
+  EXPECT_TRUE(out2.EqualsBag(Rel(Schema{"A"}, {{1}})));
+}
+
+TEST(Eval, IsNullPredicate) {
+  data::Database db;
+  Relation r(Schema{"A"});
+  r.Add({Value::Int(1)});
+  r.Add({Value::Null()});
+  db.Put("R", std::move(r));
+  Relation out = MustEval(
+      db, "{Q(A) | exists r in R [Q.A = r.A and r.A is not null]}");
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"A"}, {{1}})));
+}
+
+TEST(Eval, LeftOuterJoinPadsWithNulls) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}, {2}}));
+  db.Put("S", Rel(Schema{"B"}, {{1}}));
+  Relation out = MustEval(
+      db, "{Q(A, B) | exists r in R, s in S, left(r, s) "
+          "[Q.A = r.A and Q.B = s.B and r.A = s.B]}");
+  Relation expected(Schema{"A", "B"});
+  expected.Add({Value::Int(1), Value::Int(1)});
+  expected.Add({Value::Int(2), Value::Null()});
+  EXPECT_TRUE(out.EqualsSet(expected)) << out.ToString();
+}
+
+TEST(Eval, FullOuterJoin) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}, {2}}));
+  db.Put("S", Rel(Schema{"B"}, {{2}, {3}}));
+  Relation out = MustEval(
+      db, "{Q(A, B) | exists r in R, s in S, full(r, s) "
+          "[Q.A = r.A and Q.B = s.B and r.A = s.B]}");
+  Relation expected(Schema{"A", "B"});
+  expected.Add({Value::Int(1), Value::Null()});
+  expected.Add({Value::Int(2), Value::Int(2)});
+  expected.Add({Value::Null(), Value::Int(3)});
+  EXPECT_TRUE(out.EqualsSet(expected)) << out.ToString();
+}
+
+TEST(Eval, NestedOuterJoinWithLiteralAnchor) {
+  // Eq. (18) / Fig. 12a: left(r, inner(11, s)) — R rows with h ≠ 11 are
+  // preserved and null-padded, not filtered.
+  data::Database db;
+  Relation r(Schema{"m", "y", "h"});
+  r.Add({Value::Int(1), Value::Int(7), Value::Int(11)});
+  r.Add({Value::Int(2), Value::Int(8), Value::Int(12)});
+  db.Put("R", std::move(r));
+  Relation s(Schema{"n", "y"});
+  s.Add({Value::Int(100), Value::Int(7)});
+  s.Add({Value::Int(200), Value::Int(8)});
+  db.Put("S", std::move(s));
+  Relation out = MustEval(
+      db, "{Q(m, n) | exists r in R, s in S, left(r, inner(11, s)) "
+          "[Q.m = r.m and Q.n = s.n and r.y = s.y and r.h = 11]}");
+  Relation expected(Schema{"m", "n"});
+  expected.Add({Value::Int(1), Value::Int(100)});
+  expected.Add({Value::Int(2), Value::Null()});  // h=12: preserved, padded
+  EXPECT_TRUE(out.EqualsSet(expected)) << out.ToString();
+}
+
+TEST(Eval, RecursionAncestorChain) {
+  data::Database db = data::ParentChain(5);  // 0→1→2→3→4
+  Relation out = MustEval(
+      db,
+      "{A(s, t) | exists p in P [A.s = p.s and A.t = p.t] or "
+      "exists p in P, a2 in A [A.s = p.s and p.t = a2.s and a2.t = A.t]}");
+  EXPECT_EQ(out.size(), 10);  // C(5,2) pairs on a chain
+}
+
+TEST(Eval, RecursionOnTree) {
+  data::Database db = data::ParentTree(7, 2);  // complete binary tree
+  Relation out = MustEval(
+      db,
+      "{A(s, t) | exists p in P [A.s = p.s and A.t = p.t] or "
+      "exists p in P, a2 in A [A.s = p.s and p.t = a2.s and a2.t = A.t]}");
+  // Ancestor pairs = Σ depth(node) = 0 + 2·1 + 4·2 = 10.
+  EXPECT_EQ(out.size(), 10);
+}
+
+TEST(Eval, ExternalMinusAndBigger) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 10}, {2, 3}}));
+  db.Put("S", Rel(Schema{"B"}, {{4}}));
+  db.Put("T", Rel(Schema{"B"}, {{5}}));
+  // Q(A) where r.B - s.B > t.B, reified: 10-4=6 > 5 ✓; 3-4=-1 > 5 ✗.
+  Relation out = MustEval(
+      db,
+      "{Q(A) | exists r in R, s in S, t in T, f in Minus, g in Bigger "
+      "[Q.A = r.A and f.left = r.B and f.right = s.B and "
+      "f.out = g.left and g.right = t.B]}");
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"A"}, {{1}})));
+}
+
+TEST(Eval, ExternalSolvesForFreeSlot) {
+  // Minus(5, x, 2) → x = 3 (access pattern ③ of §2.13).
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{5}}));
+  Relation out = MustEval(
+      db, "{Q(x) | exists r in R, f in Minus "
+          "[f.left = r.A and f.out = 2 and Q.x = f.right]}");
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"x"}, {{3}})));
+}
+
+TEST(Eval, ExternalUnsupportedPatternErrors) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{5}}));
+  auto program = text::ParseProgram(
+      "{Q(x) | exists r in R, f in Minus [f.left = r.A and Q.x = f.out]}");
+  ASSERT_TRUE(program.ok());
+  auto result = Eval(db, *program);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(Eval, AbstractRelationModule) {
+  // A tiny abstract module: Geq(left,right) over an implicit comparison.
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}, {2}, {3}}));
+  Relation out = MustEval(
+      db,
+      "abstract define {Geq(left, right) | exists d in R "
+      "[d.A = Geq.left and Geq.left >= Geq.right]} "
+      "{Q(A) | exists r in R, g in Geq [g.left = r.A and g.right = 2 and "
+      "Q.A = r.A]}");
+  EXPECT_TRUE(out.EqualsSet(Rel(Schema{"A"}, {{2}, {3}})));
+}
+
+TEST(Eval, IntensionalDefinitionMaterializes) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 5}, {2, 9}}));
+  Relation out = MustEval(
+      db,
+      "define {Big(A) | exists r in R [Big.A = r.A and r.B > 6]} "
+      "{Q(A) | exists b in Big [Q.A = b.A]}");
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"A"}, {{2}})));
+}
+
+TEST(Eval, SentenceTrueAndFalse) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}}));
+  EXPECT_EQ(MustEvalSentence(db, "exists r in R [r.A = 1]"),
+            data::TriBool::kTrue);
+  EXPECT_EQ(MustEvalSentence(db, "exists r in R [r.A = 2]"),
+            data::TriBool::kFalse);
+  EXPECT_EQ(MustEvalSentence(db, "not(exists r in R [r.A = 2])"),
+            data::TriBool::kTrue);
+}
+
+TEST(Eval, ValidationRejectsBadQueryBeforeRunning) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}}));
+  auto program = text::ParseProgram("{Q(A) | exists r in R [Q.Z = r.A]}");
+  ASSERT_TRUE(program.ok());
+  auto result = Eval(db, *program);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kValidationError);
+}
+
+TEST(Eval, UnsafeHeadCaughtByValidator) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}}));
+  auto program =
+      text::ParseProgram("{Q(A, B) | exists r in R [Q.A = r.A]}");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(Eval(db, *program).ok());
+}
+
+TEST(Eval, FixpointGuardStopsDivergence) {
+  // A query that grows forever via an external would diverge; the guard
+  // caps iterations. Build a monotone-but-finite case instead and check it
+  // converges fast: transitive closure over a cycle.
+  data::Database db;
+  Relation p(Schema{"s", "t"});
+  p.Add({Value::Int(0), Value::Int(1)});
+  p.Add({Value::Int(1), Value::Int(0)});
+  db.Put("P", std::move(p));
+  Relation out = MustEval(
+      db,
+      "{A(s, t) | exists p in P [A.s = p.s and A.t = p.t] or "
+      "exists p in P, a2 in A [A.s = p.s and p.t = a2.s and a2.t = A.t]}");
+  EXPECT_EQ(out.size(), 4);  // 0→0, 0→1, 1→0, 1→1
+}
+
+}  // namespace
+}  // namespace arc::eval

@@ -1,0 +1,228 @@
+// Edge-case and error-path coverage for the ARC evaluator and the direct
+// SQL evaluator: runtime failures surface as typed Status values, guards
+// stop divergence, and unusual-but-legal shapes evaluate correctly.
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "eval/evaluator.h"
+#include "sql/eval.h"
+#include "text/parser.h"
+
+namespace arc::eval {
+namespace {
+
+using data::Relation;
+using data::Schema;
+using data::Value;
+
+Relation Rel(Schema schema, std::vector<std::vector<int64_t>> rows) {
+  Relation r(std::move(schema));
+  for (const auto& row : rows) {
+    data::Tuple t;
+    for (int64_t v : row) t.Append(Value::Int(v));
+    r.Add(std::move(t));
+  }
+  return r;
+}
+
+Program MustParse(const std::string& source) {
+  auto p = text::ParseProgram(source);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return p.ok() ? std::move(p).value() : Program();
+}
+
+TEST(EvalEdge, FixpointGuardStopsDivergentRecursion) {
+  // A(n) grows forever: base from P, step n+1 — the guard must fire.
+  data::Database db = data::ParentChain(3);
+  Program p = MustParse(
+      "{A(n) | exists p in P [A.n = p.s] or "
+      "exists a2 in A [A.n = a2.n + 1]}");
+  EvalOptions opts;
+  opts.max_fixpoint_iterations = 50;
+  auto result = Eval(db, p, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kEvalError);
+  EXPECT_NE(result.status().message().find("fixpoint"), std::string::npos);
+}
+
+TEST(EvalEdge, DivisionByZeroSurfaces) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}, {0}}));
+  Program p = MustParse("{Q(x) | exists r in R [Q.x = 10 / r.A]}");
+  auto result = Eval(db, p);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kEvalError);
+}
+
+TEST(EvalEdge, SumOverStringsErrors) {
+  data::Database db;
+  Relation r(Schema{"A"});
+  r.Add({Value::String("x")});
+  db.Put("R", std::move(r));
+  Program p = MustParse("{Q(s) | exists r in R, gamma() [Q.s = sum(r.A)]}");
+  auto result = Eval(db, p);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kEvalError);
+}
+
+TEST(EvalEdge, MinMaxOverStringsUsesLexicographicOrder) {
+  data::Database db;
+  Relation r(Schema{"A"});
+  r.Add({Value::String("pear")});
+  r.Add({Value::String("apple")});
+  db.Put("R", std::move(r));
+  Program p = MustParse(
+      "{Q(mn, mx) | exists r in R, gamma() "
+      "[Q.mn = min(r.A) and Q.mx = max(r.A)]}");
+  auto result = Eval(db, p);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 1);
+  EXPECT_EQ(result->rows()[0].at(0).as_string(), "apple");
+  EXPECT_EQ(result->rows()[0].at(1).as_string(), "pear");
+}
+
+TEST(EvalEdge, SentenceVsCollectionApiMismatch) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}}));
+  Evaluator ev(db);
+  Program collection = MustParse("{Q(A) | exists r in R [Q.A = r.A]}");
+  EXPECT_FALSE(ev.EvalSentence(collection).ok());
+  Program sentence = MustParse("exists r in R [r.A = 1]");
+  EXPECT_FALSE(ev.EvalProgram(sentence).ok());
+}
+
+TEST(EvalEdge, UnknownRelationWithoutValidation) {
+  data::Database db;
+  Program p = MustParse("{Q(A) | exists r in Nope [Q.A = r.A]}");
+  EvalOptions opts;
+  opts.validate = false;
+  auto result = Eval(db, p, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EvalEdge, DisjunctiveGroupFilterWithAggregates) {
+  // OR between aggregate comparisons inside a grouping scope.
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 10}, {1, 20}, {2, 1}, {3, 9}}));
+  Program p = MustParse(
+      "{Q(A) | exists r in R, gamma(r.A) "
+      "[Q.A = r.A and (sum(r.B) > 25 or count(r.B) >= 2)]}");
+  auto result = Eval(db, p);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->EqualsSet(Rel(Schema{"A"}, {{1}})));
+}
+
+TEST(EvalEdge, ArithmeticInsideAggregateAndGroupKeyExpression) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 2}, {3, 4}, {5, 6}}));
+  // Group by a computed key (A % 2), aggregate over an expression.
+  Program p = MustParse(
+      "{Q(k, s) | exists r in R, gamma(r.A % 2) "
+      "[Q.k = r.A % 2 and Q.s = sum(r.B * 2)]}");
+  auto result = Eval(db, p);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // All A values are odd: one group, sum = (2+4+6)*2 = 24.
+  EXPECT_TRUE(result->EqualsSet(Rel(Schema{"k", "s"}, {{1, 24}})));
+}
+
+TEST(EvalEdge, CorrelatedNestedCollectionInsideNegation) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}, {2}, {3}}));
+  db.Put("S", Rel(Schema{"A", "B"}, {{1, 5}, {2, 0}}));
+  // Keep r when there is no s-row with positive B for it.
+  Program p = MustParse(
+      "{Q(A) | exists r in R [Q.A = r.A and "
+      "not(exists x in {X(A) | exists s in S "
+      "[X.A = s.A and s.B > 0]} [x.A = r.A])]}");
+  auto result = Eval(db, p);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->EqualsSet(Rel(Schema{"A"}, {{2}, {3}})));
+}
+
+TEST(EvalEdge, EmptyDatabaseRelations) {
+  data::Database db;
+  db.Put("R", Relation(Schema{"A", "B"}));
+  Program joins = MustParse(
+      "{Q(A) | exists r in R, s in R [Q.A = r.A and r.B = s.B]}");
+  auto result = Eval(db, joins);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+  Program grouped = MustParse(
+      "{Q(A, c) | exists r in R, gamma(r.A) [Q.A = r.A and Q.c = count(r.B)]}");
+  auto g = Eval(db, grouped);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->empty());
+}
+
+// ---------------------------------------------------------------------------
+// SQL evaluator edges
+// ---------------------------------------------------------------------------
+
+TEST(SqlEdge, UnionArityMismatch) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 2}}));
+  sql::SqlEvaluator ev(db);
+  auto r = ev.EvalQuery("select R.A from R union select R.A, R.B from R");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SqlEdge, InSubqueryMustBeUnary) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 2}}));
+  sql::SqlEvaluator ev(db);
+  auto r = ev.EvalQuery(
+      "select R.A from R where R.A in (select R.A, R.B from R)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SqlEdge, FromlessSelectWithWhere) {
+  data::Database db;
+  sql::SqlEvaluator ev(db);
+  auto t = ev.EvalQuery("select 1 x where 1 < 2");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->size(), 1);
+  auto f = ev.EvalQuery("select 1 x where 1 > 2");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->empty());
+}
+
+TEST(SqlEdge, HavingWithoutGroupBy) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}, {2}, {3}}));
+  sql::SqlEvaluator ev(db);
+  auto big = ev.EvalQuery("select sum(R.A) s from R having count(R.A) > 2");
+  ASSERT_TRUE(big.ok()) << big.status().ToString();
+  EXPECT_EQ(big->size(), 1);
+  auto small = ev.EvalQuery("select sum(R.A) s from R having count(R.A) > 5");
+  ASSERT_TRUE(small.ok());
+  EXPECT_TRUE(small->empty());
+}
+
+TEST(SqlEdge, NullArithmeticPropagates) {
+  data::Database db;
+  Relation r(Schema{"A"});
+  r.Add({Value::Null()});
+  r.Add({Value::Int(3)});
+  db.Put("R", std::move(r));
+  sql::SqlEvaluator ev(db);
+  auto out = ev.EvalQuery("select R.A + 1 x from R");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2);
+  Relation sorted = out->Sorted();
+  EXPECT_TRUE(sorted.rows()[0].at(0).is_null());
+  EXPECT_EQ(sorted.rows()[1].at(0).as_int(), 4);
+}
+
+TEST(SqlEdge, CteShadowsBaseTable) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}, {2}}));
+  sql::SqlEvaluator ev(db);
+  auto out = ev.EvalQuery(
+      "with R as (select R.A from R where R.A > 1) select R.A from R");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out->EqualsBag(Rel(Schema{"A"}, {{2}})));
+}
+
+}  // namespace
+}  // namespace arc::eval

@@ -1,0 +1,425 @@
+// End-to-end reproduction of every worked example in the paper, on the
+// paper's own instances where it gives one (count bug §3.2, conventions
+// §2.6) and on small constructed instances otherwise. Each test cites the
+// equation/figure it reproduces.
+#include <gtest/gtest.h>
+
+#include "arc/conventions.h"
+#include "data/generators.h"
+#include "eval/evaluator.h"
+#include "text/parser.h"
+
+namespace arc::eval {
+namespace {
+
+using data::Relation;
+using data::Schema;
+using data::Value;
+
+Relation MustEval(const data::Database& db, const std::string& text,
+                  Conventions conv = Conventions::Arc()) {
+  auto program = text::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  EvalOptions opts;
+  opts.conventions = conv;
+  auto result = Eval(db, *program, opts);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : Relation();
+}
+
+Relation Rel(Schema schema, std::vector<std::vector<int64_t>> rows) {
+  Relation r(std::move(schema));
+  for (const auto& row : rows) {
+    data::Tuple t;
+    for (int64_t v : row) t.Append(Value::Int(v));
+    r.Add(std::move(t));
+  }
+  return r;
+}
+
+// --- §2.1 / Eq. (1), Fig. 2 ------------------------------------------------
+
+TEST(Paper, Eq1TrcQuery) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 5}, {2, 6}, {3, 7}}));
+  db.Put("S", Rel(Schema{"B", "C"}, {{5, 0}, {6, 3}, {7, 0}}));
+  Relation out = MustEval(
+      db, "{Q(A) | exists r in R, s in S "
+          "[Q.A = r.A and r.B = s.B and s.C = 0]}");
+  EXPECT_TRUE(out.EqualsSet(Rel(Schema{"A"}, {{1}, {3}})));
+}
+
+// --- §2.4 / Eq. (2), Fig. 3: lateral nesting -------------------------------
+
+TEST(Paper, Eq2OrthogonalNesting) {
+  data::Database db;
+  db.Put("X", Rel(Schema{"A"}, {{1}, {4}}));
+  db.Put("Y", Rel(Schema{"A"}, {{2}, {5}}));
+  Relation out = MustEval(
+      db,
+      "{Q(A, B) | exists x in X, z in {Z(B) | exists y in Y "
+      "[Z.B = y.A and x.A < y.A]} [Q.A = x.A and Q.B = z.B]}");
+  EXPECT_TRUE(out.EqualsSet(
+      Rel(Schema{"A", "B"}, {{1, 2}, {1, 5}, {4, 5}})));
+}
+
+// --- §2.5 / Eq. (3), Fig. 4: FIO grouped aggregate --------------------------
+
+TEST(Paper, Eq3GroupedAggregateFio) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 10}, {1, 20}, {2, 5}}));
+  Relation out = MustEval(
+      db, "{Q(A, sm) | exists r in R, gamma(r.A) "
+          "[Q.A = r.A and Q.sm = sum(r.B)]}");
+  EXPECT_TRUE(out.EqualsSet(Rel(Schema{"A", "sm"}, {{1, 30}, {2, 5}})));
+}
+
+// --- §2.5 / Eq. (7), Fig. 5: FOI pattern ------------------------------------
+
+TEST(Paper, Eq7FoiPatternAgreesWithFio) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 10}, {1, 20}, {2, 5}}));
+  Relation foi = MustEval(
+      db,
+      "{Q(A, sm) | exists r in R, x in {X(sm) | exists r2 in R, gamma() "
+      "[r2.A = r.A and X.sm = sum(r2.B)]} [Q.A = r.A and Q.sm = x.sm]}");
+  Relation fio = MustEval(
+      db, "{Q(A, sm) | exists r in R, gamma(r.A) "
+          "[Q.A = r.A and Q.sm = sum(r.B)]}");
+  EXPECT_TRUE(foi.EqualsSet(fio)) << foi.ToString() << fio.ToString();
+}
+
+// --- §2.5 / Eq. (8), Fig. 6: multiple aggregates + HAVING -------------------
+
+TEST(Paper, Eq8MultipleAggregatesWithHaving) {
+  // R(empl, dept), S(empl, sal): dept 1 pays (60, 60) → sum 120, avg 60;
+  // dept 2 pays (30) → sum 30 < 100 filtered by HAVING.
+  data::Database db;
+  db.Put("R", Rel(Schema{"empl", "dept"}, {{1, 1}, {2, 1}, {3, 2}}));
+  db.Put("S", Rel(Schema{"empl", "sal"}, {{1, 60}, {2, 60}, {3, 30}}));
+  Relation out = MustEval(
+      db,
+      "{Q(dept, av) | exists x in {X(dept, av, sm) | "
+      "exists r in R, s in S, gamma(r.dept) "
+      "[X.dept = r.dept and X.av = avg(s.sal) and X.sm = sum(s.sal) and "
+      "r.empl = s.empl]} "
+      "[Q.dept = x.dept and Q.av = x.av and x.sm > 100]}");
+  Relation expected(Schema{"dept", "av"});
+  expected.Add({Value::Int(1), Value::Double(60.0)});
+  EXPECT_TRUE(out.EqualsSet(expected)) << out.ToString();
+}
+
+// --- §2.5 / Eq. (10): the Hella et al. pattern ------------------------------
+
+TEST(Paper, Eq10HellaPatternSameResult) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"empl", "dept"}, {{1, 1}, {2, 1}, {3, 2}}));
+  db.Put("S", Rel(Schema{"empl", "sal"}, {{1, 60}, {2, 60}, {3, 30}}));
+  Relation hella = MustEval(
+      db,
+      "{Q(dept, av) | exists r3 in R, s3 in S, "
+      "x in {X(av) | exists r1 in R, s1 in S, gamma(r1.dept) "
+      "[r1.dept = r3.dept and r1.empl = s1.empl and X.av = avg(s1.sal)]}, "
+      "y in {Y(sm) | exists r2 in R, s2 in S, gamma(r2.dept) "
+      "[r2.dept = r3.dept and r2.empl = s2.empl and Y.sm = sum(s2.sal)]} "
+      "[Q.dept = r3.dept and Q.av = x.av and r3.empl = s3.empl and "
+      "y.sm > 100]}");
+  Relation expected(Schema{"dept", "av"});
+  expected.Add({Value::Int(1), Value::Double(60.0)});
+  EXPECT_TRUE(hella.EqualsSet(expected)) << hella.ToString();
+}
+
+// --- §2.5 / Eq. (12): the Rel pattern ----------------------------------------
+
+TEST(Paper, Eq12RelPatternSameResult) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"empl", "dept"}, {{1, 1}, {2, 1}, {3, 2}}));
+  db.Put("S", Rel(Schema{"empl", "sal"}, {{1, 60}, {2, 60}, {3, 30}}));
+  Relation rel_pattern = MustEval(
+      db,
+      "{Q(dept, av) | exists x in {X(dept, av) | "
+      "exists r1 in R, s1 in S, gamma(r1.dept) "
+      "[X.dept = r1.dept and r1.empl = s1.empl and X.av = avg(s1.sal)]}, "
+      "y in {Y(dept, sm) | exists r2 in R, s2 in S, gamma(r2.dept) "
+      "[Y.dept = r2.dept and r2.empl = s2.empl and Y.sm = sum(s2.sal)]} "
+      "[Q.dept = x.dept and Q.av = x.av and x.dept = y.dept and "
+      "y.sm > 100]}");
+  Relation expected(Schema{"dept", "av"});
+  expected.Add({Value::Int(1), Value::Double(60.0)});
+  EXPECT_TRUE(rel_pattern.EqualsSet(expected)) << rel_pattern.ToString();
+}
+
+// --- §2.5 / Eqs. (13)-(14), Fig. 9: Boolean sentences -----------------------
+
+TEST(Paper, Eq13Eq14Constraints) {
+  auto eval_sentence = [](const data::Database& db, const std::string& text) {
+    auto program = text::ParseProgram(text);
+    EXPECT_TRUE(program.ok());
+    Evaluator ev(db);
+    auto r = ev.EvalSentence(*program);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  };
+  const std::string eq13 =
+      "exists r in R [exists s in S, gamma() "
+      "[r.id = s.id and r.q <= count(s.d)]]";
+  const std::string eq14 =
+      "not(exists r in R [exists s in S, gamma() "
+      "[r.id = s.id and r.q > count(s.d)]])";
+  // Satisfied instance: every id has enough deliveries.
+  data::Database good = data::InventoryInstance(10, 3, /*satisfy_all=*/true, 1);
+  EXPECT_EQ(eval_sentence(good, eq13), data::TriBool::kTrue);
+  EXPECT_EQ(eval_sentence(good, eq14), data::TriBool::kTrue);
+  // Violating instance: some id demands more than delivered.
+  data::Database bad = data::InventoryInstance(10, 3, /*satisfy_all=*/false, 2);
+  EXPECT_EQ(eval_sentence(bad, eq14), data::TriBool::kFalse);
+}
+
+// --- §2.9 / Eq. (16), Fig. 10: recursion -------------------------------------
+
+TEST(Paper, Eq16AncestorRecursion) {
+  data::Database db = data::ParentChain(6);
+  Relation out = MustEval(
+      db,
+      "{A(s, t) | exists p in P [A.s = p.s and A.t = p.t] or "
+      "exists p in P, a2 in A [A.s = p.s and p.t = a2.s and a2.t = A.t]}");
+  EXPECT_EQ(out.size(), 15);  // C(6,2)
+  EXPECT_TRUE(out.Contains(data::Tuple{Value::Int(0), Value::Int(5)}));
+}
+
+// --- §2.10 / Eq. (17), Fig. 11: NOT IN null semantics ------------------------
+
+TEST(Paper, Eq17NotInNullBehavior) {
+  // SQL: R.A NOT IN (SELECT S.A FROM S) is empty whenever S has a null.
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}, {2}}));
+  Relation s(Schema{"A"});
+  s.Add({Value::Int(1)});
+  s.Add({Value::Null()});
+  db.Put("S", std::move(s));
+  Relation out = MustEval(
+      db,
+      "{Q(A) | exists r in R [Q.A = r.A and not(exists s in S "
+      "[s.A = r.A or s.A is null or r.A is null])]}");
+  EXPECT_TRUE(out.empty()) << out.ToString();
+  // Without the null row, 2 survives.
+  data::Database db2;
+  db2.Put("R", Rel(Schema{"A"}, {{1}, {2}}));
+  db2.Put("S", Rel(Schema{"A"}, {{1}}));
+  Relation out2 = MustEval(
+      db2,
+      "{Q(A) | exists r in R [Q.A = r.A and not(exists s in S "
+      "[s.A = r.A or s.A is null or r.A is null])]}");
+  EXPECT_TRUE(out2.EqualsBag(Rel(Schema{"A"}, {{2}})));
+}
+
+// --- §2.12, Fig. 13: head aggregates — lateral vs LEFT JOIN + GROUP BY ------
+
+TEST(Paper, Fig13LateralVsLeftJoinGroupByUnderBags) {
+  // R has duplicate rows; the scalar/lateral form emits once per R tuple;
+  // the LEFT JOIN + GROUP BY rewrite collapses duplicates (the paper's
+  // counterexample).
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}, {1}}));  // duplicates, no key
+  db.Put("S", Rel(Schema{"A", "B"}, {{0, 7}}));
+  const std::string lateral =
+      "{Q(A, sm) | exists r in R, x in {X(sm) | exists s in S, gamma() "
+      "[s.A < r.A and X.sm = sum(s.B)]} [Q.A = r.A and Q.sm = x.sm]}";
+  // LEFT JOIN + GROUP BY r.A in ARC: group on r.A, aggregate over padded s.
+  const std::string left_join =
+      "{Q(A, sm) | exists r in R, s in S, gamma(r.A), left(r, s) "
+      "[Q.A = r.A and Q.sm = sum(s.B) and s.A < r.A]}";
+  Relation lat = MustEval(db, lateral, Conventions::Sql());
+  Relation lj = MustEval(db, left_join, Conventions::Sql());
+  // Once per R tuple: (1,7) twice.
+  EXPECT_TRUE(lat.EqualsBag(Rel(Schema{"A", "sm"}, {{1, 7}, {1, 7}})))
+      << lat.ToString();
+  // Duplicates collapsed into one group whose sum double-counts: (1,14).
+  EXPECT_TRUE(lj.EqualsBag(Rel(Schema{"A", "sm"}, {{1, 14}})))
+      << lj.ToString();
+  // Without duplicates in R the two rewrites agree.
+  data::Database db2;
+  db2.Put("R", Rel(Schema{"A"}, {{1}}));
+  db2.Put("S", Rel(Schema{"A", "B"}, {{0, 7}}));
+  EXPECT_TRUE(MustEval(db2, lateral, Conventions::Sql())
+                  .EqualsBag(MustEval(db2, left_join, Conventions::Sql())));
+}
+
+// --- §2.13 / Eqs. (19)-(21), Fig. 15: external relations ---------------------
+
+TEST(Paper, Eq19to21ExternalRelationsAgree) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 10}, {2, 4}}));
+  db.Put("S", Rel(Schema{"B"}, {{3}}));
+  db.Put("T", Rel(Schema{"B"}, {{5}}));
+  // Native arithmetic (19).
+  Relation native = MustEval(
+      db, "{Q(A) | exists r in R, s in S, t in T "
+          "[Q.A = r.A and r.B - s.B > t.B]}");
+  // Reified minus (20).
+  Relation reified = MustEval(
+      db, "{Q(A) | exists r in R, s in S, t in T, f in Minus "
+          "[Q.A = r.A and f.left = r.B and f.right = s.B and f.out > t.B]}");
+  // Fully reified (21).
+  Relation fully = MustEval(
+      db, "{Q(A) | exists r in R, s in S, t in T, f in Minus, g in Bigger "
+          "[Q.A = r.A and f.left = r.B and f.right = s.B and "
+          "f.out = g.left and g.right = t.B]}");
+  EXPECT_TRUE(native.EqualsSet(Rel(Schema{"A"}, {{1}})));
+  EXPECT_TRUE(reified.EqualsSet(native));
+  EXPECT_TRUE(fully.EqualsSet(native));
+}
+
+// --- §2.13.2 / Eqs. (22)-(24), Figs. 16-19: unique-set query ----------------
+
+constexpr const char* kUniqueSetMonolithic =
+    "{Q(d) | exists l1 in Likes [Q.d = l1.drinker and "
+    "not(exists l2 in Likes [l2.drinker <> l1.drinker and "
+    "not(exists l3 in Likes [l3.drinker = l2.drinker and "
+    "not(exists l4 in Likes [l4.beer = l3.beer and "
+    "l4.drinker = l1.drinker])])"
+    " and "
+    "not(exists l5 in Likes [l5.drinker = l1.drinker and "
+    "not(exists l6 in Likes [l6.drinker = l2.drinker and "
+    "l6.beer = l5.beer])])])]}";
+
+constexpr const char* kUniqueSetModular =
+    "abstract define {S(left, right) | "
+    "not(exists l3 in Likes [l3.drinker = S.left and "
+    "not(exists l4 in Likes [l4.beer = l3.beer and "
+    "l4.drinker = S.right])])} "
+    "{Q(d) | exists l1 in Likes [Q.d = l1.drinker and "
+    "not(exists l2 in Likes, s1 in S, s2 in S "
+    "[l2.drinker <> l1.drinker and "
+    "s1.left = l2.drinker and s1.right = l1.drinker and "
+    "s2.left = l1.drinker and s2.right = l2.drinker])]}";
+
+TEST(Paper, Eq22UniqueSetQueryHandPicked) {
+  // Drinkers: 0 likes {0,1}; 1 likes {0,1}; 2 likes {2}. Unique: only 2.
+  data::Database db;
+  db.Put("Likes", Rel(Schema{"drinker", "beer"},
+                      {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 2}}));
+  Relation out = MustEval(db, kUniqueSetMonolithic);
+  EXPECT_TRUE(out.EqualsSet(Rel(Schema{"d"}, {{2}})));
+}
+
+TEST(Paper, Eq24ModularizedUniqueSetAgrees) {
+  data::Database db = data::LikesInstance(8, 6, 0.4, 0.4, 42);
+  Relation mono = MustEval(db, kUniqueSetMonolithic);
+  Relation modular = MustEval(db, kUniqueSetModular);
+  EXPECT_TRUE(mono.EqualsSet(modular))
+      << mono.ToString() << modular.ToString();
+}
+
+// --- §3.1 / Eqs. (25)-(26), Fig. 20: matrix multiplication -------------------
+
+TEST(Paper, Eq26MatrixMultiplication) {
+  // A = [[1,2],[0,3]], B = [[4,0],[1,1]]  →  C = [[6,2],[3,3]].
+  data::Database db;
+  db.Put("A", Rel(Schema{"row", "col", "val"},
+                  {{0, 0, 1}, {0, 1, 2}, {1, 1, 3}}));
+  db.Put("B", Rel(Schema{"row", "col", "val"},
+                  {{0, 0, 4}, {1, 0, 1}, {1, 1, 1}}));
+  Relation out = MustEval(
+      db,
+      "{C(row, col, val) | exists a in A, b in B, gamma(a.row, b.col) "
+      "[C.row = a.row and C.col = b.col and a.col = b.row and "
+      "C.val = sum(a.val * b.val)]}");
+  EXPECT_TRUE(out.EqualsSet(Rel(Schema{"row", "col", "val"},
+                                {{0, 0, 6}, {0, 1, 2}, {1, 0, 3}, {1, 1, 3}})))
+      << out.ToString();
+}
+
+TEST(Paper, Fig20MatrixMultiplicationWithReifiedTimes) {
+  data::Database db;
+  db.Put("A", Rel(Schema{"row", "col", "val"}, {{0, 0, 2}, {0, 1, 3}}));
+  db.Put("B", Rel(Schema{"row", "col", "val"}, {{0, 0, 5}, {1, 0, 7}}));
+  Relation reified = MustEval(
+      db,
+      "{C(row, col, val) | exists a in A, b in B, f in \"*\", "
+      "gamma(a.row, b.col) [C.row = a.row and C.col = b.col and "
+      "a.col = b.row and C.val = sum(f.out) and "
+      "f.$1 = a.val and f.$2 = b.val]}");
+  // 2*5 + 3*7 = 31 at (0,0).
+  EXPECT_TRUE(reified.EqualsSet(
+      Rel(Schema{"row", "col", "val"}, {{0, 0, 31}})))
+      << reified.ToString();
+}
+
+// --- §3.2 / Eqs. (27)-(29), Fig. 21: the count bug ---------------------------
+
+constexpr const char* kCountBugOriginal =
+    "{Q(id) | exists r in R [Q.id = r.id and exists s in S, gamma() "
+    "[r.id = s.id and r.q = count(s.d)]]}";
+constexpr const char* kCountBugBuggy =
+    "{Q(id) | exists r in R, x in {X(id, ct) | exists s in S, gamma(s.id) "
+    "[X.id = s.id and X.ct = count(s.d)]} "
+    "[Q.id = r.id and r.id = x.id and r.q = x.ct]}";
+constexpr const char* kCountBugCorrect =
+    "{Q(id) | exists r in R, x in {X(id, ct) | exists s in S, r2 in R, "
+    "gamma(r2.id), left(r2, s) [X.id = r2.id and X.ct = count(s.d) and "
+    "r2.id = s.id]} [Q.id = r.id and r.id = x.id and r.q = x.ct]}";
+
+TEST(Paper, Fig21CountBugOnPaperInstance) {
+  data::Database db = data::CountBugInstance();  // R(9,0), S = ∅
+  Relation original = MustEval(db, kCountBugOriginal);
+  Relation buggy = MustEval(db, kCountBugBuggy);
+  Relation correct = MustEval(db, kCountBugCorrect);
+  EXPECT_TRUE(original.EqualsBag(Rel(Schema{"id"}, {{9}})))
+      << original.ToString();
+  EXPECT_TRUE(buggy.empty()) << buggy.ToString();  // the bug
+  EXPECT_TRUE(correct.EqualsBag(original)) << correct.ToString();
+}
+
+TEST(Paper, Fig21CountBugOnRandomInstances) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    data::Database db;
+    db.Put("R", data::RandomBinary(12, 6, 0.0, 0.0, seed));
+    data::Relation s = data::RandomBinary(20, 6, 0.0, 0.0, seed + 100);
+    db.Put("S", data::Relation(Schema{"id", "d"}, s.rows()));
+    // Rename R's columns to (id, q).
+    const data::Relation* r0 = db.GetPtr("R");
+    data::Relation r(Schema{"id", "q"}, r0->rows());
+    // Make ids unique (the paper's example assumes R.id is a key).
+    r = [](const data::Relation& in) {
+      data::Relation out(in.schema());
+      std::vector<bool> seen(100, false);
+      for (const data::Tuple& t : in.rows()) {
+        const int64_t id = t.at(0).as_int();
+        if (id >= 0 && id < 100 && !seen[static_cast<size_t>(id)]) {
+          seen[static_cast<size_t>(id)] = true;
+          out.Add(t);
+        }
+      }
+      return out;
+    }(r);
+    db.Put("R", std::move(r));
+    Relation original = MustEval(db, kCountBugOriginal);
+    Relation correct = MustEval(db, kCountBugCorrect);
+    EXPECT_TRUE(original.EqualsSet(correct))
+        << "seed " << seed << "\n"
+        << original.ToString() << correct.ToString();
+  }
+}
+
+// --- §2.6 / Eq. (15): conventions --------------------------------------------
+
+TEST(Paper, Eq15ConventionDivergence) {
+  // R = {(1,2)}, S = ∅: Soufflé derives Q(1,0); SQL returns (1, NULL).
+  data::Database db = data::ConventionInstance();
+  const std::string q =
+      "{Q(ak, sm) | exists r in R, x in {X(sm) | exists s in S, gamma() "
+      "[s.a < r.ak and X.sm = sum(s.b)]} "
+      "[Q.ak = r.ak and Q.sm = x.sm]}";
+  Relation souffle = MustEval(db, q, Conventions::Souffle());
+  ASSERT_EQ(souffle.size(), 1);
+  EXPECT_EQ(souffle.rows()[0].at(0).as_int(), 1);
+  EXPECT_EQ(souffle.rows()[0].at(1).as_int(), 0);
+  Relation sql = MustEval(db, q, Conventions::Sql());
+  ASSERT_EQ(sql.size(), 1);
+  EXPECT_EQ(sql.rows()[0].at(0).as_int(), 1);
+  EXPECT_TRUE(sql.rows()[0].at(1).is_null());
+}
+
+}  // namespace
+}  // namespace arc::eval

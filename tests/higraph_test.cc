@@ -1,0 +1,180 @@
+// Higraph modality tests: structure of the built diagrams for the paper's
+// figures and well-formedness of the three renderers.
+#include <gtest/gtest.h>
+
+#include "higraph/higraph.h"
+#include "text/parser.h"
+
+namespace arc::higraph {
+namespace {
+
+Higraph MustBuild(const std::string& source, BuildOptions opts = {}) {
+  auto program = text::ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  auto h = Build(*program, opts);
+  EXPECT_TRUE(h.ok()) << h.status().ToString();
+  return h.ok() ? std::move(h).value() : Higraph();
+}
+
+TEST(Higraph, Fig2TrcQueryStructure) {
+  Higraph h = MustBuild(
+      "{Q(A) | exists r in R, s in S [Q.A = r.A and r.B = s.B and "
+      "s.C = 0]}");
+  // Canvas, collection region, scope region.
+  EXPECT_EQ(h.region_count(), 3);
+  // Head box + R box + S box.
+  EXPECT_EQ(h.box_count(), 3);
+  // Join edge r.B—s.B and assignment r.A → Q.A.
+  ASSERT_EQ(h.edge_count(), 2);
+  int assignments = 0;
+  for (const Edge& e : h.edges) {
+    if (e.style == EdgeStyle::kAssignment) ++assignments;
+  }
+  EXPECT_EQ(assignments, 1);
+  // The constant selection lives inside S's box as a row "C = 0".
+  bool found_selection = false;
+  for (const Box& b : h.boxes) {
+    for (const Row& r : b.rows) {
+      if (r.text == "C = 0") found_selection = true;
+    }
+  }
+  EXPECT_TRUE(found_selection) << ToAscii(h);
+}
+
+TEST(Higraph, Fig4GroupingScopeIsMarked) {
+  Higraph h = MustBuild(
+      "{Q(A, sm) | exists r in R, gamma(r.A) "
+      "[Q.A = r.A and Q.sm = sum(r.B)]}");
+  bool grouping_region = false;
+  for (const Region& r : h.regions) {
+    if (r.grouping) grouping_region = true;
+  }
+  EXPECT_TRUE(grouping_region);
+  // Grouped attribute shaded; aggregate appears as a pseudo-row.
+  bool grouped_row = false;
+  bool agg_row = false;
+  for (const Box& b : h.boxes) {
+    for (const Row& row : b.rows) {
+      if (row.grouped) grouped_row = true;
+      if (row.text == "sum(r.B)") agg_row = true;
+    }
+  }
+  EXPECT_TRUE(grouped_row) << ToAscii(h);
+  EXPECT_TRUE(agg_row) << ToAscii(h);
+}
+
+TEST(Higraph, NegationScopesNest) {
+  Higraph h = MustBuild(
+      "{Q(A) | exists r in R [Q.A = r.A and not(exists s in S "
+      "[s.B = r.A and not(exists t in T [t.C = s.B])])]}");
+  int negations = 0;
+  for (const Region& r : h.regions) {
+    if (r.kind == RegionKind::kNegation) ++negations;
+  }
+  EXPECT_EQ(negations, 2);
+}
+
+TEST(Higraph, DisjunctionBranches) {
+  Higraph h = MustBuild(
+      "{Q(A) | exists r in R [Q.A = r.A] or exists s in S [Q.A = s.B]}");
+  int disjuncts = 0;
+  for (const Region& r : h.regions) {
+    if (r.kind == RegionKind::kDisjunct) ++disjuncts;
+  }
+  EXPECT_EQ(disjuncts, 2);
+}
+
+TEST(Higraph, ModuleCollapsedAndExpanded) {
+  const std::string source =
+      "abstract define {Sub(left, right) | "
+      "not(exists l3 in L [l3.d = Sub.left and "
+      "not(exists l4 in L [l4.b = l3.b and l4.d = Sub.right])])} "
+      "{Q(d) | exists l1 in L, s1 in Sub "
+      "[Q.d = l1.d and s1.left = l1.d and s1.right = l1.d]}";
+  Higraph collapsed = MustBuild(source);
+  bool module_box = false;
+  for (const Box& b : collapsed.boxes) {
+    if (b.relation.find("«Sub»") != std::string::npos) module_box = true;
+  }
+  EXPECT_TRUE(module_box) << ToAscii(collapsed);
+
+  BuildOptions opts;
+  opts.expand_modules = true;
+  Higraph expanded = MustBuild(source, opts);
+  // Expanded: the module's sub-diagram appears (its negation scopes).
+  int negations = 0;
+  for (const Region& r : expanded.regions) {
+    if (r.kind == RegionKind::kNegation) ++negations;
+  }
+  EXPECT_GE(negations, 2) << ToAscii(expanded);
+  EXPECT_GT(expanded.region_count(), collapsed.region_count());
+}
+
+TEST(Higraph, NestedCollectionHeadIsLinkTarget) {
+  // Eq. (7): references to x link to the nested head's rows.
+  Higraph h = MustBuild(
+      "{Q(A, sm) | exists r in R, x in {X(sm) | exists r2 in R, gamma() "
+      "[r2.A = r.A and X.sm = sum(r2.B)]} [Q.A = r.A and Q.sm = x.sm]}");
+  // Assignment edge from the nested head's sm row to Q.sm.
+  bool nested_head_edge = false;
+  for (const Edge& e : h.edges) {
+    const Box& from = h.boxes[static_cast<size_t>(e.from_box)];
+    if (from.is_head && from.relation == "X" &&
+        e.style == EdgeStyle::kAssignment) {
+      nested_head_edge = true;
+    }
+  }
+  EXPECT_TRUE(nested_head_edge) << ToAscii(h);
+}
+
+TEST(Higraph, RenderersProduceWellFormedOutput) {
+  Higraph h = MustBuild(
+      "{Q(A, sm) | exists r in R, gamma(r.A) "
+      "[Q.A = r.A and Q.sm = sum(r.B) and r.B > 0]}");
+  const std::string ascii = ToAscii(h);
+  EXPECT_NE(ascii.find("HEAD Q"), std::string::npos);
+  EXPECT_NE(ascii.find("edges:"), std::string::npos);
+
+  const std::string dot = ToDot(h);
+  EXPECT_NE(dot.find("digraph higraph"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_"), std::string::npos);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+
+  const std::string svg = ToSvg(h);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("sum(r.B)"), std::string::npos);
+}
+
+TEST(Higraph, SentenceBuilds) {
+  Higraph h = MustBuild(
+      "not(exists r in R [exists s in S, gamma() "
+      "[r.id = s.id and r.q > count(s.d)]])");
+  int negations = 0;
+  bool grouping = false;
+  for (const Region& r : h.regions) {
+    if (r.kind == RegionKind::kNegation) ++negations;
+    if (r.grouping) grouping = true;
+  }
+  EXPECT_EQ(negations, 1);
+  EXPECT_TRUE(grouping);
+}
+
+TEST(Higraph, OuterJoinQueryBuilds) {
+  Higraph h = MustBuild(
+      "{Q(m, n) | exists r in R, s in S, left(r, inner(11, s)) "
+      "[Q.m = r.m and Q.n = s.n and r.y = s.y and r.h = 11]}");
+  EXPECT_GT(h.edge_count(), 0);
+  // The literal condition renders inside r's box.
+  bool anchor_row = false;
+  for (const Box& b : h.boxes) {
+    for (const Row& r : b.rows) {
+      if (r.text == "h = 11") anchor_row = true;
+    }
+  }
+  EXPECT_TRUE(anchor_row) << ToAscii(h);
+}
+
+}  // namespace
+}  // namespace arc::higraph

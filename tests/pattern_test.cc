@@ -1,0 +1,182 @@
+// Pattern-analysis tests: canonicalization invariance, pattern equality of
+// syntactically-different/semantically-same queries (the paper's central
+// intent-vs-syntax claim), FIO/FOI classification, and similarity.
+#include <gtest/gtest.h>
+
+#include "pattern/pattern.h"
+#include "sql/eval.h"
+#include "text/parser.h"
+#include "text/printer.h"
+#include "translate/sql_to_arc.h"
+
+namespace arc::pattern {
+namespace {
+
+Program MustParse(const std::string& source) {
+  auto p = text::ParseProgram(source);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return p.ok() ? std::move(p).value() : Program();
+}
+
+TEST(Pattern, RenamingInvariance) {
+  Program a = MustParse(
+      "{Q(A) | exists r in R, s in S [Q.A = r.A and r.B = s.B and s.C = 0]}");
+  Program b = MustParse(
+      "{Q(A) | exists foo in R, bar in S "
+      "[Q.A = foo.A and foo.B = bar.B and bar.C = 0]}");
+  EXPECT_TRUE(PatternEquals(a, b))
+      << CanonicalText(a) << "\nvs\n" << CanonicalText(b);
+  EXPECT_EQ(Fingerprint(a), Fingerprint(b));
+  EXPECT_DOUBLE_EQ(Similarity(a, b), 1.0);
+}
+
+TEST(Pattern, ConjunctOrderInvariance) {
+  Program a = MustParse(
+      "{Q(A) | exists r in R, s in S [Q.A = r.A and r.B = s.B and s.C = 0]}");
+  Program b = MustParse(
+      "{Q(A) | exists r in R, s in S [s.C = 0 and Q.A = r.A and r.B = s.B]}");
+  EXPECT_TRUE(PatternEquals(a, b));
+}
+
+TEST(Pattern, DifferentPatternsDiffer) {
+  Program a = MustParse("{Q(A) | exists r in R [Q.A = r.A]}");
+  Program b = MustParse(
+      "{Q(A) | exists r in R [Q.A = r.A and not(exists s in S "
+      "[s.B = r.A])]}");
+  EXPECT_FALSE(PatternEquals(a, b));
+  EXPECT_LT(Similarity(a, b), 1.0);
+  EXPECT_GT(Similarity(a, b), 0.3);  // still structurally related
+}
+
+TEST(Pattern, Fig5ScalarAndLateralSqlSharePattern) {
+  // The paper's central example of semantically-equal but syntactically
+  // different SQL: Fig. 5a (scalar subquery) vs Fig. 5b (lateral join)
+  // translate to the same ARC pattern.
+  auto db = sql::ExecuteSetupScript(
+      "create table R (A int, B int); insert into R values (1,2);");
+  ASSERT_TRUE(db.ok());
+  translate::SqlToArcOptions opts;
+  opts.database = &*db;
+  auto scalar = translate::SqlToArc(
+      "select distinct R.A, (select sum(R2.B) from R R2 where R2.A = R.A) sm "
+      "from R",
+      opts);
+  ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+  auto lateral = translate::SqlToArc(
+      "select distinct R.A, X.sm from R join lateral "
+      "(select sum(R2.B) sm from R R2 where R2.A = R.A) X on true",
+      opts);
+  ASSERT_TRUE(lateral.ok()) << lateral.status().ToString();
+  EXPECT_TRUE(PatternEquals(*scalar, *lateral))
+      << CanonicalText(*scalar) << "\nvs\n" << CanonicalText(*lateral);
+}
+
+TEST(Pattern, StringDifferentPatternEqualBeatsStringSimilarity) {
+  // Intent-based comparison: two queries whose SQL strings differ widely
+  // but whose patterns coincide, vs. two whose strings are close but whose
+  // patterns differ (the NOT IN / NOT EXISTS null trap).
+  auto db = sql::ExecuteSetupScript(
+      "create table R (A int); create table S (A int);");
+  ASSERT_TRUE(db.ok());
+  translate::SqlToArcOptions opts;
+  opts.database = &*db;
+  auto not_in = translate::SqlToArc(
+      "select R.A from R where R.A not in (select S.A from S)", opts);
+  ASSERT_TRUE(not_in.ok());
+  auto not_exists_nullsafe = translate::SqlToArc(
+      "select R.A from R where not exists (select 1 from S "
+      "where S.A = R.A or S.A is null or R.A is null)",
+      opts);
+  ASSERT_TRUE(not_exists_nullsafe.ok());
+  auto not_exists_plain = translate::SqlToArc(
+      "select R.A from R where not exists (select 1 from S "
+      "where S.A = R.A)",
+      opts);
+  ASSERT_TRUE(not_exists_plain.ok());
+  // NOT IN ≡ null-safe NOT EXISTS (Eq. 17) — identical patterns.
+  EXPECT_TRUE(PatternEquals(*not_in, *not_exists_nullsafe))
+      << CanonicalText(*not_in) << "\nvs\n"
+      << CanonicalText(*not_exists_nullsafe);
+  // The plain NOT EXISTS is a *different* pattern, despite looking closer
+  // to the null-safe variant as a string.
+  EXPECT_FALSE(PatternEquals(*not_in, *not_exists_plain));
+  EXPECT_GT(Similarity(*not_in, *not_exists_plain), 0.5);
+}
+
+TEST(Pattern, FioVsFoiClassification) {
+  Program fio = MustParse(
+      "{Q(A, sm) | exists r in R, gamma(r.A) "
+      "[Q.A = r.A and Q.sm = sum(r.B)]}");
+  Features f1 = ExtractFeatures(fio);
+  EXPECT_EQ(f1.agg_style, AggStyle::kFio) << f1.ToString();
+
+  Program foi = MustParse(
+      "{Q(A, sm) | exists r in R, x in {X(sm) | exists r2 in R, gamma() "
+      "[r2.A = r.A and X.sm = sum(r2.B)]} [Q.A = r.A and Q.sm = x.sm]}");
+  Features f2 = ExtractFeatures(foi);
+  EXPECT_EQ(f2.agg_style, AggStyle::kFoi) << f2.ToString();
+  EXPECT_GT(f2.correlation_count, 0);
+}
+
+TEST(Pattern, FeaturesCountStructure) {
+  Program p = MustParse(
+      "{Q(d) | exists l1 in L [Q.d = l1.d and "
+      "not(exists l2 in L [l2.d <> l1.d and "
+      "not(exists l3 in L [l3.d = l2.d])])]}");
+  Features f = ExtractFeatures(p);
+  EXPECT_EQ(f.num_scopes, 3);
+  EXPECT_EQ(f.negation_depth, 2);
+  EXPECT_EQ(f.num_bindings, 3);
+  EXPECT_FALSE(f.is_recursive);
+  EXPECT_EQ(f.agg_style, AggStyle::kNone);
+}
+
+TEST(Pattern, RecursionAndOuterJoinDetected) {
+  Program rec = MustParse(
+      "{A(s, t) | exists p in P [A.s = p.s and A.t = p.t] or "
+      "exists p in P, a2 in A [A.s = p.s and p.t = a2.s and a2.t = A.t]}");
+  EXPECT_TRUE(ExtractFeatures(rec).is_recursive);
+
+  Program oj = MustParse(
+      "{Q(A, B) | exists r in R, s in S, left(r, s) "
+      "[Q.A = r.A and Q.B = s.B and r.A = s.B]}");
+  EXPECT_TRUE(ExtractFeatures(oj).has_outer_join);
+}
+
+TEST(Pattern, CanonicalizationIsIdempotent) {
+  Program p = MustParse(
+      "{Q(A, sm) | exists zz in R, yy in {K(sm) | exists q2 in R, gamma() "
+      "[q2.A = zz.A and K.sm = sum(q2.B)]} [Q.A = zz.A and Q.sm = yy.sm]}");
+  Program once = Canonicalize(p);
+  Program twice = Canonicalize(once);
+  EXPECT_EQ(text::PrintProgram(once), text::PrintProgram(twice));
+}
+
+TEST(Pattern, PatternDiffShowsStructuralDelta) {
+  Program a = MustParse("{Q(A) | exists r in R [Q.A = r.A]}");
+  Program b = MustParse(
+      "{Q(A) | exists r in R [Q.A = r.A and not(exists s in S "
+      "[s.B = r.A])]}");
+  EXPECT_EQ(PatternDiff(a, a), "");
+  const std::string diff = PatternDiff(a, b);
+  EXPECT_NE(diff.find("+ NOT"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("  COLLECTION"), std::string::npos) << diff;
+  // Diff is antisymmetric in the +/- marks.
+  const std::string rdiff = PatternDiff(b, a);
+  EXPECT_NE(rdiff.find("- NOT"), std::string::npos) << rdiff;
+}
+
+TEST(Pattern, SimilarityIsSymmetricAndBounded) {
+  Program a = MustParse("{Q(A) | exists r in R [Q.A = r.A]}");
+  Program b = MustParse(
+      "{Q(d) | exists l1 in L [Q.d = l1.d and not(exists l2 in L "
+      "[l2.d <> l1.d])]}");
+  const double ab = Similarity(a, b);
+  const double ba = Similarity(b, a);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+}
+
+}  // namespace
+}  // namespace arc::pattern

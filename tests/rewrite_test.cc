@@ -1,0 +1,196 @@
+// Rewriter tests: legality conditions and execution-equivalence of
+// pattern-level rewrites under the conventions that make them sound.
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "eval/evaluator.h"
+#include "rewrite/rewriter.h"
+#include "text/parser.h"
+#include "text/printer.h"
+
+namespace arc::rewrite {
+namespace {
+
+using data::Relation;
+using data::Schema;
+using data::Value;
+
+Program MustParse(const std::string& source) {
+  auto p = text::ParseProgram(source);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return p.ok() ? std::move(p).value() : Program();
+}
+
+Relation MustEval(const data::Database& db, const Program& program,
+                  Conventions conv) {
+  eval::EvalOptions opts;
+  opts.conventions = conv;
+  auto r = eval::Eval(db, program, opts);
+  EXPECT_TRUE(r.ok()) << text::PrintProgram(program) << "\n"
+                      << r.status().ToString();
+  return r.ok() ? std::move(r).value() : Relation();
+}
+
+Relation Rel(Schema schema, std::vector<std::vector<int64_t>> rows) {
+  Relation r(std::move(schema));
+  for (const auto& row : rows) {
+    data::Tuple t;
+    for (int64_t v : row) t.Append(Value::Int(v));
+    r.Add(std::move(t));
+  }
+  return r;
+}
+
+TEST(Normalize, FlattensAndDropsTrue) {
+  Program p = MustParse(
+      "{Q(A) | exists r in R [(r.A = 1 and r.B = 2) and Q.A = r.A]}");
+  RewriteResult result = NormalizeConjunctions(p);
+  EXPECT_GT(result.applications, 0);
+  EXPECT_EQ(text::PrintProgram(result.program),
+            "{Q(A) | exists r in R [r.A = 1 and r.B = 2 and Q.A = r.A]}");
+}
+
+TEST(Unnest, HoistsNestedExistentialUnderSetSemantics) {
+  Program p = MustParse(
+      "{Q(A) | exists r in R [exists s in S [Q.A = r.A and r.B = s.B]]}");
+  auto result = UnnestExistentialScopes(p, Conventions::Arc());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->applications, 1);
+  EXPECT_EQ(text::PrintProgram(result->program),
+            "{Q(A) | exists r in R, s in S [Q.A = r.A and r.B = s.B]}");
+}
+
+TEST(Unnest, RefusedUnderBagSemantics) {
+  Program p = MustParse(
+      "{Q(A) | exists r in R [exists s in S [Q.A = r.A and r.B = s.B]]}");
+  auto result = UnnestExistentialScopes(p, Conventions::Sql());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Unnest, PreservesResultsUnderSetSemantics) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 5}, {2, 6}, {1, 5}}));
+  db.Put("S", Rel(Schema{"B"}, {{5}, {5}, {6}}));
+  Program p = MustParse(
+      "{Q(A) | exists r in R [exists s in S [Q.A = r.A and r.B = s.B]]}");
+  auto rewritten = UnnestExistentialScopes(p, Conventions::Arc());
+  ASSERT_TRUE(rewritten.ok());
+  Relation before = MustEval(db, p, Conventions::Arc());
+  Relation after = MustEval(db, rewritten->program, Conventions::Arc());
+  EXPECT_TRUE(before.EqualsBag(after));
+  // …and the same pair diverges under bags — the §2.7 point.
+  Relation bag_before = MustEval(db, p, Conventions::Sql());
+  Relation bag_after = MustEval(db, rewritten->program, Conventions::Sql());
+  EXPECT_FALSE(bag_before.EqualsBag(bag_after));
+}
+
+TEST(Unnest, SkipsGroupingAndCaptureSites) {
+  // Grouping scopes and variable-capturing sites are left alone.
+  Program grouped = MustParse(
+      "{Q(ct) | exists r in R [exists s in S, gamma() [r.A = s.B and "
+      "Q.ct = count(s.B)]]}");
+  auto r1 = UnnestExistentialScopes(grouped, Conventions::Arc());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->applications, 0);
+  Program capture = MustParse(
+      "{Q(A) | exists r in R [exists r in S [Q.A = r.B]]}");
+  auto r2 = UnnestExistentialScopes(capture, Conventions::Arc());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->applications, 0);
+}
+
+TEST(Decorrelate, RewritesEq27IntoEq29Shape) {
+  Program p = MustParse(
+      "{Q(id) | exists r in R [Q.id = r.id and exists s in S, gamma() "
+      "[r.id = s.id and r.q = count(s.d)]]}");
+  RewriteResult result = DecorrelateAggregation(p);
+  EXPECT_EQ(result.applications, 1);
+  const std::string printed = text::PrintProgram(result.program);
+  // The rewritten form has the Eq. 29 ingredients: a left join annotation,
+  // grouping on the outer key, and an outer equality on the key.
+  EXPECT_NE(printed.find("left("), std::string::npos) << printed;
+  EXPECT_NE(printed.find("gamma(_dr1.id)"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("count("), std::string::npos) << printed;
+}
+
+TEST(Decorrelate, PreservesCountBugSemanticsOnPaperInstance) {
+  // The whole point: the naive (Eq. 28) decorrelation loses R(9,0); this
+  // rewrite must keep it.
+  data::Database db = data::CountBugInstance();
+  Program p = MustParse(
+      "{Q(id) | exists r in R [Q.id = r.id and exists s in S, gamma() "
+      "[r.id = s.id and r.q = count(s.d)]]}");
+  RewriteResult result = DecorrelateAggregation(p);
+  ASSERT_EQ(result.applications, 1);
+  Relation before = MustEval(db, p, Conventions::Sql());
+  Relation after = MustEval(db, result.program, Conventions::Sql());
+  EXPECT_TRUE(before.EqualsBag(after))
+      << text::PrintProgram(result.program) << "\nbefore:\n"
+      << before.ToString() << "after:\n" << after.ToString();
+  EXPECT_EQ(after.size(), 1);  // R(9,0) is kept
+}
+
+TEST(Decorrelate, PreservesSemanticsOnRandomKeyedInstances) {
+  Program p = MustParse(
+      "{Q(id) | exists r in R [Q.id = r.id and exists s in S, gamma() "
+      "[r.id = s.id and r.q <= sum(s.d)]]}");
+  RewriteResult result = DecorrelateAggregation(p);
+  ASSERT_EQ(result.applications, 1);
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    data::Rng rng(seed);
+    data::Database db;
+    Relation r(Schema{"id", "q"});
+    Relation s(Schema{"id", "d"});
+    for (int64_t id = 0; id < 15; ++id) {  // ids unique: the key assumption
+      r.Add({Value::Int(id), Value::Int(rng.Below(6))});
+      const int64_t n = rng.Below(3);
+      for (int64_t i = 0; i < n; ++i) {
+        s.Add({Value::Int(id), Value::Int(rng.Below(5))});
+      }
+    }
+    db.Put("R", std::move(r));
+    db.Put("S", std::move(s));
+    Relation before = MustEval(db, p, Conventions::Sql());
+    Relation after = MustEval(db, result.program, Conventions::Sql());
+    EXPECT_TRUE(before.EqualsBag(after))
+        << "seed " << seed << "\n"
+        << text::PrintProgram(result.program) << "before:\n"
+        << before.Sorted().ToString() << "after:\n"
+        << after.Sorted().ToString();
+  }
+}
+
+TEST(Decorrelate, LeavesUnmatchedSitesAlone) {
+  // Correlation through two outer variables is out of scope.
+  Program two_outer = MustParse(
+      "{Q(id) | exists r in R, t in T [Q.id = r.id and "
+      "exists s in S, gamma() [r.id = s.id and t.id = s.d and "
+      "r.q = count(s.d)]]}");
+  EXPECT_EQ(DecorrelateAggregation(two_outer).applications, 0);
+  // Grouped-by-keys scopes (already decorrelated) are not matched.
+  Program keyed = MustParse(
+      "{Q(id, ct) | exists s in S, gamma(s.id) "
+      "[Q.id = s.id and Q.ct = count(s.d)]}");
+  EXPECT_EQ(DecorrelateAggregation(keyed).applications, 0);
+}
+
+TEST(Decorrelate, LocalFiltersMoveIntoTheJoin) {
+  // A filter on s stays with s inside the rewritten collection.
+  data::Database db;
+  db.Put("R", Rel(Schema{"id", "q"}, {{1, 1}, {2, 0}}));
+  db.Put("S", Rel(Schema{"id", "d"}, {{1, 10}, {1, 3}, {2, 3}}));
+  Program p = MustParse(
+      "{Q(id) | exists r in R [Q.id = r.id and exists s in S, gamma() "
+      "[r.id = s.id and s.d > 5 and r.q = count(s.d)]]}");
+  RewriteResult result = DecorrelateAggregation(p);
+  ASSERT_EQ(result.applications, 1);
+  Relation before = MustEval(db, p, Conventions::Sql());
+  Relation after = MustEval(db, result.program, Conventions::Sql());
+  EXPECT_TRUE(before.EqualsBag(after))
+      << text::PrintProgram(result.program) << before.ToString()
+      << after.ToString();
+}
+
+}  // namespace
+}  // namespace arc::rewrite

@@ -1,0 +1,398 @@
+// SQL substrate tests: parser, printer round-trip, and the direct SQL
+// evaluator on the paper's SQL figures.
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "sql/eval.h"
+#include "sql/parser.h"
+
+namespace arc::sql {
+namespace {
+
+using data::Relation;
+using data::Schema;
+using data::Value;
+
+Relation Rel(Schema schema, std::vector<std::vector<int64_t>> rows) {
+  Relation r(std::move(schema));
+  for (const auto& row : rows) {
+    data::Tuple t;
+    for (int64_t v : row) t.Append(Value::Int(v));
+    r.Add(std::move(t));
+  }
+  return r;
+}
+
+Relation MustQuery(const data::Database& db, const std::string& sql) {
+  SqlEvaluator ev(db);
+  auto r = ev.EvalQuery(sql);
+  EXPECT_TRUE(r.ok()) << sql << "\n" << r.status().ToString();
+  return r.ok() ? std::move(r).value() : Relation();
+}
+
+// ---------------------------------------------------------------------------
+// Parser + printer
+// ---------------------------------------------------------------------------
+
+class SqlRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SqlRoundTrip, ParsePrintParseIsStable) {
+  auto first = ParseSelect(GetParam());
+  ASSERT_TRUE(first.ok()) << GetParam() << "\n" << first.status().ToString();
+  const std::string printed = ToSql(**first);
+  auto second = ParseSelect(printed);
+  ASSERT_TRUE(second.ok()) << printed << "\n" << second.status().ToString();
+  EXPECT_EQ(printed, ToSql(**second));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSqlCorpus, SqlRoundTrip,
+    ::testing::Values(
+        // Fig. 4a.
+        "select R.A, sum(R.B) sm from R group by R.A",
+        // Fig. 5a: scalar subquery.
+        "select distinct R.A, (select sum(R2.B) sm from R R2 "
+        "where R2.A = R.A) from R",
+        // Fig. 5b: lateral join.
+        "select distinct R.A, X.sm from R join lateral "
+        "(select sum(R2.B) sm from R R2 where R2.A = R.A) X on true",
+        // Fig. 6a: multiple aggregates + HAVING.
+        "select R.dept, avg(S.sal) av from R, S where R.empl = S.empl "
+        "group by R.dept having sum(S.sal) > 100",
+        // Fig. 11a: NOT IN.
+        "select R.A from R where R.A not in (select S.A from S)",
+        // Fig. 11b: NOT EXISTS with null checks.
+        "select R.A from R where not exists (select 1 from S "
+        "where S.A = R.A or S.A is null or R.A is null)",
+        // Fig. 13a/b/c.
+        "select R.A, (select sum(S.B) sm from S where S.A < R.A) from R",
+        "select R.A, X.sm from R join lateral (select sum(S.B) sm from S "
+        "where S.A < R.A) X on true",
+        "select R.A, sum(S.B) sm from R left join S on S.A < R.A "
+        "group by R.A",
+        // Fig. 3a: lateral with inequality.
+        "select x.A, z.B from X as x join lateral (select y.A as B from Y "
+        "as y where x.A < y.A) as z on true",
+        // Fig. 21a/b/c: the count bug.
+        "select R.id from R where R.q = (select count(S.d) from S "
+        "where S.id = R.id)",
+        "select R.id from R, (select S.id, count(S.d) ct from S "
+        "group by S.id) X where R.id = X.id and R.q = X.ct",
+        "select R.id from R, (select R2.id, count(S.d) ct from R2 "
+        "left join S on R2.id = S.id group by R2.id) X "
+        "where R.id = X.id and R.q = X.ct",
+        // Fig. 17 fragment: nested NOT EXISTS.
+        "select distinct L1.drinker from Likes L1 where not exists "
+        "(select 1 from Likes L2 where L1.drinker <> L2.drinker and "
+        "not exists (select 1 from Likes L3 where L3.drinker = L2.drinker "
+        "and not exists (select 1 from Likes L4 where "
+        "L4.drinker = L1.drinker and L4.beer = L3.beer)))",
+        // Outer joins, union, CTEs.
+        "select R.A, S.B from R full join S on R.A = S.B",
+        "select R.A from R union select S.B from S",
+        "select R.A from R union all select S.B from S",
+        "with T as (select R.A from R where R.A > 1) select T.A from T",
+        "with recursive A as (select P.s, P.t from P union "
+        "select P.s, A.t from P, A where P.t = A.s) select A.s, A.t from A",
+        // Nested join tree with parens.
+        "select R.m, S.n from R left join (T cross join S) "
+        "on R.y = S.y and T.h = 11",
+        // DISTINCT aggregates, IN.
+        "select count(DISTINCT R.A) from R",
+        "select R.A from R where R.A in (select S.B from S)"));
+
+TEST(SqlParser, Errors) {
+  EXPECT_FALSE(ParseSelect("select").ok());
+  EXPECT_FALSE(ParseSelect("select from R").ok());
+  EXPECT_FALSE(ParseSelect("select R.A from").ok());
+  EXPECT_FALSE(ParseSelect("select R.A from R where").ok());
+  EXPECT_FALSE(ParseSelect("select R.A from (select R.A from R)").ok());
+  EXPECT_FALSE(ParseSelect("select R.A from R group R.A").ok());
+}
+
+TEST(SqlParser, AliasForms) {
+  auto s = ParseSelect("select r.A as x, r.B y from R r");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->items[0].alias, "x");
+  EXPECT_EQ((*s)->items[1].alias, "y");
+  EXPECT_EQ((*s)->from[0]->alias, "r");
+}
+
+// ---------------------------------------------------------------------------
+// Direct evaluator
+// ---------------------------------------------------------------------------
+
+TEST(SqlEval, SetupScriptAndBasicSelect) {
+  auto db = ExecuteSetupScript(
+      "create table R (A int, B int);"
+      "insert into R values (1, 10), (2, 20), (3, 30);");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  Relation out = MustQuery(*db, "select R.A from R where R.B > 15");
+  EXPECT_TRUE(out.EqualsSet(Rel(Schema{"A"}, {{2}, {3}})));
+}
+
+TEST(SqlEval, BagSemanticsByDefault) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}, {1}}));
+  EXPECT_EQ(MustQuery(db, "select R.A from R").size(), 2);
+  EXPECT_EQ(MustQuery(db, "select distinct R.A from R").size(), 1);
+}
+
+TEST(SqlEval, GroupByWithAggregates) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 10}, {1, 20}, {2, 5}}));
+  Relation out = MustQuery(db, "select R.A, sum(R.B) sm from R group by R.A");
+  EXPECT_TRUE(out.EqualsSet(Rel(Schema{"A", "sm"}, {{1, 30}, {2, 5}})));
+}
+
+TEST(SqlEval, ImplicitSingleGroup) {
+  data::Database db;
+  db.Put("R", Relation(Schema{"A"}));
+  Relation out = MustQuery(db, "select count(R.A) ct from R");
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"ct"}, {{0}})));
+  Relation sum_out = MustQuery(db, "select sum(R.A) sm from R");
+  ASSERT_EQ(sum_out.size(), 1);
+  EXPECT_TRUE(sum_out.rows()[0].at(0).is_null());
+}
+
+TEST(SqlEval, Having) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 10}, {1, 20}, {2, 5}}));
+  Relation out = MustQuery(
+      db, "select R.A from R group by R.A having sum(R.B) > 25");
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"A"}, {{1}})));
+}
+
+TEST(SqlEval, Fig6MultipleAggregatesWithHaving) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"empl", "dept"}, {{1, 1}, {2, 1}, {3, 2}}));
+  db.Put("S", Rel(Schema{"empl", "sal"}, {{1, 60}, {2, 60}, {3, 30}}));
+  Relation out = MustQuery(
+      db, "select R.dept, avg(S.sal) av from R, S where R.empl = S.empl "
+          "group by R.dept having sum(S.sal) > 100");
+  Relation expected(Schema{"dept", "av"});
+  expected.Add({Value::Int(1), Value::Double(60.0)});
+  EXPECT_TRUE(out.EqualsBag(expected)) << out.ToString();
+}
+
+TEST(SqlEval, CorrelatedExists) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}, {2}}));
+  db.Put("S", Rel(Schema{"A"}, {{2}}));
+  Relation out = MustQuery(
+      db, "select R.A from R where not exists "
+          "(select 1 from S where S.A = R.A)");
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"A"}, {{1}})));
+}
+
+TEST(SqlEval, Fig11NotInIsEmptyWithNulls) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}, {2}}));
+  Relation s(Schema{"A"});
+  s.Add({Value::Int(1)});
+  s.Add({Value::Null()});
+  db.Put("S", std::move(s));
+  Relation not_in = MustQuery(
+      db, "select R.A from R where R.A not in (select S.A from S)");
+  EXPECT_TRUE(not_in.empty()) << not_in.ToString();
+  Relation rewritten = MustQuery(
+      db, "select R.A from R where not exists (select 1 from S "
+          "where S.A = R.A or S.A is null or R.A is null)");
+  EXPECT_TRUE(rewritten.empty());
+  // IN itself still finds the match.
+  Relation in_q =
+      MustQuery(db, "select R.A from R where R.A in (select S.A from S)");
+  EXPECT_TRUE(in_q.EqualsBag(Rel(Schema{"A"}, {{1}})));
+}
+
+TEST(SqlEval, ScalarSubqueryNullOnEmpty) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}}));
+  db.Put("S", Relation(Schema{"B"}));
+  Relation out =
+      MustQuery(db, "select R.A, (select max(S.B) from S) m from R");
+  ASSERT_EQ(out.size(), 1);
+  EXPECT_TRUE(out.rows()[0].at(1).is_null());
+}
+
+TEST(SqlEval, ScalarSubqueryMultiRowErrors) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}}));
+  db.Put("S", Rel(Schema{"B"}, {{1}, {2}}));
+  SqlEvaluator ev(db);
+  EXPECT_FALSE(
+      ev.EvalQuery("select (select S.B from S) x from R").ok());
+}
+
+TEST(SqlEval, LeftJoinPads) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}, {2}}));
+  db.Put("S", Rel(Schema{"B"}, {{1}}));
+  Relation out = MustQuery(
+      db, "select R.A, S.B from R left join S on R.A = S.B");
+  Relation expected(Schema{"A", "B"});
+  expected.Add({Value::Int(1), Value::Int(1)});
+  expected.Add({Value::Int(2), Value::Null()});
+  EXPECT_TRUE(out.EqualsSet(expected));
+}
+
+TEST(SqlEval, FullJoin) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}, {2}}));
+  db.Put("S", Rel(Schema{"B"}, {{2}, {3}}));
+  Relation out = MustQuery(
+      db, "select R.A, S.B from R full join S on R.A = S.B");
+  EXPECT_EQ(out.size(), 3);
+}
+
+TEST(SqlEval, NestedJoinTreeWithLiteralCondition) {
+  // Fig. 12a: R LEFT JOIN (11 CROSS JOIN S); modeled with a one-row table.
+  data::Database db;
+  Relation r(Schema{"m", "y", "h"});
+  r.Add({Value::Int(1), Value::Int(7), Value::Int(11)});
+  r.Add({Value::Int(2), Value::Int(8), Value::Int(12)});
+  db.Put("R", std::move(r));
+  Relation s(Schema{"n", "y"});
+  s.Add({Value::Int(100), Value::Int(7)});
+  s.Add({Value::Int(200), Value::Int(8)});
+  db.Put("S", std::move(s));
+  db.Put("Eleven", Rel(Schema{"v"}, {{11}}));
+  Relation out = MustQuery(
+      db, "select R.m, S.n from R left join (Eleven cross join S) "
+          "on R.y = S.y and R.h = Eleven.v");
+  Relation expected(Schema{"m", "n"});
+  expected.Add({Value::Int(1), Value::Int(100)});
+  expected.Add({Value::Int(2), Value::Null()});
+  EXPECT_TRUE(out.EqualsSet(expected)) << out.ToString();
+}
+
+TEST(SqlEval, LateralJoinSeesLeftBindings) {
+  // Fig. 3a.
+  data::Database db;
+  db.Put("X", Rel(Schema{"A"}, {{1}, {4}}));
+  db.Put("Y", Rel(Schema{"A"}, {{2}, {5}}));
+  Relation out = MustQuery(
+      db, "select x.A, z.B from X as x join lateral "
+          "(select y.A as B from Y as y where x.A < y.A) as z on true");
+  EXPECT_TRUE(out.EqualsSet(Rel(Schema{"A", "B"}, {{1, 2}, {1, 5}, {4, 5}})));
+}
+
+TEST(SqlEval, Fig13LateralVsLeftJoinDivergeOnDuplicates) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}, {1}}));
+  db.Put("S", Rel(Schema{"A", "B"}, {{0, 7}}));
+  Relation lateral = MustQuery(
+      db, "select R.A, X.sm from R join lateral "
+          "(select sum(S.B) sm from S where S.A < R.A) X on true");
+  Relation left_join = MustQuery(
+      db, "select R.A, sum(S.B) sm from R left join S on S.A < R.A "
+          "group by R.A");
+  EXPECT_TRUE(lateral.EqualsBag(Rel(Schema{"A", "sm"}, {{1, 7}, {1, 7}})));
+  EXPECT_TRUE(left_join.EqualsBag(Rel(Schema{"A", "sm"}, {{1, 14}})));
+}
+
+TEST(SqlEval, Fig21CountBugOnPaperInstance) {
+  data::Database db = data::CountBugInstance();
+  Relation original = MustQuery(
+      db, "select R.id from R where R.q = (select count(S.d) from S "
+          "where S.id = R.id)");
+  Relation buggy = MustQuery(
+      db, "select R.id from R, (select S.id, count(S.d) ct from S "
+          "group by S.id) X where R.id = X.id and R.q = X.ct");
+  Relation correct = MustQuery(
+      db, "select R.id from R, (select R2.id, count(S.d) ct from R R2 "
+          "left join S on R2.id = S.id group by R2.id) X "
+          "where R.id = X.id and R.q = X.ct");
+  EXPECT_TRUE(original.EqualsBag(Rel(Schema{"id"}, {{9}})));
+  EXPECT_TRUE(buggy.empty());
+  EXPECT_TRUE(correct.EqualsBag(original));
+}
+
+TEST(SqlEval, UnionAndUnionAll) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}, {2}}));
+  db.Put("S", Rel(Schema{"B"}, {{2}, {3}}));
+  EXPECT_EQ(MustQuery(db, "select R.A from R union select S.B from S").size(),
+            3);
+  EXPECT_EQ(
+      MustQuery(db, "select R.A from R union all select S.B from S").size(),
+      4);
+}
+
+TEST(SqlEval, RecursiveCte) {
+  data::Database db = data::ParentChain(5);
+  Relation out = MustQuery(
+      db, "with recursive A as (select P.s, P.t from P union "
+          "select P.s, A.t from P, A where P.t = A.s) "
+          "select A.s, A.t from A");
+  EXPECT_EQ(out.size(), 10);
+}
+
+TEST(SqlEval, Fig17UniqueSetQuery) {
+  data::Database db;
+  db.Put("Likes", Rel(Schema{"drinker", "beer"},
+                      {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 2}}));
+  Relation out = MustQuery(
+      db,
+      "select distinct L1.drinker from Likes L1 where not exists "
+      "(select 1 from Likes L2 where L1.drinker <> L2.drinker and "
+      "not exists (select 1 from Likes L3 where L3.drinker = L2.drinker and "
+      "not exists (select 1 from Likes L4 where L4.drinker = L1.drinker and "
+      "L4.beer = L3.beer)) and "
+      "not exists (select 1 from Likes L5 where L5.drinker = L1.drinker and "
+      "not exists (select 1 from Likes L6 where L6.drinker = L2.drinker and "
+      "L6.beer = L5.beer)))");
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"drinker"}, {{2}})));
+}
+
+TEST(SqlEval, OrderBySortsResults) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{2, 9}, {1, 5}, {3, 1}, {1, 7}}));
+  Relation out = MustQuery(db, "select R.A, R.B from R order by R.A, R.B desc");
+  ASSERT_EQ(out.size(), 4);
+  EXPECT_EQ(out.rows()[0].at(0).as_int(), 1);
+  EXPECT_EQ(out.rows()[0].at(1).as_int(), 7);  // B descending within A
+  EXPECT_EQ(out.rows()[1].at(1).as_int(), 5);
+  EXPECT_EQ(out.rows()[3].at(0).as_int(), 3);
+}
+
+TEST(SqlEval, OrderByOutputColumnAndExpression) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 5}, {1, 7}, {2, 1}}));
+  Relation grouped = MustQuery(
+      db, "select R.A, sum(R.B) sm from R group by R.A order by sm desc");
+  ASSERT_EQ(grouped.size(), 2);
+  EXPECT_EQ(grouped.rows()[0].at(1).as_int(), 12);
+  EXPECT_EQ(grouped.rows()[1].at(1).as_int(), 1);
+}
+
+TEST(SqlEval, OrderByRoundTripsThroughPrinter) {
+  auto s = ParseSelect("select R.A from R order by R.A desc, R.B");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  const std::string printed = ToSql(**s);
+  EXPECT_NE(printed.find("ORDER BY R.A DESC, R.B"), std::string::npos)
+      << printed;
+  auto again = ParseSelect(printed);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(printed, ToSql(**again));
+}
+
+TEST(SqlEval, SelectStar) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A", "B"}, {{1, 2}}));
+  Relation out = MustQuery(db, "select * from R");
+  EXPECT_EQ(out.schema().size(), 2);
+  EXPECT_TRUE(out.EqualsBag(Rel(Schema{"A", "B"}, {{1, 2}})));
+}
+
+TEST(SqlEval, UnqualifiedColumnsAndAmbiguity) {
+  data::Database db;
+  db.Put("R", Rel(Schema{"A"}, {{1}}));
+  db.Put("S", Rel(Schema{"A"}, {{1}}));
+  EXPECT_EQ(MustQuery(db, "select A from R").size(), 1);
+  SqlEvaluator ev(db);
+  EXPECT_FALSE(ev.EvalQuery("select A from R, S").ok());
+}
+
+}  // namespace
+}  // namespace arc::sql

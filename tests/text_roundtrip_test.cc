@@ -1,0 +1,235 @@
+// Lexer/parser/printer tests, including print∘parse round-trip identities
+// over the paper's query corpus (a property the modalities must satisfy:
+// they are lossless renderings of the same ALT, §2.2).
+#include <gtest/gtest.h>
+
+#include "text/lexer.h"
+#include "text/parser.h"
+#include "text/printer.h"
+
+namespace arc::text {
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  auto tokens = Lex("{Q(A) | exists r in R [Q.A = r.A]}");
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  EXPECT_EQ(tokens->front().kind, TokenKind::kLBrace);
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, UnicodeNormalizes) {
+  auto a = Lex("∃ r ∈ R [r.A ≤ 3 ∧ ¬(r.B ≠ 1)]");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = Lex("exists r in R [r.A <= 3 and not(r.B <> 1)]");
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].kind, (*b)[i].kind) << "token " << i;
+  }
+}
+
+TEST(Lexer, NumbersAndStrings) {
+  auto tokens = Lex("42 2.5 1e3 'hello' \"*\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ((*tokens)[1].float_value, 2.5);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kFloat);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[3].text, "hello");
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kQuotedIdent);
+  EXPECT_EQ((*tokens)[4].text, "*");
+}
+
+TEST(Lexer, ErrorsCarryPosition) {
+  auto tokens = Lex("a.b\n  ^");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("2:"), std::string::npos);
+}
+
+TEST(Parser, RejectsGarbage) {
+  EXPECT_FALSE(ParseCollection("{Q(A) | }").ok());
+  EXPECT_FALSE(ParseCollection("{Q() | exists r in R [Q.A = r.A]}").ok());
+  EXPECT_FALSE(ParseFormula("exists r in [x]").ok());
+  EXPECT_FALSE(ParseTerm("r.").ok());
+  EXPECT_FALSE(ParseFormula("r.A = ").ok());
+  EXPECT_FALSE(ParseCollection("{Q(A) | exists r in R [Q.A = r.A]").ok());
+}
+
+TEST(Parser, ErrorMessagesNamePosition) {
+  auto r = ParseCollection("{Q(A) |\n exists r in R [Q.A = ]}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("2:"), std::string::npos);
+}
+
+// Round-trip: parse(print(parse(text))) == print(parse(text)).
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, PrintParsePrintIsStable) {
+  auto first = ParseProgram(GetParam());
+  ASSERT_TRUE(first.ok()) << GetParam() << "\n" << first.status().ToString();
+  const std::string printed = PrintProgram(*first);
+  auto second = ParseProgram(printed);
+  ASSERT_TRUE(second.ok()) << printed << "\n" << second.status().ToString();
+  EXPECT_EQ(printed, PrintProgram(*second)) << "input: " << GetParam();
+}
+
+TEST_P(RoundTrip, UnicodePrintingParsesBack) {
+  auto first = ParseProgram(GetParam());
+  ASSERT_TRUE(first.ok());
+  PrintOptions opts;
+  opts.unicode = true;
+  const std::string printed = PrintProgram(*first, opts);
+  auto second = ParseProgram(printed);
+  ASSERT_TRUE(second.ok()) << printed << "\n" << second.status().ToString();
+  EXPECT_EQ(PrintProgram(*first), PrintProgram(*second));
+}
+
+// The paper's corpus, in ASCII comprehension syntax.
+INSTANTIATE_TEST_SUITE_P(
+    PaperCorpus, RoundTrip,
+    ::testing::Values(
+        // Eq. (1): TRC query.
+        "{Q(A) | exists r in R, s in S [Q.A = r.A and r.B = s.B and s.C = 0]}",
+        // Eq. (2): orthogonal nesting / lateral.
+        "{Q(A, B) | exists x in X, z in {Z(B) | exists y in Y "
+        "[Z.B = y.A and x.A < y.A]} [Q.A = x.A and Q.B = z.B]}",
+        // Eq. (3): grouped aggregate (FIO).
+        "{Q(A, sm) | exists r in R, gamma(r.A) "
+        "[Q.A = r.A and Q.sm = sum(r.B)]}",
+        // Eq. (7): FOI pattern.
+        "{Q(A, sm) | exists r in R, x in {X(sm) | exists r2 in R, gamma() "
+        "[r2.A = r.A and X.sm = sum(r2.B)]} "
+        "[Q.A = r.A and Q.sm = x.sm]}",
+        // Eq. (8): multiple aggregates + HAVING.
+        "{Q(dept, av) | exists x in {X(dept, av, sm) | "
+        "exists r in R, s in S, gamma(r.dept) "
+        "[X.dept = r.dept and X.av = avg(s.sal) and X.sm = sum(s.sal) and "
+        "r.empl = s.empl]} "
+        "[Q.dept = x.dept and Q.av = x.av and x.sm > 100]}",
+        // Eq. (13): Boolean sentence.
+        "exists r in R [exists s in S, gamma() "
+        "[r.id = s.id and r.q <= count(s.d)]]",
+        // Eq. (14): integrity constraint.
+        "not(exists r in R [exists s in S, gamma() "
+        "[r.id = s.id and r.q > count(s.d)]])",
+        // Eq. (16): recursion.
+        "{A(s, t) | exists p in P [A.s = p.s and A.t = p.t] or "
+        "exists p in P, a2 in A [A.s = p.s and p.t = a2.s and a2.t = A.t]}",
+        // Eq. (17): NOT IN with explicit null checks.
+        "{Q(A) | exists r in R [Q.A = r.A and not(exists s in S "
+        "[s.A = r.A or s.A is null or r.A is null])]}",
+        // Eq. (18): nested outer join with literal anchor.
+        "{Q(m, n) | exists r in R, s in S, left(r, inner(11, s)) "
+        "[Q.m = r.m and Q.n = s.n and r.y = s.y and r.h = 11]}",
+        // Eq. (19): arithmetic.
+        "{Q(A) | exists r in R, s in S, t in T "
+        "[Q.A = r.A and r.B - s.B > t.B]}",
+        // Eq. (21): fully reified arithmetic and comparison.
+        "{Q(A) | exists r in R, s in S, t in T, f in Minus, g in Bigger "
+        "[Q.A = r.A and f.left = r.B and f.right = s.B and "
+        "f.out = g.left and g.right = t.B]}",
+        // Eq. (22): unique-set query.
+        "{Q(d) | exists l1 in L [Q.d = l1.d and "
+        "not(exists l2 in L [l2.d <> l1.d and "
+        "not(exists l3 in L [l3.d = l2.d and "
+        "not(exists l4 in L [l4.b = l3.b and l4.d = l1.d])])"
+        " and "
+        "not(exists l5 in L [l5.d = l1.d and "
+        "not(exists l6 in L [l6.d = l2.d and l6.b = l5.b])])])]}",
+        // Eq. (23)+(24): abstract relation definition and use.
+        "abstract define {S(left, right) | "
+        "not(exists l3 in L [l3.d = S.left and "
+        "not(exists l4 in L [l4.b = l3.b and l4.d = S.right])])} "
+        "{Q(d) | exists l1 in L [Q.d = l1.d and "
+        "not(exists l2 in L, s1 in S, s2 in S [l2.d <> l1.d and "
+        "s1.left = l2.d and s1.right = l1.d and "
+        "s2.left = l1.d and s2.right = l2.d])]}",
+        // Eq. (26): matrix multiplication.
+        "{C(row, col, val) | exists a in A, b in B, gamma(a.row, b.col) "
+        "[C.row = a.row and C.col = b.col and a.col = b.row and "
+        "C.val = sum(a.val * b.val)]}",
+        // Matrix multiplication with the reified "*" external (Fig. 20).
+        "{C(row, col, val) | exists a in A, b in B, f in \"*\", "
+        "gamma(a.row, b.col) [C.row = a.row and C.col = b.col and "
+        "a.col = b.row and C.val = sum(f.out) and "
+        "f.$1 = a.val and f.$2 = b.val]}",
+        // Eq. (27): the count bug (incorrectly decorrelatable form).
+        "{Q(id) | exists r in R [Q.id = r.id and exists s in S, gamma() "
+        "[r.id = s.id and r.q = count(s.d)]]}",
+        // Eq. (28): the buggy decorrelation.
+        "{Q(id) | exists r in R, x in {X(id, ct) | exists s in S, "
+        "gamma(s.id) [X.id = s.id and X.ct = count(s.d)]} "
+        "[Q.id = r.id and r.id = x.id and r.q = x.ct]}",
+        // Eq. (29): the correct decorrelation with a left join.
+        "{Q(id) | exists r in R, x in {X(id, ct) | exists s in S, r2 in R, "
+        "gamma(r2.id), left(r2, s) [X.id = r2.id and X.ct = count(s.d) and "
+        "r2.id = s.id]} [Q.id = r.id and r.id = x.id and r.q = x.ct]}",
+        // Deduplication via grouping (§2.7).
+        "{Q(A, B) | exists r in R, gamma(r.A, r.B) "
+        "[Q.A = r.A and Q.B = r.B]}",
+        // Soufflé-style rule (15) ported to ARC.
+        "{Q(ak, sm) | exists r in R, x in {X(sm) | exists s in S, gamma() "
+        "[s.a < r.ak and X.sm = sum(s.b)]} "
+        "[Q.ak = r.ak and Q.sm = x.sm]}"));
+
+TEST(Parser, ParenthesizedFormulaAndTermDisambiguation) {
+  auto f = ParseFormula("(r.A = 1 or r.B = 2) and r.C = 3");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ((*f)->kind, FormulaKind::kAnd);
+  auto g = ParseFormula("(r.A + 1) * 2 = r.B");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ((*g)->kind, FormulaKind::kPredicate);
+}
+
+TEST(Parser, OperatorPrecedenceInTerms) {
+  auto t = ParseTerm("r.A + r.B * 2");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->arith_op, data::ArithOp::kAdd);
+  EXPECT_EQ((*t)->rhs->arith_op, data::ArithOp::kMul);
+  EXPECT_EQ(PrintTerm(**t), "r.A + r.B * 2");
+  auto u = ParseTerm("(r.A + r.B) * 2");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(PrintTerm(**u), "(r.A + r.B) * 2");
+}
+
+TEST(Parser, UnaryMinus) {
+  auto t = ParseTerm("-5");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->literal.as_int(), -5);
+}
+
+TEST(Parser, KeywordAttributeNames) {
+  // "left" and "in"-like names after a dot.
+  auto t = ParseTerm("f.left");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->attr, "left");
+}
+
+TEST(Parser, GammaWithoutParensIsGroupAll) {
+  auto f = ParseFormula("exists s in S, gamma [X.c = count(s.d)]");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  ASSERT_TRUE((*f)->quantifier->grouping.has_value());
+  EXPECT_TRUE((*f)->quantifier->grouping->keys.empty());
+}
+
+TEST(Parser, CountStar) {
+  auto t = ParseTerm("count(*)");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->agg_func, AggFunc::kCountStar);
+  EXPECT_EQ(PrintTerm(**t), "count(*)");
+}
+
+TEST(AltPrinter, NestedCollectionIndentation) {
+  auto c = ParseCollection(
+      "{Q(A, sm) | exists r in R, x in {X(sm) | exists r2 in R, gamma() "
+      "[r2.A = r.A and X.sm = sum(r2.B)]} [Q.A = r.A and Q.sm = x.sm]}");
+  ASSERT_TRUE(c.ok());
+  const std::string alt = PrintAltCollection(**c);
+  EXPECT_NE(alt.find("BINDING: x in\n"), std::string::npos);
+  EXPECT_NE(alt.find("GROUPING: ()"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arc::text

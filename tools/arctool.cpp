@@ -1,0 +1,322 @@
+// arctool — command-line driver for the ARC library.
+//
+//   arctool translate --sql "select R.A from R" [--setup S] [--modality M]
+//   arctool render    --arc "{Q(A)|…}" --modality comp|unicode|alt|ascii|dot|svg
+//   arctool eval      (--arc "…" | --sql "…") --setup S
+//                     [--conventions sql|arc|souffle] [--csv name=path]…
+//   arctool validate  --arc "{Q(A)|…}" [--setup S]
+//   arctool compare   --arc "…" --arc2 "…"        (pattern analysis)
+//   arctool datalog   --program P --query PRED [--csv name=path]…
+//
+// Every text argument accepts "@path" to read its content from a file.
+// --setup takes a SQL script (CREATE TABLE / INSERT) building the database;
+// --csv name=path loads a CSV file as a base relation.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arc/analyze.h"
+#include "data/csv.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "eval/evaluator.h"
+#include "higraph/higraph.h"
+#include "pattern/pattern.h"
+#include "sql/eval.h"
+#include "text/alt_parser.h"
+#include "text/parser.h"
+#include "text/printer.h"
+#include "translate/arc_to_sql.h"
+#include "translate/datalog_to_arc.h"
+#include "translate/sql_to_arc.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: arctool <command> [flags]\n"
+      "commands:\n"
+      "  translate --sql <query>    SQL -> ARC (all text modalities)\n"
+      "  render    --arc <query>    render an ARC query in one modality\n"
+      "  eval      --arc|--sql <q>  evaluate a query against a database\n"
+      "  validate  --arc <query>    run the resolver/validator\n"
+      "  compare   --arc <a> --arc2 <b>   pattern equality & similarity\n"
+      "  datalog   --program <p> --query <pred>   run & translate Datalog\n"
+      "common flags:\n"
+      "  --setup <sql-script>       CREATE TABLE/INSERT script (or @file)\n"
+      "  --csv <name>=<path>        load a CSV file as a base relation\n"
+      "  --conventions sql|arc|souffle   evaluation conventions\n"
+      "  --modality comp|unicode|alt|ascii|dot|svg   output modality\n"
+      "  --out <path>               write output to a file\n"
+      "Text arguments accept @path to read from a file.\n");
+  return 2;
+}
+
+struct Flags {
+  std::map<std::string, std::string> values;
+  std::vector<std::string> csvs;
+
+  const std::string* Get(const std::string& key) const {
+    auto it = values.find(key);
+    return it == values.end() ? nullptr : &it->second;
+  }
+};
+
+arc::Result<std::string> Dereference(const std::string& value) {
+  if (value.empty() || value[0] != '@') return value;
+  std::ifstream in(value.substr(1));
+  if (!in) return arc::NotFound("cannot open '" + value.substr(1) + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+arc::Result<Flags> ParseFlags(int argc, char** argv, int start) {
+  Flags flags;
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return arc::InvalidArgument("unexpected argument '" + arg + "'");
+    }
+    arg = arg.substr(2);
+    if (i + 1 >= argc) {
+      return arc::InvalidArgument("flag --" + arg + " needs a value");
+    }
+    std::string value = argv[++i];
+    if (arg == "csv") {
+      flags.csvs.push_back(value);
+    } else {
+      ARC_ASSIGN_OR_RETURN(value, Dereference(value));
+      flags.values[arg] = value;
+    }
+  }
+  return flags;
+}
+
+arc::Result<arc::data::Database> BuildDatabase(const Flags& flags) {
+  arc::data::Database db;
+  if (const std::string* setup = flags.Get("setup")) {
+    ARC_ASSIGN_OR_RETURN(db, arc::sql::ExecuteSetupScript(*setup));
+  }
+  for (const std::string& spec : flags.csvs) {
+    const size_t eq = spec.find('=');
+    if (eq == std::string::npos) {
+      return arc::InvalidArgument("--csv expects name=path, got '" + spec +
+                                  "'");
+    }
+    ARC_RETURN_IF_ERROR(arc::data::LoadCsvFile(spec.substr(eq + 1),
+                                               spec.substr(0, eq), &db));
+  }
+  return db;
+}
+
+arc::Result<arc::Conventions> PickConventions(const Flags& flags) {
+  const std::string* which = flags.Get("conventions");
+  if (which == nullptr || *which == "arc") return arc::Conventions::Arc();
+  if (*which == "sql") return arc::Conventions::Sql();
+  if (*which == "souffle") return arc::Conventions::Souffle();
+  return arc::InvalidArgument("unknown conventions '" + *which + "'");
+}
+
+arc::Status Emit(const Flags& flags, const std::string& content) {
+  if (const std::string* out = flags.Get("out")) {
+    std::ofstream file(*out);
+    if (!file) return arc::InvalidArgument("cannot write '" + *out + "'");
+    file << content;
+    return arc::Status::Ok();
+  }
+  std::fputs(content.c_str(), stdout);
+  return arc::Status::Ok();
+}
+
+/// Parses --arc as comprehension syntax, falling back to the ALT format.
+arc::Result<arc::Program> ParseArcArg(const std::string& text) {
+  auto program = arc::text::ParseProgram(text);
+  if (program.ok()) return program;
+  auto alt = arc::text::ParseAltProgram(text);
+  if (alt.ok()) return alt;
+  return program.status();
+}
+
+arc::Result<std::string> RenderModality(const arc::Program& program,
+                                        const std::string& modality) {
+  if (modality == "comp" || modality.empty()) {
+    return arc::text::PrintProgram(program) + "\n";
+  }
+  if (modality == "unicode") {
+    arc::text::PrintOptions opts;
+    opts.unicode = true;
+    return arc::text::PrintProgram(program, opts) + "\n";
+  }
+  if (modality == "alt") return arc::text::PrintAltProgram(program);
+  if (modality == "ascii" || modality == "dot" || modality == "svg") {
+    ARC_ASSIGN_OR_RETURN(arc::higraph::Higraph h,
+                         arc::higraph::Build(program));
+    if (modality == "ascii") return arc::higraph::ToAscii(h);
+    if (modality == "dot") return arc::higraph::ToDot(h);
+    return arc::higraph::ToSvg(h);
+  }
+  if (modality == "sql") return arc::translate::ArcToSqlText(program);
+  return arc::Unsupported("unknown modality '" + modality +
+                          "' (comp|unicode|alt|ascii|dot|svg|sql)");
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+arc::Status CmdTranslate(const Flags& flags) {
+  const std::string* sql = flags.Get("sql");
+  if (sql == nullptr) return arc::InvalidArgument("translate needs --sql");
+  ARC_ASSIGN_OR_RETURN(arc::data::Database db, BuildDatabase(flags));
+  arc::translate::SqlToArcOptions topts;
+  topts.database = &db;
+  ARC_ASSIGN_OR_RETURN(arc::Program program,
+                       arc::translate::SqlToArc(*sql, topts));
+  const std::string* modality = flags.Get("modality");
+  if (modality != nullptr) {
+    ARC_ASSIGN_OR_RETURN(std::string out, RenderModality(program, *modality));
+    return Emit(flags, out);
+  }
+  std::string out = "-- comprehension modality --\n" +
+                    arc::text::PrintProgram(program) +
+                    "\n\n-- ALT modality --\n" +
+                    arc::text::PrintAltProgram(program);
+  auto h = arc::higraph::Build(program);
+  if (h.ok()) {
+    out += "\n-- higraph modality (ascii) --\n" + arc::higraph::ToAscii(*h);
+  }
+  return Emit(flags, out);
+}
+
+arc::Status CmdRender(const Flags& flags) {
+  const std::string* query = flags.Get("arc");
+  if (query == nullptr) return arc::InvalidArgument("render needs --arc");
+  ARC_ASSIGN_OR_RETURN(arc::Program program, ParseArcArg(*query));
+  const std::string* modality = flags.Get("modality");
+  ARC_ASSIGN_OR_RETURN(
+      std::string out,
+      RenderModality(program, modality == nullptr ? "comp" : *modality));
+  return Emit(flags, out);
+}
+
+arc::Status CmdEval(const Flags& flags) {
+  ARC_ASSIGN_OR_RETURN(arc::data::Database db, BuildDatabase(flags));
+  ARC_ASSIGN_OR_RETURN(arc::Conventions conventions, PickConventions(flags));
+  arc::Program program;
+  if (const std::string* arc_text = flags.Get("arc")) {
+    ARC_ASSIGN_OR_RETURN(program, ParseArcArg(*arc_text));
+  } else if (const std::string* sql = flags.Get("sql")) {
+    arc::translate::SqlToArcOptions topts;
+    topts.database = &db;
+    ARC_ASSIGN_OR_RETURN(program, arc::translate::SqlToArc(*sql, topts));
+  } else {
+    return arc::InvalidArgument("eval needs --arc or --sql");
+  }
+  arc::eval::EvalOptions eopts;
+  eopts.conventions = conventions;
+  if (program.main.sentence) {
+    arc::eval::Evaluator ev(db, eopts);
+    ARC_ASSIGN_OR_RETURN(arc::data::TriBool truth, ev.EvalSentence(program));
+    return Emit(flags, std::string(arc::data::TriBoolName(truth)) + "\n");
+  }
+  ARC_ASSIGN_OR_RETURN(arc::data::Relation result,
+                       arc::eval::Eval(db, program, eopts));
+  if (const std::string* out = flags.Get("out")) {
+    (void)out;
+    return Emit(flags, arc::data::RelationToCsv(result));
+  }
+  return Emit(flags, result.ToString());
+}
+
+arc::Status CmdValidate(const Flags& flags) {
+  const std::string* query = flags.Get("arc");
+  if (query == nullptr) return arc::InvalidArgument("validate needs --arc");
+  ARC_ASSIGN_OR_RETURN(arc::Program program, ParseArcArg(*query));
+  ARC_ASSIGN_OR_RETURN(arc::data::Database db, BuildDatabase(flags));
+  arc::AnalyzeOptions aopts;
+  if (db.relation_count() > 0) aopts.database = &db;
+  arc::Analysis analysis = arc::Analyze(program, aopts);
+  std::string out = analysis.DiagnosticsToString();
+  out += analysis.ok() ? "VALID\n" : "INVALID\n";
+  ARC_RETURN_IF_ERROR(Emit(flags, out));
+  return analysis.ok() ? arc::Status::Ok()
+                       : arc::ValidationError("query is invalid");
+}
+
+arc::Status CmdCompare(const Flags& flags) {
+  const std::string* a_text = flags.Get("arc");
+  const std::string* b_text = flags.Get("arc2");
+  if (a_text == nullptr || b_text == nullptr) {
+    return arc::InvalidArgument("compare needs --arc and --arc2");
+  }
+  ARC_ASSIGN_OR_RETURN(arc::Program a, ParseArcArg(*a_text));
+  ARC_ASSIGN_OR_RETURN(arc::Program b, ParseArcArg(*b_text));
+  std::ostringstream out;
+  out << "pattern A: " << arc::pattern::ExtractFeatures(a).ToString() << "\n";
+  out << "pattern B: " << arc::pattern::ExtractFeatures(b).ToString() << "\n";
+  out << "canonical A: " << arc::pattern::CanonicalText(a) << "\n";
+  out << "canonical B: " << arc::pattern::CanonicalText(b) << "\n";
+  const bool equal = arc::pattern::PatternEquals(a, b);
+  out << "pattern-equal: " << (equal ? "yes" : "no") << "\n";
+  if (!equal) {
+    out << "pattern diff (canonical ALT):\n"
+        << arc::pattern::PatternDiff(a, b);
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", arc::pattern::Similarity(a, b));
+  out << "similarity: " << buf << "\n";
+  return Emit(flags, out.str());
+}
+
+arc::Status CmdDatalog(const Flags& flags) {
+  const std::string* source = flags.Get("program");
+  const std::string* query = flags.Get("query");
+  if (source == nullptr || query == nullptr) {
+    return arc::InvalidArgument("datalog needs --program and --query");
+  }
+  ARC_ASSIGN_OR_RETURN(arc::datalog::DlProgram program,
+                       arc::datalog::ParseDatalog(*source));
+  ARC_ASSIGN_OR_RETURN(arc::data::Database db, BuildDatabase(flags));
+  arc::datalog::DlEvaluator engine(db);
+  ARC_ASSIGN_OR_RETURN(arc::data::Relation result,
+                       engine.Eval(program, *query));
+  std::ostringstream out;
+  out << result.ToString();
+  auto translated = arc::translate::DatalogToArc(program, *query);
+  if (translated.ok()) {
+    out << "\nas ARC: " << arc::text::PrintProgram(*translated) << "\n";
+  }
+  return Emit(flags, out.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
+    return Usage();
+  }
+  arc::Status status = arc::InvalidArgument("unknown command '" + command +
+                                            "'");
+  if (command == "translate") status = CmdTranslate(*flags);
+  else if (command == "render") status = CmdRender(*flags);
+  else if (command == "eval") status = CmdEval(*flags);
+  else if (command == "validate") status = CmdValidate(*flags);
+  else if (command == "compare") status = CmdCompare(*flags);
+  else if (command == "datalog") status = CmdDatalog(*flags);
+  else return Usage();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
