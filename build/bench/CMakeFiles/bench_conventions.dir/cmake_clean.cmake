@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conventions.dir/bench_conventions.cpp.o"
+  "CMakeFiles/bench_conventions.dir/bench_conventions.cpp.o.d"
+  "bench_conventions"
+  "bench_conventions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conventions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_trc.dir/bench_fig02_trc.cpp.o"
+  "CMakeFiles/bench_fig02_trc.dir/bench_fig02_trc.cpp.o.d"
+  "bench_fig02_trc"
+  "bench_fig02_trc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_trc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_lateral.dir/bench_fig03_lateral.cpp.o"
+  "CMakeFiles/bench_fig03_lateral.dir/bench_fig03_lateral.cpp.o.d"
+  "bench_fig03_lateral"
+  "bench_fig03_lateral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_lateral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

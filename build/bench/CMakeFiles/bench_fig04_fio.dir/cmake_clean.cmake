@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_fio.dir/bench_fig04_fio.cpp.o"
+  "CMakeFiles/bench_fig04_fio.dir/bench_fig04_fio.cpp.o.d"
+  "bench_fig04_fio"
+  "bench_fig04_fio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_fio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

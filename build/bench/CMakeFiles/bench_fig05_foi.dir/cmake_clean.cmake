@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_foi.dir/bench_fig05_foi.cpp.o"
+  "CMakeFiles/bench_fig05_foi.dir/bench_fig05_foi.cpp.o.d"
+  "bench_fig05_foi"
+  "bench_fig05_foi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_foi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_multiagg.dir/bench_fig06_multiagg.cpp.o"
+  "CMakeFiles/bench_fig06_multiagg.dir/bench_fig06_multiagg.cpp.o.d"
+  "bench_fig06_multiagg"
+  "bench_fig06_multiagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_multiagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

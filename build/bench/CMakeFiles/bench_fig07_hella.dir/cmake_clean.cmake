@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_hella.dir/bench_fig07_hella.cpp.o"
+  "CMakeFiles/bench_fig07_hella.dir/bench_fig07_hella.cpp.o.d"
+  "bench_fig07_hella"
+  "bench_fig07_hella.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_hella.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

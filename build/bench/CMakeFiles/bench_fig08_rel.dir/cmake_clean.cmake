@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_rel.dir/bench_fig08_rel.cpp.o"
+  "CMakeFiles/bench_fig08_rel.dir/bench_fig08_rel.cpp.o.d"
+  "bench_fig08_rel"
+  "bench_fig08_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_notin.dir/bench_fig11_notin.cpp.o"
+  "CMakeFiles/bench_fig11_notin.dir/bench_fig11_notin.cpp.o.d"
+  "bench_fig11_notin"
+  "bench_fig11_notin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_notin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

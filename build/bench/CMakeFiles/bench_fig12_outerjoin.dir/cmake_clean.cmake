@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_outerjoin.dir/bench_fig12_outerjoin.cpp.o"
+  "CMakeFiles/bench_fig12_outerjoin.dir/bench_fig12_outerjoin.cpp.o.d"
+  "bench_fig12_outerjoin"
+  "bench_fig12_outerjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_outerjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_headagg.dir/bench_fig13_headagg.cpp.o"
+  "CMakeFiles/bench_fig13_headagg.dir/bench_fig13_headagg.cpp.o.d"
+  "bench_fig13_headagg"
+  "bench_fig13_headagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_headagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_external.dir/bench_fig15_external.cpp.o"
+  "CMakeFiles/bench_fig15_external.dir/bench_fig15_external.cpp.o.d"
+  "bench_fig15_external"
+  "bench_fig15_external.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_external.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

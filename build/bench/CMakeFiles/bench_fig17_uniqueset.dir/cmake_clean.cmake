@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_uniqueset.dir/bench_fig17_uniqueset.cpp.o"
+  "CMakeFiles/bench_fig17_uniqueset.dir/bench_fig17_uniqueset.cpp.o.d"
+  "bench_fig17_uniqueset"
+  "bench_fig17_uniqueset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_uniqueset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_matmul.dir/bench_fig20_matmul.cpp.o"
+  "CMakeFiles/bench_fig20_matmul.dir/bench_fig20_matmul.cpp.o.d"
+  "bench_fig20_matmul"
+  "bench_fig20_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_countbug.dir/bench_fig21_countbug.cpp.o"
+  "CMakeFiles/bench_fig21_countbug.dir/bench_fig21_countbug.cpp.o.d"
+  "bench_fig21_countbug"
+  "bench_fig21_countbug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_countbug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_setbag.dir/bench_setbag.cpp.o"
+  "CMakeFiles/bench_setbag.dir/bench_setbag.cpp.o.d"
+  "bench_setbag"
+  "bench_setbag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_setbag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl2sql_validate.dir/nl2sql_validate.cpp.o"
+  "CMakeFiles/nl2sql_validate.dir/nl2sql_validate.cpp.o.d"
+  "nl2sql_validate"
+  "nl2sql_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl2sql_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nl2sql_validate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_demo.dir/rewrite_demo.cpp.o"
+  "CMakeFiles/rewrite_demo.dir/rewrite_demo.cpp.o.d"
+  "rewrite_demo"
+  "rewrite_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/rosetta.cpp" "examples/CMakeFiles/rosetta.dir/rosetta.cpp.o" "gcc" "examples/CMakeFiles/rosetta.dir/rosetta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/translate/CMakeFiles/arc_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/arc_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/arc_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/higraph/CMakeFiles/arc_higraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/arc_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/arc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/arc_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/arc_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/arc/CMakeFiles/arc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/arc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/arc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

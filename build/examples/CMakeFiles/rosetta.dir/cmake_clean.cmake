@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosetta.dir/rosetta.cpp.o"
+  "CMakeFiles/rosetta.dir/rosetta.cpp.o.d"
+  "rosetta"
+  "rosetta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosetta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

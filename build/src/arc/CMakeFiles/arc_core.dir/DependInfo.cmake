@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arc/analyze.cc" "src/arc/CMakeFiles/arc_core.dir/analyze.cc.o" "gcc" "src/arc/CMakeFiles/arc_core.dir/analyze.cc.o.d"
+  "/root/repo/src/arc/ast.cc" "src/arc/CMakeFiles/arc_core.dir/ast.cc.o" "gcc" "src/arc/CMakeFiles/arc_core.dir/ast.cc.o.d"
+  "/root/repo/src/arc/external.cc" "src/arc/CMakeFiles/arc_core.dir/external.cc.o" "gcc" "src/arc/CMakeFiles/arc_core.dir/external.cc.o.d"
+  "/root/repo/src/arc/random_query.cc" "src/arc/CMakeFiles/arc_core.dir/random_query.cc.o" "gcc" "src/arc/CMakeFiles/arc_core.dir/random_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/arc_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

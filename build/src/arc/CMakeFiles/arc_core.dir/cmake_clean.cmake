@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arc_core.dir/analyze.cc.o"
+  "CMakeFiles/arc_core.dir/analyze.cc.o.d"
+  "CMakeFiles/arc_core.dir/ast.cc.o"
+  "CMakeFiles/arc_core.dir/ast.cc.o.d"
+  "CMakeFiles/arc_core.dir/external.cc.o"
+  "CMakeFiles/arc_core.dir/external.cc.o.d"
+  "CMakeFiles/arc_core.dir/random_query.cc.o"
+  "CMakeFiles/arc_core.dir/random_query.cc.o.d"
+  "libarc_core.a"
+  "libarc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

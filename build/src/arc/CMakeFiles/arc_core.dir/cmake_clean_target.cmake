@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarc_core.a"
+)

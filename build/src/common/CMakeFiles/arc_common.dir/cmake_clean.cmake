@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arc_common.dir/status.cc.o"
+  "CMakeFiles/arc_common.dir/status.cc.o.d"
+  "CMakeFiles/arc_common.dir/strings.cc.o"
+  "CMakeFiles/arc_common.dir/strings.cc.o.d"
+  "libarc_common.a"
+  "libarc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

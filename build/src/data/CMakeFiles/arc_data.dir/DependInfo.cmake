@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/arc_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/arc_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/database.cc" "src/data/CMakeFiles/arc_data.dir/database.cc.o" "gcc" "src/data/CMakeFiles/arc_data.dir/database.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/data/CMakeFiles/arc_data.dir/generators.cc.o" "gcc" "src/data/CMakeFiles/arc_data.dir/generators.cc.o.d"
+  "/root/repo/src/data/relation.cc" "src/data/CMakeFiles/arc_data.dir/relation.cc.o" "gcc" "src/data/CMakeFiles/arc_data.dir/relation.cc.o.d"
+  "/root/repo/src/data/value.cc" "src/data/CMakeFiles/arc_data.dir/value.cc.o" "gcc" "src/data/CMakeFiles/arc_data.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

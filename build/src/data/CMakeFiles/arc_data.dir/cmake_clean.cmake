@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arc_data.dir/csv.cc.o"
+  "CMakeFiles/arc_data.dir/csv.cc.o.d"
+  "CMakeFiles/arc_data.dir/database.cc.o"
+  "CMakeFiles/arc_data.dir/database.cc.o.d"
+  "CMakeFiles/arc_data.dir/generators.cc.o"
+  "CMakeFiles/arc_data.dir/generators.cc.o.d"
+  "CMakeFiles/arc_data.dir/relation.cc.o"
+  "CMakeFiles/arc_data.dir/relation.cc.o.d"
+  "CMakeFiles/arc_data.dir/value.cc.o"
+  "CMakeFiles/arc_data.dir/value.cc.o.d"
+  "libarc_data.a"
+  "libarc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arc_datalog.dir/ast.cc.o"
+  "CMakeFiles/arc_datalog.dir/ast.cc.o.d"
+  "CMakeFiles/arc_datalog.dir/eval.cc.o"
+  "CMakeFiles/arc_datalog.dir/eval.cc.o.d"
+  "CMakeFiles/arc_datalog.dir/parser.cc.o"
+  "CMakeFiles/arc_datalog.dir/parser.cc.o.d"
+  "libarc_datalog.a"
+  "libarc_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arc_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

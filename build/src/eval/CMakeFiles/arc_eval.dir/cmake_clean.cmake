@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arc_eval.dir/evaluator.cc.o"
+  "CMakeFiles/arc_eval.dir/evaluator.cc.o.d"
+  "libarc_eval.a"
+  "libarc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arc_higraph.dir/higraph.cc.o"
+  "CMakeFiles/arc_higraph.dir/higraph.cc.o.d"
+  "CMakeFiles/arc_higraph.dir/render.cc.o"
+  "CMakeFiles/arc_higraph.dir/render.cc.o.d"
+  "libarc_higraph.a"
+  "libarc_higraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arc_higraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

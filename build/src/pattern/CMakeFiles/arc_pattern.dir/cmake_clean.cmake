@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arc_pattern.dir/pattern.cc.o"
+  "CMakeFiles/arc_pattern.dir/pattern.cc.o.d"
+  "libarc_pattern.a"
+  "libarc_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arc_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arc_rewrite.dir/rewriter.cc.o"
+  "CMakeFiles/arc_rewrite.dir/rewriter.cc.o.d"
+  "libarc_rewrite.a"
+  "libarc_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arc_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

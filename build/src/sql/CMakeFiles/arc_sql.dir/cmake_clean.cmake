@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arc_sql.dir/ast.cc.o"
+  "CMakeFiles/arc_sql.dir/ast.cc.o.d"
+  "CMakeFiles/arc_sql.dir/eval.cc.o"
+  "CMakeFiles/arc_sql.dir/eval.cc.o.d"
+  "CMakeFiles/arc_sql.dir/parser.cc.o"
+  "CMakeFiles/arc_sql.dir/parser.cc.o.d"
+  "libarc_sql.a"
+  "libarc_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arc_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arc_text.dir/alt_parser.cc.o"
+  "CMakeFiles/arc_text.dir/alt_parser.cc.o.d"
+  "CMakeFiles/arc_text.dir/lexer.cc.o"
+  "CMakeFiles/arc_text.dir/lexer.cc.o.d"
+  "CMakeFiles/arc_text.dir/parser.cc.o"
+  "CMakeFiles/arc_text.dir/parser.cc.o.d"
+  "CMakeFiles/arc_text.dir/printer.cc.o"
+  "CMakeFiles/arc_text.dir/printer.cc.o.d"
+  "libarc_text.a"
+  "libarc_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arc_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

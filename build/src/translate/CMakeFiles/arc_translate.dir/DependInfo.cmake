@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/translate/arc_to_sql.cc" "src/translate/CMakeFiles/arc_translate.dir/arc_to_sql.cc.o" "gcc" "src/translate/CMakeFiles/arc_translate.dir/arc_to_sql.cc.o.d"
+  "/root/repo/src/translate/datalog_to_arc.cc" "src/translate/CMakeFiles/arc_translate.dir/datalog_to_arc.cc.o" "gcc" "src/translate/CMakeFiles/arc_translate.dir/datalog_to_arc.cc.o.d"
+  "/root/repo/src/translate/sql_to_arc.cc" "src/translate/CMakeFiles/arc_translate.dir/sql_to_arc.cc.o" "gcc" "src/translate/CMakeFiles/arc_translate.dir/sql_to_arc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arc/CMakeFiles/arc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/arc_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/arc_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/arc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/arc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

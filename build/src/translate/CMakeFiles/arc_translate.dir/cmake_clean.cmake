@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arc_translate.dir/arc_to_sql.cc.o"
+  "CMakeFiles/arc_translate.dir/arc_to_sql.cc.o.d"
+  "CMakeFiles/arc_translate.dir/datalog_to_arc.cc.o"
+  "CMakeFiles/arc_translate.dir/datalog_to_arc.cc.o.d"
+  "CMakeFiles/arc_translate.dir/sql_to_arc.cc.o"
+  "CMakeFiles/arc_translate.dir/sql_to_arc.cc.o.d"
+  "libarc_translate.a"
+  "libarc_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arc_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csv_alt.dir/csv_alt_test.cc.o"
+  "CMakeFiles/test_csv_alt.dir/csv_alt_test.cc.o.d"
+  "test_csv_alt"
+  "test_csv_alt.pdb"
+  "test_csv_alt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csv_alt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

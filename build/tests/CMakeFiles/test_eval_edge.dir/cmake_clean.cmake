@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval_edge.dir/eval_edge_test.cc.o"
+  "CMakeFiles/test_eval_edge.dir/eval_edge_test.cc.o.d"
+  "test_eval_edge"
+  "test_eval_edge.pdb"
+  "test_eval_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

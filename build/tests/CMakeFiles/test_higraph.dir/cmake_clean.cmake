@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_higraph.dir/higraph_test.cc.o"
+  "CMakeFiles/test_higraph.dir/higraph_test.cc.o.d"
+  "test_higraph"
+  "test_higraph.pdb"
+  "test_higraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_higraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

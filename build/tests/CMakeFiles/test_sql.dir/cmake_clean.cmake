@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sql.dir/sql_test.cc.o"
+  "CMakeFiles/test_sql.dir/sql_test.cc.o.d"
+  "test_sql"
+  "test_sql.pdb"
+  "test_sql[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

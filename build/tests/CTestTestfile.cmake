@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_arc[1]_include.cmake")
+include("/root/repo/build/tests/test_text[1]_include.cmake")
+include("/root/repo/build/tests/test_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_sql[1]_include.cmake")
+include("/root/repo/build/tests/test_translate[1]_include.cmake")
+include("/root/repo/build/tests/test_datalog[1]_include.cmake")
+include("/root/repo/build/tests/test_higraph[1]_include.cmake")
+include("/root/repo/build/tests/test_pattern[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_csv_alt[1]_include.cmake")
+include("/root/repo/build/tests/test_rewrite[1]_include.cmake")
+include("/root/repo/build/tests/test_eval_edge[1]_include.cmake")
+add_test(arctool_render "/root/repo/build/tools/arctool" "render" "--arc" "{Q(A) | exists r in R [Q.A = r.A]}" "--modality" "alt")
+set_tests_properties(arctool_render PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;54;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(arctool_eval "/root/repo/build/tools/arctool" "eval" "--sql" "select R.A, sum(R.B) s from R group by R.A" "--setup" "create table R (A int, B int); insert into R values (1,2),(1,3);" "--conventions" "sql")
+set_tests_properties(arctool_eval PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;56;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(arctool_validate_rejects "/root/repo/build/tools/arctool" "validate" "--arc" "{Q(A) | exists r in R [Q.B = r.A]}")
+set_tests_properties(arctool_validate_rejects PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;61;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(arctool_compare "/root/repo/build/tools/arctool" "compare" "--arc" "{Q(A) | exists r in R [Q.A = r.A]}" "--arc2" "{Q(A) | exists zz in R [Q.A = zz.A]}")
+set_tests_properties(arctool_compare PROPERTIES  PASS_REGULAR_EXPRESSION "pattern-equal: yes" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;64;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(arctool_datalog "/root/repo/build/tools/arctool" "datalog" "--program" ".decl P(s, t)
+P(0,1).
+P(1,2).
+A(x,y) :- P(x,y).
+A(x,y) :- P(x,z), A(z,y)." "--query" "A")
+set_tests_properties(arctool_datalog PROPERTIES  PASS_REGULAR_EXPRESSION "as ARC" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;70;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arctool.dir/arctool.cpp.o"
+  "CMakeFiles/arctool.dir/arctool.cpp.o.d"
+  "arctool"
+  "arctool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arctool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for arctool.
+# This may be replaced when dependencies are built.
