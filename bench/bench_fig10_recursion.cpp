@@ -1,9 +1,9 @@
 // E9 — Fig. 10 / Eq. (16): recursion in the named perspective. The
-// ancestor query runs as (a) an ARC recursive collection (naive fixpoint
-// over the disjunctive body), (b) the Datalog engine naive, and (c) the
-// Datalog engine semi-naive — the ablation the design calls out. Shape:
-// all agree; semi-naive wins with depth (chains), and the gap shrinks on
-// shallow graphs (trees).
+// ancestor query runs as (a) the ARC evaluator semi-naive, (b) the ARC
+// evaluator naive (the differential oracle), (c) the Datalog engine naive,
+// and (d) the Datalog engine semi-naive — the ablation the design calls
+// out. Shape: all agree; semi-naive wins with depth (chains), and the gap
+// shrinks on shallow graphs (trees).
 #include "bench/bench_util.h"
 #include "data/generators.h"
 #include "datalog/eval.h"
@@ -11,7 +11,6 @@
 
 namespace {
 
-using arc::bench::MustEvalArc;
 using arc::bench::MustParse;
 
 constexpr const char* kArc =
@@ -20,6 +19,23 @@ constexpr const char* kArc =
 constexpr const char* kDatalog =
     "A(x, y) :- P(x, y).\n"
     "A(x, y) :- P(x, z), A(z, y).\n";
+
+arc::data::Relation RunArc(const arc::data::Database& db,
+                           const arc::Program& program,
+                           arc::eval::RecursionStrategy strategy,
+                           arc::eval::EvalStats* stats = nullptr) {
+  arc::eval::EvalOptions opts;
+  opts.recursion_strategy = strategy;
+  arc::eval::Evaluator ev(db, opts);
+  auto r = ev.EvalProgram(program);
+  if (!r.ok()) {
+    std::fprintf(stderr, "arc eval failed: %s\n",
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (stats != nullptr) *stats = ev.stats();
+  return std::move(r).value();
+}
 
 arc::data::Relation RunDatalog(const arc::data::Database& db,
                                bool semi_naive) {
@@ -39,8 +55,8 @@ arc::data::Relation RunDatalog(const arc::data::Database& db,
 void Shape() {
   arc::bench::Header(
       "E9", "Fig. 10 / Eq. (16): ancestor recursion",
-      "ARC fixpoint ≡ Datalog naive ≡ Datalog semi-naive on chains, trees, "
-      "and random DAGs");
+      "ARC semi-naive ≡ ARC naive ≡ Datalog naive ≡ Datalog semi-naive on "
+      "chains, trees, and random DAGs");
   arc::Program program = MustParse(kArc);
   struct Case {
     const char* name;
@@ -51,31 +67,65 @@ void Shape() {
       {"tree n=63", arc::data::ParentTree(63, 2)},
       {"dag n=40 e=80", arc::data::ParentRandom(40, 80, 5)},
   };
-  std::printf("%16s %8s %10s %10s %8s\n", "graph", "|TC|", "naive", "semi",
-              "agree");
+  std::printf("%16s %8s %10s %10s %10s %10s %8s\n", "graph", "|TC|",
+              "arc-semi", "arc-naive", "dl-naive", "dl-semi", "agree");
   for (Case& c : cases) {
-    arc::data::Relation via_arc = MustEvalArc(c.db, program);
-    arc::data::Relation naive = RunDatalog(c.db, false);
-    arc::data::Relation semi = RunDatalog(c.db, true);
-    std::printf("%16s %8lld %10lld %10lld %8s\n", c.name,
-                static_cast<long long>(via_arc.size()),
-                static_cast<long long>(naive.size()),
-                static_cast<long long>(semi.size()),
-                via_arc.EqualsSet(naive) && naive.EqualsSet(semi) ? "yes"
-                                                                  : "NO");
+    arc::data::Relation arc_semi =
+        RunArc(c.db, program, arc::eval::RecursionStrategy::kSemiNaive);
+    arc::data::Relation arc_naive =
+        RunArc(c.db, program, arc::eval::RecursionStrategy::kNaive);
+    arc::data::Relation dl_naive = RunDatalog(c.db, false);
+    arc::data::Relation dl_semi = RunDatalog(c.db, true);
+    const bool agree = arc_semi.EqualsSet(arc_naive) &&
+                       arc_naive.EqualsSet(dl_naive) &&
+                       dl_naive.EqualsSet(dl_semi);
+    std::printf("%16s %8lld %10lld %10lld %10lld %10lld %8s\n", c.name,
+                static_cast<long long>(arc_semi.size()),
+                static_cast<long long>(arc_semi.size()),
+                static_cast<long long>(arc_naive.size()),
+                static_cast<long long>(dl_naive.size()),
+                static_cast<long long>(dl_semi.size()),
+                agree ? "yes" : "NO");
   }
   std::printf("\n");
 }
 
-void BM_ArcFixpointChain(benchmark::State& state) {
+/// Shared driver: transitive closure over a parent chain under one
+/// recursion strategy, exporting EvalStats as benchmark counters.
+void ArcChainBench(benchmark::State& state,
+                   arc::eval::RecursionStrategy strategy) {
   arc::data::Database db = arc::data::ParentChain(state.range(0));
   arc::Program program = MustParse(kArc);
+  arc::eval::EvalStats stats;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(MustEvalArc(db, program));
+    benchmark::DoNotOptimize(RunArc(db, program, strategy, &stats));
   }
+  state.counters["fixpoint_iterations"] =
+      static_cast<double>(stats.fixpoint_iterations);
+  state.counters["fixpoint_delta_tuples"] =
+      static_cast<double>(stats.fixpoint_delta_tuples);
+  state.counters["rows_scanned"] = static_cast<double>(stats.rows_scanned);
+  state.counters["dedup_hits"] = static_cast<double>(stats.dedup_hits);
+  state.counters["scope_evaluations"] =
+      static_cast<double>(stats.scope_evaluations);
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_ArcFixpointChain)->Range(8, 64)->Complexity();
+
+void BM_ArcSemiNaiveChain(benchmark::State& state) {
+  ArcChainBench(state, arc::eval::RecursionStrategy::kSemiNaive);
+}
+BENCHMARK(BM_ArcSemiNaiveChain)->Range(8, 64)->Complexity();
+
+void BM_ArcNaiveChain(benchmark::State& state) {
+  ArcChainBench(state, arc::eval::RecursionStrategy::kNaive);
+}
+BENCHMARK(BM_ArcNaiveChain)->Range(8, 64)->Complexity();
+
+// Semi-naive alone scales further than the naive sweep's common range.
+void BM_ArcSemiNaiveChainLarge(benchmark::State& state) {
+  ArcChainBench(state, arc::eval::RecursionStrategy::kSemiNaive);
+}
+BENCHMARK(BM_ArcSemiNaiveChainLarge)->Range(128, 256);
 
 void BM_DatalogNaiveChain(benchmark::State& state) {
   arc::data::Database db = arc::data::ParentChain(state.range(0));

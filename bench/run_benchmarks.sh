@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Runs the per-figure benchmark binaries with google-benchmark's JSON
+# reporter and aggregates the results (per-benchmark timings plus any
+# EvalStats counters the binaries export) into BENCH_eval.json at the repo
+# root.
+#
+#   bench/run_benchmarks.sh [build-dir] [filter-regex]
+#
+# build-dir defaults to ./build; filter-regex (passed to
+# --benchmark_filter) defaults to everything. Individual raw JSON reports
+# land in <build-dir>/bench_results/.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+filter="${2:-.}"
+out_dir="$build_dir/bench_results"
+mkdir -p "$out_dir"
+rm -f "$out_dir"/bench_*.json
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "error: no bench binaries under $build_dir (build with ARC_BUILD_BENCHMARKS=ON)" >&2
+  exit 1
+fi
+
+for bin in "$build_dir"/bench/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "== $name =="
+  # The shape table goes to stdout; timings go to the JSON report. A
+  # binary whose benchmarks are all filtered out exits non-zero — skip it.
+  "$bin" --benchmark_filter="$filter" \
+         --benchmark_out="$out_dir/$name.json" \
+         --benchmark_out_format=json ||
+      echo "   (no benchmarks matched in $name)"
+done
+
+python3 - "$out_dir" "$repo_root/BENCH_eval.json" <<'EOF'
+import json, pathlib, sys
+
+out_dir, target = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
+aggregate = {"context": None, "figures": {}}
+for report in sorted(out_dir.glob("bench_*.json")):
+    try:
+        data = json.loads(report.read_text())
+    except json.JSONDecodeError:
+        # A binary whose benchmarks were all filtered out leaves an empty
+        # report behind.
+        continue
+    if aggregate["context"] is None:
+        aggregate["context"] = data.get("context", {})
+    entries = []
+    for b in data.get("benchmarks", []):
+        entry = {
+            "name": b["name"],
+            "real_time_ns": b.get("real_time"),
+            "cpu_time_ns": b.get("cpu_time"),
+            "iterations": b.get("iterations"),
+        }
+        # EvalStats counters exported via state.counters ride along as
+        # extra top-level numeric fields in google-benchmark's JSON.
+        standard = {
+            "name", "family_index", "per_family_instance_index", "run_name",
+            "run_type", "repetitions", "repetition_index", "threads",
+            "iterations", "real_time", "cpu_time", "time_unit",
+            "aggregate_name", "aggregate_unit", "big_o", "rms",
+        }
+        counters = {k: v for k, v in b.items()
+                    if k not in standard and isinstance(v, (int, float))}
+        if counters:
+            entry["counters"] = counters
+        entries.append(entry)
+    aggregate["figures"][report.stem] = entries
+target.write_text(json.dumps(aggregate, indent=2) + "\n")
+print(f"wrote {target} ({len(aggregate['figures'])} benchmark binaries)")
+EOF

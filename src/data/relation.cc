@@ -10,13 +10,19 @@ namespace arc::data {
 
 Schema::Schema(std::initializer_list<const char*> names) {
   for (const char* n : names) names_.emplace_back(n);
+  BuildIndex();
+}
+
+void Schema::BuildIndex() {
+  lower_index_.reserve(names_.size());
+  for (size_t i = 0; i < names_.size(); ++i) {
+    lower_index_.emplace(ToLower(names_[i]), static_cast<int>(i));
+  }
 }
 
 int Schema::IndexOf(std::string_view attr) const {
-  for (size_t i = 0; i < names_.size(); ++i) {
-    if (EqualsIgnoreCase(names_[i], attr)) return static_cast<int>(i);
-  }
-  return -1;
+  const auto it = lower_index_.find(ToLower(attr));
+  return it == lower_index_.end() ? -1 : it->second;
 }
 
 bool Schema::operator==(const Schema& other) const {
@@ -66,6 +72,10 @@ std::string Tuple::ToString() const {
 void Relation::Add(Tuple row) {
   assert(schema_.size() == 0 || row.size() == schema_.size());
   rows_.push_back(std::move(row));
+  if (row_indexed_) {
+    row_index_[rows_.back().Hash()].push_back(
+        static_cast<uint32_t>(rows_.size() - 1));
+  }
 }
 
 Status Relation::Append(const Relation& other) {
@@ -74,11 +84,46 @@ Status Relation::Append(const Relation& other) {
                            schema_.ToString() + " vs " +
                            other.schema().ToString());
   }
+  if (row_indexed_) {
+    for (const Tuple& t : other.rows_) Add(t);
+    return Status::Ok();
+  }
   rows_.insert(rows_.end(), other.rows_.begin(), other.rows_.end());
   return Status::Ok();
 }
 
+void Relation::EnableRowIndex() {
+  if (row_indexed_) return;
+  row_indexed_ = true;
+  row_index_.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    row_index_[rows_[i].Hash()].push_back(static_cast<uint32_t>(i));
+  }
+}
+
+bool Relation::IndexedContains(const Tuple& row) const {
+  const auto it = row_index_.find(row.Hash());
+  if (it == row_index_.end()) return false;
+  for (uint32_t id : it->second) {
+    if (rows_[id] == row) return true;
+  }
+  return false;
+}
+
+bool Relation::AddUnique(Tuple row) {
+  if (!row_indexed_) EnableRowIndex();
+  assert(schema_.size() == 0 || row.size() == schema_.size());
+  auto& bucket = row_index_[row.Hash()];
+  for (uint32_t id : bucket) {
+    if (rows_[id] == row) return false;
+  }
+  bucket.push_back(static_cast<uint32_t>(rows_.size()));
+  rows_.push_back(std::move(row));
+  return true;
+}
+
 bool Relation::Contains(const Tuple& row) const {
+  if (row_indexed_) return IndexedContains(row);
   for (const Tuple& t : rows_) {
     if (t == row) return true;
   }
@@ -96,9 +141,13 @@ Relation Relation::Distinct() const {
 }
 
 Relation Relation::Sorted() const {
-  Relation out = *this;
+  // Sorting permutes row ids, so the copy re-derives its index (if any)
+  // rather than inheriting stale ids.
+  Relation out(schema_);
+  out.rows_ = rows_;
   std::sort(out.rows_.begin(), out.rows_.end(),
             [](const Tuple& a, const Tuple& b) { return a.CompareTotal(b) < 0; });
+  if (row_indexed_) out.EnableRowIndex();
   return out;
 }
 

@@ -7,6 +7,7 @@
 
 #include <initializer_list>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -19,7 +20,9 @@ namespace arc::data {
 class Schema {
  public:
   Schema() = default;
-  explicit Schema(std::vector<std::string> names) : names_(std::move(names)) {}
+  explicit Schema(std::vector<std::string> names) : names_(std::move(names)) {
+    BuildIndex();
+  }
   Schema(std::initializer_list<const char*> names);
 
   int size() const { return static_cast<int>(names_.size()); }
@@ -36,7 +39,13 @@ class Schema {
   std::string ToString() const;
 
  private:
+  void BuildIndex();
+
   std::vector<std::string> names_;
+  /// Lowered attribute name → index, built at construction so that hot-path
+  /// lookups avoid a case-insensitive linear scan. First occurrence wins,
+  /// matching the scan order IndexOf used to have.
+  std::unordered_map<std::string, int> lower_index_;
 };
 
 /// A row of values. Width must match the owning relation's schema.
@@ -89,7 +98,18 @@ class Relation {
   /// width; attribute names of *this win).
   Status Append(const Relation& other);
 
-  /// True if `row` occurs at least once (structural equality).
+  /// Enables a maintained whole-row hash index. Subsequent Add/Append keep
+  /// it current, Contains becomes an O(1) probe, and AddUnique is available.
+  /// Used for fixpoint accumulators and other set-like relations.
+  void EnableRowIndex();
+  bool has_row_index() const { return row_indexed_; }
+
+  /// Adds `row` unless an equal row is already present; returns true when
+  /// inserted. Enables the row index on first use.
+  bool AddUnique(Tuple row);
+
+  /// True if `row` occurs at least once (structural equality). O(1) when
+  /// the row index is enabled, linear otherwise.
   bool Contains(const Tuple& row) const;
 
   /// Deduplicated copy (first occurrence order preserved).
@@ -109,8 +129,14 @@ class Relation {
   std::string ToString() const;
 
  private:
+  bool IndexedContains(const Tuple& row) const;
+
   Schema schema_;
   std::vector<Tuple> rows_;
+  /// Optional maintained hash index: tuple hash → ids of rows with that
+  /// hash (collisions resolved by structural comparison).
+  std::unordered_map<size_t, std::vector<uint32_t>> row_index_;
+  bool row_indexed_ = false;
 };
 
 }  // namespace arc::data

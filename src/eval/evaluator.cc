@@ -47,6 +47,26 @@ const Value* FindHeadVal(const HeadVals& vals, const std::string& attr) {
   return nullptr;
 }
 
+/// Hash consistent with HeadValsEqual: commutative over the (attr, value)
+/// pairs, since equality ignores pair order.
+struct HeadValsHash {
+  size_t operator()(const HeadVals& vals) const {
+    size_t h = 0x51ed270b ^ vals.size();
+    for (const auto& [attr, val] : vals) {
+      size_t pair_hash = std::hash<std::string>{}(attr);
+      pair_hash = pair_hash * 31 + val.Hash();
+      h += pair_hash * 0x9e3779b97f4a7c15ULL;
+    }
+    return h;
+  }
+};
+
+struct HeadValsEq {
+  bool operator()(const HeadVals& a, const HeadVals& b) const {
+    return HeadValsEqual(a, b);
+  }
+};
+
 /// Flattens nested ANDs into a conjunct list (any formula flattens to >= 1
 /// conjunct).
 void FlattenAnd(const Formula& f, std::vector<const Formula*>* out) {
@@ -152,6 +172,67 @@ bool FormulaHasRangeRef(const Formula& f, std::string_view name) {
   }
 }
 
+/// Collects the binding sites through which a recursive collection ranges
+/// over its own head `name`, descending into nested collections (stopping
+/// where the name is shadowed). Clears `*monotone` when a site sits under
+/// negation or inside a grouped (aggregating) scope — contexts where
+/// delta-driven evaluation is unsound and the naive oracle must run.
+void CollectRecursiveSites(const Formula& f, std::string_view name,
+                           bool negated, bool grouped,
+                           std::vector<const Binding*>* sites, bool* monotone);
+
+void CollectRecursiveSitesInCollection(const Collection& c,
+                                       std::string_view name, bool negated,
+                                       bool grouped,
+                                       std::vector<const Binding*>* sites,
+                                       bool* monotone) {
+  if (EqualsIgnoreCase(c.head.relation, name)) return;  // shadowed
+  if (c.body) {
+    CollectRecursiveSites(*c.body, name, negated, grouped, sites, monotone);
+  }
+}
+
+void CollectRecursiveSites(const Formula& f, std::string_view name,
+                           bool negated, bool grouped,
+                           std::vector<const Binding*>* sites,
+                           bool* monotone) {
+  switch (f.kind) {
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f.children) {
+        CollectRecursiveSites(*c, name, negated, grouped, sites, monotone);
+      }
+      return;
+    case FormulaKind::kNot:
+      if (f.child) {
+        CollectRecursiveSites(*f.child, name, true, grouped, sites, monotone);
+      }
+      return;
+    case FormulaKind::kExists: {
+      if (!f.quantifier) return;
+      const bool in_group = grouped || f.quantifier->grouping.has_value();
+      for (const Binding& b : f.quantifier->bindings) {
+        if (b.range_kind == RangeKind::kNamed &&
+            EqualsIgnoreCase(b.relation, name)) {
+          sites->push_back(&b);
+          if (negated || in_group) *monotone = false;
+        }
+        if (b.range_kind == RangeKind::kCollection && b.collection) {
+          CollectRecursiveSitesInCollection(*b.collection, name, negated,
+                                            in_group, sites, monotone);
+        }
+      }
+      if (f.quantifier->body) {
+        CollectRecursiveSites(*f.quantifier->body, name, negated, in_group,
+                              sites, monotone);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
 /// Collects all aggregate terms syntactically inside `f` (not descending
 /// into nested quantifier scopes — their aggregates belong to them).
 void CollectAggTerms(const Term& t, std::vector<const Term*>* out) {
@@ -240,8 +321,8 @@ enum class ScopeMode { kBoolean, kCollect };
 class EvalImpl {
  public:
   EvalImpl(const data::Database& db, const EvalOptions& options,
-           const ExternalRegistry& externals)
-      : db_(db), options_(options), externals_(externals) {}
+           const ExternalRegistry& externals, EvalStats* stats)
+      : db_(db), options_(options), externals_(externals), stats_(stats) {}
 
   Result<Relation> RunProgram(const Program& program) {
     ARC_RETURN_IF_ERROR(RegisterDefinitions(program));
@@ -286,12 +367,18 @@ class EvalImpl {
 
   // ---- collections ---------------------------------------------------------
 
+  /// One pass over the body, emitting rows into `out` (no deduplication;
+  /// callers decide whether set semantics apply).
+  Status EvalBody(const Collection& c, Relation* out) {
+    heads_.push_back(c.head.relation);
+    Status status = SpineWalk(*c.body, c, out);
+    heads_.pop_back();
+    return status;
+  }
+
   Result<Relation> EvalOnce(const Collection& c) {
     Relation out(Schema{c.head.attrs});
-    heads_.push_back(c.head.relation);
-    Status status = SpineWalk(*c.body, c, &out);
-    heads_.pop_back();
-    ARC_RETURN_IF_ERROR(status);
+    ARC_RETURN_IF_ERROR(EvalBody(c, &out));
     if (options_.conventions.multiplicity == Conventions::Multiplicity::kSet) {
       return out.Distinct();
     }
@@ -299,8 +386,25 @@ class EvalImpl {
   }
 
   Result<Relation> EvalRecursive(const Collection& c) {
+    std::vector<const Binding*> sites;
+    bool monotone = true;
+    CollectRecursiveSites(*c.body, c.head.relation, /*negated=*/false,
+                          /*grouped=*/false, &sites, &monotone);
+    if (options_.recursion_strategy == RecursionStrategy::kSemiNaive &&
+        monotone && !sites.empty()) {
+      return EvalRecursiveSemiNaive(c, sites);
+    }
+    return EvalRecursiveNaive(c);
+  }
+
+  /// Naive fixpoint: re-evaluate the full body each round against the
+  /// accumulated relation. Kept as the differential-testing oracle and as
+  /// the fallback for non-monotone self-references.
+  Result<Relation> EvalRecursiveNaive(const Collection& c) {
+    ++stats_->naive_fixpoints;
     const std::string key = ToLower(c.head.relation);
     Relation current((Schema{c.head.attrs}));
+    current.EnableRowIndex();
     overlay_.emplace_back(key, &current);
     Status status = Status::Ok();
     for (int64_t iter = 0;; ++iter) {
@@ -310,22 +414,83 @@ class EvalImpl {
                            std::to_string(iter) + " iterations");
         break;
       }
+      ++stats_->fixpoint_iterations;
       auto next = EvalOnce(c);
       if (!next.ok()) {
         status = next.status();
         break;
       }
       // Least fixpoint: accumulate and deduplicate (recursion is evaluated
-      // under set semantics; the paper's §2.9 semantics).
-      Relation merged = current;
-      Status append = merged.Append(*next);
-      if (!append.ok()) {
-        status = append;
+      // under set semantics; the paper's §2.9 semantics). The row index
+      // makes the merge a hash probe per tuple instead of a rescan.
+      int64_t added = 0;
+      for (const Tuple& t : next->rows()) {
+        if (current.AddUnique(t)) {
+          ++added;
+        } else {
+          ++stats_->dedup_hits;
+        }
+      }
+      stats_->fixpoint_delta_tuples += added;
+      if (added == 0) break;
+    }
+    overlay_.pop_back();
+    ARC_RETURN_IF_ERROR(status);
+    return current;
+  }
+
+  /// Semi-naive fixpoint: round 0 evaluates the full body against the
+  /// empty relation; every later round evaluates one body variant per
+  /// recursive binding site, with that site ranging over the previous
+  /// round's delta and the remaining sites over the full accumulated
+  /// relation (the delta overlay — mirroring src/datalog/eval.cc's
+  /// delta-tag mechanism).
+  Result<Relation> EvalRecursiveSemiNaive(
+      const Collection& c, const std::vector<const Binding*>& sites) {
+    const std::string key = ToLower(c.head.relation);
+    const Schema schema{c.head.attrs};
+    Relation current(schema);
+    current.EnableRowIndex();
+    Relation delta(schema);
+    overlay_.emplace_back(key, &current);
+    // A nested fixpoint may be running inside an enclosing delta round;
+    // suspend and restore its site mapping around ours.
+    const Binding* saved_site = delta_site_;
+    const Relation* saved_rel = delta_rel_;
+    Status status = Status::Ok();
+    for (int64_t iter = 0;; ++iter) {
+      if (iter >= options_.max_fixpoint_iterations) {
+        status = EvalError("recursive collection '" + c.head.relation +
+                           "' did not reach a fixpoint after " +
+                           std::to_string(iter) + " iterations");
         break;
       }
-      merged = merged.Distinct();
-      if (merged.size() == current.size()) break;
-      current = std::move(merged);
+      ++stats_->fixpoint_iterations;
+      Relation produced(schema);
+      if (iter == 0) {
+        status = EvalBody(c, &produced);
+      } else {
+        for (const Binding* site : sites) {
+          delta_site_ = site;
+          delta_rel_ = &delta;
+          status = EvalBody(c, &produced);
+          delta_site_ = saved_site;
+          delta_rel_ = saved_rel;
+          if (!status.ok()) break;
+        }
+      }
+      if (!status.ok()) break;
+      Relation next_delta(schema);
+      for (const Tuple& t : produced.rows()) {
+        if (current.AddUnique(t)) {
+          next_delta.Add(t);
+        } else {
+          ++stats_->dedup_hits;
+        }
+      }
+      stats_->fixpoint_delta_tuples += next_delta.size();
+      if (next_delta.empty()) break;
+      delta = std::move(next_delta);
     }
     overlay_.pop_back();
     ARC_RETURN_IF_ERROR(status);
@@ -504,12 +669,12 @@ class EvalImpl {
         return acc;
       }
       case FormulaKind::kOr: {
-        std::vector<HeadVals> acc;
+        HeadValsSet acc(stats_);
         for (const FormulaPtr& c : f.children) {
           ARC_ASSIGN_OR_RETURN(std::vector<HeadVals> next, Solutions(*c, agg));
-          for (HeadVals& hv : next) AddUnique(&acc, std::move(hv));
+          for (HeadVals& hv : next) acc.Add(std::move(hv));
         }
-        return acc;
+        return acc.Take();
       }
       case FormulaKind::kExists: {
         // Fast path: no head involvement → pure existence test.
@@ -521,9 +686,9 @@ class EvalImpl {
         ARC_RETURN_IF_ERROR(
             ScopeRun(*f.quantifier, ScopeMode::kCollect, &acc, nullptr));
         // Solutions are sets: deduplicate.
-        std::vector<HeadVals> dedup;
-        for (HeadVals& hv : acc) AddUnique(&dedup, std::move(hv));
-        return dedup;
+        HeadValsSet dedup(stats_);
+        for (HeadVals& hv : acc) dedup.Add(std::move(hv));
+        return dedup.Take();
       }
       default:
         break;
@@ -534,12 +699,33 @@ class EvalImpl {
     return out;
   }
 
-  static void AddUnique(std::vector<HeadVals>* acc, HeadVals hv) {
-    for (const HeadVals& existing : *acc) {
-      if (HeadValsEqual(existing, hv)) return;
+  /// Order-preserving set of head valuations with O(1) membership
+  /// (replaces the former quadratic linear-scan accumulation).
+  class HeadValsSet {
+   public:
+    explicit HeadValsSet(EvalStats* stats) : stats_(stats) {}
+
+    void Add(HeadVals hv) {
+      auto [it, inserted] = seen_.insert(std::move(hv));
+      if (inserted) {
+        order_.push_back(&*it);  // unordered_set nodes are address-stable
+      } else {
+        ++stats_->dedup_hits;
+      }
     }
-    acc->push_back(std::move(hv));
-  }
+
+    std::vector<HeadVals> Take() const {
+      std::vector<HeadVals> out;
+      out.reserve(order_.size());
+      for (const HeadVals* hv : order_) out.push_back(*hv);
+      return out;
+    }
+
+   private:
+    std::unordered_set<HeadVals, HeadValsHash, HeadValsEq> seen_;
+    std::vector<const HeadVals*> order_;
+    EvalStats* stats_;
+  };
 
   /// Cross product of partial valuations; conflicting re-assignments act as
   /// equality constraints (combinations with differing values drop out).
@@ -580,6 +766,7 @@ class EvalImpl {
 
   Status ScopeRun(const Quantifier& q, ScopeMode mode,
                   std::vector<HeadVals>* collect_out, bool* bool_out) {
+    ++stats_->scope_evaluations;
     std::vector<const Formula*> conjuncts;
     if (q.body) FlattenAnd(*q.body, &conjuncts);
     if (q.grouping.has_value()) {
@@ -636,9 +823,9 @@ class EvalImpl {
       sols = MergeProduct(sols, next);
       if (sols.empty()) return Status::Ok();
     }
-    std::vector<HeadVals> dedup;
-    for (HeadVals& hv : sols) AddUnique(&dedup, std::move(hv));
-    for (HeadVals& hv : dedup) collect_out->push_back(std::move(hv));
+    HeadValsSet dedup(stats_);
+    for (HeadVals& hv : sols) dedup.Add(std::move(hv));
+    for (HeadVals& hv : dedup.Take()) collect_out->push_back(std::move(hv));
     return Status::Ok();
   }
 
@@ -652,9 +839,9 @@ class EvalImpl {
     }
     ARC_ASSIGN_OR_RETURN(std::vector<HeadVals> sols, Solutions(*q.body, nullptr));
     // Within one combination, solutions form a set.
-    std::vector<HeadVals> dedup;
-    for (HeadVals& hv : sols) AddUnique(&dedup, std::move(hv));
-    for (HeadVals& hv : dedup) collect_out->push_back(std::move(hv));
+    HeadValsSet dedup(stats_);
+    for (HeadVals& hv : sols) dedup.Add(std::move(hv));
+    for (HeadVals& hv : dedup.Take()) collect_out->push_back(std::move(hv));
     return Status::Ok();
   }
 
@@ -724,10 +911,12 @@ class EvalImpl {
     if (!probe.has_value() || rel->size() < 16) return true;
     auto value = EvalTerm(*probe->term, nullptr);
     if (!value.ok()) return true;  // not evaluable here: fall back to scan
+    ++stats_->index_probes;
     if (value->is_null()) return false;  // eq with null filters everything
     const AttrIndex* index = GetIndex(rel, probe->attr_index);
     auto hit = index->find(*value);
     if (hit == index->end()) return false;
+    ++stats_->index_hits;
     *out = &hit->second;
     return true;
   }
@@ -795,6 +984,7 @@ class EvalImpl {
           matching != nullptr
               ? rows[static_cast<size_t>((*matching)[k])]
               : rows[k];
+      ++stats_->rows_scanned;
       env_.push_back({b.var, &range.rel->schema(), &row});
       Status s = recurse();
       env_.pop_back();
@@ -872,7 +1062,7 @@ class EvalImpl {
     const std::string key = ToLower(b.relation);
     for (auto it = overlay_.rbegin(); it != overlay_.rend(); ++it) {
       if (it->first == key) {
-        out.rel = it->second;
+        out.rel = delta_site_ == &b ? delta_rel_ : it->second;
         return out;  // mutable across fixpoint iterations: not indexable
       }
     }
@@ -948,6 +1138,7 @@ class EvalImpl {
       return tuples.status();
     }
     for (const Tuple& row : *tuples) {
+      ++stats_->rows_scanned;
       env_.push_back({b.var, &ext->schema(), &row});
       Status s = recurse();
       env_.pop_back();
@@ -1103,9 +1294,9 @@ class EvalImpl {
           if (sols.empty()) break;
         }
         if (status.ok()) {
-          std::vector<HeadVals> dedup;
-          for (HeadVals& hv : sols) AddUnique(&dedup, std::move(hv));
-          for (HeadVals& hv : dedup) collect_out->push_back(std::move(hv));
+          HeadValsSet dedup(stats_);
+          for (HeadVals& hv : sols) dedup.Add(std::move(hv));
+          for (HeadVals& hv : dedup.Take()) collect_out->push_back(std::move(hv));
         }
       }
       if (rep != nullptr) PopFragment(*rep);
@@ -1166,6 +1357,7 @@ class EvalImpl {
     // with stable storage, not the (possibly temporary) range relation's.
     ARC_ASSIGN_OR_RETURN(const Schema* schema, BindingSchema(b));
     for (const Tuple& row : range.rel->rows()) {
+      ++stats_->rows_scanned;
       env_.push_back({b.var, schema, &row});
       Status s = MaterializeRec(q, filters_at, idx + 1, fragments);
       env_.pop_back();
@@ -1470,6 +1662,7 @@ class EvalImpl {
         ARC_ASSIGN_OR_RETURN(const Schema* schema, BindingSchema(*binding));
         std::vector<Fragment> out;
         for (const Tuple& row : range.rel->rows()) {
+          ++stats_->rows_scanned;
           Fragment frag;
           frag.push_back({binding->var, schema, row});
           ARC_ASSIGN_OR_RETURN(bool pass, FragmentSatisfies(frag, *conds));
@@ -1582,11 +1775,36 @@ class EvalImpl {
   std::unordered_map<const Binding*, bool> closed_;
   std::unordered_map<const Binding*, std::shared_ptr<Relation>> closed_cache_;
   std::map<std::pair<const void*, int>, AttrIndex> attr_indexes_;
+
+  /// Telemetry sink (owned by the Evaluator; never null).
+  EvalStats* stats_;
+  /// Semi-naive delta overlay: while set, the recursive binding site
+  /// `delta_site_` resolves to `delta_rel_` (last round's new tuples)
+  /// instead of the full overlay relation. Binding addresses are stable
+  /// during evaluation, so the AST node identifies the site.
+  const Binding* delta_site_ = nullptr;
+  const Relation* delta_rel_ = nullptr;
 };
 
 const std::string EvalImpl::kNoHead = "";
 
 }  // namespace
+
+std::string EvalStats::ToString() const {
+  std::string out;
+  auto line = [&out](const char* name, int64_t v) {
+    out += "  " + std::string(name) + ": " + std::to_string(v) + "\n";
+  };
+  line("fixpoint_iterations", fixpoint_iterations);
+  line("fixpoint_delta_tuples", fixpoint_delta_tuples);
+  line("naive_fixpoints", naive_fixpoints);
+  line("rows_scanned", rows_scanned);
+  line("index_probes", index_probes);
+  line("index_hits", index_hits);
+  line("dedup_hits", dedup_hits);
+  line("scope_evaluations", scope_evaluations);
+  return out;
+}
 
 Evaluator::Evaluator(const data::Database& database, EvalOptions options)
     : database_(database), options_(std::move(options)) {
@@ -1606,7 +1824,8 @@ Result<data::Relation> Evaluator::EvalProgram(const Program& program) {
       return ValidationError(Join(analysis.ErrorMessages(), "; "));
     }
   }
-  EvalImpl impl(database_, options_, *options_.externals);
+  stats_.Reset();
+  EvalImpl impl(database_, options_, *options_.externals, &stats_);
   return impl.RunProgram(program);
 }
 
@@ -1626,7 +1845,8 @@ Result<data::TriBool> Evaluator::EvalSentence(const Program& program) {
       return ValidationError(Join(analysis.ErrorMessages(), "; "));
     }
   }
-  EvalImpl impl(database_, options_, *options_.externals);
+  stats_.Reset();
+  EvalImpl impl(database_, options_, *options_.externals, &stats_);
   return impl.RunSentence(program);
 }
 

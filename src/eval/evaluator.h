@@ -21,6 +21,7 @@
 #ifndef ARC_EVAL_EVALUATOR_H_
 #define ARC_EVAL_EVALUATOR_H_
 
+#include <cstdint>
 #include <string>
 
 #include "arc/analyze.h"
@@ -32,6 +33,45 @@
 
 namespace arc::eval {
 
+/// How recursive collections (§2.9) reach their least fixed point.
+enum class RecursionStrategy {
+  /// Delta-driven: after the first round, each round evaluates one body
+  /// variant per recursive range reference, with that reference ranging
+  /// over the previous round's new tuples only (mirroring the Datalog
+  /// engine's delta-tag mechanism). Falls back to kNaive for
+  /// non-monotone self-references (under negation or aggregation).
+  kSemiNaive,
+  /// Re-evaluates the full body each round and merges (the paper's
+  /// conceptual strategy). Kept as a differential-testing oracle.
+  kNaive,
+};
+
+/// Counters describing one evaluation. Reset at the start of every
+/// EvalProgram/EvalCollection/EvalSentence call; read via
+/// Evaluator::stats().
+struct EvalStats {
+  /// Fixpoint rounds summed over all recursive collections evaluated.
+  int64_t fixpoint_iterations = 0;
+  /// New tuples discovered across all fixpoint rounds (delta sizes).
+  int64_t fixpoint_delta_tuples = 0;
+  /// Recursive collections routed to the naive oracle because a
+  /// self-reference was non-monotone (or the strategy requested it).
+  int64_t naive_fixpoints = 0;
+  /// Rows visited while enumerating quantifier bindings and join leaves.
+  int64_t rows_scanned = 0;
+  /// Attribute hash-index probes attempted / satisfied.
+  int64_t index_probes = 0;
+  int64_t index_hits = 0;
+  /// Duplicate tuples/valuations rejected by hash-based deduplication.
+  int64_t dedup_hits = 0;
+  /// Quantifier scopes entered.
+  int64_t scope_evaluations = 0;
+
+  void Reset() { *this = EvalStats{}; }
+  /// Multi-line "  name: value" listing (for `arctool --stats`).
+  std::string ToString() const;
+};
+
 struct EvalOptions {
   Conventions conventions = Conventions::Arc();
   /// External relations; the builtins when null.
@@ -41,6 +81,8 @@ struct EvalOptions {
   bool validate = true;
   /// Fixpoint iteration guard for recursive collections.
   int64_t max_fixpoint_iterations = 100000;
+  /// Fixpoint evaluation strategy for recursive collections (§2.9).
+  RecursionStrategy recursion_strategy = RecursionStrategy::kSemiNaive;
 };
 
 class Evaluator {
@@ -62,11 +104,15 @@ class Evaluator {
 
   const Conventions& conventions() const { return options_.conventions; }
 
+  /// Telemetry for the most recent Eval* call on this evaluator.
+  const EvalStats& stats() const { return stats_; }
+
  private:
   friend class EvalImpl;
   const data::Database& database_;
   EvalOptions options_;
   ExternalRegistry default_externals_;
+  EvalStats stats_;
 };
 
 /// One-shot helpers.

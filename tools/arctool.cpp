@@ -52,6 +52,8 @@ int Usage() {
       "  --csv <name>=<path>        load a CSV file as a base relation\n"
       "  --conventions sql|arc|souffle   evaluation conventions\n"
       "  --modality comp|unicode|alt|ascii|dot|svg   output modality\n"
+      "  --recursion seminaive|naive     fixpoint strategy (eval)\n"
+      "  --stats                    print evaluation counters (eval)\n"
       "  --out <path>               write output to a file\n"
       "Text arguments accept @path to read from a file.\n");
   return 2;
@@ -84,6 +86,10 @@ arc::Result<Flags> ParseFlags(int argc, char** argv, int start) {
       return arc::InvalidArgument("unexpected argument '" + arg + "'");
     }
     arg = arg.substr(2);
+    if (arg == "stats") {  // boolean flag: takes no value
+      flags.values[arg] = "1";
+      continue;
+    }
     if (i + 1 >= argc) {
       return arc::InvalidArgument("flag --" + arg + " needs a value");
     }
@@ -220,13 +226,29 @@ arc::Status CmdEval(const Flags& flags) {
   }
   arc::eval::EvalOptions eopts;
   eopts.conventions = conventions;
+  if (const std::string* strategy = flags.Get("recursion")) {
+    if (*strategy == "naive") {
+      eopts.recursion_strategy = arc::eval::RecursionStrategy::kNaive;
+    } else if (*strategy == "seminaive") {
+      eopts.recursion_strategy = arc::eval::RecursionStrategy::kSemiNaive;
+    } else {
+      return arc::InvalidArgument("unknown recursion strategy '" + *strategy +
+                                  "' (seminaive|naive)");
+    }
+  }
+  const bool want_stats = flags.Get("stats") != nullptr;
+  arc::eval::Evaluator ev(db, eopts);
+  auto emit_stats = [&]() {
+    if (!want_stats) return;
+    std::fputs(("-- eval stats --\n" + ev.stats().ToString()).c_str(), stderr);
+  };
   if (program.main.sentence) {
-    arc::eval::Evaluator ev(db, eopts);
     ARC_ASSIGN_OR_RETURN(arc::data::TriBool truth, ev.EvalSentence(program));
+    emit_stats();
     return Emit(flags, std::string(arc::data::TriBoolName(truth)) + "\n");
   }
-  ARC_ASSIGN_OR_RETURN(arc::data::Relation result,
-                       arc::eval::Eval(db, program, eopts));
+  ARC_ASSIGN_OR_RETURN(arc::data::Relation result, ev.EvalProgram(program));
+  emit_stats();
   if (const std::string* out = flags.Get("out")) {
     (void)out;
     return Emit(flags, arc::data::RelationToCsv(result));
