@@ -1,0 +1,8 @@
+# Eq. (15) — the convention-divergence query: Souffle derives Q(1, 0) on
+# R = {(1,2)}, S = {} while SQL returns (1, NULL), because sum over an empty
+# group is NULL under SQL conventions and the neutral element 0 under
+# Datalog conventions. ArcLint: ARC-W104 (empty-aggregate sensitivity).
+{Q(ak, sm) |
+  exists r in R,
+         x in {X(sm) | exists s in S, gamma() [s.a < r.ak and X.sm = sum(s.b)]}
+    [Q.ak = r.ak and Q.sm = x.sm]}

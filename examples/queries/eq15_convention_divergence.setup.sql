@@ -1,0 +1,3 @@
+create table R (ak int);
+create table S (a int, b int);
+insert into R values (1);

@@ -1,0 +1,8 @@
+# Eq. (17) — the faithful ARC translation of SQL's NOT IN, with explicit
+# IS NULL disjuncts inside the negated scope. Because the null handling is
+# spelled out, the query means the same thing under every convention and
+# ArcLint reports no null-logic warning — contrast with not_in_null_trap.arc.
+{Q(a) |
+  exists r in R [
+    Q.a = r.a and
+    not(exists s in S [s.b = r.a or s.b is null or r.a is null])]}

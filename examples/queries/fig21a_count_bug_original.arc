@@ -1,0 +1,7 @@
+# Fig. 21a — the original nested-subquery form of the count-bug query.
+# A correlated scalar aggregate (gamma() inside the condition) is the shape
+# SQL's COUNT-bug decorrelation gets wrong; ArcLint flags it with ARC-W101.
+{Q(id) |
+  exists r in R [
+    Q.id = r.id and
+    exists s in S, gamma() [r.id = s.id and r.q = count(s.d)]]}

@@ -1,0 +1,9 @@
+# Fig. 21b — the naively decorrelated (buggy) form of the count-bug query.
+# The grouped subquery drops ids with no S partners, so the outer equi-join
+# silently loses rows where the count should be 0. ArcLint: ARC-W109.
+{Q(id) |
+  exists r in R,
+         x in {X(id, ct) |
+                 exists s in S, gamma(s.id)
+                   [X.id = s.id and X.ct = count(s.d)]}
+    [Q.id = r.id and r.id = x.id and r.q = x.ct]}

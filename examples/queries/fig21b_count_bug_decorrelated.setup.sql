@@ -1,0 +1,3 @@
+create table R (id int, q int);
+create table S (id int, d int);
+insert into R values (9, 0);

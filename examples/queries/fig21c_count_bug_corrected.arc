@@ -1,0 +1,9 @@
+# Fig. 21c — the corrected decorrelation: re-join against R inside the
+# subquery under a LEFT outer-join annotation so empty groups survive with
+# count 0. No count-bug diagnostics fire on this form.
+{Q(id) |
+  exists r in R,
+         x in {X(id, ct) |
+                 exists s in S, r2 in R, gamma(r2.id), left(r2, s)
+                   [X.id = r2.id and X.ct = count(s.d) and r2.id = s.id]}
+    [Q.id = r.id and r.id = x.id and r.q = x.ct]}

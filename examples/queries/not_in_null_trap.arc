@@ -1,0 +1,6 @@
+# §2.10 — the NOT-IN null trap, written as a direct negated comparison.
+# Under three-valued logic a NULL operand makes `s.b = r.a` unknown, and
+# NOT(unknown) is still unknown, so the row is dropped; two-valued logic
+# keeps it. ArcLint: ARC-W102 (null-logic sensitivity under negation).
+{Q(a) |
+  exists r in R, s in S [Q.a = r.a and not(s.b = r.a)]}

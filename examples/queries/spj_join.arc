@@ -1,0 +1,5 @@
+# A plain select-project-join query: monotone, convention-insensitive, and
+# free of trap shapes. ArcLint reports nothing on it; the corpus test pins
+# that down so new passes cannot regress into false positives.
+{Q(a, d) |
+  exists r in R, s in S [r.a = s.b and Q.a = r.a and Q.d = s.b]}

@@ -1,0 +1,4 @@
+create table R (a int);
+create table S (b int);
+insert into R values (1), (2);
+insert into S values (2), (null);

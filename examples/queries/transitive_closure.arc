@@ -1,0 +1,7 @@
+# §2.9 — recursion: transitive closure of an edge relation. The definition
+# references itself in a positive, ungrouped scope, so the fixpoint is
+# monotone and ArcLint stays quiet about ARC-W105.
+define {T(s, t) |
+  exists e in E [T.s = e.s and T.t = e.t] or
+  exists e in E, t2 in T [T.s = e.s and e.t = t2.s and T.t = t2.t]}
+{Q(s, t) | exists t2 in T [Q.s = t2.s and Q.t = t2.t]}

@@ -1,0 +1,2 @@
+create table E (s int, t int);
+insert into E values (1, 2), (2, 3);

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# One-shot pre-PR gate: build + run the full test suite twice —
+#   1. a plain Release build (what CI and users run), and
+#   2. an ASan/UBSan build (ARC_SANITIZE=address,undefined) that catches
+#      memory errors and UB the plain build silently tolerates.
+#
+# Usage:   scripts/check.sh [build-dir-prefix]
+# The two build trees land in <prefix> and <prefix>-asan (default:
+# build-check). Exits non-zero on the first configure/build/test failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-check}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local dir="$1"
+  shift
+  cmake -S . -B "$dir" -DCMAKE_BUILD_TYPE=Release "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+echo "== plain build =="
+run_suite "$prefix"
+
+echo "== sanitizer build (address,undefined) =="
+run_suite "$prefix-asan" -DARC_SANITIZE=address,undefined
+
+echo "All checks passed."

@@ -1,6 +1,7 @@
 #include "arc/analyze.h"
 
 #include <set>
+#include <tuple>
 
 #include "common/strings.h"
 
@@ -64,7 +65,7 @@ void GuaranteedAssigned(const Formula& f, const std::string& head_name,
         } else {
           NameSet merged;
           for (const std::string& a : acc) {
-            if (child.count(a) > 0) merged.insert(a);
+            if (child.contains(a)) merged.insert(a);
           }
           acc = std::move(merged);
         }
@@ -100,7 +101,7 @@ class Analyzer {
   Analysis Run() {
     for (const Definition& def : program_.definitions) {
       if (!def.collection) {
-        Error("definition without a collection");
+        Error("ARC-E009", "definition without a collection");
         continue;
       }
       AnalyzeCollection(*def.collection, def.kind == DefKind::kAbstract);
@@ -112,8 +113,9 @@ class Analyzer {
       Ctx ctx;
       AnalyzeFormula(*program_.main.sentence, ctx);
     } else {
-      Error("program has no main query");
+      Error("ARC-E009", "program has no main query");
     }
+    DeduplicateDiagnostics(&analysis_.diagnostics);
     return std::move(analysis_);
   }
 
@@ -137,11 +139,31 @@ class Analyzer {
     bool under_or_in_scope = false;
   };
 
-  void Error(std::string message) {
-    analysis_.diagnostics.push_back({Severity::kError, std::move(message)});
+  void Report(Severity severity, const char* code, std::string message,
+              const void* node, int line) {
+    Diagnostic d;
+    d.severity = severity;
+    d.code = code;
+    d.message = std::move(message);
+    d.node = node;
+    d.line = line;
+    analysis_.diagnostics.push_back(std::move(d));
   }
-  void Warn(std::string message) {
-    analysis_.diagnostics.push_back({Severity::kWarning, std::move(message)});
+  void Error(const char* code, std::string message) {
+    Report(Severity::kError, code, std::move(message), nullptr, 0);
+  }
+  template <typename Node>
+  void Error(const char* code, std::string message, const Node* node) {
+    Report(Severity::kError, code, std::move(message), node,
+           node != nullptr ? node->line : 0);
+  }
+  void Warn(const char* code, std::string message) {
+    Report(Severity::kWarning, code, std::move(message), nullptr, 0);
+  }
+  template <typename Node>
+  void Warn(const char* code, std::string message, const Node* node) {
+    Report(Severity::kWarning, code, std::move(message), node,
+           node != nullptr ? node->line : 0);
   }
 
   // ---- lookups -----------------------------------------------------------
@@ -181,8 +203,8 @@ class Analyzer {
   }
 
   /// Classifies a named range. Order: enclosing heads (recursion), program
-  /// definitions, database, externals.
-  BindingInfo ClassifyNamedRange(const std::string& name) {
+  /// definitions, database, externals. `site` anchors diagnostics.
+  BindingInfo ClassifyNamedRange(const std::string& name, const Binding* site) {
     BindingInfo info;
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
       if (it->kind == Layer::Kind::kHead &&
@@ -193,12 +215,13 @@ class Analyzer {
         // Stratification: the self-reference must be positive and outside
         // grouping scopes of the recursive collection.
         if (negation_depth_ > it->negation_depth_at_push) {
-          Error("recursive reference to '" + name + "' under negation");
+          Error("ARC-E006", "recursive reference to '" + name +
+                "' under negation", site);
         }
         for (auto jt = layers_.rbegin(); jt != it; ++jt) {
           if (jt->kind == Layer::Kind::kVars && jt->has_grouping) {
-            Error("recursive reference to '" + name +
-                  "' inside a grouping scope");
+            Error("ARC-E006", "recursive reference to '" + name +
+                  "' inside a grouping scope", site);
             break;
           }
         }
@@ -227,9 +250,11 @@ class Analyzer {
     }
     info.range_class = RangeClass::kUnknown;
     if (unknown_is_error_) {
-      Error("unknown relation '" + name + "'");
+      Error("ARC-E010", "unknown relation '" + name + "'", site);
     } else {
-      Warn("relation '" + name + "' not resolvable against the given context");
+      Warn("ARC-W002",
+           "relation '" + name + "' not resolvable against the given context",
+           site);
     }
     return info;
   }
@@ -243,8 +268,8 @@ class Analyzer {
       case TermKind::kAttrRef: {
         AttrInfo info;
         if (!LookupVar(t.var, &info)) {
-          Error("unbound variable '" + t.var + "' in reference " + t.var +
-                "." + t.attr);
+          Error("ARC-E001", "unbound variable '" + t.var + "' in reference " +
+                t.var + "." + t.attr, &t);
           return;
         }
         if (info.target == AttrTarget::kBinding) {
@@ -255,8 +280,8 @@ class Analyzer {
               if (EqualsIgnoreCase(a, t.attr)) found = true;
             }
             if (!found) {
-              Error("relation bound to '" + t.var + "' has no attribute '" +
-                    t.attr + "'");
+              Error("ARC-E002", "relation bound to '" + t.var +
+                    "' has no attribute '" + t.attr + "'", &t);
             }
           }
         } else {
@@ -265,12 +290,12 @@ class Analyzer {
             if (EqualsIgnoreCase(a, t.attr)) found = true;
           }
           if (!found) {
-            Error("head '" + info.head_of->head.relation +
-                  "' has no attribute '" + t.attr + "'");
+            Error("ARC-E002", "head '" + info.head_of->head.relation +
+                  "' has no attribute '" + t.attr + "'", &t);
           }
           if (in_agg_arg) {
-            Error("head attribute " + t.var + "." + t.attr +
-                  " cannot appear inside an aggregate argument");
+            Error("ARC-E004", "head attribute " + t.var + "." + t.attr +
+                  " cannot appear inside an aggregate argument", &t);
           }
         }
         analysis_.attrs[&t] = info;
@@ -284,12 +309,13 @@ class Analyzer {
         return;
       case TermKind::kAggregate:
         if (in_agg_arg) {
-          Error("nested aggregates are not allowed");
+          Error("ARC-E005", "nested aggregates are not allowed", &t);
         }
         if (ctx.innermost_quant == nullptr || !ctx.innermost_has_grouping) {
-          Error(std::string("aggregation predicate requires a grouping "
+          Error("ARC-E005",
+                std::string("aggregation predicate requires a grouping "
                             "operator in its scope (saw ") +
-                AggFuncName(t.agg_func) + " outside a grouping scope)");
+                AggFuncName(t.agg_func) + " outside a grouping scope)", &t);
         }
         if (t.agg_arg) {
           ResolveTerm(*t.agg_arg, ctx, /*in_agg_arg=*/true);
@@ -301,12 +327,12 @@ class Analyzer {
             }
           }
           if (!touches_scope) {
-            Warn(std::string(AggFuncName(t.agg_func)) +
-                 " argument references no binding of its grouping scope");
+            Warn("ARC-W003", std::string(AggFuncName(t.agg_func)) +
+                 " argument references no binding of its grouping scope", &t);
           }
         } else if (t.agg_func != AggFunc::kCountStar) {
-          Error(std::string(AggFuncName(t.agg_func)) +
-                " requires an argument");
+          Error("ARC-E005", std::string(AggFuncName(t.agg_func)) +
+                " requires an argument", &t);
         }
         return;
     }
@@ -357,20 +383,18 @@ class Analyzer {
   /// Handles predicates that touch the enclosing head in a non-assignment
   /// way: legal as module parameters of abstract relations, errors
   /// otherwise.
-  void ClassifyHeadUse(const Formula& f, const Ctx& ctx,
-                       bool is_assignment_shape) {
-    (void)ctx;
-    (void)is_assignment_shape;
+  void ClassifyHeadUse(const Formula& f, const Ctx& /*ctx*/,
+                       bool /*is_assignment_shape*/) {
     const Layer* head = InnermostHeadLayer();
     if (head != nullptr && head->is_abstract) {
       analysis_.predicates[&f] = PredClass::kHeadParameter;
       return;
     }
     analysis_.predicates[&f] = PredClass::kFilter;
-    Error("head attribute of '" +
+    Error("ARC-E004", "head attribute of '" +
           (head != nullptr ? head->collection->head.relation
                            : std::string("?")) +
-          "' used outside an assignment predicate");
+          "' used outside an assignment predicate", &f);
   }
 
   void AnalyzePredicate(const Formula& f, const Ctx& ctx) {
@@ -390,8 +414,8 @@ class Analyzer {
             return;
           }
           analysis_.predicates[&f] = PredClass::kAssignment;
-          Error("assignment to head attribute '" + *attr +
-                "' under negation");
+          Error("ARC-E004", "assignment to head attribute '" + *attr +
+                "' under negation", &f);
           return;
         }
         if (ctx.under_or_in_scope) {
@@ -460,8 +484,9 @@ class Analyzer {
         case TermKind::kAttrRef:
           if (EqualsIgnoreCase(t->var, head_name)) break;
           if (!is_key(*t) && is_scope_var(t->var)) {
-            Error("attribute " + t->var + "." + t->attr +
-                  " used in an aggregation scope but is not a grouping key");
+            Error("ARC-E005", "attribute " + t->var + "." + t->attr +
+                  " used in an aggregation scope but is not a grouping key",
+                  t);
           }
           break;
         case TermKind::kArith:
@@ -477,7 +502,7 @@ class Analyzer {
 
   // ---- quantifiers --------------------------------------------------------
 
-  void AnalyzeQuantifier(const Quantifier& q, Ctx outer_ctx) {
+  void AnalyzeQuantifier(const Quantifier& q, const Ctx& /*outer_ctx*/) {
     Layer layer;
     layer.kind = Layer::Kind::kVars;
     layer.quantifier = &q;
@@ -485,29 +510,32 @@ class Analyzer {
     layers_.push_back(std::move(layer));
     const size_t layer_index = layers_.size() - 1;
 
-    if (q.bindings.empty()) Error("quantifier scope with no bindings");
+    if (q.bindings.empty()) {
+      Error("ARC-E009", "quantifier scope with no bindings");
+    }
 
     for (const Binding& b : q.bindings) {
       // Duplicate variables within the scope.
-      for (const auto& [var, other] : layers_[layer_index].vars) {
-        (void)other;
-        if (EqualsIgnoreCase(var, b.var)) {
-          Error("duplicate range variable '" + b.var + "' in one quantifier");
+      for (const auto& entry : layers_[layer_index].vars) {
+        if (EqualsIgnoreCase(entry.first, b.var)) {
+          Error("ARC-E008", "duplicate range variable '" + b.var +
+                "' in one quantifier", &b);
         }
       }
       // Shadowing checks.
       AttrInfo shadow;
       if (LookupVar(b.var, &shadow)) {
         if (shadow.target == AttrTarget::kHead) {
-          Error("range variable '" + b.var +
-                "' shadows the head of its collection");
+          Error("ARC-E008", "range variable '" + b.var +
+                "' shadows the head of its collection", &b);
         } else {
-          Warn("range variable '" + b.var + "' shadows an outer binding");
+          Warn("ARC-W001", "range variable '" + b.var +
+               "' shadows an outer binding", &b);
         }
       }
       BindingInfo info;
       if (b.range_kind == RangeKind::kNamed) {
-        info = ClassifyNamedRange(b.relation);
+        info = ClassifyNamedRange(b.relation, &b);
       } else {
         info.range_class = RangeClass::kNestedCollection;
         if (b.collection) {
@@ -515,7 +543,8 @@ class Analyzer {
           // Analyzed with already-introduced siblings visible (lateral).
           AnalyzeCollection(*b.collection, /*is_abstract=*/false);
         } else {
-          Error("collection binding '" + b.var + "' without a collection");
+          Error("ARC-E009", "collection binding '" + b.var +
+                "' without a collection", &b);
         }
       }
       analysis_.bindings[&b] = std::move(info);
@@ -526,13 +555,12 @@ class Analyzer {
     ctx.innermost_quant = &q;
     ctx.innermost_has_grouping = q.grouping.has_value();
     ctx.under_or_in_scope = false;
-    (void)outer_ctx;
 
     if (q.grouping.has_value()) {
       for (const TermPtr& k : q.grouping->keys) {
         ResolveTerm(*k, ctx, /*in_agg_arg=*/false);
         if (k->ContainsAggregate()) {
-          Error("grouping key contains an aggregate");
+          Error("ARC-E005", "grouping key contains an aggregate", k.get());
         }
       }
     }
@@ -542,7 +570,7 @@ class Analyzer {
     if (q.body) {
       AnalyzeFormula(*q.body, ctx);
     } else {
-      Error("quantifier scope with no body");
+      Error("ARC-E009", "quantifier scope with no body");
     }
 
     layers_.pop_back();
@@ -561,23 +589,25 @@ class Analyzer {
           if (EqualsIgnoreCase(b.var, n.var)) found = true;
         }
         if (!found) {
-          Error("join annotation references '" + n.var +
+          Error("ARC-E007", "join annotation references '" + n.var +
                 "', which is not bound in its scope");
         }
         if (!seen->insert(n.var).second) {
-          Error("join annotation mentions '" + n.var + "' twice");
+          Error("ARC-E007", "join annotation mentions '" + n.var + "' twice");
         }
         return;
       }
       case JoinKind::kLiteralLeaf:
         return;
       case JoinKind::kInner:
-        if (n.children.empty()) Error("inner join annotation with no children");
+        if (n.children.empty()) {
+          Error("ARC-E007", "inner join annotation with no children");
+        }
         break;
       case JoinKind::kLeft:
       case JoinKind::kFull:
         if (n.children.size() != 2) {
-          Error("left/full join annotations are binary");
+          Error("ARC-E007", "left/full join annotations are binary");
         }
         break;
     }
@@ -590,15 +620,18 @@ class Analyzer {
     CollectionInfo& cinfo = analysis_.collections[&c];
     cinfo.is_abstract = is_abstract;
 
-    if (c.head.relation.empty()) Error("collection head has no relation name");
+    if (c.head.relation.empty()) {
+      Error("ARC-E009", "collection head has no relation name", &c);
+    }
     if (c.head.attrs.empty()) {
-      Error("collection head '" + c.head.relation + "' has no attributes");
+      Error("ARC-E009", "collection head '" + c.head.relation +
+            "' has no attributes", &c);
     }
     NameSet attr_names;
     for (const std::string& a : c.head.attrs) {
       if (!attr_names.insert(a).second) {
-        Error("duplicate head attribute '" + a + "' in '" + c.head.relation +
-              "'");
+        Error("ARC-E009", "duplicate head attribute '" + a + "' in '" +
+              c.head.relation + "'", &c);
       }
     }
 
@@ -616,14 +649,15 @@ class Analyzer {
         NameSet assigned;
         GuaranteedAssigned(*c.body, c.head.relation, &assigned);
         for (const std::string& a : c.head.attrs) {
-          if (assigned.count(a) == 0) {
-            Error("head attribute '" + c.head.relation + "." + a +
-                  "' is not assigned in every disjunct (unsafe head)");
+          if (!assigned.contains(a)) {
+            Error("ARC-E003", "head attribute '" + c.head.relation + "." + a +
+                  "' is not assigned in every disjunct (unsafe head)", &c);
           }
         }
       }
     } else {
-      Error("collection '" + c.head.relation + "' has no body");
+      Error("ARC-E009", "collection '" + c.head.relation + "' has no body",
+            &c);
     }
 
     layers_.pop_back();
@@ -681,6 +715,47 @@ const char* PredClassName(PredClass c) {
   return "?";
 }
 
+void DeduplicateDiagnostics(std::vector<Diagnostic>* diagnostics) {
+  std::set<std::tuple<int, std::string, std::string, int>> seen;
+  std::vector<Diagnostic> unique;
+  unique.reserve(diagnostics->size());
+  for (Diagnostic& d : *diagnostics) {
+    if (seen.emplace(static_cast<int>(d.severity), d.code, d.message, d.line)
+            .second) {
+      unique.push_back(std::move(d));
+    }
+  }
+  *diagnostics = std::move(unique);
+}
+
+const char* SeverityName(Diagnostic::Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+std::string DiagnosticToString(const Diagnostic& d) {
+  std::string out = SeverityName(d.severity);
+  if (!d.code.empty()) {
+    out += "[";
+    out += d.code;
+    out += "]";
+  }
+  if (d.line > 0) {
+    out += " line ";
+    out += std::to_string(d.line);
+  }
+  out += ": ";
+  out += d.message;
+  return out;
+}
+
 std::vector<std::string> Analysis::ErrorMessages() const {
   std::vector<std::string> out;
   for (const Diagnostic& d : diagnostics) {
@@ -692,8 +767,7 @@ std::vector<std::string> Analysis::ErrorMessages() const {
 std::string Analysis::DiagnosticsToString() const {
   std::string out;
   for (const Diagnostic& d : diagnostics) {
-    out += d.severity == Severity::kError ? "error: " : "warning: ";
-    out += d.message;
+    out += DiagnosticToString(d);
     out += "\n";
   }
   return out;

@@ -82,11 +82,25 @@ struct CollectionInfo {
   bool is_abstract = false;
 };
 
+/// One structured finding. Produced by the analyzer (structural rules,
+/// codes ARC-E0##/ARC-W0##) and by the lint passes layered on top
+/// (semantic traps, codes ARC-W1##; see arc/lint.h and LINTS.md).
 struct Diagnostic {
-  enum class Severity { kError, kWarning };
+  enum class Severity { kError, kWarning, kNote };
   Severity severity = Severity::kError;
+  /// Stable machine-readable code, e.g. "ARC-E001", "ARC-W101".
+  std::string code;
   std::string message;
+  /// 1-based source line of the provenance node when the program came from
+  /// a position-tracking parser (the ALT format); 0 = unknown.
+  int line = 0;
+  /// Address of the AST node the finding anchors to (a Term, Formula,
+  /// Binding, or Collection); valid while the analyzed Program is alive.
+  /// nullptr for program-level findings.
+  const void* node = nullptr;
 };
+
+const char* SeverityName(Diagnostic::Severity s);
 
 /// The side tables produced by analysis, keyed by node address (valid while
 /// the analyzed Program is alive and unmodified).
@@ -106,6 +120,16 @@ struct Analysis {
   std::vector<std::string> ErrorMessages() const;
   std::string DiagnosticsToString() const;
 };
+
+/// Renders one diagnostic as "error[ARC-E001] line 3: message" (the line
+/// part is omitted when unknown).
+std::string DiagnosticToString(const Diagnostic& d);
+
+/// Collapses diagnostics that agree on severity, code, message, and source
+/// line so one defect is reported once (node identity intentionally
+/// ignored; disjunctive bodies analyze shared structure once per disjunct).
+/// Order-preserving. Used by both Analyze() and Lint().
+void DeduplicateDiagnostics(std::vector<Diagnostic>* diagnostics);
 
 struct AnalyzeOptions {
   /// Optional: resolve base relations (and their attributes) against this

@@ -59,6 +59,7 @@ bool IsDistinctAgg(AggFunc f) {
 TermPtr Term::Clone() const {
   auto out = std::make_unique<Term>();
   out->kind = kind;
+  out->line = line;
   out->var = var;
   out->attr = attr;
   out->literal = literal;
@@ -195,6 +196,7 @@ JoinNodePtr MakeJoinFull(JoinNodePtr a, JoinNodePtr b) {
 Binding Binding::Clone() const {
   Binding out;
   out.var = var;
+  out.line = line;
   out.range_kind = range_kind;
   out.relation = relation;
   if (collection) out.collection = collection->Clone();
@@ -221,6 +223,7 @@ std::unique_ptr<Quantifier> Quantifier::Clone() const {
 FormulaPtr Formula::Clone() const {
   auto out = std::make_unique<Formula>();
   out->kind = kind;
+  out->line = line;
   out->children.reserve(children.size());
   for (const FormulaPtr& c : children) out->children.push_back(c->Clone());
   if (child) out->child = child->Clone();
@@ -308,6 +311,7 @@ FormulaPtr MakeNullTest(TermPtr arg, bool negated) {
 CollectionPtr Collection::Clone() const {
   auto out = std::make_unique<Collection>();
   out->head = head;
+  out->line = line;
   if (body) out->body = body->Clone();
   return out;
 }

@@ -64,6 +64,9 @@ enum class TermKind {
 
 struct Term {
   TermKind kind = TermKind::kLiteral;
+  /// 1-based source line when the node came from a parser that tracks
+  /// positions (the ALT format); 0 = unknown. Copied by Clone().
+  int line = 0;
 
   // kAttrRef
   std::string var;   // range variable name, or the head relation name
@@ -142,6 +145,7 @@ enum class RangeKind {
 /// One range-variable binding introduced by a quantifier.
 struct Binding {
   std::string var;
+  int line = 0;  // 1-based source line; 0 = unknown
   RangeKind range_kind = RangeKind::kNamed;
   std::string relation;      // kNamed
   CollectionPtr collection;  // kCollection
@@ -179,6 +183,7 @@ enum class FormulaKind {
 
 struct Formula {
   FormulaKind kind = FormulaKind::kAnd;
+  int line = 0;  // 1-based source line; 0 = unknown
 
   // kAnd / kOr
   std::vector<FormulaPtr> children;
@@ -220,6 +225,7 @@ struct Head {
 /// Datalog-style multiple rules, §2.9).
 struct Collection {
   Head head;
+  int line = 0;  // 1-based source line; 0 = unknown
   FormulaPtr body;
 
   CollectionPtr Clone() const;

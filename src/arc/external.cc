@@ -147,6 +147,13 @@ void ExternalRegistry::Register(ExternalRelation relation) {
   relations_.push_back(std::move(relation));
 }
 
+std::vector<std::string> ExternalRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const ExternalRelation& r : relations_) out.push_back(r.name());
+  return out;
+}
+
 const ExternalRelation* ExternalRegistry::Find(std::string_view name) const {
   for (const ExternalRelation& r : relations_) {
     const bool match = IsOperatorName(r.name())

@@ -56,6 +56,9 @@ class ExternalRegistry {
   /// identifier names ("Minus"). nullptr if absent.
   const ExternalRelation* Find(std::string_view name) const;
 
+  /// Registered relation names, in registration order (typo suggestions).
+  std::vector<std::string> Names() const;
+
   /// The built-in externals the paper uses:
   ///   Minus(left, right, out), Add(left, right, out), Bigger(left, right),
   ///   "+"($1, $2, out), "-"($1, $2, out), "*"($1, $2, out), "/"($1, $2, out).

@@ -1,0 +1,1726 @@
+#include "arc/lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace arc {
+
+namespace {
+
+using Severity = Diagnostic::Severity;
+
+struct CaseInsensitiveLess {
+  bool operator()(const std::string& a, const std::string& b) const {
+    return ToLower(a) < ToLower(b);
+  }
+};
+using NameSet = std::set<std::string, CaseInsensitiveLess>;
+
+void Finding(std::vector<Diagnostic>* out, Severity severity, const char* code,
+             std::string message, const void* node, int line) {
+  Diagnostic d;
+  d.severity = severity;
+  d.code = code;
+  d.message = std::move(message);
+  d.node = node;
+  d.line = line;
+  out->push_back(std::move(d));
+}
+
+template <typename Node>
+void Finding(std::vector<Diagnostic>* out, Severity severity, const char* code,
+             std::string message, const Node* node) {
+  Finding(out, severity, code, std::move(message), node,
+          node != nullptr ? node->line : 0);
+}
+
+// ---------------------------------------------------------------------------
+// Rendering (minimal; the lint layer cannot depend on arc_text)
+// ---------------------------------------------------------------------------
+
+std::string RenderTerm(const Term& t) {
+  switch (t.kind) {
+    case TermKind::kAttrRef:
+      return t.var + "." + t.attr;
+    case TermKind::kLiteral:
+      return t.literal.ToString();
+    case TermKind::kArith:
+      return (t.lhs ? RenderTerm(*t.lhs) : "?") +
+             std::string(" ") + data::ArithOpSymbol(t.arith_op) + " " +
+             (t.rhs ? RenderTerm(*t.rhs) : "?");
+    case TermKind::kAggregate:
+      return std::string(AggFuncName(t.agg_func)) + "(" +
+             (t.agg_arg ? RenderTerm(*t.agg_arg) : "*") + ")";
+  }
+  return "?";
+}
+
+std::string RenderPredicate(const Formula& f) {
+  if (f.kind == FormulaKind::kNullTest) {
+    return (f.null_arg ? RenderTerm(*f.null_arg) : "?") +
+           (f.null_negated ? " is not null" : " is null");
+  }
+  return (f.lhs ? RenderTerm(*f.lhs) : "?") + " " +
+         data::CmpOpSymbol(f.cmp_op) + " " +
+         (f.rhs ? RenderTerm(*f.rhs) : "?");
+}
+
+// ---------------------------------------------------------------------------
+// Collectors
+// ---------------------------------------------------------------------------
+
+/// Attribute-reference terms in `t`, including inside aggregate arguments.
+void CollectRefs(const Term& t, std::vector<const Term*>* out) {
+  switch (t.kind) {
+    case TermKind::kAttrRef:
+      out->push_back(&t);
+      return;
+    case TermKind::kLiteral:
+      return;
+    case TermKind::kArith:
+      if (t.lhs) CollectRefs(*t.lhs, out);
+      if (t.rhs) CollectRefs(*t.rhs, out);
+      return;
+    case TermKind::kAggregate:
+      if (t.agg_arg) CollectRefs(*t.agg_arg, out);
+      return;
+  }
+}
+
+/// Aggregate terms in `t` (outermost; aggregates never nest legally).
+void CollectAggs(const Term& t, std::vector<const Term*>* out) {
+  switch (t.kind) {
+    case TermKind::kAggregate:
+      out->push_back(&t);
+      return;
+    case TermKind::kArith:
+      if (t.lhs) CollectAggs(*t.lhs, out);
+      if (t.rhs) CollectAggs(*t.rhs, out);
+      return;
+    default:
+      return;
+  }
+}
+
+void CollectAggsInPredicate(const Formula& f, std::vector<const Term*>* out) {
+  if (f.lhs) CollectAggs(*f.lhs, out);
+  if (f.rhs) CollectAggs(*f.rhs, out);
+  if (f.null_arg) CollectAggs(*f.null_arg, out);
+}
+
+void CollectVarNamesDeepColl(const Collection& c, NameSet* out);
+
+/// Every range-variable name referenced anywhere under `f`, descending into
+/// nested quantifier scopes and nested collections (for correlation and
+/// connectivity analysis).
+void CollectVarNamesDeep(const Formula& f, NameSet* out) {
+  auto from_term = [&](const TermPtr& t) {
+    if (!t) return;
+    std::vector<const Term*> refs;
+    CollectRefs(*t, &refs);
+    for (const Term* r : refs) out->insert(r->var);
+  };
+  switch (f.kind) {
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f.children) CollectVarNamesDeep(*c, out);
+      return;
+    case FormulaKind::kNot:
+      if (f.child) CollectVarNamesDeep(*f.child, out);
+      return;
+    case FormulaKind::kExists:
+      if (!f.quantifier) return;
+      for (const Binding& b : f.quantifier->bindings) {
+        if (b.collection) CollectVarNamesDeepColl(*b.collection, out);
+      }
+      if (f.quantifier->grouping.has_value()) {
+        for (const TermPtr& k : f.quantifier->grouping->keys) from_term(k);
+      }
+      if (f.quantifier->body) CollectVarNamesDeep(*f.quantifier->body, out);
+      return;
+    case FormulaKind::kPredicate:
+      from_term(f.lhs);
+      from_term(f.rhs);
+      return;
+    case FormulaKind::kNullTest:
+      from_term(f.null_arg);
+      return;
+  }
+}
+
+void CollectVarNamesDeepColl(const Collection& c, NameSet* out) {
+  if (c.body) CollectVarNamesDeep(*c.body, out);
+}
+
+// ---------------------------------------------------------------------------
+// Traversal
+// ---------------------------------------------------------------------------
+
+/// Visits every collection of the program: definitions, the main query, and
+/// collections nested inside bindings, in source order.
+void ForEachCollection(
+    const Program& p,
+    const std::function<void(const Collection&)>& fn) {
+  std::function<void(const Collection&)> visit_coll;
+  std::function<void(const Formula&)> visit_formula = [&](const Formula& f) {
+    switch (f.kind) {
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        for (const FormulaPtr& c : f.children) visit_formula(*c);
+        return;
+      case FormulaKind::kNot:
+        if (f.child) visit_formula(*f.child);
+        return;
+      case FormulaKind::kExists:
+        if (!f.quantifier) return;
+        for (const Binding& b : f.quantifier->bindings) {
+          if (b.collection) visit_coll(*b.collection);
+        }
+        if (f.quantifier->body) visit_formula(*f.quantifier->body);
+        return;
+      default:
+        return;
+    }
+  };
+  visit_coll = [&](const Collection& c) {
+    fn(c);
+    if (c.body) visit_formula(*c.body);
+  };
+  for (const Definition& d : p.definitions) {
+    if (d.collection) visit_coll(*d.collection);
+  }
+  if (p.main.collection) visit_coll(*p.main.collection);
+  if (p.main.sentence) visit_formula(*p.main.sentence);
+}
+
+struct ScopeVisit {
+  const Collection* coll = nullptr;  // enclosing collection; null in sentences
+  const Formula* exists = nullptr;   // the kExists node
+  const Quantifier* q = nullptr;
+  /// Number of kNot nodes crossed between the collection root (or sentence
+  /// root) and this scope. Odd parity flips truth values.
+  int negations = 0;
+};
+
+/// Visits every quantifier scope under `root` (not descending into nested
+/// collections — they are separate collections with their own roots).
+void ForEachScopeUnder(const Collection* coll, const Formula& root,
+                       const std::function<void(const ScopeVisit&)>& fn) {
+  std::function<void(const Formula&, int)> walk = [&](const Formula& f,
+                                                      int negations) {
+    switch (f.kind) {
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        for (const FormulaPtr& c : f.children) walk(*c, negations);
+        return;
+      case FormulaKind::kNot:
+        if (f.child) walk(*f.child, negations + 1);
+        return;
+      case FormulaKind::kExists: {
+        if (!f.quantifier) return;
+        ScopeVisit v;
+        v.coll = coll;
+        v.exists = &f;
+        v.q = f.quantifier.get();
+        v.negations = negations;
+        fn(v);
+        if (f.quantifier->body) walk(*f.quantifier->body, negations);
+        return;
+      }
+      default:
+        return;
+    }
+  };
+  walk(root, 0);
+}
+
+/// Visits every quantifier scope of every collection (and the sentence).
+void ForEachScope(const Program& p,
+                  const std::function<void(const ScopeVisit&)>& fn) {
+  ForEachCollection(p, [&](const Collection& c) {
+    if (c.body) ForEachScopeUnder(&c, *c.body, fn);
+  });
+  if (p.main.sentence) ForEachScopeUnder(nullptr, *p.main.sentence, fn);
+}
+
+/// Predicates (kPredicate / kNullTest) syntactically inside `f`, not
+/// descending into nested quantifier scopes.
+void CollectScopePredicates(const Formula& f,
+                            std::vector<const Formula*>* out) {
+  switch (f.kind) {
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f.children) CollectScopePredicates(*c, out);
+      return;
+    case FormulaKind::kNot:
+      if (f.child) CollectScopePredicates(*f.child, out);
+      return;
+    case FormulaKind::kPredicate:
+    case FormulaKind::kNullTest:
+      out->push_back(&f);
+      return;
+    case FormulaKind::kExists:
+      return;
+  }
+}
+
+/// Flattens the top-level conjunction of `f` (no OR/NOT/EXISTS descent):
+/// the conjuncts that hold on every path through the formula.
+void TopLevelConjuncts(const Formula& f, std::vector<const Formula*>* out) {
+  if (f.kind == FormulaKind::kAnd) {
+    for (const FormulaPtr& c : f.children) TopLevelConjuncts(*c, out);
+  } else {
+    out->push_back(&f);
+  }
+}
+
+NameSet ScopeVarSet(const Quantifier& q) {
+  NameSet vars;
+  for (const Binding& b : q.bindings) vars.insert(b.var);
+  return vars;
+}
+
+/// Head relation names of every collection enclosing nodes of the program —
+/// approximated as all collection heads (head names are near-unique in
+/// practice and this is only used to exclude refs from correlation checks).
+NameSet AllHeadNames(const Program& p) {
+  NameSet heads;
+  ForEachCollection(p, [&](const Collection& c) {
+    heads.insert(c.head.relation);
+  });
+  return heads;
+}
+
+PredClass ClassOf(const LintContext& ctx, const Formula& f) {
+  auto it = ctx.analysis.predicates.find(&f);
+  return it == ctx.analysis.predicates.end() ? PredClass::kFilter : it->second;
+}
+
+RangeClass RangeOf(const LintContext& ctx, const Binding& b) {
+  auto it = ctx.analysis.bindings.find(&b);
+  return it == ctx.analysis.bindings.end() ? RangeClass::kUnknown
+                                           : it->second.range_class;
+}
+
+bool IsGammaEmpty(const Quantifier& q) {
+  return q.grouping.has_value() && q.grouping->keys.empty();
+}
+
+/// True when `q`'s body references a variable bound outside the scope
+/// (ignoring collection-head names): the scope is correlated.
+bool ScopeIsCorrelated(const Program& p, const Quantifier& q) {
+  if (!q.body) return false;
+  NameSet used;
+  CollectVarNamesDeep(*q.body, &used);
+  NameSet own = ScopeVarSet(q);
+  // Nested collections introduce their own bindings; gather every binding
+  // var under this scope so only genuinely outer names remain.
+  std::function<void(const Formula&)> add_inner = [&](const Formula& f) {
+    switch (f.kind) {
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        for (const FormulaPtr& c : f.children) add_inner(*c);
+        return;
+      case FormulaKind::kNot:
+        if (f.child) add_inner(*f.child);
+        return;
+      case FormulaKind::kExists:
+        if (!f.quantifier) return;
+        for (const Binding& b : f.quantifier->bindings) {
+          own.insert(b.var);
+          if (b.collection && b.collection->body) add_inner(*b.collection->body);
+        }
+        if (f.quantifier->body) add_inner(*f.quantifier->body);
+        return;
+      default:
+        return;
+    }
+  };
+  add_inner(*q.body);
+  NameSet heads = AllHeadNames(p);
+  for (const std::string& v : used) {
+    if (own.count(v) == 0 && heads.count(v) == 0) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Duplicate-sensitivity of aggregate inputs (W103 support)
+// ---------------------------------------------------------------------------
+
+bool CollectionMultiplicityVaries(const LintContext& ctx, const Collection& c,
+                                  std::set<const Collection*>* visiting);
+
+/// True when duplicating input rows can change the multiset of valuations a
+/// scope's bindings enumerate (and therefore what a duplicate-sensitive
+/// aggregate over the scope observes).
+bool BindingDupSensitive(const LintContext& ctx, const Binding& b,
+                         std::set<const Collection*>* visiting) {
+  switch (RangeOf(ctx, b)) {
+    case RangeClass::kBase:
+    case RangeClass::kSelf:
+      return true;
+    case RangeClass::kNestedCollection:
+      return b.collection != nullptr &&
+             CollectionMultiplicityVaries(ctx, *b.collection, visiting);
+    case RangeClass::kIntensional:
+    case RangeClass::kAbstract: {
+      const Definition* def = ctx.program.FindDefinition(b.relation);
+      return def != nullptr && def->collection != nullptr &&
+             CollectionMultiplicityVaries(ctx, *def->collection, visiting);
+    }
+    case RangeClass::kExternal:
+    case RangeClass::kUnknown:
+      return false;
+  }
+  return false;
+}
+
+/// True when `c` can emit output multiplicities that change under input-row
+/// duplication: its generating spine is not collapsed by grouping and at
+/// least one spine binding ranges over duplicate-carrying input.
+bool CollectionMultiplicityVaries(const LintContext& ctx, const Collection& c,
+                                  std::set<const Collection*>* visiting) {
+  if (!visiting->insert(&c).second) return false;  // recursion guard
+  bool varies = false;
+  std::function<void(const Formula&)> spine = [&](const Formula& f) {
+    switch (f.kind) {
+      case FormulaKind::kOr:
+        for (const FormulaPtr& child : f.children) spine(*child);
+        return;
+      case FormulaKind::kExists: {
+        if (!f.quantifier) return;
+        if (f.quantifier->grouping.has_value()) return;  // one row per group
+        for (const Binding& b : f.quantifier->bindings) {
+          if (BindingDupSensitive(ctx, b, visiting)) varies = true;
+        }
+        return;
+      }
+      default:
+        return;
+    }
+  };
+  if (c.body) spine(*c.body);
+  visiting->erase(&c);
+  return varies;
+}
+
+bool ScopeDupSensitive(const LintContext& ctx, const Quantifier& q) {
+  std::set<const Collection*> visiting;
+  for (const Binding& b : q.bindings) {
+    if (BindingDupSensitive(ctx, b, &visiting)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate-threshold probing (W103 / W110 support)
+// ---------------------------------------------------------------------------
+
+/// If `f` compares a count-family aggregate against an integer literal,
+/// returns the truth values of the comparison for counts `lo..hi`
+/// (inclusive); nullopt when the predicate has a different shape.
+std::optional<std::vector<bool>> ProbeCountThreshold(const Formula& f,
+                                                     int64_t lo, int64_t hi) {
+  if (f.kind != FormulaKind::kPredicate || !f.lhs || !f.rhs) {
+    return std::nullopt;
+  }
+  const Term* agg = nullptr;
+  const Term* other = nullptr;
+  bool agg_on_left = true;
+  if (f.lhs->kind == TermKind::kAggregate) {
+    agg = f.lhs.get();
+    other = f.rhs.get();
+  } else if (f.rhs->kind == TermKind::kAggregate) {
+    agg = f.rhs.get();
+    other = f.lhs.get();
+    agg_on_left = false;
+  }
+  if (agg == nullptr ||
+      (agg->agg_func != AggFunc::kCount &&
+       agg->agg_func != AggFunc::kCountStar &&
+       agg->agg_func != AggFunc::kCountDistinct)) {
+    return std::nullopt;
+  }
+  if (other->kind != TermKind::kLiteral ||
+      other->literal.kind() != data::ValueKind::kInt) {
+    return std::nullopt;
+  }
+  const int64_t k = other->literal.as_int();
+  std::vector<bool> truth;
+  for (int64_t n = lo; n <= hi; ++n) {
+    const int64_t a = agg_on_left ? n : k;
+    const int64_t b = agg_on_left ? k : n;
+    bool v = false;
+    switch (f.cmp_op) {
+      case data::CmpOp::kEq: v = a == b; break;
+      case data::CmpOp::kNe: v = a != b; break;
+      case data::CmpOp::kLt: v = a < b; break;
+      case data::CmpOp::kLe: v = a <= b; break;
+      case data::CmpOp::kGt: v = a > b; break;
+      case data::CmpOp::kGe: v = a >= b; break;
+    }
+    truth.push_back(v);
+  }
+  return truth;
+}
+
+bool AllEqual(const std::vector<bool>& v) {
+  for (bool b : v) {
+    if (b != v.front()) return false;
+  }
+  return true;
+}
+
+/// Truth of the predicate `f` — which must compare an aggregate against an
+/// integer literal — when the aggregate evaluates to `v`. nullopt for any
+/// other predicate shape.
+std::optional<bool> TruthWithAggValue(const Formula& f, int64_t v) {
+  if (f.kind != FormulaKind::kPredicate || !f.lhs || !f.rhs) {
+    return std::nullopt;
+  }
+  const bool agg_on_left = f.lhs->kind == TermKind::kAggregate;
+  const Term* other = agg_on_left ? f.rhs.get() : f.lhs.get();
+  if (!agg_on_left && f.rhs->kind != TermKind::kAggregate) return std::nullopt;
+  if (other->kind != TermKind::kLiteral ||
+      other->literal.kind() != data::ValueKind::kInt) {
+    return std::nullopt;
+  }
+  const int64_t k = other->literal.as_int();
+  const int64_t a = agg_on_left ? v : k;
+  const int64_t b = agg_on_left ? k : v;
+  switch (f.cmp_op) {
+    case data::CmpOp::kEq: return a == b;
+    case data::CmpOp::kNe: return a != b;
+    case data::CmpOp::kLt: return a < b;
+    case data::CmpOp::kLe: return a <= b;
+    case data::CmpOp::kGt: return a > b;
+    case data::CmpOp::kGe: return a >= b;
+  }
+  return std::nullopt;
+}
+
+/// Predicates inside `f` (not descending into nested scopes) together with
+/// the number of NOT nodes crossed on the way — the parity that decides
+/// whether an unknown-vs-definite truth value flips tuple inclusion.
+void CollectScopePredicatesWithParity(
+    const Formula& f, int negations,
+    std::vector<std::pair<const Formula*, int>>* out) {
+  switch (f.kind) {
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f.children) {
+        CollectScopePredicatesWithParity(*c, negations, out);
+      }
+      return;
+    case FormulaKind::kNot:
+      if (f.child) CollectScopePredicatesWithParity(*f.child, negations + 1, out);
+      return;
+    case FormulaKind::kPredicate:
+    case FormulaKind::kNullTest:
+      out->push_back({&f, negations});
+      return;
+    case FormulaKind::kExists:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Null-observability machinery (W102 / W104 support)
+// ---------------------------------------------------------------------------
+
+/// Every attribute-reference term under `f`, descending into nested
+/// quantifier scopes, nested collections, and grouping keys.
+void CollectRefsDeep(const Formula& f, std::vector<const Term*>* out) {
+  switch (f.kind) {
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f.children) CollectRefsDeep(*c, out);
+      return;
+    case FormulaKind::kNot:
+      if (f.child) CollectRefsDeep(*f.child, out);
+      return;
+    case FormulaKind::kExists:
+      if (!f.quantifier) return;
+      for (const Binding& b : f.quantifier->bindings) {
+        if (b.collection && b.collection->body) {
+          CollectRefsDeep(*b.collection->body, out);
+        }
+      }
+      if (f.quantifier->grouping.has_value()) {
+        for (const TermPtr& k : f.quantifier->grouping->keys) {
+          if (k) CollectRefs(*k, out);
+        }
+      }
+      if (f.quantifier->body) CollectRefsDeep(*f.quantifier->body, out);
+      return;
+    case FormulaKind::kPredicate:
+      if (f.lhs) CollectRefs(*f.lhs, out);
+      if (f.rhs) CollectRefs(*f.rhs, out);
+      return;
+    case FormulaKind::kNullTest:
+      if (f.null_arg) CollectRefs(*f.null_arg, out);
+      return;
+  }
+}
+
+using HeadAttrSet = std::set<std::pair<const Collection*, std::string>>;
+
+/// Head attributes of nested collections that an always-holding positive
+/// comparison at the (single) use site forces non-null: a NULL value in
+/// such an attribute removes the row under both logics before it can be
+/// observed, so NULLs flowing into the attribute from inside the
+/// collection cannot surface a convention divergence. (A nested collection
+/// is owned by exactly one binding, so one use site is all of them.)
+HeadAttrSet KilledHeads(const LintContext& ctx) {
+  HeadAttrSet killed;
+  ForEachScope(ctx.program, [&](const ScopeVisit& v) {
+    if (!v.q->body) return;
+    std::vector<const Formula*> conjuncts;
+    TopLevelConjuncts(*v.q->body, &conjuncts);
+    for (const Formula* cj : conjuncts) {
+      if (cj->kind != FormulaKind::kPredicate) continue;
+      if (ClassOf(ctx, *cj) != PredClass::kFilter) continue;
+      std::vector<const Term*> refs;
+      if (cj->lhs) CollectRefs(*cj->lhs, &refs);
+      if (cj->rhs) CollectRefs(*cj->rhs, &refs);
+      for (const Term* r : refs) {
+        auto it = ctx.analysis.attrs.find(r);
+        if (it == ctx.analysis.attrs.end() ||
+            it->second.target != AttrTarget::kBinding ||
+            it->second.binding == nullptr) {
+          continue;
+        }
+        const Binding* b = it->second.binding;
+        if (b->range_kind != RangeKind::kCollection || !b->collection) {
+          continue;
+        }
+        killed.insert({b->collection.get(), ToLower(r->attr)});
+      }
+    }
+  });
+  return killed;
+}
+
+/// True when the γ∅ scope visited by `v` provably aggregates a non-empty
+/// group whenever the outer row's inclusion is observable, so empty-group
+/// initialization (NULL vs. neutral) can never matter.
+///
+/// Shape: a single binding `inner ∈ Rel` whose only non-aggregate
+/// conditions are self-join correlations `inner.X = outer.X` against one
+/// outer binding over the *same* relation and attribute — the outer row
+/// itself then witnesses the group whenever outer.X is non-null. The NULL
+/// case (empty group: NULL = NULL is unknown) is discharged separately:
+/// every other use of outer.X must either kill the row outright (a
+/// positive comparison at even parity excludes a NULL under both
+/// conventions) or feed a head attribute that a positive comparison kills
+/// at the collection's use site — then the row the neutral convention
+/// would admit is indistinguishable downstream.
+bool SelfJoinGuaranteesGroup(const LintContext& ctx, const ScopeVisit& v,
+                             const HeadAttrSet& killed_heads) {
+  const Quantifier& q = *v.q;
+  if (q.bindings.size() != 1 || !q.body) return false;
+  const Binding& inner = q.bindings.front();
+  if (inner.range_kind != RangeKind::kNamed) return false;
+
+  std::vector<const Formula*> conjuncts;
+  TopLevelConjuncts(*q.body, &conjuncts);
+  const Binding* outer_binding = nullptr;
+  std::vector<const Term*> outer_refs;
+  for (const Formula* cj : conjuncts) {
+    if (cj->kind == FormulaKind::kPredicate) {
+      std::vector<const Term*> aggs;
+      CollectAggsInPredicate(*cj, &aggs);
+      if (!aggs.empty()) continue;  // the aggregate condition under scrutiny
+    }
+    if (cj->kind != FormulaKind::kPredicate ||
+        cj->cmp_op != data::CmpOp::kEq || !cj->lhs || !cj->rhs ||
+        cj->lhs->kind != TermKind::kAttrRef ||
+        cj->rhs->kind != TermKind::kAttrRef) {
+      return false;  // any other condition could empty the group
+    }
+    auto la = ctx.analysis.attrs.find(cj->lhs.get());
+    auto ra = ctx.analysis.attrs.find(cj->rhs.get());
+    if (la == ctx.analysis.attrs.end() || ra == ctx.analysis.attrs.end() ||
+        la->second.target != AttrTarget::kBinding ||
+        ra->second.target != AttrTarget::kBinding) {
+      return false;
+    }
+    const Term* in_ref = nullptr;
+    const Term* out_ref = nullptr;
+    const Binding* out_b = nullptr;
+    if (la->second.binding == &inner && ra->second.binding != &inner) {
+      in_ref = cj->lhs.get();
+      out_ref = cj->rhs.get();
+      out_b = ra->second.binding;
+    } else if (ra->second.binding == &inner && la->second.binding != &inner) {
+      in_ref = cj->rhs.get();
+      out_ref = cj->lhs.get();
+      out_b = la->second.binding;
+    } else {
+      return false;
+    }
+    if (out_b == nullptr || out_b->range_kind != RangeKind::kNamed ||
+        ToLower(out_b->relation) != ToLower(inner.relation) ||
+        ToLower(in_ref->attr) != ToLower(out_ref->attr)) {
+      return false;
+    }
+    // All correlations must target the same outer row for it to witness
+    // every equation simultaneously.
+    if (outer_binding != nullptr && outer_binding != out_b) return false;
+    outer_binding = out_b;
+    outer_refs.push_back(out_ref);
+  }
+  if (outer_binding == nullptr) return false;
+
+  // NULL-escape check. Terms whose NULL cannot be observed:
+  //   * refs inside this scope's own subtree (they only decide membership
+  //     in the group whose emptiness is exactly the case being discharged),
+  //   * refs in a positive even-parity filter conjunct (a NULL operand
+  //     excludes the row under both conventions),
+  //   * refs feeding an assignment to a killed head attribute (arithmetic
+  //     is strict, so the NULL reaches the head and dies at the use site).
+  std::set<const Term*> safe;
+  {
+    std::vector<const Term*> subtree;
+    if (v.exists != nullptr) CollectRefsDeep(*v.exists, &subtree);
+    safe.insert(subtree.begin(), subtree.end());
+  }
+  ForEachScope(ctx.program, [&](const ScopeVisit& sv) {
+    if (!sv.q->body || sv.negations % 2 != 0) return;
+    std::vector<const Formula*> cjs;
+    TopLevelConjuncts(*sv.q->body, &cjs);
+    for (const Formula* cj : cjs) {
+      if (cj->kind != FormulaKind::kPredicate) continue;
+      const PredClass cls = ClassOf(ctx, *cj);
+      if (cls == PredClass::kFilter) {
+        std::vector<const Term*> refs;
+        if (cj->lhs) CollectRefs(*cj->lhs, &refs);
+        if (cj->rhs) CollectRefs(*cj->rhs, &refs);
+        safe.insert(refs.begin(), refs.end());
+      } else if (cls == PredClass::kAssignment && sv.coll != nullptr) {
+        auto head_side = [&](const Term* t) -> const Term* {
+          if (t == nullptr || t->kind != TermKind::kAttrRef) return nullptr;
+          auto it = ctx.analysis.attrs.find(t);
+          if (it == ctx.analysis.attrs.end() ||
+              it->second.target != AttrTarget::kHead ||
+              it->second.head_of != sv.coll) {
+            return nullptr;
+          }
+          return t;
+        };
+        const Term* h = head_side(cj->lhs.get());
+        const Term* value = h != nullptr ? cj->rhs.get() : cj->lhs.get();
+        if (h == nullptr) h = head_side(cj->rhs.get());
+        if (h == nullptr || value == nullptr) continue;
+        if (killed_heads.find({sv.coll, ToLower(h->attr)}) ==
+            killed_heads.end()) {
+          continue;
+        }
+        std::vector<const Term*> refs;
+        CollectRefs(*value, &refs);
+        safe.insert(refs.begin(), refs.end());
+      }
+    }
+  });
+  for (const Term* out_ref : outer_refs) {
+    const std::string attr = ToLower(out_ref->attr);
+    for (const auto& [term, info] : ctx.analysis.attrs) {
+      if (info.target != AttrTarget::kBinding ||
+          info.binding != outer_binding || ToLower(term->attr) != attr) {
+        continue;
+      }
+      if (safe.find(term) == safe.end()) return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// W101 — count-bug shape (Fig. 21a)
+// ---------------------------------------------------------------------------
+
+void PassCountBugShape(const LintContext& ctx, std::vector<Diagnostic>* out) {
+  ForEachScope(ctx.program, [&](const ScopeVisit& v) {
+    if (!IsGammaEmpty(*v.q) || !v.q->body) return;
+    if (!ScopeIsCorrelated(ctx.program, *v.q)) return;
+    std::vector<const Formula*> preds;
+    CollectScopePredicates(*v.q->body, &preds);
+    for (const Formula* p : preds) {
+      if (ClassOf(ctx, *p) != PredClass::kAggFilter) continue;
+      Finding(out, Severity::kWarning, "ARC-W101",
+              "aggregate comparison '" + RenderPredicate(*p) +
+                  "' inside a correlated gamma() scope (count-bug shape, "
+                  "Fig. 21a): correct as written, but decorrelating by "
+                  "grouping over the inner key drops empty groups — "
+                  "decorrelate with a left-join annotation (Fig. 21c)",
+              p);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// W102 — comparison under negation vs. nullable inputs (NOT-IN trap)
+// ---------------------------------------------------------------------------
+
+void PassNullNegation(const LintContext& ctx, std::vector<Diagnostic>* out) {
+  // Guarded (var, attr) pairs: `x.a is not null` conjuncts seen on the
+  // current conjunction path.
+  std::vector<std::string> guards;
+  auto guard_key = [](const Term& t) {
+    return ToLower(t.var) + "." + ToLower(t.attr);
+  };
+
+  const HeadAttrSet killed_heads = KilledHeads(ctx);
+
+  // Attrs inside collection `c` whose NULLs only reach the output through a
+  // killed head attribute: assignments `c.head.h = term` make every
+  // attribute mentioned by `term` null-kill-guarded when `h` is killed
+  // (arithmetic is strict, so a NULL operand nulls the whole term). Only
+  // single-scope bodies qualify — with disjuncts, another disjunct could
+  // assign the head attribute a non-null value for the same base row.
+  auto seed_guards = [&](const Collection& c) {
+    if (killed_heads.empty()) return;
+    if (!c.body || c.body->kind != FormulaKind::kExists ||
+        !c.body->quantifier || !c.body->quantifier->body) {
+      return;
+    }
+    std::vector<const Formula*> conjuncts;
+    TopLevelConjuncts(*c.body->quantifier->body, &conjuncts);
+    auto head_ref = [&](const Term* t) -> const Term* {
+      if (t == nullptr || t->kind != TermKind::kAttrRef) return nullptr;
+      auto it = ctx.analysis.attrs.find(t);
+      if (it == ctx.analysis.attrs.end() ||
+          it->second.target != AttrTarget::kHead ||
+          it->second.head_of != &c) {
+        return nullptr;
+      }
+      return t;
+    };
+    for (const Formula* cj : conjuncts) {
+      if (cj->kind != FormulaKind::kPredicate) continue;
+      if (ClassOf(ctx, *cj) != PredClass::kAssignment) continue;
+      const Term* h = head_ref(cj->lhs.get());
+      const Term* value = h != nullptr ? cj->rhs.get() : cj->lhs.get();
+      if (h == nullptr) h = head_ref(cj->rhs.get());
+      if (h == nullptr || value == nullptr) continue;
+      if (killed_heads.find({&c, ToLower(h->attr)}) == killed_heads.end()) {
+        continue;
+      }
+      std::vector<const Term*> refs;
+      CollectRefs(*value, &refs);
+      for (const Term* r : refs) guards.push_back(guard_key(*r));
+    }
+  };
+
+  // A negated comparison only matters through the rows its truth flips —
+  // inside a keyed grouping scope those rows are further masked by the
+  // aggregates: the flipped row always carries a NULL in one of the
+  // compared attributes, which min/max skip. When every aggregate of the
+  // scope draws from a grouping key (constant per group) or from the sole
+  // possible NULL channel (skipped), the divergence can only surface as a
+  // whole group appearing or vanishing — a shape we accept missing in
+  // exchange for warnings that the differential harness can realize.
+  auto masked_by_grouping = [&](const Quantifier* scope,
+                                const std::vector<std::string>& nullable) {
+    if (scope == nullptr || !scope->grouping.has_value() ||
+        scope->grouping->keys.empty() || !scope->body) {
+      return false;
+    }
+    std::vector<std::string> keys;
+    for (const TermPtr& k : scope->grouping->keys) {
+      if (!k || k->kind != TermKind::kAttrRef) return false;
+      keys.push_back(guard_key(*k));
+    }
+    auto is_key = [&](const std::string& g) {
+      return std::find(keys.begin(), keys.end(), g) != keys.end();
+    };
+    // A NULL in a grouping key would spawn a NULL-keyed group — visible.
+    for (const std::string& g : nullable) {
+      if (is_key(g)) return false;
+    }
+    std::vector<const Formula*> preds;
+    CollectScopePredicates(*scope->body, &preds);
+    std::vector<const Term*> aggs;
+    for (const Formula* p : preds) CollectAggsInPredicate(*p, &aggs);
+    if (aggs.empty()) return false;
+    for (const Term* agg : aggs) {
+      if (agg->agg_func != AggFunc::kMin && agg->agg_func != AggFunc::kMax) {
+        return false;  // count/sum/avg see the flipped row directly
+      }
+      if (!agg->agg_arg || agg->agg_arg->kind != TermKind::kAttrRef) {
+        return false;
+      }
+      const std::string g = guard_key(*agg->agg_arg);
+      if (is_key(g)) continue;
+      if (nullable.size() == 1 && g == nullable.front()) continue;
+      return false;
+    }
+    return true;
+  };
+
+  std::function<void(const Formula&, int, const Quantifier*)> walk =
+      [&](const Formula& f, int negations, const Quantifier* scope) {
+    switch (f.kind) {
+      case FormulaKind::kAnd: {
+        const size_t mark = guards.size();
+        for (const FormulaPtr& c : f.children) {
+          if (c->kind == FormulaKind::kNullTest && c->null_negated &&
+              c->null_arg && c->null_arg->kind == TermKind::kAttrRef) {
+            guards.push_back(guard_key(*c->null_arg));
+          }
+        }
+        // A positively-conjoined comparison kills a NULL-carrying row under
+        // both logics (unknown and false both exclude), so any attribute it
+        // mentions is effectively non-null for every sibling conjunct — a
+        // negated comparison over it cannot be the source of a divergence.
+        // Only sound at even parity: under an odd NOT, the sibling itself
+        // diverges instead of filtering.
+        if (negations % 2 == 0) {
+          for (const FormulaPtr& c : f.children) {
+            if (c->kind != FormulaKind::kPredicate) continue;
+            if (ClassOf(ctx, *c) != PredClass::kFilter) continue;
+            std::vector<const Term*> refs;
+            if (c->lhs) CollectRefs(*c->lhs, &refs);
+            if (c->rhs) CollectRefs(*c->rhs, &refs);
+            for (const Term* r : refs) guards.push_back(guard_key(*r));
+          }
+        }
+        for (const FormulaPtr& c : f.children) walk(*c, negations, scope);
+        guards.resize(mark);
+        return;
+      }
+      case FormulaKind::kOr:
+        for (const FormulaPtr& c : f.children) walk(*c, negations, scope);
+        return;
+      case FormulaKind::kNot:
+        if (f.child) walk(*f.child, negations + 1, scope);
+        return;
+      case FormulaKind::kExists:
+        // EXISTS is never unknown (SQL semantics): an unknown body excludes
+        // the tuple under both logics, so crossing a quantifier resets the
+        // divergence-relevant negation parity.
+        if (f.quantifier && f.quantifier->body) {
+          walk(*f.quantifier->body, 0, f.quantifier.get());
+        }
+        return;
+      case FormulaKind::kPredicate: {
+        if (negations % 2 == 0) return;  // even parity cannot diverge
+        if (ClassOf(ctx, f) != PredClass::kFilter) return;
+        std::vector<const Term*> refs;
+        if (f.lhs) CollectRefs(*f.lhs, &refs);
+        if (f.rhs) CollectRefs(*f.rhs, &refs);
+        std::vector<std::string> nullable;
+        for (const Term* r : refs) {
+          const std::string g = guard_key(*r);
+          if (std::find(guards.begin(), guards.end(), g) != guards.end()) {
+            continue;
+          }
+          auto it = ctx.analysis.attrs.find(r);
+          if (it == ctx.analysis.attrs.end() ||
+              it->second.target != AttrTarget::kBinding ||
+              it->second.binding == nullptr) {
+            continue;
+          }
+          if (RangeOf(ctx, *it->second.binding) == RangeClass::kBase &&
+              std::find(nullable.begin(), nullable.end(), g) ==
+                  nullable.end()) {
+            nullable.push_back(g);
+          }
+        }
+        if (nullable.empty()) return;
+        if (masked_by_grouping(scope, nullable)) return;
+        Finding(out, Severity::kWarning, "ARC-W102",
+                "comparison '" + RenderPredicate(f) +
+                    "' under negation: a NULL operand keeps the enclosing "
+                    "NOT satisfied under two-valued logic but makes it "
+                    "unknown under three-valued logic (the NOT-IN trap, "
+                    "§2.10) — guard the operands with IS NOT NULL to pin "
+                    "the meaning",
+                &f);
+        return;
+      }
+      case FormulaKind::kNullTest:
+        return;  // IS [NOT] NULL has the same value under both logics
+    }
+  };
+
+  ForEachCollection(ctx.program, [&](const Collection& c) {
+    guards.clear();
+    seed_guards(c);
+    if (c.body) walk(*c.body, 0, nullptr);
+  });
+  guards.clear();
+  if (ctx.program.main.sentence) {
+    walk(*ctx.program.main.sentence, 0, nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// W103 — duplicate-sensitive aggregates (set vs. bag)
+// ---------------------------------------------------------------------------
+
+void PassDuplicateSensitiveAggregate(const LintContext& ctx,
+                                     std::vector<Diagnostic>* out) {
+  ForEachScope(ctx.program, [&](const ScopeVisit& v) {
+    if (!v.q->grouping.has_value() || !v.q->body) return;
+    if (!ScopeDupSensitive(ctx, *v.q)) return;
+    std::vector<const Formula*> preds;
+    CollectScopePredicates(*v.q->body, &preds);
+    for (const Formula* p : preds) {
+      std::vector<const Term*> aggs;
+      CollectAggsInPredicate(*p, &aggs);
+      if (aggs.empty()) continue;
+      // Count-vs-threshold filters that only test emptiness are
+      // duplicate-insensitive (count >= 1 ⇔ exists).
+      auto probe = ProbeCountThreshold(*p, 1, 17);
+      if (probe.has_value() && AllEqual(*probe)) continue;
+      for (const Term* agg : aggs) {
+        switch (agg->agg_func) {
+          case AggFunc::kCount:
+          case AggFunc::kCountStar:
+          case AggFunc::kSum:
+          case AggFunc::kAvg:
+            break;
+          default:
+            continue;  // min/max and *distinct ignore multiplicity
+        }
+        Finding(out, Severity::kWarning, "ARC-W103",
+                std::string(AggFuncName(agg->agg_func)) +
+                    " in '" + RenderPredicate(*p) +
+                    "' observes input multiplicities: the result diverges "
+                    "between set and bag interpretation (§2.7) when its "
+                    "scope enumerates duplicate rows — use " +
+                    (agg->agg_func == AggFunc::kCount ||
+                             agg->agg_func == AggFunc::kCountStar
+                         ? "countdistinct"
+                         : "a *distinct aggregate") +
+                    " if duplicates must not count",
+                agg);
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// W104 — empty-group aggregate initialization (Eq. 15)
+// ---------------------------------------------------------------------------
+
+void PassEmptyAggregateSensitivity(const LintContext& ctx,
+                                   std::vector<Diagnostic>* out) {
+  const HeadAttrSet killed_heads = KilledHeads(ctx);
+  ForEachScope(ctx.program, [&](const ScopeVisit& v) {
+    if (!IsGammaEmpty(*v.q) || !v.q->body) return;
+    if (SelfJoinGuaranteesGroup(ctx, v, killed_heads)) return;
+    std::vector<std::pair<const Formula*, int>> preds;
+    CollectScopePredicatesWithParity(*v.q->body, 0, &preds);
+    for (const auto& [p, parity] : preds) {
+      std::vector<const Term*> aggs;
+      CollectAggsInPredicate(*p, &aggs);
+      for (const Term* agg : aggs) {
+        switch (agg->agg_func) {
+          case AggFunc::kSum:
+          case AggFunc::kAvg:
+          case AggFunc::kSumDistinct:
+          case AggFunc::kAvgDistinct:
+            break;
+          default:
+            continue;  // count → 0 either way; min/max stay null
+        }
+        // Aggregate-vs-literal *filters* only diverge when the neutral
+        // element (0) makes the comparison definite-included where NULL's
+        // unknown excluded — i.e. truth(0 ⊗ k) must be true at even NOT
+        // parity (false at odd). A filter like sum(…) >= 3 excludes the
+        // empty group under both conventions: no divergence.
+        auto truth_at_zero = TruthWithAggValue(*p, 0);
+        if (truth_at_zero.has_value() &&
+            *truth_at_zero == (parity % 2 == 1)) {
+          continue;
+        }
+        Finding(out, Severity::kWarning, "ARC-W104",
+                std::string(AggFuncName(agg->agg_func)) + " in '" +
+                    RenderPredicate(*p) +
+                    "' sits in a gamma() scope, which produces one group "
+                    "even over empty input: the aggregate is NULL under "
+                    "SQL conventions but the neutral element (0) under "
+                    "Soufflé conventions (Eq. 15) — results diverge when "
+                    "the input can be empty",
+                agg);
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// W105 — non-monotone self-reference → naive fixpoint (note)
+// ---------------------------------------------------------------------------
+
+void PassNonMonotoneRecursion(const LintContext& ctx,
+                              std::vector<Diagnostic>* out) {
+  ForEachCollection(ctx.program, [&](const Collection& c) {
+    auto it = ctx.analysis.collections.find(&c);
+    if (it == ctx.analysis.collections.end() || !it->second.is_recursive) {
+      return;
+    }
+    // Mirror the evaluator's monotonicity test: a self-reference under
+    // negation or inside a grouped scope defeats delta-driven evaluation.
+    bool monotone = true;
+    const Binding* bad_site = nullptr;
+    std::function<void(const Formula&, bool, bool)> scan =
+        [&](const Formula& f, bool negated, bool grouped) {
+          switch (f.kind) {
+            case FormulaKind::kAnd:
+            case FormulaKind::kOr:
+              for (const FormulaPtr& ch : f.children) {
+                scan(*ch, negated, grouped);
+              }
+              return;
+            case FormulaKind::kNot:
+              if (f.child) scan(*f.child, true, grouped);
+              return;
+            case FormulaKind::kExists: {
+              if (!f.quantifier) return;
+              const bool in_group =
+                  grouped || f.quantifier->grouping.has_value();
+              for (const Binding& b : f.quantifier->bindings) {
+                if (b.range_kind == RangeKind::kNamed &&
+                    EqualsIgnoreCase(b.relation, c.head.relation) &&
+                    (negated || in_group)) {
+                  monotone = false;
+                  if (bad_site == nullptr) bad_site = &b;
+                }
+                if (b.collection && b.collection->body &&
+                    !EqualsIgnoreCase(b.collection->head.relation,
+                                      c.head.relation)) {
+                  scan(*b.collection->body, negated, in_group);
+                }
+              }
+              if (f.quantifier->body) {
+                scan(*f.quantifier->body, negated, in_group);
+              }
+              return;
+            }
+            default:
+              return;
+          }
+        };
+    if (c.body) scan(*c.body, false, false);
+    if (!monotone) {
+      Finding(out, Severity::kNote, "ARC-W105",
+              "recursive collection '" + c.head.relation +
+                  "' has a non-monotone self-reference (under negation or "
+                  "aggregation): delta-driven (semi-naive) fixpoint "
+                  "evaluation is unsound here and the evaluator falls back "
+                  "to the naive oracle (§2.9)",
+              bad_site != nullptr ? static_cast<const void*>(bad_site)
+                                  : static_cast<const void*>(&c),
+              bad_site != nullptr ? bad_site->line : c.line);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// W106 — unused bindings
+// ---------------------------------------------------------------------------
+
+void PassUnusedBinding(const LintContext& ctx, std::vector<Diagnostic>* out) {
+  ForEachScope(ctx.program, [&](const ScopeVisit& v) {
+    if (!v.q->body) return;
+    // count(*) makes every binding's cardinality observable.
+    std::vector<const Formula*> preds;
+    CollectScopePredicates(*v.q->body, &preds);
+    for (const Formula* p : preds) {
+      std::vector<const Term*> aggs;
+      CollectAggsInPredicate(*p, &aggs);
+      for (const Term* agg : aggs) {
+        if (agg->agg_func == AggFunc::kCountStar) return;
+      }
+    }
+    NameSet used;
+    CollectVarNamesDeep(*v.q->body, &used);
+    if (v.q->grouping.has_value()) {
+      for (const TermPtr& k : v.q->grouping->keys) {
+        std::vector<const Term*> refs;
+        CollectRefs(*k, &refs);
+        for (const Term* r : refs) used.insert(r->var);
+      }
+    }
+    if (v.q->join_tree) {
+      std::vector<std::string> jvars;
+      v.q->join_tree->CollectVars(&jvars);
+      for (std::string& j : jvars) used.insert(std::move(j));
+    }
+    // Later sibling bindings' nested collections may reference earlier
+    // bindings laterally; CollectVarNamesDeep over the body does not see
+    // them, so add them here.
+    for (const Binding& b : v.q->bindings) {
+      if (b.collection) CollectVarNamesDeepColl(*b.collection, &used);
+    }
+    for (const Binding& b : v.q->bindings) {
+      if (used.count(b.var) > 0) continue;
+      Finding(out, Severity::kWarning, "ARC-W106",
+              "binding '" + b.var + "'" +
+                  (b.range_kind == RangeKind::kNamed
+                       ? " over '" + b.relation + "'"
+                       : "") +
+                  " is never referenced: it acts as a pure existence / "
+                  "multiplicity factor (under bag interpretation it still "
+                  "multiplies row counts)",
+              &b);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// W107 — disconnected join graph (cartesian product)
+// ---------------------------------------------------------------------------
+
+void PassCartesianJoin(const LintContext& ctx, std::vector<Diagnostic>* out) {
+  ForEachScope(ctx.program, [&](const ScopeVisit& v) {
+    if (v.q->bindings.size() < 2 || v.q->join_tree != nullptr || !v.q->body) {
+      return;
+    }
+    NameSet scope_vars = ScopeVarSet(*v.q);
+    NameSet heads = AllHeadNames(ctx.program);
+    // Union-find over lowercased binding vars.
+    std::unordered_map<std::string, std::string> parent;
+    std::function<std::string(const std::string&)> find =
+        [&](const std::string& x) -> std::string {
+      auto it = parent.find(x);
+      if (it == parent.end() || it->second == x) return x;
+      return it->second = find(it->second);
+    };
+    auto unite = [&](const std::string& a, const std::string& b) {
+      parent[find(a)] = find(b);
+    };
+    for (const Binding& b : v.q->bindings) parent[ToLower(b.var)] = ToLower(b.var);
+
+    // A conjunct (or any non-conjunctive unit) referencing several scope
+    // vars connects them; shared correlation anchors (two bindings tied to
+    // the same outer variable) connect too.
+    std::unordered_map<std::string, std::string> outer_anchor;
+    auto connect_unit = [&](const Formula& unit) {
+      NameSet used;
+      CollectVarNamesDeep(unit, &used);
+      std::vector<std::string> in_scope;
+      std::vector<std::string> outer;
+      for (const std::string& u : used) {
+        if (scope_vars.count(u) > 0) {
+          in_scope.push_back(ToLower(u));
+        } else if (heads.count(u) == 0) {
+          outer.push_back(ToLower(u));
+        }
+      }
+      for (size_t i = 1; i < in_scope.size(); ++i) {
+        unite(in_scope[0], in_scope[i]);
+      }
+      if (in_scope.size() == 1) {
+        for (const std::string& o : outer) {
+          auto [it, inserted] = outer_anchor.emplace(o, in_scope[0]);
+          if (!inserted) unite(it->second, in_scope[0]);
+        }
+      }
+    };
+    std::function<void(const Formula&)> units = [&](const Formula& f) {
+      if (f.kind == FormulaKind::kAnd) {
+        for (const FormulaPtr& c : f.children) units(*c);
+        return;
+      }
+      connect_unit(f);
+    };
+    units(*v.q->body);
+    // Lateral correlation: a nested collection referencing a sibling.
+    for (const Binding& b : v.q->bindings) {
+      if (!b.collection) continue;
+      NameSet used;
+      CollectVarNamesDeepColl(*b.collection, &used);
+      for (const std::string& u : used) {
+        if (scope_vars.count(u) > 0 && !EqualsIgnoreCase(u, b.var)) {
+          unite(ToLower(b.var), ToLower(u));
+        }
+      }
+    }
+    NameSet roots;
+    for (const Binding& b : v.q->bindings) roots.insert(find(ToLower(b.var)));
+    if (roots.size() < 2) return;
+    std::vector<std::string> names;
+    for (const Binding& b : v.q->bindings) names.push_back(b.var);
+    Finding(out, Severity::kWarning, "ARC-W107",
+            "bindings " +
+                JoinMapped(names, ", ",
+                           [](const std::string& n) { return "'" + n + "'"; }) +
+                " split into " + std::to_string(roots.size()) +
+                " unconnected groups: the scope enumerates their cartesian "
+                "product — add join predicates or a join annotation if "
+                "intended",
+            &v.q->bindings.front());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// W108 — unknown relation typo suggestions
+// ---------------------------------------------------------------------------
+
+int EditDistance(const std::string& a, const std::string& b) {
+  const std::string x = ToLower(a);
+  const std::string y = ToLower(b);
+  std::vector<int> prev(y.size() + 1);
+  std::vector<int> cur(y.size() + 1);
+  for (size_t j = 0; j <= y.size(); ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= x.size(); ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= y.size(); ++j) {
+      const int sub = prev[j - 1] + (x[i - 1] == y[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[y.size()];
+}
+
+void PassUnknownRelationSuggestion(const LintContext& ctx,
+                                   std::vector<Diagnostic>* out) {
+  std::vector<std::string> candidates;
+  if (ctx.options.database != nullptr) {
+    for (const std::string& n : ctx.options.database->Names()) {
+      candidates.push_back(n);
+    }
+  }
+  for (const Definition& d : ctx.program.definitions) {
+    if (d.collection) candidates.push_back(d.collection->head.relation);
+  }
+  if (ctx.program.main.collection) {
+    candidates.push_back(ctx.program.main.collection->head.relation);
+  }
+  for (const std::string& n : ctx.externals.Names()) candidates.push_back(n);
+  if (candidates.empty()) return;
+
+  ForEachScope(ctx.program, [&](const ScopeVisit& v) {
+    for (const Binding& b : v.q->bindings) {
+      if (b.range_kind != RangeKind::kNamed) continue;
+      if (RangeOf(ctx, b) != RangeClass::kUnknown) continue;
+      const std::string* best = nullptr;
+      int best_d = 3;  // suggest within edit distance 2
+      for (const std::string& cand : candidates) {
+        if (EqualsIgnoreCase(cand, b.relation)) continue;
+        const int d = EditDistance(cand, b.relation);
+        if (d < best_d &&
+            d < static_cast<int>(std::max(cand.size(), b.relation.size()))) {
+          best_d = d;
+          best = &cand;
+        }
+      }
+      if (best == nullptr) continue;
+      Finding(out, Severity::kNote, "ARC-W108",
+              "unknown relation '" + b.relation + "'; did you mean '" +
+                  *best + "'?",
+              &b);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// W109 — count-bug decorrelation (Fig. 21b)
+// ---------------------------------------------------------------------------
+
+bool HasOuterJoinAnnotation(const JoinNode& n) {
+  if (n.kind == JoinKind::kLeft || n.kind == JoinKind::kFull) return true;
+  for (const JoinNodePtr& c : n.children) {
+    if (HasOuterJoinAnnotation(*c)) return true;
+  }
+  return false;
+}
+
+/// Head attributes of `c` assigned directly from one of its grouping keys
+/// (the group identity carried into the output).
+NameSet GroupKeyOutputs(const Collection& c) {
+  NameSet outs;
+  if (!c.body || c.body->kind != FormulaKind::kExists ||
+      !c.body->quantifier || !c.body->quantifier->grouping.has_value()) {
+    return outs;
+  }
+  const Quantifier& q = *c.body->quantifier;
+  auto is_key = [&](const Term& t) {
+    for (const TermPtr& k : q.grouping->keys) {
+      if (k->kind == TermKind::kAttrRef &&
+          EqualsIgnoreCase(k->var, t.var) &&
+          EqualsIgnoreCase(k->attr, t.attr)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::vector<const Formula*> preds;
+  if (q.body) CollectScopePredicates(*q.body, &preds);
+  for (const Formula* p : preds) {
+    if (p->kind != FormulaKind::kPredicate ||
+        p->cmp_op != data::CmpOp::kEq || !p->lhs || !p->rhs) {
+      continue;
+    }
+    for (bool head_left : {true, false}) {
+      const Term& h = head_left ? *p->lhs : *p->rhs;
+      const Term& val = head_left ? *p->rhs : *p->lhs;
+      if (h.kind == TermKind::kAttrRef &&
+          EqualsIgnoreCase(h.var, c.head.relation) &&
+          val.kind == TermKind::kAttrRef && is_key(val)) {
+        outs.insert(h.attr);
+      }
+    }
+  }
+  return outs;
+}
+
+bool CollectionHasAggregate(const Collection& c) {
+  bool found = false;
+  std::function<void(const Formula&)> walk = [&](const Formula& f) {
+    if (found) return;
+    switch (f.kind) {
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        for (const FormulaPtr& ch : f.children) walk(*ch);
+        return;
+      case FormulaKind::kNot:
+        if (f.child) walk(*f.child);
+        return;
+      case FormulaKind::kExists:
+        if (f.quantifier && f.quantifier->body) walk(*f.quantifier->body);
+        return;
+      default:
+        if (f.ContainsAggregate()) found = true;
+        return;
+    }
+  };
+  if (c.body) walk(*c.body);
+  return found;
+}
+
+void PassCountBugDecorrelation(const LintContext& ctx,
+                               std::vector<Diagnostic>* out) {
+  ForEachScope(ctx.program, [&](const ScopeVisit& v) {
+    if (!v.q->body) return;
+    if (v.q->join_tree != nullptr && HasOuterJoinAnnotation(*v.q->join_tree)) {
+      return;  // the outer scope already preserves partners
+    }
+    for (const Binding& x : v.q->bindings) {
+      if (x.range_kind != RangeKind::kCollection || !x.collection) continue;
+      const Collection& c = *x.collection;
+      if (!c.body || c.body->kind != FormulaKind::kExists ||
+          !c.body->quantifier) {
+        continue;
+      }
+      const Quantifier& qc = *c.body->quantifier;
+      if (!qc.grouping.has_value() || qc.grouping->keys.empty()) continue;
+      if (qc.join_tree != nullptr && HasOuterJoinAnnotation(*qc.join_tree)) {
+        continue;  // Fig. 21c: empty groups restored by the left join
+      }
+      if (!CollectionHasAggregate(c)) continue;
+      NameSet key_outs = GroupKeyOutputs(c);
+      if (key_outs.empty()) continue;
+      // An equi-join between x.<key output> and a sibling binding re-joins
+      // the grouped result: partners whose group is empty are dropped.
+      std::vector<const Formula*> preds;
+      CollectScopePredicates(*v.q->body, &preds);
+      for (const Formula* p : preds) {
+        if (p->kind != FormulaKind::kPredicate ||
+            p->cmp_op != data::CmpOp::kEq || !p->lhs || !p->rhs) {
+          continue;
+        }
+        for (bool x_left : {true, false}) {
+          const Term& xs = x_left ? *p->lhs : *p->rhs;
+          const Term& other = x_left ? *p->rhs : *p->lhs;
+          if (xs.kind != TermKind::kAttrRef ||
+              !EqualsIgnoreCase(xs.var, x.var) ||
+              key_outs.count(xs.attr) == 0) {
+            continue;
+          }
+          if (other.kind != TermKind::kAttrRef) continue;
+          bool other_is_sibling = false;
+          for (const Binding& w : v.q->bindings) {
+            if (&w != &x && EqualsIgnoreCase(w.var, other.var)) {
+              other_is_sibling = true;
+            }
+          }
+          if (!other_is_sibling) continue;
+          Finding(out, Severity::kWarning, "ARC-W109",
+                  "'" + RenderPredicate(*p) +
+                      "' joins the grouped subquery '" + c.head.relation +
+                      "' back on its grouping key: rows of '" + other.var +
+                      "' with no group (empty input) silently disappear "
+                      "(count-bug decorrelation, Fig. 21b) — preserve them "
+                      "with a left-join annotation inside the subquery "
+                      "(Fig. 21c)",
+                  p);
+        }
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// W110 — constant / vacuous predicates
+// ---------------------------------------------------------------------------
+
+void PassVacuousPredicate(const LintContext& ctx,
+                          std::vector<Diagnostic>* out) {
+  std::function<void(const Formula&)> walk = [&](const Formula& f) {
+    switch (f.kind) {
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        for (const FormulaPtr& c : f.children) walk(*c);
+        return;
+      case FormulaKind::kNot:
+        if (f.child) walk(*f.child);
+        return;
+      case FormulaKind::kExists:
+        if (f.quantifier && f.quantifier->body) walk(*f.quantifier->body);
+        return;
+      case FormulaKind::kPredicate: {
+        if (f.lhs && f.rhs && f.lhs->kind == TermKind::kLiteral &&
+            f.rhs->kind == TermKind::kLiteral) {
+          Finding(out, Severity::kNote, "ARC-W110",
+                  "predicate '" + RenderPredicate(f) +
+                      "' compares two literals: its value is constant",
+                  &f);
+          return;
+        }
+        // count ⊗ literal thresholds that hold for every count 0..17 (e.g.
+        // count(*) >= 0) never filter anything.
+        auto probe = ProbeCountThreshold(f, 0, 17);
+        if (probe.has_value() && AllEqual(*probe)) {
+          Finding(out, Severity::kNote, "ARC-W110",
+                  "aggregate threshold '" + RenderPredicate(f) + "' is " +
+                      (probe->front() ? "always true" : "never true") +
+                      " for any group size: the predicate is vacuous",
+                  &f);
+        }
+        return;
+      }
+      case FormulaKind::kNullTest:
+        return;
+    }
+  };
+  ForEachCollection(ctx.program, [&](const Collection& c) {
+    if (c.body) walk(*c.body);
+  });
+  if (ctx.program.main.sentence) walk(*ctx.program.main.sentence);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registry and driver
+// ---------------------------------------------------------------------------
+
+const char* ConventionDimensionName(ConventionDimension d) {
+  switch (d) {
+    case ConventionDimension::kMultiplicity:
+      return "multiplicity";
+    case ConventionDimension::kNullLogic:
+      return "null-logic";
+    case ConventionDimension::kEmptyAggregate:
+      return "empty-aggregate";
+  }
+  return "?";
+}
+
+const char* LintCategoryName(LintCategory c) {
+  switch (c) {
+    case LintCategory::kTrapShape:
+      return "trap-shape";
+    case LintCategory::kConvention:
+      return "convention";
+    case LintCategory::kHygiene:
+      return "hygiene";
+    case LintCategory::kInfo:
+      return "info";
+  }
+  return "?";
+}
+
+const std::vector<LintPass>& LintPasses() {
+  static const std::vector<LintPass>* passes = new std::vector<LintPass>{
+      {"ARC-W101", "count-bug-shape",
+       "correlated gamma() aggregate comparison (Fig. 21a)",
+       LintCategory::kTrapShape, std::nullopt, PassCountBugShape},
+      {"ARC-W102", "null-comparison-under-negation",
+       "comparison under negation diverges between 3VL and 2VL on NULLs",
+       LintCategory::kConvention, ConventionDimension::kNullLogic,
+       PassNullNegation},
+      {"ARC-W103", "duplicate-sensitive-aggregate",
+       "aggregate observes multiplicities: set vs. bag results diverge",
+       LintCategory::kConvention, ConventionDimension::kMultiplicity,
+       PassDuplicateSensitiveAggregate},
+      {"ARC-W104", "empty-aggregate-initialization",
+       "sum/avg over a possibly-empty gamma() group: NULL vs. 0 (Eq. 15)",
+       LintCategory::kConvention, ConventionDimension::kEmptyAggregate,
+       PassEmptyAggregateSensitivity},
+      {"ARC-W105", "non-monotone-recursion",
+       "self-reference under negation/aggregation forces the naive fixpoint",
+       LintCategory::kInfo, std::nullopt, PassNonMonotoneRecursion},
+      {"ARC-W106", "unused-binding",
+       "range variable never referenced (pure multiplicity factor)",
+       LintCategory::kHygiene, std::nullopt, PassUnusedBinding},
+      {"ARC-W107", "cartesian-join",
+       "bindings with no connecting predicate form a cartesian product",
+       LintCategory::kHygiene, std::nullopt, PassCartesianJoin},
+      {"ARC-W108", "unknown-relation-suggestion",
+       "unknown relation name close to a known one (typo suggestion)",
+       LintCategory::kInfo, std::nullopt, PassUnknownRelationSuggestion},
+      {"ARC-W109", "count-bug-decorrelation",
+       "inner join with a grouped subquery on its key drops empty groups "
+       "(Fig. 21b)",
+       LintCategory::kTrapShape, std::nullopt, PassCountBugDecorrelation},
+      {"ARC-W110", "vacuous-predicate",
+       "predicate whose truth value is constant",
+       LintCategory::kHygiene, std::nullopt, PassVacuousPredicate},
+  };
+  return *passes;
+}
+
+const LintPass* FindLintPass(std::string_view code) {
+  for (const LintPass& p : LintPasses()) {
+    if (code == p.code) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<Diagnostic> LintResult::All() const {
+  std::vector<Diagnostic> all = analysis.diagnostics;
+  all.insert(all.end(), findings.begin(), findings.end());
+  return all;
+}
+
+bool LintResult::ok() const {
+  if (!analysis.ok()) return false;
+  for (const Diagnostic& d : findings) {
+    if (d.severity == Severity::kError) return false;
+  }
+  return true;
+}
+
+LintResult Lint(const Program& program, const LintOptions& options) {
+  LintResult result;
+  result.analysis = Analyze(program, options.analyze);
+  ExternalRegistry default_externals;
+  const ExternalRegistry* externals = options.analyze.externals;
+  if (externals == nullptr) {
+    default_externals = ExternalRegistry::Builtins();
+    externals = &default_externals;
+  }
+  LintContext ctx{program, result.analysis, options.analyze, *externals};
+  for (const LintPass& pass : LintPasses()) {
+    bool disabled = false;
+    for (const std::string& code : options.disabled) {
+      if (code == pass.code) disabled = true;
+    }
+    if (disabled) continue;
+    pass.run(ctx, &result.findings);
+  }
+  DeduplicateDiagnostics(&result.findings);
+  return result;
+}
+
+namespace {
+
+void CountBySeverity(const std::vector<Diagnostic>& ds, int* errors,
+                     int* warnings, int* notes) {
+  for (const Diagnostic& d : ds) {
+    switch (d.severity) {
+      case Severity::kError:
+        ++*errors;
+        break;
+      case Severity::kWarning:
+        ++*warnings;
+        break;
+      case Severity::kNote:
+        ++*notes;
+        break;
+    }
+  }
+}
+
+std::string Plural(int n, const char* noun) {
+  return std::to_string(n) + " " + noun + (n == 1 ? "" : "s");
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string LintToText(const LintResult& result) {
+  std::string out;
+  for (const Diagnostic& d : result.All()) {
+    out += DiagnosticToString(d);
+    out += "\n";
+  }
+  int errors = 0;
+  int warnings = 0;
+  int notes = 0;
+  CountBySeverity(result.All(), &errors, &warnings, &notes);
+  out += Plural(errors, "error") + ", " + Plural(warnings, "warning") + ", " +
+         Plural(notes, "note") + "\n";
+  return out;
+}
+
+std::string LintToJson(const LintResult& result) {
+  std::string out = "{\"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : result.All()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"severity\": \"";
+    out += SeverityName(d.severity);
+    out += "\", \"code\": \"" + JsonEscape(d.code) + "\"";
+    if (d.line > 0) out += ", \"line\": " + std::to_string(d.line);
+    const LintPass* pass = FindLintPass(d.code);
+    if (pass != nullptr) {
+      out += ", \"category\": \"";
+      out += LintCategoryName(pass->category);
+      out += "\"";
+      out += ", \"pass\": \"" + JsonEscape(pass->name) + "\"";
+    }
+    out += ", \"message\": \"" + JsonEscape(d.message) + "\"}";
+  }
+  int errors = 0;
+  int warnings = 0;
+  int notes = 0;
+  CountBySeverity(result.All(), &errors, &warnings, &notes);
+  out += "], \"errors\": " + std::to_string(errors) +
+         ", \"warnings\": " + std::to_string(warnings) +
+         ", \"notes\": " + std::to_string(notes) + "}\n";
+  return out;
+}
+
+}  // namespace arc

@@ -1,0 +1,113 @@
+// ArcLint: a static-analysis pass framework layered on the resolved
+// Analysis. Where Analyze() enforces ARC's *structural* rules (unbound
+// variables, unsafe heads, grouping legality — hard errors), the lint
+// passes detect *semantic traps*: query shapes that are well-formed but
+// historically produce wrong results when rewritten, ported between
+// engines, or run under a different interpretation convention (§2.6/§2.7,
+// §3.2 of the paper).
+//
+// Every pass emits structured Diagnostics with a stable ARC-W1## code and
+// node provenance. Passes fall into categories:
+//   * trap shapes      — the count-bug family (Fig. 21),
+//   * convention       — results diverge under set/bag, 3VL/2VL, or
+//                        empty-aggregate conventions; these warnings are
+//                        differentially validated (see
+//                        translate/differential.h): each one must be
+//                        realizable on a concrete instance,
+//   * hygiene          — unused bindings, cartesian products, vacuous
+//                        predicates,
+//   * informational    — typo suggestions, evaluation-strategy notes.
+//
+// The full catalog with examples lives in LINTS.md.
+#ifndef ARC_ARC_LINT_H_
+#define ARC_ARC_LINT_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arc/analyze.h"
+#include "arc/ast.h"
+#include "arc/external.h"
+
+namespace arc {
+
+/// The orthogonal convention axis (§2.6/§2.7) a finding is sensitive to.
+enum class ConventionDimension {
+  kMultiplicity,    // set vs. bag
+  kNullLogic,       // three-valued vs. two-valued
+  kEmptyAggregate,  // aggregate over ∅: NULL vs. neutral element
+};
+const char* ConventionDimensionName(ConventionDimension d);
+
+enum class LintCategory {
+  kTrapShape,   // count-bug family shapes (Fig. 21)
+  kConvention,  // convention-sensitive; differentially validated
+  kHygiene,     // unused / cartesian / vacuous
+  kInfo,        // suggestions and evaluation notes
+};
+const char* LintCategoryName(LintCategory c);
+
+/// Everything a pass sees. The analysis side tables may be partial when the
+/// analyzer reported errors; passes look nodes up defensively.
+struct LintContext {
+  const Program& program;
+  const Analysis& analysis;
+  const AnalyzeOptions& options;
+  const ExternalRegistry& externals;
+};
+
+struct LintPass {
+  const char* code;     // "ARC-W101"
+  const char* name;     // short kebab-case identifier, e.g. "count-bug-shape"
+  const char* summary;  // one line for `arctool lint --list`
+  LintCategory category = LintCategory::kHygiene;
+  /// Set for kConvention passes: the axis whose choice changes the result.
+  std::optional<ConventionDimension> dimension;
+  /// Appends findings (with code == this->code) to `out`.
+  std::function<void(const LintContext&, std::vector<Diagnostic>*)> run;
+};
+
+/// The registered passes, in code order.
+const std::vector<LintPass>& LintPasses();
+
+/// Finds a pass by its diagnostic code ("ARC-W101"); nullptr if unknown.
+const LintPass* FindLintPass(std::string_view code);
+
+struct LintOptions {
+  AnalyzeOptions analyze;
+  /// Diagnostic codes of passes to skip ("ARC-W106", ...).
+  std::vector<std::string> disabled;
+};
+
+struct LintResult {
+  /// Resolution + structural diagnostics (Analyze output).
+  Analysis analysis;
+  /// Lint findings only (ARC-W1## codes).
+  std::vector<Diagnostic> findings;
+
+  /// Structural diagnostics followed by lint findings.
+  std::vector<Diagnostic> All() const;
+  /// True when neither the analyzer nor any pass reported an error.
+  bool ok() const;
+};
+
+/// Runs Analyze() and then every enabled pass. Passes run even when the
+/// analyzer reported errors (the typo-suggestion pass depends on it).
+LintResult Lint(const Program& program, const LintOptions& options = {});
+
+/// "error[ARC-E001] line 3: message" lines, analyzer first; ends with a
+/// one-line summary ("2 errors, 1 warning").
+std::string LintToText(const LintResult& result);
+
+/// Machine-readable rendering:
+///   {"diagnostics": [{"severity": "...", "code": "...", "line": N,
+///     "category": "...", "message": "..."}, ...],
+///    "errors": N, "warnings": N, "notes": N}
+std::string LintToJson(const LintResult& result);
+
+}  // namespace arc
+
+#endif  // ARC_ARC_LINT_H_

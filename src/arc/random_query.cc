@@ -126,6 +126,35 @@ class Generator {
     return MakeNot(MakeExists(std::move(q)));
   }
 
+  /// Correlated γ∅ scalar-aggregate condition — the count-bug shape of
+  /// Fig. 21a: ∃ h ∈ R, γ∅ [ h.a = v.b ∧ agg(h.c) ⊗ k ].
+  FormulaPtr RandomScalarAggCondition(const std::vector<BoundVar>& vars) {
+    const std::string relation = RandomRelation();
+    BoundVar inner{FreshVar(), AttrsOf(relation)};
+    auto q = std::make_unique<Quantifier>();
+    Binding b;
+    b.var = inner.var;
+    b.range_kind = RangeKind::kNamed;
+    b.relation = relation;
+    q->bindings.push_back(std::move(b));
+    q->grouping = Grouping{};  // γ∅: one group, even over empty input
+    std::vector<FormulaPtr> conjuncts;
+    const BoundVar& outer = RandomVar(vars);
+    conjuncts.push_back(MakePredicate(data::CmpOp::kEq,
+                                      dsl::Attr(inner.var, RandomAttr(inner)),
+                                      dsl::Attr(outer.var, RandomAttr(outer))));
+    TermPtr agg = Coin(0.5)
+                      ? MakeAggregate(AggFunc::kCountStar, nullptr)
+                      : MakeAggregate(AggFunc::kSum,
+                                      dsl::Attr(inner.var, RandomAttr(inner)));
+    conjuncts.push_back(MakePredicate(Coin(0.5) ? data::CmpOp::kGe
+                                                : data::CmpOp::kLe,
+                                      std::move(agg),
+                                      dsl::Int(1 + rng_.Below(8))));
+    q->body = MakeAnd(std::move(conjuncts));
+    return MakeExists(std::move(q));
+  }
+
   Result<CollectionPtr> GenCollection(const std::string& head_name, int depth,
                                       const std::vector<BoundVar>& outer) {
     auto q = std::make_unique<Quantifier>();
@@ -164,7 +193,13 @@ class Generator {
     if (Coin(0.7)) {
       std::vector<BoundVar> all = vars;
       for (const BoundVar& o : outer) all.push_back(o);
-      conjuncts.push_back(RandomFilter(all));
+      FormulaPtr filter = RandomFilter(all);
+      // Guarded so the default (0) consumes no RNG.
+      if (opts_.negated_filter_probability > 0 &&
+          Coin(opts_.negated_filter_probability)) {
+        filter = MakeNot(std::move(filter));
+      }
+      conjuncts.push_back(std::move(filter));
     }
     if (depth > 0 && Coin(opts_.negation_probability)) {
       conjuncts.push_back(RandomNegation(vars, depth));
@@ -228,6 +263,12 @@ class Generator {
         }
         conjuncts.push_back(MakePredicate(
             data::CmpOp::kEq, MakeAttrRef(head_name, out), std::move(value)));
+      }
+      // Guarded so the default (0) consumes no RNG and seeded corpora stay
+      // byte-identical to before the option existed.
+      if (opts_.scalar_agg_probability > 0 &&
+          Coin(opts_.scalar_agg_probability)) {
+        conjuncts.push_back(RandomScalarAggCondition(vars));
       }
     }
 

@@ -25,6 +25,15 @@ struct RandomQueryOptions {
   double disjunction_probability = 0.3;
   double nested_collection_probability = 0.3;
   double arithmetic_probability = 0.3;
+  /// Probability of adding a correlated γ∅ scalar-aggregate condition (the
+  /// count-bug shape of Fig. 21a) to an ungrouped scope. Default 0 keeps
+  /// the RNG stream (and thus every seeded corpus) identical to before the
+  /// option existed.
+  double scalar_agg_probability = 0.0;
+  /// Probability of wrapping a filter conjunct in NOT(...) — the shape
+  /// whose truth value diverges between three- and two-valued logic on
+  /// NULLs (§2.10). Default 0: RNG-stream preserving, like above.
+  double negated_filter_probability = 0.0;
 };
 
 /// Generates a random collection named "Q" ranging over the base relations

@@ -961,7 +961,7 @@ class EvalImpl {
     };
     if (b.range_kind == RangeKind::kNamed) {
       const std::string key = ToLower(b.relation);
-      if (abstract_defs_.count(key) > 0) {
+      if (abstract_defs_.contains(key)) {
         return EnumerateAbstract(b, conjuncts, recurse);
       }
       if (!IsKnownRelation(b.relation) &&
@@ -996,11 +996,10 @@ class EvalImpl {
 
   bool IsKnownRelation(const std::string& name) const {
     const std::string key = ToLower(name);
-    for (const auto& [n, rel] : overlay_) {
-      (void)rel;
-      if (n == key) return true;
+    for (const auto& entry : overlay_) {
+      if (entry.first == key) return true;
     }
-    return defs_.count(key) > 0 || db_.Has(name);
+    return defs_.contains(key) || db_.Has(name);
   }
 
   struct RangeRel {
@@ -1155,9 +1154,8 @@ class EvalImpl {
     const Collection* def = abstract_defs_.at(ToLower(b.relation));
     // Stable schema storage: fragments built by grouped scopes may outlive
     // this call.
-    auto [schema_it, schema_inserted] =
-        nested_schemas_.try_emplace(&b, Schema(def->head.attrs));
-    (void)schema_inserted;
+    auto schema_it =
+        nested_schemas_.try_emplace(&b, Schema(def->head.attrs)).first;
     const Schema& param_schema = schema_it->second;
     ARC_ASSIGN_OR_RETURN(BoundPattern pattern,
                          ExtractBoundPattern(b.var, param_schema, conjuncts));
@@ -1335,7 +1333,7 @@ class EvalImpl {
     const Binding& b = q.bindings[idx];
     if (b.range_kind == RangeKind::kNamed) {
       const std::string key = ToLower(b.relation);
-      if (abstract_defs_.count(key) > 0 || (!IsKnownRelation(b.relation) &&
+      if (abstract_defs_.contains(key) || (!IsKnownRelation(b.relation) &&
                                             externals_.Find(b.relation))) {
         // Externals/abstract modules inside grouping scopes reuse the
         // streaming enumerator; route through it.
@@ -1346,7 +1344,7 @@ class EvalImpl {
         auto recurse = [&]() -> Status {
           return MaterializeRec(q, filters_at, idx + 1, fragments);
         };
-        if (abstract_defs_.count(key) > 0) {
+        if (abstract_defs_.contains(key)) {
           return EnumerateAbstract(b, all_pre, recurse);
         }
         return EnumerateExternal(b, all_pre, recurse);
@@ -1550,10 +1548,10 @@ class EvalImpl {
     NodeLeaves(n, &here_vars, &here_lits);
     auto covers = [&]() {
       for (const std::string& v : vars) {
-        if (here_vars.count(v) == 0) return false;
+        if (!here_vars.contains(v)) return false;
       }
       for (const JoinNode* l : lits) {
-        if (here_lits.count(l) == 0) return false;
+        if (!here_lits.contains(l)) return false;
       }
       return true;
     };
@@ -1616,17 +1614,15 @@ class EvalImpl {
   /// Schema for a binding, stable for the lifetime of the evaluation.
   Result<const Schema*> BindingSchema(const Binding& b) {
     if (b.range_kind == RangeKind::kCollection) {
-      auto [it, inserted] = nested_schemas_.try_emplace(
-          &b, Schema(b.collection->head.attrs));
-      (void)inserted;
+      auto it = nested_schemas_.try_emplace(
+          &b, Schema(b.collection->head.attrs)).first;
       return &it->second;
     }
     const std::string key = ToLower(b.relation);
     auto cached = named_schemas_.find(key);
     if (cached != named_schemas_.end()) return &cached->second;
     ARC_ASSIGN_OR_RETURN(RangeRel range, ResolveRange(b));
-    auto [it, inserted] = named_schemas_.emplace(key, range.rel->schema());
-    (void)inserted;
+    auto it = named_schemas_.emplace(key, range.rel->schema()).first;
     return &it->second;
   }
 
@@ -1649,7 +1645,7 @@ class EvalImpl {
         }
         if (binding->range_kind == RangeKind::kNamed) {
           const std::string key = ToLower(binding->relation);
-          if (abstract_defs_.count(key) > 0 ||
+          if (abstract_defs_.contains(key) ||
               (!IsKnownRelation(binding->relation) &&
                externals_.Find(binding->relation) != nullptr)) {
             return Unsupported(

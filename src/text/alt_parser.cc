@@ -42,6 +42,28 @@ Result<std::vector<Line>> SplitIndented(std::string_view input) {
   return lines;
 }
 
+/// Stamps `line` onto every span-less node of a term tree (terms parsed out
+/// of one ALT line all live on that line).
+void StampTerm(Term* t, int line) {
+  if (t == nullptr) return;
+  if (t->line == 0) t->line = line;
+  StampTerm(t->lhs.get(), line);
+  StampTerm(t->rhs.get(), line);
+  StampTerm(t->agg_arg.get(), line);
+}
+
+/// Stamps `line` onto a predicate-level formula (kPredicate / kNullTest and
+/// their terms). Deeper structure keeps its own lines.
+void StampPredicate(Formula* f, int line) {
+  if (f == nullptr) return;
+  if (f->line == 0) f->line = line;
+  StampTerm(f->lhs.get(), line);
+  StampTerm(f->rhs.get(), line);
+  StampTerm(f->null_arg.get(), line);
+  for (FormulaPtr& c : f->children) StampPredicate(c.get(), line);
+  StampPredicate(f->child.get(), line);
+}
+
 class AltParser {
  public:
   explicit AltParser(std::vector<Line> lines) : lines_(std::move(lines)) {}
@@ -101,13 +123,15 @@ class AltParser {
   /// COLLECTION at `indent`, with HEAD and body at indent+1.
   Result<CollectionPtr> Collection_(int indent) {
     if (!CheckAt(indent, "COLLECTION")) return ErrorHere("expected COLLECTION");
-    Advance();
+    const int line = Advance().number;
     if (!CheckAt(indent + 1, "HEAD: ")) return ErrorHere("expected HEAD:");
     const std::string head_text = Advance().content.substr(6);
     Head head;
     ARC_RETURN_IF_ERROR(ParseHead(head_text, &head));
     ARC_ASSIGN_OR_RETURN(FormulaPtr body, Formula_(indent + 1));
-    return MakeCollection(std::move(head), std::move(body));
+    CollectionPtr coll = MakeCollection(std::move(head), std::move(body));
+    coll->line = line;
+    return coll;
   }
 
   static Status ParseHead(const std::string& text, Head* head) {
@@ -152,18 +176,24 @@ class AltParser {
         ARC_ASSIGN_OR_RETURN(FormulaPtr c, Formula_(indent + 1));
         children.push_back(std::move(c));
       }
-      return line.content == "AND" ? MakeAnd(std::move(children))
-                                   : MakeOr(std::move(children));
+      FormulaPtr f = line.content == "AND" ? MakeAnd(std::move(children))
+                                           : MakeOr(std::move(children));
+      f->line = line.number;
+      return f;
     }
     if (line.content == "NOT") {
       ARC_ASSIGN_OR_RETURN(FormulaPtr child, Formula_(indent + 1));
-      return MakeNot(std::move(child));
+      FormulaPtr f = MakeNot(std::move(child));
+      f->line = line.number;
+      return f;
     }
     if (StartsWith(line.content, "QUANTIFIER")) {
-      return Quantifier_(indent);
+      return Quantifier_(indent, line.number);
     }
     if (StartsWith(line.content, "PREDICATE: ")) {
-      return ParseFormula(line.content.substr(11));
+      ARC_ASSIGN_OR_RETURN(FormulaPtr f, ParseFormula(line.content.substr(11)));
+      StampPredicate(f.get(), line.number);
+      return f;
     }
     return ParseError("unknown ALT node at line " +
                       std::to_string(line.number) + ": '" + line.content +
@@ -171,7 +201,7 @@ class AltParser {
   }
 
   /// The QUANTIFIER line has been consumed; children are at indent+1.
-  Result<FormulaPtr> Quantifier_(int indent) {
+  Result<FormulaPtr> Quantifier_(int indent, int quantifier_line) {
     auto q = std::make_unique<Quantifier>();
     while (!AtEnd() && Peek().indent == indent + 1) {
       const Line& line = Peek();
@@ -185,6 +215,7 @@ class AltParser {
                             std::to_string(line.number));
         }
         b.var = spec.substr(0, in_pos);
+        b.line = line.number;
         std::string range = spec.substr(in_pos + 3);
         while (!range.empty() && range.front() == ' ') range.erase(range.begin());
         if (range.empty()) {
@@ -214,6 +245,7 @@ class AltParser {
                 start, comma == std::string::npos ? std::string::npos
                                                   : comma - start);
             ARC_ASSIGN_OR_RETURN(TermPtr term, ParseTerm(key));
+            StampTerm(term.get(), line.number);
             grouping.keys.push_back(std::move(term));
             if (comma == std::string::npos) break;
             start = comma + 1;
@@ -232,7 +264,9 @@ class AltParser {
       break;
     }
     ARC_ASSIGN_OR_RETURN(q->body, Formula_(indent + 1));
-    return MakeExists(std::move(q));
+    FormulaPtr f = MakeExists(std::move(q));
+    f->line = quantifier_line;
+    return f;
   }
 
   std::vector<Line> lines_;

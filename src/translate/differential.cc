@@ -1,0 +1,276 @@
+#include "translate/differential.h"
+
+#include <utility>
+
+#include "data/value.h"
+#include "eval/evaluator.h"
+#include "sql/eval.h"
+#include "translate/arc_to_sql.h"
+
+namespace arc::translate {
+
+namespace {
+
+using data::Relation;
+using data::Tuple;
+using data::Value;
+
+struct Mutant {
+  std::string name;
+  data::Database db;
+};
+
+Value Bumped(const Value& v) {
+  switch (v.kind()) {
+    case data::ValueKind::kInt:
+      return Value::Int(v.as_int() + 1);
+    case data::ValueKind::kDouble:
+      return Value::Double(v.as_double() + 1.0);
+    case data::ValueKind::kString:
+      return Value::String(v.as_string() + "x");
+    default:
+      return v;
+  }
+}
+
+data::Database WithRelation(const data::Database& db, const std::string& name,
+                            std::vector<Tuple> rows) {
+  data::Database out = db;
+  out.Put(name, Relation(db.GetPtr(name)->schema(), std::move(rows)));
+  return out;
+}
+
+/// The mutation menu. Deliberately decoupled from the warnings' internals:
+/// every mutant is tried for every dimension, in deterministic order, and
+/// the first divergence wins. Targets:
+///   * duplication mutants  — expose set-vs-bag sensitivity,
+///   * a "dup + bumped copy" mutant — exposes avg (invariant under uniform
+///     duplication: avg{v,v} = avg{v}, but avg{v,v,w} ≠ avg{v,w}),
+///   * NULL injections      — expose 3VL-vs-2VL sensitivity,
+///   * emptied relations    — expose empty-aggregate initialization.
+std::vector<Mutant> BuildMutants(const data::Database& db) {
+  std::vector<Mutant> out;
+  out.push_back({"identity", db});
+  for (const std::string& name : db.Names()) {
+    const Relation* rel = db.GetPtr(name);
+    const std::vector<Tuple>& rows = rel->rows();
+    const int width = rel->schema().size();
+    if (!rows.empty()) {
+      {
+        std::vector<Tuple> dup = rows;
+        dup.push_back(rows.front());
+        out.push_back({"dup-row(" + name + ")", WithRelation(db, name, dup)});
+      }
+      {
+        std::vector<Tuple> dup = rows;
+        dup.insert(dup.end(), rows.begin(), rows.end());
+        out.push_back({"dup-all(" + name + ")", WithRelation(db, name, dup)});
+      }
+      {
+        // Eightfold duplication pushes bag-side counts past any small
+        // aggregate threshold (count(*) >= k for k <= 8) that a doubled
+        // group would still miss.
+        std::vector<Tuple> dup;
+        dup.reserve(rows.size() * 8);
+        for (int i = 0; i < 8; ++i) {
+          dup.insert(dup.end(), rows.begin(), rows.end());
+        }
+        out.push_back({"dup-x8(" + name + ")", WithRelation(db, name, dup)});
+      }
+      {
+        // A single surviving row makes group sizes minimal, so threshold
+        // flips sit right at the set/bag boundary.
+        std::vector<Tuple> one{rows.front()};
+        out.push_back(
+            {"truncate(" + name + ")", WithRelation(db, name, std::move(one))});
+      }
+      {
+        std::vector<Tuple> dup = rows;
+        dup.push_back(rows.front());
+        Tuple bumped = rows.front();
+        for (int c = 0; c < bumped.size(); ++c) {
+          bumped.at(c) = Bumped(bumped.at(c));
+        }
+        dup.push_back(std::move(bumped));
+        out.push_back({"dup-bump(" + name + ")", WithRelation(db, name, dup)});
+      }
+      // NULL a single cell, row by row: whether a null reaches the
+      // sensitive comparison depends on which joins the row survives, so
+      // every row is probed. Instances are test-sized; the menu stays
+      // a few hundred entries at most.
+      for (size_t i = 0; i < rows.size(); ++i) {
+        for (int c = 0; c < width; ++c) {
+          std::vector<Tuple> cell = rows;
+          cell[i].at(c) = Value();
+          out.push_back({"null-cell(" + name + "." + rel->schema().name(c) +
+                             "#" + std::to_string(i) + ")",
+                         WithRelation(db, name, std::move(cell))});
+        }
+      }
+      for (int c = 0; c < width; ++c) {
+        std::vector<Tuple> col = rows;
+        for (Tuple& t : col) t.at(c) = Value();
+        out.push_back(
+            {"null-column(" + name + "." + rel->schema().name(c) + ")",
+             WithRelation(db, name, std::move(col))});
+      }
+    }
+    out.push_back({"empty(" + name + ")", WithRelation(db, name, {})});
+  }
+  if (db.relation_count() > 1) {
+    data::Database all_empty = db;
+    for (const std::string& name : db.Names()) {
+      all_empty.Put(name, Relation(db.GetPtr(name)->schema()));
+    }
+    out.push_back({"empty-all", std::move(all_empty)});
+  }
+  return out;
+}
+
+/// Evaluates `program` (collection or sentence) under `conv`. Sentences are
+/// encoded as a 0/1-row unary relation — the same encoding the SQL renderer
+/// uses — so both program kinds compare uniformly.
+Result<Relation> EvalUnder(const data::Database& db, const Program& program,
+                           const Conventions& conv) {
+  eval::EvalOptions opts;
+  opts.conventions = conv;
+  if (program.main.is_sentence()) {
+    eval::Evaluator evaluator(db, opts);
+    auto truth = evaluator.EvalSentence(program);
+    if (!truth.ok()) return truth.status();
+    Relation out(data::Schema{"v"});
+    if (data::IsTrue(*truth)) out.Add({Value::Bool(true)});
+    return out;
+  }
+  return eval::Eval(db, program, opts);
+}
+
+/// ARC under SQL conventions vs. the independent SQL engine on the rendered
+/// SQL, over `db`. False on translation failure or disagreement.
+bool SqlCrossCheck(const Program& program, const data::Database& db) {
+  if (program.main.is_sentence()) return false;  // no SQL encoding used here
+  auto sql_text = ArcToSqlText(program);
+  if (!sql_text.ok()) return false;
+  sql::SqlEvaluator sql_eval(db);
+  auto sql_result = sql_eval.EvalQuery(*sql_text);
+  if (!sql_result.ok()) return false;
+  auto arc_result = EvalUnder(db, program, Conventions::Sql());
+  if (!arc_result.ok()) return false;
+  return arc_result->EqualsBag(*sql_result);
+}
+
+}  // namespace
+
+Conventions FlipConvention(const Conventions& base, ConventionDimension d) {
+  Conventions varied = base;
+  switch (d) {
+    case ConventionDimension::kMultiplicity:
+      varied.multiplicity =
+          base.multiplicity == Conventions::Multiplicity::kSet
+              ? Conventions::Multiplicity::kBag
+              : Conventions::Multiplicity::kSet;
+      break;
+    case ConventionDimension::kNullLogic:
+      varied.null_logic = base.null_logic == data::NullLogic::kThreeValued
+                              ? data::NullLogic::kTwoValued
+                              : data::NullLogic::kThreeValued;
+      break;
+    case ConventionDimension::kEmptyAggregate:
+      varied.empty_aggregate =
+          base.empty_aggregate == Conventions::EmptyAggregate::kNull
+              ? Conventions::EmptyAggregate::kNeutral
+              : Conventions::EmptyAggregate::kNull;
+      break;
+  }
+  return varied;
+}
+
+std::optional<DivergenceWitness> ExhibitDivergence(
+    const Program& program, const data::Database& db,
+    ConventionDimension dimension, bool* observed_output) {
+  const Conventions base = Conventions::Arc();
+  const Conventions varied = FlipConvention(base, dimension);
+  if (observed_output != nullptr) *observed_output = false;
+  for (Mutant& m : BuildMutants(db)) {
+    auto base_result = EvalUnder(m.db, program, base);
+    if (!base_result.ok()) continue;
+    if (observed_output != nullptr && !base_result->empty()) {
+      *observed_output = true;
+    }
+    auto varied_result = EvalUnder(m.db, program, varied);
+    if (!varied_result.ok()) continue;
+    if (observed_output != nullptr && !varied_result->empty()) {
+      *observed_output = true;
+    }
+    if (base_result->EqualsBag(*varied_result)) continue;
+    DivergenceWitness w;
+    w.dimension = dimension;
+    w.mutation = std::move(m.name);
+    w.base = base;
+    w.varied = varied;
+    w.base_result = *std::move(base_result);
+    w.varied_result = *std::move(varied_result);
+    w.sql_cross_checked = SqlCrossCheck(program, m.db);
+    w.instance = std::move(m.db);
+    return w;
+  }
+  return std::nullopt;
+}
+
+std::string DivergenceWitness::ToString() const {
+  std::string out = std::string(ConventionDimensionName(dimension)) +
+                    " divergence on " + mutation + ": " +
+                    base.ToString() + " -> " + base_result.ToString() +
+                    " vs. " + varied.ToString() + " -> " +
+                    varied_result.ToString();
+  if (sql_cross_checked) out += " (SQL engine agrees)";
+  return out;
+}
+
+bool LintValidationReport::AllConfirmed() const {
+  for (const Entry& e : entries) {
+    if (!e.witness.has_value() && !e.vacuous) return false;
+  }
+  return true;
+}
+
+std::string LintValidationReport::ToString() const {
+  std::string out;
+  for (const Entry& e : entries) {
+    out += std::string(ConventionDimensionName(e.dimension)) + ": " +
+           std::to_string(e.warnings) + " warning(s), ";
+    out += e.witness.has_value()
+               ? "confirmed — " + e.witness->ToString()
+               : (e.vacuous ? "vacuous (no output on any probed instance)"
+                            : "UNCONFIRMED");
+    out += "\n";
+  }
+  return out;
+}
+
+LintValidationReport ValidateConventionWarnings(const Program& program,
+                                                const data::Database& db,
+                                                const LintResult& lint) {
+  LintValidationReport report;
+  for (const Diagnostic& d : lint.findings) {
+    const LintPass* pass = FindLintPass(d.code);
+    if (pass == nullptr || !pass->dimension.has_value()) continue;
+    LintValidationReport::Entry* entry = nullptr;
+    for (LintValidationReport::Entry& e : report.entries) {
+      if (e.dimension == *pass->dimension) entry = &e;
+    }
+    if (entry == nullptr) {
+      report.entries.push_back({*pass->dimension, 0, std::nullopt});
+      entry = &report.entries.back();
+    }
+    ++entry->warnings;
+  }
+  for (LintValidationReport::Entry& e : report.entries) {
+    bool observed = false;
+    e.witness = ExhibitDivergence(program, db, e.dimension, &observed);
+    e.vacuous = !e.witness.has_value() && !observed;
+  }
+  return report;
+}
+
+}  // namespace arc::translate

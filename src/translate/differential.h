@@ -1,0 +1,97 @@
+// Differential validation of convention-sensitivity lint warnings.
+//
+// A kConvention lint finding (arc/lint.h) claims that a program's result
+// depends on an interpretation convention (§2.6/§2.7): set vs. bag
+// multiplicity, three- vs. two-valued null logic, or NULL vs. neutral
+// empty-aggregate initialization. Static shape analysis can over-approximate
+// — this harness makes the claim *operational*: it searches small mutations
+// of a database instance (duplicated rows, injected NULLs, emptied
+// relations) for one on which evaluating the program under the two
+// conventions produces observably different results. A warning backed by
+// such a witness is, by construction, not a false alarm.
+//
+// Witnesses are additionally cross-checked against the independent SQL
+// engine: the program is rendered to SQL (translate/arc_to_sql.h) and the
+// SQL result on the witness instance must agree with the ARC evaluator
+// under SQL conventions.
+#ifndef ARC_TRANSLATE_DIFFERENTIAL_H_
+#define ARC_TRANSLATE_DIFFERENTIAL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arc/conventions.h"
+#include "arc/lint.h"
+#include "common/status.h"
+#include "data/database.h"
+
+namespace arc::translate {
+
+/// A concrete demonstration that the program's result depends on one
+/// convention dimension.
+struct DivergenceWitness {
+  ConventionDimension dimension;
+  /// Name of the instance mutation that exposed the divergence
+  /// ("identity", "dup-row(R)", "null-cell(R.a)", "empty(R)", ...).
+  std::string mutation;
+  /// The mutated instance the divergence was observed on.
+  data::Database instance;
+  Conventions base;    // reference conventions (Conventions::Arc())
+  Conventions varied;  // base with `dimension` flipped
+  /// Results under the two conventions (bag-compared; for sentence
+  /// programs the 0/1-row encodings of the truth value).
+  data::Relation base_result;
+  data::Relation varied_result;
+  /// True when the independent SQL engine, run on the rendered SQL over
+  /// `instance`, agreed with the ARC evaluator under SQL conventions.
+  bool sql_cross_checked = false;
+
+  std::string ToString() const;
+};
+
+/// Returns `base` with `dimension` flipped away from its value in `base`.
+Conventions FlipConvention(const Conventions& base, ConventionDimension d);
+
+/// Searches mutations of `db` for an instance on which `program` evaluates
+/// to different results under Conventions::Arc() and the flipped
+/// convention. Returns nullopt when no mutation in the menu realizes a
+/// divergence (the dimension appears insensitive for this program).
+/// Mutants on which evaluation fails (e.g. unsupported external access
+/// patterns) are skipped. When `observed_output` is non-null it is set to
+/// whether any probed instance produced a non-empty result under either
+/// convention — false means the program is observationally dead on the
+/// whole menu, so no behavioral claim about it is falsifiable.
+std::optional<DivergenceWitness> ExhibitDivergence(
+    const Program& program, const data::Database& db,
+    ConventionDimension dimension, bool* observed_output = nullptr);
+
+/// Per-dimension outcome of validating one linted program.
+struct LintValidationReport {
+  struct Entry {
+    ConventionDimension dimension;
+    /// Number of kConvention findings with this dimension.
+    int warnings = 0;
+    std::optional<DivergenceWitness> witness;
+    /// No witness AND no probed instance produced any output: the program
+    /// is observationally dead on the mutation menu, so the warning is
+    /// unfalsifiable there (vacuously consistent) rather than refuted.
+    bool vacuous = false;
+  };
+  std::vector<Entry> entries;
+
+  /// True when every warned-about dimension has a witness or was probed
+  /// vacuous (dead program).
+  bool AllConfirmed() const;
+  std::string ToString() const;
+};
+
+/// For each convention dimension some lint finding warns about, attempts
+/// to exhibit a realizing divergence on mutations of `db`.
+LintValidationReport ValidateConventionWarnings(const Program& program,
+                                                const data::Database& db,
+                                                const LintResult& lint);
+
+}  // namespace arc::translate
+
+#endif  // ARC_TRANSLATE_DIFFERENTIAL_H_

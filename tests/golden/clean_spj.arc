@@ -1,0 +1,2 @@
+{Q(a, d) |
+  exists r in R, s in S [r.a = s.b and Q.a = r.a and Q.d = s.b]}

@@ -1,0 +1,2 @@
+create table R (a int);
+create table S (b int);

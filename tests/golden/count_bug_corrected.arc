@@ -1,0 +1,6 @@
+{Q(id) |
+  exists r in R,
+         x in {X(id, ct) |
+                 exists s in S, r2 in R, gamma(r2.id), left(r2, s)
+                   [X.id = r2.id and X.ct = count(s.d) and r2.id = s.id]}
+    [Q.id = r.id and r.id = x.id and r.q = x.ct]}

@@ -1,0 +1,2 @@
+create table R (id int, q int);
+create table S (id int, d int);

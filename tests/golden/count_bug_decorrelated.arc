@@ -1,0 +1,6 @@
+{Q(id) |
+  exists r in R,
+         x in {X(id, ct) |
+                 exists s in S, gamma(s.id)
+                   [X.id = s.id and X.ct = count(s.d)]}
+    [Q.id = r.id and r.id = x.id and r.q = x.ct]}

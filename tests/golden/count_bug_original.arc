@@ -1,0 +1,4 @@
+{Q(id) |
+  exists r in R [
+    Q.id = r.id and
+    exists s in S, gamma() [r.id = s.id and r.q = count(s.d)]]}

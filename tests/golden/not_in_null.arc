@@ -1,0 +1,2 @@
+{Q(a) |
+  exists r in R, s in S [Q.a = r.a and not(s.b = r.a)]}

@@ -1,0 +1,2 @@
+{Q(a) |
+  exists r in Rs [Q.a = r.a]}

@@ -1,0 +1,77 @@
+// Lints every program in examples/queries/ and asserts none of them
+// reports an error — the example corpus must always parse, analyze, and
+// stay presentable. Warnings are allowed (several examples exist precisely
+// to demonstrate trap diagnostics) and are pinned per file below.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "arc/lint.h"
+#include "sql/eval.h"
+#include "text/parser.h"
+
+namespace arc {
+namespace {
+
+std::string ReadFile(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  EXPECT_TRUE(in.good()) << "cannot open " << p;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::set<std::string> Codes(const LintResult& result) {
+  std::set<std::string> codes;
+  for (const Diagnostic& d : result.findings) codes.insert(d.code);
+  return codes;
+}
+
+TEST(LintCorpus, EveryExampleQueryLintsWithoutErrors) {
+  const std::filesystem::path dir =
+      std::filesystem::path(ARC_EXAMPLES_DIR) / "queries";
+  // Which trap diagnostics each demonstration file is expected to carry.
+  // Files absent from this map must lint completely clean.
+  const std::map<std::string, std::set<std::string>> expected = {
+      {"fig21a_count_bug_original.arc", {"ARC-W101", "ARC-W103"}},
+      {"fig21b_count_bug_decorrelated.arc", {"ARC-W103", "ARC-W109"}},
+      {"fig21c_count_bug_corrected.arc", {"ARC-W103"}},
+      {"eq15_convention_divergence.arc", {"ARC-W103", "ARC-W104"}},
+      {"not_in_null_trap.arc", {"ARC-W102"}},
+  };
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".arc") continue;
+    ++files;
+    const std::string name = entry.path().filename().string();
+    SCOPED_TRACE(name);
+    auto program = text::ParseProgram(ReadFile(entry.path()));
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    // Each example ships a sidecar setup script with its schemas; linting
+    // against them lets the range-class-dependent passes participate.
+    LintOptions opts;
+    data::Database db;
+    std::filesystem::path setup = entry.path();
+    setup.replace_extension(".setup.sql");
+    ASSERT_TRUE(std::filesystem::exists(setup)) << setup;
+    auto built = sql::ExecuteSetupScript(ReadFile(setup));
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    db = std::move(*built);
+    opts.analyze.database = &db;
+    LintResult result = Lint(*program, opts);
+    EXPECT_TRUE(result.ok()) << LintToText(result);
+    auto it = expected.find(name);
+    EXPECT_EQ(Codes(result),
+              it == expected.end() ? std::set<std::string>{} : it->second)
+        << LintToText(result);
+  }
+  EXPECT_GE(files, 8);
+}
+
+}  // namespace
+}  // namespace arc

@@ -1,0 +1,536 @@
+// Tests for ArcLint — the static trap-detection passes layered on the
+// resolved Analysis (see arc/lint.h and LINTS.md). Each pass gets at least
+// one positive case (the trap fires) and one negative case (a nearby
+// correct query stays clean), plus golden-file tests over the paper's trap
+// figures in tests/golden/.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arc/analyze.h"
+#include "arc/lint.h"
+#include "sql/eval.h"
+#include "text/alt_parser.h"
+#include "text/parser.h"
+#include "text/printer.h"
+
+namespace arc {
+namespace {
+
+// --- helpers -----------------------------------------------------------------
+
+// Fig. 21 schemas: R(id, q), S(id, d).
+data::Database CountBugDb() {
+  data::Database db;
+  db.Create("R", data::Schema{"id", "q"});
+  db.Create("S", data::Schema{"id", "d"});
+  return db;
+}
+
+// §2.10 schemas: R(a), S(b).
+data::Database NotInDb() {
+  data::Database db;
+  db.Create("R", data::Schema{"a"});
+  db.Create("S", data::Schema{"b"});
+  return db;
+}
+
+LintResult LintText(const std::string& text, const data::Database* db) {
+  auto program = text::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  LintOptions opts;
+  opts.analyze.database = db;
+  return Lint(*program, opts);
+}
+
+int CountCode(const LintResult& result, const std::string& code) {
+  int n = 0;
+  for (const Diagnostic& d : result.findings) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+bool Fires(const LintResult& result, const std::string& code) {
+  return CountCode(result, code) > 0;
+}
+
+std::string FirstMessage(const LintResult& result, const std::string& code) {
+  for (const Diagnostic& d : result.findings) {
+    if (d.code == code) return d.message;
+  }
+  return "";
+}
+
+// The paper's count-bug triptych (Fig. 21 / Eqs. 27-29).
+constexpr const char* kCountBugOriginal =
+    "{Q(id) | exists r in R [Q.id = r.id and exists s in S, gamma() "
+    "[r.id = s.id and r.q = count(s.d)]]}";
+constexpr const char* kCountBugBuggy =
+    "{Q(id) | exists r in R, x in {X(id, ct) | exists s in S, gamma(s.id) "
+    "[X.id = s.id and X.ct = count(s.d)]} "
+    "[Q.id = r.id and r.id = x.id and r.q = x.ct]}";
+constexpr const char* kCountBugCorrect =
+    "{Q(id) | exists r in R, x in {X(id, ct) | exists s in S, r2 in R, "
+    "gamma(r2.id), left(r2, s) [X.id = r2.id and X.ct = count(s.d) and "
+    "r2.id = s.id]} [Q.id = r.id and r.id = x.id and r.q = x.ct]}";
+
+// --- pass registry -----------------------------------------------------------
+
+TEST(LintRegistry, HasAtLeastEightPassesWithUniqueCodes) {
+  const std::vector<LintPass>& passes = LintPasses();
+  EXPECT_GE(passes.size(), 8u);
+  std::vector<std::string> codes;
+  for (const LintPass& p : passes) {
+    const std::string code = p.code;
+    EXPECT_EQ(code.rfind("ARC-W1", 0), 0u) << code;
+    EXPECT_FALSE(std::string(p.name).empty());
+    EXPECT_FALSE(std::string(p.summary).empty());
+    EXPECT_NE(p.run, nullptr);
+    for (const std::string& seen : codes) EXPECT_NE(seen, code);
+    codes.push_back(code);
+  }
+}
+
+TEST(LintRegistry, FindLintPassByCode) {
+  const LintPass* p = FindLintPass("ARC-W101");
+  ASSERT_NE(p, nullptr);
+  EXPECT_STREQ(p->code, "ARC-W101");
+  EXPECT_EQ(p->category, LintCategory::kTrapShape);
+  EXPECT_EQ(FindLintPass("ARC-W999"), nullptr);
+}
+
+TEST(LintRegistry, ConventionPassesDeclareTheirDimension) {
+  // Every kConvention pass must name the dimension it warns about — that
+  // is what the differential harness validates against.
+  for (const LintPass& p : LintPasses()) {
+    if (p.category == LintCategory::kConvention) {
+      EXPECT_TRUE(p.dimension.has_value()) << p.code;
+    } else {
+      EXPECT_FALSE(p.dimension.has_value()) << p.code;
+    }
+  }
+}
+
+// --- W101: count-bug shape ---------------------------------------------------
+
+TEST(LintPass, W101FiresOnFig21aOriginal) {
+  data::Database db = CountBugDb();
+  LintResult r = LintText(kCountBugOriginal, &db);
+  EXPECT_TRUE(r.ok()) << LintToText(r);
+  EXPECT_TRUE(Fires(r, "ARC-W101")) << LintToText(r);
+  EXPECT_NE(FirstMessage(r, "ARC-W101").find("count(s.d)"), std::string::npos);
+}
+
+TEST(LintPass, W101SilentOnUncorrelatedScalarAggregate) {
+  // gamma() without outer correlation is a plain scalar subquery — no
+  // decorrelation trap.
+  data::Database db = CountBugDb();
+  LintResult r = LintText(
+      "{Q(id) | exists r in R [Q.id = r.id and "
+      "exists s in S, gamma() [count(s.d) >= 5]]}",
+      &db);
+  EXPECT_FALSE(Fires(r, "ARC-W101")) << LintToText(r);
+}
+
+// --- W109: count-bug decorrelation -------------------------------------------
+
+TEST(LintPass, W109FiresOnFig21bBuggyDecorrelation) {
+  data::Database db = CountBugDb();
+  LintResult r = LintText(kCountBugBuggy, &db);
+  EXPECT_TRUE(r.ok()) << LintToText(r);
+  EXPECT_TRUE(Fires(r, "ARC-W109")) << LintToText(r);
+  // The message names the join predicate that loses rows.
+  EXPECT_NE(FirstMessage(r, "ARC-W109").find("r.id = x.id"),
+            std::string::npos);
+}
+
+TEST(LintPass, Fig21cCorrectedFormIsCleanOfCountBugWarnings) {
+  data::Database db = CountBugDb();
+  LintResult r = LintText(kCountBugCorrect, &db);
+  EXPECT_TRUE(r.ok()) << LintToText(r);
+  EXPECT_FALSE(Fires(r, "ARC-W101")) << LintToText(r);
+  EXPECT_FALSE(Fires(r, "ARC-W109")) << LintToText(r);
+}
+
+// --- W102: null-logic sensitivity under negation -----------------------------
+
+TEST(LintPass, W102FiresOnNegatedComparisonOverNullables) {
+  data::Database db = NotInDb();
+  LintResult r = LintText(
+      "{Q(a) | exists r in R, s in S [Q.a = r.a and not(s.b = r.a)]}", &db);
+  EXPECT_TRUE(Fires(r, "ARC-W102")) << LintToText(r);
+}
+
+TEST(LintPass, W102SilentOnNotExists) {
+  // The evaluator's EXISTS is SQL-style — never unknown — so NOT EXISTS
+  // does not diverge between the logics; only a bare negated comparison
+  // does. The differential harness depends on this distinction.
+  data::Database db = NotInDb();
+  LintResult r = LintText(
+      "{Q(a) | exists r in R [Q.a = r.a and "
+      "not(exists s in S [s.b = r.a])]}",
+      &db);
+  EXPECT_FALSE(Fires(r, "ARC-W102")) << LintToText(r);
+}
+
+TEST(LintPass, W102SilentWhenOperandsAreNullGuarded) {
+  data::Database db = NotInDb();
+  LintResult r = LintText(
+      "{Q(a) | exists r in R, s in S [Q.a = r.a and s.b is not null "
+      "and r.a is not null and not(s.b = r.a)]}",
+      &db);
+  EXPECT_FALSE(Fires(r, "ARC-W102")) << LintToText(r);
+}
+
+TEST(LintPass, W102SilentOnUnnegatedInequality) {
+  // `!=` without NOT is unknown on NULL under both conventions the
+  // evaluator implements for positive filters — no divergence.
+  data::Database db = NotInDb();
+  LintResult r = LintText(
+      "{Q(a) | exists r in R, s in S [Q.a = r.a and s.b != r.a]}", &db);
+  EXPECT_FALSE(Fires(r, "ARC-W102")) << LintToText(r);
+}
+
+TEST(LintPass, W102FiresOnDoubleNegationDepthTwo) {
+  // not(not(p)) has even parity — silent; not(p and not(q)) flags q's
+  // enclosing comparison at odd parity.
+  data::Database db = NotInDb();
+  LintResult even = LintText(
+      "{Q(a) | exists r in R, s in S [Q.a = r.a and not(not(s.b = r.a))]}",
+      &db);
+  EXPECT_FALSE(Fires(even, "ARC-W102")) << LintToText(even);
+}
+
+// --- W103: set-vs-bag sensitive aggregate ------------------------------------
+
+TEST(LintPass, W103FiresOnSumOverBaseRelation) {
+  data::Database db = CountBugDb();
+  LintResult r = LintText(
+      "{Q(id, t) | exists s in S, gamma(s.id) "
+      "[Q.id = s.id and Q.t = sum(s.d)]}",
+      &db);
+  EXPECT_TRUE(Fires(r, "ARC-W103")) << LintToText(r);
+}
+
+TEST(LintPass, W103SilentOnDuplicateInsensitiveAggregates) {
+  data::Database db = CountBugDb();
+  LintResult r = LintText(
+      "{Q(id, t) | exists s in S, gamma(s.id) "
+      "[Q.id = s.id and Q.t = max(s.d)]}",
+      &db);
+  EXPECT_FALSE(Fires(r, "ARC-W103")) << LintToText(r);
+  LintResult rd = LintText(
+      "{Q(id, t) | exists s in S, gamma(s.id) "
+      "[Q.id = s.id and Q.t = countdistinct(s.d)]}",
+      &db);
+  EXPECT_FALSE(Fires(rd, "ARC-W103")) << LintToText(rd);
+}
+
+TEST(LintPass, W103SilentOnConstantCountThreshold) {
+  // count(*) >= 1 holds for every non-empty group regardless of
+  // multiplicities — duplicates cannot flip it.
+  data::Database db = CountBugDb();
+  LintResult r = LintText(
+      "{Q(id) | exists s in S, gamma(s.id) "
+      "[Q.id = s.id and count(*) >= 1]}",
+      &db);
+  EXPECT_FALSE(Fires(r, "ARC-W103")) << LintToText(r);
+}
+
+TEST(LintPass, W103SilentWhenScopeRangesOverDistinctNestedCollection) {
+  // An ungrouped nested collection is evaluated as a set under both
+  // interpretations here only if its own output is duplicate-free; a
+  // grouped nested collection collapses multiplicity, so sum over its
+  // grouping-key output is safe.
+  data::Database db = CountBugDb();
+  LintResult r = LintText(
+      "{Q(t) | exists x in {X(id) | exists s in S, gamma(s.id) "
+      "[X.id = s.id]}, gamma() [Q.t = sum(x.id)]}",
+      &db);
+  EXPECT_FALSE(Fires(r, "ARC-W103")) << LintToText(r);
+}
+
+// --- W104: empty-aggregate sensitivity ---------------------------------------
+
+TEST(LintPass, W104FiresOnEq15SumAssignment) {
+  data::Database db;
+  db.Create("R", data::Schema{"ak"});
+  db.Create("S", data::Schema{"a", "b"});
+  LintResult r = LintText(
+      "{Q(ak, sm) | exists r in R, x in {X(sm) | exists s in S, gamma() "
+      "[s.a < r.ak and X.sm = sum(s.b)]} [Q.ak = r.ak and Q.sm = x.sm]}",
+      &db);
+  EXPECT_TRUE(Fires(r, "ARC-W104")) << LintToText(r);
+}
+
+TEST(LintPass, W104TruthGateOnAggregateFilters) {
+  // sum >= 3: both NULL (excluded as unknown) and 0 (excluded as false)
+  // drop the empty group — no divergence, no warning. sum <= 3: NULL is
+  // excluded but 0 passes — divergence, warning.
+  data::Database db = CountBugDb();
+  LintResult ge = LintText(
+      "{Q(id) | exists r in R [Q.id = r.id and exists s in S, gamma() "
+      "[r.id = s.id and sum(s.d) >= 3]]}",
+      &db);
+  EXPECT_FALSE(Fires(ge, "ARC-W104")) << LintToText(ge);
+  LintResult le = LintText(
+      "{Q(id) | exists r in R [Q.id = r.id and exists s in S, gamma() "
+      "[r.id = s.id and sum(s.d) <= 3]]}",
+      &db);
+  EXPECT_TRUE(Fires(le, "ARC-W104")) << LintToText(le);
+}
+
+TEST(LintPass, W104SilentOnCountFamily) {
+  // count over an empty group is 0 under both conventions.
+  data::Database db = CountBugDb();
+  LintResult r = LintText(
+      "{Q(id, c) | exists r in R [Q.id = r.id and exists s in S, gamma() "
+      "[r.id = s.id and r.q = count(s.d)]]}",
+      &db);
+  EXPECT_FALSE(Fires(r, "ARC-W104")) << LintToText(r);
+}
+
+// --- W105: non-monotone self-reference ---------------------------------------
+
+TEST(LintPass, W105NotesRecursionThroughNegation) {
+  data::Database db;
+  db.Create("E", data::Schema{"s", "t"});
+  LintResult r = LintText(
+      "define {T(s, t) | exists e in E [T.s = e.s and T.t = e.t and "
+      "not(exists t2 in T [t2.s = e.s])]}"
+      "{Q(s) | exists t2 in T [Q.s = t2.s]}",
+      &db);
+  EXPECT_TRUE(Fires(r, "ARC-W105")) << LintToText(r);
+}
+
+TEST(LintPass, W105SilentOnMonotoneTransitiveClosure) {
+  data::Database db;
+  db.Create("E", data::Schema{"s", "t"});
+  LintResult r = LintText(
+      "define {T(s, t) | exists e in E [T.s = e.s and T.t = e.t] or "
+      "exists e in E, t2 in T [T.s = e.s and e.t = t2.s and T.t = t2.t]}"
+      "{Q(s, t) | exists t2 in T [Q.s = t2.s and Q.t = t2.t]}",
+      &db);
+  EXPECT_TRUE(r.ok()) << LintToText(r);
+  EXPECT_FALSE(Fires(r, "ARC-W105")) << LintToText(r);
+}
+
+// --- W106: unused binding ----------------------------------------------------
+
+TEST(LintPass, W106FiresOnUnreferencedBinding) {
+  data::Database db = NotInDb();
+  LintResult r = LintText(
+      "{Q(a) | exists r in R, s in S [Q.a = r.a]}", &db);
+  EXPECT_TRUE(Fires(r, "ARC-W106")) << LintToText(r);
+  EXPECT_NE(FirstMessage(r, "ARC-W106").find("'s'"), std::string::npos);
+}
+
+TEST(LintPass, W106SilentWhenEveryBindingIsUsed) {
+  data::Database db = NotInDb();
+  LintResult r = LintText(
+      "{Q(a) | exists r in R, s in S [Q.a = r.a and s.b = r.a]}", &db);
+  EXPECT_FALSE(Fires(r, "ARC-W106")) << LintToText(r);
+}
+
+TEST(LintPass, W106SilentUnderCountStar) {
+  // count(*) observes the whole scope, so an otherwise-unreferenced
+  // binding still contributes (it multiplies the count).
+  data::Database db = NotInDb();
+  LintResult r = LintText(
+      "{Q(c) | exists r in R, s in S, gamma() [Q.c = count(*)]}", &db);
+  EXPECT_FALSE(Fires(r, "ARC-W106")) << LintToText(r);
+}
+
+// --- W107: cartesian product -------------------------------------------------
+
+TEST(LintPass, W107FiresOnUnjoinedBindings) {
+  data::Database db = NotInDb();
+  LintResult r = LintText(
+      "{Q(a, b) | exists r in R, s in S [Q.a = r.a and Q.b = s.b]}", &db);
+  EXPECT_TRUE(Fires(r, "ARC-W107")) << LintToText(r);
+}
+
+TEST(LintPass, W107SilentWhenJoined) {
+  data::Database db = NotInDb();
+  LintResult r = LintText(
+      "{Q(a, b) | exists r in R, s in S "
+      "[Q.a = r.a and Q.b = s.b and r.a = s.b]}",
+      &db);
+  EXPECT_FALSE(Fires(r, "ARC-W107")) << LintToText(r);
+}
+
+TEST(LintPass, W107SilentUnderJoinAnnotation) {
+  // An explicit join-tree annotation is a deliberate join spec, even when
+  // the predicate lives elsewhere.
+  data::Database db = NotInDb();
+  LintResult r = LintText(
+      "{Q(a, b) | exists r in R, s in S, left(r, s) "
+      "[Q.a = r.a and Q.b = s.b and r.a = s.b]}",
+      &db);
+  EXPECT_FALSE(Fires(r, "ARC-W107")) << LintToText(r);
+}
+
+// --- W108: unknown-relation suggestion ---------------------------------------
+
+TEST(LintPass, W108SuggestsNearbyRelationName) {
+  data::Database db;
+  db.Create("Employee", data::Schema{"id"});
+  LintResult r = LintText(
+      "{Q(id) | exists e in Employe [Q.id = e.id]}", &db);
+  EXPECT_FALSE(r.ok());  // unknown relation is an analyzer error
+  EXPECT_TRUE(Fires(r, "ARC-W108")) << LintToText(r);
+  EXPECT_NE(FirstMessage(r, "ARC-W108").find("Employee"), std::string::npos);
+}
+
+TEST(LintPass, W108SilentWhenNothingIsClose) {
+  data::Database db;
+  db.Create("Employee", data::Schema{"id"});
+  LintResult r = LintText(
+      "{Q(id) | exists z in Zyzzyva [Q.id = z.id]}", &db);
+  EXPECT_FALSE(Fires(r, "ARC-W108")) << LintToText(r);
+}
+
+// --- W110: vacuous predicate -------------------------------------------------
+
+TEST(LintPass, W110FlagsLiteralComparison) {
+  data::Database db = NotInDb();
+  LintResult r = LintText(
+      "{Q(a) | exists r in R [Q.a = r.a and 1 = 1]}", &db);
+  EXPECT_TRUE(Fires(r, "ARC-W110")) << LintToText(r);
+}
+
+TEST(LintPass, W110SilentOnContingentPredicates) {
+  data::Database db = NotInDb();
+  LintResult r = LintText(
+      "{Q(a) | exists r in R [Q.a = r.a and r.a > 3]}", &db);
+  EXPECT_FALSE(Fires(r, "ARC-W110")) << LintToText(r);
+}
+
+// --- options & rendering -----------------------------------------------------
+
+TEST(Lint, DisabledPassesAreSkipped) {
+  data::Database db = CountBugDb();
+  auto program = text::ParseProgram(kCountBugOriginal);
+  ASSERT_TRUE(program.ok());
+  LintOptions opts;
+  opts.analyze.database = &db;
+  opts.disabled = {"ARC-W101", "ARC-W103"};
+  LintResult r = Lint(*program, opts);
+  EXPECT_FALSE(Fires(r, "ARC-W101")) << LintToText(r);
+  EXPECT_FALSE(Fires(r, "ARC-W103")) << LintToText(r);
+}
+
+TEST(Lint, TextRenderingHasSeverityCodeAndSummary) {
+  data::Database db = CountBugDb();
+  LintResult r = LintText(kCountBugOriginal, &db);
+  const std::string text = LintToText(r);
+  EXPECT_NE(text.find("warning[ARC-W101]"), std::string::npos) << text;
+  EXPECT_NE(text.find("warnings"), std::string::npos) << text;
+  EXPECT_NE(text.find("0 errors"), std::string::npos) << text;
+}
+
+TEST(Lint, JsonRenderingIsWellFormedEnoughToGrep) {
+  data::Database db = CountBugDb();
+  LintResult r = LintText(kCountBugOriginal, &db);
+  const std::string json = LintToJson(r);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"code\": \"ARC-W101\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"severity\": \"warning\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"errors\": 0"), std::string::npos) << json;
+}
+
+TEST(Lint, AltParsedProgramsCarryLineProvenance) {
+  // Round-trip Fig. 21a through the position-tracking ALT parser: the
+  // findings must anchor to 1-based source lines.
+  auto parsed = text::ParseCollection(kCountBugOriginal);
+  ASSERT_TRUE(parsed.ok());
+  const std::string alt = text::PrintAltCollection(**parsed);
+  auto re = text::ParseAltCollection(alt);
+  ASSERT_TRUE(re.ok()) << re.status().ToString();
+  data::Database db = CountBugDb();
+  LintOptions opts;
+  opts.analyze.database = &db;
+  LintResult r = Lint(MakeProgram(std::move(*re)), opts);
+  ASSERT_TRUE(Fires(r, "ARC-W101")) << LintToText(r);
+  for (const Diagnostic& d : r.findings) {
+    if (d.code == "ARC-W101") {
+      EXPECT_GT(d.line, 0);
+    }
+  }
+  EXPECT_NE(LintToText(r).find("line "), std::string::npos);
+}
+
+// --- analyzer diagnostic dedup (satellite) -----------------------------------
+
+TEST(Analyze, DisjunctiveBodiesReportSharedDefectsOnce) {
+  // Both disjuncts range over the same unknown relation; the analyzer
+  // visits shared structure per disjunct but must report the defect once.
+  LintResult r = LintText(
+      "{Q(a) | exists r in Mystery [Q.a = r.a] or "
+      "exists r in Mystery [Q.a = r.a]}",
+      nullptr);
+  int unknown = 0;
+  for (const Diagnostic& d : r.analysis.diagnostics) {
+    if (d.message.find("Mystery") != std::string::npos) ++unknown;
+  }
+  EXPECT_EQ(unknown, 1) << LintToText(r);
+}
+
+TEST(Analyze, DeduplicateDiagnosticsCollapsesExactRepeats) {
+  std::vector<Diagnostic> ds(3);
+  ds[0].code = ds[1].code = ds[2].code = "ARC-E001";
+  ds[0].message = ds[1].message = "same";
+  ds[2].message = "different";
+  DeduplicateDiagnostics(&ds);
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0].message, "same");
+  EXPECT_EQ(ds[1].message, "different");
+}
+
+// --- golden files ------------------------------------------------------------
+
+std::string ReadFile(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  EXPECT_TRUE(in.good()) << "cannot open " << p;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(LintGolden, TrapFiguresMatchExpectedDiagnostics) {
+  const std::filesystem::path dir =
+      std::filesystem::path(ARC_TEST_DATA_DIR) / "golden";
+  int cases = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".arc") continue;
+    ++cases;
+    SCOPED_TRACE(entry.path().filename().string());
+    auto program = text::ParseProgram(ReadFile(entry.path()));
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+    LintOptions opts;
+    data::Database db;
+    std::filesystem::path setup = entry.path();
+    setup.replace_extension(".setup.sql");
+    if (std::filesystem::exists(setup)) {
+      auto built = sql::ExecuteSetupScript(ReadFile(setup));
+      ASSERT_TRUE(built.ok()) << built.status().ToString();
+      db = std::move(*built);
+      opts.analyze.database = &db;
+    }
+
+    std::filesystem::path expected = entry.path();
+    expected.replace_extension(".expected");
+    EXPECT_EQ(LintToText(Lint(*program, opts)), ReadFile(expected));
+  }
+  EXPECT_GE(cases, 5);  // the golden corpus must not silently vanish
+}
+
+}  // namespace
+}  // namespace arc

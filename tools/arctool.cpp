@@ -5,6 +5,7 @@
 //   arctool eval      (--arc "…" | --sql "…") --setup S
 //                     [--conventions sql|arc|souffle] [--csv name=path]…
 //   arctool validate  --arc "{Q(A)|…}" [--setup S]
+//   arctool lint      (--arc "…" | --sql "…") [--setup S] [--format text|json]
 //   arctool compare   --arc "…" --arc2 "…"        (pattern analysis)
 //   arctool datalog   --program P --query PRED [--csv name=path]…
 //
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "arc/analyze.h"
+#include "arc/lint.h"
 #include "data/csv.h"
 #include "datalog/eval.h"
 #include "datalog/parser.h"
@@ -45,6 +47,8 @@ int Usage() {
       "  render    --arc <query>    render an ARC query in one modality\n"
       "  eval      --arc|--sql <q>  evaluate a query against a database\n"
       "  validate  --arc <query>    run the resolver/validator\n"
+      "  lint      --arc|--sql <q>  run the semantic-trap lint passes\n"
+      "            [--format text|json] [--disable ARC-W1##,…] [--list]\n"
       "  compare   --arc <a> --arc2 <b>   pattern equality & similarity\n"
       "  datalog   --program <p> --query <pred>   run & translate Datalog\n"
       "common flags:\n"
@@ -86,14 +90,21 @@ arc::Result<Flags> ParseFlags(int argc, char** argv, int start) {
       return arc::InvalidArgument("unexpected argument '" + arg + "'");
     }
     arg = arg.substr(2);
-    if (arg == "stats") {  // boolean flag: takes no value
+    if (arg == "stats" || arg == "list") {  // boolean flags: take no value
       flags.values[arg] = "1";
       continue;
     }
-    if (i + 1 >= argc) {
-      return arc::InvalidArgument("flag --" + arg + " needs a value");
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {  // --flag=value
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else {
+      if (i + 1 >= argc) {
+        return arc::InvalidArgument("flag --" + arg + " needs a value");
+      }
+      value = argv[++i];
     }
-    std::string value = argv[++i];
     if (arg == "csv") {
       flags.csvs.push_back(value);
     } else {
@@ -271,6 +282,50 @@ arc::Status CmdValidate(const Flags& flags) {
                        : arc::ValidationError("query is invalid");
 }
 
+arc::Status CmdLint(const Flags& flags) {
+  if (flags.Get("list") != nullptr) {
+    std::string out;
+    for (const arc::LintPass& pass : arc::LintPasses()) {
+      out += std::string(pass.code) + "  " + pass.name + " (" +
+             arc::LintCategoryName(pass.category) + "): " + pass.summary +
+             "\n";
+    }
+    return Emit(flags, out);
+  }
+  ARC_ASSIGN_OR_RETURN(arc::data::Database db, BuildDatabase(flags));
+  arc::Program program;
+  if (const std::string* arc_text = flags.Get("arc")) {
+    ARC_ASSIGN_OR_RETURN(program, ParseArcArg(*arc_text));
+  } else if (const std::string* sql = flags.Get("sql")) {
+    arc::translate::SqlToArcOptions topts;
+    topts.database = &db;
+    ARC_ASSIGN_OR_RETURN(program, arc::translate::SqlToArc(*sql, topts));
+  } else {
+    return arc::InvalidArgument("lint needs --arc or --sql");
+  }
+  arc::LintOptions lopts;
+  if (db.relation_count() > 0) lopts.analyze.database = &db;
+  if (const std::string* disable = flags.Get("disable")) {
+    std::istringstream list(*disable);
+    std::string code;
+    while (std::getline(list, code, ',')) {
+      if (!code.empty()) lopts.disabled.push_back(code);
+    }
+  }
+  arc::LintResult result = arc::Lint(program, lopts);
+  const std::string* format = flags.Get("format");
+  if (format != nullptr && *format != "text" && *format != "json") {
+    return arc::InvalidArgument("unknown format '" + *format +
+                                "' (text|json)");
+  }
+  const std::string out = format != nullptr && *format == "json"
+                              ? arc::LintToJson(result)
+                              : arc::LintToText(result);
+  ARC_RETURN_IF_ERROR(Emit(flags, out));
+  return result.ok() ? arc::Status::Ok()
+                     : arc::ValidationError("lint reported errors");
+}
+
 arc::Status CmdCompare(const Flags& flags) {
   const std::string* a_text = flags.Get("arc");
   const std::string* b_text = flags.Get("arc2");
@@ -333,6 +388,7 @@ int main(int argc, char** argv) {
   else if (command == "render") status = CmdRender(*flags);
   else if (command == "eval") status = CmdEval(*flags);
   else if (command == "validate") status = CmdValidate(*flags);
+  else if (command == "lint") status = CmdLint(*flags);
   else if (command == "compare") status = CmdCompare(*flags);
   else if (command == "datalog") status = CmdDatalog(*flags);
   else return Usage();
