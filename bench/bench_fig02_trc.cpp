@@ -45,7 +45,7 @@ void BM_ArcEval(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_ArcEval)->Range(16, 1024)->Complexity();
+BENCHMARK(BM_ArcEval)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
 
 void BM_DirectSqlEval(benchmark::State& state) {
   arc::data::Database db =

@@ -26,6 +26,7 @@ arc::data::Relation RunArc(const arc::data::Database& db,
                            arc::eval::EvalStats* stats = nullptr) {
   arc::eval::EvalOptions opts;
   opts.recursion_strategy = strategy;
+  opts.binding_mode = arc::bench::BindingModeFromEnv();
   arc::eval::Evaluator ev(db, opts);
   auto r = ev.EvalProgram(program);
   if (!r.ok()) {

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "arc/conventions.h"
@@ -17,6 +18,21 @@
 #include "text/parser.h"
 
 namespace arc::bench {
+
+/// Binding mode used by every MustEvalArc call, selectable via the
+/// ARC_BINDING_MODE environment variable ("slot" — the default — or
+/// "string"). run_benchmarks.sh uses "string" to capture the pre-slot
+/// reference baseline with the same binaries.
+inline eval::BindingMode BindingModeFromEnv() {
+  const char* env = std::getenv("ARC_BINDING_MODE");
+  if (env == nullptr || std::strcmp(env, "slot") == 0) {
+    return eval::BindingMode::kSlotCompiled;
+  }
+  if (std::strcmp(env, "string") == 0) return eval::BindingMode::kStringKeyed;
+  std::fprintf(stderr, "unknown ARC_BINDING_MODE '%s' (want slot|string)\n",
+               env);
+  std::exit(1);
+}
 
 inline Program MustParse(const std::string& source) {
   auto p = text::ParseProgram(source);
@@ -33,6 +49,7 @@ inline data::Relation MustEvalArc(const data::Database& db,
                                   Conventions conventions = Conventions::Arc()) {
   eval::EvalOptions opts;
   opts.conventions = conventions;
+  opts.binding_mode = BindingModeFromEnv();
   auto r = eval::Eval(db, program, opts);
   if (!r.ok()) {
     std::fprintf(stderr, "eval failed: %s\n", r.status().ToString().c_str());

@@ -1,20 +1,47 @@
 #!/usr/bin/env bash
-# Runs the per-figure benchmark binaries with google-benchmark's JSON
-# reporter and aggregates the results (per-benchmark timings plus any
-# EvalStats counters the binaries export) into BENCH_eval.json at the repo
-# root.
+# Configures + builds a Release benchmark tree, runs the per-figure
+# benchmark binaries with google-benchmark's JSON reporter, and aggregates
+# the results (per-benchmark timings plus any EvalStats counters the
+# binaries export) into BENCH_eval.json at the repo root. The aggregate is
+# stamped with `library_build_type` (read back from the CMake cache), the
+# current git SHA, and the evaluator binding mode, so a committed
+# BENCH_eval.json is self-describing: debug-build or mixed-mode numbers
+# can't masquerade as a Release baseline.
 #
 #   bench/run_benchmarks.sh [build-dir] [filter-regex]
 #
-# build-dir defaults to ./build; filter-regex (passed to
-# --benchmark_filter) defaults to everything. Individual raw JSON reports
-# land in <build-dir>/bench_results/.
+# build-dir defaults to ./build-release and is configured with
+# -DCMAKE_BUILD_TYPE=Release -DARC_BUILD_BENCHMARKS=ON; filter-regex
+# (passed to --benchmark_filter) defaults to everything. Individual raw
+# JSON reports land in <build-dir>/bench_results/.
+#
+# Environment:
+#   ARC_BINDING_MODE   slot (default) | string — evaluator path used by
+#                      the binaries (see bench_util.h).
+#   ARC_BENCH_OUT      aggregate target (default <repo>/BENCH_eval.json);
+#                      point it elsewhere to capture a comparison baseline
+#                      for scripts/compare_bench.py.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
+build_dir="${1:-$repo_root/build-release}"
 filter="${2:-.}"
 out_dir="$build_dir/bench_results"
+target="${ARC_BENCH_OUT:-$repo_root/BENCH_eval.json}"
+binding_mode="${ARC_BINDING_MODE:-slot}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake -S "$repo_root" -B "$build_dir" \
+      -DCMAKE_BUILD_TYPE=Release -DARC_BUILD_BENCHMARKS=ON >/dev/null
+cmake --build "$build_dir" -j "$jobs"
+
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt")"
+if [ "$build_type" != "Release" ]; then
+  echo "error: $build_dir is a '$build_type' tree, refusing to publish non-Release numbers" >&2
+  exit 1
+fi
+git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
+
 mkdir -p "$out_dir"
 rm -f "$out_dir"/bench_*.json
 
@@ -29,17 +56,24 @@ for bin in "$build_dir"/bench/bench_*; do
   echo "== $name =="
   # The shape table goes to stdout; timings go to the JSON report. A
   # binary whose benchmarks are all filtered out exits non-zero — skip it.
+  ARC_BINDING_MODE="$binding_mode" \
   "$bin" --benchmark_filter="$filter" \
          --benchmark_out="$out_dir/$name.json" \
          --benchmark_out_format=json ||
       echo "   (no benchmarks matched in $name)"
 done
 
-python3 - "$out_dir" "$repo_root/BENCH_eval.json" <<'EOF'
+python3 - "$out_dir" "$target" "$build_type" "$git_sha" "$binding_mode" <<'EOF'
 import json, pathlib, sys
 
 out_dir, target = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
-aggregate = {"context": None, "figures": {}}
+aggregate = {
+    "library_build_type": sys.argv[3],
+    "git_sha": sys.argv[4],
+    "binding_mode": sys.argv[5],
+    "context": None,
+    "figures": {},
+}
 for report in sorted(out_dir.glob("bench_*.json")):
     try:
         data = json.loads(report.read_text())

@@ -28,3 +28,6 @@ echo "== sanitizer build (address,undefined) =="
 run_suite "$prefix-asan" -DARC_SANITIZE=address,undefined
 
 echo "All checks passed."
+echo "Optional perf gate: bench/run_benchmarks.sh, then"
+echo "  scripts/compare_bench.py <old BENCH_eval.json> BENCH_eval.json"
+echo "fails on any >10% cpu_time regression against a committed baseline."

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_eval.json aggregates (bench/run_benchmarks.sh output).
+
+    scripts/compare_bench.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Prints a per-benchmark cpu_time delta table (negative = candidate faster)
+and exits non-zero if any benchmark present in both files regressed by
+more than --threshold percent (default 10). Benchmarks that appear in only
+one file are listed but never fail the gate — figure sets are allowed to
+grow. Refuses to compare aggregates whose library_build_type differ
+(debug-vs-release "regressions" are noise, not signal).
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    flat = {}
+    for figure, entries in data.get("figures", {}).items():
+        for e in entries:
+            if e.get("cpu_time_ns") is None:
+                continue  # aggregate rows (BigO, RMS) carry no cpu_time
+            flat[f"{figure}/{e['name']}"] = e["cpu_time_ns"]
+    return data, flat
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression gate in percent (default 10)")
+    args = ap.parse_args()
+
+    base_meta, base = load(args.baseline)
+    cand_meta, cand = load(args.candidate)
+
+    bt_base = base_meta.get("library_build_type")
+    bt_cand = cand_meta.get("library_build_type")
+    if bt_base != bt_cand:
+        print(f"error: build types differ ({bt_base} vs {bt_cand}); "
+              "re-capture both with bench/run_benchmarks.sh", file=sys.stderr)
+        return 2
+
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        print("error: no benchmarks in common", file=sys.stderr)
+        return 2
+
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  "
+          f"{'delta':>8}")
+    regressions = []
+    for name in shared:
+        b, c = base[name], cand[name]
+        delta = 100.0 * (c - b) / b if b else float("inf")
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((name, delta))
+            flag = "  REGRESSED"
+        print(f"{name:<{width}}  {b:>12.0f}  {c:>12.0f}  {delta:>+7.1f}%{flag}")
+
+    for name in sorted(set(base) - set(cand)):
+        print(f"{name:<{width}}  (baseline only)")
+    for name in sorted(set(cand) - set(base)):
+        print(f"{name:<{width}}  (candidate only)")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed by more than "
+              f"{args.threshold:.0f}% cpu_time:", file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+        return 1
+    print(f"\nno cpu_time regression beyond {args.threshold:.0f}% "
+          f"across {len(shared)} shared benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

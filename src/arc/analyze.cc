@@ -259,6 +259,49 @@ class Analyzer {
     return info;
   }
 
+  // ---- slot binder -----------------------------------------------------
+
+  /// Allocates the next frame slot.
+  int NewSlot() { return analysis_.frame_slots++; }
+
+  /// Schema view of a target's attribute list, cached per target so every
+  /// reference compiles against the same index map. Going through
+  /// data::Schema (rather than an ad-hoc scan) guarantees the compiled
+  /// attribute index equals what the evaluator's runtime IndexOf finds,
+  /// including the first-occurrence rule for case-duplicate names.
+  const data::Schema& SlotSchema(const void* owner,
+                                 const std::vector<std::string>& attrs) {
+    auto it = slot_schemas_.find(owner);
+    if (it == slot_schemas_.end()) {
+      it = slot_schemas_.emplace(owner, data::Schema(attrs)).first;
+    }
+    return it->second;
+  }
+
+  void BindSlot(const Term& t, const Binding* owner,
+                const std::vector<std::string>& attrs) {
+    auto slot = analysis_.binding_slots.find(owner);
+    if (slot == analysis_.binding_slots.end()) return;
+    RecordSlot(t, slot->second, owner, attrs);
+  }
+
+  void BindSlot(const Term& t, const Collection* owner,
+                const std::vector<std::string>& attrs) {
+    auto slot = analysis_.head_slots.find(owner);
+    if (slot == analysis_.head_slots.end()) return;
+    RecordSlot(t, slot->second, owner, attrs);
+  }
+
+  void RecordSlot(const Term& t, int frame_slot, const void* owner,
+                  const std::vector<std::string>& attrs) {
+    TermSlot ts;
+    ts.frame_slot = frame_slot;
+    if (!attrs.empty()) {
+      ts.attr_index = SlotSchema(owner, attrs).IndexOf(t.attr);
+    }
+    analysis_.term_slots[&t] = ts;
+  }
+
   // ---- term resolution -----------------------------------------------
 
   /// Resolves all attribute references in `t`. `in_agg_arg` marks subterms
@@ -284,6 +327,7 @@ class Analyzer {
                     "' has no attribute '" + t.attr + "'", &t);
             }
           }
+          BindSlot(t, info.binding, battrs);
         } else {
           bool found = false;
           for (const std::string& a : info.head_of->head.attrs) {
@@ -297,6 +341,7 @@ class Analyzer {
             Error("ARC-E004", "head attribute " + t.var + "." + t.attr +
                   " cannot appear inside an aggregate argument", &t);
           }
+          BindSlot(t, info.head_of, info.head_of->head.attrs);
         }
         analysis_.attrs[&t] = info;
         return;
@@ -548,6 +593,7 @@ class Analyzer {
         }
       }
       analysis_.bindings[&b] = std::move(info);
+      analysis_.binding_slots.emplace(&b, NewSlot());
       layers_[layer_index].vars.emplace_back(b.var, &b);
     }
 
@@ -619,6 +665,7 @@ class Analyzer {
   void AnalyzeCollection(const Collection& c, bool is_abstract) {
     CollectionInfo& cinfo = analysis_.collections[&c];
     cinfo.is_abstract = is_abstract;
+    analysis_.head_slots.emplace(&c, NewSlot());
 
     if (c.head.relation.empty()) {
       Error("ARC-E009", "collection head has no relation name", &c);
@@ -670,6 +717,8 @@ class Analyzer {
   bool unknown_is_error_ = false;
 
   Analysis analysis_;
+  /// Slot-binder schema cache: target node → Schema over its attribute list.
+  std::unordered_map<const void*, data::Schema> slot_schemas_;
   std::vector<Layer> layers_;
   std::vector<const Definition*> defs_;
   int negation_depth_ = 0;

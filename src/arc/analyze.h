@@ -102,6 +102,19 @@ struct Diagnostic {
 
 const char* SeverityName(Diagnostic::Severity s);
 
+/// Compiled location of one attribute reference: which frame slot holds the
+/// tuple the reference resolves to, and (when the target's attribute list is
+/// known statically) the index of the attribute inside that tuple. Produced
+/// by the slot binder that piggybacks on resolution; consumed by the
+/// slot-compiled evaluator (see DESIGN.md "Compiled evaluation").
+struct TermSlot {
+  /// Frame slot of the resolved binding or enclosing collection head.
+  int frame_slot = -1;
+  /// Attribute index inside the bound tuple; -1 = resolve at runtime
+  /// (target attribute list unknown to the analyzer).
+  int attr_index = -1;
+};
+
 /// The side tables produced by analysis, keyed by node address (valid while
 /// the analyzed Program is alive and unmodified).
 struct Analysis {
@@ -109,6 +122,16 @@ struct Analysis {
   std::unordered_map<const Binding*, BindingInfo> bindings;
   std::unordered_map<const Formula*, PredClass> predicates;
   std::unordered_map<const Collection*, CollectionInfo> collections;
+  /// Slot binder output: every Binding and every Collection head owns one
+  /// frame slot (globally unique across the program), and every resolved
+  /// attribute reference compiles to a TermSlot. `frame_slots` is the frame
+  /// size to allocate. Attribute indexes are computed with the same
+  /// case-insensitive first-occurrence rule as data::Schema::IndexOf, so the
+  /// compiled index always equals what a runtime name lookup would find.
+  std::unordered_map<const Term*, TermSlot> term_slots;
+  std::unordered_map<const Binding*, int> binding_slots;
+  std::unordered_map<const Collection*, int> head_slots;
+  int frame_slots = 0;
   std::vector<Diagnostic> diagnostics;
 
   bool ok() const {

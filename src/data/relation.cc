@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/strings.h"
 
@@ -23,6 +24,13 @@ void Schema::BuildIndex() {
 int Schema::IndexOf(std::string_view attr) const {
   const auto it = lower_index_.find(ToLower(attr));
   return it == lower_index_.end() ? -1 : it->second;
+}
+
+std::vector<int> Schema::Projection(const std::vector<std::string>& names) const {
+  std::vector<int> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) out.push_back(IndexOf(n));
+  return out;
 }
 
 bool Schema::operator==(const Schema& other) const {
@@ -56,10 +64,13 @@ int Tuple::CompareTotal(const Tuple& other) const {
 }
 
 size_t Tuple::Hash() const {
+  if (hash_valid_) return hash_;
   size_t h = 0x51ed270b;
   for (const Value& v : values_) {
     h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
   }
+  hash_ = h;
+  hash_valid_ = true;
   return h;
 }
 
@@ -132,10 +143,18 @@ bool Relation::Contains(const Tuple& row) const {
 
 Relation Relation::Distinct() const {
   Relation out(schema_);
-  std::unordered_map<Tuple, bool, TupleHash> seen;
+  // Deduplicate through pointers into rows_ — no per-row Tuple copy for the
+  // membership set, and the (cached) row hashes survive on the source.
+  struct PtrHash {
+    size_t operator()(const Tuple* t) const { return t->Hash(); }
+  };
+  struct PtrEq {
+    bool operator()(const Tuple* a, const Tuple* b) const { return *a == *b; }
+  };
+  std::unordered_set<const Tuple*, PtrHash, PtrEq> seen;
+  seen.reserve(rows_.size());
   for (const Tuple& t : rows_) {
-    auto [it, inserted] = seen.emplace(t, true);
-    if (inserted) out.Add(t);
+    if (seen.insert(&t).second) out.Add(t);
   }
   return out;
 }

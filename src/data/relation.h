@@ -33,6 +33,11 @@ class Schema {
   int IndexOf(std::string_view attr) const;
   bool Has(std::string_view attr) const { return IndexOf(attr) >= 0; }
 
+  /// Slot projection: for each of `names`, the index of that attribute in
+  /// this schema (-1 when absent). Compiled once by the slot binder /
+  /// callers and applied per row, so hot loops never re-resolve names.
+  std::vector<int> Projection(const std::vector<std::string>& names) const;
+
   bool operator==(const Schema& other) const;
 
   /// "(A, B, C)"
@@ -57,14 +62,23 @@ class Tuple {
 
   int size() const { return static_cast<int>(values_.size()); }
   const Value& at(int i) const { return values_[static_cast<size_t>(i)]; }
-  Value& at(int i) { return values_[static_cast<size_t>(i)]; }
+  Value& at(int i) {
+    hash_valid_ = false;  // caller may mutate through the reference
+    return values_[static_cast<size_t>(i)];
+  }
   const std::vector<Value>& values() const { return values_; }
 
-  void Append(Value v) { values_.push_back(std::move(v)); }
+  void Append(Value v) {
+    hash_valid_ = false;
+    values_.push_back(std::move(v));
+  }
 
   bool operator==(const Tuple& other) const;
   /// Lexicographic total order (uses Value::CompareTotal).
   int CompareTotal(const Tuple& other) const;
+  /// Structural hash, cached after the first call (tuples are hashed many
+  /// times by row indexes, dedup sets, and group partitioning; the cache is
+  /// invalidated by Append and mutable at()).
   size_t Hash() const;
 
   /// "(1, 'a', null)"
@@ -72,6 +86,8 @@ class Tuple {
 
  private:
   std::vector<Value> values_;
+  mutable size_t hash_ = 0;
+  mutable bool hash_valid_ = false;
 };
 
 struct TupleHash {

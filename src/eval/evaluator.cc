@@ -1,7 +1,10 @@
 #include "eval/evaluator.h"
 
+#include <climits>
 #include <functional>
 #include <map>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -17,8 +20,11 @@ using data::TriBool;
 using data::Tuple;
 using data::Value;
 
-/// A (partial) head valuation: attribute name (lower-cased) → value.
-using HeadVals = std::vector<std::pair<std::string, Value>>;
+/// A (partial) head valuation: head-attribute position → value. Positions
+/// index the enclosing collection's head attribute list; references to
+/// attributes absent from the head (reachable only in unvalidated programs)
+/// get stable negative ids so distinct names stay distinct.
+using HeadVals = std::vector<std::pair<int, Value>>;
 
 /// Aggregate values computed for the current group, keyed by the aggregate
 /// Term node.
@@ -40,7 +46,7 @@ bool HeadValsEqual(const HeadVals& a, const HeadVals& b) {
   return true;
 }
 
-const Value* FindHeadVal(const HeadVals& vals, const std::string& attr) {
+const Value* FindHeadVal(const HeadVals& vals, int attr) {
   for (const auto& [a, v] : vals) {
     if (a == attr) return &v;
   }
@@ -53,7 +59,7 @@ struct HeadValsHash {
   size_t operator()(const HeadVals& vals) const {
     size_t h = 0x51ed270b ^ vals.size();
     for (const auto& [attr, val] : vals) {
-      size_t pair_hash = std::hash<std::string>{}(attr);
+      size_t pair_hash = std::hash<int>{}(attr);
       pair_hash = pair_hash * 31 + val.Hash();
       h += pair_hash * 0x9e3779b97f4a7c15ULL;
     }
@@ -302,27 +308,47 @@ std::optional<AssignmentShape> MatchAssignment(const Formula& f,
 // ---------------------------------------------------------------------------
 
 struct EnvEntry {
-  std::string var;
+  // Borrowed: AST binding/head names and fragment entries outlive the
+  // environment stack, so entries never own the name (a per-row copy
+  // otherwise dominates enumeration).
+  const std::string* var = nullptr;
   const Schema* schema = nullptr;
   const Tuple* tuple = nullptr;
 };
 
 /// A self-owning environment fragment (for grouped scopes and join trees,
-/// whose member rows must outlive streaming enumeration).
+/// whose member rows must outlive streaming enumeration). `slot` is the
+/// frame slot of the binding the entry restores (-1 under string-keyed
+/// evaluation).
 struct OwnedEntry {
   std::string var;
   const Schema* schema = nullptr;
   Tuple tuple;
+  int slot = -1;
 };
 using Fragment = std::vector<OwnedEntry>;
+
+/// One frame cell: the row currently bound to a slot (nullptr = unbound).
+struct FrameEntry {
+  const Schema* schema = nullptr;
+  const Tuple* tuple = nullptr;
+};
 
 enum class ScopeMode { kBoolean, kCollect };
 
 class EvalImpl {
  public:
+  /// `plan` carries the slot binder's output (Analysis::term_slots & co.);
+  /// nullptr selects the string-keyed reference path.
   EvalImpl(const data::Database& db, const EvalOptions& options,
-           const ExternalRegistry& externals, EvalStats* stats)
-      : db_(db), options_(options), externals_(externals), stats_(stats) {}
+           const ExternalRegistry& externals, const Analysis* plan,
+           EvalStats* stats)
+      : db_(db), options_(options), externals_(externals), plan_(plan),
+        stats_(stats) {
+    if (plan_ != nullptr) {
+      frame_.assign(static_cast<size_t>(plan_->frame_slots), FrameEntry{});
+    }
+  }
 
   Result<Relation> RunProgram(const Program& program) {
     ARC_RETURN_IF_ERROR(RegisterDefinitions(program));
@@ -362,26 +388,55 @@ class EvalImpl {
         defs_.emplace(key, std::move(rel));
       }
     }
+    defs_ready_ = true;
     return Status::Ok();
   }
 
   // ---- collections ---------------------------------------------------------
 
-  /// One pass over the body, emitting rows into `out` (no deduplication;
-  /// callers decide whether set semantics apply).
-  Status EvalBody(const Collection& c, Relation* out) {
-    heads_.push_back(c.head.relation);
-    Status status = SpineWalk(*c.body, c, out);
+  /// One pass over the body, emitting rows into `out`. With `unique` the
+  /// emitted rows dedup on insert (first occurrence wins, same order the
+  /// post-hoc Distinct pass produced); callers decide whether set
+  /// semantics apply.
+  Status EvalBody(const Collection& c, Relation* out, bool unique = false) {
+    heads_.push_back(&c);
+    Status status = SpineWalk(*c.body, c, out, unique);
     heads_.pop_back();
     return status;
   }
 
+  /// Innermost collection head in scope (nullptr outside any collection).
+  const Collection* HeadCollection() const {
+    return heads_.empty() ? nullptr : heads_.back();
+  }
+  const std::string& HeadName() const {
+    return heads_.empty() ? kNoHead : heads_.back()->head.relation;
+  }
+
+  /// Stable Schema over a collection's head attributes; doubles as the
+  /// position map for head valuations (HeadVals keys).
+  const Schema& HeadSchema(const Collection* c) {
+    auto it = head_schemas_.find(c);
+    if (it == head_schemas_.end()) {
+      it = head_schemas_.emplace(c, Schema(c->head.attrs)).first;
+    }
+    return it->second;
+  }
+
+  /// Position of `lowered_attr` in the head of `c`; unknown attributes get
+  /// a stable negative id so distinct names never collide.
+  int HeadPos(const Collection* c, const std::string& lowered_attr) {
+    const int idx = HeadSchema(c).IndexOf(lowered_attr);
+    if (idx >= 0) return idx;
+    const int next = -2 - static_cast<int>(extra_attr_ids_.size());
+    return extra_attr_ids_.emplace(lowered_attr, next).first->second;
+  }
+
   Result<Relation> EvalOnce(const Collection& c) {
     Relation out(Schema{c.head.attrs});
-    ARC_RETURN_IF_ERROR(EvalBody(c, &out));
-    if (options_.conventions.multiplicity == Conventions::Multiplicity::kSet) {
-      return out.Distinct();
-    }
+    const bool set_mode = options_.conventions.multiplicity ==
+                          Conventions::Multiplicity::kSet;
+    ARC_RETURN_IF_ERROR(EvalBody(c, &out, /*unique=*/set_mode));
     return out;
   }
 
@@ -435,6 +490,9 @@ class EvalImpl {
       if (added == 0) break;
     }
     overlay_.pop_back();
+    // `current` is a stack local: drop its attribute indexes so a later
+    // fixpoint reusing the address never sees a stale watermark.
+    PurgeIndexes(&current);
     ARC_RETURN_IF_ERROR(status);
     return current;
   }
@@ -490,27 +548,35 @@ class EvalImpl {
       }
       stats_->fixpoint_delta_tuples += next_delta.size();
       if (next_delta.empty()) break;
+      // The delta is replaced wholesale each round (unlike the accumulator,
+      // which only grows), so its indexes must not be extended incrementally.
+      PurgeIndexes(&delta);
       delta = std::move(next_delta);
     }
     overlay_.pop_back();
+    // Stack locals: drop their indexes so a later fixpoint reusing these
+    // addresses never sees a stale watermark.
+    PurgeIndexes(&current);
+    PurgeIndexes(&delta);
     ARC_RETURN_IF_ERROR(status);
     return current;
   }
 
   /// Walks the generating spine: top-level ORs and the top quantifier
   /// scope(s) drive multiplicity; everything else contributes set-style.
-  Status SpineWalk(const Formula& f, const Collection& c, Relation* out) {
+  Status SpineWalk(const Formula& f, const Collection& c, Relation* out,
+                   bool unique) {
     switch (f.kind) {
       case FormulaKind::kOr:
         for (const FormulaPtr& child : f.children) {
-          ARC_RETURN_IF_ERROR(SpineWalk(*child, c, out));
+          ARC_RETURN_IF_ERROR(SpineWalk(*child, c, out, unique));
         }
         return Status::Ok();
       case FormulaKind::kExists: {
         auto rows = ScopeCollect(*f.quantifier);
         if (!rows.ok()) return rows.status();
         for (const HeadVals& vals : *rows) {
-          ARC_RETURN_IF_ERROR(EmitRow(vals, c, out));
+          ARC_RETURN_IF_ERROR(EmitRow(vals, c, out, unique));
         }
         return Status::Ok();
       }
@@ -518,24 +584,31 @@ class EvalImpl {
         auto sols = Solutions(f, nullptr);
         if (!sols.ok()) return sols.status();
         for (const HeadVals& vals : *sols) {
-          ARC_RETURN_IF_ERROR(EmitRow(vals, c, out));
+          ARC_RETURN_IF_ERROR(EmitRow(vals, c, out, unique));
         }
         return Status::Ok();
       }
     }
   }
 
-  Status EmitRow(const HeadVals& vals, const Collection& c, Relation* out) {
+  Status EmitRow(const HeadVals& vals, const Collection& c, Relation* out,
+                 bool unique) {
     Tuple row;
-    for (const std::string& attr : c.head.attrs) {
-      const Value* v = FindHeadVal(vals, ToLower(attr));
+    const int n = static_cast<int>(c.head.attrs.size());
+    for (int i = 0; i < n; ++i) {
+      const Value* v = FindHeadVal(vals, i);
       if (v == nullptr) {
-        return EvalError("head attribute '" + c.head.relation + "." + attr +
+        return EvalError("head attribute '" + c.head.relation + "." +
+                         c.head.attrs[static_cast<size_t>(i)] +
                          "' was not assigned (unsafe head)");
       }
       row.Append(*v);
     }
-    out->Add(std::move(row));
+    if (unique) {
+      out->AddUnique(std::move(row));
+    } else {
+      out->Add(std::move(row));
+    }
     return Status::Ok();
   }
 
@@ -543,17 +616,50 @@ class EvalImpl {
 
   const EnvEntry* LookupVar(std::string_view var) const {
     for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
-      if (EqualsIgnoreCase(it->var, var)) return &*it;
+      if (EqualsIgnoreCase(*it->var, var)) return &*it;
     }
     return nullptr;
   }
 
+  // ---- frame (slot-compiled path) -------------------------------------
+
+  /// Frame slot of a binding / collection head, or -1 when the slot plan is
+  /// off (string-keyed mode, or analysis did not cover the node).
+  int SlotOfBinding(const Binding* b) const {
+    if (plan_ == nullptr) return -1;
+    auto it = plan_->binding_slots.find(b);
+    return it == plan_->binding_slots.end() ? -1 : it->second;
+  }
+  int SlotOfHead(const Collection* c) const {
+    if (plan_ == nullptr) return -1;
+    auto it = plan_->head_slots.find(c);
+    return it == plan_->head_slots.end() ? -1 : it->second;
+  }
+
+  /// Binds `slot` to a row, returning the previous cell for LIFO restore
+  /// (slots rebind on recursive module invocation and shadowing scopes).
+  FrameEntry FrameBind(int slot, const Schema* schema, const Tuple* tuple) {
+    if (slot < 0) return FrameEntry{};
+    FrameEntry prev = frame_[static_cast<size_t>(slot)];
+    frame_[static_cast<size_t>(slot)] = FrameEntry{schema, tuple};
+    ++stats_->frames_pushed;
+    return prev;
+  }
+  void FrameRestore(int slot, const FrameEntry& prev) {
+    if (slot >= 0) frame_[static_cast<size_t>(slot)] = prev;
+  }
+
   void PushFragment(const Fragment& frag) {
     for (const OwnedEntry& e : frag) {
-      env_.push_back({e.var, e.schema, &e.tuple});
+      env_.push_back({&e.var, e.schema, &e.tuple});
+      frame_saves_.push_back(FrameBind(e.slot, e.schema, &e.tuple));
     }
   }
   void PopFragment(const Fragment& frag) {
+    for (size_t i = frag.size(); i-- > 0;) {
+      FrameRestore(frag[i].slot, frame_saves_.back());
+      frame_saves_.pop_back();
+    }
     env_.resize(env_.size() - frag.size());
   }
 
@@ -562,6 +668,28 @@ class EvalImpl {
   Result<Value> EvalTerm(const Term& t, const AggCtx* agg) {
     switch (t.kind) {
       case TermKind::kAttrRef: {
+        if (plan_ != nullptr) {
+          auto it = plan_->term_slots.find(&t);
+          if (it != plan_->term_slots.end() && it->second.frame_slot >= 0) {
+            const FrameEntry& fe =
+                frame_[static_cast<size_t>(it->second.frame_slot)];
+            // Unbound slot (e.g. a non-module head reference evaluated as a
+            // value) falls through to the dynamic path and its exact errors.
+            if (fe.tuple != nullptr) {
+              ++stats_->slot_reads;
+              int idx = it->second.attr_index;
+              if (idx < 0) idx = fe.schema->IndexOf(t.attr);
+              if (idx < 0) {
+                return EvalError("relation bound to '" + t.var +
+                                 "' has no attribute '" + t.attr + "'");
+              }
+              if (idx >= fe.tuple->size()) {
+                return EvalError("tuple width mismatch for '" + t.var + "'");
+              }
+              return fe.tuple->at(idx);
+            }
+          }
+        }
         const EnvEntry* e = LookupVar(t.var);
         if (e == nullptr) {
           return NotFound("unbound variable '" + t.var + "'");
@@ -593,6 +721,47 @@ class EvalImpl {
       }
     }
     return EvalError("bad term");
+  }
+
+  /// Zero-copy term access: returns a pointer to the value when the term
+  /// resolves to storage that outlives the current combination (a bound
+  /// attribute, a literal, a cached aggregate), nullptr when the term needs
+  /// materialization or would fail — callers fall back to EvalTerm, which
+  /// re-derives the exact error. The pointer is valid until the enclosing
+  /// binding is popped.
+  const Value* EvalTermFast(const Term& t, const AggCtx* agg) {
+    switch (t.kind) {
+      case TermKind::kAttrRef: {
+        if (plan_ != nullptr) {
+          auto it = plan_->term_slots.find(&t);
+          if (it != plan_->term_slots.end() && it->second.frame_slot >= 0) {
+            const FrameEntry& fe =
+                frame_[static_cast<size_t>(it->second.frame_slot)];
+            if (fe.tuple != nullptr) {
+              const int idx = it->second.attr_index;
+              if (idx < 0 || idx >= fe.tuple->size()) return nullptr;
+              ++stats_->slot_reads;
+              return &fe.tuple->at(idx);
+            }
+          }
+        }
+        const EnvEntry* e = LookupVar(t.var);
+        if (e == nullptr) return nullptr;
+        const int idx = e->schema->IndexOf(t.attr);
+        if (idx < 0 || idx >= e->tuple->size()) return nullptr;
+        return &e->tuple->at(idx);
+      }
+      case TermKind::kLiteral:
+        return &t.literal;
+      case TermKind::kAggregate:
+        if (agg != nullptr) {
+          auto it = agg->find(&t);
+          if (it != agg->end()) return &it->second;
+        }
+        return nullptr;
+      default:  // arithmetic needs materialization
+        return nullptr;
+    }
   }
 
   // ---- boolean evaluation ---------------------------------------------------
@@ -630,14 +799,28 @@ class EvalImpl {
         return data::FromBool(found);
       }
       case FormulaKind::kPredicate: {
-        ARC_ASSIGN_OR_RETURN(Value l, EvalTerm(*f.lhs, agg));
-        ARC_ASSIGN_OR_RETURN(Value r, EvalTerm(*f.rhs, agg));
-        return data::Compare(f.cmp_op, l, r,
+        Value lbuf, rbuf;
+        const Value* l = EvalTermFast(*f.lhs, agg);
+        if (l == nullptr) {
+          ARC_ASSIGN_OR_RETURN(lbuf, EvalTerm(*f.lhs, agg));
+          l = &lbuf;
+        }
+        const Value* r = EvalTermFast(*f.rhs, agg);
+        if (r == nullptr) {
+          ARC_ASSIGN_OR_RETURN(rbuf, EvalTerm(*f.rhs, agg));
+          r = &rbuf;
+        }
+        return data::Compare(f.cmp_op, *l, *r,
                              options_.conventions.null_logic);
       }
       case FormulaKind::kNullTest: {
-        ARC_ASSIGN_OR_RETURN(Value v, EvalTerm(*f.null_arg, agg));
-        return data::FromBool(v.is_null() != f.null_negated);
+        const Value* v = EvalTermFast(*f.null_arg, agg);
+        Value vbuf;
+        if (v == nullptr) {
+          ARC_ASSIGN_OR_RETURN(vbuf, EvalTerm(*f.null_arg, agg));
+          v = &vbuf;
+        }
+        return data::FromBool(v->is_null() != f.null_negated);
       }
     }
     return EvalError("bad formula");
@@ -645,15 +828,64 @@ class EvalImpl {
 
   // ---- solutions (head valuations) ----------------------------------------
 
+  /// Assignment-predicate shape compiled against the head's position map.
+  struct AssignPlan {
+    bool is_assignment = false;
+    int pos = -1;
+    const Term* value = nullptr;
+  };
+
+  /// Resolves whether `f` assigns a head attribute, and to which position.
+  /// Slot mode caches per formula (a formula sits under one static head);
+  /// string mode re-derives the shape per touch, as the pre-slot evaluator
+  /// did.
+  AssignPlan AssignPlanFor(const Formula& f, const Collection* head_c) {
+    if (plan_ != nullptr) {
+      auto it = assign_plans_.find(&f);
+      if (it != assign_plans_.end()) return it->second;
+    }
+    AssignPlan ap;
+    if (head_c != nullptr) {
+      auto assign = MatchAssignment(f, head_c->head.relation);
+      if (assign.has_value()) {
+        ap.is_assignment = true;
+        ap.pos = HeadPos(head_c, assign->attr);
+        ap.value = assign->value;
+      }
+    }
+    if (plan_ != nullptr) assign_plans_.emplace(&f, ap);
+    return ap;
+  }
+
+  /// Does the quantifier involve the enclosing head (assignments inside)?
+  /// Determines whether an EXISTS contributes valuations or is a pure
+  /// existence test. Static per quantifier; cached in slot mode.
+  bool HeadInvolved(const Quantifier& q, const std::string& head) {
+    if (plan_ != nullptr) {
+      auto it = head_involved_.find(&q);
+      if (it != head_involved_.end()) return it->second;
+      const bool involved = QuantifierReferencesVar(q, head);
+      head_involved_.emplace(&q, involved);
+      return involved;
+    }
+    return QuantifierReferencesVar(q, head);
+  }
+
   Result<std::vector<HeadVals>> Solutions(const Formula& f, const AggCtx* agg) {
-    const std::string& head = heads_.empty() ? kNoHead : heads_.back();
+    const Collection* head_c = HeadCollection();
+    const std::string& head = HeadName();
     switch (f.kind) {
       case FormulaKind::kPredicate: {
-        auto assign = MatchAssignment(f, head);
-        if (assign.has_value()) {
-          ARC_ASSIGN_OR_RETURN(Value v, EvalTerm(*assign->value, agg));
+        AssignPlan assign = AssignPlanFor(f, head_c);
+        if (assign.is_assignment) {
           std::vector<HeadVals> out;
-          out.push_back({{assign->attr, std::move(v)}});
+          const Value* fast = EvalTermFast(*assign.value, agg);
+          if (fast != nullptr) {
+            out.push_back({{assign.pos, *fast}});
+          } else {
+            ARC_ASSIGN_OR_RETURN(Value v, EvalTerm(*assign.value, agg));
+            out.push_back({{assign.pos, std::move(v)}});
+          }
           return out;
         }
         break;  // ordinary predicate: boolean below
@@ -678,8 +910,7 @@ class EvalImpl {
       }
       case FormulaKind::kExists: {
         // Fast path: no head involvement → pure existence test.
-        if (head == kNoHead ||
-            !QuantifierReferencesVar(*f.quantifier, head)) {
+        if (head_c == nullptr || !HeadInvolved(*f.quantifier, head)) {
           break;  // boolean below
         }
         std::vector<HeadVals> acc;
@@ -732,6 +963,7 @@ class EvalImpl {
   static std::vector<HeadVals> MergeProduct(const std::vector<HeadVals>& a,
                                             const std::vector<HeadVals>& b) {
     std::vector<HeadVals> out;
+    out.reserve(a.size() * b.size());
     for (const HeadVals& x : a) {
       for (const HeadVals& y : b) {
         HeadVals merged = x;
@@ -764,31 +996,168 @@ class EvalImpl {
 
   // ---- scope evaluation -----------------------------------------------------
 
+  /// Static shape of one quantifier scope: flattened conjuncts, filter
+  /// placement, and the grouped/join-tree conjunct splits. All of it depends
+  /// only on the AST and the (static) enclosing head, so slot mode compiles
+  /// it once per quantifier; string mode rebuilds it per entry, as the
+  /// pre-slot evaluator did.
+  struct ScopePlan {
+    std::vector<const Formula*> conjuncts;
+    /// Plain scopes: pure filters runnable once `i` bindings are bound.
+    /// Grouped scopes without a join tree: same, computed over `pre`.
+    std::vector<std::vector<const Formula*>> filters_at;
+    /// Join-tree scopes: conjuncts to re-run per fragment (head/aggregate).
+    std::vector<const Formula*> remaining;
+    /// Grouped scopes: pre-grouping filters vs. group-level conjuncts, and
+    /// the aggregate terms the group must compute.
+    std::vector<const Formula*> pre;
+    std::vector<const Formula*> group_level;
+    std::vector<const Term*> agg_terms;
+    /// Slot mode only: the body (or join-scope remainder) compiled to a
+    /// straight-line step sequence — each conjunct is either a head-attr
+    /// assignment or a head-free filter, so a combination yields at most
+    /// one valuation and needs no MergeProduct/dedup machinery.
+    struct FlatStep {
+      int pos = -1;                     // head position; -1 → filter
+      const Term* value = nullptr;      // assignment RHS
+      const Formula* filter = nullptr;  // head-free boolean conjunct
+    };
+    bool flat = false;
+    std::vector<FlatStep> steps;
+    bool remaining_flat = false;
+    std::vector<FlatStep> remaining_steps;
+  };
+
+  void BuildScopePlan(const Quantifier& q, ScopePlan* p) {
+    if (q.body) FlattenAnd(*q.body, &p->conjuncts);
+    const std::string& head = HeadName();
+    if (q.grouping.has_value()) {
+      for (const Formula* c : p->conjuncts) {
+        const bool has_agg = c->ContainsAggregate();
+        const bool touches_head =
+            head != kNoHead && FormulaReferencesVar(*c, head);
+        if (has_agg || touches_head) {
+          p->group_level.push_back(c);
+        } else {
+          p->pre.push_back(c);
+        }
+      }
+      for (const Formula* c : p->group_level) CollectAggTerms(*c, &p->agg_terms);
+      if (!q.join_tree) {
+        p->filters_at.resize(q.bindings.size() + 1);
+        AssignEagerFilters(q, p->pre, &p->filters_at);
+      }
+      return;
+    }
+    if (q.join_tree) {
+      for (const Formula* c : p->conjuncts) {
+        if (c->ContainsAggregate() ||
+            (head != kNoHead && FormulaReferencesVar(*c, head))) {
+          p->remaining.push_back(c);
+        }
+      }
+      if (plan_ != nullptr) {
+        p->remaining_flat = BuildFlatSteps(p->remaining, &p->remaining_steps);
+      }
+      return;
+    }
+    p->filters_at.resize(q.bindings.size() + 1);
+    AssignEagerFilters(q, p->conjuncts, &p->filters_at);
+    if (plan_ != nullptr) p->flat = BuildFlatSteps(p->conjuncts, &p->steps);
+  }
+
+  /// Compiles a conjunct list into ScopePlan::FlatStep form. Succeeds only
+  /// when every conjunct is either a head-attribute assignment or provably
+  /// head-free (then Solutions() degenerates to EvalBool()), so the flat
+  /// walk reproduces the general path's left-to-right evaluation order,
+  /// early exits, and equality-constraint semantics exactly.
+  bool BuildFlatSteps(const std::vector<const Formula*>& conjuncts,
+                      std::vector<ScopePlan::FlatStep>* steps) {
+    const Collection* head_c = HeadCollection();
+    const std::string& head = HeadName();
+    for (const Formula* c : conjuncts) {
+      if (c->ContainsAggregate()) return false;
+      AssignPlan ap = AssignPlanFor(*c, head_c);
+      if (ap.is_assignment) {
+        steps->push_back({ap.pos, ap.value, nullptr});
+        continue;
+      }
+      switch (c->kind) {
+        case FormulaKind::kPredicate:
+        case FormulaKind::kNullTest:
+        case FormulaKind::kNot:
+        case FormulaKind::kExists:
+          break;
+        default:  // kOr evaluates all children in Solutions(); keep general
+          return false;
+      }
+      if (head != kNoHead && FormulaReferencesVar(*c, head)) return false;
+      steps->push_back({-1, nullptr, c});
+    }
+    return true;
+  }
+
+  /// Evaluates a flat-compiled combination: at most one valuation, written
+  /// straight into `collect_out` with no intermediate solution vectors.
+  Status EmitFlatSteps(const std::vector<ScopePlan::FlatStep>& steps,
+                       std::vector<HeadVals>* collect_out) {
+    HeadVals out;
+    for (const ScopePlan::FlatStep& s : steps) {
+      if (s.filter != nullptr) {
+        ARC_ASSIGN_OR_RETURN(TriBool v, EvalBool(*s.filter, nullptr));
+        if (!data::IsTrue(v)) return Status::Ok();
+        continue;
+      }
+      Value vbuf;
+      const Value* v = EvalTermFast(*s.value, nullptr);
+      if (v == nullptr) {
+        ARC_ASSIGN_OR_RETURN(vbuf, EvalTerm(*s.value, nullptr));
+        v = &vbuf;
+      }
+      const Value* existing = FindHeadVal(out, s.pos);
+      if (existing != nullptr) {
+        // Re-assignment acts as an equality constraint (MergeProduct).
+        if (!(*existing == *v)) return Status::Ok();
+      } else {
+        out.push_back({s.pos, *v});
+      }
+    }
+    collect_out->push_back(std::move(out));
+    return Status::Ok();
+  }
+
+  const ScopePlan& ScopePlanFor(const Quantifier& q, ScopePlan* local) {
+    if (plan_ == nullptr) {
+      BuildScopePlan(q, local);
+      return *local;
+    }
+    auto it = scope_plans_.find(&q);
+    if (it != scope_plans_.end()) return it->second;
+    ScopePlan p;
+    BuildScopePlan(q, &p);
+    return scope_plans_.emplace(&q, std::move(p)).first->second;
+  }
+
   Status ScopeRun(const Quantifier& q, ScopeMode mode,
                   std::vector<HeadVals>* collect_out, bool* bool_out) {
     ++stats_->scope_evaluations;
-    std::vector<const Formula*> conjuncts;
-    if (q.body) FlattenAnd(*q.body, &conjuncts);
+    ScopePlan local;
+    const ScopePlan& sp = ScopePlanFor(q, &local);
     if (q.grouping.has_value()) {
-      return ScopeRunGrouped(q, conjuncts, mode, collect_out, bool_out);
+      return ScopeRunGrouped(q, sp, mode, collect_out, bool_out);
     }
     if (q.join_tree) {
       // Join conditions are consumed by the join plan; re-evaluating them on
       // null-padded rows would wrongly reject outer-join padding, so only the
       // remaining (head/aggregate) conjuncts run per fragment.
-      const std::string& head = heads_.empty() ? kNoHead : heads_.back();
-      std::vector<const Formula*> remaining;
-      for (const Formula* c : conjuncts) {
-        if (c->ContainsAggregate() ||
-            (head != kNoHead && FormulaReferencesVar(*c, head))) {
-          remaining.push_back(c);
-        }
-      }
       ARC_ASSIGN_OR_RETURN(std::vector<Fragment> frags,
-                           EvalJoinScope(q, conjuncts));
+                           EvalJoinScope(q, sp.conjuncts));
       for (const Fragment& frag : frags) {
         PushFragment(frag);
-        Status s = EmitConjuncts(remaining, mode, collect_out, bool_out);
+        Status s = mode == ScopeMode::kCollect && sp.remaining_flat
+                       ? EmitFlatSteps(sp.remaining_steps, collect_out)
+                       : EmitConjuncts(sp.remaining, mode, collect_out,
+                                       bool_out);
         PopFragment(frag);
         ARC_RETURN_IF_ERROR(s);
         if (mode == ScopeMode::kBoolean && *bool_out) return Status::Ok();
@@ -796,11 +1165,8 @@ class EvalImpl {
       return Status::Ok();
     }
     // Plain nested loops with eager filter pushdown.
-    std::vector<std::vector<const Formula*>> filters_at(q.bindings.size() + 1);
-    AssignEagerFilters(q, conjuncts, &filters_at);
     bool stop = false;
-    return EnumerateBindings(q, conjuncts, filters_at, 0, mode, collect_out,
-                             bool_out, &stop);
+    return EnumerateBindings(q, sp, 0, mode, collect_out, bool_out, &stop);
   }
 
   /// Evaluates only the given conjuncts in the current combination (used
@@ -823,6 +1189,11 @@ class EvalImpl {
       sols = MergeProduct(sols, next);
       if (sols.empty()) return Status::Ok();
     }
+    // A single solution cannot self-duplicate: skip the hashing dedup.
+    if (sols.size() == 1) {
+      collect_out->push_back(std::move(sols.front()));
+      return Status::Ok();
+    }
     HeadValsSet dedup(stats_);
     for (HeadVals& hv : sols) dedup.Add(std::move(hv));
     for (HeadVals& hv : dedup.Take()) collect_out->push_back(std::move(hv));
@@ -830,15 +1201,21 @@ class EvalImpl {
   }
 
   /// Evaluates the body in the current (fully bound) combination.
-  Status ScopeEmit(const Quantifier& q, ScopeMode mode,
+  Status ScopeEmit(const Quantifier& q, const ScopePlan& sp, ScopeMode mode,
                    std::vector<HeadVals>* collect_out, bool* bool_out) {
     if (mode == ScopeMode::kBoolean) {
       ARC_ASSIGN_OR_RETURN(TriBool v, EvalBool(*q.body, nullptr));
       if (data::IsTrue(v)) *bool_out = true;
       return Status::Ok();
     }
+    if (sp.flat) return EmitFlatSteps(sp.steps, collect_out);
     ARC_ASSIGN_OR_RETURN(std::vector<HeadVals> sols, Solutions(*q.body, nullptr));
-    // Within one combination, solutions form a set.
+    // Within one combination, solutions form a set; a single solution
+    // cannot self-duplicate, so skip the hashing dedup.
+    if (sols.size() == 1) {
+      collect_out->push_back(std::move(sols.front()));
+      return Status::Ok();
+    }
     HeadValsSet dedup(stats_);
     for (HeadVals& hv : sols) dedup.Add(std::move(hv));
     for (HeadVals& hv : dedup.Take()) collect_out->push_back(std::move(hv));
@@ -857,7 +1234,7 @@ class EvalImpl {
                                  const std::vector<const Formula*>& conjuncts,
                                  const Schema& schema) {
     const Binding& b = q.bindings[idx];
-    const std::string& head = heads_.empty() ? kNoHead : heads_.back();
+    const std::string& head = HeadName();
     for (const Formula* c : conjuncts) {
       if (c->kind != FormulaKind::kPredicate ||
           c->cmp_op != data::CmpOp::kEq) {
@@ -885,35 +1262,82 @@ class EvalImpl {
     return std::nullopt;
   }
 
+  struct RangeRel {
+    const Relation* rel = nullptr;
+    std::shared_ptr<Relation> owned;  // for materialized nested collections
+    /// True when `rel` has a stable address for as long as its indexes can
+    /// live — db relations, materialized definitions, caches — required for
+    /// address-keyed hash indexes. In slot mode fixpoint overlay relations
+    /// are also indexable (marked `fixpoint`): their indexes are maintained
+    /// incrementally and purged when contents are replaced or the fixpoint
+    /// exits. The string-keyed reference path keeps them unindexed, as the
+    /// pre-slot evaluator did.
+    bool indexable = false;
+    /// Resolved through a recursion overlay (accumulator or delta).
+    bool fixpoint = false;
+  };
+
   using AttrIndex = std::unordered_map<Value, std::vector<int>, data::ValueHash>;
 
-  /// Hash index over one attribute of a stable relation. Built lazily and
-  /// keyed by relation address (stable for db/defs/cached relations).
-  const AttrIndex* GetIndex(const Relation* rel, int attr) {
-    const auto key = std::make_pair(static_cast<const void*>(rel), attr);
-    auto it = attr_indexes_.find(key);
-    if (it != attr_indexes_.end()) return &it->second;
+  /// One attribute hash index plus its append watermark: rows past
+  /// `rows_indexed` have not been indexed yet. Fixpoint accumulators are
+  /// append-only between rounds, so the same table is extended incrementally
+  /// across delta rounds instead of rebuilt (tables over relations whose
+  /// contents are *replaced* — the delta itself — are purged instead; see
+  /// PurgeIndexes).
+  struct AttrIndexEntry {
     AttrIndex index;
+    size_t rows_indexed = 0;
+  };
+
+  /// Hash index over one attribute of a relation, keyed by relation address
+  /// (stable for db/defs/cached relations and for fixpoint accumulators
+  /// while their fixpoint runs).
+  const AttrIndex* GetIndex(const Relation* rel, int attr, bool fixpoint) {
+    const auto key = std::make_pair(static_cast<const void*>(rel), attr);
+    AttrIndexEntry& e = attr_indexes_[key];
     const auto& rows = rel->rows();
-    for (int i = 0; i < static_cast<int>(rows.size()); ++i) {
-      const Value& v = rows[static_cast<size_t>(i)].at(attr);
-      if (v.is_null()) continue;  // equality with null never holds
-      index[v].push_back(i);
+    if (fixpoint && e.rows_indexed > 0 && rows.size() > e.rows_indexed) {
+      // A later delta round extends the table built by an earlier round.
+      ++stats_->join_table_reuses;
     }
-    return &attr_indexes_.emplace(key, std::move(index)).first->second;
+    for (size_t i = e.rows_indexed; i < rows.size(); ++i) {
+      const Value& v = rows[i].at(attr);
+      if (v.is_null()) continue;  // equality with null never holds
+      e.index[v].push_back(static_cast<int>(i));
+    }
+    e.rows_indexed = rows.size();
+    return &e.index;
   }
 
-  /// Rows of `rel` to visit given an optional probe; nullptr = all rows.
-  /// Returns false when the probe proves the binding empty.
-  bool ProbeRows(const Relation* rel, const std::optional<Probe>& probe,
+  /// Drops all attribute indexes over `rel` (stack-allocated fixpoint
+  /// relations die or get replaced wholesale; their addresses may be reused).
+  void PurgeIndexes(const Relation* rel) {
+    auto it = attr_indexes_.lower_bound(
+        std::make_pair(static_cast<const void*>(rel), INT_MIN));
+    while (it != attr_indexes_.end() && it->first.first == rel) {
+      it = attr_indexes_.erase(it);
+    }
+  }
+
+  /// Rows of the range to visit given an optional probe; nullptr = all
+  /// rows. Returns false when the probe proves the binding empty.
+  bool ProbeRows(const RangeRel& range, const std::optional<Probe>& probe,
                  const std::vector<int>** out) {
     *out = nullptr;
-    if (!probe.has_value() || rel->size() < 16) return true;
-    auto value = EvalTerm(*probe->term, nullptr);
-    if (!value.ok()) return true;  // not evaluable here: fall back to scan
+    if (!probe.has_value() || range.rel->size() < 16) return true;
+    Value vbuf;
+    const Value* value = EvalTermFast(*probe->term, nullptr);
+    if (value == nullptr) {
+      auto v = EvalTerm(*probe->term, nullptr);
+      if (!v.ok()) return true;  // not evaluable here: fall back to scan
+      vbuf = std::move(v).value();
+      value = &vbuf;
+    }
     ++stats_->index_probes;
     if (value->is_null()) return false;  // eq with null filters everything
-    const AttrIndex* index = GetIndex(rel, probe->attr_index);
+    const AttrIndex* index =
+        GetIndex(range.rel, probe->attr_index, range.fixpoint);
     auto hit = index->find(*value);
     if (hit == index->end()) return false;
     ++stats_->index_hits;
@@ -925,7 +1349,7 @@ class EvalImpl {
   void AssignEagerFilters(
       const Quantifier& q, const std::vector<const Formula*>& conjuncts,
       std::vector<std::vector<const Formula*>>* filters_at) {
-    const std::string& head = heads_.empty() ? kNoHead : heads_.back();
+    const std::string& head = HeadName();
     for (const Formula* c : conjuncts) {
       if (c->ContainsAggregate()) continue;
       if (head != kNoHead && FormulaReferencesVar(*c, head)) continue;
@@ -940,58 +1364,103 @@ class EvalImpl {
   }
 
   Status EnumerateBindings(
-      const Quantifier& q, const std::vector<const Formula*>& conjuncts,
-      const std::vector<std::vector<const Formula*>>& filters_at, size_t idx,
+      const Quantifier& q, const ScopePlan& sp, size_t idx,
       ScopeMode mode, std::vector<HeadVals>* collect_out, bool* bool_out,
       bool* stop) {
     // Filters runnable once `idx` bindings are bound.
-    for (const Formula* f : filters_at[idx]) {
+    for (const Formula* f : sp.filters_at[idx]) {
       ARC_ASSIGN_OR_RETURN(TriBool v, EvalBool(*f, nullptr));
       if (!data::IsTrue(v)) return Status::Ok();
     }
     if (idx == q.bindings.size()) {
-      ARC_RETURN_IF_ERROR(ScopeEmit(q, mode, collect_out, bool_out));
+      ARC_RETURN_IF_ERROR(ScopeEmit(q, sp, mode, collect_out, bool_out));
       if (mode == ScopeMode::kBoolean && *bool_out) *stop = true;
       return Status::Ok();
     }
     const Binding& b = q.bindings[idx];
     auto recurse = [&]() -> Status {
-      return EnumerateBindings(q, conjuncts, filters_at, idx + 1, mode,
-                               collect_out, bool_out, stop);
+      return EnumerateBindings(q, sp, idx + 1, mode, collect_out, bool_out,
+                               stop);
     };
-    if (b.range_kind == RangeKind::kNamed) {
-      const std::string key = ToLower(b.relation);
-      if (abstract_defs_.contains(key)) {
-        return EnumerateAbstract(b, conjuncts, recurse);
+    if (b.range_kind == RangeKind::kNamed && IsModuleOrExternal(b)) {
+      if (binding_class_ == RangeClass::kAbstract) {
+        return EnumerateAbstract(b, sp.conjuncts, recurse);
       }
-      if (!IsKnownRelation(b.relation) &&
-          externals_.Find(b.relation) != nullptr) {
-        return EnumerateExternal(b, conjuncts, recurse);
-      }
+      return EnumerateExternal(b, sp.conjuncts, recurse);
     }
     ARC_ASSIGN_OR_RETURN(RangeRel range, ResolveRange(b));
-    std::optional<Probe> probe =
-        b.range_kind == RangeKind::kNamed || b.range_kind == RangeKind::kCollection
-            ? FindProbe(q, idx, conjuncts, range.rel->schema())
-            : std::nullopt;
+    std::optional<Probe> probe = CachedProbe(q, idx, sp.conjuncts, range);
     const std::vector<int>* matching = nullptr;
     if (!range.indexable) probe.reset();
-    if (!ProbeRows(range.rel, probe, &matching)) return Status::Ok();
+    if (!ProbeRows(range, probe, &matching)) return Status::Ok();
     const auto& rows = range.rel->rows();
     const size_t n = matching != nullptr ? matching->size() : rows.size();
+    const Schema* schema = &range.rel->schema();
+    const int slot = SlotOfBinding(&b);
     for (size_t k = 0; k < n; ++k) {
       const Tuple& row =
           matching != nullptr
               ? rows[static_cast<size_t>((*matching)[k])]
               : rows[k];
       ++stats_->rows_scanned;
-      env_.push_back({b.var, &range.rel->schema(), &row});
+      env_.push_back({&b.var, schema, &row});
+      const FrameEntry prev = FrameBind(slot, schema, &row);
       Status s = recurse();
+      FrameRestore(slot, prev);
       env_.pop_back();
       ARC_RETURN_IF_ERROR(s);
       if (*stop) return Status::Ok();
     }
     return Status::Ok();
+  }
+
+  /// Routes named bindings that are abstract modules or externals away from
+  /// relation enumeration. Slot mode uses the analyzer's static
+  /// classification (one hash lookup, no name lowering); the string path
+  /// re-derives it per call as the pre-slot evaluator did. Sets
+  /// `binding_class_` to kAbstract/kExternal accordingly.
+  bool IsModuleOrExternal(const Binding& b) {
+    if (plan_ != nullptr) {
+      auto it = plan_->bindings.find(&b);
+      binding_class_ =
+          it == plan_->bindings.end() ? RangeClass::kUnknown
+                                      : it->second.range_class;
+      return binding_class_ == RangeClass::kAbstract ||
+             binding_class_ == RangeClass::kExternal;
+    }
+    const std::string key = ToLower(b.relation);
+    if (abstract_defs_.contains(key)) {
+      binding_class_ = RangeClass::kAbstract;
+      return true;
+    }
+    if (!IsKnownRelation(b.relation) && externals_.Find(b.relation) != nullptr) {
+      binding_class_ = RangeClass::kExternal;
+      return true;
+    }
+    binding_class_ = RangeClass::kUnknown;
+    return false;
+  }
+
+  /// Probe site for a named/collection binding. The probe shape (conjunct +
+  /// attribute index) is static per binding; slot mode compiles it once.
+  std::optional<Probe> CachedProbe(const Quantifier& q, size_t idx,
+                                   const std::vector<const Formula*>& conjuncts,
+                                   const RangeRel& range) {
+    const Binding& b = q.bindings[idx];
+    if (b.range_kind != RangeKind::kNamed &&
+        b.range_kind != RangeKind::kCollection) {
+      return std::nullopt;
+    }
+    if (plan_ == nullptr) {
+      return FindProbe(q, idx, conjuncts, range.rel->schema());
+    }
+    auto it = probe_plans_.find(&b);
+    if (it == probe_plans_.end()) {
+      it = probe_plans_
+               .emplace(&b, FindProbe(q, idx, conjuncts, range.rel->schema()))
+               .first;
+    }
+    return it->second;
   }
 
   bool IsKnownRelation(const std::string& name) const {
@@ -1002,17 +1471,6 @@ class EvalImpl {
     return defs_.contains(key) || db_.Has(name);
   }
 
-  struct RangeRel {
-    const Relation* rel = nullptr;
-    std::shared_ptr<Relation> owned;  // for materialized nested collections
-    /// True when `rel` has a stable address AND immutable content for the
-    /// whole evaluation (db relations, materialized definitions, caches) —
-    /// required for address-keyed hash indexes. Recursion overlays mutate
-    /// between fixpoint iterations; fresh materializations may reuse heap
-    /// addresses. Both must not be indexed.
-    bool indexable = false;
-  };
-
   /// True if the nested collection has no free variables (no correlation):
   /// its extension is environment-independent and can be cached.
   bool IsClosedCollection(const Binding& b) {
@@ -1020,14 +1478,16 @@ class EvalImpl {
     if (it != closed_.end()) return it->second;
     bool closed = true;
     for (const EnvEntry& e : env_) {
-      if (CollectionReferencesVar(*b.collection, e.var)) {
+      if (CollectionReferencesVar(*b.collection, *e.var)) {
         closed = false;
         break;
       }
     }
     // Heads of enclosing collections act like free variables too.
-    for (const std::string& head : heads_) {
-      if (CollectionReferencesVar(*b.collection, head)) closed = false;
+    for (const Collection* head : heads_) {
+      if (CollectionReferencesVar(*b.collection, head->head.relation)) {
+        closed = false;
+      }
     }
     closed_.emplace(&b, closed);
     return closed;
@@ -1058,6 +1518,7 @@ class EvalImpl {
       }
       return out;
     }
+    if (plan_ != nullptr) return ResolveNamedPlanned(b);
     const std::string key = ToLower(b.relation);
     for (auto it = overlay_.rbegin(); it != overlay_.rend(); ++it) {
       if (it->first == key) {
@@ -1065,6 +1526,52 @@ class EvalImpl {
         return out;  // mutable across fixpoint iterations: not indexable
       }
     }
+    return ResolveNamedSlow(b, key);
+  }
+
+  /// Compiled named-range site: the lowered key is always precomputed; the
+  /// resolved target is cached once definition registration is complete.
+  struct RangePlan {
+    std::string key;
+    RangeRel range;
+    bool cached = false;
+  };
+
+  /// Slot-mode named-range resolution. The lowered key and the non-overlay
+  /// target are static per binding site, so both are computed at most once;
+  /// the overlay (fixpoint accumulator / delta) is consulted every call
+  /// because fixpoint state changes per round. Overlay hits are marked
+  /// `fixpoint` so probes use watermark indexes that survive delta rounds:
+  /// the accumulator only ever grows, and the delta is replaced wholesale
+  /// with its indexes purged, so incremental extension stays sound.
+  Result<RangeRel> ResolveNamedPlanned(const Binding& b) {
+    auto it = range_plans_.find(&b);
+    if (it == range_plans_.end()) {
+      it = range_plans_.emplace(&b, RangePlan{ToLower(b.relation)}).first;
+    }
+    RangePlan& rp = it->second;
+    for (auto o = overlay_.rbegin(); o != overlay_.rend(); ++o) {
+      if (o->first == rp.key) {
+        RangeRel out;
+        out.rel = delta_site_ == &b ? delta_rel_ : o->second;
+        out.indexable = true;
+        out.fixpoint = true;
+        return out;
+      }
+    }
+    if (rp.cached) return rp.range;
+    ARC_ASSIGN_OR_RETURN(RangeRel out, ResolveNamedSlow(b, rp.key));
+    // Definitions registered later can shadow an earlier base-relation hit,
+    // so the resolution is only static once all definitions are in place.
+    if (defs_ready_) {
+      rp.range = out;
+      rp.cached = true;
+    }
+    return out;
+  }
+
+  Result<RangeRel> ResolveNamedSlow(const Binding& b, const std::string& key) {
+    RangeRel out;
     auto def = defs_.find(key);
     if (def != defs_.end()) {
       out.rel = &def->second;
@@ -1136,10 +1643,13 @@ class EvalImpl {
       }
       return tuples.status();
     }
+    const int slot = SlotOfBinding(&b);
     for (const Tuple& row : *tuples) {
       ++stats_->rows_scanned;
-      env_.push_back({b.var, &ext->schema(), &row});
+      env_.push_back({&b.var, &ext->schema(), &row});
+      const FrameEntry prev = FrameBind(slot, &ext->schema(), &row);
       Status s = recurse();
+      FrameRestore(slot, prev);
       env_.pop_back();
       ARC_RETURN_IF_ERROR(s);
     }
@@ -1169,52 +1679,47 @@ class EvalImpl {
       params.Append(*pattern[static_cast<size_t>(i)]);
     }
     // Evaluate the module body hygienically: only the parameters are
-    // visible (plus base/defined relations, which resolve by name).
+    // visible (plus base/defined relations, which resolve by name). The
+    // frame is not swapped: the module body only references slots owned by
+    // its own nodes, which are globally unique; the head slot is rebound
+    // LIFO-style so recursive invocations nest correctly.
     std::vector<EnvEntry> saved_env;
     saved_env.swap(env_);
-    std::vector<std::string> saved_heads;
+    std::vector<const Collection*> saved_heads;
     saved_heads.swap(heads_);
-    env_.push_back({def->head.relation, &param_schema, &params});
+    env_.push_back({&def->head.relation, &param_schema, &params});
+    const int head_slot = SlotOfHead(def);
+    const FrameEntry head_prev = FrameBind(head_slot, &param_schema, &params);
     auto holds = EvalBool(*def->body, nullptr);
+    FrameRestore(head_slot, head_prev);
     env_.clear();
     saved_env.swap(env_);
     saved_heads.swap(heads_);
     ARC_RETURN_IF_ERROR(holds.status());
     if (!data::IsTrue(*holds)) return Status::Ok();
-    env_.push_back({b.var, &param_schema, &params});
+    const int slot = SlotOfBinding(&b);
+    env_.push_back({&b.var, &param_schema, &params});
+    const FrameEntry prev = FrameBind(slot, &param_schema, &params);
     Status s = recurse();
+    FrameRestore(slot, prev);
     env_.pop_back();
     return s;
   }
 
   // ---- grouping --------------------------------------------------------
 
-  Status ScopeRunGrouped(const Quantifier& q,
-                         const std::vector<const Formula*>& conjuncts,
+  Status ScopeRunGrouped(const Quantifier& q, const ScopePlan& sp,
                          ScopeMode mode, std::vector<HeadVals>* collect_out,
                          bool* bool_out) {
-    const std::string& head = heads_.empty() ? kNoHead : heads_.back();
-    std::vector<const Formula*> pre;
-    std::vector<const Formula*> group_level;
-    for (const Formula* c : conjuncts) {
-      const bool has_agg = c->ContainsAggregate();
-      const bool touches_head =
-          head != kNoHead && FormulaReferencesVar(*c, head);
-      if (has_agg || touches_head) {
-        group_level.push_back(c);
-      } else {
-        pre.push_back(c);
-      }
-    }
-    std::vector<const Term*> agg_terms;
-    for (const Formula* c : group_level) CollectAggTerms(*c, &agg_terms);
+    const std::vector<const Formula*>& group_level = sp.group_level;
+    const std::vector<const Term*>& agg_terms = sp.agg_terms;
 
     // Materialize qualifying combinations as owned fragments.
     std::vector<Fragment> fragments;
     if (q.join_tree) {
-      ARC_ASSIGN_OR_RETURN(fragments, EvalJoinScope(q, pre));
+      ARC_ASSIGN_OR_RETURN(fragments, EvalJoinScope(q, sp.pre));
     } else {
-      ARC_RETURN_IF_ERROR(MaterializeCombos(q, pre, &fragments));
+      ARC_RETURN_IF_ERROR(MaterializeRec(q, sp.filters_at, 0, &fragments));
     }
 
     // Partition into groups.
@@ -1304,14 +1809,6 @@ class EvalImpl {
     return Status::Ok();
   }
 
-  Status MaterializeCombos(const Quantifier& q,
-                           const std::vector<const Formula*>& pre,
-                           std::vector<Fragment>* fragments) {
-    std::vector<std::vector<const Formula*>> filters_at(q.bindings.size() + 1);
-    AssignEagerFilters(q, pre, &filters_at);
-    return MaterializeRec(q, filters_at, 0, fragments);
-  }
-
   Status MaterializeRec(
       const Quantifier& q,
       const std::vector<std::vector<const Formula*>>& filters_at, size_t idx,
@@ -1325,39 +1822,39 @@ class EvalImpl {
       const size_t base = env_.size() - q.bindings.size();
       for (size_t i = 0; i < q.bindings.size(); ++i) {
         const EnvEntry& e = env_[base + i];
-        frag.push_back({e.var, e.schema, *e.tuple});
+        frag.push_back({*e.var, e.schema, *e.tuple,
+                        SlotOfBinding(&q.bindings[i])});
       }
       fragments->push_back(std::move(frag));
       return Status::Ok();
     }
     const Binding& b = q.bindings[idx];
-    if (b.range_kind == RangeKind::kNamed) {
-      const std::string key = ToLower(b.relation);
-      if (abstract_defs_.contains(key) || (!IsKnownRelation(b.relation) &&
-                                            externals_.Find(b.relation))) {
-        // Externals/abstract modules inside grouping scopes reuse the
-        // streaming enumerator; route through it.
-        std::vector<const Formula*> all_pre;
-        for (const auto& fs : filters_at) {
-          for (const Formula* f : fs) all_pre.push_back(f);
-        }
-        auto recurse = [&]() -> Status {
-          return MaterializeRec(q, filters_at, idx + 1, fragments);
-        };
-        if (abstract_defs_.contains(key)) {
-          return EnumerateAbstract(b, all_pre, recurse);
-        }
-        return EnumerateExternal(b, all_pre, recurse);
+    if (b.range_kind == RangeKind::kNamed && IsModuleOrExternal(b)) {
+      // Externals/abstract modules inside grouping scopes reuse the
+      // streaming enumerator; route through it.
+      std::vector<const Formula*> all_pre;
+      for (const auto& fs : filters_at) {
+        for (const Formula* f : fs) all_pre.push_back(f);
       }
+      auto recurse = [&]() -> Status {
+        return MaterializeRec(q, filters_at, idx + 1, fragments);
+      };
+      if (binding_class_ == RangeClass::kAbstract) {
+        return EnumerateAbstract(b, all_pre, recurse);
+      }
+      return EnumerateExternal(b, all_pre, recurse);
     }
     ARC_ASSIGN_OR_RETURN(RangeRel range, ResolveRange(b));
     // Fragments outlive this enumeration, so they must reference a schema
     // with stable storage, not the (possibly temporary) range relation's.
     ARC_ASSIGN_OR_RETURN(const Schema* schema, BindingSchema(b));
+    const int slot = SlotOfBinding(&b);
     for (const Tuple& row : range.rel->rows()) {
       ++stats_->rows_scanned;
-      env_.push_back({b.var, schema, &row});
+      env_.push_back({&b.var, schema, &row});
+      const FrameEntry prev = FrameBind(slot, schema, &row);
       Status s = MaterializeRec(q, filters_at, idx + 1, fragments);
+      FrameRestore(slot, prev);
       env_.pop_back();
       ARC_RETURN_IF_ERROR(s);
     }
@@ -1454,13 +1951,22 @@ class EvalImpl {
     std::vector<const Formula*> global;  // no local leaves referenced
   };
 
-  Result<std::vector<Fragment>> EvalJoinScope(
-      const Quantifier& q, const std::vector<const Formula*>& conjuncts) {
+  /// Static join-scope shape: the (possibly extended) annotation tree plus
+  /// the conjunct attachment plan. Both depend only on the AST and the
+  /// static enclosing head, so slot mode builds them once per quantifier.
+  struct JoinScopePlan {
+    JoinNodePtr extended;  // owns the extension, when one was needed
+    const JoinNode* root = nullptr;
+    JoinPlan plan;
+  };
+
+  void BuildJoinScopePlan(const Quantifier& q,
+                          const std::vector<const Formula*>& conjuncts,
+                          JoinScopePlan* p) {
     // Bindings not mentioned in the annotation join the root as inner.
-    JoinNodePtr extended;
-    const JoinNode* root = q.join_tree.get();
+    p->root = q.join_tree.get();
     std::vector<std::string> tree_vars;
-    root->CollectVars(&tree_vars);
+    p->root->CollectVars(&tree_vars);
     std::vector<const Binding*> missing;
     for (const Binding& b : q.bindings) {
       bool present = false;
@@ -1471,25 +1977,41 @@ class EvalImpl {
     }
     if (!missing.empty()) {
       std::vector<JoinNodePtr> children;
-      children.push_back(root->Clone());
+      children.push_back(p->root->Clone());
       for (const Binding* b : missing) children.push_back(MakeJoinVar(b->var));
-      extended = MakeJoinInner(std::move(children));
-      root = extended.get();
+      p->extended = MakeJoinInner(std::move(children));
+      p->root = p->extended.get();
     }
-
-    const std::string& head = heads_.empty() ? kNoHead : heads_.back();
-    JoinPlan plan;
+    const std::string& head = HeadName();
     for (const Formula* c : conjuncts) {
       if (c->ContainsAggregate()) continue;  // group-level, handled elsewhere
       if (head != kNoHead && FormulaReferencesVar(*c, head)) continue;
-      AttachConjunct(*root, c, &plan);
+      AttachConjunct(*p->root, c, &p->plan);
     }
-    // Global filters run once.
-    for (const Formula* f : plan.global) {
+  }
+
+  Result<std::vector<Fragment>> EvalJoinScope(
+      const Quantifier& q, const std::vector<const Formula*>& conjuncts) {
+    JoinScopePlan local;
+    const JoinScopePlan* jp = nullptr;
+    if (plan_ == nullptr) {
+      BuildJoinScopePlan(q, conjuncts, &local);
+      jp = &local;
+    } else {
+      auto it = join_plans_.find(&q);
+      if (it == join_plans_.end()) {
+        JoinScopePlan p;
+        BuildJoinScopePlan(q, conjuncts, &p);
+        it = join_plans_.emplace(&q, std::move(p)).first;
+      }
+      jp = &it->second;
+    }
+    // Global filters run per scope entry (they may reference outer scopes).
+    for (const Formula* f : jp->plan.global) {
       ARC_ASSIGN_OR_RETURN(TriBool v, EvalBool(*f, nullptr));
       if (!data::IsTrue(v)) return std::vector<Fragment>{};
     }
-    return EvalJoinNode(*root, q, plan);
+    return EvalJoinNode(*jp->root, q, jp->plan);
   }
 
   /// Leaves of a join node: variable names (lower) and literal-leaf ptrs.
@@ -1606,7 +2128,8 @@ class EvalImpl {
       ARC_ASSIGN_OR_RETURN(const Schema* schema, BindingSchema(*binding));
       Tuple nulls;
       for (int i = 0; i < schema->size(); ++i) nulls.Append(Value::Null());
-      out.push_back({binding->var, schema, std::move(nulls)});
+      out.push_back({binding->var, schema, std::move(nulls),
+                     SlotOfBinding(binding)});
     }
     return out;
   }
@@ -1643,24 +2166,21 @@ class EvalImpl {
           return EvalError("join annotation references unbound '" + n.var +
                            "'");
         }
-        if (binding->range_kind == RangeKind::kNamed) {
-          const std::string key = ToLower(binding->relation);
-          if (abstract_defs_.contains(key) ||
-              (!IsKnownRelation(binding->relation) &&
-               externals_.Find(binding->relation) != nullptr)) {
-            return Unsupported(
-                "external/abstract relations are not supported inside join "
-                "annotations");
-          }
+        if (binding->range_kind == RangeKind::kNamed &&
+            IsModuleOrExternal(*binding)) {
+          return Unsupported(
+              "external/abstract relations are not supported inside join "
+              "annotations");
         }
         ARC_ASSIGN_OR_RETURN(RangeRel range, ResolveRange(*binding));
         // Cache the schema so padded fragments share it.
         ARC_ASSIGN_OR_RETURN(const Schema* schema, BindingSchema(*binding));
+        const int slot = SlotOfBinding(binding);
         std::vector<Fragment> out;
         for (const Tuple& row : range.rel->rows()) {
           ++stats_->rows_scanned;
           Fragment frag;
-          frag.push_back({binding->var, schema, row});
+          frag.push_back({binding->var, schema, row, slot});
           ARC_ASSIGN_OR_RETURN(bool pass, FragmentSatisfies(frag, *conds));
           if (pass) out.push_back(std::move(frag));
         }
@@ -1761,16 +2281,37 @@ class EvalImpl {
   const ExternalRegistry& externals_;
 
   std::vector<EnvEntry> env_;
-  std::vector<std::string> heads_;
+  std::vector<const Collection*> heads_;
   std::vector<std::pair<std::string, const Relation*>> overlay_;
   std::unordered_map<std::string, Relation> defs_;
   std::unordered_map<std::string, const Collection*> abstract_defs_;
+  bool defs_ready_ = false;
   std::unordered_map<const Binding*, Schema> nested_schemas_;
   std::unordered_map<std::string, Schema> named_schemas_;
   std::unordered_map<std::string, Relation> dedup_cache_;
   std::unordered_map<const Binding*, bool> closed_;
   std::unordered_map<const Binding*, std::shared_ptr<Relation>> closed_cache_;
-  std::map<std::pair<const void*, int>, AttrIndex> attr_indexes_;
+  std::map<std::pair<const void*, int>, AttrIndexEntry> attr_indexes_;
+
+  /// Slot-compiled plan (null in string-keyed mode or when analysis saw
+  /// errors) and the flat frame it indexes into. `frame_saves_` is the LIFO
+  /// stack of previous cells for PushFragment/PopFragment.
+  const Analysis* plan_;
+  std::vector<FrameEntry> frame_;
+  std::vector<FrameEntry> frame_saves_;
+  /// Stable head schemas (position maps for HeadVals keys) and stable
+  /// negative ids for head attributes unknown to the head schema.
+  std::unordered_map<const Collection*, Schema> head_schemas_;
+  std::unordered_map<std::string, int> extra_attr_ids_;
+  /// Per-node compiled shapes, populated lazily in slot mode only.
+  std::unordered_map<const Formula*, AssignPlan> assign_plans_;
+  std::unordered_map<const Quantifier*, bool> head_involved_;
+  std::unordered_map<const Quantifier*, ScopePlan> scope_plans_;
+  std::unordered_map<const Binding*, std::optional<Probe>> probe_plans_;
+  std::unordered_map<const Binding*, RangePlan> range_plans_;
+  std::unordered_map<const Quantifier*, JoinScopePlan> join_plans_;
+  /// Range class of the binding most recently tested by IsModuleOrExternal.
+  RangeClass binding_class_ = RangeClass::kUnknown;
 
   /// Telemetry sink (owned by the Evaluator; never null).
   EvalStats* stats_;
@@ -1799,6 +2340,9 @@ std::string EvalStats::ToString() const {
   line("index_hits", index_hits);
   line("dedup_hits", dedup_hits);
   line("scope_evaluations", scope_evaluations);
+  line("frames_pushed", frames_pushed);
+  line("slot_reads", slot_reads);
+  line("join_table_reuses", join_table_reuses);
   return out;
 }
 
@@ -1810,18 +2354,34 @@ Evaluator::Evaluator(const data::Database& database, EvalOptions options)
   }
 }
 
+namespace {
+
+/// One analysis pass serves both validation and the slot plan. The plan is
+/// only used when analysis is clean: an erroneous program (validate=false
+/// experiments) falls back to the fully dynamic string-keyed semantics.
+Analysis AnalyzeForEval(const Program& program, const data::Database& db,
+                        const EvalOptions& options, bool* use_plan) {
+  AnalyzeOptions aopts;
+  aopts.database = &db;
+  aopts.externals = options.externals;
+  Analysis analysis = Analyze(program, aopts);
+  *use_plan = options.binding_mode == BindingMode::kSlotCompiled &&
+              analysis.ok();
+  return analysis;
+}
+
+}  // namespace
+
 Result<data::Relation> Evaluator::EvalProgram(const Program& program) {
-  if (options_.validate) {
-    AnalyzeOptions aopts;
-    aopts.database = &database_;
-    aopts.externals = options_.externals;
-    Analysis analysis = Analyze(program, aopts);
-    if (!analysis.ok()) {
-      return ValidationError(Join(analysis.ErrorMessages(), "; "));
-    }
+  bool use_plan = false;
+  const Analysis analysis =
+      AnalyzeForEval(program, database_, options_, &use_plan);
+  if (options_.validate && !analysis.ok()) {
+    return ValidationError(Join(analysis.ErrorMessages(), "; "));
   }
   stats_.Reset();
-  EvalImpl impl(database_, options_, *options_.externals, &stats_);
+  EvalImpl impl(database_, options_, *options_.externals,
+                use_plan ? &analysis : nullptr, &stats_);
   return impl.RunProgram(program);
 }
 
@@ -1832,17 +2392,15 @@ Result<data::Relation> Evaluator::EvalCollection(const Collection& collection) {
 }
 
 Result<data::TriBool> Evaluator::EvalSentence(const Program& program) {
-  if (options_.validate) {
-    AnalyzeOptions aopts;
-    aopts.database = &database_;
-    aopts.externals = options_.externals;
-    Analysis analysis = Analyze(program, aopts);
-    if (!analysis.ok()) {
-      return ValidationError(Join(analysis.ErrorMessages(), "; "));
-    }
+  bool use_plan = false;
+  const Analysis analysis =
+      AnalyzeForEval(program, database_, options_, &use_plan);
+  if (options_.validate && !analysis.ok()) {
+    return ValidationError(Join(analysis.ErrorMessages(), "; "));
   }
   stats_.Reset();
-  EvalImpl impl(database_, options_, *options_.externals, &stats_);
+  EvalImpl impl(database_, options_, *options_.externals,
+                use_plan ? &analysis : nullptr, &stats_);
   return impl.RunSentence(program);
 }
 

@@ -66,10 +66,29 @@ struct EvalStats {
   int64_t dedup_hits = 0;
   /// Quantifier scopes entered.
   int64_t scope_evaluations = 0;
+  /// Slot-compiled path only: frame slots bound while entering rows /
+  /// fragments, and attribute reads served from the frame without a name
+  /// lookup. Both stay 0 under BindingMode::kStringKeyed.
+  int64_t frames_pushed = 0;
+  int64_t slot_reads = 0;
+  /// Attribute hash-join tables carried over (and incrementally extended)
+  /// across fixpoint delta rounds instead of being rebuilt.
+  int64_t join_table_reuses = 0;
 
   void Reset() { *this = EvalStats{}; }
   /// Multi-line "  name: value" listing (for `arctool --stats`).
   std::string ToString() const;
+};
+
+/// How variable/attribute references reach their values.
+enum class BindingMode {
+  /// Default: references compiled to integer frame slots by the slot
+  /// binder (Analysis::term_slots); inner loops never hash a name.
+  kSlotCompiled,
+  /// Pre-slot reference semantics: every attribute touch resolves its
+  /// variable by case-insensitive environment scan and its attribute by
+  /// schema name lookup. Kept as the differential-testing reference.
+  kStringKeyed,
 };
 
 struct EvalOptions {
@@ -83,6 +102,10 @@ struct EvalOptions {
   int64_t max_fixpoint_iterations = 100000;
   /// Fixpoint evaluation strategy for recursive collections (§2.9).
   RecursionStrategy recursion_strategy = RecursionStrategy::kSemiNaive;
+  /// Slot-compiled (fast) vs. string-keyed (reference) evaluation. The two
+  /// are bit-for-bit result-compatible; the slot plan silently disables
+  /// itself when analysis reports errors (validate=false experiments).
+  BindingMode binding_mode = BindingMode::kSlotCompiled;
 };
 
 class Evaluator {
