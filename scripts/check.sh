@@ -4,6 +4,10 @@
 #   2. an ASan/UBSan build (ARC_SANITIZE=address,undefined) that catches
 #      memory errors and UB the plain build silently tolerates.
 #
+# Between the two suites a fast ArcVerify smoke tier runs `arctool verify`
+# at a small bound (default k=2; override with ARC_VERIFY_BOUND=3 for the
+# deep tier) — refutations print their minimal counterexample database.
+#
 # Usage:   scripts/check.sh [build-dir-prefix]
 # The two build trees land in <prefix> and <prefix>-asan (default:
 # build-check). Exits non-zero on the first configure/build/test failure.
@@ -23,6 +27,33 @@ run_suite() {
 
 echo "== plain build =="
 run_suite "$prefix"
+
+bound="${ARC_VERIFY_BOUND:-2}"
+arctool="$prefix/tools/arctool"
+echo "== ArcVerify smoke tier (bound=$bound) =="
+# Scope flattening is meaning-preserving under ARC (set) conventions.
+"$arctool" verify \
+    --arc "{Q(A) | exists r in R [exists s in S [Q.A = r.A and r.B = s.B]]}" \
+    --arc2 "{Q(A) | exists r in R, s in S [Q.A = r.A and r.B = s.B]}" \
+    --conventions arc --bound "$bound"
+# The naive Fig. 21b decorrelation MUST be refuted; the minimal
+# counterexample database prints below (this is the count bug).
+if "$arctool" verify \
+    --arc @examples/queries/fig21a_count_bug_original.arc \
+    --arc2 @examples/queries/fig21b_count_bug_decorrelated.arc \
+    --setup "$(cat examples/queries/fig21a_count_bug_original.setup.sql)" \
+    --bound "$bound"; then
+  echo "error: ArcVerify failed to refute the Fig. 21b count bug" >&2
+  exit 1
+fi
+# Lint auto-fix gate: the W102 null-guard insertion verifies at this bound.
+"$arctool" lint \
+    --arc "{Q(A) | exists r in R, s in S [Q.A = r.A and not(s.B = r.A)]}" \
+    --setup "create table R (A int); create table S (B int);" \
+    --fix-dry-run --bound "$bound" \
+  | grep -q "VERIFIED: equivalent under 3VL" \
+  || { echo "error: W102 auto-fix failed its bounded gate" >&2; exit 1; }
+echo "ArcVerify smoke tier passed."
 
 echo "== sanitizer build (address,undefined) =="
 run_suite "$prefix-asan" -DARC_SANITIZE=address,undefined

@@ -6,9 +6,12 @@
 Prints a per-benchmark cpu_time delta table (negative = candidate faster)
 and exits non-zero if any benchmark present in both files regressed by
 more than --threshold percent (default 10). Benchmarks that appear in only
-one file are listed but never fail the gate — figure sets are allowed to
-grow. Refuses to compare aggregates whose library_build_type differ
-(debug-vs-release "regressions" are noise, not signal).
+one file are reported as warnings on stderr but do not fail the gate —
+figure sets are allowed to grow and shrink across PRs. Pass --strict to
+restore the hard gate: any added or removed benchmark then fails the
+comparison, for release branches where the figure set is frozen. Refuses
+to compare aggregates whose library_build_type differ (debug-vs-release
+"regressions" are noise, not signal).
 """
 import argparse
 import json
@@ -33,6 +36,9 @@ def main():
     ap.add_argument("candidate")
     ap.add_argument("--threshold", type=float, default=10.0,
                     help="regression gate in percent (default 10)")
+    ap.add_argument("--strict", action="store_true",
+                    help="fail when a benchmark exists in only one aggregate "
+                         "(default: warn on stderr)")
     args = ap.parse_args()
 
     base_meta, base = load(args.baseline)
@@ -63,10 +69,19 @@ def main():
             flag = "  REGRESSED"
         print(f"{name:<{width}}  {b:>12.0f}  {c:>12.0f}  {delta:>+7.1f}%{flag}")
 
-    for name in sorted(set(base) - set(cand)):
-        print(f"{name:<{width}}  (baseline only)")
-    for name in sorted(set(cand) - set(base)):
-        print(f"{name:<{width}}  (candidate only)")
+    removed = sorted(set(base) - set(cand))
+    added = sorted(set(cand) - set(base))
+    for name in removed:
+        print(f"warning: {name} present only in baseline (removed?)",
+              file=sys.stderr)
+    for name in added:
+        print(f"warning: {name} present only in candidate (added?)",
+              file=sys.stderr)
+
+    if args.strict and (removed or added):
+        print(f"\nstrict mode: benchmark sets differ "
+              f"({len(removed)} removed, {len(added)} added)", file=sys.stderr)
+        return 1
 
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed by more than "

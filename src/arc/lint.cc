@@ -1723,4 +1723,320 @@ std::string LintToJson(const LintResult& result) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Auto-fixes
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Mutable path from a program's formula roots down to `target` (a Formula
+/// address from a Lint run over the same program object). The path holds
+/// the ancestors of `target`, outermost first; `target` itself is returned
+/// separately. Crosses EXISTS scopes and nested-collection bindings.
+Formula* FindFormulaPath(Program* program, const void* target,
+                         std::vector<Formula*>* path) {
+  Formula* found = nullptr;
+  std::function<bool(Formula*)> walk = [&](Formula* f) {
+    if (f == target) {
+      found = f;
+      return true;
+    }
+    path->push_back(f);
+    switch (f->kind) {
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        for (FormulaPtr& c : f->children) {
+          if (walk(c.get())) return true;
+        }
+        break;
+      case FormulaKind::kNot:
+        if (f->child && walk(f->child.get())) return true;
+        break;
+      case FormulaKind::kExists:
+        if (f->quantifier) {
+          for (Binding& b : f->quantifier->bindings) {
+            if (b.collection && b.collection->body &&
+                walk(b.collection->body.get())) {
+              return true;
+            }
+          }
+          if (f->quantifier->body && walk(f->quantifier->body.get())) {
+            return true;
+          }
+        }
+        break;
+      default:
+        break;
+    }
+    path->pop_back();
+    return false;
+  };
+  for (Definition& d : program->definitions) {
+    if (d.collection && d.collection->body && walk(d.collection->body.get())) {
+      return found;
+    }
+  }
+  if (program->main.collection && program->main.collection->body &&
+      walk(program->main.collection->body.get())) {
+    return found;
+  }
+  if (program->main.sentence && walk(program->main.sentence.get())) {
+    return found;
+  }
+  path->clear();
+  return nullptr;
+}
+
+/// Structural ordinal of `node` among all formulas of the program (same
+/// value across clones — used to key duplicate fix proposals).
+int FormulaOrdinal(Program* program, const Formula* node) {
+  int ordinal = -1;
+  int counter = 0;
+  std::function<void(Formula*)> walk = [&](Formula* f) {
+    if (f == node) ordinal = counter;
+    ++counter;
+    switch (f->kind) {
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        for (FormulaPtr& c : f->children) walk(c.get());
+        return;
+      case FormulaKind::kNot:
+        if (f->child) walk(f->child.get());
+        return;
+      case FormulaKind::kExists:
+        if (f->quantifier) {
+          for (Binding& b : f->quantifier->bindings) {
+            if (b.collection && b.collection->body) {
+              walk(b.collection->body.get());
+            }
+          }
+          if (f->quantifier->body) walk(f->quantifier->body.get());
+        }
+        return;
+      default:
+        return;
+    }
+  };
+  for (Definition& d : program->definitions) {
+    if (d.collection && d.collection->body) walk(d.collection->body.get());
+  }
+  if (program->main.collection && program->main.collection->body) {
+    walk(program->main.collection->body.get());
+  }
+  if (program->main.sentence) walk(program->main.sentence.get());
+  return ordinal;
+}
+
+const Diagnostic* NthFinding(const LintResult& lr, const char* code, int n) {
+  int seen = 0;
+  for (const Diagnostic& d : lr.findings) {
+    if (d.code != code) continue;
+    if (seen == n) return &d;
+    ++seen;
+  }
+  return nullptr;
+}
+
+struct BuiltFix {
+  FixIt fix;
+  std::string dedup_key;
+};
+
+/// W102: wrap the innermost enclosing NOT of the flagged comparison with
+/// IS NOT NULL guards on every base-relation attribute the comparison
+/// reads: NOT(φ) becomes (x.a IS NOT NULL AND ... AND NOT(φ)). Under 3VL
+/// the guard is redundant exactly when the NOT's unknown never surfaces
+/// (ArcVerify checks this); under 2VL it pins the NOT-IN trap shut.
+std::optional<BuiltFix> BuildNullGuardFix(const Program& original,
+                                          const LintOptions& options,
+                                          int index) {
+  Program clone = original.Clone();
+  LintResult lr = Lint(clone, options);
+  const Diagnostic* diag = NthFinding(lr, "ARC-W102", index);
+  if (diag == nullptr || diag->node == nullptr) return std::nullopt;
+
+  std::vector<Formula*> path;
+  Formula* pred = FindFormulaPath(&clone, diag->node, &path);
+  if (pred == nullptr || pred->kind != FormulaKind::kPredicate) {
+    return std::nullopt;
+  }
+  Formula* not_node = nullptr;
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    if ((*it)->kind == FormulaKind::kExists) break;
+    if ((*it)->kind == FormulaKind::kNot) {
+      not_node = *it;
+      break;
+    }
+  }
+  if (not_node == nullptr || !not_node->child) return std::nullopt;
+
+  // Guard every base-relation attribute the comparison reads (guarding an
+  // already-guarded one is redundant but harmless).
+  std::vector<const Term*> refs;
+  if (pred->lhs) CollectRefs(*pred->lhs, &refs);
+  if (pred->rhs) CollectRefs(*pred->rhs, &refs);
+  std::vector<std::pair<std::string, std::string>> guarded;
+  for (const Term* r : refs) {
+    auto it = lr.analysis.attrs.find(r);
+    if (it == lr.analysis.attrs.end() ||
+        it->second.target != AttrTarget::kBinding ||
+        it->second.binding == nullptr) {
+      continue;
+    }
+    auto bit = lr.analysis.bindings.find(it->second.binding);
+    if (bit == lr.analysis.bindings.end() ||
+        bit->second.range_class != RangeClass::kBase) {
+      continue;
+    }
+    bool dup = false;
+    for (const auto& [v, a] : guarded) {
+      dup |= EqualsIgnoreCase(v, r->var) && EqualsIgnoreCase(a, r->attr);
+    }
+    if (!dup) guarded.emplace_back(r->var, r->attr);
+  }
+  if (guarded.empty()) return std::nullopt;
+
+  const int ordinal = FormulaOrdinal(&clone, not_node);
+  FormulaPtr inner = std::move(not_node->child);
+  not_node->kind = FormulaKind::kAnd;
+  not_node->children.clear();
+  std::string guard_list;
+  for (auto& [var, attr] : guarded) {
+    if (!guard_list.empty()) guard_list += ", ";
+    guard_list += var + "." + attr;
+    FormulaPtr guard = MakeNullTest(MakeAttrRef(var, attr), /*negated=*/true);
+    guard->line = not_node->line;
+    not_node->children.push_back(std::move(guard));
+  }
+  FormulaPtr renot = MakeNot(std::move(inner));
+  renot->line = not_node->line;
+  not_node->children.push_back(std::move(renot));
+
+  BuiltFix built;
+  built.fix.code = "ARC-W102";
+  built.fix.name = "insert-is-not-null-guard";
+  built.fix.description =
+      "guard the negated comparison with IS NOT NULL on " + guard_list;
+  built.fix.line = diag->line;
+  built.fix.effect = FixEffect::kPinsMeaning;
+  built.fix.fixed = std::move(clone);
+  built.dedup_key = "W102#" + std::to_string(ordinal) + "#" + guard_list;
+  return built;
+}
+
+/// W109: annotate the scope that re-joins a grouped subquery on its
+/// grouping key with left(siblings..., x), so partner rows whose group is
+/// empty survive (null-extended) instead of silently disappearing.
+std::optional<BuiltFix> BuildLeftJoinFix(const Program& original,
+                                         const LintOptions& options,
+                                         int index) {
+  Program clone = original.Clone();
+  LintResult lr = Lint(clone, options);
+  const Diagnostic* diag = NthFinding(lr, "ARC-W109", index);
+  if (diag == nullptr || diag->node == nullptr) return std::nullopt;
+
+  std::vector<Formula*> path;
+  Formula* pred = FindFormulaPath(&clone, diag->node, &path);
+  if (pred == nullptr || pred->kind != FormulaKind::kPredicate ||
+      !pred->lhs || !pred->rhs) {
+    return std::nullopt;
+  }
+  Formula* exists = nullptr;
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    if ((*it)->kind == FormulaKind::kExists) {
+      exists = *it;
+      break;
+    }
+  }
+  if (exists == nullptr || !exists->quantifier) return std::nullopt;
+  Quantifier* q = exists->quantifier.get();
+  // Only the annotation-free default join is rewritten: merging into an
+  // existing (inner) annotation tree could reorder its semantics.
+  if (q->join_tree != nullptr) return std::nullopt;
+
+  const Binding* subquery = nullptr;
+  for (const Term* side : {pred->lhs.get(), pred->rhs.get()}) {
+    if (side->kind != TermKind::kAttrRef) continue;
+    for (const Binding& b : q->bindings) {
+      if (b.range_kind == RangeKind::kCollection &&
+          EqualsIgnoreCase(b.var, side->var)) {
+        subquery = &b;
+      }
+    }
+  }
+  if (subquery == nullptr) return std::nullopt;
+
+  std::vector<JoinNodePtr> preserved_leaves;
+  std::string preserved_desc;
+  for (const Binding& b : q->bindings) {
+    if (&b == subquery) continue;
+    if (!preserved_desc.empty()) preserved_desc += ", ";
+    preserved_desc += b.var;
+    preserved_leaves.push_back(MakeJoinVar(b.var));
+  }
+  if (preserved_leaves.empty()) return std::nullopt;
+  JoinNodePtr preserved =
+      preserved_leaves.size() == 1
+          ? std::move(preserved_leaves.front())
+          : MakeJoinInner(std::move(preserved_leaves));
+
+  const int ordinal = FormulaOrdinal(&clone, exists);
+  const std::string annotation = "left(" +
+                                 (preserved_desc.find(',') != std::string::npos
+                                      ? "inner(" + preserved_desc + ")"
+                                      : preserved_desc) +
+                                 ", " + subquery->var + ")";
+  q->join_tree = MakeJoinLeft(std::move(preserved), MakeJoinVar(subquery->var));
+
+  BuiltFix built;
+  built.fix.code = "ARC-W109";
+  built.fix.name = "left-join-grouped-subquery";
+  built.fix.description = "annotate the scope with " + annotation +
+                          " so rows without a matching group survive "
+                          "(null-extended)";
+  built.fix.line = diag->line;
+  built.fix.effect = FixEffect::kBroadens;
+  built.fix.fixed = std::move(clone);
+  built.dedup_key = "W109#" + std::to_string(ordinal);
+  return built;
+}
+
+}  // namespace
+
+const char* FixEffectName(FixEffect e) {
+  switch (e) {
+    case FixEffect::kPinsMeaning:
+      return "pins-meaning";
+    case FixEffect::kBroadens:
+      return "broadens";
+  }
+  return "?";
+}
+
+std::vector<FixIt> ProposeFixes(const Program& program,
+                                const LintOptions& options) {
+  std::vector<FixIt> out;
+  LintResult base = Lint(program, options);
+  int w102 = 0;
+  int w109 = 0;
+  for (const Diagnostic& d : base.findings) {
+    if (d.code == "ARC-W102") ++w102;
+    if (d.code == "ARC-W109") ++w109;
+  }
+  std::set<std::string> seen;
+  for (int i = 0; i < w102; ++i) {
+    auto built = BuildNullGuardFix(program, options, i);
+    if (built.has_value() && seen.insert(built->dedup_key).second) {
+      out.push_back(std::move(built->fix));
+    }
+  }
+  for (int i = 0; i < w109; ++i) {
+    auto built = BuildLeftJoinFix(program, options, i);
+    if (built.has_value() && seen.insert(built->dedup_key).second) {
+      out.push_back(std::move(built->fix));
+    }
+  }
+  return out;
+}
+
 }  // namespace arc

@@ -98,6 +98,48 @@ struct LintResult {
 /// analyzer reported errors (the typo-suggestion pass depends on it).
 LintResult Lint(const Program& program, const LintOptions& options = {});
 
+// ---------------------------------------------------------------------------
+// Auto-fixes
+// ---------------------------------------------------------------------------
+
+/// How an auto-fix is *allowed* to change program meaning. Every proposed
+/// fix is a candidate only: callers must gate it through ArcVerify
+/// (verify/bounded_eq.h VerifyFixes), which proves the relation documented
+/// here up to a bound before the fix may be offered or applied.
+enum class FixEffect {
+  /// The fixed program must be equivalent under the reference (3VL)
+  /// conventions; under the two-valued flip it intentionally diverges in
+  /// one direction only (fixed ⊆ original). W102's IS NOT NULL guards:
+  /// they pin the 3VL meaning so a 2VL port can no longer *add* rows.
+  kPinsMeaning,
+  /// The fixed program intentionally broadens the result: original ⊆ fixed
+  /// under every convention. W109's left-join annotation: it restores
+  /// rows that the unannotated inner join silently dropped (the count
+  /// bug), with NULL-extended subquery attributes.
+  kBroadens,
+};
+const char* FixEffectName(FixEffect e);
+
+/// One mechanical repair: the warning it addresses and the full program
+/// with exactly that repair applied (AST-level; the printer renders it).
+struct FixIt {
+  std::string code;         // diagnostic code, e.g. "ARC-W102"
+  std::string name;         // kebab-case, e.g. "insert-is-not-null-guard"
+  std::string description;  // one line, names the guarded attributes etc.
+  int line = 0;             // source line of the finding being fixed
+  FixEffect effect = FixEffect::kPinsMeaning;
+  Program fixed;
+};
+
+/// Proposes auto-fixes for the fixable findings of Lint(program, options)
+/// — currently W102 (null-guard insertion at the innermost enclosing NOT)
+/// and W109 (explicit left-join annotation for the grouped-subquery join).
+/// Each FixIt is independent: its `fixed` program is `program` with that
+/// one repair. Purely syntactic — run the fixes through
+/// verify::VerifyFixes before offering them.
+std::vector<FixIt> ProposeFixes(const Program& program,
+                                const LintOptions& options = {});
+
 /// "error[ARC-E001] line 3: message" lines, analyzer first; ends with a
 /// one-line summary ("2 errors, 1 warning").
 std::string LintToText(const LintResult& result);

@@ -1,5 +1,6 @@
 #include "common/strings.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -62,6 +63,76 @@ std::string FormatDouble(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.12g", v);
   return buf;
+}
+
+EditSpan SingleEditSpan(std::string_view before, std::string_view after) {
+  size_t prefix = 0;
+  while (prefix < before.size() && prefix < after.size() &&
+         before[prefix] == after[prefix]) {
+    ++prefix;
+  }
+  size_t suffix = 0;
+  while (suffix < before.size() - prefix && suffix < after.size() - prefix &&
+         before[before.size() - 1 - suffix] == after[after.size() - 1 - suffix]) {
+    ++suffix;
+  }
+  EditSpan span;
+  span.offset = prefix;
+  span.length = before.size() - prefix - suffix;
+  span.replacement = std::string(after.substr(prefix, after.size() - prefix - suffix));
+  return span;
+}
+
+namespace {
+
+std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    lines.emplace_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string UnifiedDiff(std::string_view a, std::string_view b,
+                        std::string_view a_name, std::string_view b_name) {
+  const std::vector<std::string> al = SplitLines(a);
+  const std::vector<std::string> bl = SplitLines(b);
+  const size_t n = al.size();
+  const size_t m = bl.size();
+  // LCS table; inputs are program renderings (a handful of lines).
+  std::vector<std::vector<size_t>> lcs(n + 1, std::vector<size_t>(m + 1, 0));
+  for (size_t i = n; i-- > 0;) {
+    for (size_t j = m; j-- > 0;) {
+      lcs[i][j] = al[i] == bl[j] ? lcs[i + 1][j + 1] + 1
+                                 : std::max(lcs[i + 1][j], lcs[i][j + 1]);
+    }
+  }
+  std::string body;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < n || j < m) {
+    if (i < n && j < m && al[i] == bl[j]) {
+      body += " " + al[i] + "\n";
+      ++i;
+      ++j;
+    } else if (i < n && (j == m || lcs[i + 1][j] >= lcs[i][j + 1])) {
+      body += "-" + al[i] + "\n";  // deletions precede additions
+      ++i;
+    } else {
+      body += "+" + bl[j] + "\n";
+      ++j;
+    }
+  }
+  std::string out = "--- " + std::string(a_name) + "\n+++ " +
+                    std::string(b_name) + "\n@@ -1," + std::to_string(n) +
+                    " +1," + std::to_string(m) + " @@\n";
+  return out + body;
 }
 
 }  // namespace arc

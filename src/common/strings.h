@@ -47,6 +47,22 @@ std::string Repeat(std::string_view unit, int n);
 /// they remain distinguishable from integers; otherwise shortest form.
 std::string FormatDouble(double v);
 
+/// One contiguous byte-range replacement turning `before` into `after`:
+/// `before[offset, offset+length)` → `replacement`. Computed as the span
+/// between the longest common prefix and suffix, so it is the minimal
+/// single edit (editors apply it without re-diffing).
+struct EditSpan {
+  size_t offset = 0;
+  size_t length = 0;
+  std::string replacement;
+};
+EditSpan SingleEditSpan(std::string_view before, std::string_view after);
+
+/// Line-based unified diff (single hunk, full context) of `a` vs. `b`,
+/// with conventional ---/+++ headers naming the two sides.
+std::string UnifiedDiff(std::string_view a, std::string_view b,
+                        std::string_view a_name, std::string_view b_name);
+
 }  // namespace arc
 
 #endif  // ARC_COMMON_STRINGS_H_

@@ -1,5 +1,6 @@
 #include "rewrite/rewriter.h"
 
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/strings.h"
@@ -445,6 +446,53 @@ class Decorrelator {
       const std::string x = "_dx" + std::to_string(++fresh_);
       const std::string r2 = "_dr" + std::to_string(fresh_);
       const std::string head = "_DX" + std::to_string(fresh_);
+      const std::string r3 = "_dj" + std::to_string(fresh_);
+      const std::string khead = "_DK" + std::to_string(fresh_);
+
+      // Distinct correlation keys in first-appearance order, with their
+      // k1..km slot names.
+      std::vector<std::string> key_attrs;
+      std::unordered_map<std::string, std::string> key_slot;
+      for (const auto& [inner_attr, outer_attr] : site.correlations) {
+        (void)inner_attr;
+        if (key_slot
+                .emplace(ToLower(outer_attr),
+                         "k" + std::to_string(key_attrs.size() + 1))
+                .second) {
+          key_attrs.push_back(outer_attr);
+        }
+      }
+
+      // The key projection {_DK(k1..km) | ∃ r3∈R, γ_{r3.a*} [k_i = r3.a_i]}.
+      // γ emits exactly one row per distinct key combination under both
+      // set and bag conventions, so duplicated keys in R cannot multiply
+      // the aggregate below. (The previous form ranged r2 over R itself
+      // and over-counted: with two R rows sharing a key, every matching s
+      // row joined the group twice. ArcVerify's bounded check found the
+      // minimal counterexample — R = {(0,0),(0,1)}, S = {(0,0)}.)
+      auto key_q = std::make_unique<Quantifier>();
+      Binding kb;
+      kb.var = r3;
+      kb.range_kind = RangeKind::kNamed;
+      kb.relation = site.outer->relation;
+      key_q->bindings.push_back(std::move(kb));
+      Grouping key_grouping;
+      Head key_head;
+      key_head.relation = khead;
+      std::vector<FormulaPtr> key_conjuncts;
+      for (const std::string& attr : key_attrs) {
+        const std::string& slot = key_slot[ToLower(attr)];
+        key_grouping.keys.push_back(MakeAttrRef(r3, attr));
+        key_head.attrs.push_back(slot);
+        key_conjuncts.push_back(MakePredicate(data::CmpOp::kEq,
+                                              MakeAttrRef(khead, slot),
+                                              MakeAttrRef(r3, attr)));
+      }
+      key_q->grouping = std::move(key_grouping);
+      key_q->body = MakeBody(std::move(key_conjuncts));
+      CollectionPtr key_coll =
+          MakeCollection(std::move(key_head), MakeExists(std::move(key_q)));
+
       auto inner_q = std::make_unique<Quantifier>();
       Binding sb;
       sb.var = site.inner_var;
@@ -452,28 +500,26 @@ class Decorrelator {
       sb.relation = site.inner_relation;
       Binding rb;
       rb.var = r2;
-      rb.range_kind = RangeKind::kNamed;
-      rb.relation = site.outer->relation;
+      rb.range_kind = RangeKind::kCollection;
+      rb.collection = std::move(key_coll);
       inner_q->bindings.push_back(std::move(sb));
       inner_q->bindings.push_back(std::move(rb));
       Grouping grouping;
       Head inner_head;
       inner_head.relation = head;
       std::vector<FormulaPtr> inner_conjuncts;
-      std::unordered_set<std::string> seen_keys;
-      int key_index = 0;
+      for (const std::string& attr : key_attrs) {
+        const std::string& slot = key_slot[ToLower(attr)];
+        grouping.keys.push_back(MakeAttrRef(r2, slot));
+        inner_head.attrs.push_back(slot);
+        inner_conjuncts.push_back(MakePredicate(data::CmpOp::kEq,
+                                                MakeAttrRef(head, slot),
+                                                MakeAttrRef(r2, slot)));
+      }
       for (const auto& [inner_attr, outer_attr] : site.correlations) {
-        if (seen_keys.insert(ToLower(outer_attr)).second) {
-          grouping.keys.push_back(MakeAttrRef(r2, outer_attr));
-          const std::string k = "k" + std::to_string(++key_index);
-          inner_head.attrs.push_back(k);
-          inner_conjuncts.push_back(MakePredicate(data::CmpOp::kEq,
-                                                  MakeAttrRef(head, k),
-                                                  MakeAttrRef(r2, outer_attr)));
-        }
         inner_conjuncts.push_back(MakePredicate(
             data::CmpOp::kEq, MakeAttrRef(site.inner_var, inner_attr),
-            MakeAttrRef(r2, outer_attr)));
+            MakeAttrRef(r2, key_slot[ToLower(outer_attr)])));
       }
       inner_head.attrs.push_back("ct");
       // X.ct = agg(...): reuse the aggregate term from the matched conjunct.
@@ -498,17 +544,28 @@ class Decorrelator {
       xb.collection = std::move(inner);
       new_bindings.push_back(std::move(xb));
 
-      // Outer conjuncts: r.a_i = x.k_i and the comparison on x.ct.
-      key_index = 0;
-      seen_keys.clear();
-      for (const auto& [inner_attr, outer_attr] : site.correlations) {
-        (void)inner_attr;
-        if (seen_keys.insert(ToLower(outer_attr)).second) {
-          const std::string k = "k" + std::to_string(++key_index);
-          out_conjuncts.push_back(MakePredicate(
-              data::CmpOp::kEq, MakeAttrRef(site.outer->var, outer_attr),
-              MakeAttrRef(x, k)));
-        }
+      // Outer conjuncts: the rejoin on each key and the comparison on x.ct.
+      for (const std::string& attr : key_attrs) {
+        const std::string& slot = key_slot[ToLower(attr)];
+        // Null-safe rejoin. A bare r.a = x.k drops outer rows whose key
+        // is NULL (null = null is unknown under 3VL), but the original
+        // correlated form keeps them: the correlation filter admits no
+        // inner row, the γ∅ group is empty, and the aggregate compares
+        // against its empty-group value. The grouped subquery carries
+        // exactly one row for the null key, so match it explicitly with
+        // (r.a = x.k or (r.a is null and x.k is null)). Found by
+        // ArcVerify's bounded check: R with a single null-keyed row is a
+        // one-tuple counterexample for the bare-equality form.
+        std::vector<FormulaPtr> both_null;
+        both_null.push_back(
+            MakeNullTest(MakeAttrRef(site.outer->var, attr), false));
+        both_null.push_back(MakeNullTest(MakeAttrRef(x, slot), false));
+        std::vector<FormulaPtr> rejoin;
+        rejoin.push_back(MakePredicate(data::CmpOp::kEq,
+                                       MakeAttrRef(site.outer->var, attr),
+                                       MakeAttrRef(x, slot)));
+        rejoin.push_back(MakeAnd(std::move(both_null)));
+        out_conjuncts.push_back(MakeOr(std::move(rejoin)));
       }
       const Formula& agg_f = *site.agg_conjunct;
       out_conjuncts.push_back(MakePredicate(

@@ -6,6 +6,7 @@
 #include "eval/evaluator.h"
 #include "sql/eval.h"
 #include "translate/arc_to_sql.h"
+#include "verify/bounded_eq.h"
 
 namespace arc::translate {
 
@@ -215,6 +216,59 @@ std::optional<DivergenceWitness> ExhibitDivergence(
     return w;
   }
   return std::nullopt;
+}
+
+std::optional<DivergenceWitness> ExhibitDivergenceBounded(
+    const Program& program, const data::Database& db,
+    ConventionDimension dimension, const BoundedWitnessOptions& opts) {
+  const Conventions base = Conventions::Arc();
+  const Conventions varied = FlipConvention(base, dimension);
+
+  std::vector<verify::RelationSig> schema;
+  for (const std::string& name : db.Names()) {
+    schema.push_back({name, db.GetPtr(name)->schema().names()});
+  }
+  if (schema.empty()) return std::nullopt;
+
+  verify::BoundedEqOptions eopts;
+  eopts.domain_size = opts.domain_size;
+  eopts.max_rows = opts.max_rows;
+  eopts.include_null = opts.include_null;
+  eopts.domain = verify::BuildValuePool(program, program, eopts);
+  // Self-comparison under two conventions: renaming symmetry is sound
+  // under exactly the per-program equivariance conditions, with program
+  // literals and producible count outputs held rigid.
+  const bool symmetric = verify::RenamingEquivariant(program);
+  const std::vector<data::Value> rigid =
+      verify::RigidValues(program, program, schema, eopts);
+
+  std::optional<DivergenceWitness> found;
+  int64_t instance_no = 0;
+  verify::ForEachInstance(
+      schema, eopts, symmetric, rigid,
+      [&](const data::Database& instance, int64_t total_rows) {
+        ++instance_no;
+        auto base_result = EvalUnder(instance, program, base);
+        if (!base_result.ok()) return false;
+        auto varied_result = EvalUnder(instance, program, varied);
+        if (!varied_result.ok()) return false;
+        if (base_result->EqualsBag(*varied_result)) return false;
+        DivergenceWitness w;
+        w.dimension = dimension;
+        w.mutation = "bounded(k=" + std::to_string(eopts.domain.size()) +
+                     ", rows<=" + std::to_string(eopts.max_rows) + ", " +
+                     std::to_string(total_rows) + " total rows, instance #" +
+                     std::to_string(instance_no) + ")";
+        w.base = base;
+        w.varied = varied;
+        w.base_result = *std::move(base_result);
+        w.varied_result = *std::move(varied_result);
+        w.sql_cross_checked = SqlCrossCheck(program, instance);
+        w.instance = instance;
+        found = std::move(w);
+        return true;
+      });
+  return found;
 }
 
 std::string DivergenceWitness::ToString() const {

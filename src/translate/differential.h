@@ -66,6 +66,28 @@ std::optional<DivergenceWitness> ExhibitDivergence(
     const Program& program, const data::Database& db,
     ConventionDimension dimension, bool* observed_output = nullptr);
 
+/// Bound parameters for the exhaustive witness search (see
+/// verify/bounded_eq.h for the enumeration model).
+struct BoundedWitnessOptions {
+  /// Active-domain size (non-null values); program literals seed the pool.
+  int domain_size = 2;
+  /// Per-relation cardinality cap.
+  int max_rows = 2;
+  bool include_null = true;
+};
+
+/// Exhaustive escalation of ExhibitDivergence: instead of probing the
+/// mutation menu around `db`, enumerates *every* instance over `db`'s
+/// schema with at most `domain_size` values and `max_rows` rows per
+/// relation (ascending total row count), and returns the first — hence
+/// row-count-minimal — instance on which the program's results under
+/// Conventions::Arc() and the flipped convention differ. Returns nullopt
+/// when no instance within the bound diverges: unlike the sampled search,
+/// that is evidence of bounded *in*sensitivity, not merely of a miss.
+std::optional<DivergenceWitness> ExhibitDivergenceBounded(
+    const Program& program, const data::Database& db,
+    ConventionDimension dimension, const BoundedWitnessOptions& opts = {});
+
 /// Per-dimension outcome of validating one linted program.
 struct LintValidationReport {
   struct Entry {

@@ -1,0 +1,831 @@
+#include "verify/bounded_eq.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "common/strings.h"
+#include "data/relation.h"
+#include "data/value.h"
+#include "eval/evaluator.h"
+
+namespace arc::verify {
+
+namespace {
+
+using data::Relation;
+using data::Schema;
+using data::Tuple;
+using data::Value;
+
+// ---------------------------------------------------------------------------
+// Program walks: literals, equivariance, signature inference
+// ---------------------------------------------------------------------------
+
+void WalkTerms(const Term& t, const std::function<void(const Term&)>& fn) {
+  fn(t);
+  if (t.lhs) WalkTerms(*t.lhs, fn);
+  if (t.rhs) WalkTerms(*t.rhs, fn);
+  if (t.agg_arg) WalkTerms(*t.agg_arg, fn);
+}
+
+void WalkCollection(const Collection& c,
+                    const std::function<void(const Term&)>& term_fn,
+                    const std::function<void(const Formula&)>& formula_fn,
+                    const std::function<void(const JoinNode&)>& join_fn);
+
+void WalkFormula(const Formula& f,
+                 const std::function<void(const Term&)>& term_fn,
+                 const std::function<void(const Formula&)>& formula_fn,
+                 const std::function<void(const JoinNode&)>& join_fn) {
+  formula_fn(f);
+  switch (f.kind) {
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f.children) {
+        WalkFormula(*c, term_fn, formula_fn, join_fn);
+      }
+      return;
+    case FormulaKind::kNot:
+      if (f.child) WalkFormula(*f.child, term_fn, formula_fn, join_fn);
+      return;
+    case FormulaKind::kExists: {
+      if (!f.quantifier) return;
+      const Quantifier& q = *f.quantifier;
+      for (const Binding& b : q.bindings) {
+        if (b.collection) {
+          WalkCollection(*b.collection, term_fn, formula_fn, join_fn);
+        }
+      }
+      if (q.grouping.has_value()) {
+        for (const TermPtr& k : q.grouping->keys) WalkTerms(*k, term_fn);
+      }
+      if (q.join_tree) {
+        std::function<void(const JoinNode&)> wj = [&](const JoinNode& n) {
+          join_fn(n);
+          for (const JoinNodePtr& c : n.children) wj(*c);
+        };
+        wj(*q.join_tree);
+      }
+      if (q.body) WalkFormula(*q.body, term_fn, formula_fn, join_fn);
+      return;
+    }
+    case FormulaKind::kPredicate:
+      if (f.lhs) WalkTerms(*f.lhs, term_fn);
+      if (f.rhs) WalkTerms(*f.rhs, term_fn);
+      return;
+    case FormulaKind::kNullTest:
+      if (f.null_arg) WalkTerms(*f.null_arg, term_fn);
+      return;
+  }
+}
+
+void WalkCollection(const Collection& c,
+                    const std::function<void(const Term&)>& term_fn,
+                    const std::function<void(const Formula&)>& formula_fn,
+                    const std::function<void(const JoinNode&)>& join_fn) {
+  if (c.body) WalkFormula(*c.body, term_fn, formula_fn, join_fn);
+}
+
+void WalkProgram(const Program& p,
+                 const std::function<void(const Term&)>& term_fn,
+                 const std::function<void(const Formula&)>& formula_fn,
+                 const std::function<void(const JoinNode&)>& join_fn) {
+  for (const Definition& d : p.definitions) {
+    if (d.collection) WalkCollection(*d.collection, term_fn, formula_fn, join_fn);
+  }
+  if (p.main.collection) {
+    WalkCollection(*p.main.collection, term_fn, formula_fn, join_fn);
+  }
+  if (p.main.sentence) {
+    WalkFormula(*p.main.sentence, term_fn, formula_fn, join_fn);
+  }
+}
+
+/// Distinct integer literals mentioned by `p` (predicates, grouping keys,
+/// join anchors), ascending.
+void CollectIntLiterals(const Program& p, std::set<int64_t>* out) {
+  WalkProgram(
+      p,
+      [&](const Term& t) {
+        if (t.kind == TermKind::kLiteral &&
+            t.literal.kind() == data::ValueKind::kInt) {
+          out->insert(t.literal.as_int());
+        }
+      },
+      [](const Formula&) {}, [&](const JoinNode& n) {
+        if (n.kind == JoinKind::kLiteralLeaf &&
+            n.literal.kind() == data::ValueKind::kInt) {
+          out->insert(n.literal.as_int());
+        }
+      });
+}
+
+bool ProgramHasAggregate(const Program& p) {
+  bool found = false;
+  WalkProgram(
+      p, [&](const Term& t) { found |= t.kind == TermKind::kAggregate; },
+      [](const Formula&) {}, [](const JoinNode&) {});
+  return found;
+}
+
+/// Case-insensitive set of every collection head name in `p` (used to skip
+/// defined / recursive ranges during signature inference).
+std::set<std::string> HeadNamesLower(const Program& p) {
+  std::set<std::string> heads;
+  WalkProgram(
+      p, [](const Term&) {},
+      [&](const Formula& f) {
+        if (f.kind == FormulaKind::kExists && f.quantifier) {
+          for (const Binding& b : f.quantifier->bindings) {
+            if (b.collection) heads.insert(ToLower(b.collection->head.relation));
+          }
+        }
+      },
+      [](const JoinNode&) {});
+  for (const Definition& d : p.definitions) {
+    if (d.collection) heads.insert(ToLower(d.collection->head.relation));
+  }
+  if (p.main.collection) heads.insert(ToLower(p.main.collection->head.relation));
+  return heads;
+}
+
+struct SigBuilder {
+  /// lowered name → display name.
+  std::map<std::string, std::string> names;
+  /// lowered name → attr display names in first-reference order.
+  std::map<std::string, std::vector<std::string>> attrs;
+
+  void AddAttr(const std::string& rel_lower, const std::string& attr) {
+    std::vector<std::string>& list = attrs[rel_lower];
+    for (const std::string& a : list) {
+      if (EqualsIgnoreCase(a, attr)) return;
+    }
+    list.push_back(attr);
+  }
+};
+
+/// Collects base-relation ranges and the attributes referenced through
+/// them, with proper variable scoping (shadowing, correlation into nested
+/// collections).
+void InferFromProgram(const Program& p, const std::set<std::string>& heads,
+                      SigBuilder* sig) {
+  using Env = std::vector<std::pair<std::string, std::string>>;  // var→rel
+
+  std::function<void(const Formula&, Env&)> walk_formula;
+  auto record_term = [&](const Term& t, const Env& env) {
+    if (t.kind != TermKind::kAttrRef) return;
+    for (auto it = env.rbegin(); it != env.rend(); ++it) {
+      if (EqualsIgnoreCase(it->first, t.var)) {
+        if (!it->second.empty()) sig->AddAttr(it->second, t.attr);
+        return;
+      }
+    }
+  };
+  auto walk_term = [&](const Term& t, const Env& env) {
+    WalkTerms(t, [&](const Term& sub) { record_term(sub, env); });
+  };
+  std::function<void(const Collection&, Env&)> walk_coll = [&](
+      const Collection& c, Env& env) {
+    if (c.body) walk_formula(*c.body, env);
+  };
+  walk_formula = [&](const Formula& f, Env& env) {
+    switch (f.kind) {
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        for (const FormulaPtr& c : f.children) walk_formula(*c, env);
+        return;
+      case FormulaKind::kNot:
+        if (f.child) walk_formula(*f.child, env);
+        return;
+      case FormulaKind::kExists: {
+        if (!f.quantifier) return;
+        const Quantifier& q = *f.quantifier;
+        const size_t mark = env.size();
+        for (const Binding& b : q.bindings) {
+          if (b.range_kind == RangeKind::kNamed) {
+            const std::string lower = ToLower(b.relation);
+            const bool base = heads.find(lower) == heads.end();
+            if (base) sig->names.emplace(lower, b.relation);
+            env.emplace_back(b.var, base ? lower : std::string());
+          } else {
+            if (b.collection) walk_coll(*b.collection, env);
+            env.emplace_back(b.var, std::string());
+          }
+        }
+        if (q.grouping.has_value()) {
+          for (const TermPtr& k : q.grouping->keys) walk_term(*k, env);
+        }
+        if (q.body) walk_formula(*q.body, env);
+        env.resize(mark);
+        return;
+      }
+      case FormulaKind::kPredicate:
+        if (f.lhs) walk_term(*f.lhs, env);
+        if (f.rhs) walk_term(*f.rhs, env);
+        return;
+      case FormulaKind::kNullTest:
+        if (f.null_arg) walk_term(*f.null_arg, env);
+        return;
+    }
+  };
+
+  Env env;
+  for (const Definition& d : p.definitions) {
+    if (d.collection) walk_coll(*d.collection, env);
+  }
+  if (p.main.collection) walk_coll(*p.main.collection, env);
+  if (p.main.sentence) walk_formula(*p.main.sentence, env);
+}
+
+// ---------------------------------------------------------------------------
+// Instance enumeration
+// ---------------------------------------------------------------------------
+
+/// One relation's enumeration tables: all candidate tuples over the pool
+/// and, per cardinality, every multiset of tuple indices.
+struct RelEnum {
+  std::string name;
+  Schema schema;
+  int arity = 0;
+  int tuple_count = 0;
+  std::vector<Tuple> tuples;
+  /// combos[c] = all non-decreasing index sequences of length c.
+  std::vector<std::vector<std::vector<int>>> combos;
+};
+
+void BuildCombos(int tuple_count, int card, std::vector<int>* cur,
+                 std::vector<std::vector<int>>* out) {
+  if (static_cast<int>(cur->size()) == card) {
+    out->push_back(*cur);
+    return;
+  }
+  const int lo = cur->empty() ? 0 : cur->back();
+  for (int t = lo; t < tuple_count; ++t) {
+    cur->push_back(t);
+    BuildCombos(tuple_count, card, cur, out);
+    cur->pop_back();
+  }
+}
+
+std::vector<Value> FullPool(const BoundedEqOptions& opts) {
+  std::vector<Value> pool;
+  if (!opts.domain.empty()) {
+    for (const Value& v : opts.domain) {
+      if (v.is_null()) continue;
+      bool dup = false;
+      for (const Value& p : pool) dup |= p.Equals(v);
+      if (!dup) pool.push_back(v);
+    }
+  } else {
+    for (int i = 0; i < opts.domain_size; ++i) pool.push_back(Value::Int(i));
+  }
+  if (opts.include_null) pool.push_back(Value::Null());
+  return pool;
+}
+
+int64_t SaturatingMultisets(int64_t t, int max_rows) {
+  // sum over c of C(t + c - 1, c), computed iteratively; saturates.
+  unsigned __int128 total = 0;
+  for (int c = 0; c <= max_rows; ++c) {
+    unsigned __int128 n = 1;
+    for (int i = 1; i <= c; ++i) {
+      n = n * static_cast<unsigned __int128>(t + i - 1) /
+          static_cast<unsigned __int128>(i);
+      if (n > static_cast<unsigned __int128>(INT64_MAX)) return INT64_MAX;
+    }
+    total += n;
+    if (total > static_cast<unsigned __int128>(INT64_MAX)) return INT64_MAX;
+  }
+  return static_cast<int64_t>(total);
+}
+
+/// Permutations of pool indices fixing NULL and every rigid value.
+std::vector<std::vector<int>> BuildPermutations(
+    const std::vector<Value>& pool, const std::vector<Value>& rigid) {
+  std::vector<int> movable;
+  for (int i = 0; i < static_cast<int>(pool.size()); ++i) {
+    if (pool[i].is_null()) continue;
+    bool is_rigid = false;
+    for (const Value& r : rigid) is_rigid |= r.Equals(pool[i]);
+    if (!is_rigid) movable.push_back(i);
+  }
+  std::vector<std::vector<int>> perms;
+  if (movable.size() < 2) return perms;
+  std::vector<int> image = movable;
+  while (std::next_permutation(image.begin(), image.end())) {
+    std::vector<int> perm(pool.size());
+    for (int i = 0; i < static_cast<int>(pool.size()); ++i) perm[i] = i;
+    for (size_t j = 0; j < movable.size(); ++j) perm[movable[j]] = image[j];
+    perms.push_back(std::move(perm));
+  }
+  return perms;
+}
+
+/// For each permutation, the induced remap of `rel`'s tuple indices.
+std::vector<std::vector<int>> BuildTupleRemaps(
+    const RelEnum& rel, int pool_size,
+    const std::vector<std::vector<int>>& perms) {
+  std::vector<std::vector<int>> remaps;
+  remaps.reserve(perms.size());
+  for (const std::vector<int>& perm : perms) {
+    std::vector<int> remap(rel.tuple_count);
+    for (int t = 0; t < rel.tuple_count; ++t) {
+      int src = t;
+      int dst = 0;
+      int weight = 1;
+      for (int a = 0; a < rel.arity; ++a) {
+        dst += perm[src % pool_size] * weight;
+        src /= pool_size;
+        weight *= pool_size;
+      }
+      remap[t] = dst;
+    }
+    remaps.push_back(std::move(remap));
+  }
+  return remaps;
+}
+
+/// True when the current selection is the lexicographic minimum of its
+/// renaming orbit (relation-by-relation, then index-sequence order).
+bool IsCanonical(const std::vector<const std::vector<int>*>& selection,
+                 const std::vector<std::vector<std::vector<int>>>& remaps,
+                 size_t perm_count) {
+  std::vector<int> mapped;
+  for (size_t p = 0; p < perm_count; ++p) {
+    int cmp = 0;  // -1: image smaller (not canonical), 1: image larger
+    for (size_t r = 0; r < selection.size() && cmp == 0; ++r) {
+      const std::vector<int>& combo = *selection[r];
+      mapped.resize(combo.size());
+      for (size_t i = 0; i < combo.size(); ++i) {
+        mapped[i] = remaps[r][p][combo[i]];
+      }
+      std::sort(mapped.begin(), mapped.end());
+      for (size_t i = 0; i < combo.size() && cmp == 0; ++i) {
+        if (mapped[i] < combo[i]) cmp = -1;
+        if (mapped[i] > combo[i]) cmp = 1;
+      }
+    }
+    if (cmp < 0) return false;
+  }
+  return true;
+}
+
+Result<Relation> EvalUnder(const data::Database& db, const Program& program,
+                           const Conventions& conv) {
+  eval::EvalOptions opts;
+  opts.conventions = conv;
+  if (program.main.is_sentence()) {
+    eval::Evaluator evaluator(db, opts);
+    auto truth = evaluator.EvalSentence(program);
+    if (!truth.ok()) return truth.status();
+    Relation out(Schema{"v"});
+    if (data::IsTrue(*truth)) out.Add({Value::Bool(true)});
+    return out;
+  }
+  return eval::Eval(db, program, opts);
+}
+
+/// Multiset containment: every row of `lhs` occurs in `rhs` at least as
+/// often. (Under the set convention both results are already deduplicated,
+/// so this coincides with set containment.)
+bool MultisetContained(const Relation& lhs, const Relation& rhs) {
+  std::unordered_map<Tuple, int, data::TupleHash> counts;
+  for (const Tuple& t : rhs.rows()) ++counts[t];
+  for (const Tuple& t : lhs.rows()) {
+    auto it = counts.find(t);
+    if (it == counts.end() || it->second == 0) return false;
+    --it->second;
+  }
+  return true;
+}
+
+std::string Indent(const std::string& text, const std::string& prefix) {
+  std::string out;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    out += prefix + text.substr(start, end - start) + "\n";
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* EqRelationName(EqRelation r) {
+  switch (r) {
+    case EqRelation::kEquivalent:
+      return "equivalent";
+    case EqRelation::kLhsSubsetRhs:
+      return "contained";
+  }
+  return "?";
+}
+
+Result<std::vector<RelationSig>> InferSignature(const Program& a,
+                                                const Program& b,
+                                                const data::Database* db) {
+  std::set<std::string> heads = HeadNamesLower(a);
+  for (const std::string& h : HeadNamesLower(b)) heads.insert(h);
+  SigBuilder sig;
+  InferFromProgram(a, heads, &sig);
+  InferFromProgram(b, heads, &sig);
+  std::vector<RelationSig> out;
+  for (const auto& [lower, display] : sig.names) {
+    RelationSig rs;
+    if (db != nullptr && db->GetPtr(display) != nullptr) {
+      const Relation* rel = db->GetPtr(display);
+      rs.name = display;
+      rs.attrs = rel->schema().names();
+    } else {
+      rs.name = display;
+      rs.attrs = sig.attrs[lower];
+    }
+    if (rs.attrs.empty()) {
+      return InvalidArgument("cannot infer attributes of relation '" +
+                             display +
+                             "': no attribute references and no database "
+                             "schema available");
+    }
+    out.push_back(std::move(rs));
+  }
+  if (out.empty()) {
+    return InvalidArgument(
+        "programs range over no base relation: nothing to enumerate");
+  }
+  return out;
+}
+
+int64_t CountInstances(const std::vector<RelationSig>& schema,
+                       const BoundedEqOptions& opts) {
+  const std::vector<Value> pool = FullPool(opts);
+  const int64_t pool_size = static_cast<int64_t>(pool.size());
+  unsigned __int128 total = 1;
+  for (const RelationSig& rs : schema) {
+    int64_t tuples = 1;
+    for (size_t i = 0; i < rs.attrs.size(); ++i) {
+      if (tuples > INT64_MAX / pool_size) return INT64_MAX;
+      tuples *= pool_size;
+    }
+    const int64_t per_rel = SaturatingMultisets(tuples, opts.max_rows);
+    total *= static_cast<unsigned __int128>(per_rel);
+    if (total > static_cast<unsigned __int128>(INT64_MAX)) return INT64_MAX;
+  }
+  return static_cast<int64_t>(total);
+}
+
+bool RenamingEquivariant(const Program& program) {
+  bool ok = true;
+  WalkProgram(
+      program,
+      [&](const Term& t) {
+        if (t.kind == TermKind::kArith) ok = false;
+        if (t.kind == TermKind::kAggregate && t.agg_func != AggFunc::kCount &&
+            t.agg_func != AggFunc::kCountStar &&
+            t.agg_func != AggFunc::kCountDistinct) {
+          ok = false;
+        }
+      },
+      [&](const Formula& f) {
+        if (f.kind == FormulaKind::kPredicate &&
+            f.cmp_op != data::CmpOp::kEq && f.cmp_op != data::CmpOp::kNe) {
+          ok = false;
+        }
+      },
+      [](const JoinNode&) {});
+  return ok;
+}
+
+std::vector<Value> BuildValuePool(const Program& a, const Program& b,
+                                  const BoundedEqOptions& opts) {
+  if (!opts.domain.empty()) return opts.domain;
+  std::set<int64_t> literals;
+  CollectIntLiterals(a, &literals);
+  CollectIntLiterals(b, &literals);
+  std::vector<Value> pool;
+  for (int64_t v : literals) {
+    if (static_cast<int>(pool.size()) >= opts.domain_size) break;
+    pool.push_back(Value::Int(v));
+  }
+  int64_t fresh = 0;
+  while (static_cast<int>(pool.size()) < opts.domain_size) {
+    if (literals.find(fresh) == literals.end()) {
+      pool.push_back(Value::Int(fresh));
+    }
+    ++fresh;
+  }
+  return pool;
+}
+
+std::vector<Value> RigidValues(const Program& a, const Program& b,
+                               const std::vector<RelationSig>& schema,
+                               const BoundedEqOptions& opts) {
+  std::set<int64_t> ints;
+  CollectIntLiterals(a, &ints);
+  CollectIntLiterals(b, &ints);
+  if (ProgramHasAggregate(a) || ProgramHasAggregate(b)) {
+    // Count outputs re-enter the value domain through comparisons like
+    // r.q = count(s.d); hold every producible count rigid so renaming can
+    // never alias one.
+    const int64_t max_count =
+        static_cast<int64_t>(schema.size()) * opts.max_rows;
+    for (int64_t c = 0; c <= max_count; ++c) ints.insert(c);
+  }
+  std::vector<Value> rigid;
+  rigid.reserve(ints.size());
+  for (int64_t v : ints) rigid.push_back(Value::Int(v));
+  return rigid;
+}
+
+EnumerationStats ForEachInstance(
+    const std::vector<RelationSig>& schema, const BoundedEqOptions& opts,
+    bool allow_symmetry, const std::vector<Value>& rigid_values,
+    const std::function<bool(const data::Database&, int64_t total_rows)>&
+        probe) {
+  EnumerationStats stats;
+  const std::vector<Value> pool = FullPool(opts);
+  const int pool_size = static_cast<int>(pool.size());
+  const int nrel = static_cast<int>(schema.size());
+
+  std::vector<RelEnum> rels;
+  rels.reserve(schema.size());
+  for (const RelationSig& rs : schema) {
+    RelEnum re;
+    re.name = rs.name;
+    re.schema = Schema(rs.attrs);
+    re.arity = static_cast<int>(rs.attrs.size());
+    int64_t count = 1;
+    for (int i = 0; i < re.arity; ++i) count *= pool_size;
+    re.tuple_count = static_cast<int>(count);
+    re.tuples.reserve(re.tuple_count);
+    for (int t = 0; t < re.tuple_count; ++t) {
+      std::vector<Value> vals(re.arity);
+      int digits = t;
+      for (int a = 0; a < re.arity; ++a) {
+        vals[a] = pool[digits % pool_size];
+        digits /= pool_size;
+      }
+      re.tuples.emplace_back(std::move(vals));
+    }
+    re.combos.resize(opts.max_rows + 1);
+    for (int c = 0; c <= opts.max_rows; ++c) {
+      std::vector<int> cur;
+      BuildCombos(re.tuple_count, c, &cur, &re.combos[c]);
+    }
+    rels.push_back(std::move(re));
+  }
+
+  std::vector<std::vector<int>> perms;
+  std::vector<std::vector<std::vector<int>>> remaps(rels.size());
+  if (allow_symmetry) {
+    perms = BuildPermutations(pool, rigid_values);
+    for (size_t r = 0; r < rels.size(); ++r) {
+      remaps[r] = BuildTupleRemaps(rels[r], pool_size, perms);
+    }
+  }
+
+  // Ascending total row count, so the first probe hit is minimal.
+  std::vector<int> cards(rels.size(), 0);
+  std::vector<const std::vector<int>*> selection(rels.size(), nullptr);
+  bool stop = false;
+
+  std::function<void(int, int)> choose_combo;  // (rel index, _)
+  std::function<void(int, int)> choose_cards = [&](int r, int remaining) {
+    if (stop) return;
+    if (r == nrel) {
+      if (remaining != 0) return;
+      choose_combo(0, 0);
+      return;
+    }
+    const int cap = std::min(remaining, opts.max_rows);
+    for (int c = 0; c <= cap && !stop; ++c) {
+      cards[static_cast<size_t>(r)] = c;
+      choose_cards(r + 1, remaining - c);
+    }
+  };
+  choose_combo = [&](int r, int) {
+    if (stop) return;
+    if (r == nrel) {
+      ++stats.enumerated;
+      if (!perms.empty() && !IsCanonical(selection, remaps, perms.size())) {
+        ++stats.skipped_symmetry;
+        return;
+      }
+      data::Database db;
+      int64_t total_rows = 0;
+      for (size_t i = 0; i < rels.size(); ++i) {
+        std::vector<Tuple> rows;
+        rows.reserve(selection[i]->size());
+        for (int idx : *selection[i]) rows.push_back(rels[i].tuples[idx]);
+        total_rows += static_cast<int64_t>(rows.size());
+        db.Put(rels[i].name, Relation(rels[i].schema, std::move(rows)));
+      }
+      ++stats.checked;
+      if (probe(db, total_rows)) stop = true;
+      return;
+    }
+    const std::vector<std::vector<int>>& combos =
+        rels[static_cast<size_t>(r)].combos[cards[static_cast<size_t>(r)]];
+    for (const std::vector<int>& combo : combos) {
+      if (stop) return;
+      selection[static_cast<size_t>(r)] = &combo;
+      choose_combo(r + 1, 0);
+    }
+  };
+
+  const int max_total = nrel * opts.max_rows;
+  for (int total = 0; total <= max_total && !stop; ++total) {
+    choose_cards(0, total);
+  }
+  return stats;
+}
+
+Result<BoundedEqReport> CheckEquivalent(const Program& lhs, const Program& rhs,
+                                        const std::vector<RelationSig>& schema,
+                                        const BoundedEqOptions& opts,
+                                        EqRelation relation) {
+  BoundedEqOptions eopts = opts;
+  if (eopts.conventions.empty()) {
+    eopts.conventions = {Conventions::Arc(), Conventions::Sql()};
+  }
+  if (eopts.domain.empty()) eopts.domain = BuildValuePool(lhs, rhs, eopts);
+
+  const int64_t instance_count = CountInstances(schema, eopts);
+  if (instance_count > eopts.max_instances) {
+    return InvalidArgument(
+        "bounded check would enumerate " + std::to_string(instance_count) +
+        " instances (cap " + std::to_string(eopts.max_instances) +
+        "): lower domain_size / max_rows or raise max_instances");
+  }
+
+  const bool equivariant = eopts.symmetry_reduction &&
+                           RenamingEquivariant(lhs) && RenamingEquivariant(rhs);
+  const std::vector<Value> rigid = RigidValues(lhs, rhs, schema, eopts);
+
+  BoundedEqReport report;
+  report.relation = relation;
+  report.bound = static_cast<int>(eopts.domain.size());
+  report.max_rows = eopts.max_rows;
+  report.null_in_domain = eopts.include_null;
+  report.symmetry_used = equivariant;
+
+  std::string last_error;
+  EnumerationStats stats = ForEachInstance(
+      schema, eopts, equivariant, rigid,
+      [&](const data::Database& db, int64_t total_rows) {
+        for (const Conventions& conv : eopts.conventions) {
+          auto lr = EvalUnder(db, lhs, conv);
+          if (!lr.ok()) {
+            ++report.eval_failures;
+            last_error = lr.status().ToString();
+            return false;
+          }
+          auto rr = EvalUnder(db, rhs, conv);
+          if (!rr.ok()) {
+            ++report.eval_failures;
+            last_error = rr.status().ToString();
+            return false;
+          }
+          const bool ok = relation == EqRelation::kEquivalent
+                              ? lr->EqualsBag(*rr)
+                              : MultisetContained(*lr, *rr);
+          if (!ok) {
+            Counterexample cex;
+            cex.instance = db;
+            cex.conventions = conv;
+            cex.lhs_result = *std::move(lr);
+            cex.rhs_result = *std::move(rr);
+            cex.total_rows = total_rows;
+            report.counterexample = std::move(cex);
+            return true;
+          }
+        }
+        return false;
+      });
+
+  report.instances_enumerated = stats.enumerated;
+  report.instances_checked = stats.checked;
+  report.instances_skipped_symmetry = stats.skipped_symmetry;
+  report.holds = !report.counterexample.has_value();
+  if (report.holds && stats.checked > 0 &&
+      report.eval_failures == stats.checked) {
+    return EvalError(
+        "bounded check evaluated no instance successfully (last error: " +
+        last_error + ")");
+  }
+  return report;
+}
+
+std::string Counterexample::ToString() const {
+  std::string out = "counterexample (" + std::to_string(total_rows) +
+                    " total rows) under [" + conventions.ToString() + "]:\n";
+  for (const std::string& name : instance.Names()) {
+    const Relation* rel = instance.GetPtr(name);
+    out += "  " + name + ":\n";
+    out += Indent(rel->Sorted().ToString(), "    ");
+  }
+  out += "  lhs result:\n" + Indent(lhs_result.Sorted().ToString(), "    ");
+  out += "  rhs result:\n" + Indent(rhs_result.Sorted().ToString(), "    ");
+  return out;
+}
+
+std::string BoundedEqReport::ToString() const {
+  std::string bound_desc = "{k=" + std::to_string(bound) +
+                           ", rows<=" + std::to_string(max_rows) +
+                           (null_in_domain ? ", null" : "") + "}";
+  if (holds) {
+    std::string name = relation == EqRelation::kEquivalent
+                           ? "EquivalentUpToBound"
+                           : "ContainedUpToBound";
+    std::string out = name + bound_desc + ": " +
+                      std::to_string(instances_enumerated) + " instances, " +
+                      std::to_string(instances_checked) + " evaluated";
+    if (instances_skipped_symmetry > 0) {
+      out += ", " + std::to_string(instances_skipped_symmetry) +
+             " renaming-redundant skipped";
+    }
+    if (eval_failures > 0) {
+      out += ", " + std::to_string(eval_failures) + " evaluation failures";
+    }
+    return out;
+  }
+  std::string name = relation == EqRelation::kEquivalent
+                         ? "NotEquivalentWithinBound"
+                         : "NotContainedWithinBound";
+  std::string out = name + bound_desc;
+  if (counterexample.has_value()) {
+    out += ": " + counterexample->ToString();
+  }
+  return out;
+}
+
+std::vector<VerifiedFix> VerifyFixes(const Program& original,
+                                     std::vector<FixIt> fixes,
+                                     const std::vector<RelationSig>& schema,
+                                     const BoundedEqOptions& opts) {
+  std::vector<VerifiedFix> out;
+  out.reserve(fixes.size());
+  for (FixIt& fix : fixes) {
+    VerifiedFix vf;
+    vf.fix = std::move(fix);
+    const std::string k = std::to_string(
+        opts.domain.empty() ? opts.domain_size
+                            : static_cast<int>(opts.domain.size()));
+    if (vf.fix.effect == FixEffect::kPinsMeaning) {
+      BoundedEqOptions popts = opts;
+      popts.conventions = {Conventions::Arc(), Conventions::Sql()};
+      auto eq = CheckEquivalent(original, vf.fix.fixed, schema, popts,
+                                EqRelation::kEquivalent);
+      if (!eq.ok()) {
+        vf.verdict = "verification failed: " + eq.status().ToString();
+        out.push_back(std::move(vf));
+        continue;
+      }
+      vf.primary = *std::move(eq);
+      BoundedEqOptions dopts = opts;
+      Conventions two_valued = Conventions::Arc();
+      two_valued.null_logic = data::NullLogic::kTwoValued;
+      dopts.conventions = {two_valued};
+      auto dir = CheckEquivalent(vf.fix.fixed, original, schema, dopts,
+                                 EqRelation::kLhsSubsetRhs);
+      if (!dir.ok()) {
+        vf.verdict = "direction check failed: " + dir.status().ToString();
+        out.push_back(std::move(vf));
+        continue;
+      }
+      vf.direction = *std::move(dir);
+      vf.verified = vf.primary.holds && vf.direction->holds;
+      vf.verdict = vf.verified
+                       ? "equivalent under 3VL up to k=" + k +
+                             "; under 2VL the guard only narrows "
+                             "(documented direction)"
+                       : "REFUTED: " +
+                             (vf.primary.holds ? vf.direction->ToString()
+                                               : vf.primary.ToString());
+    } else {
+      BoundedEqOptions popts = opts;
+      popts.conventions = {Conventions::Arc(), Conventions::Sql()};
+      auto sub = CheckEquivalent(original, vf.fix.fixed, schema, popts,
+                                 EqRelation::kLhsSubsetRhs);
+      if (!sub.ok()) {
+        vf.verdict = "verification failed: " + sub.status().ToString();
+        out.push_back(std::move(vf));
+        continue;
+      }
+      vf.primary = *std::move(sub);
+      vf.verified = vf.primary.holds;
+      vf.verdict = vf.verified
+                       ? "original ⊆ fixed up to k=" + k +
+                             " (the left join only restores dropped rows)"
+                       : "REFUTED: " + vf.primary.ToString();
+    }
+    out.push_back(std::move(vf));
+  }
+  return out;
+}
+
+}  // namespace arc::verify

@@ -115,6 +115,49 @@ TEST(ExhibitDivergence, ReturnsNulloptForInsensitiveQuery) {
   EXPECT_FALSE(witness.has_value());
 }
 
+// --- ExhibitDivergenceBounded ------------------------------------------------
+
+TEST(ExhibitDivergenceBounded, EscalatesSampledWitnessToMinimalOne) {
+  // The null-logic trap again, but exhaustively: the bounded mode walks
+  // every instance in ascending row-count order, so its witness is
+  // row-count-minimal — here two rows (one R row, one S row with NULL),
+  // wherever in the mutation menu the sampled search happened to land.
+  Program program = ParseOrDie(
+      "{Q(a) | exists r in R, s in S [Q.a = r.a and not(s.b = r.a)]}");
+  data::Database db;
+  db.Put("R", data::Relation(data::Schema{"a"}));
+  db.Put("S", data::Relation(data::Schema{"b"}));
+  BoundedWitnessOptions opts;
+  opts.domain_size = 2;
+  auto witness = ExhibitDivergenceBounded(
+      program, db, ConventionDimension::kNullLogic, opts);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->mutation.rfind("bounded(", 0), 0u) << witness->mutation;
+  int64_t total_rows = 0;
+  for (const std::string& name : witness->instance.Names()) {
+    total_rows += witness->instance.GetPtr(name)->rows().size();
+  }
+  EXPECT_LE(total_rows, 2) << witness->ToString();
+  EXPECT_FALSE(witness->base_result.EqualsBag(witness->varied_result));
+}
+
+TEST(ExhibitDivergenceBounded, NulloptIsBoundedInsensitivityEvidence) {
+  // The fully guarded variant (both operands) is insensitive: exhausting
+  // the bounded space (rather than a mutation menu) certifies there is no
+  // small witness.
+  Program program = ParseOrDie(
+      "{Q(a) | exists r in R, s in S [Q.a = r.a and s.b is not null and "
+      "r.a is not null and not(s.b = r.a)]}");
+  data::Database db;
+  db.Put("R", data::Relation(data::Schema{"a"}));
+  db.Put("S", data::Relation(data::Schema{"b"}));
+  BoundedWitnessOptions opts;
+  opts.domain_size = 2;
+  auto witness = ExhibitDivergenceBounded(
+      program, db, ConventionDimension::kNullLogic, opts);
+  EXPECT_FALSE(witness.has_value());
+}
+
 // --- ValidateConventionWarnings ----------------------------------------------
 
 TEST(ValidateConventionWarnings, ConfirmsEq15WarningWithSqlCrossCheck) {

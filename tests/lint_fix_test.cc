@@ -1,0 +1,181 @@
+// Lint auto-fix tests: ProposeFixes must build the documented edits for
+// ARC-W102 (IS NOT NULL guards under negation) and ARC-W109 (left-join
+// annotation for a grouped-subquery join), and VerifyFixes must accept
+// both at the acceptance bound (k = 3, NULL in the domain) while the fixed
+// programs no longer fire the warnings.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arc/conventions.h"
+#include "arc/lint.h"
+#include "common/strings.h"
+#include "data/database.h"
+#include "data/relation.h"
+#include "text/parser.h"
+#include "text/printer.h"
+#include "verify/bounded_eq.h"
+
+namespace arc {
+namespace {
+
+using data::Schema;
+
+Program ParseOrDie(const std::string& text) {
+  auto program = text::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return program.ok() ? std::move(program).value() : Program();
+}
+
+bool Fires(const LintResult& result, const std::string& code) {
+  for (const Diagnostic& d : result.findings) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+/// Schema-only database: the range-class-dependent passes (and thus the
+/// fix builders) need resolvable base relations.
+data::Database NullTrapDb() {
+  data::Database db;
+  db.Put("R", data::Relation(Schema{"A"}));
+  db.Put("S", data::Relation(Schema{"B"}));
+  return db;
+}
+
+data::Database CountBugDb() {
+  data::Database db;
+  db.Put("R", data::Relation(Schema{"id", "q"}));
+  db.Put("S", data::Relation(Schema{"id", "d"}));
+  return db;
+}
+
+verify::BoundedEqOptions AcceptanceBound() {
+  verify::BoundedEqOptions opts;
+  opts.domain_size = 3;
+  opts.max_rows = 2;
+  opts.include_null = true;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// W102: IS NOT NULL guards.
+// ---------------------------------------------------------------------------
+
+TEST(LintFix, W102ProposesNullGuardsAtInnermostNot) {
+  Program p = ParseOrDie(
+      "{Q(A) | exists r in R, s in S [Q.A = r.A and not(s.B = r.A)]}");
+  data::Database db = NullTrapDb();
+  LintOptions lopts;
+  lopts.analyze.database = &db;
+  ASSERT_TRUE(Fires(Lint(p, lopts), "ARC-W102"));
+
+  std::vector<FixIt> fixes = ProposeFixes(p, lopts);
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_EQ(fixes[0].code, "ARC-W102");
+  EXPECT_EQ(fixes[0].name, "insert-is-not-null-guard");
+  EXPECT_EQ(fixes[0].effect, FixEffect::kPinsMeaning);
+  EXPECT_EQ(text::PrintProgram(fixes[0].fixed),
+            "{Q(A) | exists r in R, s in S [Q.A = r.A and s.B is not null "
+            "and r.A is not null and not(s.B = r.A)]}");
+
+  // The fixed program no longer fires W102.
+  EXPECT_FALSE(Fires(Lint(fixes[0].fixed, lopts), "ARC-W102"));
+}
+
+TEST(LintFix, W102FixVerifiedAtAcceptanceBound) {
+  Program p = ParseOrDie(
+      "{Q(A) | exists r in R, s in S [Q.A = r.A and not(s.B = r.A)]}");
+  data::Database db = NullTrapDb();
+  LintOptions lopts;
+  lopts.analyze.database = &db;
+  std::vector<FixIt> fixes = ProposeFixes(p, lopts);
+  ASSERT_EQ(fixes.size(), 1u);
+
+  auto sig = verify::InferSignature(p, p, &db);
+  ASSERT_TRUE(sig.ok()) << sig.status().ToString();
+  std::vector<verify::VerifiedFix> out =
+      verify::VerifyFixes(p, std::move(fixes), *sig, AcceptanceBound());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].verified) << out[0].verdict;
+  // kPinsMeaning: the primary check is 3VL equivalence, the direction
+  // check proves fixed ⊆ original under the two-valued flip.
+  EXPECT_TRUE(out[0].primary.holds) << out[0].primary.ToString();
+  ASSERT_TRUE(out[0].direction.has_value());
+  EXPECT_TRUE(out[0].direction->holds) << out[0].direction->ToString();
+  EXPECT_EQ(out[0].direction->relation, verify::EqRelation::kLhsSubsetRhs);
+}
+
+// ---------------------------------------------------------------------------
+// W109: left-join annotation for the count-bug decorrelation.
+// ---------------------------------------------------------------------------
+
+TEST(LintFix, W109ProposesLeftJoinAnnotation) {
+  Program p = ParseOrDie(
+      "{Q(id) | exists r in R, x in {X(id, ct) | "
+      "exists s in S, gamma(s.id) [X.id = s.id and X.ct = count(s.d)]} "
+      "[Q.id = r.id and r.id = x.id and r.q = x.ct]}");
+  data::Database db = CountBugDb();
+  LintOptions lopts;
+  lopts.analyze.database = &db;
+  ASSERT_TRUE(Fires(Lint(p, lopts), "ARC-W109"));
+
+  std::vector<FixIt> fixes = ProposeFixes(p, lopts);
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_EQ(fixes[0].code, "ARC-W109");
+  EXPECT_EQ(fixes[0].name, "left-join-grouped-subquery");
+  EXPECT_EQ(fixes[0].effect, FixEffect::kBroadens);
+  // The outer scope gains left(r, x): rows of r with no group survive.
+  EXPECT_NE(text::PrintProgram(fixes[0].fixed).find("left(r, x)"),
+            std::string::npos)
+      << text::PrintProgram(fixes[0].fixed);
+  EXPECT_FALSE(Fires(Lint(fixes[0].fixed, lopts), "ARC-W109"));
+}
+
+TEST(LintFix, W109FixVerifiedAtAcceptanceBound) {
+  Program p = ParseOrDie(
+      "{Q(id) | exists r in R, x in {X(id, ct) | "
+      "exists s in S, gamma(s.id) [X.id = s.id and X.ct = count(s.d)]} "
+      "[Q.id = r.id and r.id = x.id and r.q = x.ct]}");
+  data::Database db = CountBugDb();
+  LintOptions lopts;
+  lopts.analyze.database = &db;
+  std::vector<FixIt> fixes = ProposeFixes(p, lopts);
+  ASSERT_EQ(fixes.size(), 1u);
+
+  auto sig = verify::InferSignature(p, p, &db);
+  ASSERT_TRUE(sig.ok()) << sig.status().ToString();
+  std::vector<verify::VerifiedFix> out =
+      verify::VerifyFixes(p, std::move(fixes), *sig, AcceptanceBound());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].verified) << out[0].verdict;
+  // kBroadens: original ⊆ fixed — the annotation only restores rows the
+  // count-bug decorrelation dropped.
+  EXPECT_EQ(out[0].primary.relation, verify::EqRelation::kLhsSubsetRhs);
+  EXPECT_TRUE(out[0].primary.holds) << out[0].primary.ToString();
+  EXPECT_FALSE(out[0].direction.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Span rendering: the single-edit byte span reported to editors matches
+// the canonical renderings the JSON output indexes into.
+// ---------------------------------------------------------------------------
+
+TEST(LintFix, SingleEditSpanReconstructsFixedRendering) {
+  Program p = ParseOrDie(
+      "{Q(A) | exists r in R, s in S [Q.A = r.A and not(s.B = r.A)]}");
+  data::Database db = NullTrapDb();
+  LintOptions lopts;
+  lopts.analyze.database = &db;
+  std::vector<FixIt> fixes = ProposeFixes(p, lopts);
+  ASSERT_EQ(fixes.size(), 1u);
+  const std::string before = text::PrintProgram(p);
+  const std::string after = text::PrintProgram(fixes[0].fixed);
+  const EditSpan span = SingleEditSpan(before, after);
+  std::string patched = before;
+  patched.replace(span.offset, span.length, span.replacement);
+  EXPECT_EQ(patched, after);
+}
+
+}  // namespace
+}  // namespace arc

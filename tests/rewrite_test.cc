@@ -108,9 +108,9 @@ TEST(Decorrelate, RewritesEq27IntoEq29Shape) {
   EXPECT_EQ(result.applications, 1);
   const std::string printed = text::PrintProgram(result.program);
   // The rewritten form has the Eq. 29 ingredients: a left join annotation,
-  // grouping on the outer key, and an outer equality on the key.
+  // grouping on the (deduplicated) outer key, and an outer equality on it.
   EXPECT_NE(printed.find("left("), std::string::npos) << printed;
-  EXPECT_NE(printed.find("gamma(_dr1.id)"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("gamma(_dr1.k1)"), std::string::npos) << printed;
   EXPECT_NE(printed.find("count("), std::string::npos) << printed;
 }
 

@@ -1,0 +1,306 @@
+// ArcVerify tests: the bounded exhaustive equivalence checker must
+//   * refute planted wrong rewrites with a minimal concrete counterexample
+//     (a database of a few tuples, found in ascending row-count order),
+//   * prove right rewrites equivalent up to the bound,
+//   * be exhaustive: the enumerator's instance count matches the closed
+//     form, and symmetry reduction skips only renaming-redundant instances
+//     (same verdicts with reduction on and off),
+//   * gate lint auto-fixes (VerifyFixes) so a bogus fix cannot survive.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arc/conventions.h"
+#include "arc/lint.h"
+#include "data/database.h"
+#include "data/relation.h"
+#include "data/value.h"
+#include "text/parser.h"
+#include "text/printer.h"
+#include "verify/bounded_eq.h"
+
+namespace arc::verify {
+namespace {
+
+using data::Schema;
+using data::Value;
+
+Program ParseOrDie(const std::string& text) {
+  auto program = text::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return program.ok() ? std::move(program).value() : Program();
+}
+
+std::vector<RelationSig> SigOrDie(const Program& a, const Program& b) {
+  auto sig = InferSignature(a, b, nullptr);
+  EXPECT_TRUE(sig.ok()) << sig.status().ToString();
+  return sig.ok() ? std::move(sig).value() : std::vector<RelationSig>();
+}
+
+BoundedEqReport CheckOrDie(const Program& a, const Program& b,
+                           const BoundedEqOptions& opts,
+                           EqRelation relation = EqRelation::kEquivalent) {
+  auto report = CheckEquivalent(a, b, SigOrDie(a, b), opts, relation);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? std::move(report).value() : BoundedEqReport();
+}
+
+// ---------------------------------------------------------------------------
+// Planted counterexamples (acceptance criterion: a deliberately wrong
+// rewrite variant is refuted with a database of <= 3 tuples).
+// ---------------------------------------------------------------------------
+
+// Unnesting an existential scope is a set-semantics rewrite: under bag
+// conventions the flat join multiplies row multiplicities where the nested
+// EXISTS deduplicated them. ArcVerify must refute the pair under Sql (bag)
+// and prove it under Arc (set).
+TEST(BoundedEq, WrongUnnestRefutedUnderBagSemantics) {
+  Program nested = ParseOrDie(
+      "{Q(A) | exists r in R [exists s in S [Q.A = r.A and r.B = s.B]]}");
+  Program flat = ParseOrDie(
+      "{Q(A) | exists r in R, s in S [Q.A = r.A and r.B = s.B]}");
+  BoundedEqOptions opts;
+  opts.domain_size = 2;
+  opts.include_null = false;
+
+  opts.conventions = {Conventions::Sql()};
+  BoundedEqReport bag = CheckOrDie(nested, flat, opts);
+  EXPECT_FALSE(bag.holds) << bag.ToString();
+  ASSERT_TRUE(bag.counterexample.has_value());
+  EXPECT_LE(bag.counterexample->total_rows, 3) << bag.ToString();
+
+  opts.conventions = {Conventions::Arc()};
+  BoundedEqReport set = CheckOrDie(nested, flat, opts);
+  EXPECT_TRUE(set.holds) << set.ToString();
+}
+
+// Dropping an IS NOT NULL guard is invisible under three-valued logic (the
+// unguarded comparison goes unknown exactly where the guard fails) but
+// diverges under two-valued logic, where NULL = x is plain false and the
+// negation resurrects the row. One NULL tuple suffices as witness.
+TEST(BoundedEq, DroppedNullGuardRefutedUnderTwoValuedLogic) {
+  Program guarded = ParseOrDie(
+      "{Q(A) | exists r in R, s in S [Q.A = r.A and s.B is not null and "
+      "not(s.B = r.A)]}");
+  Program unguarded = ParseOrDie(
+      "{Q(A) | exists r in R, s in S [Q.A = r.A and not(s.B = r.A)]}");
+  BoundedEqOptions opts;
+  opts.domain_size = 2;
+
+  // Equivalent under both three-valued conventions...
+  BoundedEqReport threevl = CheckOrDie(guarded, unguarded, opts);
+  EXPECT_TRUE(threevl.holds) << threevl.ToString();
+
+  // ...refuted under the two-valued flip, with a tiny witness.
+  Conventions twovl = Conventions::Arc();
+  twovl.null_logic = data::NullLogic::kTwoValued;
+  opts.conventions = {twovl};
+  BoundedEqReport report = CheckOrDie(guarded, unguarded, opts);
+  EXPECT_FALSE(report.holds) << report.ToString();
+  ASSERT_TRUE(report.counterexample.has_value());
+  EXPECT_LE(report.counterexample->total_rows, 3) << report.ToString();
+  const std::string rendered = report.counterexample->ToString();
+  EXPECT_NE(rendered.find("null"), std::string::npos) << rendered;
+}
+
+// The count bug (Fig. 21a vs. 21b): naive decorrelation loses rows of R
+// with no matching group. The minimal witness is one R row with S empty.
+TEST(BoundedEq, NaiveDecorrelationRefutedWithOneTupleWitness) {
+  Program original = ParseOrDie(
+      "{Q(id) | exists r in R [Q.id = r.id and "
+      "exists s in S, gamma() [r.id = s.id and r.q = count(s.d)]]}");
+  Program decorrelated = ParseOrDie(
+      "{Q(id) | exists r in R, x in {X(id, ct) | "
+      "exists s in S, gamma(s.id) [X.id = s.id and X.ct = count(s.d)]} "
+      "[Q.id = r.id and r.id = x.id and r.q = x.ct]}");
+  BoundedEqOptions opts;
+  opts.domain_size = 2;
+  opts.include_null = false;
+  opts.conventions = {Conventions::Arc()};
+  BoundedEqReport report = CheckOrDie(original, decorrelated, opts);
+  EXPECT_FALSE(report.holds) << report.ToString();
+  ASSERT_TRUE(report.counterexample.has_value());
+  // r.q = count(...) = 0 over empty S: the witness is a single R row.
+  EXPECT_LE(report.counterexample->total_rows, 2) << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustiveness: enumeration counts match the closed form, and symmetry
+// reduction only skips what it may.
+// ---------------------------------------------------------------------------
+
+TEST(BoundedEq, EnumerationCountMatchesClosedForm) {
+  // A self-comparison: no early stop, so the enumerator must visit the
+  // entire space and its counters must reconcile with the closed form.
+  Program p = ParseOrDie("{Q(A) | exists r in R [Q.A = r.A]}");
+  Program q = p.Clone();
+  const std::vector<RelationSig> schema = SigOrDie(p, q);
+
+  for (const bool symmetry : {true, false}) {
+    BoundedEqOptions opts;
+    opts.domain_size = 2;
+    opts.max_rows = 2;
+    opts.symmetry_reduction = symmetry;
+    auto report = CheckEquivalent(p, q, schema, opts);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->holds) << report->ToString();
+    // R is unary over a pool of 3 values (2 ints + NULL): multisets of at
+    // most 2 of 3 tuples = C(3,0) + C(3,1) + C(4,2)/... = 1 + 3 + 6 = 10.
+    EXPECT_EQ(CountInstances(schema, opts), 10);
+    EXPECT_EQ(report->instances_enumerated, 10);
+    EXPECT_EQ(report->instances_checked + report->instances_skipped_symmetry,
+              report->instances_enumerated);
+    if (symmetry) {
+      EXPECT_TRUE(report->symmetry_used);
+      EXPECT_GT(report->instances_skipped_symmetry, 0);
+    } else {
+      EXPECT_EQ(report->instances_skipped_symmetry, 0);
+      EXPECT_EQ(report->instances_checked, 10);
+    }
+  }
+}
+
+TEST(BoundedEq, SymmetryOnAndOffAgreeOnVerdictAndMinimality) {
+  Program lhs = ParseOrDie("{Q(A) | exists r in R [Q.A = r.A]}");
+  Program rhs =
+      ParseOrDie("{Q(A) | exists r in R [Q.A = r.A and not(r.B = r.A)]}");
+  BoundedEqOptions opts;
+  opts.domain_size = 2;
+  opts.conventions = {Conventions::Arc()};
+
+  opts.symmetry_reduction = true;
+  BoundedEqReport with = CheckOrDie(lhs, rhs, opts);
+  opts.symmetry_reduction = false;
+  BoundedEqReport without = CheckOrDie(lhs, rhs, opts);
+
+  EXPECT_FALSE(with.holds);
+  EXPECT_FALSE(without.holds);
+  ASSERT_TRUE(with.counterexample.has_value());
+  ASSERT_TRUE(without.counterexample.has_value());
+  // Canonical-orbit filtering must not skip past the minimal witness: both
+  // runs find a counterexample of the same (minimal) total row count.
+  EXPECT_EQ(with.counterexample->total_rows,
+            without.counterexample->total_rows);
+}
+
+TEST(BoundedEq, SymmetryDisabledForNonEquivariantPrograms) {
+  // An order comparison breaks renaming equivariance; the checker must
+  // fall back to full enumeration even when reduction is requested.
+  Program p = ParseOrDie("{Q(A) | exists r in R [Q.A = r.A and r.A < 2]}");
+  EXPECT_FALSE(RenamingEquivariant(p));
+  BoundedEqOptions opts;
+  opts.domain_size = 2;
+  opts.symmetry_reduction = true;
+  BoundedEqReport report = CheckOrDie(p, p, opts);
+  EXPECT_TRUE(report.holds);
+  EXPECT_FALSE(report.symmetry_used);
+  EXPECT_EQ(report.instances_skipped_symmetry, 0);
+}
+
+TEST(BoundedEq, InstanceCapRejectsBlowups) {
+  Program p = ParseOrDie(
+      "{Q(A) | exists r in R, s in S [Q.A = r.A and r.B = s.B]}");
+  BoundedEqOptions opts;
+  opts.domain_size = 4;
+  opts.max_rows = 4;
+  opts.max_instances = 100;
+  auto report = CheckEquivalent(p, p, SigOrDie(p, p), opts);
+  EXPECT_FALSE(report.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Containment mode and signature inference.
+// ---------------------------------------------------------------------------
+
+TEST(BoundedEq, SubsetModeProvesContainmentAndRefutesItsConverse) {
+  Program narrow =
+      ParseOrDie("{Q(A) | exists r in R [Q.A = r.A and r.B = 0]}");
+  Program wide = ParseOrDie("{Q(A) | exists r in R [Q.A = r.A]}");
+  BoundedEqOptions opts;
+  opts.domain_size = 2;
+  opts.include_null = false;
+
+  BoundedEqReport forward =
+      CheckOrDie(narrow, wide, opts, EqRelation::kLhsSubsetRhs);
+  EXPECT_TRUE(forward.holds) << forward.ToString();
+  EXPECT_EQ(forward.relation, EqRelation::kLhsSubsetRhs);
+
+  BoundedEqReport backward =
+      CheckOrDie(wide, narrow, opts, EqRelation::kLhsSubsetRhs);
+  EXPECT_FALSE(backward.holds) << backward.ToString();
+  ASSERT_TRUE(backward.counterexample.has_value());
+}
+
+TEST(BoundedEq, InferSignatureReconstructsAttributesFromReferences) {
+  Program a = ParseOrDie(
+      "{Q(A) | exists r in R, s in S [Q.A = r.A and r.B = s.C]}");
+  auto sig = InferSignature(a, a, nullptr);
+  ASSERT_TRUE(sig.ok()) << sig.status().ToString();
+  ASSERT_EQ(sig->size(), 2u);
+  EXPECT_EQ((*sig)[0].name, "R");
+  EXPECT_EQ((*sig)[0].attrs, (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ((*sig)[1].name, "S");
+  EXPECT_EQ((*sig)[1].attrs, (std::vector<std::string>{"C"}));
+}
+
+TEST(BoundedEq, InferSignaturePrefersDatabaseSchemas) {
+  Program a = ParseOrDie("{Q(A) | exists r in R [Q.A = r.A]}");
+  data::Database db;
+  db.Put("R", data::Relation(Schema{"A", "B", "C"}));
+  auto sig = InferSignature(a, a, &db);
+  ASSERT_TRUE(sig.ok());
+  ASSERT_EQ(sig->size(), 1u);
+  EXPECT_EQ((*sig)[0].attrs, (std::vector<std::string>{"A", "B", "C"}));
+}
+
+// Literal values a program compares against must appear in the pool, or
+// the predicate is never exercised within the bound.
+TEST(BoundedEq, ProgramLiteralsSeedTheValuePool) {
+  Program p = ParseOrDie("{Q(A) | exists r in R [Q.A = r.A and r.A = 9]}");
+  BoundedEqOptions opts;
+  opts.domain_size = 2;
+  const std::vector<Value> pool = BuildValuePool(p, p, opts);
+  ASSERT_FALSE(pool.empty());
+  bool has_nine = false;
+  for (const Value& v : pool) {
+    has_nine = has_nine || (!v.is_null() && v.as_int() == 9);
+  }
+  EXPECT_TRUE(has_nine);
+
+  // And the distinguishing power matters: R.A = 9 differs from R.A = 8.
+  Program q = ParseOrDie("{Q(A) | exists r in R [Q.A = r.A and r.A = 8]}");
+  BoundedEqReport report = CheckOrDie(p, q, opts);
+  EXPECT_FALSE(report.holds) << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Fix gating: VerifyFixes must refute a bogus fix.
+// ---------------------------------------------------------------------------
+
+TEST(VerifyFixes, BogusFixRefuted) {
+  Program original = ParseOrDie(
+      "{Q(A) | exists r in R, s in S [Q.A = r.A and not(s.B = r.A)]}");
+  // A "fix" that silently drops the negated conjunct entirely: claims to
+  // pin meaning, actually changes the result on trivial instances.
+  FixIt bogus;
+  bogus.code = "ARC-W102";
+  bogus.name = "bogus-drop-conjunct";
+  bogus.description = "planted wrong fix";
+  bogus.effect = FixEffect::kPinsMeaning;
+  bogus.fixed = ParseOrDie("{Q(A) | exists r in R, s in S [Q.A = r.A]}");
+
+  BoundedEqOptions opts;
+  opts.domain_size = 2;
+  std::vector<FixIt> fixes;
+  fixes.push_back(std::move(bogus));
+  std::vector<VerifiedFix> out = VerifyFixes(
+      original, std::move(fixes), SigOrDie(original, original), opts);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].verified);
+  EXPECT_NE(out[0].verdict.find("REFUTED"), std::string::npos)
+      << out[0].verdict;
+  EXPECT_TRUE(out[0].primary.counterexample.has_value());
+}
+
+}  // namespace
+}  // namespace arc::verify

@@ -6,6 +6,9 @@
 //                     [--conventions sql|arc|souffle] [--csv name=path]…
 //   arctool validate  --arc "{Q(A)|…}" [--setup S]
 //   arctool lint      (--arc "…" | --sql "…") [--setup S] [--format text|json]
+//                     [--fix | --fix-dry-run] [--bound K] [--rows N]
+//   arctool verify    --arc "…" --arc2 "…" [--setup S] [--bound K] [--rows N]
+//                     [--relation equal|subset] [--conventions arc|sql|souffle|all]
 //   arctool compare   --arc "…" --arc2 "…"        (pattern analysis)
 //   arctool datalog   --program P --query PRED [--csv name=path]…
 //
@@ -13,6 +16,7 @@
 // --setup takes a SQL script (CREATE TABLE / INSERT) building the database;
 // --csv name=path loads a CSV file as a base relation.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -32,9 +36,11 @@
 #include "text/alt_parser.h"
 #include "text/parser.h"
 #include "text/printer.h"
+#include "common/strings.h"
 #include "translate/arc_to_sql.h"
 #include "translate/datalog_to_arc.h"
 #include "translate/sql_to_arc.h"
+#include "verify/bounded_eq.h"
 
 namespace {
 
@@ -49,6 +55,9 @@ int Usage() {
       "  validate  --arc <query>    run the resolver/validator\n"
       "  lint      --arc|--sql <q>  run the semantic-trap lint passes\n"
       "            [--format text|json] [--disable ARC-W1##,…] [--list]\n"
+      "            [--fix apply verified fixes] [--fix-dry-run print diffs]\n"
+      "  verify    --arc <a> --arc2 <b>   bounded exhaustive equivalence\n"
+      "            [--bound K] [--rows N] [--no-null] [--relation equal|subset]\n"
       "  compare   --arc <a> --arc2 <b>   pattern equality & similarity\n"
       "  datalog   --program <p> --query <pred>   run & translate Datalog\n"
       "common flags:\n"
@@ -90,7 +99,8 @@ arc::Result<Flags> ParseFlags(int argc, char** argv, int start) {
       return arc::InvalidArgument("unexpected argument '" + arg + "'");
     }
     arg = arg.substr(2);
-    if (arg == "stats" || arg == "list") {  // boolean flags: take no value
+    if (arg == "stats" || arg == "list" || arg == "fix" ||
+        arg == "fix-dry-run" || arg == "no-null") {  // boolean: take no value
       flags.values[arg] = "1";
       continue;
     }
@@ -158,6 +168,106 @@ arc::Result<arc::Program> ParseArcArg(const std::string& text) {
   auto alt = arc::text::ParseAltProgram(text);
   if (alt.ok()) return alt;
   return program.status();
+}
+
+arc::Result<int> IntFlag(const Flags& flags, const char* key, int fallback) {
+  const std::string* v = flags.Get(key);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const long n = std::strtol(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    return arc::InvalidArgument(std::string("--") + key +
+                                " expects an integer, got '" + *v + "'");
+  }
+  return static_cast<int>(n);
+}
+
+/// Shared bound parameters for `verify` and `lint --fix`: --bound (active
+/// domain size), --rows (per-relation cap), --no-null.
+arc::Result<arc::verify::BoundedEqOptions> BoundedOptsFromFlags(
+    const Flags& flags) {
+  arc::verify::BoundedEqOptions opts;
+  ARC_ASSIGN_OR_RETURN(opts.domain_size,
+                       IntFlag(flags, "bound", opts.domain_size));
+  ARC_ASSIGN_OR_RETURN(opts.max_rows, IntFlag(flags, "rows", opts.max_rows));
+  if (flags.Get("no-null") != nullptr) opts.include_null = false;
+  return opts;
+}
+
+std::string JsonEscapeArg(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderFixesText(const arc::Program& original,
+                            const std::vector<arc::verify::VerifiedFix>& fixes,
+                            const arc::verify::BoundedEqOptions& vopts) {
+  std::string out = "-- proposed fixes (bounded gate: k=" +
+                    std::to_string(vopts.domain_size) +
+                    ", rows<=" + std::to_string(vopts.max_rows) + ") --\n";
+  if (fixes.empty()) return out + "(no fixes proposed)\n";
+  const std::string before = arc::text::PrintProgram(original);
+  int i = 0;
+  for (const arc::verify::VerifiedFix& vf : fixes) {
+    ++i;
+    out += "[" + std::to_string(i) + "] " + vf.fix.code + " " + vf.fix.name;
+    if (vf.fix.line > 0) out += " (line " + std::to_string(vf.fix.line) + ")";
+    out += ": " + vf.fix.description + "\n";
+    out += std::string("    ") + (vf.verified ? "VERIFIED: " : "REJECTED: ") +
+           vf.verdict + "\n";
+    if (vf.verified) {
+      out += arc::UnifiedDiff(before, arc::text::PrintProgram(vf.fix.fixed),
+                              "original", "fixed");
+    }
+  }
+  return out;
+}
+
+/// The "fixes" JSON fragment: fix metadata plus editor-applicable byte
+/// spans against the canonical (printer) rendering, which is included as
+/// "canonical_source" so clients have the exact string the offsets index.
+std::string RenderFixesJson(
+    const arc::Program& original,
+    const std::vector<arc::verify::VerifiedFix>& fixes) {
+  const std::string before = arc::text::PrintProgram(original);
+  std::string out =
+      "\"canonical_source\": \"" + JsonEscapeArg(before) + "\", \"fixes\": [";
+  bool first = true;
+  for (const arc::verify::VerifiedFix& vf : fixes) {
+    if (!first) out += ", ";
+    first = false;
+    const arc::EditSpan span =
+        arc::SingleEditSpan(before, arc::text::PrintProgram(vf.fix.fixed));
+    out += "{\"code\": \"" + JsonEscapeArg(vf.fix.code) + "\"";
+    out += ", \"name\": \"" + JsonEscapeArg(vf.fix.name) + "\"";
+    if (vf.fix.line > 0) out += ", \"line\": " + std::to_string(vf.fix.line);
+    out += ", \"effect\": \"";
+    out += arc::FixEffectName(vf.fix.effect);
+    out += "\", \"verified\": ";
+    out += vf.verified ? "true" : "false";
+    out += ", \"verdict\": \"" + JsonEscapeArg(vf.verdict) + "\"";
+    out += ", \"offset\": " + std::to_string(span.offset);
+    out += ", \"length\": " + std::to_string(span.length);
+    out += ", \"replacement\": \"" + JsonEscapeArg(span.replacement) + "\"";
+    out += ", \"description\": \"" + JsonEscapeArg(vf.fix.description) + "\"}";
+  }
+  return out + "]";
 }
 
 arc::Result<std::string> RenderModality(const arc::Program& program,
@@ -318,12 +428,116 @@ arc::Status CmdLint(const Flags& flags) {
     return arc::InvalidArgument("unknown format '" + *format +
                                 "' (text|json)");
   }
-  const std::string out = format != nullptr && *format == "json"
-                              ? arc::LintToJson(result)
-                              : arc::LintToText(result);
+  const bool json = format != nullptr && *format == "json";
+  std::string out = json ? arc::LintToJson(result) : arc::LintToText(result);
+  const bool want_fix = flags.Get("fix") != nullptr;
+  const bool want_dry = flags.Get("fix-dry-run") != nullptr;
+  if (want_fix || want_dry) {
+    ARC_ASSIGN_OR_RETURN(arc::verify::BoundedEqOptions vopts,
+                         BoundedOptsFromFlags(flags));
+    std::vector<arc::FixIt> proposed = arc::ProposeFixes(program, lopts);
+    std::vector<arc::verify::RelationSig> schema;
+    std::vector<arc::verify::VerifiedFix> verified;
+    if (!proposed.empty()) {
+      ARC_ASSIGN_OR_RETURN(
+          schema, arc::verify::InferSignature(
+                      program, program,
+                      db.relation_count() > 0 ? &db : nullptr));
+      verified = arc::verify::VerifyFixes(program, std::move(proposed),
+                                          schema, vopts);
+    }
+    std::string applied_log;
+    arc::Program current = program.Clone();
+    if (want_fix) {
+      // Apply one verified fix at a time and re-propose: fixes were each
+      // verified against the *original* program, so overlapping edits must
+      // be re-derived (and re-gated) against the intermediate program.
+      std::vector<arc::verify::VerifiedFix>* round = &verified;
+      std::vector<arc::verify::VerifiedFix> regated;
+      for (int iter = 0; iter < 8; ++iter) {
+        const arc::verify::VerifiedFix* pick = nullptr;
+        for (const arc::verify::VerifiedFix& vf : *round) {
+          if (vf.verified) {
+            pick = &vf;
+            break;
+          }
+        }
+        if (pick == nullptr) break;
+        applied_log += "  applied " + pick->fix.code + " " + pick->fix.name +
+                       ": " + pick->fix.description + "\n";
+        current = pick->fix.fixed.Clone();
+        std::vector<arc::FixIt> next = arc::ProposeFixes(current, lopts);
+        if (next.empty()) break;
+        regated = arc::verify::VerifyFixes(current, std::move(next), schema,
+                                           vopts);
+        round = &regated;
+      }
+    }
+    if (json) {
+      // Splice the fixes fragment into LintToJson's trailing "}\n".
+      out.erase(out.find_last_of('}'));
+      out += ", " + RenderFixesJson(program, verified);
+      if (want_fix && !applied_log.empty()) {
+        out += ", \"fixed_program\": \"" +
+               JsonEscapeArg(arc::text::PrintProgram(current)) + "\"";
+      }
+      out += "}\n";
+    } else {
+      out += RenderFixesText(program, verified, vopts);
+      if (want_fix) {
+        out += applied_log.empty()
+                   ? "(no verified fixes to apply)\n"
+                   : applied_log + "-- fixed program --\n" +
+                         arc::text::PrintProgram(current) + "\n";
+      }
+    }
+  }
   ARC_RETURN_IF_ERROR(Emit(flags, out));
   return result.ok() ? arc::Status::Ok()
                      : arc::ValidationError("lint reported errors");
+}
+
+arc::Status CmdVerify(const Flags& flags) {
+  const std::string* a_text = flags.Get("arc");
+  const std::string* b_text = flags.Get("arc2");
+  if (a_text == nullptr || b_text == nullptr) {
+    return arc::InvalidArgument("verify needs --arc and --arc2");
+  }
+  ARC_ASSIGN_OR_RETURN(arc::Program a, ParseArcArg(*a_text));
+  ARC_ASSIGN_OR_RETURN(arc::Program b, ParseArcArg(*b_text));
+  ARC_ASSIGN_OR_RETURN(arc::data::Database db, BuildDatabase(flags));
+  ARC_ASSIGN_OR_RETURN(
+      std::vector<arc::verify::RelationSig> schema,
+      arc::verify::InferSignature(a, b,
+                                  db.relation_count() > 0 ? &db : nullptr));
+  ARC_ASSIGN_OR_RETURN(arc::verify::BoundedEqOptions vopts,
+                       BoundedOptsFromFlags(flags));
+  const std::string* which = flags.Get("conventions");
+  if (which != nullptr && *which != "all") {
+    ARC_ASSIGN_OR_RETURN(arc::Conventions c, PickConventions(flags));
+    vopts.conventions = {c};
+  }
+  arc::verify::EqRelation relation = arc::verify::EqRelation::kEquivalent;
+  if (const std::string* r = flags.Get("relation")) {
+    if (*r == "subset") {
+      relation = arc::verify::EqRelation::kLhsSubsetRhs;
+    } else if (*r != "equal") {
+      return arc::InvalidArgument("unknown relation '" + *r +
+                                  "' (equal|subset)");
+    }
+  }
+  ARC_ASSIGN_OR_RETURN(
+      arc::verify::BoundedEqReport report,
+      arc::verify::CheckEquivalent(a, b, schema, vopts, relation));
+  std::string out = report.ToString();
+  if (out.empty() || out.back() != '\n') out += "\n";
+  ARC_RETURN_IF_ERROR(Emit(flags, out));
+  return report.holds
+             ? arc::Status::Ok()
+             : arc::ValidationError(
+                   std::string("programs are not ") +
+                   arc::verify::EqRelationName(relation) +
+                   " within the bound");
 }
 
 arc::Status CmdCompare(const Flags& flags) {
@@ -389,6 +603,7 @@ int main(int argc, char** argv) {
   else if (command == "eval") status = CmdEval(*flags);
   else if (command == "validate") status = CmdValidate(*flags);
   else if (command == "lint") status = CmdLint(*flags);
+  else if (command == "verify") status = CmdVerify(*flags);
   else if (command == "compare") status = CmdCompare(*flags);
   else if (command == "datalog") status = CmdDatalog(*flags);
   else return Usage();
